@@ -1,0 +1,64 @@
+// Command gridrm-agents runs a simulated Grid site: a cluster of hosts with
+// evolving load/memory/disk/network state, observable through five native
+// agents (per-host SNMP, site-wide Ganglia, NWS, NetLogger and SCMS).
+//
+// The endpoint manifest is printed as JSON (and optionally written to a
+// file) so gridrm-gateway can register every agent as a data source:
+//
+//	gridrm-agents -site siteA -hosts 8 -manifest /tmp/siteA.json
+//	gridrm-gateway -manifest /tmp/siteA.json -listen :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridrm/internal/sitekit"
+)
+
+func main() {
+	var (
+		site     = flag.String("site", "site", "site name")
+		hosts    = flag.Int("hosts", 8, "number of simulated hosts")
+		seed     = flag.Int64("seed", 1, "simulator seed")
+		tick     = flag.Duration("tick", time.Second, "simulation step interval")
+		alarm    = flag.Float64("load-alarm", 4.0, "1-minute load alarm threshold")
+		manifest = flag.String("manifest", "", "also write the endpoint manifest to this file")
+	)
+	flag.Parse()
+
+	s, err := sitekit.Start(sitekit.Options{
+		Name: *site, Hosts: *hosts, Seed: *seed, LoadAlarm: *alarm,
+	})
+	if err != nil {
+		log.Fatalf("gridrm-agents: %v", err)
+	}
+	defer s.Close()
+
+	m := s.Manifest()
+	data, err := sitekit.MarshalManifest(m)
+	if err != nil {
+		log.Fatalf("gridrm-agents: %v", err)
+	}
+	fmt.Println(string(data))
+	if *manifest != "" {
+		if err := os.WriteFile(*manifest, data, 0o644); err != nil {
+			log.Fatalf("gridrm-agents: writing manifest: %v", err)
+		}
+		log.Printf("manifest written to %s", *manifest)
+	}
+
+	s.StartTicker(*tick)
+	log.Printf("site %s running: %d hosts, %d SNMP agents, stepping every %v",
+		m.Site, len(m.Hosts), len(m.SNMP), *tick)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+}

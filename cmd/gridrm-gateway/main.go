@@ -1,0 +1,103 @@
+// Command gridrm-gateway runs a GridRM gateway: the local layer (drivers,
+// connection pool, query cache, historical store, event manager, security)
+// behind the HTTP servlet interface, optionally joined to a GMA directory
+// for the Global layer.
+//
+//	gridrm-gateway -manifest /tmp/siteA.json -listen 127.0.0.1:8080 \
+//	    -host-directory
+//	gridrm-gateway -manifest /tmp/siteB.json -listen 127.0.0.1:8081 \
+//	    -directory http://127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/gma"
+	"gridrm/internal/sitekit"
+	"gridrm/internal/web"
+)
+
+func main() {
+	var (
+		name      = flag.String("name", "", "gateway site name (default: manifest's site)")
+		listen    = flag.String("listen", "127.0.0.1:8080", "servlet listen address")
+		manifest  = flag.String("manifest", "", "agent manifest file from gridrm-agents")
+		dynamic   = flag.Bool("dynamic", false, "omit driver preferences; locate drivers dynamically")
+		directory = flag.String("directory", "", "GMA directory base URL to register with")
+		hostDir   = flag.Bool("host-directory", false, "also host the GMA directory at /gma/")
+		refresh   = flag.Duration("refresh", 30*time.Second, "GMA registration refresh interval")
+	)
+	flag.Parse()
+
+	if *manifest == "" {
+		log.Fatal("gridrm-gateway: -manifest is required")
+	}
+	data, err := os.ReadFile(*manifest)
+	if err != nil {
+		log.Fatalf("gridrm-gateway: %v", err)
+	}
+	m, err := sitekit.ParseManifest(data)
+	if err != nil {
+		log.Fatalf("gridrm-gateway: %v", err)
+	}
+	if *name != "" {
+		m.Site = *name
+	}
+
+	gw, err := sitekit.NewGateway(m, sitekit.Options{Name: m.Site}, *dynamic)
+	if err != nil {
+		log.Fatalf("gridrm-gateway: %v", err)
+	}
+	defer gw.Close()
+
+	var dirHandler http.Handler
+	var localDir *gma.Directory
+	if *hostDir {
+		localDir = gma.NewDirectory(3**refresh, nil)
+		dirHandler = localDir.Handler()
+	}
+	server := web.NewServer(gw, nil, dirHandler)
+
+	endpoint := "http://" + *listen
+	var dir gma.DirectoryService
+	switch {
+	case localDir != nil:
+		dir = localDir
+	case *directory != "":
+		dir = &gma.DirectoryClient{BaseURL: *directory}
+	}
+	if dir != nil {
+		router := gma.NewRouter(dir, web.RemoteQuery, m.Site)
+		gw.SetGlobalRouter(router)
+		server.SetSiteLister(router.Sites)
+		reg := gma.NewRegistrar(dir, gma.ProducerInfo{
+			Site: m.Site, Endpoint: endpoint, Groups: glue.GroupNames(),
+		}, *refresh)
+		if err := reg.Start(); err != nil {
+			log.Fatalf("gridrm-gateway: GMA registration: %v", err)
+		}
+		defer reg.Stop()
+	}
+
+	httpServer := &http.Server{Addr: *listen, Handler: server}
+	go func() {
+		log.Printf("gateway %s serving on %s (sources: %d, drivers: %d)",
+			m.Site, endpoint, len(gw.Sources()), len(gw.Drivers()))
+		if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("gridrm-gateway: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	_ = httpServer.Close()
+}

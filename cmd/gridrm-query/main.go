@@ -1,0 +1,151 @@
+// Command gridrm-query is the GridRM command-line client: it issues SQL
+// queries against a gateway's servlet interface and renders the
+// consolidated ResultSet, and exposes the management operations of the
+// paper's JSP interface (tree view, sources, drivers, events, status).
+//
+//	gridrm-query -gateway http://127.0.0.1:8080 \
+//	    -sql "SELECT HostName, LoadLast1Min FROM Processor ORDER BY LoadLast1Min DESC"
+//	gridrm-query -gateway http://127.0.0.1:8080 -tree
+//	gridrm-query -gateway http://127.0.0.1:8080 -site siteB -sql "SELECT * FROM Memory"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/event"
+	"gridrm/internal/security"
+	"gridrm/internal/web"
+)
+
+func main() {
+	var (
+		gateway = flag.String("gateway", "http://127.0.0.1:8080", "gateway base URL")
+		sql     = flag.String("sql", "", "SQL query to execute")
+		site    = flag.String("site", "", "remote site to query via the Global layer")
+		mode    = flag.String("mode", "cached", "query mode: cached, real-time, historical")
+		sources = flag.String("sources", "", "comma-separated source URLs to restrict to")
+		user    = flag.String("user", "cli", "principal name")
+		roles   = flag.String("roles", "operator", "comma-separated principal roles")
+		tree    = flag.Bool("tree", false, "show the cached tree view")
+		status  = flag.Bool("status", false, "show gateway status counters")
+		events  = flag.Bool("events", false, "show recent events")
+		listSrc = flag.Bool("list-sources", false, "list registered data sources")
+		listDrv = flag.Bool("list-drivers", false, "list drivers")
+		sites   = flag.Bool("sites", false, "list reachable sites")
+		poll    = flag.String("poll", "", "source URL to poll in real time (requires -group)")
+		group   = flag.String("group", "", "GLUE group for -poll")
+	)
+	flag.Parse()
+
+	principal := security.Principal{Name: *user}
+	if *roles != "" {
+		principal.Roles = strings.Split(*roles, ",")
+	}
+	client := &web.Client{BaseURL: *gateway, Principal: principal}
+
+	switch {
+	case *tree:
+		nodes, err := client.Tree()
+		fail(err)
+		for _, n := range nodes {
+			health := "ok"
+			if n.Source.LastError != "" {
+				health = "FAILED: " + n.Source.LastError
+			}
+			fmt.Printf("%s  [%s]  driver=%s\n", n.Source.URL, health, n.Source.LastDriver)
+			for _, e := range n.Cached {
+				fmt.Printf("    %-40s rows=%-4d age=%s\n", e.SQL, e.Rows, e.Age.Round(time.Millisecond))
+			}
+		}
+	case *status:
+		st, err := client.Status()
+		fail(err)
+		fmt.Printf("site %s\n", st.Site)
+		fmt.Printf("  queries=%d errors=%d harvests=%d harvest-errors=%d cache-served=%d routed=%d denied=%d\n",
+			st.Gateway.Queries, st.Gateway.QueryErrors, st.Gateway.Harvests,
+			st.Gateway.HarvestErrors, st.Gateway.CacheServed, st.Gateway.Routed, st.Gateway.Denied)
+		fmt.Printf("  pool: hits=%d misses=%d opens=%d idle=%d\n",
+			st.Pool.Hits, st.Pool.Misses, st.Pool.Opens, st.Pool.Idle)
+		fmt.Printf("  driver manager: scans=%d probes=%d cache-hits=%d failovers=%d\n",
+			st.Drivers.Scans, st.Drivers.ScanProbes, st.Drivers.CacheHits, st.Drivers.Failovers)
+		fmt.Printf("  events: published=%d delivered=%d alerts=%d\n",
+			st.Events.Published, st.Events.Delivered, st.Events.Alerts)
+	case *events:
+		evs, err := client.Events(event.Filter{}, time.Time{})
+		fail(err)
+		for _, ev := range evs {
+			fmt.Printf("%s  %-8s %-24s host=%-16s value=%.2f  %s\n",
+				ev.Time.Format(time.RFC3339), ev.Severity, ev.Name, ev.Host, ev.Value, ev.Detail)
+		}
+	case *listSrc:
+		srcs, err := client.Sources()
+		fail(err)
+		for _, s := range srcs {
+			fmt.Printf("%-48s driver=%-16s %s\n", s.URL, s.LastDriver, s.Description)
+		}
+	case *listDrv:
+		drvs, err := client.Drivers()
+		fail(err)
+		for _, d := range drvs {
+			state := "available"
+			if d.Active {
+				state = "active"
+			}
+			fmt.Printf("%-18s %-10s v%-8s groups=%s\n", d.Name, state, d.Version, strings.Join(d.Groups, ","))
+		}
+	case *sites:
+		ss, err := client.Sites()
+		fail(err)
+		for _, s := range ss {
+			fmt.Println(s)
+		}
+	case *poll != "":
+		if *group == "" {
+			log.Fatal("gridrm-query: -poll requires -group")
+		}
+		resp, err := client.Poll(*poll, *group)
+		fail(err)
+		printResponse(resp)
+	case *sql != "":
+		m, err := web.ParseMode(*mode)
+		fail(err)
+		req := core.Request{SQL: *sql, Site: *site, Mode: m}
+		if *sources != "" {
+			req.Sources = strings.Split(*sources, ",")
+		}
+		resp, err := client.Query(req)
+		fail(err)
+		printResponse(resp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printResponse(resp *core.Response) {
+	fmt.Printf("-- site=%s mode=%s elapsed=%s rows=%d\n",
+		resp.Site, resp.Mode, resp.Elapsed.Round(time.Microsecond), resp.ResultSet.Len())
+	fmt.Print(resp.ResultSet.String())
+	for _, s := range resp.Sources {
+		note := "fresh"
+		if s.Cached {
+			note = "cached"
+		}
+		if s.Err != "" {
+			note = "ERROR: " + s.Err
+		}
+		fmt.Printf("## %-48s driver=%-16s rows=%-4d %s\n", s.Source, s.Driver, s.Rows, note)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatalf("gridrm-query: %v", err)
+	}
+}

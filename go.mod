@@ -1,0 +1,3 @@
+module gridrm
+
+go 1.22

@@ -1,0 +1,200 @@
+// Package ganglia implements a Ganglia gmond-style agent: connecting to its
+// TCP port yields one XML document describing the whole cluster, then the
+// connection closes. This is the coarse-grained, parse-heavy interaction
+// style the paper contrasts with SNMP (§3.2.3): a driver wanting one value
+// for one host still receives, and must parse, the full cluster dump —
+// which is why the Ganglia driver carries a response cache.
+//
+// The document shape follows gmond 2.5-era output:
+//
+//	<GANGLIA_XML VERSION=... SOURCE="gmond">
+//	  <CLUSTER NAME=... LOCALTIME=...>
+//	    <HOST NAME=... IP=... REPORTED=...>
+//	      <METRIC NAME="load_one" VAL="0.52" TYPE="float" UNITS=""/>
+//	      ...
+//	    </HOST>
+//	  </CLUSTER>
+//	</GANGLIA_XML>
+package ganglia
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gridrm/internal/agents/sim"
+)
+
+// AgentVersion is the version string the agent reports.
+const AgentVersion = "2.5.7"
+
+// Metric is one <METRIC> element.
+type Metric struct {
+	XMLName xml.Name `xml:"METRIC"`
+	Name    string   `xml:"NAME,attr"`
+	Val     string   `xml:"VAL,attr"`
+	Type    string   `xml:"TYPE,attr"`
+	Units   string   `xml:"UNITS,attr"`
+}
+
+// Host is one <HOST> element.
+type Host struct {
+	XMLName  xml.Name `xml:"HOST"`
+	Name     string   `xml:"NAME,attr"`
+	IP       string   `xml:"IP,attr"`
+	Reported int64    `xml:"REPORTED,attr"`
+	Metrics  []Metric `xml:"METRIC"`
+}
+
+// Cluster is the <CLUSTER> element.
+type Cluster struct {
+	XMLName   xml.Name `xml:"CLUSTER"`
+	Name      string   `xml:"NAME,attr"`
+	LocalTime int64    `xml:"LOCALTIME,attr"`
+	Hosts     []Host   `xml:"HOST"`
+}
+
+// Document is the root <GANGLIA_XML> element.
+type Document struct {
+	XMLName xml.Name `xml:"GANGLIA_XML"`
+	Version string   `xml:"VERSION,attr"`
+	Source  string   `xml:"SOURCE,attr"`
+	Cluster Cluster  `xml:"CLUSTER"`
+}
+
+// BuildDocument renders the reachable hosts of a site as a gmond document.
+func BuildDocument(site *sim.Site) *Document {
+	doc := &Document{
+		Version: AgentVersion,
+		Source:  "gmond",
+		Cluster: Cluster{Name: site.Name(), LocalTime: site.Now().Unix()},
+	}
+	for _, snap := range site.Snapshots() {
+		doc.Cluster.Hosts = append(doc.Cluster.Hosts, buildHost(snap))
+	}
+	return doc
+}
+
+func buildHost(snap sim.HostSnapshot) Host {
+	h := Host{Name: snap.Name, Reported: snap.Time.Unix()}
+	if len(snap.Nics) > 0 {
+		h.IP = snap.Nics[0].IP
+	}
+	addF := func(name string, v float64, units string) {
+		h.Metrics = append(h.Metrics, Metric{Name: name, Val: strconv.FormatFloat(v, 'f', 2, 64), Type: "float", Units: units})
+	}
+	addI := func(name string, v int64, units string) {
+		h.Metrics = append(h.Metrics, Metric{Name: name, Val: strconv.FormatInt(v, 10), Type: "uint32", Units: units})
+	}
+	addS := func(name, v string) {
+		h.Metrics = append(h.Metrics, Metric{Name: name, Val: v, Type: "string"})
+	}
+	addF("load_one", snap.Load1, "")
+	addF("load_five", snap.Load5, "")
+	addF("load_fifteen", snap.Load15, "")
+	addI("cpu_num", snap.CPU.Count, "CPUs")
+	addI("cpu_speed", snap.CPU.ClockMHz, "MHz")
+	addF("cpu_idle", 100-snap.UtilPct, "%")
+	addI("mem_total", snap.Mem.RAMMB*1024, "KB")
+	addI("mem_free", snap.Mem.RAMAvailMB*1024, "KB")
+	addI("swap_total", snap.Mem.VirtMB*1024, "KB")
+	addI("swap_free", snap.Mem.VirtAvailMB*1024, "KB")
+	var diskTotalMB, diskFreeMB int64
+	for _, d := range snap.Disks {
+		diskTotalMB += d.SizeMB
+		diskFreeMB += d.AvailMB
+	}
+	addF("disk_total", float64(diskTotalMB)/1024, "GB")
+	addF("disk_free", float64(diskFreeMB)/1024, "GB")
+	var bytesIn, bytesOut, pktsIn, pktsOut int64
+	for _, n := range snap.Nics {
+		bytesIn += n.BytesIn
+		bytesOut += n.BytesOut
+		pktsIn += n.PacketsIn
+		pktsOut += n.PacketsOut
+	}
+	addI("bytes_in", bytesIn, "bytes")
+	addI("bytes_out", bytesOut, "bytes")
+	addI("pkts_in", pktsIn, "packets")
+	addI("pkts_out", pktsOut, "packets")
+	addS("os_name", snap.OS.Name)
+	addS("os_release", snap.OS.Release)
+	addI("boottime", snap.OS.BootTime.Unix(), "s")
+	addI("proc_total", int64(len(snap.Procs)), "")
+	var running int64
+	for _, p := range snap.Procs {
+		if p.State == "R" {
+			running++
+		}
+	}
+	addI("proc_run", running, "")
+	return h
+}
+
+// Agent serves gmond XML dumps over TCP.
+type Agent struct {
+	site     *sim.Site
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	requests atomic.Int64
+}
+
+// NewAgent starts a gmond-style agent for the whole site. addr may be empty
+// for an ephemeral localhost port.
+func NewAgent(site *sim.Site, addr string) (*Agent, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ganglia: %w", err)
+	}
+	a := &Agent{site: site, ln: ln}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's TCP address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Requests returns the number of dumps served (E6's intrusion measure).
+func (a *Agent) Requests() int64 { return a.requests.Load() }
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	err := a.ln.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.requests.Add(1)
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer conn.Close()
+			doc := BuildDocument(a.site)
+			out, err := xml.Marshal(doc)
+			if err != nil {
+				return
+			}
+			_, _ = conn.Write([]byte(xml.Header))
+			_, _ = conn.Write(out)
+			_, _ = conn.Write([]byte("\n"))
+		}()
+	}
+}

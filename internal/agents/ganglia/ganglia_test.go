@@ -1,0 +1,134 @@
+package ganglia
+
+import (
+	"encoding/xml"
+	"io"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+func newSite(t *testing.T) *sim.Site {
+	t.Helper()
+	site := sim.New(sim.Config{Name: "g", Hosts: 3, Seed: 9})
+	site.StepN(4)
+	return site
+}
+
+func metricVal(t *testing.T, h Host, name string) string {
+	t.Helper()
+	for _, m := range h.Metrics {
+		if m.Name == name {
+			return m.Val
+		}
+	}
+	t.Fatalf("host %s missing metric %s", h.Name, name)
+	return ""
+}
+
+func TestBuildDocument(t *testing.T) {
+	site := newSite(t)
+	doc := BuildDocument(site)
+	if doc.Version != AgentVersion || doc.Source != "gmond" {
+		t.Errorf("header %+v", doc)
+	}
+	if doc.Cluster.Name != "g" {
+		t.Errorf("cluster name %q", doc.Cluster.Name)
+	}
+	if len(doc.Cluster.Hosts) != 3 {
+		t.Fatalf("hosts = %d", len(doc.Cluster.Hosts))
+	}
+	snap, _ := site.Snapshot(site.HostNames()[0])
+	h := doc.Cluster.Hosts[0]
+	if h.Name != snap.Name || h.IP != snap.Nics[0].IP {
+		t.Errorf("host identity %+v", h)
+	}
+	if got := metricVal(t, h, "load_one"); got != strconv.FormatFloat(snap.Load1, 'f', 2, 64) {
+		t.Errorf("load_one = %q, want %.2f", got, snap.Load1)
+	}
+	if got := metricVal(t, h, "mem_total"); got != strconv.FormatInt(snap.Mem.RAMMB*1024, 10) {
+		t.Errorf("mem_total = %q", got)
+	}
+	if got := metricVal(t, h, "cpu_speed"); got != strconv.FormatInt(snap.CPU.ClockMHz, 10) {
+		t.Errorf("cpu_speed = %q", got)
+	}
+	if got := metricVal(t, h, "os_name"); got != snap.OS.Name {
+		t.Errorf("os_name = %q", got)
+	}
+	if got := metricVal(t, h, "boottime"); got != strconv.FormatInt(snap.OS.BootTime.Unix(), 10) {
+		t.Errorf("boottime = %q", got)
+	}
+}
+
+func TestBuildDocumentSkipsDownHosts(t *testing.T) {
+	site := newSite(t)
+	_ = site.SetHostDown(site.HostNames()[1], true)
+	doc := BuildDocument(site)
+	if len(doc.Cluster.Hosts) != 2 {
+		t.Errorf("hosts = %d, want 2", len(doc.Cluster.Hosts))
+	}
+}
+
+func fetch(t *testing.T, addr string) []byte {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	data, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestAgentServesXML(t *testing.T) {
+	site := newSite(t)
+	a, err := NewAgent(site, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	data := fetch(t, a.Addr())
+	var doc Document
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if len(doc.Cluster.Hosts) != 3 {
+		t.Errorf("hosts over wire = %d", len(doc.Cluster.Hosts))
+	}
+	if a.Requests() != 1 {
+		t.Errorf("requests = %d", a.Requests())
+	}
+	// Each connection gets a fresh dump reflecting current state.
+	site.StepN(1)
+	data2 := fetch(t, a.Addr())
+	if string(data) == string(data2) {
+		t.Error("two dumps across a Step are identical")
+	}
+	if a.Requests() != 2 {
+		t.Errorf("requests = %d", a.Requests())
+	}
+}
+
+func TestAgentCloseIdempotent(t *testing.T) {
+	site := newSite(t)
+	a, err := NewAgent(site, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := net.DialTimeout("tcp", a.Addr(), 200*time.Millisecond); err == nil {
+		t.Error("agent still accepting after Close")
+	}
+}

@@ -1,0 +1,388 @@
+// Package netlogger implements a NetLogger-style agent. NetLogger produces
+// timestamped ULM (Universal Logger Message) records — "FIELD=value"
+// pairs on one line — and GridRM's NetLogger driver issues fine-grained
+// requests that need "little or no parsing" (paper §3.2.3).
+//
+// Record format:
+//
+//	DATE=20030601120000.000000 HOST=site-node00 PROG=sensor LVL=Usage NL.EVNT=load.one VAL=0.52
+//
+// Line protocol:
+//
+//	GET <host> <event>  → one ULM record (the latest), or ERR
+//	HOSTS               → host names with records, END
+//	EVENTS <host>       → latest record per event for host, END
+//	LOG <ulm-record>    → accept a record from a remote producer (OK/ERR)
+//	TAIL <n>            → last n records, END
+//	STREAM              → all future records pushed as they are recorded
+//	                      (the Event Manager's inbound native event feed)
+package netlogger
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+// Event names recorded per host on every Sample.
+const (
+	EvLoadOne     = "load.one"
+	EvLoadFive    = "load.five"
+	EvLoadFifteen = "load.fifteen"
+	EvCPUUtil     = "cpu.util"
+	EvMemFree     = "mem.free"
+	EvMemTotal    = "mem.total"
+	EvProcCount   = "proc.count"
+)
+
+// UsageEvents lists the per-sample usage events in stable order.
+var UsageEvents = []string{EvLoadOne, EvLoadFive, EvLoadFifteen, EvCPUUtil, EvMemFree, EvMemTotal, EvProcCount}
+
+// Record is one parsed ULM record.
+type Record struct {
+	// Date is the record timestamp.
+	Date time.Time
+	// Host is the subject host.
+	Host string
+	// Prog is the producing program.
+	Prog string
+	// Level is "Usage" for samples and "Alert" for simulator events.
+	Level string
+	// Event is the NL.EVNT name.
+	Event string
+	// Value is the numeric value.
+	Value float64
+}
+
+// ulmDate is NetLogger's DATE layout.
+const ulmDate = "20060102150405.000000"
+
+// Format renders the record as a ULM line.
+func (r Record) Format() string {
+	return fmt.Sprintf("DATE=%s HOST=%s PROG=%s LVL=%s NL.EVNT=%s VAL=%g",
+		r.Date.UTC().Format(ulmDate), r.Host, r.Prog, r.Level, r.Event, r.Value)
+}
+
+// ParseRecord parses a ULM line.
+func ParseRecord(line string) (Record, error) {
+	var r Record
+	seen := 0
+	for _, field := range strings.Fields(line) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return r, fmt.Errorf("netlogger: bad field %q", field)
+		}
+		switch key {
+		case "DATE":
+			t, err := time.Parse(ulmDate, val)
+			if err != nil {
+				return r, fmt.Errorf("netlogger: bad DATE %q", val)
+			}
+			r.Date = t.UTC()
+			seen++
+		case "HOST":
+			r.Host = val
+			seen++
+		case "PROG":
+			r.Prog = val
+		case "LVL":
+			r.Level = val
+		case "NL.EVNT":
+			r.Event = val
+			seen++
+		case "VAL":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("netlogger: bad VAL %q", val)
+			}
+			r.Value = f
+			seen++
+		}
+	}
+	if seen < 4 {
+		return r, fmt.Errorf("netlogger: incomplete record %q", line)
+	}
+	return r, nil
+}
+
+// maxBuffer bounds the in-memory record ring.
+const maxBuffer = 8192
+
+// Agent is a site-wide NetLogger collector.
+type Agent struct {
+	site     *sim.Site
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	requests atomic.Int64
+
+	mu      sync.RWMutex
+	buf     []Record
+	latest  map[string]Record // host+"/"+event → latest
+	streams map[int64]chan Record
+	conns   map[net.Conn]struct{}
+	nextID  int64
+}
+
+// NewAgent starts a NetLogger agent for the site and subscribes it to the
+// simulator's native events, which it records as LVL=Alert.
+func NewAgent(site *sim.Site, addr string) (*Agent, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netlogger: %w", err)
+	}
+	a := &Agent{site: site, ln: ln, latest: make(map[string]Record),
+		streams: make(map[int64]chan Record), conns: make(map[net.Conn]struct{})}
+	site.Subscribe(func(ev sim.Event) {
+		a.record(Record{
+			Date:  ev.Time,
+			Host:  ev.Host,
+			Prog:  "simd",
+			Level: "Alert",
+			Event: string(ev.Type),
+			Value: ev.Value,
+		})
+	})
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's TCP address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Requests returns the number of protocol commands served.
+func (a *Agent) Requests() int64 { return a.requests.Load() }
+
+// Close stops the agent, terminating streams and dropping any connections
+// still open.
+func (a *Agent) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	err := a.ln.Close()
+	a.mu.Lock()
+	for id, ch := range a.streams {
+		close(ch)
+		delete(a.streams, id)
+	}
+	for conn := range a.conns {
+		_ = conn.Close()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+	return err
+}
+
+// Sample records one Usage record per (reachable host, usage event).
+func (a *Agent) Sample() {
+	for _, snap := range a.site.Snapshots() {
+		base := Record{Date: snap.Time, Host: snap.Name, Prog: "sensor", Level: "Usage"}
+		rec := func(event string, v float64) {
+			r := base
+			r.Event, r.Value = event, v
+			a.record(r)
+		}
+		rec(EvLoadOne, snap.Load1)
+		rec(EvLoadFive, snap.Load5)
+		rec(EvLoadFifteen, snap.Load15)
+		rec(EvCPUUtil, snap.UtilPct)
+		rec(EvMemFree, float64(snap.Mem.RAMAvailMB))
+		rec(EvMemTotal, float64(snap.Mem.RAMMB))
+		rec(EvProcCount, float64(len(snap.Procs)))
+	}
+}
+
+func (a *Agent) record(r Record) {
+	a.mu.Lock()
+	a.buf = append(a.buf, r)
+	if len(a.buf) > maxBuffer {
+		a.buf = a.buf[len(a.buf)-maxBuffer:]
+	}
+	a.latest[r.Host+"/"+r.Event] = r
+	for _, ch := range a.streams {
+		select {
+		case ch <- r:
+		default: // slow stream consumers lose records rather than block
+		}
+	}
+	a.mu.Unlock()
+}
+
+// Latest returns the most recent record for host/event.
+func (a *Agent) Latest(host, event string) (Record, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	r, ok := a.latest[host+"/"+event]
+	return r, ok
+}
+
+// Tail returns the last n records.
+func (a *Agent) Tail(n int) []Record {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if n > len(a.buf) {
+		n = len(a.buf)
+	}
+	return append([]Record(nil), a.buf[len(a.buf)-n:]...)
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer func() {
+				a.mu.Lock()
+				delete(a.conns, conn)
+				a.mu.Unlock()
+				_ = conn.Close()
+			}()
+			a.handle(conn)
+		}()
+	}
+}
+
+func (a *Agent) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		a.requests.Add(1)
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprintf(w, "ERR empty command\n")
+			_ = w.Flush()
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "GET":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR usage: GET <host> <event>\n")
+				break
+			}
+			r, ok := a.Latest(fields[1], fields[2])
+			if !ok {
+				fmt.Fprintf(w, "ERR no record for %s/%s\n", fields[1], fields[2])
+				break
+			}
+			fmt.Fprintf(w, "%s\n", r.Format())
+		case "HOSTS":
+			a.mu.RLock()
+			hosts := make(map[string]bool)
+			for key := range a.latest {
+				if h, _, ok := strings.Cut(key, "/"); ok {
+					hosts[h] = true
+				}
+			}
+			a.mu.RUnlock()
+			names := make([]string, 0, len(hosts))
+			for h := range hosts {
+				names = append(names, h)
+			}
+			sort.Strings(names)
+			for _, h := range names {
+				fmt.Fprintf(w, "%s\n", h)
+			}
+			fmt.Fprintf(w, "END\n")
+		case "EVENTS":
+			if len(fields) != 2 {
+				fmt.Fprintf(w, "ERR usage: EVENTS <host>\n")
+				break
+			}
+			a.mu.RLock()
+			var recs []Record
+			for key, r := range a.latest {
+				if strings.HasPrefix(key, fields[1]+"/") {
+					recs = append(recs, r)
+				}
+			}
+			a.mu.RUnlock()
+			sort.Slice(recs, func(i, j int) bool { return recs[i].Event < recs[j].Event })
+			for _, r := range recs {
+				fmt.Fprintf(w, "%s\n", r.Format())
+			}
+			fmt.Fprintf(w, "END\n")
+		case "TAIL":
+			n := 10
+			if len(fields) == 2 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v < 0 {
+					fmt.Fprintf(w, "ERR bad count %q\n", fields[1])
+					break
+				}
+				n = v
+			}
+			for _, r := range a.Tail(n) {
+				fmt.Fprintf(w, "%s\n", r.Format())
+			}
+			fmt.Fprintf(w, "END\n")
+		case "LOG":
+			// Accept a ULM record from a remote producer (the outbound
+			// path of GridRM's Event Manager transmits alerts this way).
+			raw := strings.TrimSpace(strings.TrimPrefix(sc.Text(), fields[0]))
+			rec, err := ParseRecord(raw)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+				break
+			}
+			a.record(rec)
+			fmt.Fprintf(w, "OK\n")
+		case "STREAM":
+			_ = w.Flush()
+			a.stream(conn, w)
+			return
+		case "QUIT":
+			_ = w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (a *Agent) stream(conn net.Conn, w *bufio.Writer) {
+	ch := make(chan Record, 512)
+	a.mu.Lock()
+	a.nextID++
+	id := a.nextID
+	a.streams[id] = ch
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		if _, ok := a.streams[id]; ok {
+			delete(a.streams, id)
+			close(ch)
+		}
+		a.mu.Unlock()
+	}()
+	for r := range ch {
+		if _, err := fmt.Fprintf(w, "%s\n", r.Format()); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package netlogger
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+func newAgent(t *testing.T) (*sim.Site, *Agent) {
+	t.Helper()
+	site := sim.New(sim.Config{Name: "nl", Hosts: 2, Seed: 4})
+	site.StepN(2)
+	a, err := NewAgent(site, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	return site, a
+}
+
+func TestRecordFormatParseRoundTrip(t *testing.T) {
+	r := Record{
+		Date:  time.Date(2003, 6, 1, 12, 0, 0, 500000000, time.UTC),
+		Host:  "nl-node00",
+		Prog:  "sensor",
+		Level: "Usage",
+		Event: EvLoadOne,
+		Value: 1.25,
+	}
+	line := r.Format()
+	if !strings.Contains(line, "DATE=20030601120000.500000") ||
+		!strings.Contains(line, "NL.EVNT=load.one") ||
+		!strings.Contains(line, "VAL=1.25") {
+		t.Errorf("format: %q", line)
+	}
+	got, err := ParseRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip:\n%+v\n%+v", r, got)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"HOST=x",
+		"DATE=notadate HOST=x NL.EVNT=e VAL=1",
+		"DATE=20030601120000.000000 HOST=x NL.EVNT=e VAL=abc",
+		"DATE=20030601120000.000000 HOST=x NL.EVNT=e", // no VAL
+		"no-equals-here",
+	}
+	for _, line := range bad {
+		if _, err := ParseRecord(line); err == nil {
+			t.Errorf("ParseRecord(%q) succeeded", line)
+		}
+	}
+}
+
+func TestSampleAndLatest(t *testing.T) {
+	site, a := newAgent(t)
+	a.Sample()
+	host := site.HostNames()[0]
+	snap, _ := site.Snapshot(host)
+	r, ok := a.Latest(host, EvLoadOne)
+	if !ok {
+		t.Fatal("no latest record")
+	}
+	if r.Value != snap.Load1 || r.Level != "Usage" {
+		t.Errorf("record %+v, want load %v", r, snap.Load1)
+	}
+	for _, ev := range UsageEvents {
+		if _, ok := a.Latest(host, ev); !ok {
+			t.Errorf("missing usage event %s", ev)
+		}
+	}
+	if _, ok := a.Latest("ghost", EvLoadOne); ok {
+		t.Error("latest for unknown host")
+	}
+}
+
+func TestTail(t *testing.T) {
+	site, a := newAgent(t)
+	a.Sample()
+	total := len(site.HostNames()) * len(UsageEvents)
+	if got := len(a.Tail(1000)); got != total {
+		t.Errorf("tail = %d, want %d", got, total)
+	}
+	if got := len(a.Tail(3)); got != 3 {
+		t.Errorf("tail(3) = %d", got)
+	}
+}
+
+func TestAlertsFromSimEvents(t *testing.T) {
+	site, a := newAgent(t)
+	host := site.HostNames()[0]
+	_ = site.SetHostDown(host, true)
+	r, ok := a.Latest(host, string(sim.EventHostDown))
+	if !ok {
+		t.Fatal("host-down alert not recorded")
+	}
+	if r.Level != "Alert" || r.Prog != "simd" {
+		t.Errorf("alert record %+v", r)
+	}
+}
+
+type tc struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *tc {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return &tc{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *tc) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *tc) line(t *testing.T) string {
+	t.Helper()
+	l, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(l)
+}
+
+func TestProtocolGetAndEvents(t *testing.T) {
+	site, a := newAgent(t)
+	a.Sample()
+	host := site.HostNames()[0]
+	c := dial(t, a.Addr())
+	c.send(t, "GET "+host+" "+EvMemTotal)
+	rec, err := ParseRecord(c.line(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := site.Snapshot(host)
+	if rec.Value != float64(snap.Mem.RAMMB) {
+		t.Errorf("mem.total over wire = %v", rec.Value)
+	}
+	c.send(t, "EVENTS "+host)
+	n := 0
+	for {
+		l := c.line(t)
+		if l == "END" {
+			break
+		}
+		if _, err := ParseRecord(l); err != nil {
+			t.Errorf("bad record %q", l)
+		}
+		n++
+	}
+	if n != len(UsageEvents) {
+		t.Errorf("EVENTS returned %d records, want %d", n, len(UsageEvents))
+	}
+	c.send(t, "GET "+host+" no.such.event")
+	if l := c.line(t); !strings.HasPrefix(l, "ERR") {
+		t.Errorf("missing event -> %q", l)
+	}
+}
+
+func TestProtocolTailAndErrors(t *testing.T) {
+	_, a := newAgent(t)
+	a.Sample()
+	c := dial(t, a.Addr())
+	c.send(t, "TAIL 2")
+	var lines []string
+	for {
+		l := c.line(t)
+		if l == "END" {
+			break
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Errorf("TAIL 2 -> %d lines", len(lines))
+	}
+	for _, cmd := range []string{"TAIL x", "GET onlyhost", "NOPE", "EVENTS"} {
+		c.send(t, cmd)
+		if l := c.line(t); !strings.HasPrefix(l, "ERR") {
+			t.Errorf("%q -> %q", cmd, l)
+		}
+	}
+}
+
+func TestProtocolStream(t *testing.T) {
+	site, a := newAgent(t)
+	c := dial(t, a.Addr())
+	c.send(t, "STREAM")
+	// Give the server a moment to register the stream before recording.
+	time.Sleep(50 * time.Millisecond)
+	a.Sample()
+	rec, err := ParseRecord(c.line(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Level != "Usage" {
+		t.Errorf("streamed %+v", rec)
+	}
+	// Alerts stream too.
+	_ = site.SetHostDown(site.HostNames()[0], true)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		r2, err := ParseRecord(c.line(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Level == "Alert" && r2.Event == string(sim.EventHostDown) {
+			return
+		}
+	}
+	t.Error("alert never streamed")
+}
+
+func TestBufferBounded(t *testing.T) {
+	site, a := newAgent(t)
+	per := len(site.HostNames()) * len(UsageEvents)
+	for i := 0; i < maxBuffer/per+10; i++ {
+		a.Sample()
+	}
+	if got := len(a.Tail(maxBuffer * 2)); got > maxBuffer {
+		t.Errorf("buffer grew to %d", got)
+	}
+}

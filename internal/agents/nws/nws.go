@@ -1,0 +1,261 @@
+// Package nws implements a Network Weather Service-style agent. NWS sensors
+// record periodic measurements of resource conditions (CPU availability,
+// free memory, network bandwidth/latency) and its forecasters produce
+// short-term predictions; clients retrieve whole measurement series in a
+// plain-text response and parse what they need — the coarse-grained, text-
+// parsing interaction style the paper groups with Ganglia (§3.2.3).
+//
+// Line protocol (requests and responses are '\n'-terminated):
+//
+//	SERIES <host> <resource>   → OK <n>, then n × "<unix-time> <value>", END
+//	FORECAST <host> <resource> → FORECAST <value> <mse>
+//	LIST                       → "<host> <resource>" lines, END
+//	anything else              → ERR <message>
+package nws
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gridrm/internal/agents/sim"
+)
+
+// Resource names the agent measures.
+const (
+	// ResAvailableCPU is the fraction of CPU available (0..1).
+	ResAvailableCPU = "availableCpu"
+	// ResFreeMemory is free physical memory in MB.
+	ResFreeMemory = "freeMemory"
+	// ResFreeDisk is free disk space in MB, summed over devices.
+	ResFreeDisk = "freeDisk"
+	// ResBandwidth is TCP bandwidth to the host in Mb/s.
+	ResBandwidth = "bandwidthTcp"
+	// ResLatency is TCP round-trip latency to the host in ms.
+	ResLatency = "latencyTcp"
+)
+
+// Resources lists all series resources in stable order.
+var Resources = []string{ResAvailableCPU, ResFreeMemory, ResFreeDisk, ResBandwidth, ResLatency}
+
+// Measurement is one recorded sample.
+type Measurement struct {
+	// Unix is the sample's simulated wall-clock time.
+	Unix int64
+	// Value is the measured value.
+	Value float64
+}
+
+// maxHistory bounds each series' ring buffer.
+const maxHistory = 256
+
+// forecastWindow is how many trailing samples the forecaster averages.
+const forecastWindow = 10
+
+// Agent is a site-wide NWS memory+forecaster+sensor bundle.
+type Agent struct {
+	site     *sim.Site
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	requests atomic.Int64
+
+	mu     sync.RWMutex
+	series map[string][]Measurement // "host/resource" → ring
+	conns  map[net.Conn]struct{}
+}
+
+// NewAgent starts an NWS agent for the site; addr may be empty for an
+// ephemeral localhost port. The agent has no samples until Sample is
+// called (or a deployment drives it from a ticker).
+func NewAgent(site *sim.Site, addr string) (*Agent, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nws: %w", err)
+	}
+	a := &Agent{site: site, ln: ln, series: make(map[string][]Measurement), conns: make(map[net.Conn]struct{})}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's TCP address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Requests returns the number of protocol commands served.
+func (a *Agent) Requests() int64 { return a.requests.Load() }
+
+// Close stops the agent, dropping any connections still open.
+func (a *Agent) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	err := a.ln.Close()
+	a.mu.Lock()
+	for conn := range a.conns {
+		_ = conn.Close()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+	return err
+}
+
+// Sample records one measurement per (reachable host, resource) from the
+// simulator's current state.
+func (a *Agent) Sample() {
+	snaps := a.site.Snapshots()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, snap := range snaps {
+		unix := snap.Time.Unix()
+		rec := func(resource string, v float64) {
+			key := snap.Name + "/" + resource
+			s := append(a.series[key], Measurement{Unix: unix, Value: v})
+			if len(s) > maxHistory {
+				s = s[len(s)-maxHistory:]
+			}
+			a.series[key] = s
+		}
+		rec(ResAvailableCPU, roundTo(1-snap.UtilPct/100, 4))
+		rec(ResFreeMemory, float64(snap.Mem.RAMAvailMB))
+		var free int64
+		for _, d := range snap.Disks {
+			free += d.AvailMB
+		}
+		rec(ResFreeDisk, float64(free))
+		if len(snap.Nics) > 0 {
+			rec(ResBandwidth, snap.Nics[0].BandwidthMbps)
+			rec(ResLatency, snap.Nics[0].LatencyMs)
+		}
+	}
+}
+
+func roundTo(f float64, digits int) float64 {
+	pow := 1.0
+	for i := 0; i < digits; i++ {
+		pow *= 10
+	}
+	return float64(int64(f*pow+0.5)) / pow
+}
+
+// Series returns a copy of the recorded series for host/resource.
+func (a *Agent) Series(host, resource string) []Measurement {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]Measurement(nil), a.series[host+"/"+resource]...)
+}
+
+// Forecast returns the running-mean forecast and mean squared error over
+// the trailing window, or false when the series is empty.
+func (a *Agent) Forecast(host, resource string) (value, mse float64, ok bool) {
+	s := a.Series(host, resource)
+	if len(s) == 0 {
+		return 0, 0, false
+	}
+	start := len(s) - forecastWindow
+	if start < 0 {
+		start = 0
+	}
+	window := s[start:]
+	var sum float64
+	for _, m := range window {
+		sum += m.Value
+	}
+	mean := sum / float64(len(window))
+	var sq float64
+	for _, m := range window {
+		d := m.Value - mean
+		sq += d * d
+	}
+	return mean, sq / float64(len(window)), true
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer func() {
+				a.mu.Lock()
+				delete(a.conns, conn)
+				a.mu.Unlock()
+				_ = conn.Close()
+			}()
+			a.handle(conn)
+		}()
+	}
+}
+
+func (a *Agent) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		a.requests.Add(1)
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprintf(w, "ERR empty command\n")
+			_ = w.Flush()
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "SERIES":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR usage: SERIES <host> <resource>\n")
+				break
+			}
+			s := a.Series(fields[1], fields[2])
+			fmt.Fprintf(w, "OK %d\n", len(s))
+			for _, m := range s {
+				fmt.Fprintf(w, "%d %g\n", m.Unix, m.Value)
+			}
+			fmt.Fprintf(w, "END\n")
+		case "FORECAST":
+			if len(fields) != 3 {
+				fmt.Fprintf(w, "ERR usage: FORECAST <host> <resource>\n")
+				break
+			}
+			v, mse, ok := a.Forecast(fields[1], fields[2])
+			if !ok {
+				fmt.Fprintf(w, "ERR no data for %s/%s\n", fields[1], fields[2])
+				break
+			}
+			fmt.Fprintf(w, "FORECAST %g %g\n", v, mse)
+		case "LIST":
+			a.mu.RLock()
+			keys := make([]string, 0, len(a.series))
+			for k := range a.series {
+				keys = append(keys, k)
+			}
+			a.mu.RUnlock()
+			sort.Strings(keys)
+			for _, k := range keys {
+				host, resource, _ := strings.Cut(k, "/")
+				fmt.Fprintf(w, "%s %s\n", host, resource)
+			}
+			fmt.Fprintf(w, "END\n")
+		case "QUIT":
+			_ = w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package nws
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+func newAgent(t *testing.T) (*sim.Site, *Agent) {
+	t.Helper()
+	site := sim.New(sim.Config{Name: "n", Hosts: 2, Seed: 3})
+	site.StepN(2)
+	a, err := NewAgent(site, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	return site, a
+}
+
+func TestSampleAndSeries(t *testing.T) {
+	site, a := newAgent(t)
+	host := site.HostNames()[0]
+	if got := a.Series(host, ResAvailableCPU); len(got) != 0 {
+		t.Fatalf("series before sampling = %d", len(got))
+	}
+	a.Sample()
+	site.Step()
+	a.Sample()
+	s := a.Series(host, ResAvailableCPU)
+	if len(s) != 2 {
+		t.Fatalf("series = %d, want 2", len(s))
+	}
+	if s[0].Unix >= s[1].Unix {
+		t.Error("timestamps not increasing")
+	}
+	for _, res := range Resources {
+		if len(a.Series(host, res)) != 2 {
+			t.Errorf("resource %s series = %d", res, len(a.Series(host, res)))
+		}
+	}
+	snap, _ := site.Snapshot(host)
+	if got := s[1].Value; got != roundTo(1-snap.UtilPct/100, 4) {
+		t.Errorf("availableCpu = %v", got)
+	}
+}
+
+func TestSeriesBounded(t *testing.T) {
+	site, a := newAgent(t)
+	for i := 0; i < maxHistory+20; i++ {
+		site.Step()
+		a.Sample()
+	}
+	if got := len(a.Series(site.HostNames()[0], ResFreeMemory)); got != maxHistory {
+		t.Errorf("series length = %d, want %d", got, maxHistory)
+	}
+}
+
+func TestForecast(t *testing.T) {
+	site, a := newAgent(t)
+	host := site.HostNames()[0]
+	if _, _, ok := a.Forecast(host, ResLatency); ok {
+		t.Error("forecast with no data succeeded")
+	}
+	for i := 0; i < 20; i++ {
+		site.Step()
+		a.Sample()
+	}
+	v, mse, ok := a.Forecast(host, ResLatency)
+	if !ok {
+		t.Fatal("forecast failed")
+	}
+	if v <= 0 || mse < 0 {
+		t.Errorf("forecast = %v, mse = %v", v, mse)
+	}
+	// Forecast of a constant series is the constant with zero error.
+	v2, mse2, _ := a.Forecast(host, ResBandwidth)
+	if v2 != 100 || mse2 != 0 {
+		t.Errorf("constant forecast = %v ± %v", v2, mse2)
+	}
+}
+
+type tc struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *tc {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return &tc{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *tc) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(resp)
+}
+
+func (c *tc) readUntilEnd(t *testing.T) []string {
+	t.Helper()
+	var lines []string
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = strings.TrimSpace(l)
+		if l == "END" {
+			return lines
+		}
+		lines = append(lines, l)
+	}
+}
+
+func TestProtocolSeries(t *testing.T) {
+	site, a := newAgent(t)
+	a.Sample()
+	site.Step()
+	a.Sample()
+	host := site.HostNames()[0]
+	c := dial(t, a.Addr())
+	first := c.cmd(t, "SERIES "+host+" "+ResFreeMemory)
+	if first != "OK 2" {
+		t.Fatalf("SERIES header = %q", first)
+	}
+	lines := c.readUntilEnd(t)
+	if len(lines) != 2 {
+		t.Fatalf("series body = %v", lines)
+	}
+	var ts int64
+	var val float64
+	if _, err := fmt.Sscanf(lines[1], "%d %g", &ts, &val); err != nil {
+		t.Fatalf("bad series line %q", lines[1])
+	}
+	snap, _ := site.Snapshot(host)
+	if val != float64(snap.Mem.RAMAvailMB) {
+		t.Errorf("freeMemory over wire = %v, want %d", val, snap.Mem.RAMAvailMB)
+	}
+}
+
+func TestProtocolForecastAndList(t *testing.T) {
+	site, a := newAgent(t)
+	for i := 0; i < 5; i++ {
+		site.Step()
+		a.Sample()
+	}
+	host := site.HostNames()[0]
+	c := dial(t, a.Addr())
+	resp := c.cmd(t, "FORECAST "+host+" "+ResBandwidth)
+	var v, mse float64
+	if _, err := fmt.Sscanf(resp, "FORECAST %g %g", &v, &mse); err != nil {
+		t.Fatalf("FORECAST resp %q", resp)
+	}
+	if v != 100 {
+		t.Errorf("forecast %v", v)
+	}
+	if got := c.cmd(t, "LIST"); !strings.Contains(got, host) {
+		t.Errorf("LIST first line %q", got)
+	}
+	lines := c.readUntilEnd(t)
+	want := len(site.HostNames())*len(Resources) - 1 // minus the already-read first line
+	if len(lines) != want {
+		t.Errorf("LIST rows = %d, want %d", len(lines), want)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, a := newAgent(t)
+	c := dial(t, a.Addr())
+	for _, cmd := range []string{
+		"SERIES onlyhost",
+		"FORECAST x " + ResLatency, // no data yet
+		"BOGUS",
+		"FORECAST",
+	} {
+		if resp := c.cmd(t, cmd); !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("%q -> %q, want ERR", cmd, resp)
+		}
+	}
+	// Unknown series is empty, not an error.
+	if resp := c.cmd(t, "SERIES nohost nores"); resp != "OK 0" {
+		t.Errorf("empty series header %q", resp)
+	}
+	c.readUntilEnd(t)
+	if a.Requests() == 0 {
+		t.Error("requests not counted")
+	}
+}
+
+func TestMultipleCommandsPerConnection(t *testing.T) {
+	site, a := newAgent(t)
+	a.Sample()
+	host := site.HostNames()[0]
+	c := dial(t, a.Addr())
+	for i := 0; i < 3; i++ {
+		if resp := c.cmd(t, "SERIES "+host+" "+ResFreeDisk); resp != "OK 1" {
+			t.Fatalf("iteration %d: %q", i, resp)
+		}
+		c.readUntilEnd(t)
+	}
+}

@@ -1,0 +1,62 @@
+package scms
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridrm/internal/agents/sim"
+)
+
+// TestFormatParsePropertyAcrossSeeds: every status line a simulated host
+// can ever produce must parse back with host, numeric loads, and memory
+// intact.
+func TestFormatParsePropertyAcrossSeeds(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		site := sim.New(sim.Config{Name: "q", Hosts: 2, Seed: seed})
+		site.StepN(int(steps % 50))
+		for _, snap := range site.Snapshots() {
+			line := FormatStatus(snap)
+			if strings.ContainsAny(line, "\n") {
+				return false
+			}
+			m, err := ParseStatus(line)
+			if err != nil {
+				return false
+			}
+			if m["host"] != snap.Name || m["cpu_model"] != snap.CPU.Model ||
+				m["os_version"] != snap.OS.Version {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusterLinesAlwaysParse: CLUSTER output parses as fields with a kind
+// tag for every simulated configuration.
+func TestClusterLinesAlwaysParse(t *testing.T) {
+	f := func(seed int64, hosts uint8) bool {
+		site := sim.New(sim.Config{Name: "q", Hosts: int(hosts%6) + 1, Seed: seed})
+		site.StepN(3)
+		lines := FormatCluster(site)
+		if len(lines) < 3 { // ce + ≥1 se + ≥1 ne
+			return false
+		}
+		kinds := map[string]int{}
+		for _, line := range lines {
+			m, err := ParseFields(line)
+			if err != nil {
+				return false
+			}
+			kinds[m["kind"]]++
+		}
+		return kinds["ce"] == 1 && kinds["se"] >= 1 && kinds["ne"] >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

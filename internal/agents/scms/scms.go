@@ -1,0 +1,244 @@
+// Package scms implements an SCMS-style (Scalable Cluster Management
+// System) agent: a cluster-status daemon answering whole-cluster queries
+// with one line of "key=value" fields per node. It is the fifth
+// heterogeneous data source from the paper's initial driver set (§3.2.3)
+// and rounds out the protocol spectrum: line-oriented like NWS but keyed
+// like SNMP.
+//
+// Line protocol:
+//
+//	NODES          → one host name per line, END
+//	STATUS         → one status line per host, END
+//	STATUS <host>  → that host's status line, END (ERR if unknown/down)
+//	CLUSTER        → site-level element lines (kind=ce|se|ne), END
+//
+// A status line is '|'-separated "key=value" fields; values may contain
+// spaces but not '|' or newlines:
+//
+//	host=siteA-node00|cpu_model=Pentium III (Coppermine)|ncpus=1|load1=0.52|...
+package scms
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gridrm/internal/agents/sim"
+)
+
+// FormatStatus renders one host snapshot as an SCMS status line.
+func FormatStatus(snap sim.HostSnapshot) string {
+	fields := []string{
+		"host=" + snap.Name,
+		"cpu_model=" + snap.CPU.Model,
+		"cpu_vendor=" + snap.CPU.Vendor,
+		fmt.Sprintf("cpu_mhz=%d", snap.CPU.ClockMHz),
+		fmt.Sprintf("cpu_cache_kb=%d", snap.CPU.CacheKB),
+		fmt.Sprintf("ncpus=%d", snap.CPU.Count),
+		fmt.Sprintf("load1=%.2f", snap.Load1),
+		fmt.Sprintf("load5=%.2f", snap.Load5),
+		fmt.Sprintf("load15=%.2f", snap.Load15),
+		fmt.Sprintf("util=%.2f", snap.UtilPct),
+		fmt.Sprintf("mem_total_mb=%d", snap.Mem.RAMMB),
+		fmt.Sprintf("mem_free_mb=%d", snap.Mem.RAMAvailMB),
+		"os_name=" + snap.OS.Name,
+		"os_release=" + snap.OS.Release,
+		"os_version=" + snap.OS.Version,
+		fmt.Sprintf("uptime_s=%d", snap.OS.UptimeS),
+	}
+	return strings.Join(fields, "|")
+}
+
+// FormatCluster renders the site-level compute/storage/network elements as
+// CLUSTER response lines, one element per line, tagged by kind.
+func FormatCluster(site *sim.Site) []string {
+	var out []string
+	ce := site.ComputeElement()
+	out = append(out, strings.Join([]string{
+		"kind=ce",
+		"id=" + ce.ID,
+		"host=" + ce.HostName,
+		"lrms=" + ce.LRMSType,
+		fmt.Sprintf("total_cpus=%d", ce.TotalCPUs),
+		fmt.Sprintf("free_cpus=%d", ce.FreeCPUs),
+		fmt.Sprintf("running=%d", ce.RunningJobs),
+		fmt.Sprintf("waiting=%d", ce.WaitingJobs),
+		"status=" + ce.Status,
+	}, "|"))
+	for _, se := range site.StorageElements() {
+		out = append(out, strings.Join([]string{
+			"kind=se",
+			"id=" + se.ID,
+			"host=" + se.HostName,
+			"protocol=" + se.Protocol,
+			fmt.Sprintf("total_gb=%d", se.TotalGB),
+			fmt.Sprintf("used_gb=%d", se.UsedGB),
+			"status=" + se.Status,
+		}, "|"))
+	}
+	for _, ne := range site.NetworkElements() {
+		out = append(out, strings.Join([]string{
+			"kind=ne",
+			"name=" + ne.Name,
+			"type=" + ne.Type,
+			fmt.Sprintf("ports=%d", ne.PortCount),
+			"status=" + ne.Status,
+		}, "|"))
+	}
+	return out
+}
+
+// ParseFields parses any '|'-separated "key=value" SCMS line into a map.
+func ParseFields(line string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, field := range strings.Split(line, "|") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || key == "" {
+			return nil, fmt.Errorf("scms: bad field %q", field)
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// ParseStatus parses an SCMS host-status line into a field map.
+func ParseStatus(line string) (map[string]string, error) {
+	out, err := ParseFields(line)
+	if err != nil {
+		return nil, err
+	}
+	if out["host"] == "" {
+		return nil, fmt.Errorf("scms: status line missing host")
+	}
+	return out, nil
+}
+
+// Agent serves SCMS cluster status over TCP.
+type Agent struct {
+	site     *sim.Site
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	requests atomic.Int64
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewAgent starts an SCMS agent for the site; addr may be empty for an
+// ephemeral localhost port.
+func NewAgent(site *sim.Site, addr string) (*Agent, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("scms: %w", err)
+	}
+	a := &Agent{site: site, ln: ln, conns: make(map[net.Conn]struct{})}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's TCP address.
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Requests returns the number of protocol commands served.
+func (a *Agent) Requests() int64 { return a.requests.Load() }
+
+// Close stops the agent, dropping any connections still open.
+func (a *Agent) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	err := a.ln.Close()
+	a.mu.Lock()
+	for conn := range a.conns {
+		_ = conn.Close()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer func() {
+				a.mu.Lock()
+				delete(a.conns, conn)
+				a.mu.Unlock()
+				_ = conn.Close()
+			}()
+			a.handle(conn)
+		}()
+	}
+}
+
+func (a *Agent) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		a.requests.Add(1)
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprintf(w, "ERR empty command\n")
+			_ = w.Flush()
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "NODES":
+			for _, name := range a.site.HostNames() {
+				if !a.site.HostDown(name) {
+					fmt.Fprintf(w, "%s\n", name)
+				}
+			}
+			fmt.Fprintf(w, "END\n")
+		case "STATUS":
+			if len(fields) > 2 {
+				fmt.Fprintf(w, "ERR usage: STATUS [host]\n")
+				break
+			}
+			if len(fields) == 2 {
+				snap, ok := a.site.Snapshot(fields[1])
+				if !ok {
+					fmt.Fprintf(w, "ERR unknown or unreachable host %q\n", fields[1])
+					break
+				}
+				fmt.Fprintf(w, "%s\nEND\n", FormatStatus(snap))
+				break
+			}
+			for _, snap := range a.site.Snapshots() {
+				fmt.Fprintf(w, "%s\n", FormatStatus(snap))
+			}
+			fmt.Fprintf(w, "END\n")
+		case "CLUSTER":
+			for _, line := range FormatCluster(a.site) {
+				fmt.Fprintf(w, "%s\n", line)
+			}
+			fmt.Fprintf(w, "END\n")
+		case "QUIT":
+			_ = w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

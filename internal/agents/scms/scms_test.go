@@ -1,0 +1,167 @@
+package scms
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+func newAgent(t *testing.T) (*sim.Site, *Agent) {
+	t.Helper()
+	site := sim.New(sim.Config{Name: "sc", Hosts: 3, Seed: 6})
+	site.StepN(2)
+	a, err := NewAgent(site, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	return site, a
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	site, _ := newAgent(t)
+	snap, _ := site.Snapshot(site.HostNames()[0])
+	line := FormatStatus(snap)
+	m, err := ParseStatus(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["host"] != snap.Name {
+		t.Errorf("host = %q", m["host"])
+	}
+	if m["cpu_model"] != snap.CPU.Model {
+		t.Errorf("cpu_model = %q (model with spaces must survive)", m["cpu_model"])
+	}
+	if got, _ := strconv.ParseFloat(m["load1"], 64); got != snap.Load1 {
+		t.Errorf("load1 = %v, want %v", got, snap.Load1)
+	}
+	if got, _ := strconv.ParseInt(m["mem_free_mb"], 10, 64); got != snap.Mem.RAMAvailMB {
+		t.Errorf("mem_free_mb = %v", got)
+	}
+	if got, _ := strconv.ParseInt(m["uptime_s"], 10, 64); got != snap.OS.UptimeS {
+		t.Errorf("uptime_s = %v", got)
+	}
+}
+
+func TestParseStatusErrors(t *testing.T) {
+	for _, bad := range []string{"", "novalue", "a=1|bad", "x=1"} {
+		if _, err := ParseStatus(bad); err == nil {
+			t.Errorf("ParseStatus(%q) succeeded", bad)
+		}
+	}
+}
+
+type tc struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *tc {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return &tc{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *tc) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (c *tc) readUntilEnd(t *testing.T) []string {
+	t.Helper()
+	var lines []string
+	for {
+		l, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = strings.TrimSpace(l)
+		if l == "END" {
+			return lines
+		}
+		lines = append(lines, l)
+	}
+}
+
+func TestProtocolNodes(t *testing.T) {
+	site, a := newAgent(t)
+	c := dial(t, a.Addr())
+	c.send(t, "NODES")
+	lines := c.readUntilEnd(t)
+	if len(lines) != 3 {
+		t.Fatalf("NODES -> %v", lines)
+	}
+	for i, name := range site.HostNames() {
+		if lines[i] != name {
+			t.Errorf("node %d = %q, want %q", i, lines[i], name)
+		}
+	}
+	_ = site.SetHostDown(site.HostNames()[0], true)
+	c.send(t, "NODES")
+	if lines := c.readUntilEnd(t); len(lines) != 2 {
+		t.Errorf("NODES with down host -> %d", len(lines))
+	}
+}
+
+func TestProtocolStatus(t *testing.T) {
+	site, a := newAgent(t)
+	c := dial(t, a.Addr())
+	c.send(t, "STATUS")
+	lines := c.readUntilEnd(t)
+	if len(lines) != 3 {
+		t.Fatalf("STATUS rows = %d", len(lines))
+	}
+	for _, l := range lines {
+		if _, err := ParseStatus(l); err != nil {
+			t.Errorf("bad status line %q: %v", l, err)
+		}
+	}
+	host := site.HostNames()[1]
+	c.send(t, "STATUS "+host)
+	lines = c.readUntilEnd(t)
+	if len(lines) != 1 {
+		t.Fatalf("single STATUS rows = %d", len(lines))
+	}
+	m, err := ParseStatus(lines[0])
+	if err != nil || m["host"] != host {
+		t.Errorf("status host = %v, %v", m["host"], err)
+	}
+	if a.Requests() != 2 {
+		t.Errorf("requests = %d", a.Requests())
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	site, a := newAgent(t)
+	c := dial(t, a.Addr())
+	c.send(t, "STATUS ghost")
+	if l, _ := c.r.ReadString('\n'); !strings.HasPrefix(l, "ERR") {
+		t.Errorf("STATUS ghost -> %q", l)
+	}
+	_ = site.SetHostDown(site.HostNames()[0], true)
+	c.send(t, "STATUS "+site.HostNames()[0])
+	if l, _ := c.r.ReadString('\n'); !strings.HasPrefix(l, "ERR") {
+		t.Errorf("STATUS of down host -> %q", l)
+	}
+	c.send(t, "WHAT")
+	if l, _ := c.r.ReadString('\n'); !strings.HasPrefix(l, "ERR") {
+		t.Errorf("unknown command -> %q", l)
+	}
+	c.send(t, "STATUS a b c")
+	if l, _ := c.r.ReadString('\n'); !strings.HasPrefix(l, "ERR") {
+		t.Errorf("overlong STATUS -> %q", l)
+	}
+}

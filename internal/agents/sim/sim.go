@@ -1,0 +1,644 @@
+// Package sim provides the deterministic Grid-site simulator that stands in
+// for the real machines, clusters and network devices the paper monitored.
+//
+// The paper's evaluation harvested data from live SNMP, Ganglia, NWS,
+// NetLogger and SCMS agents running on departmental resources; this repo has
+// no such testbed, so sim models a site — hosts with processors, memory,
+// disks, network interfaces, an operating system and processes, plus
+// site-level compute/storage/network elements — and every protocol agent in
+// internal/agents serves views of the *same* sim.Site. That is the property
+// the substitution must preserve: one underlying heterogeneous-looking
+// reality, observable through several native protocols, that GridRM must
+// normalise into a single GLUE view (paper §1.1, §3.2.3).
+//
+// Dynamics are a pure function of (seed, tick): load follows a mean-
+// reverting random walk, counters increase monotonically, processes come
+// and go. Advancing time is explicit (Step/StepN), so tests are exactly
+// reproducible; long-running deployments can drive Step from a ticker.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Epoch is the simulated start of time: 1 June 2003, matching the paper's
+// writing date. BootTime and event timestamps derive from it.
+var Epoch = time.Date(2003, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// TickDuration is the simulated wall-clock length of one Step.
+const TickDuration = time.Second
+
+// CPUInfo is static processor identity.
+type CPUInfo struct {
+	Model    string
+	Vendor   string
+	ClockMHz int64
+	CacheKB  int64
+	Count    int64
+}
+
+// MemInfo is the memory state of a host at a tick.
+type MemInfo struct {
+	RAMMB         int64
+	RAMAvailMB    int64
+	VirtMB        int64
+	VirtAvailMB   int64
+	SwapInPerSec  float64
+	SwapOutPerSec float64
+}
+
+// DiskInfo is the state of one disk device at a tick.
+type DiskInfo struct {
+	Device    string
+	SizeMB    int64
+	AvailMB   int64
+	ReadMBps  float64
+	WriteMBps float64
+}
+
+// NicInfo is the state of one network interface at a tick.
+type NicInfo struct {
+	Name          string
+	IP            string
+	MTU           int64
+	BandwidthMbps float64
+	LatencyMs     float64
+	BytesIn       int64
+	BytesOut      int64
+	PacketsIn     int64
+	PacketsOut    int64
+}
+
+// OSInfo is operating-system identity plus uptime at a tick.
+type OSInfo struct {
+	Name     string
+	Release  string
+	Version  string
+	UptimeS  int64
+	BootTime time.Time
+}
+
+// ProcInfo is the state of one process at a tick.
+type ProcInfo struct {
+	PID    int64
+	Name   string
+	State  string
+	User   string
+	CPUPct float64
+	MemKB  int64
+}
+
+// HostSnapshot is a consistent copy of one host's state at a tick. Agents
+// take snapshots and render them in their native formats.
+type HostSnapshot struct {
+	Name   string
+	CPU    CPUInfo
+	Load1  float64
+	Load5  float64
+	Load15 float64
+	// UtilPct is instantaneous CPU utilisation in percent.
+	UtilPct float64
+	Mem     MemInfo
+	Disks   []DiskInfo
+	Nics    []NicInfo
+	OS      OSInfo
+	Procs   []ProcInfo
+	// Tick is the simulator tick the snapshot was taken at.
+	Tick int64
+	// Time is the simulated wall-clock time of the snapshot.
+	Time time.Time
+}
+
+// ComputeElementState is site-level batch system state.
+type ComputeElementState struct {
+	ID          string
+	HostName    string
+	LRMSType    string
+	TotalCPUs   int64
+	FreeCPUs    int64
+	RunningJobs int64
+	WaitingJobs int64
+	Status      string
+}
+
+// StorageElementState is site-level storage service state.
+type StorageElementState struct {
+	ID       string
+	HostName string
+	Protocol string
+	TotalGB  int64
+	UsedGB   int64
+	Status   string
+}
+
+// NetworkElementState is one piece of network infrastructure.
+type NetworkElementState struct {
+	Name      string
+	Type      string
+	PortCount int64
+	Status    string
+}
+
+// EventType classifies simulator-originated native events.
+type EventType string
+
+// Event types the simulator raises.
+const (
+	// EventLoadHigh fires when a host's 1-minute load crosses above its
+	// alarm threshold.
+	EventLoadHigh EventType = "load-high"
+	// EventLoadNormal fires when load falls back below threshold.
+	EventLoadNormal EventType = "load-normal"
+	// EventHostDown fires when a host is marked unreachable.
+	EventHostDown EventType = "host-down"
+	// EventHostUp fires when a host returns.
+	EventHostUp EventType = "host-up"
+	// EventDiskFull fires when a disk falls under 5% free.
+	EventDiskFull EventType = "disk-full"
+)
+
+// Event is a native event raised by the simulated site, before any GridRM
+// formatting (the Event Manager's drivers translate these, Fig 4).
+type Event struct {
+	Host  string
+	Type  EventType
+	Value float64
+	Tick  int64
+	Time  time.Time
+}
+
+// Listener receives simulator events synchronously during Step.
+type Listener func(Event)
+
+// Config parameterises a simulated site.
+type Config struct {
+	// Name is the site name, used in host names ("siteA-node03").
+	Name string
+	// Hosts is the number of hosts (default 8).
+	Hosts int
+	// Seed seeds all dynamics; equal seeds give equal histories.
+	Seed int64
+	// DisksPerHost (default 2), NicsPerHost (default 1), ProcsPerHost
+	// (default 6) size each host.
+	DisksPerHost int
+	NicsPerHost  int
+	ProcsPerHost int
+	// LoadAlarm is the 1-minute load threshold for EventLoadHigh
+	// (default 4.0).
+	LoadAlarm float64
+}
+
+func (c *Config) fill() {
+	if c.Name == "" {
+		c.Name = "site"
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 8
+	}
+	if c.DisksPerHost <= 0 {
+		c.DisksPerHost = 2
+	}
+	if c.NicsPerHost <= 0 {
+		c.NicsPerHost = 1
+	}
+	if c.ProcsPerHost <= 0 {
+		c.ProcsPerHost = 6
+	}
+	if c.LoadAlarm <= 0 {
+		c.LoadAlarm = 4.0
+	}
+}
+
+// Site is a simulated Grid site.
+type Site struct {
+	mu        sync.RWMutex
+	cfg       Config
+	hosts     []*Host
+	byName    map[string]*Host
+	tick      int64
+	ce        ComputeElementState
+	ses       []StorageElementState
+	nes       []NetworkElementState
+	listeners []Listener
+	rng       *rand.Rand
+}
+
+// Host is one simulated machine. All access goes through its Site's lock;
+// callers use Snapshot for a consistent copy.
+type Host struct {
+	name       string
+	cpu        CPUInfo
+	targetLoad float64
+	load1      float64
+	load5      float64
+	load15     float64
+	util       float64
+	mem        MemInfo
+	memFrac    float64
+	disks      []DiskInfo
+	nics       []NicInfo
+	os         OSInfo
+	procs      []ProcInfo
+	down       bool
+	alarmed    bool
+	rng        *rand.Rand
+	bootTick   int64
+}
+
+var cpuModels = []struct {
+	model  string
+	vendor string
+	clock  int64
+	cache  int64
+}{
+	{"Pentium III (Coppermine)", "GenuineIntel", 866, 256},
+	{"Pentium 4", "GenuineIntel", 2400, 512},
+	{"Athlon XP 2000+", "AuthenticAMD", 1667, 256},
+	{"UltraSPARC-III", "Sun", 900, 8192},
+	{"POWER4", "IBM", 1300, 1440},
+}
+
+var osFlavours = []struct {
+	name    string
+	release string
+	version string
+}{
+	{"Linux", "2.4.20", "Red Hat Linux 9"},
+	{"Linux", "2.4.18", "Debian Woody"},
+	{"SunOS", "5.8", "Solaris 8"},
+	{"AIX", "5.1", "AIX 5L"},
+}
+
+var procNames = []string{"httpd", "sshd", "gmond", "nwsd", "java", "sendmail", "crond", "nfsd", "mpirun", "lmgrd"}
+var userNames = []string{"root", "daemon", "mab", "gus", "grid"}
+var procStates = []string{"R", "S", "S", "S", "D"}
+
+// New creates a simulated site.
+func New(cfg Config) *Site {
+	cfg.fill()
+	s := &Site{
+		cfg:    cfg,
+		byName: make(map[string]*Host, cfg.Hosts),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		h := s.newHost(i)
+		s.hosts = append(s.hosts, h)
+		s.byName[h.name] = h
+	}
+	s.ce = ComputeElementState{
+		ID:        cfg.Name + "-ce",
+		HostName:  s.hosts[0].name,
+		LRMSType:  "pbs",
+		TotalCPUs: 0,
+		Status:    "production",
+	}
+	for _, h := range s.hosts {
+		s.ce.TotalCPUs += h.cpu.Count
+	}
+	s.ce.FreeCPUs = s.ce.TotalCPUs
+	s.ses = []StorageElementState{{
+		ID:       cfg.Name + "-se",
+		HostName: s.hosts[len(s.hosts)-1].name,
+		Protocol: "gridftp",
+		TotalGB:  1024,
+		UsedGB:   128,
+		Status:   "production",
+	}}
+	s.nes = []NetworkElementState{
+		{Name: cfg.Name + "-router", Type: "router", PortCount: 8, Status: "up"},
+		{Name: cfg.Name + "-switch", Type: "switch", PortCount: 48, Status: "up"},
+	}
+	return s
+}
+
+func (s *Site) newHost(i int) *Host {
+	rng := rand.New(rand.NewSource(s.cfg.Seed*1000003 + int64(i)))
+	cm := cpuModels[rng.Intn(len(cpuModels))]
+	osf := osFlavours[rng.Intn(len(osFlavours))]
+	ramMB := int64(256 << rng.Intn(4)) // 256..2048
+	h := &Host{
+		name:       fmt.Sprintf("%s-node%02d", s.cfg.Name, i),
+		cpu:        CPUInfo{Model: cm.model, Vendor: cm.vendor, ClockMHz: cm.clock, CacheKB: cm.cache, Count: int64(1 << rng.Intn(2))},
+		targetLoad: 0.3 + 2.5*rng.Float64(),
+		memFrac:    0.3 + 0.4*rng.Float64(),
+		rng:        rng,
+		bootTick:   -int64(rng.Intn(86400 * 30)), // up for up to 30 simulated days
+	}
+	h.load1 = h.targetLoad
+	h.load5 = h.targetLoad
+	h.load15 = h.targetLoad
+	h.mem = MemInfo{RAMMB: ramMB, VirtMB: ramMB * 2}
+	h.mem.RAMAvailMB = int64(float64(ramMB) * (1 - h.memFrac))
+	h.mem.VirtAvailMB = h.mem.VirtMB - (ramMB - h.mem.RAMAvailMB)
+	for d := 0; d < s.cfg.DisksPerHost; d++ {
+		size := int64(8192 << rng.Intn(3))
+		h.disks = append(h.disks, DiskInfo{
+			Device:  fmt.Sprintf("sd%c", 'a'+d),
+			SizeMB:  size,
+			AvailMB: int64(float64(size) * (0.2 + 0.6*rng.Float64())),
+		})
+	}
+	for n := 0; n < s.cfg.NicsPerHost; n++ {
+		h.nics = append(h.nics, NicInfo{
+			Name:          fmt.Sprintf("eth%d", n),
+			IP:            fmt.Sprintf("10.%d.0.%d", n, i+1),
+			MTU:           1500,
+			BandwidthMbps: 100,
+			LatencyMs:     0.2 + rng.Float64(),
+		})
+	}
+	h.os = OSInfo{
+		Name:     osf.name,
+		Release:  osf.release,
+		Version:  osf.version,
+		BootTime: Epoch.Add(time.Duration(h.bootTick) * TickDuration),
+	}
+	for p := 0; p < s.cfg.ProcsPerHost; p++ {
+		h.procs = append(h.procs, ProcInfo{
+			PID:    int64(100 + rng.Intn(30000)),
+			Name:   procNames[rng.Intn(len(procNames))],
+			State:  procStates[rng.Intn(len(procStates))],
+			User:   userNames[rng.Intn(len(userNames))],
+			CPUPct: rng.Float64() * 10,
+			MemKB:  int64(500 + rng.Intn(100000)),
+		})
+	}
+	return h
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// Tick returns the current simulator tick.
+func (s *Site) Tick() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tick
+}
+
+// Now returns the simulated wall-clock time.
+func (s *Site) Now() time.Time {
+	return Epoch.Add(time.Duration(s.Tick()) * TickDuration)
+}
+
+// HostNames lists host names in stable order.
+func (s *Site) HostNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, len(s.hosts))
+	for i, h := range s.hosts {
+		names[i] = h.name
+	}
+	return names
+}
+
+// Subscribe registers a listener for simulator events; listeners run
+// synchronously inside Step and must be fast.
+func (s *Site) Subscribe(l Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, l)
+}
+
+// SetHostDown marks a host (un)reachable; agents refuse to serve data for a
+// down host, which exercises the DriverManager's failure policies.
+func (s *Site) SetHostDown(name string, down bool) error {
+	s.mu.Lock()
+	h, ok := s.byName[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("sim: unknown host %q", name)
+	}
+	changed := h.down != down
+	h.down = down
+	tick, now := s.tick, Epoch.Add(time.Duration(s.tick)*TickDuration)
+	listeners := append([]Listener(nil), s.listeners...)
+	s.mu.Unlock()
+	if changed {
+		typ := EventHostUp
+		if down {
+			typ = EventHostDown
+		}
+		ev := Event{Host: name, Type: typ, Tick: tick, Time: now}
+		for _, l := range listeners {
+			l(ev)
+		}
+	}
+	return nil
+}
+
+// HostDown reports whether the named host is marked unreachable.
+func (s *Site) HostDown(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.byName[name]
+	return ok && h.down
+}
+
+// Step advances the simulation by one tick, updating all dynamics and
+// firing any threshold events.
+func (s *Site) Step() { s.StepN(1) }
+
+// StepN advances the simulation by n ticks.
+func (s *Site) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.stepOnce()
+	}
+}
+
+func (s *Site) stepOnce() {
+	s.mu.Lock()
+	s.tick++
+	now := Epoch.Add(time.Duration(s.tick) * TickDuration)
+	var events []Event
+	var busy int64
+	for _, h := range s.hosts {
+		h.step()
+		if h.load1 >= 1 {
+			busy += min64(h.cpu.Count, int64(h.load1))
+		}
+		// Threshold events (edge-triggered).
+		if !h.alarmed && h.load1 > s.cfg.LoadAlarm {
+			h.alarmed = true
+			events = append(events, Event{Host: h.name, Type: EventLoadHigh, Value: h.load1, Tick: s.tick, Time: now})
+		} else if h.alarmed && h.load1 < s.cfg.LoadAlarm*0.75 {
+			h.alarmed = false
+			events = append(events, Event{Host: h.name, Type: EventLoadNormal, Value: h.load1, Tick: s.tick, Time: now})
+		}
+		for _, d := range h.disks {
+			if d.AvailMB*20 < d.SizeMB { // <5% free
+				events = append(events, Event{Host: h.name, Type: EventDiskFull, Value: float64(d.AvailMB), Tick: s.tick, Time: now})
+			}
+		}
+	}
+	// Batch system dynamics.
+	s.ce.FreeCPUs = max64(0, s.ce.TotalCPUs-busy)
+	s.ce.RunningJobs = max64(0, s.ce.RunningJobs+int64(s.rng.Intn(3))-1)
+	s.ce.WaitingJobs = max64(0, s.ce.WaitingJobs+int64(s.rng.Intn(3))-1)
+	s.ses[0].UsedGB = min64(s.ses[0].TotalGB, max64(0, s.ses[0].UsedGB+int64(s.rng.Intn(3))-1))
+	listeners := append([]Listener(nil), s.listeners...)
+	s.mu.Unlock()
+	for _, ev := range events {
+		for _, l := range listeners {
+			l(ev)
+		}
+	}
+}
+
+func (h *Host) step() {
+	// Mean-reverting random walk for 1-minute load; occasional bursts.
+	noise := h.rng.NormFloat64() * 0.15
+	if h.rng.Float64() < 0.01 {
+		noise += 2 + 3*h.rng.Float64() // burst
+	}
+	h.load1 += 0.1*(h.targetLoad-h.load1) + noise
+	if h.load1 < 0 {
+		h.load1 = 0
+	}
+	h.load5 += (h.load1 - h.load5) / 5
+	h.load15 += (h.load1 - h.load15) / 15
+	h.util = 100 * math.Min(1, h.load1/float64(h.cpu.Count))
+
+	// Memory wiggles around its fraction.
+	h.memFrac += h.rng.NormFloat64() * 0.01
+	h.memFrac = math.Max(0.05, math.Min(0.95, h.memFrac))
+	h.mem.RAMAvailMB = int64(float64(h.mem.RAMMB) * (1 - h.memFrac))
+	h.mem.VirtAvailMB = h.mem.VirtMB - (h.mem.RAMMB - h.mem.RAMAvailMB)
+	h.mem.SwapInPerSec = math.Max(0, h.rng.NormFloat64()*0.5+float64(int64(h.load1))*0.2)
+	h.mem.SwapOutPerSec = math.Max(0, h.rng.NormFloat64()*0.5)
+
+	for i := range h.disks {
+		d := &h.disks[i]
+		d.ReadMBps = math.Max(0, h.rng.NormFloat64()*2+1)
+		d.WriteMBps = math.Max(0, h.rng.NormFloat64()*1+0.5)
+		drift := int64(h.rng.Intn(11)) - 5
+		d.AvailMB = min64(d.SizeMB, max64(0, d.AvailMB+drift))
+	}
+	for i := range h.nics {
+		n := &h.nics[i]
+		inB := int64(h.rng.Intn(200000))
+		outB := int64(h.rng.Intn(120000))
+		n.BytesIn += inB
+		n.BytesOut += outB
+		n.PacketsIn += inB / 400
+		n.PacketsOut += outB / 400
+		n.LatencyMs = math.Max(0.05, n.LatencyMs+h.rng.NormFloat64()*0.02)
+	}
+	for i := range h.procs {
+		p := &h.procs[i]
+		p.CPUPct = math.Max(0, p.CPUPct+h.rng.NormFloat64()*1.5)
+		p.MemKB = max64(100, p.MemKB+int64(h.rng.Intn(401))-200)
+		p.State = procStates[h.rng.Intn(len(procStates))]
+		// Processes occasionally exit and are replaced.
+		if h.rng.Float64() < 0.005 {
+			p.PID = int64(100 + h.rng.Intn(30000))
+			p.Name = procNames[h.rng.Intn(len(procNames))]
+			p.User = userNames[h.rng.Intn(len(userNames))]
+			p.CPUPct = h.rng.Float64() * 5
+			p.MemKB = int64(500 + h.rng.Intn(100000))
+		}
+	}
+}
+
+// Snapshot returns a consistent copy of the named host's state, or false if
+// the host does not exist or is down.
+func (s *Site) Snapshot(name string) (HostSnapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.byName[name]
+	if !ok || h.down {
+		return HostSnapshot{}, false
+	}
+	return s.snapshotLocked(h), true
+}
+
+// Snapshots returns consistent copies of all reachable hosts.
+func (s *Site) Snapshots() []HostSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]HostSnapshot, 0, len(s.hosts))
+	for _, h := range s.hosts {
+		if h.down {
+			continue
+		}
+		out = append(out, s.snapshotLocked(h))
+	}
+	return out
+}
+
+func (s *Site) snapshotLocked(h *Host) HostSnapshot {
+	now := Epoch.Add(time.Duration(s.tick) * TickDuration)
+	snap := HostSnapshot{
+		Name:    h.name,
+		CPU:     h.cpu,
+		Load1:   round2(h.load1),
+		Load5:   round2(h.load5),
+		Load15:  round2(h.load15),
+		UtilPct: round2(h.util),
+		Mem:     h.mem,
+		OS:      h.os,
+		Tick:    s.tick,
+		Time:    now,
+	}
+	snap.Mem.SwapInPerSec = round2(snap.Mem.SwapInPerSec)
+	snap.Mem.SwapOutPerSec = round2(snap.Mem.SwapOutPerSec)
+	snap.OS.UptimeS = s.tick - h.bootTick
+	snap.Disks = append([]DiskInfo(nil), h.disks...)
+	for i := range snap.Disks {
+		snap.Disks[i].ReadMBps = round2(snap.Disks[i].ReadMBps)
+		snap.Disks[i].WriteMBps = round2(snap.Disks[i].WriteMBps)
+	}
+	snap.Nics = append([]NicInfo(nil), h.nics...)
+	for i := range snap.Nics {
+		snap.Nics[i].LatencyMs = round2(snap.Nics[i].LatencyMs)
+	}
+	snap.Procs = append([]ProcInfo(nil), h.procs...)
+	for i := range snap.Procs {
+		snap.Procs[i].CPUPct = round2(snap.Procs[i].CPUPct)
+	}
+	return snap
+}
+
+// ComputeElement returns the site's batch-system state.
+func (s *Site) ComputeElement() ComputeElementState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ce
+}
+
+// StorageElements returns the site's storage services.
+func (s *Site) StorageElements() []StorageElementState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]StorageElementState(nil), s.ses...)
+}
+
+// NetworkElements returns the site's network infrastructure.
+func (s *Site) NetworkElements() []NetworkElementState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]NetworkElementState(nil), s.nes...)
+}
+
+// round2 keeps snapshots tidy and makes cross-agent value comparison exact:
+// every agent renders from the same rounded snapshot values.
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

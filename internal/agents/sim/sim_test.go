@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{Name: "s", Hosts: 4, Seed: 42})
+	b := New(Config{Name: "s", Hosts: 4, Seed: 42})
+	a.StepN(50)
+	b.StepN(50)
+	sa := a.Snapshots()
+	sb := b.Snapshots()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Error("same seed produced different histories")
+	}
+	c := New(Config{Name: "s", Hosts: 4, Seed: 43})
+	c.StepN(50)
+	if reflect.DeepEqual(sa, c.Snapshots()) {
+		t.Error("different seeds produced identical histories")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := New(Config{})
+	if len(s.HostNames()) != 8 {
+		t.Errorf("default hosts = %d", len(s.HostNames()))
+	}
+	snap, ok := s.Snapshot(s.HostNames()[0])
+	if !ok {
+		t.Fatal("snapshot failed")
+	}
+	if len(snap.Disks) != 2 || len(snap.Nics) != 1 || len(snap.Procs) != 6 {
+		t.Errorf("default shape: %d disks, %d nics, %d procs", len(snap.Disks), len(snap.Nics), len(snap.Procs))
+	}
+}
+
+func TestSnapshotUnknownHost(t *testing.T) {
+	s := New(Config{Hosts: 1})
+	if _, ok := s.Snapshot("nope"); ok {
+		t.Error("snapshot of unknown host succeeded")
+	}
+}
+
+func TestHostDown(t *testing.T) {
+	s := New(Config{Hosts: 3, Seed: 1})
+	name := s.HostNames()[1]
+	if err := s.SetHostDown(name, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HostDown(name) {
+		t.Error("HostDown false after SetHostDown")
+	}
+	if _, ok := s.Snapshot(name); ok {
+		t.Error("snapshot of down host succeeded")
+	}
+	if got := len(s.Snapshots()); got != 2 {
+		t.Errorf("Snapshots() = %d hosts, want 2", got)
+	}
+	if err := s.SetHostDown(name, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Snapshot(name); !ok {
+		t.Error("snapshot failed after host back up")
+	}
+	if err := s.SetHostDown("nope", true); err == nil {
+		t.Error("SetHostDown on unknown host succeeded")
+	}
+}
+
+func TestHostDownEvents(t *testing.T) {
+	s := New(Config{Hosts: 1, Seed: 1})
+	var events []Event
+	s.Subscribe(func(e Event) { events = append(events, e) })
+	name := s.HostNames()[0]
+	_ = s.SetHostDown(name, true)
+	_ = s.SetHostDown(name, true) // no repeat event
+	_ = s.SetHostDown(name, false)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Type != EventHostDown || events[1].Type != EventHostUp {
+		t.Errorf("event types %v %v", events[0].Type, events[1].Type)
+	}
+}
+
+func TestDynamicsInvariants(t *testing.T) {
+	s := New(Config{Hosts: 6, Seed: 7})
+	prev := map[string]HostSnapshot{}
+	for _, snap := range s.Snapshots() {
+		prev[snap.Name] = snap
+	}
+	for step := 0; step < 200; step++ {
+		s.Step()
+		for _, snap := range s.Snapshots() {
+			if snap.Load1 < 0 || snap.Load5 < 0 || snap.Load15 < 0 {
+				t.Fatalf("negative load at step %d: %+v", step, snap)
+			}
+			if snap.UtilPct < 0 || snap.UtilPct > 100 {
+				t.Fatalf("util out of range: %v", snap.UtilPct)
+			}
+			if snap.Mem.RAMAvailMB < 0 || snap.Mem.RAMAvailMB > snap.Mem.RAMMB {
+				t.Fatalf("memory out of range: %+v", snap.Mem)
+			}
+			for _, d := range snap.Disks {
+				if d.AvailMB < 0 || d.AvailMB > d.SizeMB {
+					t.Fatalf("disk out of range: %+v", d)
+				}
+			}
+			p := prev[snap.Name]
+			for i, n := range snap.Nics {
+				if n.BytesIn < p.Nics[i].BytesIn || n.BytesOut < p.Nics[i].BytesOut {
+					t.Fatalf("counters went backwards: %+v -> %+v", p.Nics[i], n)
+				}
+			}
+			if snap.OS.UptimeS <= p.OS.UptimeS {
+				t.Fatalf("uptime not increasing")
+			}
+			prev[snap.Name] = snap
+		}
+	}
+}
+
+func TestTickAndNow(t *testing.T) {
+	s := New(Config{Hosts: 1, Seed: 1})
+	if s.Tick() != 0 {
+		t.Errorf("initial tick %d", s.Tick())
+	}
+	s.StepN(10)
+	if s.Tick() != 10 {
+		t.Errorf("tick after 10 steps = %d", s.Tick())
+	}
+	want := Epoch.Add(10 * TickDuration)
+	if !s.Now().Equal(want) {
+		t.Errorf("Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestLoadEventsEdgeTriggered(t *testing.T) {
+	s := New(Config{Hosts: 8, Seed: 3, LoadAlarm: 1.0})
+	var mu sync.Mutex
+	counts := map[string]int{} // host -> running high-low balance
+	var bad bool
+	s.Subscribe(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e.Type {
+		case EventLoadHigh:
+			counts[e.Host]++
+			if counts[e.Host] > 1 {
+				bad = true
+			}
+		case EventLoadNormal:
+			counts[e.Host]--
+			if counts[e.Host] < 0 {
+				bad = true
+			}
+		}
+	})
+	s.StepN(500)
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		t.Error("load events not strictly alternating per host")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if len(counts) == 0 {
+		t.Error("no load events with alarm=1.0 over 500 steps")
+	}
+}
+
+func TestSiteElements(t *testing.T) {
+	s := New(Config{Name: "pool", Hosts: 4, Seed: 5})
+	ce := s.ComputeElement()
+	if ce.ID != "pool-ce" || ce.TotalCPUs <= 0 || ce.FreeCPUs > ce.TotalCPUs {
+		t.Errorf("compute element %+v", ce)
+	}
+	s.StepN(100)
+	ce = s.ComputeElement()
+	if ce.FreeCPUs < 0 || ce.RunningJobs < 0 || ce.WaitingJobs < 0 {
+		t.Errorf("negative CE numbers: %+v", ce)
+	}
+	ses := s.StorageElements()
+	if len(ses) != 1 || ses[0].UsedGB > ses[0].TotalGB {
+		t.Errorf("storage elements %+v", ses)
+	}
+	nes := s.NetworkElements()
+	if len(nes) != 2 {
+		t.Errorf("network elements %+v", nes)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New(Config{Hosts: 1, Seed: 9})
+	name := s.HostNames()[0]
+	a, _ := s.Snapshot(name)
+	a.Disks[0].AvailMB = -999
+	a.Procs[0].Name = "mutated"
+	b, _ := s.Snapshot(name)
+	if b.Disks[0].AvailMB == -999 || b.Procs[0].Name == "mutated" {
+		t.Error("snapshot shares state with site")
+	}
+}
+
+func TestConcurrentStepAndSnapshot(t *testing.T) {
+	s := New(Config{Hosts: 4, Seed: 11})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.StepN(200)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = s.Snapshots()
+			_, _ = s.Snapshot(s.HostNames()[0])
+		}
+	}()
+	wg.Wait()
+}
+
+func TestConfigFillProperty(t *testing.T) {
+	f := func(hosts, disks int8) bool {
+		cfg := Config{Hosts: int(hosts), DisksPerHost: int(disks), Seed: 1}
+		s := New(cfg)
+		names := s.HostNames()
+		if len(names) == 0 {
+			return false
+		}
+		snap, ok := s.Snapshot(names[0])
+		return ok && len(snap.Disks) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package snmp
+
+import (
+	"fmt"
+
+	"gridrm/internal/agents/sim"
+)
+
+// Well-known OID prefixes served by the agent. They follow MIB-2 and
+// HOST-RESOURCES-MIB numbering, with a private enterprise arc
+// (1.3.6.1.4.1.9999) for the handful of attributes real MIBs lack.
+var (
+	// OIDSysDescr is sysDescr.0.
+	OIDSysDescr = MustOID("1.3.6.1.2.1.1.1.0")
+	// OIDSysUpTime is sysUpTime.0, in TimeTicks (centiseconds).
+	OIDSysUpTime = MustOID("1.3.6.1.2.1.1.3.0")
+	// OIDSysName is sysName.0.
+	OIDSysName = MustOID("1.3.6.1.2.1.1.5.0")
+
+	// OIDIfTable is the ifTable entry prefix (columns below).
+	OIDIfTable = MustOID("1.3.6.1.2.1.2.2.1")
+
+	// OIDHrMemorySize is hrMemorySize.0 in KB.
+	OIDHrMemorySize = MustOID("1.3.6.1.2.1.25.2.2.0")
+	// OIDHrStorage is the hrStorageTable entry prefix.
+	OIDHrStorage = MustOID("1.3.6.1.2.1.25.2.3.1")
+	// OIDHrDeviceDescr is the hrDeviceDescr column prefix.
+	OIDHrDeviceDescr = MustOID("1.3.6.1.2.1.25.3.2.1.3")
+	// OIDHrProcessorLoad is the hrProcessorLoad column prefix.
+	OIDHrProcessorLoad = MustOID("1.3.6.1.2.1.25.3.3.1.2")
+	// OIDHrSWRun is the hrSWRunTable entry prefix.
+	OIDHrSWRun = MustOID("1.3.6.1.2.1.25.4.2.1")
+	// OIDHrSWRunPerf is the hrSWRunPerfTable entry prefix.
+	OIDHrSWRunPerf = MustOID("1.3.6.1.2.1.25.5.1.1")
+
+	// OIDLoad is the UCD laLoad column prefix; .1/.2/.3 are the 1/5/15
+	// minute load averages rendered as strings, as ucd-snmp does.
+	OIDLoad = MustOID("1.3.6.1.4.1.2021.10.1.3")
+	// OIDMemTotalReal is UCD memTotalReal.0 in KB.
+	OIDMemTotalReal = MustOID("1.3.6.1.4.1.2021.4.5.0")
+	// OIDMemAvailReal is UCD memAvailReal.0 in KB.
+	OIDMemAvailReal = MustOID("1.3.6.1.4.1.2021.4.6.0")
+
+	// OIDVendor is the private GridRM test-enterprise prefix for values
+	// stock MIBs do not expose (CPU clock, vendor, cache, swap rates).
+	OIDVendor = MustOID("1.3.6.1.4.1.9999.1")
+)
+
+// ifTable column arcs.
+const (
+	IfColDescr     = 2
+	IfColMTU       = 4
+	IfColSpeed     = 5
+	IfColInOctets  = 10
+	IfColInPkts    = 11
+	IfColOutOctets = 16
+	IfColOutPkts   = 17
+	// IfColAddr is a private column carrying the interface IPv4 address
+	// as a string (a simplification of the ipAddrTable join real SNMP
+	// managers perform).
+	IfColAddr = 99
+)
+
+// hrStorageTable column arcs.
+const (
+	HrStorageColDescr = 2
+	HrStorageColUnit  = 4
+	HrStorageColSize  = 5
+	HrStorageColUsed  = 6
+)
+
+// hrSWRunTable column arcs.
+const (
+	HrSWRunColIndex  = 1
+	HrSWRunColName   = 2
+	HrSWRunColStatus = 7
+)
+
+// hrSWRunPerfTable column arcs.
+const (
+	HrSWRunPerfColCPU = 1
+	HrSWRunPerfColMem = 2
+)
+
+// Vendor column arcs under OIDVendor.
+const (
+	VendorColClockMHz = 1
+	VendorColVendor   = 2
+	VendorColCacheKB  = 3
+	VendorColSwapIn   = 4
+	VendorColSwapOut  = 5
+	VendorColBootTime = 6
+)
+
+// hrSWRunStatus values for process states.
+var swRunStatus = map[string]int64{
+	"R": 1, // running
+	"S": 2, // runnable
+	"D": 3, // notRunnable
+	"Z": 4, // invalid
+}
+
+// BuildMIB renders a host snapshot as a MIB tree. The mapping mirrors how a
+// real agent would expose the same machine, so the SNMP driver's
+// GLUE translation exercises realistic OID layouts.
+func BuildMIB(snap sim.HostSnapshot) *MIB {
+	var vbs []Varbind
+	add := func(oid OID, v Value) { vbs = append(vbs, Varbind{OID: oid, Value: v}) }
+
+	// system group
+	add(OIDSysDescr, StringValue(fmt.Sprintf("%s %s %s", snap.OS.Name, snap.OS.Release, snap.OS.Version)))
+	add(OIDSysUpTime, TicksValue(uint64(snap.OS.UptimeS)*100))
+	add(OIDSysName, StringValue(snap.Name))
+
+	// ifTable
+	for i, nic := range snap.Nics {
+		idx := uint32(i + 1)
+		add(OIDIfTable.Append(IfColDescr, idx), StringValue(nic.Name))
+		add(OIDIfTable.Append(IfColMTU, idx), IntValue(nic.MTU))
+		add(OIDIfTable.Append(IfColSpeed, idx), CounterValue(uint64(nic.BandwidthMbps*1e6)))
+		add(OIDIfTable.Append(IfColInOctets, idx), CounterValue(uint64(nic.BytesIn)))
+		add(OIDIfTable.Append(IfColInPkts, idx), CounterValue(uint64(nic.PacketsIn)))
+		add(OIDIfTable.Append(IfColOutOctets, idx), CounterValue(uint64(nic.BytesOut)))
+		add(OIDIfTable.Append(IfColOutPkts, idx), CounterValue(uint64(nic.PacketsOut)))
+		add(OIDIfTable.Append(IfColAddr, idx), StringValue(nic.IP))
+	}
+
+	// host resources: memory
+	add(OIDHrMemorySize, IntValue(snap.Mem.RAMMB*1024))
+	// hrStorage index 1 = physical memory, 2.. = disks. Units are 1 MB.
+	add(OIDHrStorage.Append(HrStorageColDescr, 1), StringValue("Physical memory"))
+	add(OIDHrStorage.Append(HrStorageColUnit, 1), IntValue(1048576))
+	add(OIDHrStorage.Append(HrStorageColSize, 1), IntValue(snap.Mem.RAMMB))
+	add(OIDHrStorage.Append(HrStorageColUsed, 1), IntValue(snap.Mem.RAMMB-snap.Mem.RAMAvailMB))
+	for i, d := range snap.Disks {
+		idx := uint32(i + 2)
+		add(OIDHrStorage.Append(HrStorageColDescr, idx), StringValue("/dev/"+d.Device))
+		add(OIDHrStorage.Append(HrStorageColUnit, idx), IntValue(1048576))
+		add(OIDHrStorage.Append(HrStorageColSize, idx), IntValue(d.SizeMB))
+		add(OIDHrStorage.Append(HrStorageColUsed, idx), IntValue(d.SizeMB-d.AvailMB))
+	}
+
+	// host resources: processors
+	for i := int64(0); i < snap.CPU.Count; i++ {
+		idx := uint32(i + 1)
+		add(OIDHrDeviceDescr.Append(idx), StringValue(snap.CPU.Model))
+		add(OIDHrProcessorLoad.Append(idx), IntValue(int64(snap.UtilPct)))
+	}
+
+	// host resources: processes
+	for _, p := range snap.Procs {
+		idx := uint32(p.PID)
+		add(OIDHrSWRun.Append(HrSWRunColIndex, idx), IntValue(p.PID))
+		add(OIDHrSWRun.Append(HrSWRunColName, idx), StringValue(p.Name))
+		status := swRunStatus[p.State]
+		if status == 0 {
+			status = 2
+		}
+		add(OIDHrSWRun.Append(HrSWRunColStatus, idx), IntValue(status))
+		add(OIDHrSWRunPerf.Append(HrSWRunPerfColCPU, idx), IntValue(int64(p.CPUPct*100)))
+		add(OIDHrSWRunPerf.Append(HrSWRunPerfColMem, idx), IntValue(p.MemKB))
+	}
+
+	// UCD memory group.
+	add(OIDMemTotalReal, IntValue(snap.Mem.RAMMB*1024))
+	add(OIDMemAvailReal, IntValue(snap.Mem.RAMAvailMB*1024))
+
+	// UCD load averages, rendered as strings like ucd-snmp's laLoad.
+	add(OIDLoad.Append(1), StringValue(fmt.Sprintf("%.2f", snap.Load1)))
+	add(OIDLoad.Append(2), StringValue(fmt.Sprintf("%.2f", snap.Load5)))
+	add(OIDLoad.Append(3), StringValue(fmt.Sprintf("%.2f", snap.Load15)))
+
+	// private vendor arc
+	add(OIDVendor.Append(VendorColClockMHz), IntValue(snap.CPU.ClockMHz))
+	add(OIDVendor.Append(VendorColVendor), StringValue(snap.CPU.Vendor))
+	add(OIDVendor.Append(VendorColCacheKB), IntValue(snap.CPU.CacheKB))
+	add(OIDVendor.Append(VendorColSwapIn), StringValue(fmt.Sprintf("%.2f", snap.Mem.SwapInPerSec)))
+	add(OIDVendor.Append(VendorColSwapOut), StringValue(fmt.Sprintf("%.2f", snap.Mem.SwapOutPerSec)))
+	add(OIDVendor.Append(VendorColBootTime), IntValue(snap.OS.BootTime.Unix()))
+
+	return NewMIB(vbs)
+}

@@ -1,0 +1,112 @@
+package snmp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestOIDCompareIsTotalOrder checks the Compare relation used by the MIB's
+// binary searches: antisymmetry, reflexivity-as-equality, transitivity on
+// random triples, and consistency with sort.
+func TestOIDCompareIsTotalOrder(t *testing.T) {
+	gen := func(arcs []uint8) OID {
+		o := make(OID, 0, len(arcs)%8+1)
+		for i := 0; i < len(arcs) && i < 8; i++ {
+			o = append(o, uint32(arcs[i]%10))
+		}
+		if len(o) == 0 {
+			o = OID{0}
+		}
+		return o
+	}
+	f := func(a, b, c []uint8) bool {
+		x, y, z := gen(a), gen(b), gen(c)
+		if x.Compare(y) != -y.Compare(x) {
+			return false
+		}
+		if x.Compare(x) != 0 {
+			return false
+		}
+		// transitivity: x<=y && y<=z ⇒ x<=z
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 && x.Compare(z) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMIBNextMatchesLinearScan cross-checks the binary-search GetNext
+// against a brute-force reference on random MIBs.
+func TestMIBNextMatchesLinearScan(t *testing.T) {
+	f := func(entries [][3]uint8, probe [3]uint8) bool {
+		var vbs []Varbind
+		for _, e := range entries {
+			vbs = append(vbs, Varbind{
+				OID:   OID{uint32(e[0] % 4), uint32(e[1] % 4), uint32(e[2] % 4)},
+				Value: IntValue(int64(e[0])),
+			})
+		}
+		mib := NewMIB(vbs)
+		p := OID{uint32(probe[0] % 4), uint32(probe[1] % 4), uint32(probe[2] % 4)}
+
+		// Reference: smallest OID strictly greater than p.
+		var want *Varbind
+		sorted := append([]Varbind(nil), vbs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].OID.Compare(sorted[j].OID) < 0 })
+		for i := range sorted {
+			if sorted[i].OID.Compare(p) > 0 {
+				want = &sorted[i]
+				break
+			}
+		}
+		got, ok := mib.Next(p)
+		if want == nil {
+			return !ok
+		}
+		return ok && got.OID.Compare(want.OID) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalkCoversPrefixExactly checks Walk returns exactly the entries under
+// the prefix, in order.
+func TestWalkCoversPrefixExactly(t *testing.T) {
+	f := func(entries [][3]uint8, p0, p1 uint8) bool {
+		seen := map[string]bool{}
+		var vbs []Varbind
+		for _, e := range entries {
+			oid := OID{uint32(e[0] % 3), uint32(e[1] % 3), uint32(e[2] % 3)}
+			if seen[oid.String()] {
+				continue
+			}
+			seen[oid.String()] = true
+			vbs = append(vbs, Varbind{OID: oid, Value: IntValue(1)})
+		}
+		mib := NewMIB(vbs)
+		prefix := OID{uint32(p0 % 3), uint32(p1 % 3)}
+		walked := mib.Walk(prefix)
+		count := 0
+		for _, vb := range vbs {
+			if vb.OID.HasPrefix(prefix) && len(vb.OID) > len(prefix) {
+				count++
+			}
+		}
+		// Entries equal to the prefix itself are NOT returned by a walk
+		// (GetNext is strictly-greater), matching net-snmp semantics.
+		for i := 1; i < len(walked); i++ {
+			if walked[i-1].OID.Compare(walked[i].OID) >= 0 {
+				return false
+			}
+		}
+		return len(walked) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

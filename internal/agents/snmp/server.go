@@ -1,0 +1,291 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+// DefaultCommunity is accepted when an agent is created without one.
+const DefaultCommunity = "public"
+
+// Agent is a per-host SNMP agent serving the simulator's view of one host
+// over UDP. Real deployments run one agent per machine; tests and examples
+// start one Agent per sim host.
+type Agent struct {
+	site      *Site
+	host      string
+	community string
+	conn      *net.UDPConn
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	requests  atomic.Int64
+}
+
+// Site is a small alias-free handle pairing a simulator with agents.
+type Site = sim.Site
+
+// AgentConfig configures an Agent.
+type AgentConfig struct {
+	// Host selects which simulator host the agent serves.
+	Host string
+	// Community is the required community string (DefaultCommunity when
+	// empty).
+	Community string
+	// Addr is the UDP listen address; "127.0.0.1:0" when empty.
+	Addr string
+}
+
+// NewAgent starts an SNMP agent for one simulator host.
+func NewAgent(site *sim.Site, cfg AgentConfig) (*Agent, error) {
+	if cfg.Community == "" {
+		cfg.Community = DefaultCommunity
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	found := false
+	for _, n := range site.HostNames() {
+		if n == cfg.Host {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("snmp: site has no host %q", cfg.Host)
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: %w", err)
+	}
+	a := &Agent{site: site, host: cfg.Host, community: cfg.Community, conn: conn}
+	a.wg.Add(1)
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's UDP address.
+func (a *Agent) Addr() string { return a.conn.LocalAddr().String() }
+
+// Host returns the simulator host the agent serves.
+func (a *Agent) Host() string { return a.host }
+
+// Requests returns how many well-formed requests the agent has served;
+// E6 uses this as the "resource intrusion" measure.
+func (a *Agent) Requests() int64 { return a.requests.Load() }
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve() {
+	defer a.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			if a.closed.Load() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // silently drop malformed datagrams, as real agents do
+		}
+		resp := a.handle(req)
+		if resp == nil {
+			continue
+		}
+		out, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		_, _ = a.conn.WriteToUDP(out, peer)
+	}
+}
+
+func (a *Agent) handle(req *Message) *Message {
+	if req.Community != a.community {
+		return nil // wrong community: drop, like SNMPv1
+	}
+	if req.PDUType != PDUGet && req.PDUType != PDUGetNext {
+		return nil
+	}
+	a.requests.Add(1)
+	resp := &Message{
+		Community: req.Community,
+		PDUType:   PDUResponse,
+		RequestID: req.RequestID,
+	}
+	snap, ok := a.site.Snapshot(a.host)
+	if !ok {
+		// Host down: a real agent would just not answer; timeouts are the
+		// failure mode the DriverManager policies must handle.
+		return nil
+	}
+	mib := BuildMIB(snap)
+	for i, vb := range req.Varbinds {
+		switch req.PDUType {
+		case PDUGet:
+			v, ok := mib.Get(vb.OID)
+			if !ok {
+				resp.ErrorStatus = ErrStatusNoSuchName
+				resp.ErrorIndex = uint8(i + 1)
+				resp.Varbinds = append(resp.Varbinds, Varbind{OID: vb.OID, Value: NullValue})
+				continue
+			}
+			resp.Varbinds = append(resp.Varbinds, Varbind{OID: vb.OID, Value: v})
+		case PDUGetNext:
+			nvb, ok := mib.Next(vb.OID)
+			if !ok {
+				resp.ErrorStatus = ErrStatusNoSuchName
+				resp.ErrorIndex = uint8(i + 1)
+				resp.Varbinds = append(resp.Varbinds, Varbind{OID: vb.OID, Value: NullValue})
+				continue
+			}
+			resp.Varbinds = append(resp.Varbinds, nvb)
+		}
+	}
+	return resp
+}
+
+// Client is a minimal SNMP manager used by the GridRM SNMP driver. Each
+// request is one UDP round trip with a deadline — the fine-grained
+// interaction style the paper contrasts with Ganglia/NWS (§3.2.3).
+type Client struct {
+	conn      *net.UDPConn
+	community string
+	timeout   time.Duration
+	mu        sync.Mutex
+	reqID     uint32
+}
+
+// Dial creates a client for the agent at addr.
+func Dial(addr, community string, timeout time.Duration) (*Client, error) {
+	if community == "" {
+		community = DefaultCommunity
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: %w", err)
+	}
+	return &Client{conn: conn, community: community, timeout: timeout}, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(pduType uint8, oids []OID) (*Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqID++
+	req := &Message{Community: c.community, PDUType: pduType, RequestID: c.reqID}
+	for _, oid := range oids {
+		req.Varbinds = append(req.Varbinds, Varbind{OID: oid, Value: NullValue})
+	}
+	out, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, fmt.Errorf("snmp: %w", err)
+	}
+	if _, err := c.conn.Write(out); err != nil {
+		return nil, fmt.Errorf("snmp: %w", err)
+	}
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: %w", err)
+		}
+		resp, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if resp.RequestID != c.reqID || resp.PDUType != PDUResponse {
+			continue // stale datagram
+		}
+		return resp, nil
+	}
+}
+
+// Get fetches exact OIDs in one round trip. Missing OIDs yield an error
+// with status ErrStatusNoSuchName.
+func (c *Client) Get(oids ...OID) ([]Varbind, error) {
+	resp, err := c.roundTrip(PDUGet, oids)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ErrorStatus != ErrStatusOK {
+		return resp.Varbinds, fmt.Errorf("snmp: error status %d at index %d", resp.ErrorStatus, resp.ErrorIndex)
+	}
+	return resp.Varbinds, nil
+}
+
+// GetNext fetches the lexicographic successors of the given OIDs. Like
+// Get, an agent-reported error status returns the response varbinds
+// alongside the error, so callers can tell "agent says no such name" apart
+// from a transport failure (which returns no varbinds).
+func (c *Client) GetNext(oids ...OID) ([]Varbind, error) {
+	resp, err := c.roundTrip(PDUGetNext, oids)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ErrorStatus != ErrStatusOK {
+		return resp.Varbinds, fmt.Errorf("snmp: error status %d at index %d", resp.ErrorStatus, resp.ErrorIndex)
+	}
+	return resp.Varbinds, nil
+}
+
+// Walk retrieves every varbind under prefix, one GetNext round trip per
+// entry (the classic SNMP walk cost model). End-of-MIB (the agent
+// answering noSuchName) terminates the walk cleanly; transport failures
+// are errors.
+func (c *Client) Walk(prefix OID) ([]Varbind, error) {
+	var out []Varbind
+	cur := prefix
+	for {
+		vbs, err := c.GetNext(cur)
+		if err != nil {
+			if len(vbs) > 0 {
+				// End of MIB view: the agent answered with noSuchName.
+				return out, nil
+			}
+			return nil, err
+		}
+		vb := vbs[0]
+		if !vb.OID.HasPrefix(prefix) {
+			return out, nil
+		}
+		out = append(out, vb)
+		cur = vb.OID
+	}
+}

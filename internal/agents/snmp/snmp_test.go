@@ -1,0 +1,302 @@
+package snmp
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridrm/internal/agents/sim"
+)
+
+func TestOIDParseAndString(t *testing.T) {
+	o, err := ParseOID("1.3.6.1.2.1.1.1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.String() != "1.3.6.1.2.1.1.1.0" {
+		t.Errorf("round trip %q", o.String())
+	}
+	for _, bad := range []string{"", ".", "1..2", "1.x", "1.", "99999999999"} {
+		if _, err := ParseOID(bad); err == nil {
+			t.Errorf("ParseOID(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestOIDCompare(t *testing.T) {
+	a := MustOID("1.3.6")
+	b := MustOID("1.3.6.1")
+	c := MustOID("1.3.7")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 {
+		t.Error("prefix ordering wrong")
+	}
+	if b.Compare(c) >= 0 {
+		t.Error("arc ordering wrong")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("self compare nonzero")
+	}
+	if !b.HasPrefix(a) || a.HasPrefix(b) || c.HasPrefix(a) {
+		t.Error("HasPrefix wrong")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Community: "public",
+		PDUType:   PDUGet,
+		RequestID: 42,
+		Varbinds: []Varbind{
+			{OID: MustOID("1.3.6.1"), Value: NullValue},
+			{OID: MustOID("1.3.6.1.2"), Value: IntValue(-7)},
+			{OID: MustOID("1.3"), Value: StringValue("héllo")},
+			{OID: MustOID("1.4"), Value: CounterValue(1 << 40)},
+			{OID: MustOID("1.5"), Value: TicksValue(360000)},
+		},
+	}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip:\n%+v\n%+v", m, got)
+	}
+}
+
+func TestUnmarshalRejectsJunk(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{'S'},
+		{'X', 'N', 1},
+		{'S', 'N', 9},
+		[]byte("GET /index.html HTTP/1.0\r\n"),
+	}
+	for _, buf := range cases {
+		if _, err := Unmarshal(buf); err == nil {
+			t.Errorf("Unmarshal(%v) succeeded", buf)
+		}
+	}
+	// Truncations of a valid message must error, never panic.
+	m := &Message{Community: "c", PDUType: PDUGet, RequestID: 1,
+		Varbinds: []Varbind{{OID: MustOID("1.2.3"), Value: StringValue("v")}}}
+	buf, _ := m.Marshal()
+	for i := 0; i < len(buf); i++ {
+		if _, err := Unmarshal(buf[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := Unmarshal(append(buf, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestMarshalUnmarshalProperty(t *testing.T) {
+	f := func(community string, reqID uint32, n int64, s string, u uint64) bool {
+		if len(community) > 255 {
+			community = community[:255]
+		}
+		m := &Message{Community: community, PDUType: PDUGetNext, RequestID: reqID,
+			Varbinds: []Varbind{
+				{OID: OID{1, 3, uint32(u % 100)}, Value: IntValue(n)},
+				{OID: OID{1, 4}, Value: StringValue(s)},
+				{OID: OID{1, 5}, Value: CounterValue(u)},
+			}}
+		buf, err := m.Marshal()
+		if err != nil {
+			return len(s) > 0xFFFF
+		}
+		got, err := Unmarshal(buf)
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMIBGetNextWalk(t *testing.T) {
+	mib := NewMIB([]Varbind{
+		{OID: MustOID("1.2.1"), Value: IntValue(1)},
+		{OID: MustOID("1.2.3"), Value: IntValue(3)},
+		{OID: MustOID("1.2.2"), Value: IntValue(2)},
+		{OID: MustOID("1.3.1"), Value: IntValue(4)},
+	})
+	if v, ok := mib.Get(MustOID("1.2.2")); !ok || v.Int != 2 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if _, ok := mib.Get(MustOID("1.2.4")); ok {
+		t.Error("Get of absent OID succeeded")
+	}
+	vb, ok := mib.Next(MustOID("1.2"))
+	if !ok || vb.OID.String() != "1.2.1" {
+		t.Errorf("Next(1.2) = %v", vb.OID)
+	}
+	vb, ok = mib.Next(MustOID("1.2.3"))
+	if !ok || vb.OID.String() != "1.3.1" {
+		t.Errorf("Next(1.2.3) = %v", vb.OID)
+	}
+	if _, ok := mib.Next(MustOID("1.3.1")); ok {
+		t.Error("Next past end succeeded")
+	}
+	walked := mib.Walk(MustOID("1.2"))
+	if len(walked) != 3 || walked[0].Value.Int != 1 || walked[2].Value.Int != 3 {
+		t.Errorf("Walk = %v", walked)
+	}
+}
+
+func TestBuildMIBShape(t *testing.T) {
+	site := sim.New(sim.Config{Name: "s", Hosts: 1, Seed: 1})
+	site.StepN(3)
+	snap, _ := site.Snapshot(site.HostNames()[0])
+	mib := BuildMIB(snap)
+	if v, ok := mib.Get(OIDSysName); !ok || v.Str != snap.Name {
+		t.Errorf("sysName = %v", v)
+	}
+	if v, ok := mib.Get(OIDSysUpTime); !ok || v.Uint != uint64(snap.OS.UptimeS)*100 {
+		t.Errorf("sysUpTime = %v", v)
+	}
+	if v, ok := mib.Get(OIDLoad.Append(1)); !ok || !strings.Contains(v.Str, ".") {
+		t.Errorf("laLoad.1 = %v", v)
+	}
+	// One storage row per disk plus physical memory.
+	descrs := mib.Walk(OIDHrStorage.Append(HrStorageColDescr))
+	if len(descrs) != len(snap.Disks)+1 {
+		t.Errorf("storage rows = %d, want %d", len(descrs), len(snap.Disks)+1)
+	}
+	// Process table sized by processes.
+	names := mib.Walk(OIDHrSWRun.Append(HrSWRunColName))
+	if len(names) != len(snap.Procs) {
+		t.Errorf("process rows = %d, want %d", len(names), len(snap.Procs))
+	}
+}
+
+func startAgent(t *testing.T) (*sim.Site, *Agent) {
+	t.Helper()
+	site := sim.New(sim.Config{Name: "s", Hosts: 2, Seed: 5})
+	site.StepN(5)
+	a, err := NewAgent(site, AgentConfig{Host: site.HostNames()[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	return site, a
+}
+
+func TestAgentGet(t *testing.T) {
+	site, a := startAgent(t)
+	c, err := Dial(a.Addr(), "", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	vbs, err := c.Get(OIDSysName, OIDHrMemorySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Str != site.HostNames()[0] {
+		t.Errorf("sysName over wire = %v", vbs[0].Value)
+	}
+	snap, _ := site.Snapshot(site.HostNames()[0])
+	if vbs[1].Value.Int != snap.Mem.RAMMB*1024 {
+		t.Errorf("hrMemorySize = %v, want %d", vbs[1].Value, snap.Mem.RAMMB*1024)
+	}
+	if a.Requests() != 1 {
+		t.Errorf("requests = %d", a.Requests())
+	}
+}
+
+func TestAgentGetMissing(t *testing.T) {
+	_, a := startAgent(t)
+	c, _ := Dial(a.Addr(), "", time.Second)
+	defer c.Close()
+	if _, err := c.Get(MustOID("1.9.9.9")); err == nil {
+		t.Error("Get of absent OID succeeded")
+	}
+}
+
+func TestAgentWrongCommunity(t *testing.T) {
+	_, a := startAgent(t)
+	c, _ := Dial(a.Addr(), "wrong", 150*time.Millisecond)
+	defer c.Close()
+	if _, err := c.Get(OIDSysName); err == nil {
+		t.Error("wrong community answered")
+	}
+	if a.Requests() != 0 {
+		t.Error("wrong community counted as request")
+	}
+}
+
+func TestAgentWalk(t *testing.T) {
+	site, a := startAgent(t)
+	c, _ := Dial(a.Addr(), "", time.Second)
+	defer c.Close()
+	vbs, err := c.Walk(OIDLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 3 {
+		t.Fatalf("load walk = %d entries", len(vbs))
+	}
+	snap, _ := site.Snapshot(site.HostNames()[0])
+	want := []float64{snap.Load1, snap.Load5, snap.Load15}
+	for i, vb := range vbs {
+		f, err := strconv.ParseFloat(vb.Value.Str, 64)
+		if err != nil {
+			t.Fatalf("laLoad %d = %q", i, vb.Value.Str)
+		}
+		if f != want[i] {
+			t.Errorf("laLoad %d = %v, want %v", i, f, want[i])
+		}
+	}
+}
+
+func TestAgentHostDownTimesOut(t *testing.T) {
+	site, a := startAgent(t)
+	_ = site.SetHostDown(a.Host(), true)
+	c, _ := Dial(a.Addr(), "", 150*time.Millisecond)
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Get(OIDSysName); err == nil {
+		t.Error("down host answered")
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Error("failure was not a timeout")
+	}
+}
+
+func TestAgentUnknownHost(t *testing.T) {
+	site := sim.New(sim.Config{Hosts: 1, Seed: 1})
+	if _, err := NewAgent(site, AgentConfig{Host: "nope"}); err == nil {
+		t.Error("agent for unknown host created")
+	}
+}
+
+func TestAgentCloseIdempotent(t *testing.T) {
+	_, a := startAgent(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestAgentIgnoresJunkDatagrams(t *testing.T) {
+	_, a := startAgent(t)
+	c, _ := Dial(a.Addr(), "", time.Second)
+	defer c.Close()
+	// Raw junk must not wedge the agent.
+	junk, _ := Dial(a.Addr(), "", 100*time.Millisecond)
+	_, _ = junk.conn.Write([]byte("garbage"))
+	junk.Close()
+	if _, err := c.Get(OIDSysName); err != nil {
+		t.Errorf("agent wedged after junk: %v", err)
+	}
+}

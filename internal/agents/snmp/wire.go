@@ -1,0 +1,427 @@
+// Package snmp implements a simplified SNMP agent and its wire protocol.
+//
+// The real paper's SNMP driver spoke SNMPv1/v2 BER to stock agents. Here the
+// protocol is a compact binary TLV encoding ("BER-lite") that preserves the
+// properties GridRM's driver layer cares about (paper §3.2.3): requests are
+// fine-grained (Get/GetNext of individual OIDs, one UDP round trip each),
+// values arrive already scalar so the driver does "little or no parsing",
+// and tables are discovered by walking with GetNext.
+//
+// Message layout (all integers big-endian):
+//
+//	magic    [2]byte  "SN"
+//	version  uint8    (1)
+//	communityLen uint8, community []byte
+//	pduType  uint8    (PDUGet, PDUGetNext, PDUResponse)
+//	requestID uint32
+//	errorStatus uint8 (0 ok, 2 noSuchName, 5 genErr)
+//	errorIndex  uint8
+//	varbindCount uint16
+//	varbinds ...
+//
+// Varbind layout:
+//
+//	oidLen uint8, oid [oidLen]uint32
+//	valueType uint8 (TypeNull, TypeInt, TypeString, TypeCounter, TypeTicks)
+//	value     (none | int64 | uint16 len + bytes | uint64 | uint64)
+package snmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PDU types.
+const (
+	PDUGet      = 0xA0
+	PDUGetNext  = 0xA1
+	PDUResponse = 0xA2
+)
+
+// Error statuses.
+const (
+	ErrStatusOK         = 0
+	ErrStatusNoSuchName = 2
+	ErrStatusGenErr     = 5
+)
+
+// Value types.
+const (
+	TypeNull    = 0
+	TypeInt     = 2
+	TypeString  = 4
+	TypeCounter = 0x41
+	TypeTicks   = 0x43
+)
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+var magic = [2]byte{'S', 'N'}
+
+// ErrTruncated reports a message shorter than its own encoding claims.
+var ErrTruncated = errors.New("snmp: truncated message")
+
+// OID is an object identifier as a sequence of arcs.
+type OID []uint32
+
+// String renders the OID in dotted form.
+func (o OID) String() string {
+	out := ""
+	for i, arc := range o {
+		if i > 0 {
+			out += "."
+		}
+		out += fmt.Sprint(arc)
+	}
+	return out
+}
+
+// ParseOID parses a dotted OID string.
+func ParseOID(s string) (OID, error) {
+	var o OID
+	var cur uint64
+	digits := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if digits == 0 {
+				return nil, fmt.Errorf("snmp: bad OID %q", s)
+			}
+			o = append(o, uint32(cur))
+			cur, digits = 0, 0
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("snmp: bad OID %q", s)
+		}
+		cur = cur*10 + uint64(c-'0')
+		if cur > 0xFFFFFFFF {
+			return nil, fmt.Errorf("snmp: OID arc overflow in %q", s)
+		}
+		digits++
+	}
+	return o, nil
+}
+
+// MustOID parses a dotted OID, panicking on error (for literals).
+func MustOID(s string) OID {
+	o, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Compare orders OIDs lexicographically by arc.
+func (o OID) Compare(other OID) int {
+	n := len(o)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case o[i] < other[i]:
+			return -1
+		case o[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(other):
+		return -1
+	case len(o) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// HasPrefix reports whether o starts with prefix.
+func (o OID) HasPrefix(prefix OID) bool {
+	if len(o) < len(prefix) {
+		return false
+	}
+	return o[:len(prefix)].Compare(prefix) == 0
+}
+
+// Append returns a new OID with extra arcs appended.
+func (o OID) Append(arcs ...uint32) OID {
+	out := make(OID, 0, len(o)+len(arcs))
+	out = append(out, o...)
+	return append(out, arcs...)
+}
+
+// Value is a typed SNMP value.
+type Value struct {
+	// Type is one of the Type* constants.
+	Type uint8
+	// Int holds TypeInt values.
+	Int int64
+	// Str holds TypeString values.
+	Str string
+	// Uint holds TypeCounter and TypeTicks values.
+	Uint uint64
+}
+
+// NullValue is the TypeNull value.
+var NullValue = Value{Type: TypeNull}
+
+// IntValue builds a TypeInt value.
+func IntValue(n int64) Value { return Value{Type: TypeInt, Int: n} }
+
+// StringValue builds a TypeString value.
+func StringValue(s string) Value { return Value{Type: TypeString, Str: s} }
+
+// CounterValue builds a TypeCounter value.
+func CounterValue(n uint64) Value { return Value{Type: TypeCounter, Uint: n} }
+
+// TicksValue builds a TypeTicks value (hundredths of a second, as SNMP's
+// TimeTicks).
+func TicksValue(n uint64) Value { return Value{Type: TypeTicks, Uint: n} }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return fmt.Sprintf("INTEGER: %d", v.Int)
+	case TypeString:
+		return fmt.Sprintf("STRING: %q", v.Str)
+	case TypeCounter:
+		return fmt.Sprintf("Counter: %d", v.Uint)
+	case TypeTicks:
+		return fmt.Sprintf("Timeticks: %d", v.Uint)
+	}
+	return fmt.Sprintf("type(%d)", v.Type)
+}
+
+// Varbind pairs an OID with a value.
+type Varbind struct {
+	OID   OID
+	Value Value
+}
+
+// Message is a full protocol message.
+type Message struct {
+	Community   string
+	PDUType     uint8
+	RequestID   uint32
+	ErrorStatus uint8
+	ErrorIndex  uint8
+	Varbinds    []Varbind
+}
+
+// Marshal encodes the message.
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Community) > 255 {
+		return nil, fmt.Errorf("snmp: community too long")
+	}
+	if len(m.Varbinds) > 0xFFFF {
+		return nil, fmt.Errorf("snmp: too many varbinds")
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, magic[0], magic[1], Version)
+	buf = append(buf, byte(len(m.Community)))
+	buf = append(buf, m.Community...)
+	buf = append(buf, m.PDUType)
+	buf = binary.BigEndian.AppendUint32(buf, m.RequestID)
+	buf = append(buf, m.ErrorStatus, m.ErrorIndex)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Varbinds)))
+	for _, vb := range m.Varbinds {
+		if len(vb.OID) > 255 {
+			return nil, fmt.Errorf("snmp: OID too long")
+		}
+		buf = append(buf, byte(len(vb.OID)))
+		for _, arc := range vb.OID {
+			buf = binary.BigEndian.AppendUint32(buf, arc)
+		}
+		buf = append(buf, vb.Value.Type)
+		switch vb.Value.Type {
+		case TypeNull:
+		case TypeInt:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(vb.Value.Int))
+		case TypeString:
+			if len(vb.Value.Str) > 0xFFFF {
+				return nil, fmt.Errorf("snmp: string too long")
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(vb.Value.Str)))
+			buf = append(buf, vb.Value.Str...)
+		case TypeCounter, TypeTicks:
+			buf = binary.BigEndian.AppendUint64(buf, vb.Value.Uint)
+		default:
+			return nil, fmt.Errorf("snmp: unknown value type %d", vb.Value.Type)
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a message.
+func Unmarshal(buf []byte) (*Message, error) {
+	r := reader{buf: buf}
+	var mg [2]byte
+	mg[0], mg[1] = r.byte(), r.byte()
+	if r.err == nil && mg != magic {
+		return nil, fmt.Errorf("snmp: bad magic %q", mg[:])
+	}
+	if v := r.byte(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("snmp: unsupported version %d", v)
+	}
+	m := &Message{}
+	clen := int(r.byte())
+	m.Community = string(r.bytes(clen))
+	m.PDUType = r.byte()
+	m.RequestID = r.uint32()
+	m.ErrorStatus = r.byte()
+	m.ErrorIndex = r.byte()
+	count := int(r.uint16())
+	for i := 0; i < count && r.err == nil; i++ {
+		olen := int(r.byte())
+		oid := make(OID, olen)
+		for j := 0; j < olen; j++ {
+			oid[j] = r.uint32()
+		}
+		var v Value
+		v.Type = r.byte()
+		switch v.Type {
+		case TypeNull:
+		case TypeInt:
+			v.Int = int64(r.uint64())
+		case TypeString:
+			slen := int(r.uint16())
+			v.Str = string(r.bytes(slen))
+		case TypeCounter, TypeTicks:
+			v.Uint = r.uint64()
+		default:
+			if r.err == nil {
+				return nil, fmt.Errorf("snmp: unknown value type %d", v.Type)
+			}
+		}
+		m.Varbinds = append(m.Varbinds, Varbind{OID: oid, Value: v})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(buf) {
+		return nil, fmt.Errorf("snmp: %d trailing bytes", len(buf)-r.pos)
+	}
+	return m, nil
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (r *reader) byte() byte {
+	if !r.need(1) {
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) bytes(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) uint16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) uint32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) uint64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// MIB is a sorted OID → value table supporting Get and GetNext.
+type MIB struct {
+	entries []Varbind
+}
+
+// NewMIB builds a MIB from varbinds, sorting them by OID.
+func NewMIB(entries []Varbind) *MIB {
+	sorted := append([]Varbind(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].OID.Compare(sorted[j].OID) < 0
+	})
+	return &MIB{entries: sorted}
+}
+
+// Len returns the number of MIB entries.
+func (m *MIB) Len() int { return len(m.entries) }
+
+// Get returns the value bound to an exact OID.
+func (m *MIB) Get(oid OID) (Value, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool {
+		return m.entries[i].OID.Compare(oid) >= 0
+	})
+	if i < len(m.entries) && m.entries[i].OID.Compare(oid) == 0 {
+		return m.entries[i].Value, true
+	}
+	return Value{}, false
+}
+
+// Next returns the first varbind with OID strictly greater than oid
+// (GetNext semantics).
+func (m *MIB) Next(oid OID) (Varbind, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool {
+		return m.entries[i].OID.Compare(oid) > 0
+	})
+	if i < len(m.entries) {
+		return m.entries[i], true
+	}
+	return Varbind{}, false
+}
+
+// Walk returns all varbinds under a prefix, in order.
+func (m *MIB) Walk(prefix OID) []Varbind {
+	var out []Varbind
+	cur := prefix
+	for {
+		vb, ok := m.Next(cur)
+		if !ok || !vb.OID.HasPrefix(prefix) {
+			return out
+		}
+		out = append(out, vb)
+		cur = vb.OID
+	}
+}

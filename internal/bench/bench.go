@@ -1,0 +1,173 @@
+// Package bench implements the GridRM experiment harness: one runnable
+// scenario per experiment in DESIGN.md's per-experiment index (E1–E10),
+// each regenerating the table/behaviour the paper's figure or claim
+// corresponds to. cmd/gridrm-bench drives the experiments from the command
+// line; the repository-root bench_test.go wraps the same scenarios as
+// testing.B benchmarks.
+//
+// The paper (CLUSTER 2003) reports no absolute numbers — its evaluation is
+// the architecture figures plus deployment experience — so each experiment
+// here states the qualitative claim it checks (who wins, by what shape)
+// and prints the measured table; EXPERIMENTS.md records the outcomes.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Experiment is one registered scenario.
+type Experiment struct {
+	// ID is the experiment key ("e1" ... "e10").
+	ID string
+	// Anchor names the paper figure/section reproduced.
+	Anchor string
+	// Claim is the qualitative expectation being checked.
+	Claim string
+	// Run executes the experiment, writing its table to w. Quick runs a
+	// reduced parameter sweep for CI.
+	Run func(w io.Writer, quick bool) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Lookup returns an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// e1 < e2 < ... < e10 (numeric suffix order).
+		return expNum(out[i]) < expNum(out[j])
+	})
+	return out
+}
+
+func expNum(id string) int {
+	n := 0
+	for i := 1; i < len(id); i++ {
+		n = n*10 + int(id[i]-'0')
+	}
+	return n
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, quick bool) error {
+	for _, id := range IDs() {
+		if err := Run(w, id, quick); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes one experiment by ID with a standard header.
+func Run(w io.Writer, id string, quick bool) error {
+	e, ok := Lookup(id)
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	fmt.Fprintf(w, "\n=== %s — %s ===\n", e.ID, e.Anchor)
+	fmt.Fprintf(w, "claim: %s\n\n", e.Claim)
+	start := time.Now()
+	if err := e.Run(w, quick); err != nil {
+		return fmt.Errorf("bench: %s: %w", id, err)
+	}
+	fmt.Fprintf(w, "\n[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// table is a small helper for aligned experiment output.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer, headers ...string) *table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &table{tw: tw}
+	t.row(toAny(headers)...)
+	sep := make([]any, len(headers))
+	for i, h := range headers {
+		sep[i] = dashes(len(h))
+	}
+	t.row(sep...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		switch x := c.(type) {
+		case float64:
+			fmt.Fprintf(t.tw, "%.2f", x)
+		case time.Duration:
+			switch {
+			case x >= time.Millisecond:
+				fmt.Fprintf(t.tw, "%s", x.Round(10*time.Microsecond))
+			case x >= time.Microsecond:
+				fmt.Fprintf(t.tw, "%s", x.Round(10*time.Nanosecond))
+			default:
+				fmt.Fprintf(t.tw, "%s", x)
+			}
+		default:
+			fmt.Fprintf(t.tw, "%v", x)
+		}
+	}
+	fmt.Fprintln(t.tw)
+}
+
+func (t *table) flush() { _ = t.tw.Flush() }
+
+// timeIt runs fn n times and returns the mean wall-clock duration.
+func timeIt(n int, fn func() error) (time.Duration, error) {
+	if n <= 0 {
+		n = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// pick returns quick values when quick is set, full otherwise.
+func pick[T any](quick bool, quickVals, fullVals []T) []T {
+	if quick {
+		return quickVals
+	}
+	return fullVals
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 10 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	for i, id := range ids {
+		want := "e" + string(rune('1'+i))
+		if i == 9 {
+			want = "e10"
+		}
+		if id != want {
+			t.Errorf("ids[%d] = %q, want %q (numeric order)", i, id, want)
+		}
+		e, ok := Lookup(id)
+		if !ok || e.Anchor == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete: %+v", id, e)
+		}
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("unknown experiment found")
+	}
+	if err := Run(io.Discard, "e99", true); err == nil {
+		t.Error("running unknown experiment succeeded")
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the whole harness in quick mode —
+// the experiments are themselves assertions (E9 and E10 return errors on
+// contract violations), so this is the harness's regression test.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick harness; skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(&buf, id, true); err != nil {
+				t.Fatalf("%s: %v\n%s", id, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, "=== "+id+" ") {
+				t.Errorf("missing header:\n%s", out)
+			}
+			if !strings.Contains(out, "completed in") {
+				t.Errorf("missing completion marker:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable(&buf, "name", "value")
+	tb.row("x", 1.5)
+	tb.row("y", 42)
+	tb.flush()
+	out := buf.String()
+	for _, want := range []string{"name", "-----", "1.50", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPickAndTimeIt(t *testing.T) {
+	if got := pick(true, []int{1}, []int{1, 2, 3}); len(got) != 1 {
+		t.Error("quick pick wrong")
+	}
+	if got := pick(false, []int{1}, []int{1, 2, 3}); len(got) != 3 {
+		t.Error("full pick wrong")
+	}
+	n := 0
+	d, err := timeIt(5, func() error { n++; return nil })
+	if err != nil || n != 5 || d < 0 {
+		t.Errorf("timeIt: %v %d %v", d, n, err)
+	}
+	if _, err := timeIt(1, func() error { return io.EOF }); err == nil {
+		t.Error("timeIt swallowed error")
+	}
+}

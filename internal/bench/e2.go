@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/drivers/memdrv"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "e2",
+		Anchor: "Fig 5 + Table 2: dynamically locating a GridRM data source",
+		Claim: "static preferences and the last-good driver cache avoid the AcceptsURL " +
+			"scan, whose cost grows with registry size; when a cached driver dies the " +
+			"configured policy (retry / try-next / report) governs failover",
+		Run: runE2,
+	})
+}
+
+// e2Registry builds a manager with n registered drivers where only the last
+// one accepts the target protocol.
+func e2Registry(n int) (*driver.Manager, *memdrv.Backend, string) {
+	dm := driver.NewManager()
+	backend := memdrv.NewBackend([]string{"h1"})
+	for i := 0; i < n-1; i++ {
+		d := memdrv.New(fmt.Sprintf("jdbc-filler-%02d", i), fmt.Sprintf("filler%02d", i), backend)
+		_ = dm.RegisterDriver(d)
+	}
+	_ = dm.RegisterDriver(memdrv.New("jdbc-target", "target", backend))
+	return dm, backend, "gridrm:target://agent:1"
+}
+
+func runE2(w io.Writer, quick bool) error {
+	sizes := pick(quick, []int{4, 16}, []int{1, 4, 16, 64})
+	iters := 2000
+	if quick {
+		iters = 200
+	}
+
+	t := newTable(w, "registered drivers", "dynamic scan", "last-good cache", "static pref", "probes/scan")
+	for _, n := range sizes {
+		// Dynamic: clear the cache before every connect.
+		dm, _, url := e2Registry(n)
+		dyn, err := timeIt(iters, func() error {
+			dm.ClearCache()
+			conn, err := dm.Connect(url, nil)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		})
+		if err != nil {
+			return err
+		}
+		stats := dm.Stats()
+		probes := float64(stats.ScanProbes) / float64(stats.Scans)
+
+		// Cached: warm once, then reconnects hit the last-good entry.
+		dm2, _, url2 := e2Registry(n)
+		if conn, err := dm2.Connect(url2, nil); err != nil {
+			return err
+		} else {
+			_ = conn.Close()
+		}
+		cached, err := timeIt(iters, func() error {
+			conn, err := dm2.Connect(url2, nil)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		})
+		if err != nil {
+			return err
+		}
+
+		// Static preference.
+		dm3, _, url3 := e2Registry(n)
+		dm3.SetPreferences(url3, []string{"jdbc-target"})
+		static, err := timeIt(iters, func() error {
+			conn, err := dm3.Connect(url3, nil)
+			if err != nil {
+				return err
+			}
+			return conn.Close()
+		})
+		if err != nil {
+			return err
+		}
+		t.row(n, dyn, cached, static, fmt.Sprintf("%.1f", probes))
+	}
+	t.flush()
+
+	// Failover behaviour: cached driver dies; TryNext relocates, Report
+	// surfaces the error (§3.1.3 configuration rules).
+	fmt.Fprintf(w, "\nfailover when the cached driver dies:\n")
+	ft := newTable(w, "policy", "retries", "outcome", "connect failures", "failovers")
+	for _, policy := range []driver.Policy{
+		{Retries: 0, OnFailure: driver.TryNext},
+		{Retries: 2, OnFailure: driver.TryNext},
+		{Retries: 0, OnFailure: driver.Report},
+	} {
+		dm := driver.NewManager()
+		good := memdrv.NewBackend([]string{"h1"})
+		dying := memdrv.NewBackend([]string{"h1"})
+		_ = dm.RegisterDriver(memdrv.New("jdbc-dying", "shared", dying))
+		_ = dm.RegisterDriver(memdrv.New("jdbc-backup", "shared", good))
+		dm.SetPolicy(policy)
+		url := "gridrm:shared://agent:1"
+		if conn, err := dm.Connect(url, nil); err != nil {
+			return err
+		} else {
+			_ = conn.Close()
+		}
+		dying.SetFailConnect(true)
+		outcome := "reconnected via jdbc-backup"
+		conn, err := dm.Connect(url, nil)
+		if err != nil {
+			outcome = "error reported to client"
+		} else {
+			outcome = "reconnected via " + conn.Driver()
+			_ = conn.Close()
+		}
+		st := dm.Stats()
+		ft.row(policy.OnFailure.String(), policy.Retries, outcome, st.ConnectFailures, st.Failovers)
+	}
+	ft.flush()
+	return nil
+}

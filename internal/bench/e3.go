@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/drivers/memdrv"
+	"gridrm/internal/pool"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "e3",
+		Anchor: "§3.1.2: the ConnectionManager pools driver connections",
+		Claim: "driver connections incur an overhead when a data source is first " +
+			"connected, so pooling wins whenever connect cost is non-trivial, and the " +
+			"hit ratio stays high under concurrency",
+		Run: runE3,
+	})
+}
+
+func runE3(w io.Writer, quick bool) error {
+	concurrencies := pick(quick, []int{1, 8}, []int{1, 4, 16, 64})
+	perWorker := 50
+	if quick {
+		perWorker = 10
+	}
+	connectCost := 500 * time.Microsecond
+
+	run := func(disabled bool, workers int) (time.Duration, pool.Stats, error) {
+		backend := memdrv.NewBackend([]string{"h1", "h2"})
+		backend.SetConnectDelay(connectCost)
+		dm := driver.NewManager()
+		if err := dm.RegisterDriver(memdrv.New("jdbc-mem", "mem", backend)); err != nil {
+			return 0, pool.Stats{}, err
+		}
+		cm := pool.New(dm, pool.Options{Disabled: disabled, MaxIdlePerSource: workers})
+		url := "gridrm:mem://agent:1"
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < perWorker; j++ {
+					conn, err := cm.Get(url, nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					stmt, err := conn.CreateStatement()
+					if err != nil {
+						conn.Discard()
+						errs <- err
+						return
+					}
+					if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+						conn.Discard()
+						errs <- err
+						return
+					}
+					conn.Release()
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, pool.Stats{}, err
+		}
+		total := time.Since(start)
+		perQuery := total / time.Duration(workers*perWorker)
+		return perQuery, cm.Stats(), nil
+	}
+
+	t := newTable(w, "concurrency", "pooled/query", "unpooled/query", "speedup", "pool hit ratio", "opens pooled", "opens unpooled")
+	for _, c := range concurrencies {
+		pooled, ps, err := run(false, c)
+		if err != nil {
+			return err
+		}
+		unpooled, us, err := run(true, c)
+		if err != nil {
+			return err
+		}
+		hitRatio := float64(ps.Hits) / float64(ps.Hits+ps.Misses)
+		t.row(c, pooled, unpooled,
+			fmt.Sprintf("%.1fx", float64(unpooled)/float64(pooled)),
+			fmt.Sprintf("%.2f", hitRatio), ps.Opens, us.Opens)
+	}
+	t.flush()
+
+	// Idle reaping keeps the pool bounded.
+	backend := memdrv.NewBackend([]string{"h1"})
+	dm := driver.NewManager()
+	_ = dm.RegisterDriver(memdrv.New("jdbc-mem", "mem", backend))
+	now := time.Unix(0, 0)
+	cm := pool.New(dm, pool.Options{MaxIdleTime: time.Minute, Clock: func() time.Time { return now }})
+	for i := 0; i < 4; i++ {
+		conn, err := cm.Get(fmt.Sprintf("gridrm:mem://agent%d:1", i), nil)
+		if err != nil {
+			return err
+		}
+		conn.Release()
+	}
+	now = now.Add(2 * time.Minute)
+	reaped := cm.Reap()
+	fmt.Fprintf(w, "\nidle reaping: %d idle connections evicted after MaxIdleTime (pool now %d)\n",
+		reaped, cm.IdleCount())
+	return nil
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/drivers/memdrv"
+	"gridrm/internal/gma"
+	"gridrm/internal/web"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "e7",
+		Anchor: "Fig 1: Global and Local layers over the GMA",
+		Claim: "clients connect to any gateway; remote-site queries route through the " +
+			"GMA directory to the owning gateway with one extra HTTP hop, and routing " +
+			"cost stays flat as the federation grows",
+		Run: runE7,
+	})
+}
+
+type fedSite struct {
+	gw  *core.Gateway
+	srv *httptest.Server
+}
+
+func buildFederation(n int) (*gma.Directory, []*fedSite, error) {
+	dir := gma.NewDirectory(0, nil)
+	sites := make([]*fedSite, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("site%02d", i)
+		gw := core.New(core.Config{Name: name})
+		backend := memdrv.NewBackend([]string{name + "-n1", name + "-n2"})
+		d := memdrv.New("jdbc-mem", "mem", backend)
+		if err := gw.RegisterDriver(d, d.Schema()); err != nil {
+			return nil, nil, err
+		}
+		if err := gw.AddSource(core.SourceConfig{URL: "gridrm:mem://" + name + ":1"}); err != nil {
+			return nil, nil, err
+		}
+		srv := httptest.NewServer(web.NewServer(gw, nil, nil))
+		if err := dir.Register(gma.ProducerInfo{Site: name, Endpoint: srv.URL}); err != nil {
+			return nil, nil, err
+		}
+		gw.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, name))
+		sites = append(sites, &fedSite{gw: gw, srv: srv})
+	}
+	return dir, sites, nil
+}
+
+func closeFederation(sites []*fedSite) {
+	for _, s := range sites {
+		s.srv.Close()
+		s.gw.Close()
+	}
+}
+
+func runE7(w io.Writer, quick bool) error {
+	sizes := pick(quick, []int{2, 4}, []int{2, 4, 8, 16})
+	iters := 100
+	if quick {
+		iters = 20
+	}
+
+	t := newTable(w, "federation size", "local query", "remote (1 hop)", "hop overhead",
+		"VO-wide (site=*)", "directory lookup")
+	for _, n := range sizes {
+		dir, sites, err := buildFederation(n)
+		if err != nil {
+			closeFederation(sites)
+			return err
+		}
+		entry := sites[0]
+		client := &web.Client{BaseURL: entry.srv.URL, Principal: benchPrincipal}
+		remoteSite := fmt.Sprintf("site%02d", n-1)
+
+		local, err := timeIt(iters, func() error {
+			_, err := client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime})
+			return err
+		})
+		if err != nil {
+			closeFederation(sites)
+			return err
+		}
+		remote, err := timeIt(iters, func() error {
+			_, err := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+				Site: remoteSite, Mode: core.ModeRealTime})
+			return err
+		})
+		if err != nil {
+			closeFederation(sites)
+			return err
+		}
+		// One SQL statement over the whole VO: the fan-out runs in
+		// parallel, so cost should track the slowest site, not the sum.
+		voWide, err := timeIt(iters, func() error {
+			resp, err := entry.gw.Query(core.Request{
+				Principal: benchPrincipal,
+				SQL:       "SELECT * FROM Processor",
+				Site:      core.AllSites,
+				Mode:      core.ModeRealTime,
+			})
+			if err != nil {
+				return err
+			}
+			if resp.ResultSet.Len() != 2*n {
+				return fmt.Errorf("VO rows = %d, want %d", resp.ResultSet.Len(), 2*n)
+			}
+			return nil
+		})
+		if err != nil {
+			closeFederation(sites)
+			return err
+		}
+		lookup, err := timeIt(iters*10, func() error {
+			_, ok, err := dir.Lookup(remoteSite)
+			if !ok {
+				return fmt.Errorf("site lost")
+			}
+			return err
+		})
+		if err != nil {
+			closeFederation(sites)
+			return err
+		}
+		t.row(n, local, remote, remote-local, voWide, lookup)
+		closeFederation(sites)
+	}
+	t.flush()
+
+	// Registration/refresh behaviour.
+	dir := gma.NewDirectory(50*time.Millisecond, nil)
+	reg := gma.NewRegistrar(dir, gma.ProducerInfo{Site: "x", Endpoint: "http://x"}, 10*time.Millisecond)
+	if err := reg.Start(); err != nil {
+		return err
+	}
+	time.Sleep(120 * time.Millisecond)
+	_, stillThere, _ := dir.Lookup("x")
+	reg.Stop()
+	time.Sleep(80 * time.Millisecond)
+	_, afterStop, _ := dir.Lookup("x")
+	fmt.Fprintf(w, "\nproducer freshness: alive under refresh=%v, gone after deregistration=%v\n",
+		stillThere, !afterStop)
+	return nil
+}

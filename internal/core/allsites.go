@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gridrm/internal/resultset"
+	"gridrm/internal/security"
+	"gridrm/internal/sqlparse"
+)
+
+// queryAllSites executes one SQL statement across the whole virtual
+// organisation: locally, plus at every remote site the Global layer can
+// reach, consolidating the answers into one ResultSet. ORDER BY and LIMIT
+// are stripped from the fan-out sub-queries and re-applied over the merged
+// rows, so "the 3 busiest hosts anywhere" means exactly that.
+func (g *Gateway) queryAllSites(req Request, start time.Time) (*Response, error) {
+	if g.coarse.Check(req.Principal, security.OpGlobalQuery) != security.Allow {
+		g.denied.Add(1)
+		return nil, &PermissionError{Principal: req.Principal.Name, What: "global query"}
+	}
+	q, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	// Per-site sub-query: same projection and WHERE, no ORDER/LIMIT —
+	// those only make sense over the consolidated rows.
+	sub := *q
+	sub.OrderBy = ""
+	sub.Desc = false
+	sub.Limit = -1
+	subReq := req
+	subReq.SQL = sub.String()
+	subReq.Sources = nil // source URLs are site-local knowledge
+
+	g.mu.RLock()
+	router := g.router
+	g.mu.RUnlock()
+	sites := []string{g.name}
+	if router != nil {
+		sites = append(sites, router.Sites()...)
+	}
+
+	type siteResult struct {
+		site string
+		resp *Response
+		err  error
+	}
+	results := make([]siteResult, len(sites))
+	var wg sync.WaitGroup
+	for i, site := range sites {
+		wg.Add(1)
+		go func(i int, site string) {
+			defer wg.Done()
+			r := subReq
+			r.Site = site
+			resp, err := g.Query(r)
+			results[i] = siteResult{site: site, resp: resp, err: err}
+		}(i, site)
+	}
+	wg.Wait()
+
+	var merged *resultset.ResultSet
+	var statuses []SourceStatus
+	answered := 0
+	for _, sr := range results {
+		if sr.err != nil {
+			// A failed site is a per-site diagnostic, not a query
+			// failure — consistent with per-source behaviour.
+			statuses = append(statuses, SourceStatus{
+				Source: "site:" + sr.site,
+				Err:    sr.err.Error(),
+			})
+			continue
+		}
+		answered++
+		for _, st := range sr.resp.Sources {
+			st.Source = "site:" + sr.site + " " + st.Source
+			statuses = append(statuses, st)
+		}
+		if merged == nil {
+			merged = resultset.New(sr.resp.ResultSet.Metadata())
+		}
+		if err := merged.Merge(sr.resp.ResultSet); err != nil {
+			statuses = append(statuses, SourceStatus{
+				Source: "site:" + sr.site,
+				Err:    err.Error(),
+			})
+		}
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("core: no site answered the all-sites query")
+	}
+	if q.OrderBy != "" && merged.Metadata().ColumnIndex(q.OrderBy) >= 0 {
+		if err := merged.SortBy(q.OrderBy, q.Desc); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit >= 0 {
+		merged = merged.Limit(q.Limit)
+	}
+	return &Response{
+		Site:      AllSites,
+		SQL:       q.String(),
+		Mode:      req.Mode,
+		ResultSet: merged,
+		Sources:   statuses,
+		Elapsed:   g.clock().Sub(start),
+	}, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/resultset"
+	"gridrm/internal/security"
+)
+
+// TestAllSourcesFailing: a query where every source errors still returns a
+// well-formed (empty) consolidated response with per-source diagnostics —
+// partial failure must never become total failure.
+func TestAllSourcesFailing(t *testing.T) {
+	f := newFixture(t)
+	f.drv.fail.Store(true)
+	f.drv2.fail.Store(true)
+	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
+	if err != nil {
+		t.Fatalf("total failure escalated: %v", err)
+	}
+	if resp.ResultSet.Len() != 0 {
+		t.Errorf("rows = %d", resp.ResultSet.Len())
+	}
+	for _, s := range resp.Sources {
+		if s.Err == "" {
+			t.Errorf("source %s silent about failure", s.Source)
+		}
+	}
+	if f.g.Stats().HarvestErrors != 2 {
+		t.Errorf("harvest errors = %d", f.g.Stats().HarvestErrors)
+	}
+}
+
+// TestRecoveryAfterFailure: once the agent recovers, the same source works
+// again without gateway intervention (the pool discarded the dead conn).
+func TestRecoveryAfterFailure(t *testing.T) {
+	f := newFixture(t)
+	f.drv.fail.Store(true)
+	_ = mustQuery(t, f, ModeRealTime)
+	f.drv.fail.Store(false)
+	resp := mustQuery(t, f, ModeRealTime)
+	for _, s := range resp.Sources {
+		if s.Source == f.urlA && s.Err != "" {
+			t.Errorf("recovered source still failing: %s", s.Err)
+		}
+	}
+	info, _ := f.g.Source(f.urlA)
+	if info.LastError != "" {
+		t.Errorf("health not cleared after recovery: %q", info.LastError)
+	}
+}
+
+func mustQuery(t *testing.T, f *fixture, mode Mode) *Response {
+	t.Helper()
+	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// malformedDriver returns ResultSets whose shape does not match the GLUE
+// group — a buggy third-party plug-in.
+type malformedDriver struct{}
+
+func (malformedDriver) Name() string { return "jdbc-broken" }
+func (malformedDriver) AcceptsURL(u string) bool {
+	parsed, err := driver.ParseURL(u)
+	return err == nil && parsed.Protocol == "broken"
+}
+func (malformedDriver) Connect(url string, _ driver.Properties) (driver.Conn, error) {
+	return &malformedConn{url: url}, nil
+}
+
+type malformedConn struct {
+	driver.UnimplementedConn
+	url string
+}
+
+func (c *malformedConn) URL() string                           { return c.url }
+func (c *malformedConn) Driver() string                        { return "jdbc-broken" }
+func (c *malformedConn) Ping() error                           { return nil }
+func (c *malformedConn) CreateStatement() (driver.Stmt, error) { return malformedStmt{}, nil }
+
+type malformedStmt struct{ driver.UnimplementedStmt }
+
+func (malformedStmt) ExecuteQuery(string) (*resultset.ResultSet, error) {
+	meta, _ := resultset.NewMetadata([]resultset.Column{{Name: "Wrong"}})
+	return resultset.NewBuilder(meta).Append("shape").Build()
+}
+
+// TestMalformedDriverIsolated: a driver that returns a non-canonical shape
+// is reported against its source; other sources still answer.
+func TestMalformedDriverIsolated(t *testing.T) {
+	f := newFixture(t)
+	broken := malformedDriver{}
+	if err := f.g.RegisterDriver(broken, f.drv.schema()); err == nil {
+		t.Fatal("schema name mismatch accepted")
+	}
+	ds := f.drv.schema()
+	ds.Driver = "jdbc-broken"
+	if err := f.g.RegisterDriver(broken, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.g.AddSource(SourceConfig{URL: "gridrm:broken://x:1"}); err != nil {
+		t.Fatal(err)
+	}
+	resp := mustQuery(t, f, ModeRealTime)
+	if resp.ResultSet.Len() != 3 {
+		t.Errorf("healthy rows = %d", resp.ResultSet.Len())
+	}
+	var brokenStatus *SourceStatus
+	for i := range resp.Sources {
+		if resp.Sources[i].Source == "gridrm:broken://x:1" {
+			brokenStatus = &resp.Sources[i]
+		}
+	}
+	if brokenStatus == nil || !strings.Contains(brokenStatus.Err, "merge") {
+		t.Errorf("broken driver not isolated: %+v", brokenStatus)
+	}
+}
+
+// TestConcurrentQueriesAndManagement: queries race driver/source
+// management without corruption (runtime mutability claim of §2).
+func TestConcurrentQueriesAndManagement(t *testing.T) {
+	f := newFixture(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			url := "gridrm:mem://extra:1"
+			_ = f.g.AddSource(SourceConfig{URL: url})
+			_ = f.g.RemoveSource(url)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := f.g.Query(Request{Principal: f.admin,
+			SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
+			t.Errorf("query %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCloseIsIdempotentAndFinal: Close twice, then queries fail cleanly —
+// no panics, no goroutine leaks.
+func TestCloseIsIdempotentAndFinal(t *testing.T) {
+	now := time.Unix(0, 0)
+	g := New(Config{Name: "closing", Clock: func() time.Time { return now }})
+	d := &memDriver{name: "jdbc-mem", proto: "mem", hosts: []string{"h"}}
+	_ = g.RegisterDriver(d, d.schema())
+	_ = g.AddSource(SourceConfig{URL: "gridrm:mem://a:1"})
+	if _, err := g.Query(Request{Principal: security.Principal{Name: "x"},
+		SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	g.Close()
+}

@@ -1,0 +1,390 @@
+// Package core implements the GridRM Gateway's local layer (paper §3): the
+// RequestManager that coordinates SQL queries across data sources and
+// consolidates results, wired to the ConnectionManager (internal/pool), the
+// GridRMDriverManager (internal/driver), the SchemaManager
+// (internal/schema), the query cache (internal/qcache), the historical
+// store (internal/history), the Event Manager (internal/event) and the two
+// security layers (internal/security).
+//
+// A Gateway provides an access point to the resource data within its local
+// control; requests for remote resource data are routed to the Global layer
+// through a GlobalRouter (implemented by internal/gma), reproducing Fig 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/event"
+	"gridrm/internal/history"
+	"gridrm/internal/pool"
+	"gridrm/internal/qcache"
+	"gridrm/internal/schema"
+	"gridrm/internal/security"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Name is the gateway's site name ("Site A" in Fig 1).
+	Name string
+	// Pool configures the ConnectionManager.
+	Pool pool.Options
+	// Cache configures the query cache.
+	Cache qcache.Options
+	// History configures the historical store.
+	History history.Options
+	// Events configures the Event Manager.
+	Events event.Options
+	// RecordHistory stores every real-time harvest in the historical
+	// store (default true; set DisableHistory to turn off).
+	DisableHistory bool
+	// Coarse is the CGSL policy (open by default).
+	Coarse *security.CoarsePolicy
+	// Fine is the FGSL policy (open by default).
+	Fine *security.FinePolicy
+	// Clock is injectable for tests; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// SourceConfig registers one data source with the gateway.
+type SourceConfig struct {
+	// URL is the GridRM data-source URL.
+	URL string
+	// Props are passed to the driver on connect (community strings,
+	// timeouts, cache TTLs ...).
+	Props driver.Properties
+	// Drivers optionally lists driver names to use in prioritised order
+	// (paper Fig 8); empty means dynamic selection.
+	Drivers []string
+	// Description is free text for the management view.
+	Description string
+}
+
+// SourceInfo describes a registered data source and its health, backing
+// the management tree view (paper Fig 9: poll-failure and alert icons).
+type SourceInfo struct {
+	SourceConfig
+	// LastDriver is the driver that last served the source.
+	LastDriver string
+	// LastSuccess is when a harvest last succeeded.
+	LastSuccess time.Time
+	// LastError is the most recent harvest failure ("" when healthy).
+	LastError string
+	// LastErrorAt is when LastError happened.
+	LastErrorAt time.Time
+}
+
+// DriverInfo describes a registered driver for the management view.
+type DriverInfo struct {
+	// Name is the driver's registration name.
+	Name string
+	// Version is the driver's self-reported version, if any.
+	Version string
+	// Groups lists the GLUE groups the driver's schema maps.
+	Groups []string
+}
+
+// Stats counts gateway activity.
+type Stats struct {
+	// Queries counts Query calls accepted.
+	Queries int64
+	// QueryErrors counts Query calls that failed outright.
+	QueryErrors int64
+	// Harvests counts per-source real-time harvests performed.
+	Harvests int64
+	// HarvestErrors counts harvests that failed.
+	HarvestErrors int64
+	// CacheServed counts per-source results served from the query cache.
+	CacheServed int64
+	// Routed counts queries forwarded to remote gateways.
+	Routed int64
+	// Denied counts security denials (coarse or fine).
+	Denied int64
+}
+
+// GlobalRouter forwards queries for remote sites; internal/gma provides the
+// GMA-based implementation.
+type GlobalRouter interface {
+	// RemoteQuery executes req at the gateway owning site and returns
+	// its response.
+	RemoteQuery(site string, req Request) (*Response, error)
+	// Sites lists the remote sites the router can reach.
+	Sites() []string
+}
+
+// Gateway is a GridRM gateway's local layer.
+type Gateway struct {
+	name    string
+	clock   func() time.Time
+	drivers *driver.Manager
+	schemas *schema.Manager
+	pool    *pool.Manager
+	cache   *qcache.Cache
+	history *history.Store
+	events  *event.Manager
+	coarse  *security.CoarsePolicy
+	fine    *security.FinePolicy
+
+	recordHistory bool
+
+	mu      sync.RWMutex
+	sources map[string]*SourceInfo
+	watches map[string][]metricWatch
+	router  GlobalRouter
+	closed  bool
+
+	queries, queryErrors, harvests     atomic.Int64
+	harvestErrors, cacheServed, routed atomic.Int64
+	denied                             atomic.Int64
+}
+
+// New creates a Gateway.
+func New(cfg Config) *Gateway {
+	if cfg.Name == "" {
+		cfg.Name = "gateway"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Coarse == nil {
+		cfg.Coarse = security.OpenCoarsePolicy()
+	}
+	if cfg.Fine == nil {
+		cfg.Fine = security.OpenFinePolicy()
+	}
+	if cfg.Cache.Clock == nil {
+		cfg.Cache.Clock = cfg.Clock
+	}
+	if cfg.History.Clock == nil {
+		cfg.History.Clock = cfg.Clock
+	}
+	if cfg.Pool.Clock == nil {
+		cfg.Pool.Clock = cfg.Clock
+	}
+	dm := driver.NewManager()
+	return &Gateway{
+		name:          cfg.Name,
+		clock:         cfg.Clock,
+		drivers:       dm,
+		schemas:       schema.NewManager(),
+		pool:          pool.New(dm, cfg.Pool),
+		cache:         qcache.New(cfg.Cache),
+		history:       history.New(cfg.History),
+		events:        event.NewManager(cfg.Events),
+		coarse:        cfg.Coarse,
+		fine:          cfg.Fine,
+		recordHistory: !cfg.DisableHistory,
+		sources:       make(map[string]*SourceInfo),
+	}
+}
+
+// Name returns the gateway's site name.
+func (g *Gateway) Name() string { return g.name }
+
+// Close shuts the gateway down: pooled connections are closed and the Event
+// Manager drained.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.pool.CloseAll()
+	g.events.Close()
+}
+
+// RegisterDriver installs a data-source driver and its GLUE schema mapping.
+// Drivers can be added at runtime without affecting normal operation.
+func (g *Gateway) RegisterDriver(d driver.Driver, ds *schema.DriverSchema) error {
+	if ds == nil || d == nil {
+		return fmt.Errorf("core: driver and schema are both required")
+	}
+	if ds.Driver != d.Name() {
+		return fmt.Errorf("core: schema names driver %q, driver is %q", ds.Driver, d.Name())
+	}
+	if err := g.schemas.Register(ds); err != nil {
+		return err
+	}
+	if err := g.drivers.RegisterDriver(d); err != nil {
+		g.schemas.Deregister(ds.Driver)
+		return err
+	}
+	g.events.Publish(event.Event{
+		Source:   "gateway:" + g.name,
+		Name:     "driver-registered",
+		Severity: event.SeverityStatus,
+		Time:     g.clock(),
+		Detail:   d.Name(),
+	})
+	return nil
+}
+
+// DeregisterDriver removes a driver and its schema at runtime.
+func (g *Gateway) DeregisterDriver(name string) error {
+	if err := g.drivers.DeregisterDriver(name); err != nil {
+		return err
+	}
+	g.schemas.Deregister(name)
+	g.events.Publish(event.Event{
+		Source:   "gateway:" + g.name,
+		Name:     "driver-deregistered",
+		Severity: event.SeverityStatus,
+		Time:     g.clock(),
+		Detail:   name,
+	})
+	return nil
+}
+
+// Drivers lists registered drivers for the management view.
+func (g *Gateway) Drivers() []DriverInfo {
+	var out []DriverInfo
+	for _, name := range g.drivers.Drivers() {
+		info := DriverInfo{Name: name}
+		if d, ok := g.drivers.Driver(name); ok {
+			if v, ok := d.(driver.Versioned); ok {
+				info.Version = v.Version()
+			}
+		}
+		if ds, _, ok := g.schemas.Lookup(name); ok {
+			info.Groups = ds.GroupNames()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// AddSource registers a data source. Static driver preferences, when given,
+// are installed with the DriverManager.
+func (g *Gateway) AddSource(cfg SourceConfig) error {
+	if _, err := driver.ParseURL(cfg.URL); err != nil {
+		return err
+	}
+	for _, name := range cfg.Drivers {
+		if _, ok := g.drivers.Driver(name); !ok {
+			return fmt.Errorf("core: source %s prefers unregistered driver %q", cfg.URL, name)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.sources[cfg.URL]; dup {
+		return fmt.Errorf("core: source %s already registered", cfg.URL)
+	}
+	g.sources[cfg.URL] = &SourceInfo{SourceConfig: cfg}
+	g.drivers.SetPreferences(cfg.URL, cfg.Drivers)
+	return nil
+}
+
+// RemoveSource unregisters a data source and drops its cached results.
+func (g *Gateway) RemoveSource(url string) error {
+	g.mu.Lock()
+	_, ok := g.sources[url]
+	if ok {
+		delete(g.sources, url)
+	}
+	g.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: source %s not registered", url)
+	}
+	g.drivers.SetPreferences(url, nil)
+	g.cache.InvalidateSource(url)
+	return nil
+}
+
+// Sources lists registered data sources with health, sorted by URL.
+func (g *Gateway) Sources() []SourceInfo {
+	g.mu.RLock()
+	out := make([]SourceInfo, 0, len(g.sources))
+	for _, s := range g.sources {
+		out = append(out, *s)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Source returns one registered source's info.
+func (g *Gateway) Source(url string) (SourceInfo, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.sources[url]
+	if !ok {
+		return SourceInfo{}, false
+	}
+	return *s, true
+}
+
+// SetGlobalRouter wires the gateway to the Global layer.
+func (g *Gateway) SetGlobalRouter(r GlobalRouter) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.router = r
+}
+
+// Events returns the gateway's Event Manager.
+func (g *Gateway) Events() *event.Manager { return g.events }
+
+// HistoryStore returns the gateway's historical store.
+func (g *Gateway) HistoryStore() *history.Store { return g.history }
+
+// Cache returns the gateway's query cache.
+func (g *Gateway) Cache() *qcache.Cache { return g.cache }
+
+// Pool returns the gateway's ConnectionManager.
+func (g *Gateway) Pool() *pool.Manager { return g.pool }
+
+// DriverManager returns the gateway's GridRMDriverManager.
+func (g *Gateway) DriverManager() *driver.Manager { return g.drivers }
+
+// SchemaManager returns the gateway's SchemaManager.
+func (g *Gateway) SchemaManager() *schema.Manager { return g.schemas }
+
+// CoarsePolicy returns the CGSL policy.
+func (g *Gateway) CoarsePolicy() *security.CoarsePolicy { return g.coarse }
+
+// FinePolicy returns the FGSL policy.
+func (g *Gateway) FinePolicy() *security.FinePolicy { return g.fine }
+
+// Stats returns gateway counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Queries:       g.queries.Load(),
+		QueryErrors:   g.queryErrors.Load(),
+		Harvests:      g.harvests.Load(),
+		HarvestErrors: g.harvestErrors.Load(),
+		CacheServed:   g.cacheServed.Load(),
+		Routed:        g.routed.Load(),
+		Denied:        g.denied.Load(),
+	}
+}
+
+func (g *Gateway) noteSuccess(url, driverName string, at time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.sources[url]; ok {
+		s.LastDriver = driverName
+		s.LastSuccess = at
+		s.LastError = ""
+	}
+}
+
+func (g *Gateway) noteFailure(url string, err error, at time.Time) {
+	g.mu.Lock()
+	if s, ok := g.sources[url]; ok {
+		s.LastError = err.Error()
+		s.LastErrorAt = at
+	}
+	g.mu.Unlock()
+	g.events.Publish(event.Event{
+		Source:   url,
+		Name:     "poll-failed",
+		Severity: event.SeverityStatus,
+		Time:     at,
+		Detail:   err.Error(),
+	})
+}

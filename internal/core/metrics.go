@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"gridrm/internal/event"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+// metricWatch publishes one GLUE field of every harvested row as a Usage
+// event — the right-hand side of the paper's Fig 3, where harvested data
+// flows into the Notification Manager so threshold rules can raise
+// "Threshold exceeded. Alert transmitted" without any separate polling
+// loop: monitoring piggybacks on the queries clients already run.
+type metricWatch struct {
+	group     *glue.Group
+	fieldIdx  int
+	fieldName string
+	hostIdx   int
+}
+
+// WatchMetric asks the gateway to publish `group.field` as a Usage event
+// (named "<Group>.<Field>", host taken from the group's first string key
+// field) for every row of every successful harvest of that group. Combine
+// with Events().AddRule to turn harvests into alerts.
+func (g *Gateway) WatchMetric(group, field string) error {
+	gg, ok := glue.Lookup(group)
+	if !ok {
+		return fmt.Errorf("core: unknown group %q", group)
+	}
+	f, ok := gg.Field(field)
+	if !ok {
+		return fmt.Errorf("core: group %s has no field %q", group, field)
+	}
+	if f.Kind != glue.Int && f.Kind != glue.Float {
+		return fmt.Errorf("core: field %s.%s is %s; only numeric fields can be watched",
+			group, field, f.Kind)
+	}
+	hostIdx := -1
+	for i, kf := range gg.Fields {
+		if kf.Key && kf.Kind == glue.String {
+			hostIdx = i
+			break
+		}
+	}
+	if hostIdx < 0 {
+		return fmt.Errorf("core: group %s has no string key field to attribute events to", group)
+	}
+	w := metricWatch{
+		group:     gg,
+		fieldIdx:  gg.FieldIndex(f.Name),
+		fieldName: f.Name,
+		hostIdx:   hostIdx,
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, existing := range g.watches[gg.Name] {
+		if existing.fieldName == w.fieldName {
+			return fmt.Errorf("core: %s.%s already watched", group, field)
+		}
+	}
+	if g.watches == nil {
+		g.watches = make(map[string][]metricWatch)
+	}
+	g.watches[gg.Name] = append(g.watches[gg.Name], w)
+	return nil
+}
+
+// WatchedMetrics lists active watches as "Group.Field" strings.
+func (g *Gateway) WatchedMetrics() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []string
+	for group, ws := range g.watches {
+		for _, w := range ws {
+			out = append(out, group+"."+w.fieldName)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// publishHarvestMetrics emits watched fields of a freshly harvested
+// ResultSet as Usage events.
+func (g *Gateway) publishHarvestMetrics(url string, group *glue.Group, rs *resultset.ResultSet) {
+	g.mu.RLock()
+	watches := g.watches[group.Name]
+	g.mu.RUnlock()
+	if len(watches) == 0 {
+		return
+	}
+	now := g.clock()
+	for i := 0; i < rs.Len(); i++ {
+		row := rs.RowAt(i)
+		for _, w := range watches {
+			v := row[w.fieldIdx]
+			if v == nil {
+				continue // NULL: the source cannot supply this field
+			}
+			var value float64
+			switch x := v.(type) {
+			case int64:
+				value = float64(x)
+			case float64:
+				value = x
+			default:
+				continue
+			}
+			host, _ := row[w.hostIdx].(string)
+			g.events.Publish(event.Event{
+				Source:   url,
+				Host:     host,
+				Name:     group.Name + "." + w.fieldName,
+				Severity: event.SeverityUsage,
+				Value:    value,
+				Time:     now,
+			})
+		}
+	}
+}

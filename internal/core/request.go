@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+	"gridrm/internal/security"
+	"gridrm/internal/sqlparse"
+)
+
+// Mode selects how a query is satisfied.
+type Mode int
+
+const (
+	// ModeCached (the default) serves per-source results from the query
+	// cache when fresh, harvesting only on miss — the paper's tree-view
+	// behaviour that "limits resource intrusion" (§4).
+	ModeCached Mode = iota
+	// ModeRealTime forces a fresh harvest from every target source (the
+	// explicit poll of Fig 9).
+	ModeRealTime
+	// ModeHistorical answers from the gateway's internal historical
+	// store; results carry SourceURL and SampledAt provenance columns.
+	ModeHistorical
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeCached:
+		return "cached"
+	case ModeRealTime:
+		return "real-time"
+	case ModeHistorical:
+		return "historical"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Request is a client query as received by the Abstract Client Interface
+// Layer: the network addresses of the data sources plus the SQL to execute
+// (paper §3.2.2).
+type Request struct {
+	// Principal identifies the client for the security layers.
+	Principal security.Principal
+	// SQL is the query, e.g. "SELECT * FROM Processor WHERE
+	// LoadLast1Min > 2".
+	SQL string
+	// Site targets a remote gateway; empty or the local name means
+	// local, and AllSites ("*") fans the query out to the local site and
+	// every site reachable through the Global layer, consolidating the
+	// answers (§3.1.1: the RequestManager coordinates retrieval from
+	// "not only local resources, but also resources controlled by remote
+	// GridRM Gateways").
+	Site string
+	// Sources restricts the query to these registered source URLs;
+	// empty means every registered source whose driver maps the group.
+	Sources []string
+	// Mode selects cached, real-time or historical execution.
+	Mode Mode
+	// Since/Until bound historical queries (zero = unbounded).
+	Since, Until time.Time
+}
+
+// SourceStatus reports the per-source outcome of a query.
+type SourceStatus struct {
+	// Source is the data-source URL.
+	Source string
+	// Driver is the driver that served it (when known).
+	Driver string
+	// Cached reports whether the result came from the query cache.
+	Cached bool
+	// HarvestedAt is when the rows were actually collected.
+	HarvestedAt time.Time
+	// Rows is how many rows the source contributed before filtering.
+	Rows int
+	// Err is the failure, if the source could not be queried.
+	Err string
+}
+
+// Response is the consolidated result of a query.
+type Response struct {
+	// Site is the gateway that answered.
+	Site string
+	// SQL is the canonicalised query text.
+	SQL string
+	// Mode echoes the execution mode.
+	Mode Mode
+	// ResultSet is the consolidated, filtered result.
+	ResultSet *resultset.ResultSet
+	// Sources reports per-source outcomes (empty for historical
+	// queries).
+	Sources []SourceStatus
+	// Elapsed is the gateway-side processing time.
+	Elapsed time.Duration
+}
+
+// AllSites is the Request.Site wildcard for virtual-organisation-wide
+// queries.
+const AllSites = "*"
+
+// PermissionError reports a security denial.
+type PermissionError struct {
+	// Principal is the denied client.
+	Principal string
+	// What describes the denied action.
+	What string
+}
+
+// Error implements the error interface.
+func (e *PermissionError) Error() string {
+	return fmt.Sprintf("core: permission denied for %q: %s", e.Principal, e.What)
+}
+
+// harvestSQL is the canonical per-source query the gateway executes: the
+// full GLUE group. Client WHERE/ORDER/LIMIT/projection are applied over the
+// consolidated rows, so every client query on a group shares one cache
+// entry and one history record per source.
+func harvestSQL(group string) string { return "SELECT * FROM " + group }
+
+// Query executes a request: the RequestManager path of Fig 3. SQL comes in,
+// a consolidated ResultSet comes out.
+func (g *Gateway) Query(req Request) (*Response, error) {
+	start := g.clock()
+	resp, err := g.query(req, start)
+	if err != nil {
+		g.queryErrors.Add(1)
+		return nil, err
+	}
+	resp.Elapsed = g.clock().Sub(start)
+	return resp, nil
+}
+
+func (g *Gateway) query(req Request, start time.Time) (*Response, error) {
+	g.queries.Add(1)
+
+	if req.Site == AllSites {
+		return g.queryAllSites(req, start)
+	}
+
+	// Remote site: coarse check, then route through the Global layer.
+	if req.Site != "" && req.Site != g.name {
+		if g.coarse.Check(req.Principal, security.OpGlobalQuery) != security.Allow {
+			g.denied.Add(1)
+			return nil, &PermissionError{Principal: req.Principal.Name, What: "global query"}
+		}
+		g.mu.RLock()
+		router := g.router
+		g.mu.RUnlock()
+		if router == nil {
+			return nil, fmt.Errorf("core: no global layer configured for remote site %q", req.Site)
+		}
+		g.routed.Add(1)
+		return router.RemoteQuery(req.Site, req)
+	}
+
+	op := security.OpQueryRealTime
+	if req.Mode == ModeHistorical {
+		op = security.OpQueryHistory
+	}
+	if g.coarse.Check(req.Principal, op) != security.Allow {
+		g.denied.Add(1)
+		return nil, &PermissionError{Principal: req.Principal.Name, What: string(op)}
+	}
+
+	q, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	group, ok := glue.Lookup(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown GLUE group %q", q.Table)
+	}
+
+	if req.Mode == ModeHistorical {
+		return g.queryHistorical(req, q, group)
+	}
+	return g.queryLive(req, q, group)
+}
+
+func (g *Gateway) queryHistorical(req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
+	source := ""
+	if len(req.Sources) == 1 {
+		source = req.Sources[0]
+	} else if len(req.Sources) > 1 {
+		return nil, fmt.Errorf("core: historical queries accept at most one source filter")
+	}
+	if source != "" {
+		if g.fine.Check(req.Principal, source, group.Name) != security.Allow {
+			g.denied.Add(1)
+			return nil, &PermissionError{Principal: req.Principal.Name, What: "history of " + source}
+		}
+	}
+	rs, err := g.history.Query(group.Name, source, req.Since, req.Until)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sqlparse.ApplyToResultSet(q, rs)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Site: g.name, SQL: q.String(), Mode: req.Mode, ResultSet: out}, nil
+}
+
+func (g *Gateway) queryLive(req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
+	targets, err := g.targetSources(req, group)
+	if err != nil {
+		return nil, err
+	}
+
+	statuses := make([]SourceStatus, len(targets))
+	results := make([]*resultset.ResultSet, len(targets))
+	var wg sync.WaitGroup
+	for i, url := range targets {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			statuses[i], results[i] = g.querySource(req, url, group)
+		}(i, url)
+	}
+	wg.Wait()
+
+	meta, err := resultset.MetadataForGroup(group, nil)
+	if err != nil {
+		return nil, err
+	}
+	merged := resultset.New(meta)
+	for i, rs := range results {
+		if rs == nil {
+			continue
+		}
+		if err := merged.Merge(rs); err != nil {
+			// A driver produced a non-canonical shape; report it against
+			// the source rather than failing the whole consolidation.
+			statuses[i].Err = err.Error()
+		}
+	}
+	out, err := sqlparse.ApplyToResultSet(q, merged)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Site:      g.name,
+		SQL:       q.String(),
+		Mode:      req.Mode,
+		ResultSet: out,
+		Sources:   statuses,
+	}, nil
+}
+
+// targetSources resolves which registered sources a query should touch.
+func (g *Gateway) targetSources(req Request, group *glue.Group) ([]string, error) {
+	if len(req.Sources) > 0 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		for _, url := range req.Sources {
+			if _, ok := g.sources[url]; !ok {
+				return nil, fmt.Errorf("core: source %s not registered", url)
+			}
+		}
+		return append([]string(nil), req.Sources...), nil
+	}
+	g.mu.RLock()
+	urls := make([]string, 0, len(g.sources))
+	for url := range g.sources {
+		urls = append(urls, url)
+	}
+	g.mu.RUnlock()
+	sort.Strings(urls)
+	var targets []string
+	for _, url := range urls {
+		if g.supportsGroup(url, group.Name) {
+			targets = append(targets, url)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: no registered source supports group %s", group.Name)
+	}
+	return targets, nil
+}
+
+// supportsGroup reports whether some driver usable for url maps the group.
+// The last-good driver and static preferences are consulted first; failing
+// that, any registered driver accepting the URL counts.
+func (g *Gateway) supportsGroup(url, group string) bool {
+	check := func(driverName string) bool {
+		ds, _, ok := g.schemas.Lookup(driverName)
+		if !ok {
+			return false
+		}
+		_, has := ds.Groups[group]
+		return has
+	}
+	if name, ok := g.drivers.CachedDriver(url); ok {
+		return check(name)
+	}
+	if prefs := g.drivers.Preferences(url); len(prefs) > 0 {
+		for _, name := range prefs {
+			if check(name) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range g.drivers.Drivers() {
+		d, ok := g.drivers.Driver(name)
+		if !ok || !d.AcceptsURL(url) {
+			continue
+		}
+		if check(name) {
+			return true
+		}
+	}
+	return false
+}
+
+// querySource obtains one source's full-group rows, from cache or by
+// harvest, honouring the FGSL.
+func (g *Gateway) querySource(req Request, url string, group *glue.Group) (SourceStatus, *resultset.ResultSet) {
+	status := SourceStatus{Source: url}
+	switch g.fine.Check(req.Principal, url, group.Name) {
+	case security.Allow:
+	case security.Defer:
+		// This gateway owns the resource, so there is nobody further to
+		// defer to; refuse, naming the rule outcome.
+		g.denied.Add(1)
+		status.Err = "permission deferred but source is local: denied"
+		return status, nil
+	default:
+		g.denied.Add(1)
+		status.Err = "permission denied"
+		return status, nil
+	}
+
+	hsql := harvestSQL(group.Name)
+	if req.Mode == ModeCached {
+		if rs, at, ok := g.cache.Get(url, hsql); ok {
+			g.cacheServed.Add(1)
+			status.Cached = true
+			status.HarvestedAt = at
+			status.Rows = rs.Len()
+			if info, ok := g.Source(url); ok {
+				status.Driver = info.LastDriver
+			}
+			return status, rs
+		}
+	}
+
+	rs, driverName, err := g.harvest(url, hsql)
+	now := g.clock()
+	if err != nil {
+		g.harvestErrors.Add(1)
+		g.noteFailure(url, err, now)
+		status.Err = err.Error()
+		return status, nil
+	}
+	g.harvests.Add(1)
+	g.noteSuccess(url, driverName, now)
+	g.cache.Put(url, hsql, rs)
+	if g.recordHistory {
+		_ = g.history.Record(url, group.Name, rs, now)
+	}
+	g.publishHarvestMetrics(url, group, rs)
+	status.Driver = driverName
+	status.HarvestedAt = now
+	status.Rows = rs.Len()
+	return status, rs
+}
+
+// harvest runs the canonical full-group query against one source through
+// the ConnectionManager (Fig 3's real-time path).
+func (g *Gateway) harvest(url, hsql string) (*resultset.ResultSet, string, error) {
+	g.mu.RLock()
+	src, ok := g.sources[url]
+	var props driver.Properties
+	if ok {
+		props = src.Props
+	}
+	g.mu.RUnlock()
+	if !ok {
+		return nil, "", fmt.Errorf("core: source %s not registered", url)
+	}
+	conn, err := g.pool.Get(url, props)
+	if err != nil {
+		return nil, "", err
+	}
+	driverName := conn.Driver()
+	stmt, err := conn.CreateStatement()
+	if err != nil {
+		conn.Discard()
+		return nil, driverName, err
+	}
+	rs, err := stmt.ExecuteQuery(hsql)
+	_ = stmt.Close()
+	if err != nil {
+		conn.Discard()
+		return nil, driverName, err
+	}
+	conn.Release()
+	rs.Source = url
+	return rs, driverName, nil
+}
+
+// Poll forces a real-time refresh of one source for one GLUE group and
+// returns its rows — the explicit poll behind Fig 9's refresh icon.
+func (g *Gateway) Poll(principal security.Principal, url, group string) (*Response, error) {
+	return g.Query(Request{
+		Principal: principal,
+		SQL:       harvestSQL(group),
+		Sources:   []string{url},
+		Mode:      ModeRealTime,
+	})
+}

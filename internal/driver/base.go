@@ -1,0 +1,55 @@
+package driver
+
+import (
+	"gridrm/internal/resultset"
+)
+
+// UnimplementedConn reproduces the paper's incremental driver-development
+// pattern (§3.2.1): every method fails with ErrNotImplemented, "as one would
+// expect from a fully implemented driver that had experienced errors while
+// attempting to retrieve the required data". Concrete driver connections
+// embed UnimplementedConn and override only the methods they support; the
+// rest of the API surface stays callable and fails uniformly rather than
+// being a compile-time hole.
+type UnimplementedConn struct{}
+
+// CreateStatement implements Conn by failing with ErrNotImplemented.
+func (UnimplementedConn) CreateStatement() (Stmt, error) { return nil, ErrNotImplemented }
+
+// Close implements Conn as a no-op; even minimal drivers should be safe to
+// close.
+func (UnimplementedConn) Close() error { return nil }
+
+// Ping implements Conn by failing with ErrNotImplemented.
+func (UnimplementedConn) Ping() error { return ErrNotImplemented }
+
+// URL implements Conn by returning the empty string.
+func (UnimplementedConn) URL() string { return "" }
+
+// Driver implements Conn by returning the empty string.
+func (UnimplementedConn) Driver() string { return "" }
+
+// SourceInfo implements MetadataProvider with an empty description.
+func (UnimplementedConn) SourceInfo() SourceInfo { return SourceInfo{} }
+
+// UnimplementedStmt is the statement-side super-class of the incremental
+// pattern; see UnimplementedConn.
+type UnimplementedStmt struct{}
+
+// ExecuteQuery implements Stmt by failing with ErrNotImplemented.
+func (UnimplementedStmt) ExecuteQuery(string) (*resultset.ResultSet, error) {
+	return nil, ErrNotImplemented
+}
+
+// Close implements Stmt as a no-op.
+func (UnimplementedStmt) Close() error { return nil }
+
+// SetMaxRows implements MaxRowsSetter by failing with ErrNotImplemented.
+func (UnimplementedStmt) SetMaxRows(int) error { return ErrNotImplemented }
+
+var (
+	_ Conn             = UnimplementedConn{}
+	_ MetadataProvider = UnimplementedConn{}
+	_ Stmt             = UnimplementedStmt{}
+	_ MaxRowsSetter    = UnimplementedStmt{}
+)

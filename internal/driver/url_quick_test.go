@@ -1,0 +1,63 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestURLFormatParseRoundTrip checks FormatURL/ParseURL are inverses for
+// every well-formed input.
+func TestURLFormatParseRoundTrip(t *testing.T) {
+	sanitize := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return r
+			}
+			return 'x'
+		}, strings.ToLower(s))
+		if s == "" {
+			s = "h"
+		}
+		if len(s) > 32 {
+			s = s[:32]
+		}
+		return s
+	}
+	f := func(proto, host, path string, port uint16) bool {
+		p := sanitize(proto)
+		h := sanitize(host)
+		pa := sanitize(path)
+		prt := int(port%65535) + 1
+		raw := FormatURL(p, h, prt, pa)
+		u, err := ParseURL(raw)
+		if err != nil {
+			t.Logf("ParseURL(%q): %v", raw, err)
+			return false
+		}
+		return u.Protocol == p && u.Host == h && u.Port == prt && u.Path == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseURLNeverPanics fuzzes the parser with arbitrary strings.
+func TestParseURLNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("ParseURL(%q) panicked: %v", s, r)
+			}
+		}()
+		u, err := ParseURL("gridrm:" + s)
+		if err == nil && u.Host == "" {
+			t.Errorf("ParseURL accepted empty host for %q", s)
+		}
+		_, _ = ParseURL(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package gangliadrv implements the JDBC-Ganglia driver (paper Fig 3).
+//
+// Ganglia is the paper's example of a coarse-grained data source (§3.2.3):
+// any query costs a whole-cluster XML dump that must be parsed, so "a
+// greater overhead is required to parse values from the response" and
+// driver implementations "should address these issues by using caching
+// policies within the plug-in". This driver therefore caches the parsed
+// cluster document per connection for a TTL (property "cache_ttl",
+// default 1s); every GLUE group served within the TTL reuses one dump.
+//
+// URLs: gridrm:ganglia://host:port. Protocol-less URLs are accepted and
+// verified at connect time by fetching and parsing a dump.
+package gangliadrv
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"gridrm/internal/agents/ganglia"
+	"gridrm/internal/driver"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+	"gridrm/internal/schema"
+	"gridrm/internal/sqlparse"
+)
+
+// DriverName is the registration name.
+const DriverName = "jdbc-ganglia"
+
+// DefaultPort is the gmond port assumed when the URL has none.
+const DefaultPort = 8649
+
+// DefaultCacheTTL is the per-connection dump cache lifetime.
+const DefaultCacheTTL = time.Second
+
+// Driver is the JDBC-Ganglia driver.
+type Driver struct {
+	schemas *schema.Manager
+	// clock is injectable for cache tests.
+	clock func() time.Time
+}
+
+// New creates the driver; the SchemaManager may be nil.
+func New(sm *schema.Manager) *Driver { return &Driver{schemas: sm, clock: time.Now} }
+
+// SetClock injects a clock for tests.
+func (d *Driver) SetClock(clock func() time.Time) { d.clock = clock }
+
+// Name implements driver.Driver.
+func (d *Driver) Name() string { return DriverName }
+
+// Version implements driver.Versioned.
+func (d *Driver) Version() string { return "1.0" }
+
+// AcceptsURL implements driver.Driver.
+func (d *Driver) AcceptsURL(url string) bool {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return false
+	}
+	return u.Protocol == "" || u.Protocol == "ganglia"
+}
+
+// Connect implements driver.Driver, verifying the agent by fetching and
+// parsing one dump.
+func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, error) {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	timeout := 2 * time.Second
+	if t := props.Get("timeout", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("gangliadrv: bad timeout %q", t)
+		}
+		timeout = parsed
+	}
+	ttl := DefaultCacheTTL
+	if t := props.Get("cache_ttl", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("gangliadrv: bad cache_ttl %q", t)
+		}
+		ttl = parsed
+	}
+	conn := &Conn{
+		drv:     d,
+		addr:    u.Address(DefaultPort),
+		url:     url,
+		timeout: timeout,
+		ttl:     ttl,
+	}
+	conn.mapping, conn.gen = d.lookupSchema()
+	if _, err := conn.fetch(); err != nil {
+		return nil, fmt.Errorf("gangliadrv: %s does not answer as a gmond agent: %w", url, err)
+	}
+	return conn, nil
+}
+
+func (d *Driver) lookupSchema() (*schema.DriverSchema, int64) {
+	if d.schemas == nil {
+		return Schema(), 0
+	}
+	if ds, gen, ok := d.schemas.Lookup(DriverName); ok {
+		return ds, gen
+	}
+	return Schema(), 0
+}
+
+// Conn is a Ganglia driver connection holding the per-plug-in dump cache.
+type Conn struct {
+	driver.UnimplementedConn
+	drv     *Driver
+	addr    string
+	url     string
+	timeout time.Duration
+	ttl     time.Duration
+	mapping *schema.DriverSchema
+	gen     int64
+	closed  bool
+
+	doc       *ganglia.Document
+	fetchedAt time.Time
+	// Fetches counts real dumps retrieved (cache-miss cost, E4).
+	Fetches int64
+}
+
+// URL implements driver.Conn.
+func (c *Conn) URL() string { return c.url }
+
+// Driver implements driver.Conn.
+func (c *Conn) Driver() string { return DriverName }
+
+// Close implements driver.Conn.
+func (c *Conn) Close() error { c.closed = true; return nil }
+
+// Ping implements driver.Conn by dialling the agent.
+func (c *Conn) Ping() error {
+	if c.closed {
+		return driver.ErrClosed
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("gangliadrv: %w", err)
+	}
+	return conn.Close()
+}
+
+// SourceInfo implements driver.MetadataProvider.
+func (c *Conn) SourceInfo() driver.SourceInfo {
+	info := driver.SourceInfo{Protocol: "ganglia", Groups: c.mapping.GroupNames()}
+	if c.doc != nil {
+		info.AgentVersion = c.doc.Version
+	}
+	return info
+}
+
+// CreateStatement implements driver.Conn.
+func (c *Conn) CreateStatement() (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrClosed
+	}
+	return &Stmt{conn: c}, nil
+}
+
+// document returns the cluster dump, via the per-plug-in cache.
+func (c *Conn) document() (*ganglia.Document, error) {
+	now := c.drv.clock()
+	if c.doc != nil && c.ttl > 0 && now.Sub(c.fetchedAt) <= c.ttl {
+		return c.doc, nil
+	}
+	return c.fetch()
+}
+
+func (c *Conn) fetch() (*ganglia.Document, error) {
+	tcp, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer tcp.Close()
+	_ = tcp.SetReadDeadline(time.Now().Add(c.timeout))
+	data, err := io.ReadAll(tcp)
+	if err != nil {
+		return nil, err
+	}
+	var doc ganglia.Document
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing gmond XML: %w", err)
+	}
+	c.doc = &doc
+	c.fetchedAt = c.drv.clock()
+	c.Fetches++
+	return c.doc, nil
+}
+
+// Stmt executes SQL against the cluster dump.
+type Stmt struct {
+	driver.UnimplementedStmt
+	conn   *Conn
+	closed bool
+}
+
+// Close implements driver.Stmt.
+func (s *Stmt) Close() error { s.closed = true; return nil }
+
+// ExecuteQuery implements driver.Stmt.
+func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	if s.closed || s.conn.closed {
+		return nil, driver.ErrClosed
+	}
+	if s.conn.drv.schemas != nil && !s.conn.drv.schemas.Valid(DriverName, s.conn.gen) {
+		s.conn.mapping, s.conn.gen = s.conn.drv.lookupSchema()
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := glue.Lookup(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("gangliadrv: unknown group %q", q.Table)
+	}
+	gm, ok := s.conn.mapping.Groups[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("gangliadrv: group %s not supported by this driver", g.Name)
+	}
+	doc, err := s.conn.document()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	for _, host := range doc.Cluster.Hosts {
+		row, err := schema.BuildRow(g, gm, hostResolver(g, host))
+		if err != nil {
+			return nil, err
+		}
+		b.Append(row...)
+	}
+	full, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.ApplyToResultSet(q, full)
+}
+
+// hostResolver translates gmond metric names (plus the pseudo-metrics
+// "hostname" and "ip") into GLUE-typed values for one host, parsing the
+// string VALs the coarse XML response carries.
+func hostResolver(g *glue.Group, host ganglia.Host) func(string) (any, bool) {
+	metrics := make(map[string]ganglia.Metric, len(host.Metrics))
+	for _, m := range host.Metrics {
+		metrics[m.Name] = m
+	}
+	return func(native string) (any, bool) {
+		switch native {
+		case "hostname":
+			return host.Name, true
+		case "ip":
+			if host.IP == "" {
+				return nil, false
+			}
+			return host.IP, true
+		}
+		if len(native) > 6 && native[:6] == "const:" {
+			// Synthetic key values for gmond's cluster-wide aggregates.
+			return native[6:], true
+		}
+		name, conv, hasConv := cutConv(native)
+		m, ok := metrics[name]
+		if !ok {
+			return nil, false
+		}
+		f, err := strconv.ParseFloat(m.Val, 64)
+		if m.Type == "string" || err != nil {
+			if hasConv {
+				return nil, false
+			}
+			return m.Val, true
+		}
+		if hasConv {
+			switch conv {
+			case "kb-to-mb":
+				return int64(f) / 1024, true
+			case "gb-to-mb":
+				return int64(f * 1024), true
+			case "idle-to-util":
+				return 100 - f, true
+			case "unix-to-time":
+				return time.Unix(int64(f), 0).UTC(), true
+			case "int":
+				return int64(f), true
+			}
+			return nil, false
+		}
+		// Default numeric: kind decided by the GLUE field at BuildRow;
+		// return float unless integral metric type.
+		if m.Type == "uint32" {
+			return int64(f), true
+		}
+		return f, true
+	}
+}
+
+// cutConv splits "metric|conversion" natives.
+func cutConv(native string) (name, conv string, ok bool) {
+	for i := 0; i < len(native); i++ {
+		if native[i] == '|' {
+			return native[:i], native[i+1:], true
+		}
+	}
+	return native, "", false
+}

@@ -1,0 +1,61 @@
+package gangliadrv
+
+import (
+	"gridrm/internal/glue"
+	"gridrm/internal/schema"
+)
+
+// Schema returns the driver's GLUE mapping. Native names are gmond metric
+// names, optionally suffixed "|conversion". gmond reports cluster-wide
+// aggregates for disk and network, so those groups carry synthetic key
+// values ("total", "all") and many NULLs — the coarse agent simply does not
+// expose per-device detail (§3.1.4's NULL rule again).
+func Schema() *schema.DriverSchema {
+	return &schema.DriverSchema{
+		Driver: DriverName,
+		Groups: map[string]*schema.GroupMapping{
+			glue.GroupProcessor: {Group: glue.GroupProcessor, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "ClockSpeed", Native: "cpu_speed|int"},
+				{GLUEField: "CPUCount", Native: "cpu_num|int"},
+				{GLUEField: "LoadLast1Min", Native: "load_one"},
+				{GLUEField: "LoadLast5Min", Native: "load_five"},
+				{GLUEField: "LoadLast15Min", Native: "load_fifteen"},
+				{GLUEField: "Utilization", Native: "cpu_idle|idle-to-util"},
+				// Model/Vendor/CacheSize are not gmond metrics → NULL.
+			}},
+			glue.GroupMemory: {Group: glue.GroupMemory, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "RAMSize", Native: "mem_total|kb-to-mb"},
+				{GLUEField: "RAMAvailable", Native: "mem_free|kb-to-mb"},
+				{GLUEField: "VirtualSize", Native: "swap_total|kb-to-mb"},
+				{GLUEField: "VirtualAvailable", Native: "swap_free|kb-to-mb"},
+				// Swap rates are not gmond metrics → NULL.
+			}},
+			glue.GroupDisk: {Group: glue.GroupDisk, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "DeviceName", Native: "const:total", Note: "gmond aggregates all devices"},
+				{GLUEField: "Size", Native: "disk_total|gb-to-mb"},
+				{GLUEField: "Available", Native: "disk_free|gb-to-mb"},
+				// Read/write rates are not gmond metrics → NULL.
+			}},
+			glue.GroupNetworkAdapter: {Group: glue.GroupNetworkAdapter, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "InterfaceName", Native: "const:all", Note: "gmond aggregates all interfaces"},
+				{GLUEField: "IPAddress", Native: "ip"},
+				{GLUEField: "BytesIn", Native: "bytes_in|int"},
+				{GLUEField: "BytesOut", Native: "bytes_out|int"},
+				{GLUEField: "PacketsIn", Native: "pkts_in|int"},
+				{GLUEField: "PacketsOut", Native: "pkts_out|int"},
+				// InterfaceName synthesised; MTU/Bandwidth/Latency → NULL.
+			}},
+			glue.GroupOperatingSystem: {Group: glue.GroupOperatingSystem, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "Name", Native: "os_name"},
+				{GLUEField: "Release", Native: "os_release"},
+				{GLUEField: "BootTime", Native: "boottime|unix-to-time"},
+				// Version/Uptime are not gmond metrics → NULL.
+			}},
+		},
+	}
+}

@@ -1,0 +1,192 @@
+package gatewaydrv
+
+import (
+	"strings"
+	"testing"
+
+	"gridrm/internal/core"
+	"gridrm/internal/driver"
+	"gridrm/internal/drivers/memdrv"
+	"gridrm/internal/glue"
+	"gridrm/internal/schema"
+	"gridrm/internal/security"
+	"gridrm/internal/web"
+
+	"net/http/httptest"
+)
+
+// childGateway builds a gateway with an in-memory source and serves it.
+func childGateway(t *testing.T, name string, hosts []string) (*core.Gateway, string) {
+	t.Helper()
+	gw := core.New(core.Config{Name: name})
+	t.Cleanup(gw.Close)
+	backend := memdrv.NewBackend(hosts)
+	d := memdrv.New("jdbc-mem", "mem", backend)
+	if err := gw.RegisterDriver(d, d.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.AddSource(core.SourceConfig{URL: "gridrm:mem://" + name + ":1"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(web.NewServer(gw, nil, nil))
+	t.Cleanup(srv.Close)
+	return gw, "gridrm:gridrm://" + strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestAcceptsURL(t *testing.T) {
+	d := New(nil)
+	if !d.AcceptsURL("gridrm:gridrm://h:1") {
+		t.Error("gridrm URL rejected")
+	}
+	// Never volunteers for plain agent URLs.
+	if d.AcceptsURL("gridrm://h:1") || d.AcceptsURL("gridrm:snmp://h:1") {
+		t.Error("over-accepts")
+	}
+}
+
+func TestChildQuery(t *testing.T) {
+	_, url := childGateway(t, "child", []string{"c1", "c2"})
+	d := New(nil)
+	conn, err := d.Connect(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Ping(); err != nil {
+		t.Errorf("ping: %v", err)
+	}
+	if got := conn.(*Conn).ChildSite(); got != "child" {
+		t.Errorf("child site %q", got)
+	}
+	stmt, _ := conn.CreateStatement()
+	rs, err := stmt.ExecuteQuery("SELECT HostName FROM Processor ORDER BY HostName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	rs.Next()
+	if h, _ := rs.GetString("HostName"); h != "c1" {
+		t.Errorf("host = %q", h)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	// Parent gateway whose only data sources are two child gateways: the
+	// "hierarchy of GridRM Gateways" of §2.
+	_, urlA := childGateway(t, "childA", []string{"a1", "a2"})
+	_, urlB := childGateway(t, "childB", []string{"b1"})
+
+	parent := core.New(core.Config{Name: "parent"})
+	defer parent.Close()
+	if err := parent.RegisterDriver(New(parent.SchemaManager()), Schema()); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{urlA, urlB} {
+		if err := parent.AddSource(core.SourceConfig{URL: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := parent.Query(core.Request{
+		Principal: security.Principal{Name: "top"},
+		SQL:       "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName",
+		Mode:      core.ModeRealTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultSet.Len() != 3 {
+		t.Fatalf("aggregated rows = %d; %+v", resp.ResultSet.Len(), resp.Sources)
+	}
+	var hosts []string
+	for resp.ResultSet.Next() {
+		h, _ := resp.ResultSet.GetString("HostName")
+		hosts = append(hosts, h)
+	}
+	if strings.Join(hosts, ",") != "a1,a2,b1" {
+		t.Errorf("hosts %v", hosts)
+	}
+	for _, s := range resp.Sources {
+		if s.Driver != DriverName || s.Err != "" {
+			t.Errorf("status %+v", s)
+		}
+	}
+}
+
+func TestDeferredSecurity(t *testing.T) {
+	// The child's own CGSL decides: the parent forwards the principal it
+	// was configured with, and the child denies it.
+	coarse := security.NewCoarsePolicy(security.Deny)
+	coarse.Add(security.CoarseRule{Principal: "trusted", Decision: security.Allow})
+	gw := core.New(core.Config{Name: "locked", Coarse: coarse})
+	t.Cleanup(gw.Close)
+	backend := memdrv.NewBackend([]string{"x"})
+	d := memdrv.New("jdbc-mem", "mem", backend)
+	_ = gw.RegisterDriver(d, d.Schema())
+	_ = gw.AddSource(core.SourceConfig{URL: "gridrm:mem://locked:1"})
+	srv := httptest.NewServer(web.NewServer(gw, nil, nil))
+	t.Cleanup(srv.Close)
+	url := "gridrm:gridrm://" + strings.TrimPrefix(srv.URL, "http://")
+
+	drv := New(nil)
+	conn, err := drv.Connect(url, driver.Properties{"user": "stranger"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stmt, _ := conn.CreateStatement()
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err == nil {
+		t.Error("child CGSL did not deny the stranger")
+	}
+	conn2, err := drv.Connect(url, driver.Properties{"user": "trusted"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	stmt2, _ := conn2.CreateStatement()
+	if _, err := stmt2.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+		t.Errorf("trusted principal denied: %v", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	d := New(nil)
+	if _, err := d.Connect("gridrm:gridrm://127.0.0.1:1", driver.Properties{"timeout": "150ms"}); err == nil {
+		t.Error("dead endpoint accepted")
+	}
+	if _, err := d.Connect("gridrm:gridrm://host", nil); err == nil {
+		t.Error("portless URL accepted")
+	}
+	if _, err := d.Connect("gridrm:snmp://h:1", nil); err == nil {
+		t.Error("wrong protocol accepted")
+	}
+	if _, err := d.Connect("gridrm:gridrm://h:1", driver.Properties{"timeout": "x"}); err == nil {
+		t.Error("bad timeout accepted")
+	}
+}
+
+func TestBadSQLLocallyValidated(t *testing.T) {
+	_, url := childGateway(t, "childv", []string{"v1"})
+	conn, err := New(nil).Connect(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stmt, _ := conn.CreateStatement()
+	if _, err := stmt.ExecuteQuery("garbage"); err == nil {
+		t.Error("bad SQL forwarded")
+	}
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Nope"); err == nil {
+		t.Error("unknown group forwarded")
+	}
+}
+
+func TestSchemaValid(t *testing.T) {
+	if err := schema.NewManager().Register(Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if len(Schema().Groups) != len(glue.Groups()) {
+		t.Error("schema must cover all groups")
+	}
+}

@@ -1,0 +1,164 @@
+package histdrv
+
+import (
+	"testing"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/glue"
+	"gridrm/internal/history"
+	"gridrm/internal/resultset"
+	"gridrm/internal/schema"
+)
+
+const srcA = "gridrm:snmp://a:1"
+const srcB = "gridrm:snmp://b:1"
+
+func seedStore(t *testing.T) *history.Store {
+	t.Helper()
+	// The store's retention clock must live in the same era as the
+	// simulated sample times.
+	clock := func() time.Time { return time.Date(2003, 6, 1, 0, 5, 0, 0, time.UTC) }
+	store := history.New(history.Options{Clock: clock})
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(host string, ram int64) *resultset.ResultSet {
+		rs, err := resultset.NewBuilder(meta).
+			Append(host, ram, ram/2, nil, nil, nil, nil).
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	t0 := time.Date(2003, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := store.Record(srcA, glue.GroupMemory, mk("a", 1024), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Record(srcA, glue.GroupMemory, mk("a", 1024), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Record(srcB, glue.GroupMemory, mk("b", 512), t0.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func query(t *testing.T, conn driver.Conn, sql string) *resultset.ResultSet {
+	t.Helper()
+	stmt, err := conn.CreateStatement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	rs, err := stmt.ExecuteQuery(sql)
+	if err != nil {
+		t.Fatalf("ExecuteQuery(%q): %v", sql, err)
+	}
+	return rs
+}
+
+func TestAcceptsURL(t *testing.T) {
+	d := New(nil)
+	if !d.AcceptsURL("gridrm:hist://local") {
+		t.Error("hist URL rejected")
+	}
+	// Must never volunteer during dynamic scans of network agents.
+	if d.AcceptsURL("gridrm://h:1") || d.AcceptsURL("gridrm:snmp://h:1") {
+		t.Error("histdrv over-accepts")
+	}
+}
+
+func TestQueryAll(t *testing.T) {
+	d := New(seedStore(t))
+	conn, err := d.Connect("gridrm:hist://local", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rs := query(t, conn, "SELECT * FROM Memory")
+	if rs.Len() != 3 {
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	if rs.Metadata().ColumnIndex(history.SourceColumn) < 0 {
+		t.Error("provenance column missing")
+	}
+	// WHERE over provenance columns works.
+	rs = query(t, conn, "SELECT HostName FROM Memory WHERE SourceURL LIKE '%//b%'")
+	if rs.Len() != 1 {
+		t.Errorf("filtered rows = %d", rs.Len())
+	}
+}
+
+func TestSourceFilterPath(t *testing.T) {
+	d := New(seedStore(t))
+	conn, err := d.Connect("gridrm:hist://local/"+srcA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rs := query(t, conn, "SELECT * FROM Memory")
+	if rs.Len() != 2 {
+		t.Errorf("source-filtered rows = %d", rs.Len())
+	}
+}
+
+func TestTimeWindowProps(t *testing.T) {
+	d := New(seedStore(t))
+	conn, err := d.Connect("gridrm:hist://local", driver.Properties{
+		"since": "2003-06-01T00:00:30Z",
+		"until": "2003-06-01T00:01:30Z",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rs := query(t, conn, "SELECT * FROM Memory")
+	if rs.Len() != 1 {
+		t.Errorf("windowed rows = %d", rs.Len())
+	}
+	if _, err := d.Connect("gridrm:hist://local", driver.Properties{"since": "junk"}); err == nil {
+		t.Error("bad since accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil).Connect("gridrm:hist://local", nil); err == nil {
+		t.Error("nil store accepted")
+	}
+	d := New(seedStore(t))
+	if _, err := d.Connect("gridrm:snmp://x", nil); err == nil {
+		t.Error("non-hist URL accepted")
+	}
+	conn, _ := d.Connect("gridrm:hist://local", nil)
+	stmt, _ := conn.CreateStatement()
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Nope"); err == nil {
+		t.Error("unknown group accepted")
+	}
+	_ = conn.Close()
+	if err := conn.Ping(); err == nil {
+		t.Error("ping after close")
+	}
+	if _, err := conn.CreateStatement(); err == nil {
+		t.Error("statement after close")
+	}
+}
+
+func TestSchemaCoversEverything(t *testing.T) {
+	if err := schema.NewManager().Register(Schema()); err != nil {
+		t.Fatal(err)
+	}
+	ds := Schema()
+	if len(ds.Groups) != len(glue.Groups()) {
+		t.Errorf("groups = %d", len(ds.Groups))
+	}
+	for _, g := range glue.Groups() {
+		mapped, total := ds.Coverage(g.Name)
+		if mapped != total {
+			t.Errorf("group %s coverage %d/%d", g.Name, mapped, total)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package memdrv
+
+import (
+	"testing"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/schema"
+)
+
+func TestBasicQuery(t *testing.T) {
+	b := NewBackend([]string{"h1", "h2"})
+	d := New("jdbc-mem", "mem", b)
+	if err := schema.NewManager().Register(d.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := d.Connect("gridrm:mem://x:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stmt, _ := conn.CreateStatement()
+	rs, err := stmt.ExecuteQuery("SELECT * FROM Memory ORDER BY HostName DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	rs.Next()
+	if h, _ := rs.GetString("HostName"); h != "h2" {
+		t.Errorf("host = %q", h)
+	}
+	if v, _ := rs.GetInt("RAMAvailable"); v != 512 {
+		t.Errorf("ram_free = %d", v)
+	}
+	if b.Queries() != 1 || b.Connects() != 1 {
+		t.Errorf("counters %d/%d", b.Queries(), b.Connects())
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	b := NewBackend([]string{"h1"})
+	d := New("jdbc-mem", "mem", b)
+	b.SetFailConnect(true)
+	if _, err := d.Connect("gridrm:mem://x:1", nil); err == nil {
+		t.Error("failing connect succeeded")
+	}
+	b.SetFailConnect(false)
+	conn, _ := d.Connect("gridrm:mem://x:1", nil)
+	defer conn.Close()
+	b.SetFailQuery(true)
+	stmt, _ := conn.CreateStatement()
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Memory"); err == nil {
+		t.Error("failing query succeeded")
+	}
+	b.SetFailConnect(true)
+	if err := conn.Ping(); err == nil {
+		t.Error("ping with failing backend succeeded")
+	}
+}
+
+func TestDelays(t *testing.T) {
+	b := NewBackend([]string{"h1"})
+	b.SetConnectDelay(30 * time.Millisecond)
+	d := New("jdbc-mem", "mem", b)
+	start := time.Now()
+	conn, err := d.Connect("gridrm:mem://x:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("connect delay not applied")
+	}
+	b.SetQueryDelay(30 * time.Millisecond)
+	stmt, _ := conn.CreateStatement()
+	start = time.Now()
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("query delay not applied")
+	}
+}
+
+func TestSetLoadVisible(t *testing.T) {
+	b := NewBackend([]string{"h1"})
+	b.SetLoad(7.5)
+	d := New("jdbc-mem", "mem", b)
+	conn, _ := d.Connect("gridrm:mem://x:1", nil)
+	defer conn.Close()
+	stmt, _ := conn.CreateStatement()
+	rs, err := stmt.ExecuteQuery("SELECT LoadLast1Min FROM Processor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Next()
+	if v, _ := rs.GetFloat("LoadLast1Min"); v != 7.5 {
+		t.Errorf("load = %v", v)
+	}
+}
+
+func TestAcceptsURLAndUnsupported(t *testing.T) {
+	d := New("jdbc-mem", "mem", NewBackend([]string{"h"}))
+	if !d.AcceptsURL("gridrm:mem://h") || !d.AcceptsURL("gridrm://h") || d.AcceptsURL("gridrm:x://h") {
+		t.Error("AcceptsURL wrong")
+	}
+	conn, _ := d.Connect("gridrm:mem://h:1", nil)
+	defer conn.Close()
+	stmt, _ := conn.CreateStatement()
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Disk"); err == nil {
+		t.Error("unsupported group accepted")
+	}
+	var _ driver.Driver = d
+}

@@ -1,0 +1,440 @@
+// Package netloggerdrv implements the JDBC-NetLogger driver plus the
+// inbound and outbound event drivers that bridge NetLogger's ULM records
+// and GridRM's Event Manager (paper Fig 4).
+//
+// NetLogger sits with SNMP in the paper's fine-grained camp (§3.2.3):
+// "fine grained native requests for data are possible, with generally
+// little or no parsing required" — the driver issues one GET per (host,
+// event) and each answer is a single self-describing ULM line. No response
+// cache is carried.
+//
+// URLs: gridrm:netlogger://host:port. Protocol-less URLs are verified by a
+// HOSTS handshake at connect time.
+package netloggerdrv
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"gridrm/internal/agents/netlogger"
+	"gridrm/internal/driver"
+	"gridrm/internal/event"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+	"gridrm/internal/schema"
+	"gridrm/internal/sqlparse"
+)
+
+// DriverName is the registration name.
+const DriverName = "jdbc-netlogger"
+
+// DefaultPort is the NetLogger port assumed when the URL has none.
+const DefaultPort = 14830
+
+// Driver is the JDBC-NetLogger driver.
+type Driver struct {
+	schemas *schema.Manager
+}
+
+// New creates the driver; the SchemaManager may be nil.
+func New(sm *schema.Manager) *Driver { return &Driver{schemas: sm} }
+
+// Name implements driver.Driver.
+func (d *Driver) Name() string { return DriverName }
+
+// Version implements driver.Versioned.
+func (d *Driver) Version() string { return "1.0" }
+
+// AcceptsURL implements driver.Driver.
+func (d *Driver) AcceptsURL(url string) bool {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return false
+	}
+	return u.Protocol == "" || u.Protocol == "netlogger"
+}
+
+// Connect implements driver.Driver, verifying the agent with a HOSTS
+// handshake.
+func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, error) {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	timeout := 2 * time.Second
+	if t := props.Get("timeout", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("netloggerdrv: bad timeout %q", t)
+		}
+		timeout = parsed
+	}
+	tcp, err := net.DialTimeout("tcp", u.Address(DefaultPort), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netloggerdrv: %w", err)
+	}
+	conn := &Conn{drv: d, tcp: tcp, r: bufio.NewReader(tcp), url: url, timeout: timeout}
+	conn.mapping, conn.gen = d.lookupSchema()
+	if _, err := conn.hosts(); err != nil {
+		_ = tcp.Close()
+		return nil, fmt.Errorf("netloggerdrv: %s does not answer as a NetLogger agent: %w", url, err)
+	}
+	return conn, nil
+}
+
+func (d *Driver) lookupSchema() (*schema.DriverSchema, int64) {
+	if d.schemas == nil {
+		return Schema(), 0
+	}
+	if ds, gen, ok := d.schemas.Lookup(DriverName); ok {
+		return ds, gen
+	}
+	return Schema(), 0
+}
+
+// Conn is a NetLogger driver connection.
+type Conn struct {
+	driver.UnimplementedConn
+	drv     *Driver
+	tcp     net.Conn
+	r       *bufio.Reader
+	url     string
+	timeout time.Duration
+	mapping *schema.DriverSchema
+	gen     int64
+	closed  bool
+}
+
+// URL implements driver.Conn.
+func (c *Conn) URL() string { return c.url }
+
+// Driver implements driver.Conn.
+func (c *Conn) Driver() string { return DriverName }
+
+// Close implements driver.Conn.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.tcp.Close()
+}
+
+// Ping implements driver.Conn with a HOSTS round trip.
+func (c *Conn) Ping() error {
+	if c.closed {
+		return driver.ErrClosed
+	}
+	_, err := c.hosts()
+	return err
+}
+
+// SourceInfo implements driver.MetadataProvider.
+func (c *Conn) SourceInfo() driver.SourceInfo {
+	return driver.SourceInfo{Protocol: "netlogger", Groups: c.mapping.GroupNames()}
+}
+
+// CreateStatement implements driver.Conn.
+func (c *Conn) CreateStatement() (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrClosed
+	}
+	return &Stmt{conn: c}, nil
+}
+
+func (c *Conn) send(cmd string) error {
+	_ = c.tcp.SetDeadline(time.Now().Add(c.timeout))
+	_, err := fmt.Fprintf(c.tcp, "%s\n", cmd)
+	return err
+}
+
+func (c *Conn) readLine() (string, error) {
+	_ = c.tcp.SetDeadline(time.Now().Add(c.timeout))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+func (c *Conn) hosts() ([]string, error) {
+	if err := c.send("HOSTS"); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return nil, fmt.Errorf("netloggerdrv: %s", line)
+		}
+		out = append(out, line)
+	}
+}
+
+// get performs one fine-grained GET for the latest value of (host, event).
+func (c *Conn) get(host, evt string) (float64, bool, error) {
+	if err := c.send("GET " + host + " " + evt); err != nil {
+		return 0, false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, false, err
+	}
+	if strings.HasPrefix(line, "ERR") {
+		return 0, false, nil // no record for this event → NULL
+	}
+	rec, err := netlogger.ParseRecord(line)
+	if err != nil {
+		return 0, false, fmt.Errorf("netloggerdrv: %w", err)
+	}
+	return rec.Value, true, nil
+}
+
+// Stmt executes SQL via per-value GETs.
+type Stmt struct {
+	driver.UnimplementedStmt
+	conn   *Conn
+	closed bool
+}
+
+// Close implements driver.Stmt.
+func (s *Stmt) Close() error { s.closed = true; return nil }
+
+// ExecuteQuery implements driver.Stmt.
+func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	if s.closed || s.conn.closed {
+		return nil, driver.ErrClosed
+	}
+	if s.conn.drv.schemas != nil && !s.conn.drv.schemas.Valid(DriverName, s.conn.gen) {
+		s.conn.mapping, s.conn.gen = s.conn.drv.lookupSchema()
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := glue.Lookup(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("netloggerdrv: unknown group %q", q.Table)
+	}
+	gm, ok := s.conn.mapping.Groups[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("netloggerdrv: group %s not supported by this driver", g.Name)
+	}
+	hosts, err := s.conn.hosts()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	for _, host := range hosts {
+		var resolveErr error
+		row, err := schema.BuildRow(g, gm, func(native string) (any, bool) {
+			if native == "hostname" {
+				return host, true
+			}
+			name, conv, _ := strings.Cut(native, "|")
+			v, ok, err := s.conn.get(host, name)
+			if err != nil {
+				resolveErr = err
+				return nil, false
+			}
+			if !ok {
+				return nil, false
+			}
+			if conv == "int" {
+				return int64(v), true
+			}
+			return v, true
+		})
+		if resolveErr != nil {
+			return nil, resolveErr
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Append(row...)
+	}
+	full, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.ApplyToResultSet(q, full)
+}
+
+// Schema returns the driver's GLUE mapping. Native names are ULM NL.EVNT
+// names, optionally suffixed "|int".
+func Schema() *schema.DriverSchema {
+	return &schema.DriverSchema{
+		Driver: DriverName,
+		Groups: map[string]*schema.GroupMapping{
+			glue.GroupProcessor: {Group: glue.GroupProcessor, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "LoadLast1Min", Native: netlogger.EvLoadOne},
+				{GLUEField: "LoadLast5Min", Native: netlogger.EvLoadFive},
+				{GLUEField: "LoadLast15Min", Native: netlogger.EvLoadFifteen},
+				{GLUEField: "Utilization", Native: netlogger.EvCPUUtil},
+				// NetLogger carries usage, not inventory → identity NULL.
+			}},
+			glue.GroupMemory: {Group: glue.GroupMemory, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "RAMSize", Native: netlogger.EvMemTotal + "|int"},
+				{GLUEField: "RAMAvailable", Native: netlogger.EvMemFree + "|int"},
+			}},
+		},
+	}
+}
+
+// InboundEvents is the Event Manager's inbound driver for NetLogger: it
+// opens a STREAM and translates every ULM record into a GridRM event via
+// its Formatter — the "Consumer for Data Source X" of Fig 4.
+type InboundEvents struct {
+	// URL is the agent's data-source URL.
+	URL string
+	// Timeout bounds the dial (default 2s).
+	Timeout time.Duration
+	// Formatter translates one ULM record; nil uses DefaultFormatter.
+	Formatter func(rec netlogger.Record, sourceURL string) (event.Event, bool)
+
+	tcp    net.Conn
+	done   chan struct{}
+	closed bool
+}
+
+// DefaultFormatter is the stock ULM → GridRM event translation. Records
+// whose PROG is "gridrm" are GridRM's own outbound transmissions echoed by
+// the agent; re-ingesting them would loop alerts back into the Event
+// Manager forever, so the formatter drops them.
+func DefaultFormatter(rec netlogger.Record, sourceURL string) (event.Event, bool) {
+	if rec.Prog == "gridrm" {
+		return event.Event{}, false
+	}
+	sev := event.SeverityUsage
+	if rec.Level == "Alert" {
+		sev = event.SeverityAlert
+	}
+	return event.Event{
+		Source:   sourceURL,
+		Host:     rec.Host,
+		Name:     rec.Event,
+		Severity: sev,
+		Value:    rec.Value,
+		Time:     rec.Date,
+		Detail:   "prog=" + rec.Prog,
+	}, true
+}
+
+// Name implements event.InboundDriver.
+func (d *InboundEvents) Name() string { return "netlogger-events:" + d.URL }
+
+// Start implements event.InboundDriver.
+func (d *InboundEvents) Start(sink func(event.Event)) error {
+	u, err := driver.ParseURL(d.URL)
+	if err != nil {
+		return err
+	}
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	tcp, err := net.DialTimeout("tcp", u.Address(DefaultPort), timeout)
+	if err != nil {
+		return fmt.Errorf("netloggerdrv: %w", err)
+	}
+	if _, err := fmt.Fprintf(tcp, "STREAM\n"); err != nil {
+		_ = tcp.Close()
+		return fmt.Errorf("netloggerdrv: %w", err)
+	}
+	d.tcp = tcp
+	d.done = make(chan struct{})
+	format := d.Formatter
+	if format == nil {
+		format = DefaultFormatter
+	}
+	go func() {
+		defer close(d.done)
+		sc := bufio.NewScanner(tcp)
+		for sc.Scan() {
+			rec, err := netlogger.ParseRecord(sc.Text())
+			if err != nil {
+				continue
+			}
+			if ev, ok := format(rec, d.URL); ok {
+				sink(ev)
+			}
+		}
+	}()
+	return nil
+}
+
+// Close implements event.InboundDriver.
+func (d *InboundEvents) Close() error {
+	if d.closed || d.tcp == nil {
+		return nil
+	}
+	d.closed = true
+	err := d.tcp.Close()
+	<-d.done
+	return err
+}
+
+// OutboundEvents transmits GridRM events back to a NetLogger data source as
+// ULM LOG records — Fig 4's Transmitter API ("format standard GridRM event
+// into a native provider event ... transmit to data source").
+type OutboundEvents struct {
+	// URL is the agent's data-source URL.
+	URL string
+	// Timeout bounds each transmission (default 2s).
+	Timeout time.Duration
+}
+
+// Name implements event.OutboundDriver.
+func (d *OutboundEvents) Name() string { return "netlogger-transmit:" + d.URL }
+
+// Transmit implements event.OutboundDriver.
+func (d *OutboundEvents) Transmit(ev event.Event) error {
+	u, err := driver.ParseURL(d.URL)
+	if err != nil {
+		return err
+	}
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	tcp, err := net.DialTimeout("tcp", u.Address(DefaultPort), timeout)
+	if err != nil {
+		return fmt.Errorf("netloggerdrv: %w", err)
+	}
+	defer tcp.Close()
+	rec := netlogger.Record{
+		Date:  ev.Time,
+		Host:  ev.Host,
+		Prog:  "gridrm",
+		Level: ev.Severity,
+		Event: ev.Name,
+		Value: ev.Value,
+	}
+	_ = tcp.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(tcp, "LOG %s\n", rec.Format()); err != nil {
+		return fmt.Errorf("netloggerdrv: %w", err)
+	}
+	resp, err := bufio.NewReader(tcp).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("netloggerdrv: %w", err)
+	}
+	if !strings.HasPrefix(resp, "OK") {
+		return fmt.Errorf("netloggerdrv: transmit rejected: %s", strings.TrimSpace(resp))
+	}
+	return nil
+}

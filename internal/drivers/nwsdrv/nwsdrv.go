@@ -1,0 +1,392 @@
+// Package nwsdrv implements the JDBC-NWS driver: SQL queries against GLUE
+// groups are answered from Network Weather Service measurement series.
+//
+// NWS is in the paper's coarse-grained camp (§3.2.3): each SERIES command
+// returns a whole plain-text measurement history that must be parsed to
+// extract one current value, so the driver caches the parsed site state per
+// connection (property "cache_ttl", default 1s). The property
+// "use_forecast" ("true") answers from NWS forecasts instead of the latest
+// raw measurement — the ablation knob for what a forecasting source buys.
+//
+// URLs: gridrm:nws://host:port. Protocol-less URLs are accepted and
+// verified by a LIST handshake at connect time.
+package nwsdrv
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"gridrm/internal/driver"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+	"gridrm/internal/schema"
+	"gridrm/internal/sqlparse"
+)
+
+// DriverName is the registration name.
+const DriverName = "jdbc-nws"
+
+// DefaultPort is the NWS port assumed when the URL has none.
+const DefaultPort = 8090
+
+// DefaultCacheTTL is the per-connection state cache lifetime.
+const DefaultCacheTTL = time.Second
+
+// Driver is the JDBC-NWS driver.
+type Driver struct {
+	schemas *schema.Manager
+	clock   func() time.Time
+}
+
+// New creates the driver; the SchemaManager may be nil.
+func New(sm *schema.Manager) *Driver { return &Driver{schemas: sm, clock: time.Now} }
+
+// SetClock injects a clock for cache tests.
+func (d *Driver) SetClock(clock func() time.Time) { d.clock = clock }
+
+// Name implements driver.Driver.
+func (d *Driver) Name() string { return DriverName }
+
+// Version implements driver.Versioned.
+func (d *Driver) Version() string { return "1.0" }
+
+// AcceptsURL implements driver.Driver.
+func (d *Driver) AcceptsURL(url string) bool {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return false
+	}
+	return u.Protocol == "" || u.Protocol == "nws"
+}
+
+// Connect implements driver.Driver, verifying the agent with a LIST
+// handshake.
+func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, error) {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	timeout := 2 * time.Second
+	if t := props.Get("timeout", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("nwsdrv: bad timeout %q", t)
+		}
+		timeout = parsed
+	}
+	ttl := DefaultCacheTTL
+	if t := props.Get("cache_ttl", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("nwsdrv: bad cache_ttl %q", t)
+		}
+		ttl = parsed
+	}
+	tcp, err := net.DialTimeout("tcp", u.Address(DefaultPort), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("nwsdrv: %w", err)
+	}
+	conn := &Conn{
+		drv:      d,
+		tcp:      tcp,
+		r:        bufio.NewReader(tcp),
+		url:      url,
+		timeout:  timeout,
+		ttl:      ttl,
+		forecast: props.Get("use_forecast", "") == "true",
+	}
+	conn.mapping, conn.gen = d.lookupSchema()
+	if _, err := conn.listSeries(); err != nil {
+		_ = tcp.Close()
+		return nil, fmt.Errorf("nwsdrv: %s does not answer as an NWS agent: %w", url, err)
+	}
+	return conn, nil
+}
+
+func (d *Driver) lookupSchema() (*schema.DriverSchema, int64) {
+	if d.schemas == nil {
+		return Schema(), 0
+	}
+	if ds, gen, ok := d.schemas.Lookup(DriverName); ok {
+		return ds, gen
+	}
+	return Schema(), 0
+}
+
+// Conn is an NWS driver connection holding the per-plug-in state cache.
+type Conn struct {
+	driver.UnimplementedConn
+	drv      *Driver
+	tcp      net.Conn
+	r        *bufio.Reader
+	url      string
+	timeout  time.Duration
+	ttl      time.Duration
+	forecast bool
+	mapping  *schema.DriverSchema
+	gen      int64
+	closed   bool
+
+	state     map[string]map[string]float64 // host → resource → value
+	fetchedAt time.Time
+	// Fetches counts full state refreshes (E4's cache-miss cost).
+	Fetches int64
+}
+
+// URL implements driver.Conn.
+func (c *Conn) URL() string { return c.url }
+
+// Driver implements driver.Conn.
+func (c *Conn) Driver() string { return DriverName }
+
+// Close implements driver.Conn.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.tcp.Close()
+}
+
+// Ping implements driver.Conn with a LIST round trip.
+func (c *Conn) Ping() error {
+	if c.closed {
+		return driver.ErrClosed
+	}
+	_, err := c.listSeries()
+	return err
+}
+
+// SourceInfo implements driver.MetadataProvider.
+func (c *Conn) SourceInfo() driver.SourceInfo {
+	return driver.SourceInfo{Protocol: "nws", Groups: c.mapping.GroupNames()}
+}
+
+// CreateStatement implements driver.Conn.
+func (c *Conn) CreateStatement() (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrClosed
+	}
+	return &Stmt{conn: c}, nil
+}
+
+func (c *Conn) send(cmd string) error {
+	_ = c.tcp.SetDeadline(time.Now().Add(c.timeout))
+	_, err := fmt.Fprintf(c.tcp, "%s\n", cmd)
+	return err
+}
+
+func (c *Conn) readLine() (string, error) {
+	_ = c.tcp.SetDeadline(time.Now().Add(c.timeout))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// listSeries runs LIST and returns host → resources.
+func (c *Conn) listSeries() (map[string][]string, error) {
+	if err := c.send("LIST"); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return nil, fmt.Errorf("nwsdrv: %s", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("nwsdrv: bad LIST line %q", line)
+		}
+		out[fields[0]] = append(out[fields[0]], fields[1])
+	}
+}
+
+// latest fetches the most recent measurement of one series by reading (and
+// parsing) the whole series response — the coarse path.
+func (c *Conn) latest(host, resource string) (float64, bool, error) {
+	if err := c.send("SERIES " + host + " " + resource); err != nil {
+		return 0, false, err
+	}
+	header, err := c.readLine()
+	if err != nil {
+		return 0, false, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(header, "OK %d", &n); err != nil {
+		return 0, false, fmt.Errorf("nwsdrv: bad SERIES header %q", header)
+	}
+	var last float64
+	have := false
+	for i := 0; i < n; i++ {
+		line, err := c.readLine()
+		if err != nil {
+			return 0, false, err
+		}
+		var ts int64
+		var v float64
+		if _, err := fmt.Sscanf(line, "%d %g", &ts, &v); err != nil {
+			return 0, false, fmt.Errorf("nwsdrv: bad series line %q", line)
+		}
+		last, have = v, true
+	}
+	if end, err := c.readLine(); err != nil || end != "END" {
+		return 0, false, fmt.Errorf("nwsdrv: missing END (got %q, %v)", end, err)
+	}
+	return last, have, nil
+}
+
+// forecastValue fetches the NWS forecast of one series.
+func (c *Conn) forecastValue(host, resource string) (float64, bool, error) {
+	if err := c.send("FORECAST " + host + " " + resource); err != nil {
+		return 0, false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, false, err
+	}
+	if strings.HasPrefix(line, "ERR") {
+		return 0, false, nil
+	}
+	var v, mse float64
+	if _, err := fmt.Sscanf(line, "FORECAST %g %g", &v, &mse); err != nil {
+		return 0, false, fmt.Errorf("nwsdrv: bad FORECAST line %q", line)
+	}
+	return v, true, nil
+}
+
+// siteState returns host → resource → value, through the TTL cache.
+func (c *Conn) siteState() (map[string]map[string]float64, error) {
+	now := c.drv.clock()
+	if c.state != nil && c.ttl > 0 && now.Sub(c.fetchedAt) <= c.ttl {
+		return c.state, nil
+	}
+	series, err := c.listSeries()
+	if err != nil {
+		return nil, err
+	}
+	state := make(map[string]map[string]float64, len(series))
+	for host, resources := range series {
+		state[host] = make(map[string]float64, len(resources))
+		for _, res := range resources {
+			var v float64
+			var ok bool
+			if c.forecast {
+				v, ok, err = c.forecastValue(host, res)
+			} else {
+				v, ok, err = c.latest(host, res)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				state[host][res] = v
+			}
+		}
+	}
+	c.state = state
+	c.fetchedAt = c.drv.clock()
+	c.Fetches++
+	return state, nil
+}
+
+// Stmt executes SQL against NWS series.
+type Stmt struct {
+	driver.UnimplementedStmt
+	conn   *Conn
+	closed bool
+}
+
+// Close implements driver.Stmt.
+func (s *Stmt) Close() error { s.closed = true; return nil }
+
+// ExecuteQuery implements driver.Stmt.
+func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	if s.closed || s.conn.closed {
+		return nil, driver.ErrClosed
+	}
+	if s.conn.drv.schemas != nil && !s.conn.drv.schemas.Valid(DriverName, s.conn.gen) {
+		s.conn.mapping, s.conn.gen = s.conn.drv.lookupSchema()
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := glue.Lookup(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("nwsdrv: unknown group %q", q.Table)
+	}
+	gm, ok := s.conn.mapping.Groups[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("nwsdrv: group %s not supported by this driver", g.Name)
+	}
+	state, err := s.conn.siteState()
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]string, 0, len(state))
+	for h := range state {
+		hosts = append(hosts, h)
+	}
+	for i := 1; i < len(hosts); i++ {
+		for j := i; j > 0 && hosts[j] < hosts[j-1]; j-- {
+			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
+		}
+	}
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	for _, host := range hosts {
+		values := state[host]
+		row, err := schema.BuildRow(g, gm, func(native string) (any, bool) {
+			return resolve(native, host, values, g)
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Append(row...)
+	}
+	full, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.ApplyToResultSet(q, full)
+}
+
+// resolve maps natives ("hostname", "const:x", "<resource>" or
+// "<resource>|conv") onto values for one host.
+func resolve(native, host string, values map[string]float64, g *glue.Group) (any, bool) {
+	if native == "hostname" {
+		return host, true
+	}
+	if strings.HasPrefix(native, "const:") {
+		return strings.TrimPrefix(native, "const:"), true
+	}
+	name, conv, _ := strings.Cut(native, "|")
+	v, ok := values[name]
+	if !ok {
+		return nil, false
+	}
+	switch conv {
+	case "avail-to-util":
+		return (1 - v) * 100, true
+	case "mb-int":
+		return int64(v), true
+	case "":
+		return v, true
+	}
+	return nil, false
+}

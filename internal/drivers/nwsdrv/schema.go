@@ -1,0 +1,39 @@
+package nwsdrv
+
+import (
+	"gridrm/internal/glue"
+	"gridrm/internal/schema"
+)
+
+// Schema returns the driver's GLUE mapping. Native names are NWS resource
+// series ("availableCpu", "bandwidthTcp", ...), optionally suffixed
+// "|conversion". NWS measures conditions, not inventory, so identity
+// fields beyond the host name are NULL — the sparsest mapping of the
+// bundled drivers, and the only one that can fill NetworkAdapter.Latency.
+func Schema() *schema.DriverSchema {
+	return &schema.DriverSchema{
+		Driver: DriverName,
+		Groups: map[string]*schema.GroupMapping{
+			glue.GroupProcessor: {Group: glue.GroupProcessor, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "Utilization", Native: "availableCpu|avail-to-util"},
+				// Everything else is inventory NWS does not measure → NULL.
+			}},
+			glue.GroupMemory: {Group: glue.GroupMemory, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "RAMAvailable", Native: "freeMemory|mb-int"},
+			}},
+			glue.GroupDisk: {Group: glue.GroupDisk, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "DeviceName", Native: "const:total", Note: "NWS measures aggregate free space"},
+				{GLUEField: "Available", Native: "freeDisk|mb-int"},
+			}},
+			glue.GroupNetworkAdapter: {Group: glue.GroupNetworkAdapter, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "hostname"},
+				{GLUEField: "InterfaceName", Native: "const:path", Note: "NWS measures the network path"},
+				{GLUEField: "Bandwidth", Native: "bandwidthTcp"},
+				{GLUEField: "Latency", Native: "latencyTcp"},
+			}},
+		},
+	}
+}

@@ -1,0 +1,342 @@
+// Package scmsdrv implements the JDBC-SCMS driver: SQL queries against GLUE
+// groups are answered from SCMS cluster-status lines. SCMS rounds out the
+// paper's initial driver set (§3.2.3); its key=value lines parse trivially,
+// so the driver carries no response cache, but like Ganglia a single STATUS
+// answer covers the whole cluster.
+//
+// URLs: gridrm:scms://host:port. Protocol-less URLs are verified with a
+// NODES handshake at connect time.
+package scmsdrv
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridrm/internal/agents/scms"
+	"gridrm/internal/driver"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+	"gridrm/internal/schema"
+	"gridrm/internal/sqlparse"
+)
+
+// DriverName is the registration name.
+const DriverName = "jdbc-scms"
+
+// DefaultPort is the SCMS port assumed when the URL has none.
+const DefaultPort = 2933
+
+// Driver is the JDBC-SCMS driver.
+type Driver struct {
+	schemas *schema.Manager
+}
+
+// New creates the driver; the SchemaManager may be nil.
+func New(sm *schema.Manager) *Driver { return &Driver{schemas: sm} }
+
+// Name implements driver.Driver.
+func (d *Driver) Name() string { return DriverName }
+
+// Version implements driver.Versioned.
+func (d *Driver) Version() string { return "1.0" }
+
+// AcceptsURL implements driver.Driver.
+func (d *Driver) AcceptsURL(url string) bool {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return false
+	}
+	return u.Protocol == "" || u.Protocol == "scms"
+}
+
+// Connect implements driver.Driver, verifying the agent with a NODES
+// handshake.
+func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, error) {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	timeout := 2 * time.Second
+	if t := props.Get("timeout", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("scmsdrv: bad timeout %q", t)
+		}
+		timeout = parsed
+	}
+	tcp, err := net.DialTimeout("tcp", u.Address(DefaultPort), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("scmsdrv: %w", err)
+	}
+	conn := &Conn{drv: d, tcp: tcp, r: bufio.NewReader(tcp), url: url, timeout: timeout}
+	conn.mapping, conn.gen = d.lookupSchema()
+	if _, err := conn.command("NODES"); err != nil {
+		_ = tcp.Close()
+		return nil, fmt.Errorf("scmsdrv: %s does not answer as an SCMS agent: %w", url, err)
+	}
+	return conn, nil
+}
+
+func (d *Driver) lookupSchema() (*schema.DriverSchema, int64) {
+	if d.schemas == nil {
+		return Schema(), 0
+	}
+	if ds, gen, ok := d.schemas.Lookup(DriverName); ok {
+		return ds, gen
+	}
+	return Schema(), 0
+}
+
+// Conn is an SCMS driver connection.
+type Conn struct {
+	driver.UnimplementedConn
+	drv     *Driver
+	tcp     net.Conn
+	r       *bufio.Reader
+	url     string
+	timeout time.Duration
+	mapping *schema.DriverSchema
+	gen     int64
+	closed  bool
+}
+
+// URL implements driver.Conn.
+func (c *Conn) URL() string { return c.url }
+
+// Driver implements driver.Conn.
+func (c *Conn) Driver() string { return DriverName }
+
+// Close implements driver.Conn.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.tcp.Close()
+}
+
+// Ping implements driver.Conn with a NODES round trip.
+func (c *Conn) Ping() error {
+	if c.closed {
+		return driver.ErrClosed
+	}
+	_, err := c.command("NODES")
+	return err
+}
+
+// SourceInfo implements driver.MetadataProvider.
+func (c *Conn) SourceInfo() driver.SourceInfo {
+	return driver.SourceInfo{Protocol: "scms", Groups: c.mapping.GroupNames()}
+}
+
+// CreateStatement implements driver.Conn.
+func (c *Conn) CreateStatement() (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrClosed
+	}
+	return &Stmt{conn: c}, nil
+}
+
+// command sends one line and collects response lines up to END.
+func (c *Conn) command(cmd string) ([]string, error) {
+	_ = c.tcp.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := fmt.Fprintf(c.tcp, "%s\n", cmd); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		_ = c.tcp.SetDeadline(time.Now().Add(c.timeout))
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "END" {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return nil, fmt.Errorf("scmsdrv: %s", line)
+		}
+		out = append(out, line)
+	}
+}
+
+// Stmt executes SQL against SCMS status lines.
+type Stmt struct {
+	driver.UnimplementedStmt
+	conn   *Conn
+	closed bool
+}
+
+// Close implements driver.Stmt.
+func (s *Stmt) Close() error { s.closed = true; return nil }
+
+// ExecuteQuery implements driver.Stmt.
+func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	if s.closed || s.conn.closed {
+		return nil, driver.ErrClosed
+	}
+	if s.conn.drv.schemas != nil && !s.conn.drv.schemas.Valid(DriverName, s.conn.gen) {
+		s.conn.mapping, s.conn.gen = s.conn.drv.lookupSchema()
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := glue.Lookup(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("scmsdrv: unknown group %q", q.Table)
+	}
+	gm, ok := s.conn.mapping.Groups[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("scmsdrv: group %s not supported by this driver", g.Name)
+	}
+	// Site-level element groups come from the CLUSTER command; per-host
+	// groups from STATUS.
+	kind := clusterKind(g.Name)
+	cmd := "STATUS"
+	if kind != "" {
+		cmd = "CLUSTER"
+	}
+	lines, err := s.conn.command(cmd)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	for _, line := range lines {
+		var fields map[string]string
+		if kind != "" {
+			fields, err = scms.ParseFields(line)
+			if err == nil && fields["kind"] != kind {
+				continue
+			}
+		} else {
+			fields, err = scms.ParseStatus(line)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scmsdrv: %w", err)
+		}
+		row, err := schema.BuildRow(g, gm, func(native string) (any, bool) {
+			return resolve(native, fields)
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Append(row...)
+	}
+	full, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.ApplyToResultSet(q, full)
+}
+
+// clusterKind returns the CLUSTER line kind tag serving a GLUE group, or
+// "" for per-host groups.
+func clusterKind(group string) string {
+	switch group {
+	case glue.GroupComputeElement:
+		return "ce"
+	case glue.GroupStorageElement:
+		return "se"
+	case glue.GroupNetworkElement:
+		return "ne"
+	}
+	return ""
+}
+
+// resolve maps "key", "key|int" or "key|float" natives onto parsed status
+// fields.
+func resolve(native string, fields map[string]string) (any, bool) {
+	name, conv, _ := strings.Cut(native, "|")
+	v, ok := fields[name]
+	if !ok {
+		return nil, false
+	}
+	switch conv {
+	case "int":
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		return n, true
+	case "float":
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, false
+		}
+		return f, true
+	case "":
+		return v, true
+	}
+	return nil, false
+}
+
+// Schema returns the driver's GLUE mapping. Native names are SCMS status
+// keys, optionally suffixed "|int" or "|float". SCMS is the only bundled
+// driver that fills the full CPU identity (model, vendor, clock, cache)
+// AND OS version, but it knows nothing about disks or the network.
+func Schema() *schema.DriverSchema {
+	return &schema.DriverSchema{
+		Driver: DriverName,
+		Groups: map[string]*schema.GroupMapping{
+			glue.GroupProcessor: {Group: glue.GroupProcessor, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "host"},
+				{GLUEField: "Model", Native: "cpu_model"},
+				{GLUEField: "Vendor", Native: "cpu_vendor"},
+				{GLUEField: "ClockSpeed", Native: "cpu_mhz|int"},
+				{GLUEField: "CacheSize", Native: "cpu_cache_kb|int"},
+				{GLUEField: "CPUCount", Native: "ncpus|int"},
+				{GLUEField: "LoadLast1Min", Native: "load1|float"},
+				{GLUEField: "LoadLast5Min", Native: "load5|float"},
+				{GLUEField: "LoadLast15Min", Native: "load15|float"},
+				{GLUEField: "Utilization", Native: "util|float"},
+			}},
+			glue.GroupMemory: {Group: glue.GroupMemory, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "host"},
+				{GLUEField: "RAMSize", Native: "mem_total_mb|int"},
+				{GLUEField: "RAMAvailable", Native: "mem_free_mb|int"},
+			}},
+			glue.GroupOperatingSystem: {Group: glue.GroupOperatingSystem, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "host"},
+				{GLUEField: "Name", Native: "os_name"},
+				{GLUEField: "Release", Native: "os_release"},
+				{GLUEField: "Version", Native: "os_version"},
+				{GLUEField: "Uptime", Native: "uptime_s|int"},
+				// BootTime is not an SCMS field → NULL.
+			}},
+			glue.GroupComputeElement: {Group: glue.GroupComputeElement, Fields: []schema.FieldMapping{
+				{GLUEField: "CEId", Native: "id"},
+				{GLUEField: "HostName", Native: "host"},
+				{GLUEField: "LRMSType", Native: "lrms"},
+				{GLUEField: "TotalCPUs", Native: "total_cpus|int"},
+				{GLUEField: "FreeCPUs", Native: "free_cpus|int"},
+				{GLUEField: "RunningJobs", Native: "running|int"},
+				{GLUEField: "WaitingJobs", Native: "waiting|int"},
+				{GLUEField: "Status", Native: "status"},
+			}},
+			glue.GroupStorageElement: {Group: glue.GroupStorageElement, Fields: []schema.FieldMapping{
+				{GLUEField: "SEId", Native: "id"},
+				{GLUEField: "HostName", Native: "host"},
+				{GLUEField: "Protocol", Native: "protocol"},
+				{GLUEField: "TotalSize", Native: "total_gb|int"},
+				{GLUEField: "UsedSize", Native: "used_gb|int"},
+				{GLUEField: "Status", Native: "status"},
+			}},
+			glue.GroupNetworkElement: {Group: glue.GroupNetworkElement, Fields: []schema.FieldMapping{
+				{GLUEField: "Name", Native: "name"},
+				{GLUEField: "Type", Native: "type"},
+				{GLUEField: "PortCount", Native: "ports|int"},
+				{GLUEField: "Status", Native: "status"},
+			}},
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package snmpdrv
+
+import (
+	"gridrm/internal/glue"
+	"gridrm/internal/schema"
+)
+
+// Schema returns the driver's GLUE mapping for registration with the
+// SchemaManager. Native names for scalar fields are dotted OIDs; table
+// groups use symbolic column names resolved inside the driver. GLUE fields
+// real MIBs cannot supply (disk throughput, network latency, process user,
+// virtual memory size) are deliberately unmapped and therefore NULL,
+// exercising the paper's §3.1.4 translation rule.
+func Schema() *schema.DriverSchema {
+	return &schema.DriverSchema{
+		Driver: DriverName,
+		Groups: map[string]*schema.GroupMapping{
+			glue.GroupProcessor: {Group: glue.GroupProcessor, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "1.3.6.1.2.1.1.5.0"},
+				{GLUEField: "Model", Native: "1.3.6.1.2.1.25.3.2.1.3.1"},
+				{GLUEField: "Vendor", Native: "1.3.6.1.4.1.9999.1.2"},
+				{GLUEField: "ClockSpeed", Native: "1.3.6.1.4.1.9999.1.1", Note: "vendor extension"},
+				{GLUEField: "CacheSize", Native: "1.3.6.1.4.1.9999.1.3", Note: "vendor extension"},
+				{GLUEField: "LoadLast1Min", Native: "1.3.6.1.4.1.2021.10.1.3.1"},
+				{GLUEField: "LoadLast5Min", Native: "1.3.6.1.4.1.2021.10.1.3.2"},
+				{GLUEField: "LoadLast15Min", Native: "1.3.6.1.4.1.2021.10.1.3.3"},
+				{GLUEField: "Utilization", Native: "1.3.6.1.2.1.25.3.3.1.2.1"},
+				// CPUCount is unmapped: deriving it needs a table walk the
+				// scalar path does not perform → NULL.
+			}},
+			glue.GroupMemory: {Group: glue.GroupMemory, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "1.3.6.1.2.1.1.5.0"},
+				{GLUEField: "RAMSize", Native: "1.3.6.1.2.1.25.2.2.0", Note: "kb-to-mb"},
+				{GLUEField: "RAMAvailable", Native: "1.3.6.1.4.1.2021.4.6.0", Note: "kb-to-mb"},
+				{GLUEField: "SwapInRate", Native: "1.3.6.1.4.1.9999.1.4"},
+				{GLUEField: "SwapOutRate", Native: "1.3.6.1.4.1.9999.1.5"},
+				// VirtualSize/VirtualAvailable are not in HOST-RESOURCES → NULL.
+			}},
+			glue.GroupOperatingSystem: {Group: glue.GroupOperatingSystem, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "1.3.6.1.2.1.1.5.0"},
+				{GLUEField: "Name", Native: "1.3.6.1.2.1.1.1.0", Note: "sysdescr-field-0"},
+				{GLUEField: "Release", Native: "1.3.6.1.2.1.1.1.0", Note: "sysdescr-field-1"},
+				{GLUEField: "Uptime", Native: "1.3.6.1.2.1.1.3.0", Note: "ticks-to-seconds"},
+				{GLUEField: "BootTime", Native: "1.3.6.1.4.1.9999.1.6", Note: "unix-to-time"},
+				// Version is only partially recoverable from sysDescr → NULL.
+			}},
+			glue.GroupDisk: {Group: glue.GroupDisk, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "sysName"},
+				{GLUEField: "DeviceName", Native: "hrStorageDescr"},
+				{GLUEField: "Size", Native: "hrStorageSize"},
+				{GLUEField: "Available", Native: "hrStorageFree"},
+				// ReadRate/WriteRate are not in HOST-RESOURCES → NULL.
+			}},
+			glue.GroupNetworkAdapter: {Group: glue.GroupNetworkAdapter, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "sysName"},
+				{GLUEField: "InterfaceName", Native: "ifDescr"},
+				{GLUEField: "IPAddress", Native: "ifAddr"},
+				{GLUEField: "MTU", Native: "ifMtu"},
+				{GLUEField: "Bandwidth", Native: "ifSpeed", Note: "bps-to-mbps"},
+				{GLUEField: "BytesIn", Native: "ifInOctets"},
+				{GLUEField: "BytesOut", Native: "ifOutOctets"},
+				{GLUEField: "PacketsIn", Native: "ifInUcastPkts"},
+				{GLUEField: "PacketsOut", Native: "ifOutUcastPkts"},
+				// Latency is not measurable via SNMP → NULL.
+			}},
+			glue.GroupProcess: {Group: glue.GroupProcess, Fields: []schema.FieldMapping{
+				{GLUEField: "HostName", Native: "sysName"},
+				{GLUEField: "PID", Native: "hrSWRunIndex"},
+				{GLUEField: "Name", Native: "hrSWRunName"},
+				{GLUEField: "State", Native: "hrSWRunStatus"},
+				{GLUEField: "CPUPercent", Native: "hrSWRunPerfCPU"},
+				{GLUEField: "MemoryKB", Native: "hrSWRunPerfMem"},
+				// User is not in HOST-RESOURCES → NULL.
+			}},
+		},
+	}
+}

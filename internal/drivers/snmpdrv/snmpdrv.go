@@ -1,0 +1,560 @@
+// Package snmpdrv implements the JDBC-SNMP driver of the paper (Fig 3):
+// SQL queries against GLUE groups are translated into fine-grained SNMP
+// Get/GetNext requests, and the returned varbinds are mapped onto GLUE
+// fields through the SchemaManager.
+//
+// Interaction style (paper §3.2.3): requests are fine-grained — scalar
+// groups cost one Get round trip over the exact OIDs needed, table groups
+// cost one GetNext walk of the relevant subtree — and "generally little or
+// no parsing [is] required to read the native data value into the GridRM
+// driver", so the driver carries no response cache.
+//
+// URLs: gridrm:snmp://host:port[/community] — the path overrides the
+// "community" property. Protocol-less URLs (gridrm://host:port) are
+// accepted and verified by a sysName probe at connect time, which is what
+// lets the GridRMDriverManager locate this driver dynamically.
+package snmpdrv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridrm/internal/agents/snmp"
+	"gridrm/internal/driver"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+	"gridrm/internal/schema"
+	"gridrm/internal/sqlparse"
+)
+
+// DriverName is the registration name.
+const DriverName = "jdbc-snmp"
+
+// DefaultPort is the agent port assumed when the URL has none.
+const DefaultPort = 1161
+
+// Driver is the JDBC-SNMP driver.
+type Driver struct {
+	schemas *schema.Manager
+}
+
+// New creates the driver. The SchemaManager may be nil, in which case the
+// built-in mapping is used without revalidation.
+func New(sm *schema.Manager) *Driver { return &Driver{schemas: sm} }
+
+// Name implements driver.Driver.
+func (d *Driver) Name() string { return DriverName }
+
+// Version implements driver.Versioned.
+func (d *Driver) Version() string { return "1.0" }
+
+// AcceptsURL implements driver.Driver: the URL must parse and either name
+// the snmp protocol or leave the protocol open for dynamic selection.
+func (d *Driver) AcceptsURL(url string) bool {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return false
+	}
+	return u.Protocol == "" || u.Protocol == "snmp"
+}
+
+// Connect implements driver.Driver: it opens a UDP client and verifies the
+// agent by fetching sysName, so that dynamic selection only succeeds when
+// the data source really speaks this protocol.
+func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, error) {
+	u, err := driver.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	community := props.Get("community", snmp.DefaultCommunity)
+	if u.Path != "" {
+		community = u.Path
+	}
+	timeout := 2 * time.Second
+	if t := props.Get("timeout", ""); t != "" {
+		parsed, err := time.ParseDuration(t)
+		if err != nil {
+			return nil, fmt.Errorf("snmpdrv: bad timeout %q", t)
+		}
+		timeout = parsed
+	}
+	client, err := snmp.Dial(u.Address(DefaultPort), community, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("snmpdrv: %w", err)
+	}
+	vbs, err := client.Get(snmp.OIDSysName)
+	if err != nil || len(vbs) == 0 || vbs[0].Value.Type != snmp.TypeString {
+		_ = client.Close()
+		return nil, fmt.Errorf("snmpdrv: %s does not answer as an SNMP agent: %v", url, err)
+	}
+	conn := &Conn{drv: d, client: client, url: url, sysName: vbs[0].Value.Str}
+	conn.mapping, conn.gen = d.lookupSchema()
+	return conn, nil
+}
+
+func (d *Driver) lookupSchema() (*schema.DriverSchema, int64) {
+	if d.schemas == nil {
+		return Schema(), 0
+	}
+	if ds, gen, ok := d.schemas.Lookup(DriverName); ok {
+		return ds, gen
+	}
+	return Schema(), 0
+}
+
+// Conn is an SNMP driver connection. Per Fig 5, the schema mapping is
+// cached when the connection is created.
+type Conn struct {
+	driver.UnimplementedConn
+	drv     *Driver
+	client  *snmp.Client
+	url     string
+	sysName string
+	mapping *schema.DriverSchema
+	gen     int64
+	closed  bool
+}
+
+// URL implements driver.Conn.
+func (c *Conn) URL() string { return c.url }
+
+// Driver implements driver.Conn.
+func (c *Conn) Driver() string { return DriverName }
+
+// Ping implements driver.Conn with a sysUpTime fetch.
+func (c *Conn) Ping() error {
+	if c.closed {
+		return driver.ErrClosed
+	}
+	_, err := c.client.Get(snmp.OIDSysUpTime)
+	return err
+}
+
+// Close implements driver.Conn.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.client.Close()
+}
+
+// SourceInfo implements driver.MetadataProvider.
+func (c *Conn) SourceInfo() driver.SourceInfo {
+	return driver.SourceInfo{
+		Protocol:     "snmp",
+		AgentVersion: fmt.Sprintf("v%d", snmp.Version),
+		Groups:       c.mapping.GroupNames(),
+	}
+}
+
+// CreateStatement implements driver.Conn.
+func (c *Conn) CreateStatement() (driver.Stmt, error) {
+	if c.closed {
+		return nil, driver.ErrClosed
+	}
+	return &Stmt{conn: c}, nil
+}
+
+// Stmt executes SQL against the agent.
+type Stmt struct {
+	driver.UnimplementedStmt
+	conn   *Conn
+	closed bool
+}
+
+// Close implements driver.Stmt.
+func (s *Stmt) Close() error {
+	s.closed = true
+	return nil
+}
+
+// ExecuteQuery implements driver.Stmt: it parses the SQL, performs the
+// native SNMP retrieval for the target group, builds GLUE rows via the
+// SchemaManager mapping, and finishes WHERE/ORDER/LIMIT/projection locally.
+func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	if s.closed || s.conn.closed {
+		return nil, driver.ErrClosed
+	}
+	// Check schema-cache consistency before using the cached instance
+	// (Fig 5).
+	if s.conn.drv.schemas != nil && !s.conn.drv.schemas.Valid(DriverName, s.conn.gen) {
+		s.conn.mapping, s.conn.gen = s.conn.drv.lookupSchema()
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := glue.Lookup(q.Table)
+	if !ok {
+		return nil, fmt.Errorf("snmpdrv: unknown group %q", q.Table)
+	}
+	gm, ok := s.conn.mapping.Groups[g.Name]
+	if !ok {
+		return nil, fmt.Errorf("snmpdrv: group %s not supported by this driver", g.Name)
+	}
+	full, err := s.fetchGroup(g, gm)
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.ApplyToResultSet(q, full)
+}
+
+func (s *Stmt) fetchGroup(g *glue.Group, gm *schema.GroupMapping) (*resultset.ResultSet, error) {
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	switch g.Name {
+	case glue.GroupProcessor, glue.GroupMemory, glue.GroupOperatingSystem:
+		row, err := s.fetchScalarRow(g, gm)
+		if err != nil {
+			return nil, err
+		}
+		b.Append(row...)
+	case glue.GroupDisk:
+		if err := s.appendStorageRows(g, gm, b); err != nil {
+			return nil, err
+		}
+	case glue.GroupNetworkAdapter:
+		if err := s.appendIfRows(g, gm, b); err != nil {
+			return nil, err
+		}
+	case glue.GroupProcess:
+		if err := s.appendProcessRows(g, gm, b); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("snmpdrv: group %s not supported by this driver", g.Name)
+	}
+	return b.Build()
+}
+
+// fetchScalarRow performs one Get over every scalar OID the mapping needs
+// and assembles the GLUE row directly (two mappings may pull different
+// fields out of the same OID, e.g. OS Name and Release from sysDescr, so
+// translation is per field, not per OID).
+func (s *Stmt) fetchScalarRow(g *glue.Group, gm *schema.GroupMapping) ([]any, error) {
+	oids := make([]snmp.OID, len(gm.Fields))
+	for i, f := range gm.Fields {
+		oid, err := snmp.ParseOID(f.Native)
+		if err != nil {
+			return nil, fmt.Errorf("snmpdrv: mapping for %s is not an OID: %w", f.GLUEField, err)
+		}
+		oids[i] = oid
+	}
+	// One fine-grained round trip for the whole scalar group. An error
+	// status with varbinds means some OIDs are absent on this agent:
+	// refetch individually so present values still translate and absent
+	// ones become NULL. An error with no varbinds is a transport failure
+	// and propagates.
+	vbs, err := s.conn.client.Get(oids...)
+	if err != nil {
+		if len(vbs) == 0 {
+			return nil, fmt.Errorf("snmpdrv: %w", err)
+		}
+		vbs = vbs[:0]
+		for _, oid := range oids {
+			single, gerr := s.conn.client.Get(oid)
+			if gerr != nil {
+				if len(single) == 0 {
+					return nil, fmt.Errorf("snmpdrv: %w", gerr)
+				}
+				vbs = append(vbs, snmp.Varbind{OID: oid, Value: snmp.NullValue})
+				continue
+			}
+			vbs = append(vbs, single[0])
+		}
+	}
+	if len(vbs) != len(gm.Fields) {
+		return nil, fmt.Errorf("snmpdrv: agent answered %d of %d varbinds", len(vbs), len(gm.Fields))
+	}
+	row := make([]any, len(g.Fields))
+	for i, fm := range gm.Fields {
+		f, ok := g.Field(fm.GLUEField)
+		if !ok {
+			continue
+		}
+		if v, ok := translate(vbs[i].Value, f, fm.Note); ok {
+			row[g.FieldIndex(fm.GLUEField)] = v
+		}
+	}
+	return row, nil
+}
+
+// translate converts one SNMP value to the GLUE field's kind, applying the
+// unit conversion named by the mapping note.
+func translate(v snmp.Value, f glue.Field, note string) (any, bool) {
+	if v.Type == snmp.TypeNull {
+		return nil, false
+	}
+	var out any
+	switch v.Type {
+	case snmp.TypeInt:
+		out = v.Int
+	case snmp.TypeCounter, snmp.TypeTicks:
+		out = int64(v.Uint)
+	case snmp.TypeString:
+		out = v.Str
+	default:
+		return nil, false
+	}
+	// Unit conversions recorded in the mapping notes.
+	switch note {
+	case "kb-to-mb":
+		n, ok := out.(int64)
+		if !ok {
+			return nil, false
+		}
+		out = n / 1024
+	case "ticks-to-seconds":
+		n, ok := out.(int64)
+		if !ok {
+			return nil, false
+		}
+		out = n / 100
+	case "bps-to-mbps":
+		n, ok := out.(int64)
+		if !ok {
+			return nil, false
+		}
+		out = float64(n) / 1e6
+	case "centi-percent":
+		n, ok := out.(int64)
+		if !ok {
+			return nil, false
+		}
+		out = float64(n) / 100
+	case "unix-to-time":
+		n, ok := out.(int64)
+		if !ok {
+			return nil, false
+		}
+		out = time.Unix(n, 0).UTC()
+	case "sysdescr-field-0", "sysdescr-field-1", "sysdescr-field-2":
+		str, ok := out.(string)
+		if !ok {
+			return nil, false
+		}
+		idx := int(note[len(note)-1] - '0')
+		parts := strings.SplitN(str, " ", 3)
+		if idx >= len(parts) {
+			return nil, false
+		}
+		out = parts[idx]
+	case "swrun-state":
+		n, ok := out.(int64)
+		if !ok {
+			return nil, false
+		}
+		out = swRunState(n)
+	}
+	// Coerce to the field kind where the wire type is close enough.
+	switch f.Kind {
+	case glue.Float:
+		switch x := out.(type) {
+		case int64:
+			out = float64(x)
+		case string:
+			fv, err := strconv.ParseFloat(x, 64)
+			if err != nil {
+				return nil, false
+			}
+			out = fv
+		}
+	case glue.Int:
+		if x, ok := out.(string); ok {
+			n, err := strconv.ParseInt(x, 10, 64)
+			if err != nil {
+				return nil, false
+			}
+			out = n
+		}
+	}
+	if glue.CheckValue(f, out) != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func swRunState(n int64) string {
+	switch n {
+	case 1:
+		return "R"
+	case 2:
+		return "S"
+	case 3:
+		return "D"
+	}
+	return "Z"
+}
+
+// tableValues walks one SNMP table subtree and returns column → index →
+// value.
+func (s *Stmt) tableValues(prefix snmp.OID) (map[uint32]map[uint32]snmp.Value, error) {
+	vbs, err := s.conn.client.Walk(prefix)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[uint32]map[uint32]snmp.Value)
+	for _, vb := range vbs {
+		if len(vb.OID) != len(prefix)+2 {
+			continue
+		}
+		col, idx := vb.OID[len(prefix)], vb.OID[len(prefix)+1]
+		if table[col] == nil {
+			table[col] = make(map[uint32]snmp.Value)
+		}
+		table[col][idx] = vb.Value
+	}
+	return table, nil
+}
+
+func sortedIndices(col map[uint32]snmp.Value) []uint32 {
+	out := make([]uint32, 0, len(col))
+	for idx := range col {
+		out = append(out, idx)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// appendStorageRows renders hrStorageTable disk rows (index ≥ 2; index 1 is
+// physical memory).
+func (s *Stmt) appendStorageRows(g *glue.Group, gm *schema.GroupMapping, b *resultset.Builder) error {
+	table, err := s.tableValues(snmp.OIDHrStorage)
+	if err != nil {
+		return err
+	}
+	descr := table[snmp.HrStorageColDescr]
+	size := table[snmp.HrStorageColSize]
+	used := table[snmp.HrStorageColUsed]
+	for _, idx := range sortedIndices(descr) {
+		if idx < 2 {
+			continue
+		}
+		values := map[string]any{"sysName": s.conn.sysName}
+		if v := descr[idx]; v.Type == snmp.TypeString {
+			values["hrStorageDescr"] = strings.TrimPrefix(v.Str, "/dev/")
+		}
+		var sz, us int64
+		var haveSize, haveUsed bool
+		if v, ok := size[idx]; ok && v.Type == snmp.TypeInt {
+			sz, haveSize = v.Int, true
+			values["hrStorageSize"] = sz
+		}
+		if v, ok := used[idx]; ok && v.Type == snmp.TypeInt {
+			us, haveUsed = v.Int, true
+		}
+		if haveSize && haveUsed {
+			values["hrStorageFree"] = sz - us
+		}
+		row, err := schema.BuildRow(g, gm, func(native string) (any, bool) {
+			v, ok := values[native]
+			return v, ok
+		})
+		if err != nil {
+			return err
+		}
+		b.Append(row...)
+	}
+	return nil
+}
+
+// appendIfRows renders ifTable rows.
+func (s *Stmt) appendIfRows(g *glue.Group, gm *schema.GroupMapping, b *resultset.Builder) error {
+	table, err := s.tableValues(snmp.OIDIfTable)
+	if err != nil {
+		return err
+	}
+	descr := table[snmp.IfColDescr]
+	for _, idx := range sortedIndices(descr) {
+		values := map[string]any{"sysName": s.conn.sysName}
+		put := func(native string, col uint32, conv func(snmp.Value) (any, bool)) {
+			if v, ok := table[col][idx]; ok {
+				if out, ok := conv(v); ok {
+					values[native] = out
+				}
+			}
+		}
+		asStr := func(v snmp.Value) (any, bool) { return v.Str, v.Type == snmp.TypeString }
+		asInt := func(v snmp.Value) (any, bool) {
+			switch v.Type {
+			case snmp.TypeInt:
+				return v.Int, true
+			case snmp.TypeCounter, snmp.TypeTicks:
+				return int64(v.Uint), true
+			}
+			return nil, false
+		}
+		put("ifDescr", snmp.IfColDescr, asStr)
+		put("ifAddr", snmp.IfColAddr, asStr)
+		put("ifMtu", snmp.IfColMTU, asInt)
+		put("ifSpeed", snmp.IfColSpeed, func(v snmp.Value) (any, bool) {
+			if v.Type != snmp.TypeCounter {
+				return nil, false
+			}
+			return float64(v.Uint) / 1e6, true
+		})
+		put("ifInOctets", snmp.IfColInOctets, asInt)
+		put("ifOutOctets", snmp.IfColOutOctets, asInt)
+		put("ifInUcastPkts", snmp.IfColInPkts, asInt)
+		put("ifOutUcastPkts", snmp.IfColOutPkts, asInt)
+		row, err := schema.BuildRow(g, gm, func(native string) (any, bool) {
+			v, ok := values[native]
+			return v, ok
+		})
+		if err != nil {
+			return err
+		}
+		b.Append(row...)
+	}
+	return nil
+}
+
+// appendProcessRows renders hrSWRun + hrSWRunPerf rows.
+func (s *Stmt) appendProcessRows(g *glue.Group, gm *schema.GroupMapping, b *resultset.Builder) error {
+	run, err := s.tableValues(snmp.OIDHrSWRun)
+	if err != nil {
+		return err
+	}
+	perf, err := s.tableValues(snmp.OIDHrSWRunPerf)
+	if err != nil {
+		return err
+	}
+	pids := run[snmp.HrSWRunColIndex]
+	for _, idx := range sortedIndices(pids) {
+		values := map[string]any{"sysName": s.conn.sysName}
+		if v := pids[idx]; v.Type == snmp.TypeInt {
+			values["hrSWRunIndex"] = v.Int
+		}
+		if v, ok := run[snmp.HrSWRunColName][idx]; ok && v.Type == snmp.TypeString {
+			values["hrSWRunName"] = v.Str
+		}
+		if v, ok := run[snmp.HrSWRunColStatus][idx]; ok && v.Type == snmp.TypeInt {
+			values["hrSWRunStatus"] = swRunState(v.Int)
+		}
+		if v, ok := perf[snmp.HrSWRunPerfColCPU][idx]; ok && v.Type == snmp.TypeInt {
+			values["hrSWRunPerfCPU"] = float64(v.Int) / 100
+		}
+		if v, ok := perf[snmp.HrSWRunPerfColMem][idx]; ok && v.Type == snmp.TypeInt {
+			values["hrSWRunPerfMem"] = v.Int
+		}
+		row, err := schema.BuildRow(g, gm, func(native string) (any, bool) {
+			v, ok := values[native]
+			return v, ok
+		})
+		if err != nil {
+			return err
+		}
+		b.Append(row...)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package snmpdrv
+
+import (
+	"testing"
+	"time"
+
+	"gridrm/internal/agents/snmp"
+	"gridrm/internal/glue"
+)
+
+func TestTranslateConversions(t *testing.T) {
+	intField := glue.Field{Name: "i", Kind: glue.Int}
+	floatField := glue.Field{Name: "f", Kind: glue.Float}
+	strField := glue.Field{Name: "s", Kind: glue.String}
+	timeField := glue.Field{Name: "t", Kind: glue.Time}
+
+	cases := []struct {
+		name string
+		v    snmp.Value
+		f    glue.Field
+		note string
+		want any
+		ok   bool
+	}{
+		{"null is absent", snmp.NullValue, intField, "", nil, false},
+		{"int passthrough", snmp.IntValue(42), intField, "", int64(42), true},
+		{"counter to int", snmp.CounterValue(7), intField, "", int64(7), true},
+		{"ticks to seconds", snmp.TicksValue(12345), intField, "ticks-to-seconds", int64(123), true},
+		{"kb to mb", snmp.IntValue(2048), intField, "kb-to-mb", int64(2), true},
+		{"bps to mbps", snmp.CounterValue(100_000_000), floatField, "bps-to-mbps", 100.0, true},
+		{"centi percent", snmp.IntValue(250), floatField, "centi-percent", 2.5, true},
+		{"string load to float", snmp.StringValue("1.25"), floatField, "", 1.25, true},
+		{"junk string to float", snmp.StringValue("n/a"), floatField, "", nil, false},
+		{"string to int", snmp.StringValue("17"), intField, "", int64(17), true},
+		{"int widens to float", snmp.IntValue(3), floatField, "", 3.0, true},
+		{"string passthrough", snmp.StringValue("x"), strField, "", "x", true},
+		{"unix to time", snmp.IntValue(1054425600), timeField, "unix-to-time",
+			time.Unix(1054425600, 0).UTC(), true},
+		{"sysdescr field 0", snmp.StringValue("Linux 2.4.20 Red Hat 9"), strField,
+			"sysdescr-field-0", "Linux", true},
+		{"sysdescr field 1", snmp.StringValue("Linux 2.4.20 Red Hat 9"), strField,
+			"sysdescr-field-1", "2.4.20", true},
+		{"sysdescr out of range", snmp.StringValue("only"), strField,
+			"sysdescr-field-2", nil, false},
+		{"swrun state running", snmp.IntValue(1), strField, "swrun-state", "R", true},
+		{"swrun state invalid", snmp.IntValue(4), strField, "swrun-state", "Z", true},
+		{"kb-to-mb on string fails", snmp.StringValue("x"), intField, "kb-to-mb", nil, false},
+		{"int into string field fails", snmp.IntValue(1), strField, "", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := translate(c.v, c.f, c.note)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if tv, isTime := c.want.(time.Time); isTime {
+			if !got.(time.Time).Equal(tv) {
+				t.Errorf("%s: got %v, want %v", c.name, got, tv)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: got %#v, want %#v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSwRunStateMapping(t *testing.T) {
+	want := map[int64]string{1: "R", 2: "S", 3: "D", 4: "Z", 99: "Z"}
+	for in, out := range want {
+		if got := swRunState(in); got != out {
+			t.Errorf("swRunState(%d) = %q, want %q", in, got, out)
+		}
+	}
+}

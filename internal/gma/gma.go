@@ -1,0 +1,408 @@
+// Package gma implements GridRM's Global layer: the Grid Monitoring
+// Architecture (GMA) interaction model of the paper's Fig 1. Gateways
+// register with a GMA directory as producers of their site's resource
+// data; a client may connect to any gateway, and requests for remote
+// resource data are routed through the Global layer to the gateway that
+// owns the data.
+//
+// The package provides the directory (in-process and over HTTP), a
+// Registrar that keeps a gateway's producer record fresh, and the Router
+// that plugs into core.Gateway as its GlobalRouter.
+package gma
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridrm/internal/core"
+)
+
+// ProducerInfo is one gateway's registration record.
+type ProducerInfo struct {
+	// Site is the producer's site name (unique key).
+	Site string `json:"site"`
+	// Endpoint is the gateway's servlet base URL ("http://host:port").
+	Endpoint string `json:"endpoint"`
+	// Groups lists the GLUE groups the site can answer for.
+	Groups []string `json:"groups,omitempty"`
+	// RegisteredAt is when the record was last refreshed.
+	RegisteredAt time.Time `json:"registeredAt"`
+}
+
+// DirectoryService is the GMA directory contract shared by the in-process
+// directory and the HTTP client.
+type DirectoryService interface {
+	// Register adds or refreshes a producer record.
+	Register(p ProducerInfo) error
+	// Deregister removes a producer.
+	Deregister(site string) error
+	// Lookup finds a producer by site name.
+	Lookup(site string) (ProducerInfo, bool, error)
+	// Sites lists registered sites, sorted.
+	Sites() ([]string, error)
+}
+
+// Directory is the in-process GMA directory with TTL-based expiry of stale
+// producer records.
+type Directory struct {
+	ttl   time.Duration
+	clock func() time.Time
+
+	mu        sync.RWMutex
+	producers map[string]ProducerInfo
+}
+
+// NewDirectory creates a directory; records older than ttl are treated as
+// gone (ttl <= 0 means records never expire). The clock is injectable for
+// tests; nil uses time.Now.
+func NewDirectory(ttl time.Duration, clock func() time.Time) *Directory {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Directory{ttl: ttl, clock: clock, producers: make(map[string]ProducerInfo)}
+}
+
+// Register implements DirectoryService.
+func (d *Directory) Register(p ProducerInfo) error {
+	if p.Site == "" || p.Endpoint == "" {
+		return fmt.Errorf("gma: producer needs site and endpoint")
+	}
+	p.RegisteredAt = d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.producers[p.Site] = p
+	return nil
+}
+
+// Deregister implements DirectoryService.
+func (d *Directory) Deregister(site string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.producers[site]; !ok {
+		return fmt.Errorf("gma: site %q not registered", site)
+	}
+	delete(d.producers, site)
+	return nil
+}
+
+func (d *Directory) fresh(p ProducerInfo) bool {
+	return d.ttl <= 0 || d.clock().Sub(p.RegisteredAt) <= d.ttl
+}
+
+// Lookup implements DirectoryService.
+func (d *Directory) Lookup(site string) (ProducerInfo, bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.producers[site]
+	if !ok || !d.fresh(p) {
+		return ProducerInfo{}, false, nil
+	}
+	return p, true, nil
+}
+
+// Sites implements DirectoryService.
+func (d *Directory) Sites() ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.producers))
+	for site, p := range d.producers {
+		if d.fresh(p) {
+			out = append(out, site)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Producers returns all fresh records, sorted by site.
+func (d *Directory) Producers() []ProducerInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]ProducerInfo, 0, len(d.producers))
+	for _, p := range d.producers {
+		if d.fresh(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Prune drops expired records and reports how many were removed.
+func (d *Directory) Prune() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for site, p := range d.producers {
+		if !d.fresh(p) {
+			delete(d.producers, site)
+			n++
+		}
+	}
+	return n
+}
+
+// Handler returns the directory's HTTP interface:
+//
+//	POST   /gma/register    body: ProducerInfo
+//	DELETE /gma/register?site=
+//	GET    /gma/lookup?site=
+//	GET    /gma/sites
+func (d *Directory) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/gma/register", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var p ProducerInfo
+			if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if err := d.Register(p); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			if err := d.Deregister(r.URL.Query().Get("site")); err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/gma/lookup", func(w http.ResponseWriter, r *http.Request) {
+		p, ok, err := d.Lookup(r.URL.Query().Get("site"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, "unknown site", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, p)
+	})
+	mux.HandleFunc("/gma/sites", func(w http.ResponseWriter, r *http.Request) {
+		sites, err := d.Sites()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, sites)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// DirectoryClient talks to a remote Directory over HTTP.
+type DirectoryClient struct {
+	// BaseURL is the directory host base, e.g. "http://127.0.0.1:9000".
+	BaseURL string
+	// HTTPClient is optional; nil uses a 5s-timeout client.
+	HTTPClient *http.Client
+}
+
+func (c *DirectoryClient) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Register implements DirectoryService.
+func (c *DirectoryClient) Register(p ProducerInfo) error {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Post(c.BaseURL+"/gma/register", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("gma: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("gma: register failed: %s", resp.Status)
+	}
+	return nil
+}
+
+// Deregister implements DirectoryService.
+func (c *DirectoryClient) Deregister(site string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/gma/register?site="+site, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("gma: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("gma: deregister failed: %s", resp.Status)
+	}
+	return nil
+}
+
+// Lookup implements DirectoryService.
+func (c *DirectoryClient) Lookup(site string) (ProducerInfo, bool, error) {
+	resp, err := c.client().Get(c.BaseURL + "/gma/lookup?site=" + site)
+	if err != nil {
+		return ProducerInfo{}, false, fmt.Errorf("gma: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return ProducerInfo{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ProducerInfo{}, false, fmt.Errorf("gma: lookup failed: %s", resp.Status)
+	}
+	var p ProducerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return ProducerInfo{}, false, err
+	}
+	return p, true, nil
+}
+
+// Sites implements DirectoryService.
+func (c *DirectoryClient) Sites() ([]string, error) {
+	resp, err := c.client().Get(c.BaseURL + "/gma/sites")
+	if err != nil {
+		return nil, fmt.Errorf("gma: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gma: sites failed: %s", resp.Status)
+	}
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Registrar keeps one gateway's producer record fresh in a directory.
+type Registrar struct {
+	dir      DirectoryService
+	info     ProducerInfo
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	mu       sync.Mutex
+	started  bool
+}
+
+// NewRegistrar creates a registrar that re-registers info every interval.
+func NewRegistrar(dir DirectoryService, info ProducerInfo, interval time.Duration) *Registrar {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Registrar{dir: dir, info: info, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start registers immediately and then keeps the record fresh until Stop.
+func (r *Registrar) Start() error {
+	if err := r.dir.Register(r.info); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return nil
+	}
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = r.dir.Register(r.info)
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts refreshing and deregisters the producer.
+func (r *Registrar) Stop() {
+	r.mu.Lock()
+	started := r.started
+	r.started = false
+	r.mu.Unlock()
+	if !started {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	_ = r.dir.Deregister(r.info.Site)
+}
+
+// Exec forwards a query to a remote gateway endpoint; internal/web's
+// RemoteQuery is the HTTP implementation.
+type Exec func(endpoint string, req core.Request) (*core.Response, error)
+
+// Router routes remote-site queries via the GMA directory; it implements
+// core.GlobalRouter.
+type Router struct {
+	dir  DirectoryService
+	exec Exec
+	// local is the local site name, excluded from Sites().
+	local string
+}
+
+// NewRouter creates a Router for the gateway named local.
+func NewRouter(dir DirectoryService, exec Exec, local string) *Router {
+	return &Router{dir: dir, exec: exec, local: local}
+}
+
+// RemoteQuery implements core.GlobalRouter.
+func (r *Router) RemoteQuery(site string, req core.Request) (*core.Response, error) {
+	p, ok, err := r.dir.Lookup(site)
+	if err != nil {
+		return nil, fmt.Errorf("gma: directory lookup for %q: %w", site, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("gma: no producer registered for site %q", site)
+	}
+	resp, err := r.exec(p.Endpoint, req)
+	if err != nil {
+		return nil, fmt.Errorf("gma: remote query to %s (%s): %w", site, p.Endpoint, err)
+	}
+	return resp, nil
+}
+
+// Sites implements core.GlobalRouter.
+func (r *Router) Sites() []string {
+	sites, err := r.dir.Sites()
+	if err != nil {
+		return nil
+	}
+	out := sites[:0]
+	for _, s := range sites {
+		if s != r.local {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+var _ core.GlobalRouter = (*Router)(nil)
+var _ DirectoryService = (*Directory)(nil)
+var _ DirectoryService = (*DirectoryClient)(nil)

@@ -1,0 +1,195 @@
+package gma
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gridrm/internal/core"
+)
+
+func TestDirectoryRegisterLookup(t *testing.T) {
+	d := NewDirectory(0, nil)
+	if err := d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(ProducerInfo{}); err == nil {
+		t.Error("empty producer accepted")
+	}
+	p, ok, err := d.Lookup("A")
+	if err != nil || !ok || p.Endpoint != "http://a" {
+		t.Errorf("Lookup = %+v, %v, %v", p, ok, err)
+	}
+	if p.RegisteredAt.IsZero() {
+		t.Error("RegisteredAt not stamped")
+	}
+	if _, ok, _ := d.Lookup("B"); ok {
+		t.Error("unknown site found")
+	}
+	sites, _ := d.Sites()
+	if len(sites) != 1 || sites[0] != "A" {
+		t.Errorf("Sites = %v", sites)
+	}
+	if err := d.Deregister("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deregister("A"); err == nil {
+		t.Error("double deregister accepted")
+	}
+}
+
+func TestDirectoryTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	d := NewDirectory(10*time.Second, func() time.Time { return now })
+	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	now = now.Add(5 * time.Second)
+	if _, ok, _ := d.Lookup("A"); !ok {
+		t.Error("fresh record expired")
+	}
+	now = now.Add(6 * time.Second)
+	if _, ok, _ := d.Lookup("A"); ok {
+		t.Error("stale record returned")
+	}
+	if sites, _ := d.Sites(); len(sites) != 0 {
+		t.Errorf("stale sites = %v", sites)
+	}
+	if n := d.Prune(); n != 1 {
+		t.Errorf("pruned %d", n)
+	}
+	// Re-registration refreshes.
+	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	if _, ok, _ := d.Lookup("A"); !ok {
+		t.Error("re-registered record missing")
+	}
+}
+
+func TestDirectoryProducersSorted(t *testing.T) {
+	d := NewDirectory(0, nil)
+	_ = d.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	ps := d.Producers()
+	if len(ps) != 2 || ps[0].Site != "A" || ps[1].Site != "B" {
+		t.Errorf("producers = %v", ps)
+	}
+}
+
+func TestDirectoryHTTP(t *testing.T) {
+	d := NewDirectory(0, nil)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	c := &DirectoryClient{BaseURL: srv.URL}
+	if err := c.Register(ProducerInfo{Site: "A", Endpoint: "http://a", Groups: []string{"Processor"}}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := c.Lookup("A")
+	if err != nil || !ok || p.Endpoint != "http://a" || len(p.Groups) != 1 {
+		t.Errorf("Lookup = %+v, %v, %v", p, ok, err)
+	}
+	if _, ok, err := c.Lookup("nope"); err != nil || ok {
+		t.Errorf("missing lookup = %v, %v", ok, err)
+	}
+	sites, err := c.Sites()
+	if err != nil || len(sites) != 1 {
+		t.Errorf("Sites = %v, %v", sites, err)
+	}
+	if err := c.Deregister("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deregister("A"); err == nil {
+		t.Error("double deregister over HTTP accepted")
+	}
+	if err := c.Register(ProducerInfo{}); err == nil {
+		t.Error("bad register over HTTP accepted")
+	}
+}
+
+func TestDirectoryClientConnectionErrors(t *testing.T) {
+	c := &DirectoryClient{BaseURL: "http://127.0.0.1:1"}
+	if err := c.Register(ProducerInfo{Site: "A", Endpoint: "x"}); err == nil {
+		t.Error("register to dead directory succeeded")
+	}
+	if _, _, err := c.Lookup("A"); err == nil {
+		t.Error("lookup to dead directory succeeded")
+	}
+	if _, err := c.Sites(); err == nil {
+		t.Error("sites to dead directory succeeded")
+	}
+}
+
+func TestRegistrarLifecycle(t *testing.T) {
+	d := NewDirectory(0, nil)
+	r := NewRegistrar(d, ProducerInfo{Site: "A", Endpoint: "http://a"}, 10*time.Millisecond)
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Lookup("A"); !ok {
+		t.Fatal("not registered after Start")
+	}
+	first, _, _ := d.Lookup("A")
+	deadline := time.Now().Add(2 * time.Second)
+	refreshed := false
+	for time.Now().Before(deadline) {
+		p, _, _ := d.Lookup("A")
+		if p.RegisteredAt.After(first.RegisteredAt) {
+			refreshed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refreshed {
+		t.Error("record never refreshed")
+	}
+	r.Stop()
+	if _, ok, _ := d.Lookup("A"); ok {
+		t.Error("still registered after Stop")
+	}
+	r.Stop() // idempotent
+}
+
+func TestRegistrarStartFailure(t *testing.T) {
+	d := NewDirectory(0, nil)
+	r := NewRegistrar(d, ProducerInfo{}, time.Second)
+	if err := r.Start(); err == nil {
+		t.Error("start with bad info succeeded")
+	}
+}
+
+func TestRouter(t *testing.T) {
+	d := NewDirectory(0, nil)
+	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = d.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+
+	var gotEndpoint string
+	exec := func(endpoint string, req core.Request) (*core.Response, error) {
+		gotEndpoint = endpoint
+		return &core.Response{Site: req.Site}, nil
+	}
+	r := NewRouter(d, exec, "A")
+	resp, err := r.RemoteQuery("B", core.Request{Site: "B", SQL: "SELECT * FROM Processor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Site != "B" || gotEndpoint != "http://b" {
+		t.Errorf("routed to %q, resp %+v", gotEndpoint, resp)
+	}
+	if _, err := r.RemoteQuery("C", core.Request{}); err == nil {
+		t.Error("unknown site routed")
+	}
+	sites := r.Sites()
+	if len(sites) != 1 || sites[0] != "B" {
+		t.Errorf("Sites = %v (must exclude local)", sites)
+	}
+}
+
+func TestRouterExecError(t *testing.T) {
+	d := NewDirectory(0, nil)
+	_ = d.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	exec := func(string, core.Request) (*core.Response, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	r := NewRouter(d, exec, "A")
+	if _, err := r.RemoteQuery("B", core.Request{}); err == nil {
+		t.Error("exec error swallowed")
+	}
+}

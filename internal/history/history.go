@@ -1,0 +1,229 @@
+// Package history implements the gateway's internal historical store
+// (paper §3.1.1: "historical data is retrieved from the Gateway's internal
+// database"; Fig 3's "Historical Data & Information Schemas").
+//
+// Every real-time harvest can be recorded: rows are stored per (source,
+// GLUE group) with the sample time, and historical queries read them back
+// as ResultSets extended with two provenance columns, SourceURL and
+// SampledAt. Retention is bounded both by age and by sample count.
+package history
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+// SourceColumn and SampledColumn are the provenance columns historical
+// results carry in addition to the group's GLUE fields.
+const (
+	SourceColumn  = "SourceURL"
+	SampledColumn = "SampledAt"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxAge drops samples older than this (default 1h).
+	MaxAge time.Duration
+	// MaxSamplesPerKey bounds samples kept per (source, group)
+	// (default 1024).
+	MaxSamplesPerKey int
+	// Clock is injectable for tests; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// sample is one recorded harvest: the rows of one ResultSet at one time.
+type sample struct {
+	at   time.Time
+	rows [][]any
+}
+
+// Store is the historical database.
+type Store struct {
+	opts Options
+
+	mu   sync.RWMutex
+	data map[string][]sample // source+"\x00"+group → samples in time order
+}
+
+// New creates a Store.
+func New(opts Options) *Store {
+	if opts.MaxAge <= 0 {
+		opts.MaxAge = time.Hour
+	}
+	if opts.MaxSamplesPerKey <= 0 {
+		opts.MaxSamplesPerKey = 1024
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Store{opts: opts, data: make(map[string][]sample)}
+}
+
+func storeKey(source, group string) string { return source + "\x00" + group }
+
+// Record stores the rows of a harvested ResultSet for (source, group) at
+// time at. The ResultSet must carry the group's full canonical column set;
+// results that were projected by a query should not be recorded.
+func (s *Store) Record(source, group string, rs *resultset.ResultSet, at time.Time) error {
+	g, ok := glue.Lookup(group)
+	if !ok {
+		return fmt.Errorf("history: unknown group %q", group)
+	}
+	meta := rs.Metadata()
+	if meta.ColumnCount() != len(g.Fields) {
+		return fmt.Errorf("history: result has %d columns, group %s has %d",
+			meta.ColumnCount(), g.Name, len(g.Fields))
+	}
+	for i, f := range g.Fields {
+		if meta.ColumnIndex(f.Name) != i {
+			return fmt.Errorf("history: result column %d is %q, want %q",
+				i, meta.Column(i).Name, f.Name)
+		}
+	}
+	rows := make([][]any, rs.Len())
+	for i := 0; i < rs.Len(); i++ {
+		rows[i] = rs.RowAt(i)
+	}
+	k := storeKey(source, g.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	samples := append(s.data[k], sample{at: at, rows: rows})
+	samples = s.retainLocked(samples)
+	s.data[k] = samples
+	return nil
+}
+
+func (s *Store) retainLocked(samples []sample) []sample {
+	cutoff := s.opts.Clock().Add(-s.opts.MaxAge)
+	start := 0
+	for start < len(samples) && samples[start].at.Before(cutoff) {
+		start++
+	}
+	samples = samples[start:]
+	if len(samples) > s.opts.MaxSamplesPerKey {
+		samples = samples[len(samples)-s.opts.MaxSamplesPerKey:]
+	}
+	return samples
+}
+
+// Query reads back history for a GLUE group across sources. Empty source
+// means all sources; zero since/until mean unbounded. Rows are ordered by
+// sample time, then source. The result's columns are the group's fields
+// plus SourceURL and SampledAt.
+func (s *Store) Query(group, source string, since, until time.Time) (*resultset.ResultSet, error) {
+	g, ok := glue.Lookup(group)
+	if !ok {
+		return nil, fmt.Errorf("history: unknown group %q", group)
+	}
+	meta, err := s.Metadata(g)
+	if err != nil {
+		return nil, err
+	}
+	type hit struct {
+		at     time.Time
+		source string
+		rows   [][]any
+	}
+	var hits []hit
+	s.mu.RLock()
+	for k, samples := range s.data {
+		src, grp, ok := strings.Cut(k, "\x00")
+		if !ok || grp != g.Name {
+			continue
+		}
+		if source != "" && src != source {
+			continue
+		}
+		for _, sm := range samples {
+			if !since.IsZero() && sm.at.Before(since) {
+				continue
+			}
+			if !until.IsZero() && sm.at.After(until) {
+				continue
+			}
+			hits = append(hits, hit{at: sm.at, source: src, rows: sm.rows})
+		}
+	}
+	s.mu.RUnlock()
+	// Stable order: time, then source.
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && (hits[j].at.Before(hits[j-1].at) ||
+			(hits[j].at.Equal(hits[j-1].at) && hits[j].source < hits[j-1].source)); j-- {
+			hits[j], hits[j-1] = hits[j-1], hits[j]
+		}
+	}
+	b := resultset.NewBuilder(meta)
+	for _, h := range hits {
+		for _, row := range h.rows {
+			full := make([]any, 0, len(row)+2)
+			full = append(full, row...)
+			full = append(full, h.source, h.at)
+			b.Append(full...)
+		}
+	}
+	return b.Build()
+}
+
+// Metadata returns the result shape historical queries produce for a group.
+func (s *Store) Metadata(g *glue.Group) (*resultset.Metadata, error) {
+	base, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	cols := base.Columns()
+	cols = append(cols,
+		resultset.Column{Name: SourceColumn, Kind: glue.String},
+		resultset.Column{Name: SampledColumn, Kind: glue.Time},
+	)
+	return resultset.NewMetadata(cols)
+}
+
+// Sources returns the distinct source URLs with history for a group.
+func (s *Store) Sources(group string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	suffix := "\x00" + group
+	for k := range s.data {
+		if len(k) > len(suffix) && k[len(k)-len(suffix):] == suffix {
+			out = append(out, k[:len(k)-len(suffix)])
+		}
+	}
+	// deterministic order
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SampleCount returns how many samples are held for (source, group).
+func (s *Store) SampleCount(source, group string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data[storeKey(source, group)])
+}
+
+// Prune applies retention to every key immediately and reports how many
+// samples were dropped.
+func (s *Store) Prune() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for k, samples := range s.data {
+		kept := s.retainLocked(samples)
+		dropped += len(samples) - len(kept)
+		if len(kept) == 0 {
+			delete(s.data, k)
+		} else {
+			s.data[k] = kept
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,167 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+func memRS(t *testing.T, host string, ram int64) *resultset.ResultSet {
+	t.Helper()
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := resultset.NewBuilder(meta).
+		Append(host, ram, ram/2, ram*2, ram, 0.0, 0.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func newStore(opts Options) (*Store, *time.Time) {
+	now := time.Unix(10000, 0)
+	opts.Clock = func() time.Time { return now }
+	return New(opts), &now
+}
+
+const srcA = "gridrm:snmp://a:1"
+const srcB = "gridrm:ganglia://b:1"
+
+func TestRecordAndQuery(t *testing.T) {
+	s, now := newStore(Options{})
+	t0 := *now
+	if err := s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1024), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(srcB, glue.GroupMemory, memRS(t, "b", 512), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Query(glue.GroupMemory, "", time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	rs.Next()
+	if h, _ := rs.GetString("HostName"); h != "a" {
+		t.Errorf("first row host %q (time order)", h)
+	}
+	if src, _ := rs.GetString(SourceColumn); src != srcA {
+		t.Errorf("source = %q", src)
+	}
+	if at, _ := rs.GetTime(SampledColumn); !at.Equal(t0) {
+		t.Errorf("sampled at %v", at)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s, now := newStore(Options{})
+	t0 := *now
+	_ = s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1024), t0)
+	_ = s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1024), t0.Add(10*time.Second))
+	_ = s.Record(srcB, glue.GroupMemory, memRS(t, "b", 512), t0.Add(20*time.Second))
+
+	rs, err := s.Query(glue.GroupMemory, srcA, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Errorf("source filter rows = %d", rs.Len())
+	}
+	rs, err = s.Query(glue.GroupMemory, "", t0.Add(5*time.Second), t0.Add(15*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Errorf("window rows = %d", rs.Len())
+	}
+	rs, err = s.Query(glue.GroupProcessor, "", time.Time{}, time.Time{})
+	if err != nil || rs.Len() != 0 {
+		t.Errorf("empty group rows = %d, err %v", rs.Len(), err)
+	}
+	if _, err := s.Query("Nope", "", time.Time{}, time.Time{}); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	s, now := newStore(Options{})
+	if err := s.Record(srcA, "Nope", memRS(t, "a", 1), *now); err == nil {
+		t.Error("unknown group accepted")
+	}
+	// Projected result (wrong shape) is rejected.
+	rs := memRS(t, "a", 1)
+	proj, _ := rs.Project([]string{"HostName"})
+	if err := s.Record(srcA, glue.GroupMemory, proj, *now); err == nil {
+		t.Error("projected result accepted")
+	}
+}
+
+func TestRetentionByAge(t *testing.T) {
+	s, now := newStore(Options{MaxAge: time.Minute})
+	t0 := *now
+	_ = s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1), t0.Add(-2*time.Minute))
+	_ = s.Record(srcA, glue.GroupMemory, memRS(t, "a", 2), t0)
+	// Recording applies retention to the touched key.
+	if n := s.SampleCount(srcA, glue.GroupMemory); n != 1 {
+		t.Errorf("samples = %d, want 1 (old one dropped)", n)
+	}
+	*now = now.Add(2 * time.Minute)
+	if dropped := s.Prune(); dropped != 1 {
+		t.Errorf("pruned %d, want 1", dropped)
+	}
+	if n := s.SampleCount(srcA, glue.GroupMemory); n != 0 {
+		t.Errorf("samples after prune = %d", n)
+	}
+}
+
+func TestRetentionByCount(t *testing.T) {
+	s, now := newStore(Options{MaxSamplesPerKey: 5})
+	for i := 0; i < 12; i++ {
+		_ = s.Record(srcA, glue.GroupMemory, memRS(t, "a", int64(i+1)), now.Add(time.Duration(i)*time.Second))
+	}
+	if n := s.SampleCount(srcA, glue.GroupMemory); n != 5 {
+		t.Errorf("samples = %d, want 5", n)
+	}
+	rs, _ := s.Query(glue.GroupMemory, srcA, time.Time{}, time.Time{})
+	rs.Next()
+	if ram, _ := rs.GetInt("RAMSize"); ram != 8 { // oldest kept is the 8th
+		t.Errorf("oldest kept RAMSize = %d, want 8", ram)
+	}
+}
+
+func TestSources(t *testing.T) {
+	s, now := newStore(Options{})
+	_ = s.Record(srcB, glue.GroupMemory, memRS(t, "b", 1), *now)
+	_ = s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1), *now)
+	got := s.Sources(glue.GroupMemory)
+	if len(got) != 2 || got[0] != srcB || got[1] != srcA {
+		// sorted: ganglia... < snmp...
+		t.Errorf("sources = %v", got)
+	}
+	if got := s.Sources(glue.GroupDisk); len(got) != 0 {
+		t.Errorf("disk sources = %v", got)
+	}
+}
+
+func TestMetadataShape(t *testing.T) {
+	s, _ := newStore(Options{})
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, err := s.Metadata(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ColumnCount() != len(g.Fields)+2 {
+		t.Errorf("columns = %d", meta.ColumnCount())
+	}
+	if meta.ColumnIndex(SourceColumn) < 0 || meta.ColumnIndex(SampledColumn) < 0 {
+		t.Error("provenance columns missing")
+	}
+}

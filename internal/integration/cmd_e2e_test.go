@@ -1,0 +1,158 @@
+package integration_test
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandLineTools builds the three deployment binaries and runs a
+// whole site as separate processes: gridrm-agents simulating the site,
+// gridrm-gateway serving it over HTTP (hosting the GMA directory), and
+// gridrm-query as the client — the deployment story the README documents.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries; skipped in -short mode")
+	}
+	bin := t.TempDir()
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := exec.Command("go", "build", "-o", bin,
+		"./cmd/gridrm-agents", "./cmd/gridrm-gateway", "./cmd/gridrm-query")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	manifest := filepath.Join(bin, "site.json")
+
+	// 1. The agents process.
+	agents := exec.Command(filepath.Join(bin, "gridrm-agents"),
+		"-site", "cli", "-hosts", "3", "-seed", "7",
+		"-tick", "100ms", "-manifest", manifest)
+	var agentsLog bytes.Buffer
+	agents.Stdout = &agentsLog
+	agents.Stderr = &agentsLog
+	if err := agents.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = agents.Process.Kill()
+		_, _ = agents.Process.Wait()
+	})
+	waitFor(t, 10*time.Second, func() bool {
+		_, err := os.Stat(manifest)
+		return err == nil
+	}, "agents manifest")
+
+	// 2. The gateway process, hosting the directory, on a port that was
+	// free a moment ago.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	gateway := exec.Command(filepath.Join(bin, "gridrm-gateway"),
+		"-manifest", manifest, "-listen", addr, "-host-directory")
+	var gwLog bytes.Buffer
+	gateway.Stdout = &gwLog
+	gateway.Stderr = &gwLog
+	if err := gateway.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = gateway.Process.Kill()
+		_, _ = gateway.Process.Wait()
+	})
+	base := "http://" + addr
+	waitFor(t, 15*time.Second, func() bool {
+		resp, err := http.Get(base + "/status")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}, "gateway /status")
+
+	// 3. The client.
+	query := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, "gridrm-query"),
+			append([]string{"-gateway", base}, args...)...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("gridrm-query %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := query("-sql", "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName", "-mode", "real-time")
+	if !strings.Contains(out, "cli-node00") || !strings.Contains(out, "jdbc-snmp") {
+		t.Errorf("query output missing expected content:\n%s", out)
+	}
+	rows := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "cli-node") {
+			rows++
+		}
+	}
+	// 3 SNMP + 3 ganglia + 3 netlogger + 3 scms + 3 nws = 15 rows.
+	if rows != 15 {
+		t.Errorf("query returned %d host rows:\n%s", rows, out)
+	}
+
+	if out := query("-list-sources"); strings.Count(out, "gridrm:") != 7 {
+		t.Errorf("sources listing:\n%s", out)
+	}
+	if out := query("-list-drivers"); !strings.Contains(out, "jdbc-ganglia") {
+		t.Errorf("drivers listing:\n%s", out)
+	}
+	if out := query("-tree"); !strings.Contains(out, "[ok]") {
+		t.Errorf("tree view:\n%s", out)
+	}
+	if out := query("-sites"); !strings.Contains(out, "cli") {
+		t.Errorf("sites listing:\n%s", out)
+	}
+	if out := query("-status"); !strings.Contains(out, "site cli") {
+		t.Errorf("status output:\n%s", out)
+	}
+
+	// Explicit real-time poll of one source (Fig 9's poll icon).
+	srcOut := query("-list-sources")
+	var snmpURL string
+	for _, line := range strings.Split(srcOut, "\n") {
+		if strings.HasPrefix(line, "gridrm:snmp://") {
+			snmpURL = strings.Fields(line)[0]
+			break
+		}
+	}
+	if snmpURL == "" {
+		t.Fatalf("no snmp source in:\n%s", srcOut)
+	}
+	if out := query("-poll", snmpURL, "-group", "Memory"); !strings.Contains(out, "RAMSize") {
+		t.Errorf("poll output:\n%s", out)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

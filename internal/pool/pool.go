@@ -1,0 +1,256 @@
+// Package pool implements the GridRM ConnectionManager (paper §3.1.2): it
+// executes real-time queries against resource drivers through a pool of
+// driver connections, because "driver connections typically incur an
+// overhead when a data source is first connected, especially if drivers are
+// dynamically mapped to the data source".
+//
+// The manager asks the GridRMDriverManager for a new connection only when
+// no suitable pooled instance exists; every new connection is registered
+// with the pool before use. Idle connections are validated with Ping before
+// reuse and reaped after MaxIdleTime.
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/driver"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// MaxIdlePerSource bounds idle connections kept per data source
+	// (default 4).
+	MaxIdlePerSource int
+	// MaxIdleTime evicts idle connections older than this (default 5m).
+	MaxIdleTime time.Duration
+	// Disabled turns pooling off: every Get opens a fresh connection and
+	// every Release closes it. Used by the E3 ablation.
+	Disabled bool
+	// Clock is injectable for tests; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Stats counts ConnectionManager activity.
+type Stats struct {
+	// Hits counts Gets satisfied from the pool.
+	Hits int64
+	// Misses counts Gets that had to open a new connection.
+	Misses int64
+	// Opens counts connections opened via the DriverManager.
+	Opens int64
+	// Closes counts underlying connections closed.
+	Closes int64
+	// PingFailures counts pooled connections discarded as stale.
+	PingFailures int64
+	// Evictions counts idle connections dropped by capacity or age.
+	Evictions int64
+}
+
+// Manager is the ConnectionManager.
+type Manager struct {
+	drivers *driver.Manager
+	opts    Options
+
+	mu   sync.Mutex
+	idle map[string][]idleConn
+
+	hits, misses, opens, closes atomic.Int64
+	pingFailures, evictions     atomic.Int64
+}
+
+type idleConn struct {
+	conn    driver.Conn
+	retired time.Time
+}
+
+// New creates a ConnectionManager on top of a DriverManager.
+func New(dm *driver.Manager, opts Options) *Manager {
+	if opts.MaxIdlePerSource <= 0 {
+		opts.MaxIdlePerSource = 4
+	}
+	if opts.MaxIdleTime <= 0 {
+		opts.MaxIdleTime = 5 * time.Minute
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Manager{drivers: dm, opts: opts, idle: make(map[string][]idleConn)}
+}
+
+// key identifies a pool bucket: URL plus canonicalised properties, since
+// connections opened with different credentials must not be shared.
+func key(url string, props driver.Properties) string {
+	if len(props) == 0 {
+		return url
+	}
+	parts := make([]string, 0, len(props))
+	for k, v := range props {
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return url + "\x00" + strings.Join(parts, "\x00")
+}
+
+// Conn is a pooled connection handle. Callers must call Release (to return
+// it for reuse) or Discard (to close it) when done; the embedded
+// driver.Conn methods remain available in between.
+type Conn struct {
+	driver.Conn
+	mgr      *Manager
+	key      string
+	released atomic.Bool
+}
+
+// Release returns the connection to the pool for reuse.
+func (c *Conn) Release() {
+	if c.released.Swap(true) {
+		return
+	}
+	c.mgr.put(c.key, c.Conn)
+}
+
+// Discard closes the underlying connection without pooling it; use after
+// errors that suggest the session is broken.
+func (c *Conn) Discard() {
+	if c.released.Swap(true) {
+		return
+	}
+	c.mgr.closes.Add(1)
+	_ = c.Conn.Close()
+}
+
+// Get returns a connection to the data source, reusing a pooled instance
+// when one validates, otherwise opening a new one via the DriverManager.
+func (m *Manager) Get(url string, props driver.Properties) (*Conn, error) {
+	k := key(url, props)
+	if !m.opts.Disabled {
+		for {
+			conn, ok := m.takeIdle(k)
+			if !ok {
+				break
+			}
+			if err := conn.Ping(); err != nil {
+				m.pingFailures.Add(1)
+				m.closes.Add(1)
+				_ = conn.Close()
+				continue
+			}
+			m.hits.Add(1)
+			return &Conn{Conn: conn, mgr: m, key: k}, nil
+		}
+	}
+	m.misses.Add(1)
+	conn, err := m.drivers.Connect(url, props)
+	if err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	m.opens.Add(1)
+	return &Conn{Conn: conn, mgr: m, key: k}, nil
+}
+
+func (m *Manager) takeIdle(k string) (driver.Conn, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	conns := m.idle[k]
+	if len(conns) == 0 {
+		return nil, false
+	}
+	last := conns[len(conns)-1]
+	m.idle[k] = conns[:len(conns)-1]
+	return last.conn, true
+}
+
+func (m *Manager) put(k string, conn driver.Conn) {
+	if m.opts.Disabled {
+		m.closes.Add(1)
+		_ = conn.Close()
+		return
+	}
+	m.mu.Lock()
+	conns := m.idle[k]
+	if len(conns) >= m.opts.MaxIdlePerSource {
+		m.mu.Unlock()
+		m.evictions.Add(1)
+		m.closes.Add(1)
+		_ = conn.Close()
+		return
+	}
+	m.idle[k] = append(conns, idleConn{conn: conn, retired: m.opts.Clock()})
+	m.mu.Unlock()
+}
+
+// Reap closes idle connections older than MaxIdleTime and returns how many
+// were evicted. Gateways call this periodically.
+func (m *Manager) Reap() int {
+	cutoff := m.opts.Clock().Add(-m.opts.MaxIdleTime)
+	var victims []driver.Conn
+	m.mu.Lock()
+	for k, conns := range m.idle {
+		keep := conns[:0]
+		for _, ic := range conns {
+			if ic.retired.Before(cutoff) {
+				victims = append(victims, ic.conn)
+			} else {
+				keep = append(keep, ic)
+			}
+		}
+		if len(keep) == 0 {
+			delete(m.idle, k)
+		} else {
+			m.idle[k] = keep
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range victims {
+		m.evictions.Add(1)
+		m.closes.Add(1)
+		_ = c.Close()
+	}
+	return len(victims)
+}
+
+// CloseAll drains and closes every idle connection (gateway shutdown).
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	all := m.idle
+	m.idle = make(map[string][]idleConn)
+	m.mu.Unlock()
+	for _, conns := range all {
+		for _, ic := range conns {
+			m.closes.Add(1)
+			_ = ic.conn.Close()
+		}
+	}
+}
+
+// IdleCount returns the number of idle pooled connections.
+func (m *Manager) IdleCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, conns := range m.idle {
+		n += len(conns)
+	}
+	return n
+}
+
+// Stats returns a snapshot of pool counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Hits:         m.hits.Load(),
+		Misses:       m.misses.Load(),
+		Opens:        m.opens.Load(),
+		Closes:       m.closes.Load(),
+		PingFailures: m.pingFailures.Load(),
+		Evictions:    m.evictions.Load(),
+	}
+}
+
+// Drivers exposes the underlying DriverManager (the RequestManager reaches
+// it through the ConnectionManager, as in Fig 3).
+func (m *Manager) Drivers() *driver.Manager { return m.drivers }

@@ -1,0 +1,268 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridrm/internal/driver"
+)
+
+// slowDriver counts connects and can fail pings after poisoning.
+type slowDriver struct {
+	name     string
+	connects atomic.Int64
+	poison   atomic.Bool
+}
+
+func (d *slowDriver) Name() string { return d.name }
+
+func (d *slowDriver) AcceptsURL(url string) bool {
+	_, err := driver.ParseURL(url)
+	return err == nil
+}
+
+func (d *slowDriver) Connect(url string, props driver.Properties) (driver.Conn, error) {
+	d.connects.Add(1)
+	return &slowConn{d: d, url: url}, nil
+}
+
+type slowConn struct {
+	driver.UnimplementedConn
+	d      *slowDriver
+	url    string
+	closed atomic.Bool
+}
+
+func (c *slowConn) URL() string    { return c.url }
+func (c *slowConn) Driver() string { return c.d.name }
+func (c *slowConn) Ping() error {
+	if c.d.poison.Load() {
+		return errors.New("stale")
+	}
+	return nil
+}
+func (c *slowConn) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+func newManager(t *testing.T, opts Options) (*Manager, *slowDriver) {
+	t.Helper()
+	d := &slowDriver{name: "jdbc-slow"}
+	dm := driver.NewManager()
+	if err := dm.RegisterDriver(d); err != nil {
+		t.Fatal(err)
+	}
+	return New(dm, opts), d
+}
+
+const url = "gridrm:slow://h:1"
+
+func TestGetReleaseReuse(t *testing.T) {
+	m, d := newManager(t, Options{})
+	c1, err := m.Get(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Release()
+	c2, err := m.Get(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Release()
+	if d.connects.Load() != 1 {
+		t.Errorf("connects = %d, want 1 (reuse)", d.connects.Load())
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Opens != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	m, _ := newManager(t, Options{})
+	c, _ := m.Get(url, nil)
+	c.Release()
+	c.Release()
+	if m.IdleCount() != 1 {
+		t.Errorf("idle = %d after double release", m.IdleCount())
+	}
+}
+
+func TestDiscardCloses(t *testing.T) {
+	m, _ := newManager(t, Options{})
+	c, _ := m.Get(url, nil)
+	underlying := c.Conn.(*slowConn)
+	c.Discard()
+	if !underlying.closed.Load() {
+		t.Error("Discard did not close")
+	}
+	if m.IdleCount() != 0 {
+		t.Error("discarded connection pooled")
+	}
+	c.Release() // must be a no-op after Discard
+	if m.IdleCount() != 0 {
+		t.Error("Release after Discard pooled a closed conn")
+	}
+}
+
+func TestPropertiesSeparateBuckets(t *testing.T) {
+	m, d := newManager(t, Options{})
+	c1, _ := m.Get(url, driver.Properties{"community": "public"})
+	c1.Release()
+	c2, err := m.Get(url, driver.Properties{"community": "secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Release()
+	if d.connects.Load() != 2 {
+		t.Errorf("connects = %d, want 2 (different props must not share)", d.connects.Load())
+	}
+	c3, _ := m.Get(url, driver.Properties{"community": "public"})
+	c3.Release()
+	if d.connects.Load() != 2 {
+		t.Error("same props did not reuse")
+	}
+}
+
+func TestStalePingDiscarded(t *testing.T) {
+	m, d := newManager(t, Options{})
+	c, _ := m.Get(url, nil)
+	c.Release()
+	d.poison.Store(true)
+	if _, err := m.Get(url, nil); err != nil {
+		t.Fatal(err) // new connect still succeeds
+	}
+	s := m.Stats()
+	if s.PingFailures != 1 {
+		t.Errorf("ping failures = %d", s.PingFailures)
+	}
+	if d.connects.Load() != 2 {
+		t.Errorf("connects = %d, want 2", d.connects.Load())
+	}
+}
+
+func TestMaxIdlePerSource(t *testing.T) {
+	m, _ := newManager(t, Options{MaxIdlePerSource: 2})
+	var conns []*Conn
+	for i := 0; i < 4; i++ {
+		c, err := m.Get(url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		c.Release()
+	}
+	if m.IdleCount() != 2 {
+		t.Errorf("idle = %d, want 2", m.IdleCount())
+	}
+	if m.Stats().Evictions != 2 {
+		t.Errorf("evictions = %d", m.Stats().Evictions)
+	}
+}
+
+func TestReap(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	m, _ := newManager(t, Options{MaxIdleTime: 10 * time.Second, Clock: clock})
+	c, _ := m.Get(url, nil)
+	c.Release()
+	now = now.Add(5 * time.Second)
+	if n := m.Reap(); n != 0 {
+		t.Errorf("reaped %d fresh conns", n)
+	}
+	now = now.Add(6 * time.Second)
+	if n := m.Reap(); n != 1 {
+		t.Errorf("reaped %d, want 1", n)
+	}
+	if m.IdleCount() != 0 {
+		t.Error("idle not drained")
+	}
+}
+
+func TestDisabledPooling(t *testing.T) {
+	m, d := newManager(t, Options{Disabled: true})
+	for i := 0; i < 3; i++ {
+		c, err := m.Get(url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release()
+	}
+	if d.connects.Load() != 3 {
+		t.Errorf("connects = %d, want 3 with pooling off", d.connects.Load())
+	}
+	if m.IdleCount() != 0 {
+		t.Error("disabled pool kept connections")
+	}
+	if m.Stats().Hits != 0 {
+		t.Error("disabled pool recorded hits")
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	m, _ := newManager(t, Options{})
+	c1, _ := m.Get(url, nil)
+	c2, _ := m.Get("gridrm:slow://h2:1", nil)
+	c1.Release()
+	c2.Release()
+	if m.IdleCount() != 2 {
+		t.Fatalf("idle = %d", m.IdleCount())
+	}
+	m.CloseAll()
+	if m.IdleCount() != 0 {
+		t.Error("CloseAll left idle conns")
+	}
+	if m.Stats().Closes != 2 {
+		t.Errorf("closes = %d", m.Stats().Closes)
+	}
+}
+
+func TestGetErrorPropagates(t *testing.T) {
+	dm := driver.NewManager() // no drivers at all
+	m := New(dm, Options{})
+	if _, err := m.Get(url, nil); err == nil {
+		t.Error("Get with no drivers succeeded")
+	}
+}
+
+func TestConcurrentGetRelease(t *testing.T) {
+	m, d := newManager(t, Options{MaxIdlePerSource: 8})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				u := fmt.Sprintf("gridrm:slow://h%d:1", i%2)
+				c, err := m.Get(u, nil)
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				c.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Hits+s.Misses != 400 {
+		t.Errorf("gets = %d", s.Hits+s.Misses)
+	}
+	if d.connects.Load() != s.Opens {
+		t.Errorf("driver connects %d != opens %d", d.connects.Load(), s.Opens)
+	}
+}
+
+func TestDriversAccessor(t *testing.T) {
+	m, _ := newManager(t, Options{})
+	if m.Drivers() == nil {
+		t.Error("Drivers() nil")
+	}
+}

@@ -1,0 +1,200 @@
+// Package qcache implements the gateway's query-result cache (paper §4,
+// Fig 9): "by utilising the cache, a heavily used GridRM Gateway can return
+// a view of the recent status of a site while limiting resource intrusion".
+//
+// Entries are keyed by (data-source URL, canonical SQL) and expire after a
+// TTL. The cached tree view in the paper's JSP interface is the Entries
+// listing; real-time polls bypass or refresh the cache.
+package qcache
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/resultset"
+)
+
+// Options configures a Cache.
+type Options struct {
+	// TTL is how long entries stay fresh (default 2s, the recent-status
+	// window).
+	TTL time.Duration
+	// MaxEntries bounds the cache; zero means 4096. Oldest entries are
+	// evicted first.
+	MaxEntries int
+	// Clock is injectable for tests; defaults to time.Now.
+	Clock func() time.Time
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Stale     int64
+	Evictions int64
+}
+
+// Entry describes one cached result for the tree view.
+type Entry struct {
+	// Source is the data-source URL.
+	Source string
+	// SQL is the canonical query text.
+	SQL string
+	// Rows is the cached row count.
+	Rows int
+	// CachedAt is when the result was stored.
+	CachedAt time.Time
+	// Age is how old the entry was at listing time.
+	Age time.Duration
+}
+
+// Cache is a TTL query-result cache.
+type Cache struct {
+	opts Options
+
+	mu      sync.Mutex
+	entries map[string]*cached
+
+	hits, misses, stale, evictions atomic.Int64
+}
+
+type cached struct {
+	source   string
+	sql      string
+	rs       *resultset.ResultSet
+	cachedAt time.Time
+}
+
+// New creates a Cache.
+func New(opts Options) *Cache {
+	if opts.TTL <= 0 {
+		opts.TTL = 2 * time.Second
+	}
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = 4096
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &Cache{opts: opts, entries: make(map[string]*cached)}
+}
+
+func cacheKey(source, sql string) string { return source + "\x00" + sql }
+
+// Get returns a cached result (as an independent-cursor clone) and when it
+// was harvested, if present and fresh.
+func (c *Cache) Get(source, sql string) (*resultset.ResultSet, time.Time, bool) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	e, ok := c.entries[cacheKey(source, sql)]
+	if ok && now.Sub(e.cachedAt) > c.opts.TTL {
+		delete(c.entries, cacheKey(source, sql))
+		c.mu.Unlock()
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return nil, time.Time{}, false
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, time.Time{}, false
+	}
+	c.hits.Add(1)
+	return e.rs.Clone(), e.cachedAt, true
+}
+
+// Put stores a result.
+func (c *Cache) Put(source, sql string, rs *resultset.ResultSet) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.opts.MaxEntries {
+		c.evictOldestLocked()
+	}
+	c.entries[cacheKey(source, sql)] = &cached{source: source, sql: sql, rs: rs.Clone(), cachedAt: now}
+}
+
+func (c *Cache) evictOldestLocked() {
+	var oldestKey string
+	var oldest time.Time
+	first := true
+	for k, e := range c.entries {
+		if first || e.cachedAt.Before(oldest) {
+			oldestKey, oldest, first = k, e.cachedAt, false
+		}
+	}
+	if oldestKey != "" {
+		delete(c.entries, oldestKey)
+		c.evictions.Add(1)
+	}
+}
+
+// InvalidateSource drops all entries for one data source (used when a
+// real-time poll refreshes a source, or a source is removed).
+func (c *Cache) InvalidateSource(source string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.entries {
+		if e.source == source {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Clear drops everything.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*cached)
+}
+
+// Len returns the number of cached entries (fresh or not yet collected).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Entries lists cached results for the tree view, newest first. Expired
+// entries are omitted.
+func (c *Cache) Entries() []Entry {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		age := now.Sub(e.cachedAt)
+		if age > c.opts.TTL {
+			continue
+		}
+		out = append(out, Entry{Source: e.source, SQL: e.sql, Rows: e.rs.Len(), CachedAt: e.cachedAt, Age: age})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CachedAt.Equal(out[j].CachedAt) {
+			return out[i].CachedAt.After(out[j].CachedAt)
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].SQL < out[j].SQL
+	})
+	return out
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// TTL returns the configured freshness window.
+func (c *Cache) TTL() time.Duration { return c.opts.TTL }

@@ -1,0 +1,170 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+func sampleRS(t *testing.T, host string) *resultset.ResultSet {
+	t.Helper()
+	meta, err := resultset.NewMetadata([]resultset.Column{
+		{Name: "HostName", Kind: glue.String},
+		{Name: "Load", Kind: glue.Float},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := resultset.NewBuilder(meta).Append(host, 1.0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func newCache(ttl time.Duration, maxEntries int) (*Cache, *time.Time) {
+	now := time.Unix(0, 0)
+	c := New(Options{TTL: ttl, MaxEntries: maxEntries, Clock: func() time.Time { return now }})
+	return c, &now
+}
+
+const src = "gridrm:snmp://h:1"
+const sql = "SELECT * FROM Processor"
+
+func TestPutGet(t *testing.T) {
+	c, _ := newCache(time.Second, 0)
+	if _, _, ok := c.Get(src, sql); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put(src, sql, sampleRS(t, "h"))
+	rs, at, ok := c.Get(src, sql)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if at.IsZero() || rs.Len() != 1 {
+		t.Errorf("cached at %v, %d rows", at, rs.Len())
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestGetReturnsIndependentCursors(t *testing.T) {
+	c, _ := newCache(time.Second, 0)
+	c.Put(src, sql, sampleRS(t, "h"))
+	a, _, _ := c.Get(src, sql)
+	b, _, _ := c.Get(src, sql)
+	a.Next()
+	if _, err := b.Row(); err == nil {
+		t.Error("cursor state shared between cached reads")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c, now := newCache(2*time.Second, 0)
+	c.Put(src, sql, sampleRS(t, "h"))
+	*now = now.Add(time.Second)
+	if _, _, ok := c.Get(src, sql); !ok {
+		t.Error("fresh entry missed")
+	}
+	*now = now.Add(2 * time.Second)
+	if _, _, ok := c.Get(src, sql); ok {
+		t.Error("expired entry hit")
+	}
+	if c.Stats().Stale != 1 {
+		t.Errorf("stale = %d", c.Stats().Stale)
+	}
+	if c.Len() != 0 {
+		t.Error("expired entry retained")
+	}
+}
+
+func TestKeyIncludesSQLAndSource(t *testing.T) {
+	c, _ := newCache(time.Second, 0)
+	c.Put(src, sql, sampleRS(t, "h"))
+	if _, _, ok := c.Get(src, "SELECT * FROM Memory"); ok {
+		t.Error("different SQL hit")
+	}
+	if _, _, ok := c.Get("gridrm:snmp://other:1", sql); ok {
+		t.Error("different source hit")
+	}
+}
+
+func TestInvalidateSource(t *testing.T) {
+	c, _ := newCache(time.Second, 0)
+	c.Put(src, sql, sampleRS(t, "h"))
+	c.Put(src, "SELECT * FROM Memory", sampleRS(t, "h"))
+	c.Put("gridrm:snmp://other:1", sql, sampleRS(t, "o"))
+	if n := c.InvalidateSource(src); n != 2 {
+		t.Errorf("invalidated %d, want 2", n)
+	}
+	if _, _, ok := c.Get("gridrm:snmp://other:1", sql); !ok {
+		t.Error("unrelated source invalidated")
+	}
+}
+
+func TestMaxEntriesEvictsOldest(t *testing.T) {
+	c, now := newCache(time.Hour, 3)
+	for i := 0; i < 4; i++ {
+		*now = now.Add(time.Second)
+		c.Put(fmt.Sprintf("gridrm:x://h%d:1", i), sql, sampleRS(t, "h"))
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d", c.Len())
+	}
+	if _, _, ok := c.Get("gridrm:x://h0:1", sql); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, _, ok := c.Get("gridrm:x://h3:1", sql); !ok {
+		t.Error("newest entry evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestEntriesListing(t *testing.T) {
+	c, now := newCache(10*time.Second, 0)
+	c.Put(src, sql, sampleRS(t, "h"))
+	*now = now.Add(time.Second)
+	c.Put(src, "SELECT * FROM Memory", sampleRS(t, "h"))
+	entries := c.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Newest first.
+	if entries[0].SQL != "SELECT * FROM Memory" {
+		t.Errorf("order: %v", entries)
+	}
+	if entries[1].Age != time.Second {
+		t.Errorf("age = %v", entries[1].Age)
+	}
+	if entries[0].Rows != 1 || entries[0].Source != src {
+		t.Errorf("entry %+v", entries[0])
+	}
+	// Expired entries are omitted from the tree view.
+	*now = now.Add(time.Minute)
+	if got := c.Entries(); len(got) != 0 {
+		t.Errorf("expired entries listed: %v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c, _ := newCache(time.Second, 0)
+	c.Put(src, sql, sampleRS(t, "h"))
+	c.Clear()
+	if c.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+}
+
+func TestDefaultsAndTTLAccessor(t *testing.T) {
+	c := New(Options{})
+	if c.TTL() != 2*time.Second {
+		t.Errorf("default TTL = %v", c.TTL())
+	}
+}

@@ -1,0 +1,367 @@
+package resultset
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridrm/internal/glue"
+)
+
+func mustMeta(t *testing.T, cols []Column) *Metadata {
+	t.Helper()
+	m, err := NewMetadata(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sampleRS(t *testing.T) *ResultSet {
+	t.Helper()
+	m := mustMeta(t, []Column{
+		{Name: "HostName", Kind: glue.String},
+		{Name: "Load", Kind: glue.Float},
+		{Name: "CPUs", Kind: glue.Int},
+	})
+	rs, err := NewBuilder(m).
+		Append("alpha", 0.5, int64(4)).
+		Append("beta", 1.5, int64(8)).
+		Append("gamma", nil, int64(2)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestMetadataValidation(t *testing.T) {
+	if _, err := NewMetadata([]Column{{Name: ""}}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := NewMetadata([]Column{{Name: "A"}, {Name: "a"}}); err == nil {
+		t.Error("case-insensitive duplicate accepted")
+	}
+	m := mustMeta(t, []Column{{Name: "X", Kind: glue.Int, Unit: "MB"}})
+	if m.ColumnCount() != 1 || m.Column(0).Unit != "MB" {
+		t.Errorf("metadata misbuilt: %+v", m.Columns())
+	}
+	if m.ColumnIndex("x") != 0 || m.ColumnIndex("y") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+}
+
+func TestMetadataForGroup(t *testing.T) {
+	g := glue.MustLookup(glue.GroupProcessor)
+	m, err := MetadataForGroup(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ColumnCount() != len(g.Fields) {
+		t.Errorf("all-field metadata has %d cols, want %d", m.ColumnCount(), len(g.Fields))
+	}
+	if m.Column(0).Group != g.Name {
+		t.Errorf("column group = %q", m.Column(0).Group)
+	}
+	m2, err := MetadataForGroup(g, []string{"loadlast1min", "HostName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical names are restored regardless of request case.
+	if m2.Column(0).Name != "LoadLast1Min" || m2.Column(1).Name != "HostName" {
+		t.Errorf("canonicalisation failed: %v", m2.ColumnNames())
+	}
+	if _, err := MetadataForGroup(g, []string{"Bogus"}); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestCursorProtocol(t *testing.T) {
+	rs := sampleRS(t)
+	if _, err := rs.Row(); !errors.Is(err, ErrNoRow) {
+		t.Errorf("Row before Next: %v", err)
+	}
+	count := 0
+	for rs.Next() {
+		count++
+		if _, err := rs.Row(); err != nil {
+			t.Errorf("Row on row %d: %v", count, err)
+		}
+	}
+	if count != 3 {
+		t.Errorf("iterated %d rows, want 3", count)
+	}
+	if rs.Next() {
+		t.Error("Next past end returned true")
+	}
+	if _, err := rs.Row(); !errors.Is(err, ErrNoRow) {
+		t.Error("Row past end should fail")
+	}
+	rs.Reset()
+	if !rs.Next() {
+		t.Error("Next after Reset failed")
+	}
+}
+
+func TestTypedGettersAndCoercion(t *testing.T) {
+	rs := sampleRS(t)
+	rs.Next() // alpha, 0.5, 4
+	if s, _ := rs.GetString("HostName"); s != "alpha" {
+		t.Errorf("GetString = %q", s)
+	}
+	if f, _ := rs.GetFloat("Load"); f != 0.5 {
+		t.Errorf("GetFloat = %v", f)
+	}
+	if n, _ := rs.GetInt("CPUs"); n != 4 {
+		t.Errorf("GetInt = %d", n)
+	}
+	// Cross-kind coercions.
+	if s, _ := rs.GetString("CPUs"); s != "4" {
+		t.Errorf("int as string = %q", s)
+	}
+	if f, _ := rs.GetFloat("CPUs"); f != 4.0 {
+		t.Errorf("int as float = %v", f)
+	}
+	if n, _ := rs.GetInt("Load"); n != 0 {
+		t.Errorf("0.5 truncated = %d", n)
+	}
+	if b, _ := rs.GetBool("CPUs"); !b {
+		t.Error("nonzero int as bool should be true")
+	}
+	if _, err := rs.GetInt("HostName"); err == nil {
+		t.Error("parsing 'alpha' as int should fail")
+	}
+	if _, err := rs.GetString("Missing"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("missing column error = %v", err)
+	}
+}
+
+func TestWasNull(t *testing.T) {
+	rs := sampleRS(t)
+	rs.Next()
+	rs.Next()
+	rs.Next() // gamma, NULL load
+	f, err := rs.GetFloat("Load")
+	if err != nil || f != 0 {
+		t.Errorf("NULL float = %v, %v", f, err)
+	}
+	if !rs.WasNull() {
+		t.Error("WasNull false after reading NULL")
+	}
+	if _, err := rs.GetString("HostName"); err != nil {
+		t.Fatal(err)
+	}
+	if rs.WasNull() {
+		t.Error("WasNull true after reading non-NULL")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	m := mustMeta(t, []Column{{Name: "N", Kind: glue.Int}})
+	if _, err := NewBuilder(m).Append(int64(1), int64(2)).Build(); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := NewBuilder(m).Append("one").Build(); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := NewBuilder(m).Append(nil).Build(); err != nil {
+		t.Errorf("NULL rejected: %v", err)
+	}
+	// First error sticks.
+	b := NewBuilder(m).Append("bad").Append(int64(1))
+	if _, err := b.Build(); err == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestBuilderCopiesRows(t *testing.T) {
+	m := mustMeta(t, []Column{{Name: "N", Kind: glue.Int}})
+	row := []any{int64(1)}
+	rs, err := NewBuilder(m).Append(row...).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[0] = int64(99)
+	rs.Next()
+	if n, _ := rs.GetInt("N"); n != 1 {
+		t.Error("builder aliased caller's row slice")
+	}
+}
+
+func TestProject(t *testing.T) {
+	rs := sampleRS(t)
+	p, err := rs.Project([]string{"CPUs", "HostName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Metadata().ColumnNames(); got[0] != "CPUs" || got[1] != "HostName" {
+		t.Errorf("projected columns %v", got)
+	}
+	p.Next()
+	if n, _ := p.GetInt("CPUs"); n != 4 {
+		t.Errorf("projected value %d", n)
+	}
+	if _, err := rs.Project([]string{"Nope"}); err == nil {
+		t.Error("projecting unknown column succeeded")
+	}
+}
+
+func TestFilterAndLimit(t *testing.T) {
+	rs := sampleRS(t)
+	idx := rs.Metadata().ColumnIndex("CPUs")
+	f := rs.Filter(func(row []any) bool { return row[idx].(int64) >= 4 })
+	if f.Len() != 2 {
+		t.Errorf("filtered %d rows, want 2", f.Len())
+	}
+	if l := rs.Limit(1); l.Len() != 1 {
+		t.Errorf("Limit(1) -> %d rows", l.Len())
+	}
+	if l := rs.Limit(-1); l.Len() != 3 {
+		t.Errorf("Limit(-1) -> %d rows", l.Len())
+	}
+	if l := rs.Limit(10); l.Len() != 3 {
+		t.Errorf("Limit(10) -> %d rows", l.Len())
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	rs := sampleRS(t)
+	if err := rs.SortBy("Load", false); err != nil {
+		t.Fatal(err)
+	}
+	rs.Next()
+	// NULL sorts first ascending.
+	if s, _ := rs.GetString("HostName"); s != "gamma" {
+		t.Errorf("first asc = %q, want gamma (NULL load)", s)
+	}
+	if err := rs.SortBy("Load", true); err != nil {
+		t.Fatal(err)
+	}
+	rs.Next()
+	if s, _ := rs.GetString("HostName"); s != "beta" {
+		t.Errorf("first desc = %q, want beta", s)
+	}
+	if err := rs.SortBy("Nope", false); err == nil {
+		t.Error("sorting unknown column succeeded")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleRS(t)
+	b := sampleRS(t)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 6 {
+		t.Errorf("merged len %d", a.Len())
+	}
+	other := mustMeta(t, []Column{{Name: "X", Kind: glue.Int}})
+	c := New(other)
+	if err := a.Merge(c); err == nil {
+		t.Error("column-count mismatch merge succeeded")
+	}
+	d := New(mustMeta(t, []Column{
+		{Name: "HostName", Kind: glue.String},
+		{Name: "Different", Kind: glue.Float},
+		{Name: "CPUs", Kind: glue.Int},
+	}))
+	if err := a.Merge(d); err == nil {
+		t.Error("column-name mismatch merge succeeded")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{nil, nil, 0},
+		{nil, int64(1), -1},
+		{int64(1), nil, 1},
+		{int64(1), int64(2), -1},
+		{int64(2), 1.5, 1},
+		{1.5, int64(2), -1},
+		{"a", "b", -1},
+		{"b", "a", 1},
+		{"a", "a", 0},
+		{false, true, -1},
+		{true, true, 0},
+		{now, now.Add(time.Second), -1},
+		{now, now, 0},
+	}
+	for _, c := range cases {
+		if got := CompareValues(c.a, c.b); sign(got) != c.want {
+			t.Errorf("CompareValues(%v,%v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCompareValuesProperties(t *testing.T) {
+	// Antisymmetry and reflexivity over int64/float64 pairs.
+	f := func(a, b int64, x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		ok := sign(CompareValues(a, b)) == -sign(CompareValues(b, a))
+		ok = ok && CompareValues(a, a) == 0
+		ok = ok && sign(CompareValues(x, y)) == -sign(CompareValues(y, x))
+		ok = ok && CompareValues(float64(a), a) == 0
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetTime(t *testing.T) {
+	ts := time.Date(2003, 6, 1, 12, 0, 0, 0, time.UTC)
+	m := mustMeta(t, []Column{{Name: "T", Kind: glue.Time}, {Name: "S", Kind: glue.String}})
+	rs, err := NewBuilder(m).Append(ts, ts.Format(time.RFC3339)).Append(nil, "not a time").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Next()
+	if got, _ := rs.GetTime("T"); !got.Equal(ts) {
+		t.Errorf("GetTime = %v", got)
+	}
+	if got, _ := rs.GetTime("S"); !got.Equal(ts) {
+		t.Errorf("GetTime from string = %v", got)
+	}
+	rs.Next()
+	if got, err := rs.GetTime("T"); err != nil || !got.IsZero() {
+		t.Errorf("NULL time = %v, %v", got, err)
+	}
+	if !rs.WasNull() {
+		t.Error("WasNull after NULL time")
+	}
+	if _, err := rs.GetTime("S"); err == nil {
+		t.Error("parsing junk as time succeeded")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	rs := sampleRS(t)
+	out := rs.String()
+	for _, want := range []string{"HostName", "Load", "CPUs", "alpha", "NULL", "1.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + 3 rows
+		t.Errorf("String() has %d lines, want 4", lines)
+	}
+}

@@ -1,0 +1,277 @@
+// Package security implements GridRM's two security layers (paper §2,
+// Fig 2): the Coarse Grained Security Layer (CGSL), which sits under the
+// Abstract Client Interface Layer and controls which clients may perform
+// which classes of operation against a gateway at all, and the Fine Grained
+// Security Layer (FGSL), which sits above the Abstract Data Layer and
+// controls access per data source and GLUE group.
+//
+// Decisions are Allow, Deny, or Defer. Defer reproduces the paper's
+// "in a hierarchy of GridRM Gateways, security decisions can be deferred to
+// the local Gateway responsible for a given resource": a routing gateway
+// whose policy defers forwards the request and lets the owning gateway's
+// own policy decide; for a resource the deciding gateway itself owns,
+// Defer falls back to the policy default.
+//
+// Rules are evaluated first-match-wins; principal names, roles, source URLs
+// and host fields match with SQL LIKE patterns (% and _).
+package security
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gridrm/internal/sqlparse"
+)
+
+// Principal identifies a client of the gateway.
+type Principal struct {
+	// Name is the client identity ("mab", "scheduler-7", ...).
+	Name string
+	// Roles are the client's granted roles.
+	Roles []string
+	// Site is the client's home Grid site, if known.
+	Site string
+}
+
+// HasRole reports whether the principal holds a role.
+func (p Principal) HasRole(role string) bool {
+	for _, r := range p.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Decision is the outcome of a policy check.
+type Decision int
+
+// Policy decisions.
+const (
+	// Deny refuses the operation.
+	Deny Decision = iota
+	// Allow permits the operation.
+	Allow
+	// Defer leaves the decision to the gateway that owns the resource.
+	Defer
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	case Defer:
+		return "defer"
+	}
+	return fmt.Sprintf("decision(%d)", int(d))
+}
+
+// Operation classifies gateway operations for the CGSL.
+type Operation string
+
+// Operation classes.
+const (
+	// OpQueryRealTime covers real-time and cached resource queries.
+	OpQueryRealTime Operation = "query-realtime"
+	// OpQueryHistory covers historical queries.
+	OpQueryHistory Operation = "query-history"
+	// OpManageDrivers covers driver registration/removal and preference
+	// changes.
+	OpManageDrivers Operation = "manage-drivers"
+	// OpManageSources covers data-source add/remove.
+	OpManageSources Operation = "manage-sources"
+	// OpEvents covers event subscription and history access.
+	OpEvents Operation = "events"
+	// OpGlobalQuery covers queries routed in from remote gateways.
+	OpGlobalQuery Operation = "global-query"
+)
+
+// CoarseRule is one CGSL rule.
+type CoarseRule struct {
+	// Principal is a LIKE pattern on the principal name; empty matches
+	// all.
+	Principal string
+	// Role requires the principal to hold this role; empty matches all.
+	Role string
+	// Op restricts the rule to one operation class; empty matches all.
+	Op Operation
+	// Decision is returned when the rule matches.
+	Decision Decision
+}
+
+func (r CoarseRule) matches(p Principal, op Operation) bool {
+	if r.Principal != "" && !sqlparse.MatchLike(r.Principal, p.Name) {
+		return false
+	}
+	if r.Role != "" && !p.HasRole(r.Role) {
+		return false
+	}
+	if r.Op != "" && r.Op != op {
+		return false
+	}
+	return true
+}
+
+// Stats counts policy checks by outcome.
+type Stats struct {
+	Checks int64
+	Allows int64
+	Denies int64
+	Defers int64
+}
+
+type counters struct {
+	checks, allows, denies, defers atomic.Int64
+}
+
+func (c *counters) record(d Decision) {
+	c.checks.Add(1)
+	switch d {
+	case Allow:
+		c.allows.Add(1)
+	case Deny:
+		c.denies.Add(1)
+	case Defer:
+		c.defers.Add(1)
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Checks: c.checks.Load(),
+		Allows: c.allows.Load(),
+		Denies: c.denies.Load(),
+		Defers: c.defers.Load(),
+	}
+}
+
+// CoarsePolicy is the CGSL rule set.
+type CoarsePolicy struct {
+	mu       sync.RWMutex
+	rules    []CoarseRule
+	fallback Decision
+	counters counters
+}
+
+// NewCoarsePolicy creates a CGSL policy with the given default decision.
+func NewCoarsePolicy(fallback Decision) *CoarsePolicy {
+	return &CoarsePolicy{fallback: fallback}
+}
+
+// OpenCoarsePolicy allows everything; the out-of-the-box gateway policy.
+func OpenCoarsePolicy() *CoarsePolicy { return NewCoarsePolicy(Allow) }
+
+// Add appends a rule (rules are first-match-wins).
+func (p *CoarsePolicy) Add(r CoarseRule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, r)
+}
+
+// Rules returns a copy of the rule list.
+func (p *CoarsePolicy) Rules() []CoarseRule {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]CoarseRule(nil), p.rules...)
+}
+
+// Check evaluates the policy for a principal and operation.
+func (p *CoarsePolicy) Check(pr Principal, op Operation) Decision {
+	p.mu.RLock()
+	d := p.fallback
+	for _, r := range p.rules {
+		if r.matches(pr, op) {
+			d = r.Decision
+			break
+		}
+	}
+	p.mu.RUnlock()
+	p.counters.record(d)
+	return d
+}
+
+// Stats returns check counters.
+func (p *CoarsePolicy) Stats() Stats { return p.counters.snapshot() }
+
+// FineRule is one FGSL rule.
+type FineRule struct {
+	// Principal is a LIKE pattern on the principal name; empty matches
+	// all.
+	Principal string
+	// Role requires the principal to hold this role; empty matches all.
+	Role string
+	// Source is a LIKE pattern on the data-source URL; empty matches all.
+	Source string
+	// Group restricts the rule to one GLUE group; empty matches all.
+	Group string
+	// Decision is returned when the rule matches.
+	Decision Decision
+}
+
+func (r FineRule) matches(p Principal, source, group string) bool {
+	if r.Principal != "" && !sqlparse.MatchLike(r.Principal, p.Name) {
+		return false
+	}
+	if r.Role != "" && !p.HasRole(r.Role) {
+		return false
+	}
+	if r.Source != "" && !sqlparse.MatchLike(r.Source, source) {
+		return false
+	}
+	if r.Group != "" && r.Group != group {
+		return false
+	}
+	return true
+}
+
+// FinePolicy is the FGSL rule set.
+type FinePolicy struct {
+	mu       sync.RWMutex
+	rules    []FineRule
+	fallback Decision
+	counters counters
+}
+
+// NewFinePolicy creates an FGSL policy with the given default decision.
+func NewFinePolicy(fallback Decision) *FinePolicy {
+	return &FinePolicy{fallback: fallback}
+}
+
+// OpenFinePolicy allows everything.
+func OpenFinePolicy() *FinePolicy { return NewFinePolicy(Allow) }
+
+// Add appends a rule (rules are first-match-wins).
+func (p *FinePolicy) Add(r FineRule) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, r)
+}
+
+// Rules returns a copy of the rule list.
+func (p *FinePolicy) Rules() []FineRule {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]FineRule(nil), p.rules...)
+}
+
+// Check evaluates the policy for a principal, data source, and GLUE group.
+func (p *FinePolicy) Check(pr Principal, source, group string) Decision {
+	p.mu.RLock()
+	d := p.fallback
+	for _, r := range p.rules {
+		if r.matches(pr, source, group) {
+			d = r.Decision
+			break
+		}
+	}
+	p.mu.RUnlock()
+	p.counters.record(d)
+	return d
+}
+
+// Stats returns check counters.
+func (p *FinePolicy) Stats() Stats { return p.counters.snapshot() }

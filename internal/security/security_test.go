@@ -1,0 +1,152 @@
+package security
+
+import (
+	"sync"
+	"testing"
+)
+
+var alice = Principal{Name: "alice", Roles: []string{"operator"}, Site: "A"}
+var bob = Principal{Name: "bob", Roles: []string{"guest"}}
+
+func TestHasRole(t *testing.T) {
+	if !alice.HasRole("operator") || alice.HasRole("admin") {
+		t.Error("HasRole wrong")
+	}
+	if (Principal{}).HasRole("x") {
+		t.Error("empty principal has role")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" || Defer.String() != "defer" {
+		t.Error("decision names")
+	}
+	if Decision(42).String() != "decision(42)" {
+		t.Error("unknown decision format")
+	}
+}
+
+func TestCoarseDefault(t *testing.T) {
+	open := OpenCoarsePolicy()
+	if open.Check(bob, OpQueryRealTime) != Allow {
+		t.Error("open policy denied")
+	}
+	closed := NewCoarsePolicy(Deny)
+	if closed.Check(alice, OpQueryRealTime) != Deny {
+		t.Error("closed policy allowed")
+	}
+}
+
+func TestCoarseFirstMatchWins(t *testing.T) {
+	p := NewCoarsePolicy(Deny)
+	p.Add(CoarseRule{Principal: "alice", Op: OpManageDrivers, Decision: Deny})
+	p.Add(CoarseRule{Principal: "alice", Decision: Allow})
+	if p.Check(alice, OpManageDrivers) != Deny {
+		t.Error("first rule not preferred")
+	}
+	if p.Check(alice, OpQueryRealTime) != Allow {
+		t.Error("second rule not reached")
+	}
+	if p.Check(bob, OpQueryRealTime) != Deny {
+		t.Error("default not applied")
+	}
+}
+
+func TestCoarsePatternsAndRoles(t *testing.T) {
+	p := NewCoarsePolicy(Deny)
+	p.Add(CoarseRule{Principal: "sched%", Op: OpQueryRealTime, Decision: Allow})
+	p.Add(CoarseRule{Role: "operator", Decision: Allow})
+	if p.Check(Principal{Name: "scheduler-7"}, OpQueryRealTime) != Allow {
+		t.Error("LIKE principal pattern failed")
+	}
+	if p.Check(Principal{Name: "scheduler-7"}, OpManageDrivers) != Deny {
+		t.Error("op restriction ignored")
+	}
+	if p.Check(alice, OpManageDrivers) != Allow {
+		t.Error("role rule failed")
+	}
+	if p.Check(bob, OpEvents) != Deny {
+		t.Error("unmatched principal allowed")
+	}
+}
+
+func TestCoarseStats(t *testing.T) {
+	p := NewCoarsePolicy(Deny)
+	p.Add(CoarseRule{Principal: "alice", Decision: Allow})
+	p.Check(alice, OpEvents)
+	p.Check(bob, OpEvents)
+	s := p.Stats()
+	if s.Checks != 2 || s.Allows != 1 || s.Denies != 1 || s.Defers != 0 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestFinePolicy(t *testing.T) {
+	p := NewFinePolicy(Deny)
+	p.Add(FineRule{Source: "gridrm:snmp://%", Group: "Process", Decision: Deny})
+	p.Add(FineRule{Role: "operator", Source: "gridrm:snmp://%", Decision: Allow})
+	p.Add(FineRule{Group: "Processor", Decision: Allow})
+
+	if p.Check(alice, "gridrm:snmp://h:1", "Process") != Deny {
+		t.Error("process table exposed")
+	}
+	if p.Check(alice, "gridrm:snmp://h:1", "Memory") != Allow {
+		t.Error("operator snmp access denied")
+	}
+	if p.Check(bob, "gridrm:ganglia://h:1", "Processor") != Allow {
+		t.Error("public processor group denied")
+	}
+	if p.Check(bob, "gridrm:ganglia://h:1", "Memory") != Deny {
+		t.Error("default not applied")
+	}
+}
+
+func TestFineDefer(t *testing.T) {
+	p := NewFinePolicy(Allow)
+	p.Add(FineRule{Source: "gridrm:remote://%", Decision: Defer})
+	if p.Check(alice, "gridrm:remote://b:1", "Memory") != Defer {
+		t.Error("defer rule not applied")
+	}
+	if p.Stats().Defers != 1 {
+		t.Errorf("defer stats %+v", p.Stats())
+	}
+}
+
+func TestRulesCopies(t *testing.T) {
+	p := NewCoarsePolicy(Deny)
+	p.Add(CoarseRule{Principal: "x", Decision: Allow})
+	rules := p.Rules()
+	rules[0].Principal = "mutated"
+	if p.Rules()[0].Principal != "x" {
+		t.Error("Rules returned shared slice")
+	}
+	f := NewFinePolicy(Deny)
+	f.Add(FineRule{Source: "s", Decision: Allow})
+	fr := f.Rules()
+	fr[0].Source = "mutated"
+	if f.Rules()[0].Source != "s" {
+		t.Error("fine Rules returned shared slice")
+	}
+}
+
+func TestConcurrentCheckAndAdd(t *testing.T) {
+	p := NewFinePolicy(Deny)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			p.Add(FineRule{Principal: "u%", Decision: Allow})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			p.Check(alice, "gridrm:x://h:1", "Memory")
+		}
+	}()
+	wg.Wait()
+	if p.Stats().Checks != 500 {
+		t.Errorf("checks = %d", p.Stats().Checks)
+	}
+}

@@ -1,0 +1,210 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed form of a GridRM SELECT statement.
+type Query struct {
+	// Columns lists the selected column names; empty means SELECT *.
+	Columns []string
+	// Table is the FROM target — a GLUE group name.
+	Table string
+	// Where is the optional predicate; nil when absent.
+	Where Expr
+	// OrderBy is the optional ordering column; empty when absent.
+	OrderBy string
+	// Desc reverses the ordering when OrderBy is set.
+	Desc bool
+	// Limit caps the row count; -1 means no limit.
+	Limit int
+}
+
+// Star reports whether the query selects all columns.
+func (q *Query) Star() bool { return len(q.Columns) == 0 }
+
+// String renders the query back to SQL text (canonical form).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Star() {
+		sb.WriteByte('*')
+	} else {
+		sb.WriteString(strings.Join(q.Columns, ", "))
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(q.Table)
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.String())
+	}
+	if q.OrderBy != "" {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(q.OrderBy)
+		if q.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(q.Limit))
+	}
+	return sb.String()
+}
+
+// ColumnsReferenced returns every column name mentioned anywhere in the
+// query (select list, WHERE, ORDER BY), deduplicated, preserving first-seen
+// order. Drivers use this to fetch only the native values a query needs.
+func (q *Query) ColumnsReferenced() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(name string) {
+		key := strings.ToLower(name)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, name)
+		}
+	}
+	for _, c := range q.Columns {
+		add(c)
+	}
+	if q.Where != nil {
+		walkColumns(q.Where, add)
+	}
+	if q.OrderBy != "" {
+		add(q.OrderBy)
+	}
+	return out
+}
+
+func walkColumns(e Expr, add func(string)) {
+	switch x := e.(type) {
+	case *Comparison:
+		add(x.Column)
+	case *NullCheck:
+		add(x.Column)
+	case *Logical:
+		walkColumns(x.Left, add)
+		if x.Right != nil {
+			walkColumns(x.Right, add)
+		}
+	}
+}
+
+// Expr is a WHERE-clause expression node.
+type Expr interface {
+	// String renders the expression as SQL text.
+	String() string
+}
+
+// CompareOp enumerates comparison operators.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	}
+	return "?"
+}
+
+// Comparison is `Column op Literal`.
+type Comparison struct {
+	Column string
+	Op     CompareOp
+	// Value is the literal operand: string, int64, float64 or bool.
+	Value any
+}
+
+// String implements Expr.
+func (c *Comparison) String() string {
+	return c.Column + " " + c.Op.String() + " " + formatLiteral(c.Value)
+}
+
+// NullCheck is `Column IS [NOT] NULL`.
+type NullCheck struct {
+	Column string
+	Negate bool
+}
+
+// String implements Expr.
+func (n *NullCheck) String() string {
+	if n.Negate {
+		return n.Column + " IS NOT NULL"
+	}
+	return n.Column + " IS NULL"
+}
+
+// LogicalOp enumerates boolean connectives.
+type LogicalOp int
+
+// Boolean connectives.
+const (
+	OpAnd LogicalOp = iota
+	OpOr
+	OpNot
+)
+
+// Logical combines sub-expressions with AND/OR/NOT. For OpNot, only Left is
+// set.
+type Logical struct {
+	Op    LogicalOp
+	Left  Expr
+	Right Expr
+}
+
+// String implements Expr.
+func (l *Logical) String() string {
+	switch l.Op {
+	case OpNot:
+		return "NOT (" + l.Left.String() + ")"
+	case OpAnd:
+		return "(" + l.Left.String() + " AND " + l.Right.String() + ")"
+	default:
+		return "(" + l.Left.String() + " OR " + l.Right.String() + ")"
+	}
+}
+
+func formatLiteral(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		if x {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}

@@ -1,0 +1,174 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"gridrm/internal/resultset"
+)
+
+// RowResolver maps a column name to the value it holds in the current row.
+// The boolean result reports whether the column exists at all.
+type RowResolver func(column string) (any, bool)
+
+// Eval evaluates a WHERE expression against one row. A nil expression is
+// true. Comparisons involving NULL are false (use IS NULL to test for
+// NULL), matching common SQL behaviour. Referencing a column the row does
+// not have is an error.
+func Eval(e Expr, resolve RowResolver) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	switch x := e.(type) {
+	case *NullCheck:
+		v, ok := resolve(x.Column)
+		if !ok {
+			return false, fmt.Errorf("sqlparse: unknown column %q", x.Column)
+		}
+		isNull := v == nil
+		if x.Negate {
+			return !isNull, nil
+		}
+		return isNull, nil
+	case *Comparison:
+		v, ok := resolve(x.Column)
+		if !ok {
+			return false, fmt.Errorf("sqlparse: unknown column %q", x.Column)
+		}
+		if v == nil || x.Value == nil {
+			return false, nil
+		}
+		if x.Op == OpLike {
+			s, ok := v.(string)
+			if !ok {
+				s = fmt.Sprint(v)
+			}
+			pat, ok := x.Value.(string)
+			if !ok {
+				return false, fmt.Errorf("sqlparse: LIKE pattern must be a string")
+			}
+			return MatchLike(pat, s), nil
+		}
+		cmp := resultset.CompareValues(v, x.Value)
+		switch x.Op {
+		case OpEq:
+			return cmp == 0, nil
+		case OpNe:
+			return cmp != 0, nil
+		case OpLt:
+			return cmp < 0, nil
+		case OpLe:
+			return cmp <= 0, nil
+		case OpGt:
+			return cmp > 0, nil
+		case OpGe:
+			return cmp >= 0, nil
+		}
+		return false, fmt.Errorf("sqlparse: unknown operator %v", x.Op)
+	case *Logical:
+		left, err := Eval(x.Left, resolve)
+		if err != nil {
+			return false, err
+		}
+		switch x.Op {
+		case OpNot:
+			return !left, nil
+		case OpAnd:
+			if !left {
+				return false, nil
+			}
+			return Eval(x.Right, resolve)
+		case OpOr:
+			if left {
+				return true, nil
+			}
+			return Eval(x.Right, resolve)
+		}
+	}
+	return false, fmt.Errorf("sqlparse: unknown expression %T", e)
+}
+
+// MatchLike implements SQL LIKE matching: '%' matches any run (including
+// empty), '_' matches exactly one character. Matching is case-insensitive,
+// which suits GridRM's case-insensitive schema names.
+func MatchLike(pattern, s string) bool {
+	return likeMatch(strings.ToLower(pattern), strings.ToLower(s))
+}
+
+func likeMatch(p, s string) bool {
+	// Iterative two-pointer match with backtracking on the last '%'.
+	pi, si := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// ApplyToResultSet applies the query's WHERE, ORDER BY, LIMIT and column
+// projection to a full-table ResultSet (one whose columns cover everything
+// the query references). Drivers that fetch coarse-grained native snapshots
+// use this to finish query processing; it is part of the driver development
+// API the paper describes in §3.2.1.
+func ApplyToResultSet(q *Query, rs *resultset.ResultSet) (*resultset.ResultSet, error) {
+	meta := rs.Metadata()
+	// Validate referenced columns up front for a clear error.
+	for _, c := range q.ColumnsReferenced() {
+		if meta.ColumnIndex(c) < 0 {
+			return nil, fmt.Errorf("sqlparse: unknown column %q in table %s", c, q.Table)
+		}
+	}
+	out := rs
+	if q.Where != nil {
+		var evalErr error
+		out = out.Filter(func(row []any) bool {
+			ok, err := Eval(q.Where, func(col string) (any, bool) {
+				i := meta.ColumnIndex(col)
+				if i < 0 {
+					return nil, false
+				}
+				return row[i], true
+			})
+			if err != nil && evalErr == nil {
+				evalErr = err
+			}
+			return ok
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+	}
+	if q.OrderBy != "" {
+		if err := out.SortBy(q.OrderBy, q.Desc); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit >= 0 {
+		out = out.Limit(q.Limit)
+	}
+	if !q.Star() {
+		projected, err := out.Project(q.Columns)
+		if err != nil {
+			return nil, err
+		}
+		out = projected
+	}
+	return out, nil
+}

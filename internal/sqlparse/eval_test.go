@@ -1,0 +1,238 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+func resolver(m map[string]any) RowResolver {
+	return func(col string) (any, bool) {
+		v, ok := m[strings.ToLower(col)]
+		return v, ok
+	}
+}
+
+func evalWhere(t *testing.T, where string, row map[string]any) bool {
+	t.Helper()
+	q := mustParse(t, "SELECT * FROM T WHERE "+where)
+	ok, err := Eval(q.Where, resolver(row))
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", where, err)
+	}
+	return ok
+}
+
+func TestEvalComparisons(t *testing.T) {
+	row := map[string]any{"a": int64(5), "f": 2.5, "s": "hello", "b": true, "n": nil}
+	cases := []struct {
+		where string
+		want  bool
+	}{
+		{"a = 5", true},
+		{"a != 5", false},
+		{"a < 6", true},
+		{"a <= 5", true},
+		{"a > 5", false},
+		{"a >= 5", true},
+		{"f = 2.5", true},
+		{"f > 2", true},
+		{"a > 4.5", true}, // int vs float comparison
+		{"s = 'hello'", true},
+		{"s != 'world'", true},
+		{"b = TRUE", true},
+		{"b = FALSE", false},
+		{"n = 1", false},  // NULL comparisons are false
+		{"n != 1", false}, // even inequality
+		{"n IS NULL", true},
+		{"n IS NOT NULL", false},
+		{"a IS NULL", false},
+		{"a IS NOT NULL", true},
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.where, row); got != c.want {
+			t.Errorf("WHERE %s = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+func TestEvalLogic(t *testing.T) {
+	row := map[string]any{"a": int64(1), "b": int64(2)}
+	cases := []struct {
+		where string
+		want  bool
+	}{
+		{"a = 1 AND b = 2", true},
+		{"a = 1 AND b = 3", false},
+		{"a = 0 OR b = 2", true},
+		{"a = 0 OR b = 0", false},
+		{"NOT a = 0", true},
+		{"NOT (a = 1 AND b = 2)", false},
+		{"a = 0 AND b = 2 OR a = 1", true}, // precedence
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.where, row); got != c.want {
+			t.Errorf("WHERE %s = %v, want %v", c.where, got, c.want)
+		}
+	}
+}
+
+func TestEvalUnknownColumn(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM T WHERE nope = 1")
+	if _, err := Eval(q.Where, resolver(map[string]any{})); err == nil {
+		t.Error("unknown column evaluated")
+	}
+}
+
+func TestEvalNilExpr(t *testing.T) {
+	ok, err := Eval(nil, resolver(nil))
+	if err != nil || !ok {
+		t.Errorf("nil expr = %v, %v", ok, err)
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"node%", "node01", true},
+		{"node%", "anode", false},
+		{"%01", "node01", true},
+		{"%de%", "node01", true},
+		{"n_de01", "node01", true},
+		{"n_de01", "nde01", false},
+		{"%", "", true},
+		{"%", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"a%b%c", "aXXbYYc", true},
+		{"a%b%c", "acb", false},
+		{"NODE%", "node01", true}, // case-insensitive
+		{"_", "", false},
+		{"_", "x", true},
+		{"%%", "x", true},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.pat, c.s); got != c.want {
+			t.Errorf("MatchLike(%q,%q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestMatchLikeProperties(t *testing.T) {
+	// s LIKE s for any metacharacter-free string; '%'+s+'%' matches any
+	// superstring.
+	f := func(s, pre, post string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			return r
+		}, s)
+		if !MatchLike(clean, clean) {
+			return false
+		}
+		return MatchLike("%"+clean+"%", pre+clean+post)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildHosts(t *testing.T) *resultset.ResultSet {
+	t.Helper()
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := resultset.NewBuilder(meta)
+	// HostName, RAMSize, RAMAvailable, VirtualSize, VirtualAvailable, SwapInRate, SwapOutRate
+	b.Append("n1", int64(1024), int64(512), int64(2048), int64(1024), 0.0, 0.0)
+	b.Append("n2", int64(2048), int64(128), int64(4096), int64(2048), 1.5, 0.5)
+	b.Append("n3", int64(512), nil, int64(1024), int64(512), 0.0, 0.0)
+	rs, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestApplyToResultSet(t *testing.T) {
+	rs := buildHosts(t)
+	q := mustParse(t, "SELECT HostName, RAMAvailable FROM Memory WHERE RAMSize >= 1024 ORDER BY RAMSize DESC LIMIT 1")
+	out, err := ApplyToResultSet(q, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("got %d rows", out.Len())
+	}
+	out.Next()
+	if s, _ := out.GetString("HostName"); s != "n2" {
+		t.Errorf("winner = %q", s)
+	}
+	if out.Metadata().ColumnCount() != 2 {
+		t.Errorf("projected to %d columns", out.Metadata().ColumnCount())
+	}
+}
+
+func TestApplyToResultSetNullFilter(t *testing.T) {
+	rs := buildHosts(t)
+	q := mustParse(t, "SELECT HostName FROM Memory WHERE RAMAvailable IS NULL")
+	out, err := ApplyToResultSet(q, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("got %d rows", out.Len())
+	}
+	out.Next()
+	if s, _ := out.GetString("HostName"); s != "n3" {
+		t.Errorf("NULL host = %q", s)
+	}
+}
+
+func TestApplyToResultSetUnknownColumn(t *testing.T) {
+	rs := buildHosts(t)
+	q := mustParse(t, "SELECT Bogus FROM Memory")
+	if _, err := ApplyToResultSet(q, rs); err == nil {
+		t.Error("unknown select column accepted")
+	}
+	q = mustParse(t, "SELECT * FROM Memory WHERE Bogus = 1")
+	if _, err := ApplyToResultSet(q, rs); err == nil {
+		t.Error("unknown where column accepted")
+	}
+	q = mustParse(t, "SELECT * FROM Memory ORDER BY Bogus")
+	if _, err := ApplyToResultSet(q, rs); err == nil {
+		t.Error("unknown order column accepted")
+	}
+}
+
+func TestApplyToResultSetStarPassthrough(t *testing.T) {
+	rs := buildHosts(t)
+	q := mustParse(t, "SELECT * FROM Memory")
+	out, err := ApplyToResultSet(q, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != rs.Len() || out.Metadata().ColumnCount() != rs.Metadata().ColumnCount() {
+		t.Error("star query altered shape")
+	}
+}
+
+func TestApplyLikeOnResultSet(t *testing.T) {
+	rs := buildHosts(t)
+	q := mustParse(t, "SELECT HostName FROM Memory WHERE HostName LIKE 'n_'")
+	out, err := ApplyToResultSet(q, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Errorf("LIKE matched %d rows, want 3", out.Len())
+	}
+}

@@ -1,0 +1,232 @@
+// Package sqlparse implements the SQL dialect GridRM uses for resource
+// queries (§3 of the paper: "Queries for resource data are submitted as SQL
+// statements and pass down to the data source drivers in the same format").
+//
+// The dialect covers single-table SELECT statements over GLUE groups:
+//
+//	SELECT * | col [, col ...]
+//	FROM group
+//	[WHERE predicate]           =, !=, <>, <, <=, >, >=, LIKE,
+//	                            IS [NOT] NULL, AND, OR, NOT, parentheses
+//	[ORDER BY col [ASC|DESC]]
+//	[LIMIT n]
+//
+// A query-string parser of this shape is what the paper says is "supplied as
+// part of a GridRM driver development API" (§3.2.1); every driver in
+// internal/drivers uses this package.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // = != <> < <= > >=
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a lexical or grammatical error with its byte offset
+// in the query string.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sqlparse: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == ',':
+			l.pos++
+			l.emit(tokComma, ",", start)
+		case c == '(':
+			l.pos++
+			l.emit(tokLParen, "(", start)
+		case c == ')':
+			l.pos++
+			l.emit(tokRParen, ")", start)
+		case c == '*':
+			l.pos++
+			l.emit(tokStar, "*", start)
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokString, s, start)
+		case c == '=':
+			l.pos++
+			l.emit(tokOp, "=", start)
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.emit(tokOp, "!=", start)
+			} else {
+				return nil, errAt(start, "unexpected %q", "!")
+			}
+		case c == '<':
+			switch {
+			case l.peek(1) == '=':
+				l.pos += 2
+				l.emit(tokOp, "<=", start)
+			case l.peek(1) == '>':
+				l.pos += 2
+				l.emit(tokOp, "!=", start)
+			default:
+				l.pos++
+				l.emit(tokOp, "<", start)
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.pos += 2
+				l.emit(tokOp, ">=", start)
+			} else {
+				l.pos++
+				l.emit(tokOp, ">", start)
+			}
+		case c == '-' || c == '.' || unicode.IsDigit(rune(c)):
+			n, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokNumber, n, start)
+		case isIdentStart(rune(c)):
+			l.emit(tokIdent, l.lexIdent(), start)
+		default:
+			return nil, errAt(start, "unexpected character %q", string(c))
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.peek(1) == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", errAt(start, "unterminated string literal")
+}
+
+func (l *lexer) lexNumber() (string, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := false
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+		digits = true
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			digits = true
+		}
+	}
+	if !digits {
+		return "", errAt(start, "malformed number")
+	}
+	// Exponent.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		expDigits := false
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			expDigits = true
+		}
+		if !expDigits {
+			l.pos = mark // 'e' was an identifier start, not an exponent
+		}
+	}
+	return l.src[start:l.pos], nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}

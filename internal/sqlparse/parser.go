@@ -1,0 +1,278 @@
+package sqlparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses a GridRM SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, errAt(t.pos, "unexpected trailing input %q", t.text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) keyword(word string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if !p.keyword(word) {
+		return errAt(p.cur().pos, "expected %s, got %q", word, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", errAt(t.pos, "expected identifier, got %q", t.text)
+	}
+	if isReserved(t.text) {
+		return "", errAt(t.pos, "unexpected keyword %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "order": true, "by": true,
+	"limit": true, "and": true, "or": true, "not": true, "like": true,
+	"is": true, "null": true, "asc": true, "desc": true, "true": true,
+	"false": true,
+}
+
+func isReserved(word string) bool { return reserved[strings.ToLower(word)] }
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	if p.cur().kind == tokStar {
+		p.advance()
+	} else {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			q.Columns = append(q.Columns, col)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	q.Table = table
+
+	if p.keyword("WHERE") {
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = col
+		if p.keyword("DESC") {
+			q.Desc = true
+		} else {
+			p.keyword("ASC")
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, errAt(t.pos, "expected LIMIT count, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errAt(t.pos, "invalid LIMIT %q", t.text)
+		}
+		p.advance()
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.keyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Logical{Op: OpNot, Left: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.cur().kind == tokLParen {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, errAt(p.cur().pos, "expected ')', got %q", p.cur().text)
+		}
+		p.advance()
+		return e, nil
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("IS") {
+		negate := p.keyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &NullCheck{Column: col, Negate: negate}, nil
+	}
+	if p.keyword("LIKE") {
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, errAt(t.pos, "LIKE requires a string pattern, got %q", t.text)
+		}
+		p.advance()
+		return &Comparison{Column: col, Op: OpLike, Value: t.text}, nil
+	}
+	t := p.cur()
+	if t.kind != tokOp {
+		return nil, errAt(t.pos, "expected comparison operator, got %q", t.text)
+	}
+	var op CompareOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, errAt(t.pos, "unknown operator %q", t.text)
+	}
+	p.advance()
+	val, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Column: col, Op: op, Value: val}, nil
+}
+
+func (p *parser) parseLiteral() (any, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.advance()
+		return t.text, nil
+	case tokNumber:
+		p.advance()
+		if !strings.ContainsAny(t.text, ".eE") {
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return n, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errAt(t.pos, "invalid number %q", t.text)
+		}
+		return f, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.advance()
+			return true, nil
+		case "false":
+			p.advance()
+			return false, nil
+		case "null":
+			p.advance()
+			return nil, nil
+		}
+	}
+	return nil, errAt(t.pos, "expected literal, got %q", t.text)
+}

@@ -1,0 +1,230 @@
+package sqlparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM Processor")
+	if !q.Star() || q.Table != "Processor" || q.Where != nil || q.Limit != -1 {
+		t.Errorf("unexpected query %+v", q)
+	}
+}
+
+func TestParseColumns(t *testing.T) {
+	q := mustParse(t, "select HostName, LoadLast1Min from Processor")
+	if q.Star() {
+		t.Fatal("Star on explicit columns")
+	}
+	if len(q.Columns) != 2 || q.Columns[0] != "HostName" || q.Columns[1] != "LoadLast1Min" {
+		t.Errorf("columns %v", q.Columns)
+	}
+}
+
+func TestParseWhereOperators(t *testing.T) {
+	ops := map[string]CompareOp{
+		"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	}
+	for text, want := range ops {
+		q := mustParse(t, "SELECT * FROM Memory WHERE RAMSize "+text+" 512")
+		c, ok := q.Where.(*Comparison)
+		if !ok {
+			t.Fatalf("%s: not a Comparison: %T", text, q.Where)
+		}
+		if c.Op != want {
+			t.Errorf("%s parsed as %v", text, c.Op)
+		}
+		if v, ok := c.Value.(int64); !ok || v != 512 {
+			t.Errorf("%s literal = %#v", text, c.Value)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM T WHERE A = 'it''s' AND B = 1.5 AND C = TRUE AND D = FALSE AND E = -3")
+	var lits []any
+	walkColumns(q.Where, func(string) {})
+	var collect func(e Expr)
+	collect = func(e Expr) {
+		switch x := e.(type) {
+		case *Comparison:
+			lits = append(lits, x.Value)
+		case *Logical:
+			collect(x.Left)
+			if x.Right != nil {
+				collect(x.Right)
+			}
+		}
+	}
+	collect(q.Where)
+	if len(lits) != 5 {
+		t.Fatalf("got %d literals", len(lits))
+	}
+	if lits[0] != "it's" {
+		t.Errorf("string literal %#v", lits[0])
+	}
+	if lits[1] != 1.5 {
+		t.Errorf("float literal %#v", lits[1])
+	}
+	if lits[2] != true || lits[3] != false {
+		t.Errorf("bool literals %#v %#v", lits[2], lits[3])
+	}
+	if lits[4] != int64(-3) {
+		t.Errorf("negative int literal %#v", lits[4])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// A=1 OR B=2 AND C=3 must parse as A=1 OR (B=2 AND C=3).
+	q := mustParse(t, "SELECT * FROM T WHERE A = 1 OR B = 2 AND C = 3")
+	or, ok := q.Where.(*Logical)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top is %v", q.Where)
+	}
+	and, ok := or.Right.(*Logical)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of OR is %v", or.Right)
+	}
+}
+
+func TestParseParensAndNot(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM T WHERE NOT (A = 1 OR B = 2)")
+	not, ok := q.Where.(*Logical)
+	if !ok || not.Op != OpNot {
+		t.Fatalf("top is %v", q.Where)
+	}
+	if _, ok := not.Left.(*Logical); !ok {
+		t.Fatalf("inner is %T", not.Left)
+	}
+}
+
+func TestParseLikeAndNull(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM T WHERE Name LIKE 'node%' AND X IS NULL AND Y IS NOT NULL")
+	s := q.Where.String()
+	if !strings.Contains(s, "LIKE 'node%'") || !strings.Contains(s, "X IS NULL") || !strings.Contains(s, "Y IS NOT NULL") {
+		t.Errorf("rendered %q", s)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM T ORDER BY Load DESC LIMIT 10")
+	if q.OrderBy != "Load" || !q.Desc || q.Limit != 10 {
+		t.Errorf("query %+v", q)
+	}
+	q = mustParse(t, "SELECT * FROM T ORDER BY Load ASC")
+	if q.Desc {
+		t.Error("ASC parsed as Desc")
+	}
+	q = mustParse(t, "SELECT * FROM T ORDER BY Load")
+	if q.Desc || q.OrderBy != "Load" {
+		t.Error("bare ORDER BY")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM T",
+		"SELECT FROM T",
+		"SELECT * T",
+		"SELECT * FROM",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T WHERE A",
+		"SELECT * FROM T WHERE A =",
+		"SELECT * FROM T WHERE A = 'unterminated",
+		"SELECT * FROM T WHERE A = 1 trailing",
+		"SELECT * FROM T LIMIT -1",
+		"SELECT * FROM T LIMIT many",
+		"SELECT * FROM T WHERE A LIKE 5",
+		"SELECT * FROM T WHERE (A = 1",
+		"SELECT * FROM T WHERE A ! 1",
+		"SELECT * FROM T WHERE SELECT = 1",
+		"SELECT * FROM T ORDER Load",
+		"SELECT * FROM T WHERE A IS 5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error type %T", src, err)
+			}
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM Processor",
+		"SELECT HostName FROM Processor WHERE LoadLast1Min > 2.5 ORDER BY HostName LIMIT 5",
+		"SELECT * FROM Disk WHERE (HostName = 'n1' AND Available < 100) OR DeviceName LIKE 'sd%'",
+		"SELECT * FROM Memory WHERE RAMAvailable IS NOT NULL",
+	}
+	for _, src := range srcs {
+		q1 := mustParse(t, src)
+		q2 := mustParse(t, q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", q1, q2)
+		}
+	}
+}
+
+func TestColumnsReferenced(t *testing.T) {
+	q := mustParse(t, "SELECT A, B FROM T WHERE C = 1 AND a > 2 ORDER BY D")
+	got := q.ColumnsReferenced()
+	want := []string{"A", "B", "C", "D"}
+	if len(got) != len(want) {
+		t.Fatalf("referenced %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("referenced[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseIdentifierQuirks(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM T WHERE e = 1") // 'e' must not lex as exponent
+	c := q.Where.(*Comparison)
+	if c.Column != "e" {
+		t.Errorf("column %q", c.Column)
+	}
+	q = mustParse(t, "SELECT * FROM T WHERE A = 1e3")
+	if v := q.Where.(*Comparison).Value; v != 1000.0 {
+		t.Errorf("exponent literal %#v", v)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Also fuzz-ish mutations of a valid query.
+	base := "SELECT a, b FROM t WHERE x = 'y' AND z >= 1.5 ORDER BY a DESC LIMIT 3"
+	for i := 0; i < len(base); i++ {
+		_, _ = Parse(base[:i])
+		_, _ = Parse(base[:i] + "(" + base[i:])
+	}
+}

@@ -1,0 +1,203 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/event"
+	"gridrm/internal/security"
+)
+
+// Client is a GridRM client of a gateway's servlet interface.
+type Client struct {
+	// BaseURL is the gateway base, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Principal identifies the client; sent as headers.
+	Principal security.Principal
+	// HTTPClient is optional; nil uses a 10s-timeout client.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) do(method, path string, body any, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Principal.Name != "" {
+		req.Header.Set(HeaderUser, c.Principal.Name)
+	}
+	if len(c.Principal.Roles) > 0 {
+		req.Header.Set(HeaderRoles, strings.Join(c.Principal.Roles, ","))
+	}
+	if c.Principal.Site != "" {
+		req.Header.Set(HeaderSite, c.Principal.Site)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("web: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("web: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("web: decoding %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Query executes a SQL query at the gateway.
+func (c *Client) Query(req core.Request) (*core.Response, error) {
+	var wr WireResponse
+	if err := c.do(http.MethodPost, "/query", FromCoreRequest(req), &wr); err != nil {
+		return nil, err
+	}
+	return DecodeResponse(wr)
+}
+
+// Poll forces a real-time refresh of one source/group (Fig 9's poll icon).
+func (c *Client) Poll(sourceURL, group string) (*core.Response, error) {
+	var wr WireResponse
+	if err := c.do(http.MethodPost, "/poll", pollRequest{URL: sourceURL, Group: group}, &wr); err != nil {
+		return nil, err
+	}
+	return DecodeResponse(wr)
+}
+
+// Sources lists the gateway's registered data sources.
+func (c *Client) Sources() ([]core.SourceInfo, error) {
+	var out []core.SourceInfo
+	err := c.do(http.MethodGet, "/sources", nil, &out)
+	return out, err
+}
+
+// AddSource registers a data source (Fig 9's add icon).
+func (c *Client) AddSource(cfg core.SourceConfig) error {
+	return c.do(http.MethodPost, "/sources", cfg, nil)
+}
+
+// RemoveSource unregisters a data source.
+func (c *Client) RemoveSource(sourceURL string) error {
+	return c.do(http.MethodDelete, "/sources?url="+url.QueryEscape(sourceURL), nil, nil)
+}
+
+// Drivers lists active and activatable drivers (Fig 8's panel).
+func (c *Client) Drivers() ([]DriverListing, error) {
+	var out []DriverListing
+	err := c.do(http.MethodGet, "/drivers", nil, &out)
+	return out, err
+}
+
+// ActivateDriver registers a repository driver at runtime.
+func (c *Client) ActivateDriver(name string) error {
+	return c.do(http.MethodPost, "/drivers", driverActivation{Name: name}, nil)
+}
+
+// DeactivateDriver removes a driver at runtime.
+func (c *Client) DeactivateDriver(name string) error {
+	return c.do(http.MethodDelete, "/drivers?name="+url.QueryEscape(name), nil, nil)
+}
+
+// SetPreferences installs a prioritised driver list for a source.
+func (c *Client) SetPreferences(sourceURL string, drivers []string) error {
+	return c.do(http.MethodPost, "/drivers/preferences",
+		preferenceUpdate{URL: sourceURL, Drivers: drivers}, nil)
+}
+
+// Tree fetches the cached tree view (Fig 9).
+func (c *Client) Tree() ([]TreeNode, error) {
+	var out []TreeNode
+	err := c.do(http.MethodGet, "/tree", nil, &out)
+	return out, err
+}
+
+// Events fetches event history matching the filter at or after since.
+func (c *Client) Events(filter event.Filter, since time.Time) ([]event.Event, error) {
+	q := url.Values{}
+	if filter.Source != "" {
+		q.Set("source", filter.Source)
+	}
+	if filter.Host != "" {
+		q.Set("host", filter.Host)
+	}
+	if filter.Name != "" {
+		q.Set("name", filter.Name)
+	}
+	if filter.Severity != "" {
+		q.Set("severity", filter.Severity)
+	}
+	if !since.IsZero() {
+		q.Set("since", since.Format(time.RFC3339Nano))
+	}
+	path := "/events"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out []event.Event
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// WatchMetric asks the gateway to publish group.field as events on every
+// harvest.
+func (c *Client) WatchMetric(group, field string) error {
+	return c.do(http.MethodPost, "/watches", watchRequest{Group: group, Field: field}, nil)
+}
+
+// WatchedMetrics lists active metric watches.
+func (c *Client) WatchedMetrics() ([]string, error) {
+	var out []string
+	err := c.do(http.MethodGet, "/watches", nil, &out)
+	return out, err
+}
+
+// Status fetches the gateway's counters.
+func (c *Client) Status() (*StatusReport, error) {
+	var out StatusReport
+	if err := c.do(http.MethodGet, "/status", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sites lists the sites reachable from this gateway (itself first).
+func (c *Client) Sites() ([]string, error) {
+	var out []string
+	err := c.do(http.MethodGet, "/sites", nil, &out)
+	return out, err
+}
+
+// RemoteQuery executes a core request against a remote gateway endpoint,
+// forwarding the principal; it satisfies gma.Exec for the Global layer.
+func RemoteQuery(endpoint string, req core.Request) (*core.Response, error) {
+	c := &Client{BaseURL: endpoint, Principal: req.Principal}
+	return c.Query(req)
+}

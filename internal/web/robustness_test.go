@@ -1,0 +1,97 @@
+package web
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// raw performs a raw HTTP request against the fixture server.
+func raw(t *testing.T, f *fixture, method, path, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, f.srv.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderUser, "admin")
+	req.Header.Set(HeaderRoles, "operator")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = resp.Body.Close() })
+	return resp
+}
+
+func TestMalformedBodiesRejected(t *testing.T) {
+	f := newFixture(t, nil)
+	cases := []struct {
+		method, path, body string
+	}{
+		{http.MethodPost, "/query", "{not json"},
+		{http.MethodPost, "/query", `{"sql":"SELECT * FROM Processor","mode":"warp"}`},
+		{http.MethodPost, "/query", `{"sql":"SELECT * FROM Processor","since":"notatime"}`},
+		{http.MethodPost, "/poll", "junk"},
+		{http.MethodPost, "/sources", "junk"},
+		{http.MethodPost, "/drivers", "junk"},
+		{http.MethodPost, "/drivers/preferences", "junk"},
+	}
+	for _, c := range cases {
+		resp := raw(t, f, c.method, c.path, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s %q -> %d, want 400", c.method, c.path, c.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestWrongMethodsRejected(t *testing.T) {
+	f := newFixture(t, nil)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/query"},
+		{http.MethodGet, "/poll"},
+		{http.MethodPut, "/sources"},
+		{http.MethodPut, "/drivers"},
+		{http.MethodGet, "/drivers/preferences"},
+		{http.MethodPost, "/tree"},
+		{http.MethodPost, "/events"},
+		{http.MethodPost, "/status"},
+		{http.MethodPost, "/sites"},
+	}
+	for _, c := range cases {
+		resp := raw(t, f, c.method, c.path, "")
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s -> %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestEventsBadSince(t *testing.T) {
+	f := newFixture(t, nil)
+	resp := raw(t, f, http.MethodGet, "/events?since=yesterday", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since -> %d", resp.StatusCode)
+	}
+}
+
+func TestAnonymousPrincipalDefaults(t *testing.T) {
+	f := newFixture(t, nil)
+	req, _ := http.NewRequest(http.MethodGet, f.srv.URL+"/status", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("anonymous status -> %d (open policy should allow)", resp.StatusCode)
+	}
+}
+
+func TestUnknownPathIs404(t *testing.T) {
+	f := newFixture(t, nil)
+	resp := raw(t, f, http.MethodGet, "/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path -> %d", resp.StatusCode)
+	}
+}

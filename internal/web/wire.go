@@ -1,0 +1,273 @@
+// Package web implements the GridRM gateway's servlet interface: the HTTP
+// face of the Abstract Client Interface Layer. The paper's gateways were
+// Java servlets with a JSP management interface (Figs 6–9); here the same
+// operations — issuing SQL queries, managing data sources and drivers,
+// browsing the cached tree view, polling resources in real time, and
+// reading the event log — are JSON endpoints, and gateways interact
+// gateway-to-gateway over the same interface for the Global layer.
+//
+// One substitution is documented in DESIGN.md: the paper's clients upload
+// driver JARs for runtime registration. Go cannot load code at runtime
+// from a request body, so the server is configured with a repository of
+// available driver constructors and clients activate them by name; the
+// lifecycle (register/deregister at runtime, persisted activation, cached
+// selection) is otherwise identical.
+package web
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+// WireColumn describes one result column on the wire.
+type WireColumn struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Unit  string `json:"unit,omitempty"`
+	Group string `json:"group,omitempty"`
+}
+
+// WireResult is a ResultSet on the wire. Values are JSON-natural (numbers,
+// strings, booleans, null); the column kind disambiguates int64 vs float64
+// and identifies RFC 3339 time strings on decode.
+type WireResult struct {
+	Columns []WireColumn `json:"columns"`
+	Rows    [][]any      `json:"rows"`
+}
+
+// WireRequest is a query request on the wire.
+type WireRequest struct {
+	SQL     string   `json:"sql"`
+	Site    string   `json:"site,omitempty"`
+	Sources []string `json:"sources,omitempty"`
+	Mode    string   `json:"mode,omitempty"`
+	Since   string   `json:"since,omitempty"`
+	Until   string   `json:"until,omitempty"`
+}
+
+// WireResponse is a query response on the wire.
+type WireResponse struct {
+	Site      string              `json:"site"`
+	SQL       string              `json:"sql"`
+	Mode      string              `json:"mode"`
+	ElapsedNs int64               `json:"elapsedNs"`
+	Sources   []core.SourceStatus `json:"sources,omitempty"`
+	Result    WireResult          `json:"result"`
+}
+
+func kindName(k glue.Kind) string { return k.String() }
+
+func kindFromName(name string) (glue.Kind, error) {
+	switch name {
+	case "string":
+		return glue.String, nil
+	case "int":
+		return glue.Int, nil
+	case "float":
+		return glue.Float, nil
+	case "bool":
+		return glue.Bool, nil
+	case "time":
+		return glue.Time, nil
+	}
+	return 0, fmt.Errorf("web: unknown kind %q", name)
+}
+
+// ParseMode converts the wire mode string; empty means cached.
+func ParseMode(s string) (core.Mode, error) {
+	switch s {
+	case "", "cached":
+		return core.ModeCached, nil
+	case "real-time", "realtime":
+		return core.ModeRealTime, nil
+	case "historical", "history":
+		return core.ModeHistorical, nil
+	}
+	return 0, fmt.Errorf("web: unknown mode %q", s)
+}
+
+// EncodeResultSet converts a ResultSet to its wire form.
+func EncodeResultSet(rs *resultset.ResultSet) WireResult {
+	meta := rs.Metadata()
+	out := WireResult{Columns: make([]WireColumn, meta.ColumnCount())}
+	for i := 0; i < meta.ColumnCount(); i++ {
+		c := meta.Column(i)
+		out.Columns[i] = WireColumn{Name: c.Name, Kind: kindName(c.Kind), Unit: c.Unit, Group: c.Group}
+	}
+	out.Rows = make([][]any, rs.Len())
+	for r := 0; r < rs.Len(); r++ {
+		src := rs.RowAt(r)
+		row := make([]any, len(src))
+		for i, v := range src {
+			switch x := v.(type) {
+			case time.Time:
+				row[i] = x.Format(time.RFC3339Nano)
+			default:
+				row[i] = v
+			}
+		}
+		out.Rows[r] = row
+	}
+	return out
+}
+
+// DecodeResultSet reconstructs a ResultSet from its wire form, restoring
+// per-column Go types from the declared kinds.
+func DecodeResultSet(wr WireResult) (*resultset.ResultSet, error) {
+	cols := make([]resultset.Column, len(wr.Columns))
+	kinds := make([]glue.Kind, len(wr.Columns))
+	for i, c := range wr.Columns {
+		k, err := kindFromName(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+		cols[i] = resultset.Column{Name: c.Name, Kind: k, Unit: c.Unit, Group: c.Group}
+	}
+	meta, err := resultset.NewMetadata(cols)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	for _, row := range wr.Rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("web: row has %d cells, want %d", len(row), len(cols))
+		}
+		decoded := make([]any, len(row))
+		for i, v := range row {
+			dv, err := decodeCell(v, kinds[i])
+			if err != nil {
+				return nil, fmt.Errorf("web: column %s: %w", cols[i].Name, err)
+			}
+			decoded[i] = dv
+		}
+		b.Append(decoded...)
+	}
+	return b.Build()
+}
+
+func decodeCell(v any, kind glue.Kind) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	switch kind {
+	case glue.String:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected string, got %T", v)
+		}
+		return s, nil
+	case glue.Int:
+		switch x := v.(type) {
+		case float64: // JSON numbers decode as float64
+			return int64(x), nil
+		case int64: // in-process round trips keep native types
+			return x, nil
+		case string:
+			n, err := strconv.ParseInt(x, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			return n, nil
+		}
+		return nil, fmt.Errorf("expected number, got %T", v)
+	case glue.Float:
+		switch x := v.(type) {
+		case float64:
+			return x, nil
+		case int64:
+			return float64(x), nil
+		}
+		return nil, fmt.Errorf("expected number, got %T", v)
+	case glue.Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("expected bool, got %T", v)
+		}
+		return b, nil
+	case glue.Time:
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected time string, got %T", v)
+		}
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("unknown kind %v", kind)
+}
+
+// EncodeResponse converts a core.Response to its wire form.
+func EncodeResponse(resp *core.Response) WireResponse {
+	return WireResponse{
+		Site:      resp.Site,
+		SQL:       resp.SQL,
+		Mode:      resp.Mode.String(),
+		ElapsedNs: int64(resp.Elapsed),
+		Sources:   resp.Sources,
+		Result:    EncodeResultSet(resp.ResultSet),
+	}
+}
+
+// DecodeResponse reconstructs a core.Response from its wire form.
+func DecodeResponse(wr WireResponse) (*core.Response, error) {
+	mode, err := ParseMode(wr.Mode)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := DecodeResultSet(wr.Result)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Response{
+		Site:      wr.Site,
+		SQL:       wr.SQL,
+		Mode:      mode,
+		Elapsed:   time.Duration(wr.ElapsedNs),
+		Sources:   wr.Sources,
+		ResultSet: rs,
+	}, nil
+}
+
+// ToCoreRequest converts a wire request (mode/window strings parsed).
+func (wr WireRequest) ToCoreRequest() (core.Request, error) {
+	mode, err := ParseMode(wr.Mode)
+	if err != nil {
+		return core.Request{}, err
+	}
+	req := core.Request{SQL: wr.SQL, Site: wr.Site, Sources: wr.Sources, Mode: mode}
+	if wr.Since != "" {
+		t, err := time.Parse(time.RFC3339Nano, wr.Since)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("web: bad since: %w", err)
+		}
+		req.Since = t
+	}
+	if wr.Until != "" {
+		t, err := time.Parse(time.RFC3339Nano, wr.Until)
+		if err != nil {
+			return core.Request{}, fmt.Errorf("web: bad until: %w", err)
+		}
+		req.Until = t
+	}
+	return req, nil
+}
+
+// FromCoreRequest converts a core request to wire form.
+func FromCoreRequest(req core.Request) WireRequest {
+	wr := WireRequest{SQL: req.SQL, Site: req.Site, Sources: req.Sources, Mode: req.Mode.String()}
+	if !req.Since.IsZero() {
+		wr.Since = req.Since.Format(time.RFC3339Nano)
+	}
+	if !req.Until.IsZero() {
+		wr.Until = req.Until.Format(time.RFC3339Nano)
+	}
+	return wr
+}
