@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"gridrm/internal/core"
 	"gridrm/internal/glue"
 	"gridrm/internal/gma"
 	"gridrm/internal/sitekit"
@@ -33,6 +34,14 @@ func main() {
 		directory = flag.String("directory", "", "GMA directory base URL to register with")
 		hostDir   = flag.Bool("host-directory", false, "also host the GMA directory at /gma/")
 		refresh   = flag.Duration("refresh", 30*time.Second, "GMA registration refresh interval")
+
+		harvestTimeout = flag.Duration("harvest-timeout", 0, "per-source harvest timeout (0 = default, negative = off)")
+		queryTimeout   = flag.Duration("query-timeout", 0, "whole-request deadline when the caller sets none (0 = default, negative = off)")
+		retries        = flag.Int("retries", 0, "per-source harvest retries after the first failure")
+		retryBackoff   = flag.Duration("retry-backoff", 0, "initial retry backoff (0 = default)")
+		breakerTrips   = flag.Int("breaker-threshold", 0, "consecutive failures that open a source's circuit breaker (0 = default, negative = off)")
+		breakerCool    = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before a half-open probe (0 = default)")
+		dirTimeout     = flag.Duration("directory-timeout", 0, "GMA directory HTTP timeout (0 = default)")
 	)
 	flag.Parse()
 
@@ -51,7 +60,13 @@ func main() {
 		m.Site = *name
 	}
 
-	gw, err := sitekit.NewGateway(m, sitekit.Options{Name: m.Site}, *dynamic)
+	gw, err := sitekit.NewGateway(m, sitekit.Options{
+		Name:           m.Site,
+		HarvestTimeout: *harvestTimeout,
+		QueryTimeout:   *queryTimeout,
+		Retry:          core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
+		Breaker:        core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
+	}, *dynamic)
 	if err != nil {
 		log.Fatalf("gridrm-gateway: %v", err)
 	}
@@ -71,10 +86,10 @@ func main() {
 	case localDir != nil:
 		dir = localDir
 	case *directory != "":
-		dir = &gma.DirectoryClient{BaseURL: *directory}
+		dir = &gma.DirectoryClient{BaseURL: *directory, Timeout: *dirTimeout}
 	}
 	if dir != nil {
-		router := gma.NewRouter(dir, web.RemoteQuery, m.Site)
+		router := gma.NewContextRouter(dir, web.RemoteQueryContext, m.Site)
 		gw.SetGlobalRouter(router)
 		server.SetSiteLister(router.Sites)
 		reg := gma.NewRegistrar(dir, gma.ProducerInfo{

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,8 +41,16 @@ func main() {
 		sites   = flag.Bool("sites", false, "list reachable sites")
 		poll    = flag.String("poll", "", "source URL to poll in real time (requires -group)")
 		group   = flag.String("group", "", "GLUE group for -poll")
+		timeout = flag.Duration("timeout", 0, "overall query deadline (0 = gateway default)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	principal := security.Principal{Name: *user}
 	if *roles != "" {
@@ -70,6 +79,8 @@ func main() {
 		fmt.Printf("  queries=%d errors=%d harvests=%d harvest-errors=%d cache-served=%d routed=%d denied=%d\n",
 			st.Gateway.Queries, st.Gateway.QueryErrors, st.Gateway.Harvests,
 			st.Gateway.HarvestErrors, st.Gateway.CacheServed, st.Gateway.Routed, st.Gateway.Denied)
+		fmt.Printf("  resilience: timeouts=%d retries=%d breaker-opens=%d breaker-skipped=%d\n",
+			st.Gateway.Timeouts, st.Gateway.Retries, st.Gateway.BreakerOpens, st.Gateway.BreakerSkipped)
 		fmt.Printf("  pool: hits=%d misses=%d opens=%d idle=%d\n",
 			st.Pool.Hits, st.Pool.Misses, st.Pool.Opens, st.Pool.Idle)
 		fmt.Printf("  driver manager: scans=%d probes=%d cache-hits=%d failovers=%d\n",
@@ -87,7 +98,7 @@ func main() {
 		srcs, err := client.Sources()
 		fail(err)
 		for _, s := range srcs {
-			fmt.Printf("%-48s driver=%-16s %s\n", s.URL, s.LastDriver, s.Description)
+			fmt.Printf("%-48s driver=%-16s breaker=%-9s %s\n", s.URL, s.LastDriver, s.Breaker, s.Description)
 		}
 	case *listDrv:
 		drvs, err := client.Drivers()
@@ -119,7 +130,7 @@ func main() {
 		if *sources != "" {
 			req.Sources = strings.Split(*sources, ",")
 		}
-		resp, err := client.Query(req)
+		resp, err := client.QueryContext(ctx, req)
 		fail(err)
 		printResponse(resp)
 	default:

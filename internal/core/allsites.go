@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"gridrm/internal/resultset"
@@ -14,8 +14,11 @@ import (
 // organisation: locally, plus at every remote site the Global layer can
 // reach, consolidating the answers into one ResultSet. ORDER BY and LIMIT
 // are stripped from the fan-out sub-queries and re-applied over the merged
-// rows, so "the 3 busiest hosts anywhere" means exactly that.
-func (g *Gateway) queryAllSites(req Request, start time.Time) (*Response, error) {
+// rows, so "the 3 busiest hosts anywhere" means exactly that. The fan-out
+// is bounded by ctx: a site that has not answered when the deadline passes
+// is reported as timed out and the consolidated rows of the sites that did
+// answer are returned.
+func (g *Gateway) queryAllSites(ctx context.Context, req Request, start time.Time) (*Response, error) {
 	if g.coarse.Check(req.Principal, security.OpGlobalQuery) != security.Allow {
 		g.denied.Add(1)
 		return nil, &PermissionError{Principal: req.Principal.Name, What: "global query"}
@@ -43,23 +46,42 @@ func (g *Gateway) queryAllSites(req Request, start time.Time) (*Response, error)
 	}
 
 	type siteResult struct {
+		i    int
 		site string
 		resp *Response
 		err  error
 	}
-	results := make([]siteResult, len(sites))
-	var wg sync.WaitGroup
+	// Buffered so site legs finishing after the deadline park their result
+	// in the channel instead of blocking or racing the collection below.
+	ch := make(chan siteResult, len(sites))
 	for i, site := range sites {
-		wg.Add(1)
 		go func(i int, site string) {
-			defer wg.Done()
 			r := subReq
 			r.Site = site
-			resp, err := g.Query(r)
-			results[i] = siteResult{site: site, resp: resp, err: err}
+			resp, err := g.QueryContext(ctx, r)
+			ch <- siteResult{i: i, site: site, resp: resp, err: err}
 		}(i, site)
 	}
-	wg.Wait()
+	results := make([]siteResult, len(sites))
+	answeredLeg := make([]bool, len(sites))
+	remaining := len(sites)
+collect:
+	for remaining > 0 {
+		select {
+		case r := <-ch:
+			results[r.i] = r
+			answeredLeg[r.i] = true
+			remaining--
+		case <-ctx.Done():
+			for i, site := range sites {
+				if !answeredLeg[i] {
+					g.timeouts.Add(1)
+					results[i] = siteResult{i: i, site: site, err: fmt.Errorf("%s: %w", ErrTimedOut, ctx.Err())}
+				}
+			}
+			break collect
+		}
+	}
 
 	var merged *resultset.ResultSet
 	var statuses []SourceStatus

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -46,9 +47,53 @@ type Config struct {
 	Coarse *security.CoarsePolicy
 	// Fine is the FGSL policy (open by default).
 	Fine *security.FinePolicy
+	// HarvestTimeout bounds each per-source harvest attempt — connect,
+	// statement and query together (default 10s; negative disables).
+	HarvestTimeout time.Duration
+	// QueryTimeout is the deadline applied to a whole request when the
+	// caller's context carries none (default 30s; negative disables).
+	// When it expires, live queries return partial results with the
+	// stragglers marked "timed out" in SourceStatus.
+	QueryTimeout time.Duration
+	// Retry configures per-source harvest retries with backoff.
+	Retry RetryOptions
+	// Breaker configures the per-source circuit breaker.
+	Breaker BreakerOptions
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
+
+// RetryOptions configures per-source harvest retries. Retries only happen
+// while the request deadline allows; each attempt gets a fresh
+// HarvestTimeout budget.
+type RetryOptions struct {
+	// Attempts is how many additional harvest attempts a failed source
+	// gets (default 0: fail fast, matching the seed behaviour).
+	Attempts int
+	// Backoff is the wait before the first retry, doubled per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 2s).
+	MaxBackoff time.Duration
+}
+
+func (o RetryOptions) fill() RetryOptions {
+	if o.Attempts < 0 {
+		o.Attempts = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	return o
+}
+
+const (
+	defaultHarvestTimeout = 10 * time.Second
+	defaultQueryTimeout   = 30 * time.Second
+)
 
 // SourceConfig registers one data source with the gateway.
 type SourceConfig struct {
@@ -76,6 +121,9 @@ type SourceInfo struct {
 	LastError string
 	// LastErrorAt is when LastError happened.
 	LastErrorAt time.Time
+	// Breaker is the source's circuit-breaker state: "closed", "open" or
+	// "half-open" (populated on read for the management view).
+	Breaker string
 }
 
 // DriverInfo describes a registered driver for the management view.
@@ -104,6 +152,14 @@ type Stats struct {
 	Routed int64
 	// Denied counts security denials (coarse or fine).
 	Denied int64
+	// Timeouts counts harvests and fan-out legs abandoned at a deadline.
+	Timeouts int64
+	// Retries counts harvest retry attempts performed.
+	Retries int64
+	// BreakerSkipped counts harvests skipped because a breaker was open.
+	BreakerSkipped int64
+	// BreakerOpens counts closed-to-open breaker transitions.
+	BreakerOpens int64
 }
 
 // GlobalRouter forwards queries for remote sites; internal/gma provides the
@@ -114,6 +170,16 @@ type GlobalRouter interface {
 	RemoteQuery(site string, req Request) (*Response, error)
 	// Sites lists the remote sites the router can reach.
 	Sites() []string
+}
+
+// ContextRouter is optionally implemented by GlobalRouters that honour
+// context deadlines and cancellation; the gateway prefers it over
+// RemoteQuery when present, so all-sites fan-outs can abandon a hung site
+// at the request deadline.
+type ContextRouter interface {
+	// RemoteQueryContext behaves like GlobalRouter.RemoteQuery bounded by
+	// ctx.
+	RemoteQueryContext(ctx context.Context, site string, req Request) (*Response, error)
 }
 
 // Gateway is a GridRM gateway's local layer.
@@ -129,17 +195,24 @@ type Gateway struct {
 	coarse  *security.CoarsePolicy
 	fine    *security.FinePolicy
 
-	recordHistory bool
+	recordHistory  bool
+	harvestTimeout time.Duration
+	queryTimeout   time.Duration
+	retry          RetryOptions
+	breakerOpts    BreakerOptions
 
-	mu      sync.RWMutex
-	sources map[string]*SourceInfo
-	watches map[string][]metricWatch
-	router  GlobalRouter
-	closed  bool
+	mu       sync.RWMutex
+	sources  map[string]*SourceInfo
+	breakers map[string]*breaker
+	watches  map[string][]metricWatch
+	router   GlobalRouter
+	closed   bool
 
 	queries, queryErrors, harvests     atomic.Int64
 	harvestErrors, cacheServed, routed atomic.Int64
 	denied                             atomic.Int64
+	timeouts, retries                  atomic.Int64
+	breakerSkipped, breakerOpens       atomic.Int64
 }
 
 // New creates a Gateway.
@@ -165,20 +238,31 @@ func New(cfg Config) *Gateway {
 	if cfg.Pool.Clock == nil {
 		cfg.Pool.Clock = cfg.Clock
 	}
+	if cfg.HarvestTimeout == 0 {
+		cfg.HarvestTimeout = defaultHarvestTimeout
+	}
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = defaultQueryTimeout
+	}
 	dm := driver.NewManager()
 	return &Gateway{
-		name:          cfg.Name,
-		clock:         cfg.Clock,
-		drivers:       dm,
-		schemas:       schema.NewManager(),
-		pool:          pool.New(dm, cfg.Pool),
-		cache:         qcache.New(cfg.Cache),
-		history:       history.New(cfg.History),
-		events:        event.NewManager(cfg.Events),
-		coarse:        cfg.Coarse,
-		fine:          cfg.Fine,
-		recordHistory: !cfg.DisableHistory,
-		sources:       make(map[string]*SourceInfo),
+		name:           cfg.Name,
+		clock:          cfg.Clock,
+		drivers:        dm,
+		schemas:        schema.NewManager(),
+		pool:           pool.New(dm, cfg.Pool),
+		cache:          qcache.New(cfg.Cache),
+		history:        history.New(cfg.History),
+		events:         event.NewManager(cfg.Events),
+		coarse:         cfg.Coarse,
+		fine:           cfg.Fine,
+		recordHistory:  !cfg.DisableHistory,
+		harvestTimeout: cfg.HarvestTimeout,
+		queryTimeout:   cfg.QueryTimeout,
+		retry:          cfg.Retry.fill(),
+		breakerOpts:    cfg.Breaker.fill(),
+		sources:        make(map[string]*SourceInfo),
+		breakers:       make(map[string]*breaker),
 	}
 }
 
@@ -276,6 +360,7 @@ func (g *Gateway) AddSource(cfg SourceConfig) error {
 		return fmt.Errorf("core: source %s already registered", cfg.URL)
 	}
 	g.sources[cfg.URL] = &SourceInfo{SourceConfig: cfg}
+	g.breakers[cfg.URL] = newBreaker(g.breakerOpts)
 	g.drivers.SetPreferences(cfg.URL, cfg.Drivers)
 	return nil
 }
@@ -286,6 +371,7 @@ func (g *Gateway) RemoveSource(url string) error {
 	_, ok := g.sources[url]
 	if ok {
 		delete(g.sources, url)
+		delete(g.breakers, url)
 	}
 	g.mu.Unlock()
 	if !ok {
@@ -298,10 +384,15 @@ func (g *Gateway) RemoveSource(url string) error {
 
 // Sources lists registered data sources with health, sorted by URL.
 func (g *Gateway) Sources() []SourceInfo {
+	now := g.clock()
 	g.mu.RLock()
 	out := make([]SourceInfo, 0, len(g.sources))
-	for _, s := range g.sources {
-		out = append(out, *s)
+	for url, s := range g.sources {
+		info := *s
+		if br := g.breakers[url]; br != nil {
+			info.Breaker = string(br.state(now))
+		}
+		out = append(out, info)
 	}
 	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
@@ -310,13 +401,26 @@ func (g *Gateway) Sources() []SourceInfo {
 
 // Source returns one registered source's info.
 func (g *Gateway) Source(url string) (SourceInfo, bool) {
+	now := g.clock()
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	s, ok := g.sources[url]
 	if !ok {
 		return SourceInfo{}, false
 	}
-	return *s, true
+	info := *s
+	if br := g.breakers[url]; br != nil {
+		info.Breaker = string(br.state(now))
+	}
+	return info, true
+}
+
+// breaker returns the source's circuit breaker, if the source is
+// registered.
+func (g *Gateway) breaker(url string) *breaker {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.breakers[url]
 }
 
 // SetGlobalRouter wires the gateway to the Global layer.
@@ -357,24 +461,33 @@ func (g *Gateway) Stats() Stats {
 		QueryErrors:   g.queryErrors.Load(),
 		Harvests:      g.harvests.Load(),
 		HarvestErrors: g.harvestErrors.Load(),
-		CacheServed:   g.cacheServed.Load(),
-		Routed:        g.routed.Load(),
-		Denied:        g.denied.Load(),
+		CacheServed:    g.cacheServed.Load(),
+		Routed:         g.routed.Load(),
+		Denied:         g.denied.Load(),
+		Timeouts:       g.timeouts.Load(),
+		Retries:        g.retries.Load(),
+		BreakerSkipped: g.breakerSkipped.Load(),
+		BreakerOpens:   g.breakerOpens.Load(),
 	}
 }
 
 func (g *Gateway) noteSuccess(url, driverName string, at time.Time) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
+	br := g.breakers[url]
 	if s, ok := g.sources[url]; ok {
 		s.LastDriver = driverName
 		s.LastSuccess = at
 		s.LastError = ""
 	}
+	g.mu.Unlock()
+	if br != nil {
+		br.onSuccess()
+	}
 }
 
 func (g *Gateway) noteFailure(url string, err error, at time.Time) {
 	g.mu.Lock()
+	br := g.breakers[url]
 	if s, ok := g.sources[url]; ok {
 		s.LastError = err.Error()
 		s.LastErrorAt = at
@@ -387,4 +500,14 @@ func (g *Gateway) noteFailure(url string, err error, at time.Time) {
 		Time:     at,
 		Detail:   err.Error(),
 	})
+	if br != nil && br.onFailure(at) {
+		g.breakerOpens.Add(1)
+		g.events.Publish(event.Event{
+			Source:   url,
+			Name:     "breaker-open",
+			Severity: event.SeverityAlert,
+			Time:     at,
+			Detail:   fmt.Sprintf("circuit opened after %d consecutive failures", g.breakerOpts.Threshold),
+		})
+	}
 }

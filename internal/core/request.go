@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"gridrm/internal/driver"
@@ -68,6 +69,12 @@ type Request struct {
 }
 
 // SourceStatus reports the per-source outcome of a query.
+//
+// Partial-result contract: a live query never fails outright because some
+// of its sources failed, timed out, or were skipped by an open breaker —
+// the consolidated ResultSet carries every row that arrived in time, and
+// each straggler or failure is reported here with a non-empty Err
+// ("timed out" for deadline expiry, "circuit open" for breaker skips).
 type SourceStatus struct {
 	// Source is the data-source URL.
 	Source string
@@ -82,6 +89,14 @@ type SourceStatus struct {
 	// Err is the failure, if the source could not be queried.
 	Err string
 }
+
+// Straggler and breaker markers used in SourceStatus.Err.
+const (
+	// ErrTimedOut marks a source or site abandoned at a deadline.
+	ErrTimedOut = "timed out"
+	// ErrCircuitOpen marks a harvest skipped by an open circuit breaker.
+	ErrCircuitOpen = "circuit open"
+)
 
 // Response is the consolidated result of a query.
 type Response struct {
@@ -124,10 +139,25 @@ func (e *PermissionError) Error() string {
 func harvestSQL(group string) string { return "SELECT * FROM " + group }
 
 // Query executes a request: the RequestManager path of Fig 3. SQL comes in,
-// a consolidated ResultSet comes out.
+// a consolidated ResultSet comes out. The request runs under the gateway's
+// default QueryTimeout; use QueryContext to supply a caller deadline.
 func (g *Gateway) Query(req Request) (*Response, error) {
+	return g.QueryContext(context.Background(), req)
+}
+
+// QueryContext executes a request bounded by ctx. When ctx carries no
+// deadline and the gateway's QueryTimeout is enabled, that timeout is
+// applied. On expiry, live queries return partial results: rows from the
+// sources that answered in time, with the stragglers marked ErrTimedOut in
+// their SourceStatus.
+func (g *Gateway) QueryContext(ctx context.Context, req Request) (*Response, error) {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && g.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.queryTimeout)
+		defer cancel()
+	}
 	start := g.clock()
-	resp, err := g.query(req, start)
+	resp, err := g.query(ctx, req, start)
 	if err != nil {
 		g.queryErrors.Add(1)
 		return nil, err
@@ -136,11 +166,11 @@ func (g *Gateway) Query(req Request) (*Response, error) {
 	return resp, nil
 }
 
-func (g *Gateway) query(req Request, start time.Time) (*Response, error) {
+func (g *Gateway) query(ctx context.Context, req Request, start time.Time) (*Response, error) {
 	g.queries.Add(1)
 
 	if req.Site == AllSites {
-		return g.queryAllSites(req, start)
+		return g.queryAllSites(ctx, req, start)
 	}
 
 	// Remote site: coarse check, then route through the Global layer.
@@ -156,6 +186,9 @@ func (g *Gateway) query(req Request, start time.Time) (*Response, error) {
 			return nil, fmt.Errorf("core: no global layer configured for remote site %q", req.Site)
 		}
 		g.routed.Add(1)
+		if cr, ok := router.(ContextRouter); ok {
+			return cr.RemoteQueryContext(ctx, req.Site, req)
+		}
 		return router.RemoteQuery(req.Site, req)
 	}
 
@@ -180,7 +213,7 @@ func (g *Gateway) query(req Request, start time.Time) (*Response, error) {
 	if req.Mode == ModeHistorical {
 		return g.queryHistorical(req, q, group)
 	}
-	return g.queryLive(req, q, group)
+	return g.queryLive(ctx, req, q, group)
 }
 
 func (g *Gateway) queryHistorical(req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
@@ -207,23 +240,52 @@ func (g *Gateway) queryHistorical(req Request, q *sqlparse.Query, group *glue.Gr
 	return &Response{Site: g.name, SQL: q.String(), Mode: req.Mode, ResultSet: out}, nil
 }
 
-func (g *Gateway) queryLive(req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
+func (g *Gateway) queryLive(ctx context.Context, req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
 	targets, err := g.targetSources(req, group)
 	if err != nil {
 		return nil, err
 	}
 
-	statuses := make([]SourceStatus, len(targets))
-	results := make([]*resultset.ResultSet, len(targets))
-	var wg sync.WaitGroup
+	// Fan out one goroutine per source; results come back over a buffered
+	// channel so a straggler that finishes after the deadline writes into
+	// the channel's buffer, never into shared state we are reading.
+	type sourceResult struct {
+		i      int
+		status SourceStatus
+		rs     *resultset.ResultSet
+	}
+	ch := make(chan sourceResult, len(targets))
 	for i, url := range targets {
-		wg.Add(1)
 		go func(i int, url string) {
-			defer wg.Done()
-			statuses[i], results[i] = g.querySource(req, url, group)
+			st, rs := g.querySource(ctx, req, url, group)
+			ch <- sourceResult{i: i, status: st, rs: rs}
 		}(i, url)
 	}
-	wg.Wait()
+
+	statuses := make([]SourceStatus, len(targets))
+	results := make([]*resultset.ResultSet, len(targets))
+	answered := make([]bool, len(targets))
+	remaining := len(targets)
+collect:
+	for remaining > 0 {
+		select {
+		case r := <-ch:
+			statuses[r.i], results[r.i] = r.status, r.rs
+			answered[r.i] = true
+			remaining--
+		case <-ctx.Done():
+			// Deadline: return what we have; stragglers are marked timed
+			// out. Their goroutines unwind promptly (their harvest context
+			// is a child of ctx) and land in the channel buffer.
+			for i := range targets {
+				if !answered[i] {
+					g.timeouts.Add(1)
+					statuses[i] = SourceStatus{Source: targets[i], Err: ErrTimedOut}
+				}
+			}
+			break collect
+		}
+	}
 
 	meta, err := resultset.MetadataForGroup(group, nil)
 	if err != nil {
@@ -320,8 +382,9 @@ func (g *Gateway) supportsGroup(url, group string) bool {
 }
 
 // querySource obtains one source's full-group rows, from cache or by
-// harvest, honouring the FGSL.
-func (g *Gateway) querySource(req Request, url string, group *glue.Group) (SourceStatus, *resultset.ResultSet) {
+// harvest, honouring the FGSL, the circuit breaker and the per-source
+// harvest timeout.
+func (g *Gateway) querySource(ctx context.Context, req Request, url string, group *glue.Group) (SourceStatus, *resultset.ResultSet) {
 	status := SourceStatus{Source: url}
 	switch g.fine.Check(req.Principal, url, group.Name) {
 	case security.Allow:
@@ -351,12 +414,27 @@ func (g *Gateway) querySource(req Request, url string, group *glue.Group) (Sourc
 		}
 	}
 
-	rs, driverName, err := g.harvest(url, hsql)
+	if br := g.breaker(url); br != nil && !br.allow(g.clock()) {
+		g.breakerSkipped.Add(1)
+		status.Err = ErrCircuitOpen
+		return status, nil
+	}
+
+	rs, driverName, err := g.harvestWithRetry(ctx, url, hsql)
 	now := g.clock()
 	if err != nil {
 		g.harvestErrors.Add(1)
 		g.noteFailure(url, err, now)
-		status.Err = err.Error()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// The request-level deadline is counted by queryLive's
+			// straggler sweep; only count per-source harvest timeouts here.
+			if ctx.Err() == nil {
+				g.timeouts.Add(1)
+			}
+			status.Err = ErrTimedOut
+		} else {
+			status.Err = err.Error()
+		}
 		return status, nil
 	}
 	g.harvests.Add(1)
@@ -372,9 +450,37 @@ func (g *Gateway) querySource(req Request, url string, group *glue.Group) (Sourc
 	return status, rs
 }
 
+// harvestWithRetry runs harvest attempts under the gateway's retry policy.
+// Each attempt gets a fresh HarvestTimeout budget; backoff waits and
+// further attempts stop as soon as the request context expires.
+func (g *Gateway) harvestWithRetry(ctx context.Context, url, hsql string) (*resultset.ResultSet, string, error) {
+	backoff := g.retry.Backoff
+	var rs *resultset.ResultSet
+	var driverName string
+	var err error
+	for attempt := 0; ; attempt++ {
+		rs, driverName, err = g.harvest(ctx, url, hsql)
+		if err == nil || attempt >= g.retry.Attempts || ctx.Err() != nil {
+			return rs, driverName, err
+		}
+		g.retries.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, driverName, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > g.retry.MaxBackoff {
+			backoff = g.retry.MaxBackoff
+		}
+	}
+}
+
 // harvest runs the canonical full-group query against one source through
-// the ConnectionManager (Fig 3's real-time path).
-func (g *Gateway) harvest(url, hsql string) (*resultset.ResultSet, string, error) {
+// the ConnectionManager (Fig 3's real-time path), bounded by the
+// per-source HarvestTimeout on top of the request context. After a
+// timeout the connection is discarded, never released: a non-context
+// driver may still be using it in the shim goroutine.
+func (g *Gateway) harvest(ctx context.Context, url, hsql string) (*resultset.ResultSet, string, error) {
 	g.mu.RLock()
 	src, ok := g.sources[url]
 	var props driver.Properties
@@ -385,7 +491,12 @@ func (g *Gateway) harvest(url, hsql string) (*resultset.ResultSet, string, error
 	if !ok {
 		return nil, "", fmt.Errorf("core: source %s not registered", url)
 	}
-	conn, err := g.pool.Get(url, props)
+	if g.harvestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.harvestTimeout)
+		defer cancel()
+	}
+	conn, err := g.pool.GetContext(ctx, url, props)
 	if err != nil {
 		return nil, "", err
 	}
@@ -395,7 +506,7 @@ func (g *Gateway) harvest(url, hsql string) (*resultset.ResultSet, string, error
 		conn.Discard()
 		return nil, driverName, err
 	}
-	rs, err := stmt.ExecuteQuery(hsql)
+	rs, err := driver.QueryContext(ctx, stmt, hsql)
 	_ = stmt.Close()
 	if err != nil {
 		conn.Discard()
@@ -409,7 +520,12 @@ func (g *Gateway) harvest(url, hsql string) (*resultset.ResultSet, string, error
 // Poll forces a real-time refresh of one source for one GLUE group and
 // returns its rows — the explicit poll behind Fig 9's refresh icon.
 func (g *Gateway) Poll(principal security.Principal, url, group string) (*Response, error) {
-	return g.Query(Request{
+	return g.PollContext(context.Background(), principal, url, group)
+}
+
+// PollContext is Poll bounded by ctx.
+func (g *Gateway) PollContext(ctx context.Context, principal security.Principal, url, group string) (*Response, error) {
+	return g.QueryContext(ctx, Request{
 		Principal: principal,
 		SQL:       harvestSQL(group),
 		Sources:   []string{url},

@@ -1,0 +1,54 @@
+package driver
+
+import (
+	"context"
+
+	"gridrm/internal/resultset"
+)
+
+// StmtContext is optionally implemented by statements that honour context
+// deadlines and cancellation natively, the analogue of JDBC's query-timeout
+// support. Drivers that translate queries into network protocols should
+// implement it so a cancelled query stops consuming agent and gateway
+// resources immediately.
+type StmtContext interface {
+	// ExecuteQueryContext behaves like Stmt.ExecuteQuery but returns
+	// promptly with ctx.Err() once ctx is cancelled or its deadline
+	// passes.
+	ExecuteQueryContext(ctx context.Context, sql string) (*resultset.ResultSet, error)
+}
+
+// QueryContext executes sql on stmt, honouring ctx. Context-aware
+// statements (StmtContext) receive ctx directly. Other statements keep the
+// paper's incremental-driver idiom: the blocking ExecuteQuery runs in a
+// goroutine and the call returns ctx.Err() on expiry, so a partial or hung
+// driver behaves like a fully implemented driver that failed. The shim
+// goroutine runs until the driver call returns — callers must treat the
+// connection as tainted (Discard, never Release) after a timeout, since the
+// driver may still be using it.
+func QueryContext(ctx context.Context, stmt Stmt, sql string) (*resultset.ResultSet, error) {
+	if sc, ok := stmt.(StmtContext); ok {
+		return sc.ExecuteQueryContext(ctx, sql)
+	}
+	if ctx.Done() == nil {
+		return stmt.ExecuteQuery(sql)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type result struct {
+		rs  *resultset.ResultSet
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		rs, err := stmt.ExecuteQuery(sql)
+		ch <- result{rs, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.rs, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

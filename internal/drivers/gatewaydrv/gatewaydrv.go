@@ -15,6 +15,7 @@
 package gatewaydrv
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -150,6 +151,13 @@ func (s *Stmt) Close() error { s.closed = true; return nil }
 // forwarded verbatim — the child gateway consolidates its own sources and
 // applies its own security before answering.
 func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	return s.ExecuteQueryContext(context.Background(), sql)
+}
+
+// ExecuteQueryContext implements driver.StmtContext: the forwarded HTTP
+// request is cancelled with ctx, so a hung child gateway cannot stall the
+// parent past its deadline.
+func (s *Stmt) ExecuteQueryContext(ctx context.Context, sql string) (*resultset.ResultSet, error) {
 	if s.closed || s.conn.closed {
 		return nil, driver.ErrClosed
 	}
@@ -160,12 +168,14 @@ func (s *Stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
 	if _, ok := glue.Lookup(q.Table); !ok {
 		return nil, fmt.Errorf("gatewaydrv: unknown group %q", q.Table)
 	}
-	resp, err := s.conn.client.Query(core.Request{SQL: sql, Mode: core.ModeCached})
+	resp, err := s.conn.client.QueryContext(ctx, core.Request{SQL: sql, Mode: core.ModeCached})
 	if err != nil {
 		return nil, fmt.Errorf("gatewaydrv: child %s: %w", s.conn.childSite, err)
 	}
 	return resp.ResultSet, nil
 }
+
+var _ driver.StmtContext = (*Stmt)(nil)
 
 // Schema returns the driver's GLUE mapping: a child gateway can answer for
 // every group (whatever its own drivers cover; groups its sources cannot

@@ -7,6 +7,7 @@
 package memdrv
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -160,12 +161,29 @@ type stmt struct {
 	c *conn
 }
 
+var _ driver.StmtContext = (*stmt)(nil)
+
 func (s *stmt) Close() error { return nil }
 
 func (s *stmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	return s.ExecuteQueryContext(context.Background(), sql)
+}
+
+// ExecuteQueryContext implements driver.StmtContext: injected query latency
+// is interruptible, so cancelled queries return promptly with ctx.Err().
+func (s *stmt) ExecuteQueryContext(ctx context.Context, sql string) (*resultset.ResultSet, error) {
 	b := s.c.d.backend
 	if delay := b.queryDelay.Load(); delay > 0 {
-		time.Sleep(time.Duration(delay))
+		t := time.NewTimer(time.Duration(delay))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if b.failQuery.Load() {
 		return nil, fmt.Errorf("%s: query failed", s.c.d.name)

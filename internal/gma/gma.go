@@ -11,11 +11,13 @@
 package gma
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -206,11 +208,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// DefaultClientTimeout bounds DirectoryClient requests when neither Timeout
+// nor HTTPClient is configured.
+const DefaultClientTimeout = 5 * time.Second
+
 // DirectoryClient talks to a remote Directory over HTTP.
 type DirectoryClient struct {
 	// BaseURL is the directory host base, e.g. "http://127.0.0.1:9000".
 	BaseURL string
-	// HTTPClient is optional; nil uses a 5s-timeout client.
+	// Timeout bounds each directory request when HTTPClient is nil
+	// (default DefaultClientTimeout; negative disables, leaving only the
+	// caller's context to bound the request).
+	Timeout time.Duration
+	// HTTPClient is optional; nil uses a Timeout-bounded client.
 	HTTPClient *http.Client
 }
 
@@ -218,18 +228,48 @@ func (c *DirectoryClient) client() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 5 * time.Second}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = DefaultClientTimeout
+	} else if timeout < 0 {
+		timeout = 0
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+func (c *DirectoryClient) roundTrip(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("gma: %w", err)
+	}
+	return resp, nil
 }
 
 // Register implements DirectoryService.
 func (c *DirectoryClient) Register(p ProducerInfo) error {
+	return c.RegisterContext(context.Background(), p)
+}
+
+// RegisterContext is Register bounded by ctx.
+func (c *DirectoryClient) RegisterContext(ctx context.Context, p ProducerInfo) error {
 	body, err := json.Marshal(p)
 	if err != nil {
 		return err
 	}
-	resp, err := c.client().Post(c.BaseURL+"/gma/register", "application/json", strings.NewReader(string(body)))
+	resp, err := c.roundTrip(ctx, http.MethodPost, "/gma/register", body)
 	if err != nil {
-		return fmt.Errorf("gma: %w", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
@@ -240,13 +280,9 @@ func (c *DirectoryClient) Register(p ProducerInfo) error {
 
 // Deregister implements DirectoryService.
 func (c *DirectoryClient) Deregister(site string) error {
-	req, err := http.NewRequest(http.MethodDelete, c.BaseURL+"/gma/register?site="+site, nil)
+	resp, err := c.roundTrip(context.Background(), http.MethodDelete, "/gma/register?site="+site, nil)
 	if err != nil {
 		return err
-	}
-	resp, err := c.client().Do(req)
-	if err != nil {
-		return fmt.Errorf("gma: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
@@ -257,9 +293,15 @@ func (c *DirectoryClient) Deregister(site string) error {
 
 // Lookup implements DirectoryService.
 func (c *DirectoryClient) Lookup(site string) (ProducerInfo, bool, error) {
-	resp, err := c.client().Get(c.BaseURL + "/gma/lookup?site=" + site)
+	return c.LookupContext(context.Background(), site)
+}
+
+// LookupContext implements ContextDirectory: the lookup request is
+// cancelled when ctx expires.
+func (c *DirectoryClient) LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/lookup?site="+site, nil)
 	if err != nil {
-		return ProducerInfo{}, false, fmt.Errorf("gma: %w", err)
+		return ProducerInfo{}, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
@@ -277,9 +319,9 @@ func (c *DirectoryClient) Lookup(site string) (ProducerInfo, bool, error) {
 
 // Sites implements DirectoryService.
 func (c *DirectoryClient) Sites() ([]string, error) {
-	resp, err := c.client().Get(c.BaseURL + "/gma/sites")
+	resp, err := c.roundTrip(context.Background(), http.MethodGet, "/gma/sites", nil)
 	if err != nil {
-		return nil, fmt.Errorf("gma: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -358,11 +400,22 @@ func (r *Registrar) Stop() {
 // RemoteQuery is the HTTP implementation.
 type Exec func(endpoint string, req core.Request) (*core.Response, error)
 
+// ExecContext forwards a query to a remote gateway endpoint, bounded by ctx;
+// internal/web's RemoteQueryContext is the HTTP implementation.
+type ExecContext func(ctx context.Context, endpoint string, req core.Request) (*core.Response, error)
+
+// ContextDirectory is implemented by directories whose lookups can be
+// cancelled; DirectoryClient implements it.
+type ContextDirectory interface {
+	LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error)
+}
+
 // Router routes remote-site queries via the GMA directory; it implements
-// core.GlobalRouter.
+// core.GlobalRouter and core.ContextRouter.
 type Router struct {
-	dir  DirectoryService
-	exec Exec
+	dir     DirectoryService
+	exec    Exec
+	execCtx ExecContext
 	// local is the local site name, excluded from Sites().
 	local string
 }
@@ -372,16 +425,45 @@ func NewRouter(dir DirectoryService, exec Exec, local string) *Router {
 	return &Router{dir: dir, exec: exec, local: local}
 }
 
+// NewContextRouter creates a Router whose remote queries honour contexts
+// end-to-end: the directory lookup (when dir implements ContextDirectory)
+// and the forwarded query are both cancelled at the caller's deadline.
+func NewContextRouter(dir DirectoryService, exec ExecContext, local string) *Router {
+	return &Router{dir: dir, execCtx: exec, local: local}
+}
+
 // RemoteQuery implements core.GlobalRouter.
 func (r *Router) RemoteQuery(site string, req core.Request) (*core.Response, error) {
-	p, ok, err := r.dir.Lookup(site)
+	return r.RemoteQueryContext(context.Background(), site, req)
+}
+
+// RemoteQueryContext implements core.ContextRouter. With a Router built by
+// NewRouter the directory lookup and forwarded query run context-free (the
+// underlying Exec cannot be cancelled); NewContextRouter threads ctx through
+// both legs.
+func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.Request) (*core.Response, error) {
+	var (
+		p   ProducerInfo
+		ok  bool
+		err error
+	)
+	if cd, isCtx := r.dir.(ContextDirectory); isCtx {
+		p, ok, err = cd.LookupContext(ctx, site)
+	} else {
+		p, ok, err = r.dir.Lookup(site)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("gma: directory lookup for %q: %w", site, err)
 	}
 	if !ok {
 		return nil, fmt.Errorf("gma: no producer registered for site %q", site)
 	}
-	resp, err := r.exec(p.Endpoint, req)
+	var resp *core.Response
+	if r.execCtx != nil {
+		resp, err = r.execCtx(ctx, p.Endpoint, req)
+	} else {
+		resp, err = r.exec(p.Endpoint, req)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("gma: remote query to %s (%s): %w", site, p.Endpoint, err)
 	}
@@ -404,5 +486,7 @@ func (r *Router) Sites() []string {
 }
 
 var _ core.GlobalRouter = (*Router)(nil)
+var _ core.ContextRouter = (*Router)(nil)
 var _ DirectoryService = (*Directory)(nil)
 var _ DirectoryService = (*DirectoryClient)(nil)
+var _ ContextDirectory = (*DirectoryClient)(nil)

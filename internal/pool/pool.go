@@ -11,6 +11,7 @@
 package pool
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -127,6 +128,15 @@ func (c *Conn) Discard() {
 // Get returns a connection to the data source, reusing a pooled instance
 // when one validates, otherwise opening a new one via the DriverManager.
 func (m *Manager) Get(url string, props driver.Properties) (*Conn, error) {
+	return m.GetContext(context.Background(), url, props)
+}
+
+// GetContext is Get bounded by ctx: if ctx expires while a new connection
+// is being opened, the call returns ctx.Err() immediately. The in-flight
+// connect keeps running in the background; when it eventually succeeds, the
+// connection is adopted into the idle pool (not leaked), ready for the next
+// caller.
+func (m *Manager) GetContext(ctx context.Context, url string, props driver.Properties) (*Conn, error) {
 	k := key(url, props)
 	if !m.opts.Disabled {
 		for {
@@ -134,23 +144,94 @@ func (m *Manager) Get(url string, props driver.Properties) (*Conn, error) {
 			if !ok {
 				break
 			}
-			if err := conn.Ping(); err != nil {
-				m.pingFailures.Add(1)
-				m.closes.Add(1)
-				_ = conn.Close()
+			if err := m.ping(ctx, k, conn); err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				continue
 			}
 			m.hits.Add(1)
 			return &Conn{Conn: conn, mgr: m, key: k}, nil
 		}
 	}
-	m.misses.Add(1)
-	conn, err := m.drivers.Connect(url, props)
-	if err != nil {
-		return nil, fmt.Errorf("pool: %w", err)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	m.opens.Add(1)
-	return &Conn{Conn: conn, mgr: m, key: k}, nil
+	m.misses.Add(1)
+	if ctx.Done() == nil {
+		conn, err := m.drivers.Connect(url, props)
+		if err != nil {
+			return nil, fmt.Errorf("pool: %w", err)
+		}
+		m.opens.Add(1)
+		return &Conn{Conn: conn, mgr: m, key: k}, nil
+	}
+	type result struct {
+		conn driver.Conn
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		conn, err := m.drivers.Connect(url, props)
+		ch <- result{conn, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, fmt.Errorf("pool: %w", r.err)
+		}
+		m.opens.Add(1)
+		return &Conn{Conn: r.conn, mgr: m, key: k}, nil
+	case <-ctx.Done():
+		go func() {
+			if r := <-ch; r.err == nil {
+				m.opens.Add(1)
+				m.put(k, r.conn)
+			}
+		}()
+		return nil, ctx.Err()
+	}
+}
+
+// ping validates an idle connection before reuse. A driver's Ping carries no
+// context, so when ctx can expire the wait (not the probe) is abandoned at
+// the deadline: the probe finishes in the background and re-pools or closes
+// the connection on its own outcome, while the caller gets ctx.Err().
+func (m *Manager) ping(ctx context.Context, k string, conn driver.Conn) error {
+	discard := func(err error) error {
+		m.pingFailures.Add(1)
+		m.closes.Add(1)
+		_ = conn.Close()
+		return err
+	}
+	if ctx.Done() == nil {
+		if err := conn.Ping(); err != nil {
+			return discard(err)
+		}
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		m.put(k, conn)
+		return err
+	}
+	ch := make(chan error, 1)
+	go func() { ch <- conn.Ping() }()
+	select {
+	case err := <-ch:
+		if err != nil {
+			return discard(err)
+		}
+		return nil
+	case <-ctx.Done():
+		go func() {
+			if err := <-ch; err != nil {
+				_ = discard(err)
+			} else {
+				m.put(k, conn)
+			}
+		}()
+		return ctx.Err()
+	}
 }
 
 func (m *Manager) takeIdle(k string) (driver.Conn, bool) {

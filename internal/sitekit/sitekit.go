@@ -45,6 +45,17 @@ type Options struct {
 	// CoarseCacheTTL is passed to the Ganglia and NWS sources as
 	// "cache_ttl" (default 1s); set negative for "0s" (off).
 	CoarseCacheTTL time.Duration
+	// HarvestTimeout bounds each source harvest in the gateway built by
+	// NewGateway (0 = core default, negative = disabled).
+	HarvestTimeout time.Duration
+	// QueryTimeout bounds whole requests when the caller supplies no
+	// deadline (0 = core default, negative = disabled).
+	QueryTimeout time.Duration
+	// Retry configures per-source harvest retries (zero value = no retries).
+	Retry core.RetryOptions
+	// Breaker configures the per-source circuit breaker (zero value = core
+	// defaults; Threshold < 0 disables).
+	Breaker core.BreakerOptions
 }
 
 func (o *Options) fill() {
@@ -340,7 +351,13 @@ func RegisterDrivers(gw *core.Gateway) error {
 // NewGateway creates a gateway named after the site with every bundled
 // driver registered and every agent of the manifest added as a source.
 func NewGateway(m Manifest, opts Options, dynamic bool) (*core.Gateway, error) {
-	gw := core.New(core.Config{Name: m.Site})
+	gw := core.New(core.Config{
+		Name:           m.Site,
+		HarvestTimeout: opts.HarvestTimeout,
+		QueryTimeout:   opts.QueryTimeout,
+		Retry:          opts.Retry,
+		Breaker:        opts.Breaker,
+	})
 	if err := RegisterDrivers(gw); err != nil {
 		gw.Close()
 		return nil, err

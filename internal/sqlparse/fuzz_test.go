@@ -1,0 +1,47 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse fuzzes the SQL parser with the corpus of queries the unit tests
+// exercise. Invariants: Parse never panics, and any query it accepts
+// canonicalises stably — the String() form re-parses to the same String().
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM Processor",
+		"SELECT HostName FROM Processor WHERE LoadLast1Min > 2.5 ORDER BY HostName LIMIT 5",
+		"SELECT * FROM Disk WHERE (HostName = 'n1' AND Available < 100) OR DeviceName LIKE 'sd%'",
+		"SELECT * FROM T WHERE A = 'it''s' AND B = 1.5 AND C = TRUE AND D = FALSE AND E = -3",
+		"SELECT a, b FROM t WHERE x = 'y' AND z >= 1.5 ORDER BY a DESC LIMIT 3",
+		"SELECT HostName, RAMSize FROM Memory WHERE RAMSize <> 0",
+		"SELECT * FROM Processor WHERE Model IS NULL",
+		"SELECT * FROM Processor WHERE Model IS NOT NULL ORDER BY HostName ASC",
+		"select hostname from processor where loadlast1min <= 4",
+		"SELECT COUNT(*) FROM Processor",
+		"SELECT * FROM",
+		"DROP TABLE Processor",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T WHERE A = 'unterminated",
+		"SELECT * FROM T LIMIT -1",
+		"",
+		"   ",
+		"SELECT * FROM T WHERE A IN ('x', 'y')",
+		"SELECT * FROM T WHERE NOT (A = 1)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return // rejected input: only the no-panic invariant applies
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, sql, err)
+		}
+		if again := q2.String(); again != canon {
+			t.Fatalf("canonicalisation unstable: %q -> %q -> %q", sql, canon, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package web
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,6 +34,10 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) do(method, path string, body any, out any) error {
+	return c.doContext(context.Background(), method, path, body, out)
+}
+
+func (c *Client) doContext(ctx context.Context, method, path string, body any, out any) error {
 	var rdr io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -41,7 +46,7 @@ func (c *Client) do(method, path string, body any, out any) error {
 		}
 		rdr = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rdr)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
 	if err != nil {
 		return err
 	}
@@ -76,8 +81,14 @@ func (c *Client) do(method, path string, body any, out any) error {
 
 // Query executes a SQL query at the gateway.
 func (c *Client) Query(req core.Request) (*core.Response, error) {
+	return c.QueryContext(context.Background(), req)
+}
+
+// QueryContext executes a SQL query at the gateway, cancelling the HTTP
+// request when ctx expires.
+func (c *Client) QueryContext(ctx context.Context, req core.Request) (*core.Response, error) {
 	var wr WireResponse
-	if err := c.do(http.MethodPost, "/query", FromCoreRequest(req), &wr); err != nil {
+	if err := c.doContext(ctx, http.MethodPost, "/query", FromCoreRequest(req), &wr); err != nil {
 		return nil, err
 	}
 	return DecodeResponse(wr)
@@ -198,6 +209,13 @@ func (c *Client) Sites() ([]string, error) {
 // RemoteQuery executes a core request against a remote gateway endpoint,
 // forwarding the principal; it satisfies gma.Exec for the Global layer.
 func RemoteQuery(endpoint string, req core.Request) (*core.Response, error) {
+	return RemoteQueryContext(context.Background(), endpoint, req)
+}
+
+// RemoteQueryContext is RemoteQuery bounded by ctx; it satisfies
+// gma.ExecContext so all-sites fan-outs can abandon a hung site at the
+// deadline.
+func RemoteQueryContext(ctx context.Context, endpoint string, req core.Request) (*core.Response, error) {
 	c := &Client{BaseURL: endpoint, Principal: req.Principal}
-	return c.Query(req)
+	return c.QueryContext(ctx, req)
 }

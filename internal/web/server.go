@@ -120,7 +120,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Principal = principalFrom(r)
-	resp, err := s.gw.Query(req)
+	// The client's connection context bounds the query: a caller that
+	// gives up (or a parent gateway whose deadline expires) cancels the
+	// fan-out here too.
+	resp, err := s.gw.QueryContext(r.Context(), req)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -144,7 +147,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.gw.Poll(principalFrom(r), pr.URL, pr.Group)
+	resp, err := s.gw.PollContext(r.Context(), principalFrom(r), pr.URL, pr.Group)
 	if err != nil {
 		httpError(w, err)
 		return
