@@ -42,6 +42,8 @@ func main() {
 		breakerTrips   = flag.Int("breaker-threshold", 0, "consecutive failures that open a source's circuit breaker (0 = default, negative = off)")
 		breakerCool    = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before a half-open probe (0 = default)")
 		dirTimeout     = flag.Duration("directory-timeout", 0, "GMA directory HTTP timeout (0 = default)")
+		maxHarvests    = flag.Int("max-concurrent-harvests", 0, "bound on concurrent driver harvests (0 = unbounded)")
+		noCoalesce     = flag.Bool("no-coalesce", false, "disable single-flight harvest coalescing")
 	)
 	flag.Parse()
 
@@ -61,11 +63,13 @@ func main() {
 	}
 
 	gw, err := sitekit.NewGateway(m, sitekit.Options{
-		Name:           m.Site,
-		HarvestTimeout: *harvestTimeout,
-		QueryTimeout:   *queryTimeout,
-		Retry:          core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
-		Breaker:        core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
+		Name:                  m.Site,
+		HarvestTimeout:        *harvestTimeout,
+		QueryTimeout:          *queryTimeout,
+		Retry:                 core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
+		Breaker:               core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
+		MaxConcurrentHarvests: *maxHarvests,
+		DisableCoalescing:     *noCoalesce,
 	}, *dynamic)
 	if err != nil {
 		log.Fatalf("gridrm-gateway: %v", err)

@@ -76,9 +76,10 @@ func main() {
 		st, err := client.Status()
 		fail(err)
 		fmt.Printf("site %s\n", st.Site)
-		fmt.Printf("  queries=%d errors=%d harvests=%d harvest-errors=%d cache-served=%d routed=%d denied=%d\n",
+		fmt.Printf("  queries=%d errors=%d harvests=%d harvest-errors=%d cache-served=%d coalesced=%d routed=%d denied=%d\n",
 			st.Gateway.Queries, st.Gateway.QueryErrors, st.Gateway.Harvests,
-			st.Gateway.HarvestErrors, st.Gateway.CacheServed, st.Gateway.Routed, st.Gateway.Denied)
+			st.Gateway.HarvestErrors, st.Gateway.CacheServed, st.Gateway.Coalesced,
+			st.Gateway.Routed, st.Gateway.Denied)
 		fmt.Printf("  resilience: timeouts=%d retries=%d breaker-opens=%d breaker-skipped=%d\n",
 			st.Gateway.Timeouts, st.Gateway.Retries, st.Gateway.BreakerOpens, st.Gateway.BreakerSkipped)
 		fmt.Printf("  pool: hits=%d misses=%d opens=%d idle=%d\n",
@@ -87,6 +88,13 @@ func main() {
 			st.Drivers.Scans, st.Drivers.ScanProbes, st.Drivers.CacheHits, st.Drivers.Failovers)
 		fmt.Printf("  events: published=%d delivered=%d alerts=%d\n",
 			st.Events.Published, st.Events.Delivered, st.Events.Alerts)
+		for _, stage := range st.Stages {
+			avg := time.Duration(0)
+			if stage.Count > 0 {
+				avg = time.Duration(stage.Sum / float64(stage.Count) * float64(time.Second))
+			}
+			fmt.Printf("  stage %-12s count=%-8d avg=%s\n", stage.Label, stage.Count, avg.Round(time.Microsecond))
+		}
 	case *events:
 		evs, err := client.Events(event.Filter{}, time.Time{})
 		fail(err)

@@ -53,6 +53,7 @@ func (g *Gateway) queryAllSites(ctx context.Context, req Request, start time.Tim
 	}
 	// Buffered so site legs finishing after the deadline park their result
 	// in the channel instead of blocking or racing the collection below.
+	fanoutStart := g.clock()
 	ch := make(chan siteResult, len(sites))
 	for i, site := range sites {
 		go func(i int, site string) {
@@ -82,6 +83,7 @@ collect:
 			break collect
 		}
 	}
+	g.observeStage(StageFanout, fanoutStart)
 
 	var merged *resultset.ResultSet
 	var statuses []SourceStatus

@@ -22,6 +22,7 @@ import (
 	"gridrm/internal/driver"
 	"gridrm/internal/event"
 	"gridrm/internal/history"
+	"gridrm/internal/metrics"
 	"gridrm/internal/pool"
 	"gridrm/internal/qcache"
 	"gridrm/internal/schema"
@@ -59,6 +60,15 @@ type Config struct {
 	Retry RetryOptions
 	// Breaker configures the per-source circuit breaker.
 	Breaker BreakerOptions
+	// MaxConcurrentHarvests bounds how many driver harvests may run at
+	// once across all requests — queryLive and all-sites fan-out legs
+	// alike (default 0: unbounded, today's behaviour). Queries waiting
+	// for a slot still honour their own deadline.
+	MaxConcurrentHarvests int
+	// DisableCoalescing turns off single-flight harvest coalescing, so
+	// every cache-missing query dials the driver itself. For benchmarks
+	// and ablations; coalescing is on by default.
+	DisableCoalescing bool
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -148,6 +158,9 @@ type Stats struct {
 	HarvestErrors int64
 	// CacheServed counts per-source results served from the query cache.
 	CacheServed int64
+	// Coalesced counts cache-missing queries that shared another query's
+	// in-flight harvest instead of dialing the driver themselves.
+	Coalesced int64
 	// Routed counts queries forwarded to remote gateways.
 	Routed int64
 	// Denied counts security denials (coarse or fine).
@@ -201,6 +214,13 @@ type Gateway struct {
 	retry          RetryOptions
 	breakerOpts    BreakerOptions
 
+	coalesce   bool
+	flights    *flightGroup
+	harvestSem chan struct{} // nil = unbounded
+
+	registry  *metrics.Registry
+	stageHist *metrics.HistogramVec
+
 	mu       sync.RWMutex
 	sources  map[string]*SourceInfo
 	breakers map[string]*breaker
@@ -213,6 +233,7 @@ type Gateway struct {
 	denied                             atomic.Int64
 	timeouts, retries                  atomic.Int64
 	breakerSkipped, breakerOpens       atomic.Int64
+	coalesced, inflightHarvests        atomic.Int64
 }
 
 // New creates a Gateway.
@@ -244,8 +265,14 @@ func New(cfg Config) *Gateway {
 	if cfg.QueryTimeout == 0 {
 		cfg.QueryTimeout = defaultQueryTimeout
 	}
+	reg := metrics.NewRegistry()
+	if cfg.Pool.DialObserver == nil {
+		dialHist := reg.Histogram("gridrm_pool_dial_seconds",
+			"Latency of driver connection dials performed by the pool.", nil)
+		cfg.Pool.DialObserver = dialHist.Observe
+	}
 	dm := driver.NewManager()
-	return &Gateway{
+	g := &Gateway{
 		name:           cfg.Name,
 		clock:          cfg.Clock,
 		drivers:        dm,
@@ -261,8 +288,100 @@ func New(cfg Config) *Gateway {
 		queryTimeout:   cfg.QueryTimeout,
 		retry:          cfg.Retry.fill(),
 		breakerOpts:    cfg.Breaker.fill(),
+		coalesce:       !cfg.DisableCoalescing,
+		flights:        newFlightGroup(),
+		registry:       reg,
 		sources:        make(map[string]*SourceInfo),
 		breakers:       make(map[string]*breaker),
+	}
+	if cfg.MaxConcurrentHarvests > 0 {
+		g.harvestSem = make(chan struct{}, cfg.MaxConcurrentHarvests)
+	}
+	g.registerMetrics()
+	return g
+}
+
+// Query-stage labels of the gridrm_query_stage_seconds histogram.
+const (
+	StageParse       = "parse"
+	StageCache       = "cache"
+	StageHarvest     = "harvest"
+	StageConsolidate = "consolidate"
+	StageFanout      = "fanout"
+)
+
+// registerMetrics wires the gateway's counters, the pool, the cache, the
+// breaker and the event dispatcher into the metrics registry, and creates
+// the per-stage query latency histogram.
+func (g *Gateway) registerMetrics() {
+	r := g.registry
+	g.stageHist = r.HistogramVec("gridrm_query_stage_seconds",
+		"Latency of query pipeline stages (parse, cache, harvest, consolidate, fanout).",
+		"stage", nil)
+	r.CounterFunc("gridrm_queries_total", "Query calls accepted.", g.queries.Load)
+	r.CounterFunc("gridrm_query_errors_total", "Query calls that failed outright.", g.queryErrors.Load)
+	r.CounterFunc("gridrm_harvests_total", "Per-source real-time harvests performed.", g.harvests.Load)
+	r.CounterFunc("gridrm_harvest_errors_total", "Harvests that failed.", g.harvestErrors.Load)
+	r.CounterFunc("gridrm_cache_served_total", "Per-source results served from the query cache.", g.cacheServed.Load)
+	r.CounterFunc("gridrm_coalesced_total", "Cache-missing queries that shared another query's in-flight harvest.", g.coalesced.Load)
+	r.CounterFunc("gridrm_routed_total", "Queries forwarded to remote gateways.", g.routed.Load)
+	r.CounterFunc("gridrm_denied_total", "Security denials (coarse or fine).", g.denied.Load)
+	r.CounterFunc("gridrm_timeouts_total", "Harvests and fan-out legs abandoned at a deadline.", g.timeouts.Load)
+	r.CounterFunc("gridrm_retries_total", "Harvest retry attempts performed.", g.retries.Load)
+	r.CounterFunc("gridrm_breaker_opens_total", "Closed-to-open circuit breaker transitions.", g.breakerOpens.Load)
+	r.CounterFunc("gridrm_breaker_skipped_total", "Harvests skipped because a breaker was open.", g.breakerSkipped.Load)
+	r.GaugeFunc("gridrm_inflight_harvests", "Driver harvests currently executing.",
+		func() float64 { return float64(g.inflightHarvests.Load()) })
+	r.CounterFunc("gridrm_qcache_hits_total", "Query cache hits.", func() int64 { return g.cache.Stats().Hits })
+	r.CounterFunc("gridrm_qcache_misses_total", "Query cache misses.", func() int64 { return g.cache.Stats().Misses })
+	r.CounterFunc("gridrm_qcache_stale_total", "Query cache entries dropped as expired.", func() int64 { return g.cache.Stats().Stale })
+	r.CounterFunc("gridrm_qcache_evictions_total", "Query cache capacity evictions.", func() int64 { return g.cache.Stats().Evictions })
+	r.GaugeFunc("gridrm_qcache_entries", "Query cache entries held (fresh or not yet collected).",
+		func() float64 { return float64(g.cache.Len()) })
+	r.CounterFunc("gridrm_pool_dials_total", "Connections opened via the DriverManager.", func() int64 { return g.pool.Stats().Opens })
+	r.CounterFunc("gridrm_pool_idle_hits_total", "Pool Gets satisfied from an idle connection.", func() int64 { return g.pool.Stats().Hits })
+	r.CounterFunc("gridrm_pool_ping_failures_total", "Pooled connections discarded as stale.", func() int64 { return g.pool.Stats().PingFailures })
+	r.GaugeFunc("gridrm_pool_idle_connections", "Idle pooled connections.",
+		func() float64 { return float64(g.pool.IdleCount()) })
+	r.GaugeFunc("gridrm_event_queue_depth", "Events waiting in the dispatcher's fast buffer.",
+		func() float64 { return float64(g.events.QueueDepth()) })
+	r.CounterFunc("gridrm_events_published_total", "Events accepted by the Event Manager.", func() int64 { return g.events.Stats().Published })
+	r.CounterFunc("gridrm_events_dispatched_total", "Events fully processed by the dispatcher.", func() int64 { return g.events.Stats().Dispatched })
+	r.CounterFunc("gridrm_event_alerts_total", "Threshold alerts synthesised.", func() int64 { return g.events.Stats().Alerts })
+}
+
+// Metrics returns the gateway's metrics registry (served by GET /metrics).
+func (g *Gateway) Metrics() *metrics.Registry { return g.registry }
+
+// QueryStageLatencies summarises the per-stage query latency histogram for
+// status reports.
+func (g *Gateway) QueryStageLatencies() []metrics.HistogramSnapshot {
+	return g.stageHist.Snapshot()
+}
+
+// observeStage records one stage latency, using the gateway clock so tests
+// with fake clocks stay deterministic.
+func (g *Gateway) observeStage(stage string, start time.Time) {
+	g.stageHist.With(stage).Observe(g.clock().Sub(start).Seconds())
+}
+
+// acquireHarvestSlot blocks until a harvest slot is free (when
+// MaxConcurrentHarvests bounds them) or ctx expires.
+func (g *Gateway) acquireHarvestSlot(ctx context.Context) error {
+	if g.harvestSem == nil {
+		return ctx.Err()
+	}
+	select {
+	case g.harvestSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Gateway) releaseHarvestSlot() {
+	if g.harvestSem != nil {
+		<-g.harvestSem
 	}
 }
 
@@ -457,11 +576,12 @@ func (g *Gateway) FinePolicy() *security.FinePolicy { return g.fine }
 // Stats returns gateway counters.
 func (g *Gateway) Stats() Stats {
 	return Stats{
-		Queries:       g.queries.Load(),
-		QueryErrors:   g.queryErrors.Load(),
-		Harvests:      g.harvests.Load(),
-		HarvestErrors: g.harvestErrors.Load(),
+		Queries:        g.queries.Load(),
+		QueryErrors:    g.queryErrors.Load(),
+		Harvests:       g.harvests.Load(),
+		HarvestErrors:  g.harvestErrors.Load(),
 		CacheServed:    g.cacheServed.Load(),
+		Coalesced:      g.coalesced.Load(),
 		Routed:         g.routed.Load(),
 		Denied:         g.denied.Load(),
 		Timeouts:       g.timeouts.Load(),

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"gridrm/internal/event"
 	"gridrm/internal/glue"
@@ -77,11 +78,7 @@ func (g *Gateway) WatchedMetrics() []string {
 			out = append(out, group+"."+w.fieldName)
 		}
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

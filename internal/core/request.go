@@ -201,7 +201,9 @@ func (g *Gateway) query(ctx context.Context, req Request, start time.Time) (*Res
 		return nil, &PermissionError{Principal: req.Principal.Name, What: string(op)}
 	}
 
+	parseStart := g.clock()
 	q, err := sqlparse.Parse(req.SQL)
+	g.observeStage(StageParse, parseStart)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +289,7 @@ collect:
 		}
 	}
 
+	consolidateStart := g.clock()
 	meta, err := resultset.MetadataForGroup(group, nil)
 	if err != nil {
 		return nil, err
@@ -303,6 +306,7 @@ collect:
 		}
 	}
 	out, err := sqlparse.ApplyToResultSet(q, merged)
+	g.observeStage(StageConsolidate, consolidateStart)
 	if err != nil {
 		return nil, err
 	}
@@ -402,7 +406,10 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 
 	hsql := harvestSQL(group.Name)
 	if req.Mode == ModeCached {
-		if rs, at, ok := g.cache.Get(url, hsql); ok {
+		lookupStart := g.clock()
+		rs, at, ok := g.cache.Get(url, hsql)
+		g.observeStage(StageCache, lookupStart)
+		if ok {
 			g.cacheServed.Add(1)
 			status.Cached = true
 			status.HarvestedAt = at
@@ -420,22 +427,63 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 		return status, nil
 	}
 
+	res, shared := g.sharedHarvest(ctx, url, group, hsql)
+	if shared {
+		g.coalesced.Add(1)
+	}
+	if res.err != nil {
+		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+			status.Err = ErrTimedOut
+		} else {
+			status.Err = res.err.Error()
+		}
+		return status, nil
+	}
+	status.Driver = res.driverName
+	status.HarvestedAt = res.at
+	status.Rows = res.rs.Len()
+	return status, res.rs
+}
+
+// sharedHarvest obtains one source's full-group rows by harvest. Unless
+// coalescing is disabled, concurrent harvests for the same (source URL,
+// canonical harvest SQL) share one driver call through the single-flight
+// group; followers get a clone of the leader's rows and report shared=true.
+func (g *Gateway) sharedHarvest(ctx context.Context, url string, group *glue.Group, hsql string) (flightResult, bool) {
+	if !g.coalesce {
+		return g.harvestLeader(ctx, url, group, hsql), false
+	}
+	return g.flights.do(ctx, url+"\x00"+hsql, func() flightResult {
+		return g.harvestLeader(ctx, url, group, hsql)
+	})
+}
+
+// harvestLeader performs a real driver harvest with all its bookkeeping:
+// concurrency slot, retries, stats, breaker and health notes, cache fill,
+// history record and watched-metric events. All bookkeeping lives here, on
+// the leader, so followers of a coalesced harvest never double count — and
+// the cache is filled before the flight completes, so a caller arriving
+// after the flight sees the cached rows rather than starting a new harvest.
+func (g *Gateway) harvestLeader(ctx context.Context, url string, group *glue.Group, hsql string) flightResult {
+	if err := g.acquireHarvestSlot(ctx); err != nil {
+		return flightResult{err: err}
+	}
+	defer g.releaseHarvestSlot()
+	g.inflightHarvests.Add(1)
+	defer g.inflightHarvests.Add(-1)
+	start := g.clock()
 	rs, driverName, err := g.harvestWithRetry(ctx, url, hsql)
+	g.observeStage(StageHarvest, start)
 	now := g.clock()
 	if err != nil {
 		g.harvestErrors.Add(1)
 		g.noteFailure(url, err, now)
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			// The request-level deadline is counted by queryLive's
-			// straggler sweep; only count per-source harvest timeouts here.
-			if ctx.Err() == nil {
-				g.timeouts.Add(1)
-			}
-			status.Err = ErrTimedOut
-		} else {
-			status.Err = err.Error()
+		// The request-level deadline is counted by queryLive's straggler
+		// sweep; only count per-source harvest timeouts here.
+		if (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) && ctx.Err() == nil {
+			g.timeouts.Add(1)
 		}
-		return status, nil
+		return flightResult{driverName: driverName, at: now, err: err}
 	}
 	g.harvests.Add(1)
 	g.noteSuccess(url, driverName, now)
@@ -444,10 +492,7 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 		_ = g.history.Record(url, group.Name, rs, now)
 	}
 	g.publishHarvestMetrics(url, group, rs)
-	status.Driver = driverName
-	status.HarvestedAt = now
-	status.Rows = rs.Len()
-	return status, rs
+	return flightResult{rs: rs, driverName: driverName, at: now}
 }
 
 // harvestWithRetry runs harvest attempts under the gateway's retry policy.

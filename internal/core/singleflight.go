@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gridrm/internal/resultset"
+)
+
+// flightResult is the outcome one coalesced harvest shares with its
+// followers.
+type flightResult struct {
+	rs         *resultset.ResultSet
+	driverName string
+	at         time.Time
+	err        error
+}
+
+// flight is one in-progress harvest; done is closed once res is final.
+type flight struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup coalesces concurrent harvests of the same key — (source URL,
+// canonical harvest SQL) — so N cache-missing queries cost the data source
+// one harvest, the intrusion limit the paper's cache exists for (§4).
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[string]*flight)}
+}
+
+// do executes fn once per key among concurrent callers. The first caller
+// (the leader) runs fn; every other caller waits for the leader's result —
+// receiving an independent-cursor clone — or its own ctx deadline,
+// whichever comes first. A waiter whose leader failed with a context error
+// while the waiter's own deadline still allows a harvest starts over,
+// possibly as the new leader, so one client giving up cannot fail the
+// others. shared reports whether the caller received another caller's
+// harvest.
+func (fg *flightGroup) do(ctx context.Context, key string, fn func() flightResult) (res flightResult, shared bool) {
+	for {
+		fg.mu.Lock()
+		if f, ok := fg.inflight[key]; ok {
+			fg.mu.Unlock()
+			select {
+			case <-f.done:
+				r := f.res
+				if r.err != nil {
+					if (errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+						continue
+					}
+					return flightResult{driverName: r.driverName, at: r.at, err: r.err}, true
+				}
+				return flightResult{rs: r.rs.Clone(), driverName: r.driverName, at: r.at}, true
+			case <-ctx.Done():
+				return flightResult{err: ctx.Err()}, false
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		fg.inflight[key] = f
+		fg.mu.Unlock()
+
+		f.res = fn()
+
+		fg.mu.Lock()
+		delete(fg.inflight, key)
+		fg.mu.Unlock()
+		close(f.done)
+		return f.res, false
+	}
+}

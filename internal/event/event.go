@@ -335,6 +335,14 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
+// QueueDepth returns how many events are waiting in the fast buffer right
+// now (the dispatcher backlog; exported as gridrm_event_queue_depth).
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
 // Drain blocks until every event published so far has been dispatched.
 func (m *Manager) Drain() {
 	for {

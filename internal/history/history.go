@@ -10,6 +10,7 @@ package history
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -85,9 +86,11 @@ func (s *Store) Record(source, group string, rs *resultset.ResultSet, at time.Ti
 				i, meta.Column(i).Name, f.Name)
 		}
 	}
+	// Deep-copy each row: RowAt returns the ResultSet's own slice, and a
+	// caller mutating its harvested rows must not corrupt stored history.
 	rows := make([][]any, rs.Len())
 	for i := 0; i < rs.Len(); i++ {
-		rows[i] = rs.RowAt(i)
+		rows[i] = append([]any(nil), rs.RowAt(i)...)
 	}
 	k := storeKey(source, g.Name)
 	s.mu.Lock()
@@ -151,12 +154,12 @@ func (s *Store) Query(group, source string, since, until time.Time) (*resultset.
 	}
 	s.mu.RUnlock()
 	// Stable order: time, then source.
-	for i := 1; i < len(hits); i++ {
-		for j := i; j > 0 && (hits[j].at.Before(hits[j-1].at) ||
-			(hits[j].at.Equal(hits[j-1].at) && hits[j].source < hits[j-1].source)); j-- {
-			hits[j], hits[j-1] = hits[j-1], hits[j]
+	sort.Slice(hits, func(i, j int) bool {
+		if !hits[i].at.Equal(hits[j].at) {
+			return hits[i].at.Before(hits[j].at)
 		}
-	}
+		return hits[i].source < hits[j].source
+	})
 	b := resultset.NewBuilder(meta)
 	for _, h := range hits {
 		for _, row := range h.rows {
@@ -194,12 +197,7 @@ func (s *Store) Sources(group string) []string {
 			out = append(out, k[:len(k)-len(suffix)])
 		}
 	}
-	// deterministic order
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out) // deterministic order
 	return out
 }
 

@@ -165,3 +165,112 @@ func TestMetadataShape(t *testing.T) {
 		t.Error("provenance columns missing")
 	}
 }
+
+// TestRecordCopiesRows guards against callers mutating a harvested
+// ResultSet after recording it: stored history must be unaffected.
+func TestRecordCopiesRows(t *testing.T) {
+	s, now := newStore(Options{})
+	rs := memRS(t, "a", 1024)
+	if err := s.Record(srcA, glue.GroupMemory, rs, *now); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the recorded ResultSet's backing row in place.
+	rs.RowAt(0)[0] = "CORRUPTED"
+	got, err := s.Query(glue.GroupMemory, srcA, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Next()
+	if h, _ := got.GetString("HostName"); h != "a" {
+		t.Errorf("stored host = %q; caller mutation leaked into history", h)
+	}
+}
+
+func TestQueryOrderManySamples(t *testing.T) {
+	s, now := newStore(Options{})
+	t0 := *now
+	// Record out of source order at identical and distinct times.
+	for i := 9; i >= 0; i-- {
+		src := srcB
+		if i%2 == 0 {
+			src = srcA
+		}
+		if err := s.Record(src, glue.GroupMemory, memRS(t, "h", 64), t0.Add(time.Duration(i/2)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := s.Query(glue.GroupMemory, "", time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Time
+	var prevSrc string
+	for rs.Next() {
+		at, _ := rs.GetTime(SampledColumn)
+		src, _ := rs.GetString(SourceColumn)
+		if at.Before(prev) {
+			t.Fatalf("rows out of time order: %v after %v", at, prev)
+		}
+		if at.Equal(prev) && src < prevSrc {
+			t.Fatalf("rows out of source order at %v: %q after %q", at, src, prevSrc)
+		}
+		prev, prevSrc = at, src
+	}
+}
+
+func benchStore(b *testing.B, samples int) *Store {
+	b.Helper()
+	now := time.Unix(10000, 0)
+	s := New(Options{MaxAge: 24 * time.Hour, MaxSamplesPerKey: samples + 1,
+		Clock: func() time.Time { return now }})
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := resultset.NewBuilder(meta).
+		Append("h", int64(64), int64(32), int64(128), int64(64), 0.0, 0.0).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < samples; i++ {
+		src := srcA
+		if i%2 == 1 {
+			src = srcB
+		}
+		if err := s.Record(src, glue.GroupMemory, rs, now.Add(time.Duration(-i)*time.Second)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkQuerySorted measures the read path that previously used an
+// O(n²) insertion sort over the collected samples.
+func BenchmarkQuerySorted(b *testing.B) {
+	s := benchStore(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(glue.GroupMemory, "", time.Time{}, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	s := benchStore(b, 0)
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, _ := resultset.MetadataForGroup(g, nil)
+	rs, _ := resultset.NewBuilder(meta).
+		Append("h", int64(64), int64(32), int64(128), int64(64), 0.0, 0.0).
+		Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Record(srcA, glue.GroupMemory, rs, time.Unix(10000, 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

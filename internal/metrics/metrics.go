@@ -1,0 +1,322 @@
+// Package metrics is a dependency-free instrumentation layer for the
+// gateway's hot paths: counters, gauges and fixed-bucket latency
+// histograms, collected in a Registry that renders the Prometheus text
+// exposition format (served by the servlet's GET /metrics).
+//
+// All instruments are safe for concurrent use and updates are lock-free;
+// the registry mutex is only taken at registration and scrape time.
+// Function-backed instruments (CounterFunc/GaugeFunc) read an existing
+// atomic counter at scrape time, so already-instrumented components are
+// exported without double counting.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default latency buckets, in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot summarises one histogram (or one label of a vec) for
+// status reports.
+type HistogramSnapshot struct {
+	// Label is the label value ("" for plain histograms).
+	Label string `json:"label"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of observed values.
+	Sum float64 `json:"sum"`
+}
+
+// HistogramVec is a family of histograms partitioned by one label.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.RWMutex
+	kids   map[string]*Histogram
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (hv *HistogramVec) With(label string) *Histogram {
+	hv.mu.RLock()
+	h, ok := hv.kids[label]
+	hv.mu.RUnlock()
+	if ok {
+		return h
+	}
+	hv.mu.Lock()
+	defer hv.mu.Unlock()
+	if h, ok = hv.kids[label]; ok {
+		return h
+	}
+	h = newHistogram(hv.bounds)
+	hv.kids[label] = h
+	return h
+}
+
+// Snapshot summarises every label's histogram, sorted by label.
+func (hv *HistogramVec) Snapshot() []HistogramSnapshot {
+	hv.mu.RLock()
+	out := make([]HistogramSnapshot, 0, len(hv.kids))
+	for label, h := range hv.kids {
+		out = append(out, HistogramSnapshot{Label: label, Count: h.Count(), Sum: h.Sum()})
+	}
+	hv.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric name: a scalar instrument, a value
+// function, or a histogram vec.
+type family struct {
+	name, help string
+	kind       kind
+	label      string // vec label name, "" otherwise
+
+	counter     *Counter
+	counterFunc func() int64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+	vec         *HistogramVec
+}
+
+// Registry holds registered metrics and renders them as Prometheus text.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*family)} }
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("metrics: %q registered twice", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time (for components that already keep their own atomic counters).
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.add(&family{name: name, help: help, kind: kindCounter, counterFunc: fn})
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, kind: kindGauge, gaugeFunc: fn})
+}
+
+// Histogram registers and returns a histogram with the given bucket upper
+// bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.add(&family{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// HistogramVec registers and returns a one-label histogram family (nil
+// buckets means DefBuckets).
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	hv := &HistogramVec{bounds: append([]float64(nil), buckets...), kids: make(map[string]*Histogram)}
+	r.add(&family{name: name, help: help, kind: kindHistogram, label: label, vec: hv})
+	return hv
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		var err error
+		switch {
+		case f.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFunc != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.counterFunc())
+		case f.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
+		case f.gaugeFunc != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.gaugeFunc()))
+		case f.hist != nil:
+			err = writeHistogram(w, f.name, "", "", f.hist)
+		case f.vec != nil:
+			f.vec.mu.RLock()
+			labels := make([]string, 0, len(f.vec.kids))
+			for l := range f.vec.kids {
+				labels = append(labels, l)
+			}
+			f.vec.mu.RUnlock()
+			sort.Strings(labels)
+			for _, l := range labels {
+				if err = writeHistogram(w, f.name, f.label, l, f.vec.With(l)); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) error {
+	pair := ""
+	sep := ""
+	if label != "" {
+		pair = label + `="` + escapeLabel(value) + `"`
+		sep = ","
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, pair, sep, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, pair, sep, count); err != nil {
+		return err
+	}
+	braces := ""
+	if pair != "" {
+		braces = "{" + pair + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, braces, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braces, count)
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(s)
+}

@@ -32,6 +32,10 @@ type Options struct {
 	// Disabled turns pooling off: every Get opens a fresh connection and
 	// every Release closes it. Used by the E3 ablation.
 	Disabled bool
+	// DialObserver, when set, receives the latency in seconds of every
+	// driver connect the pool performs, successful or not (the gateway
+	// wires it to the gridrm_pool_dial_seconds histogram).
+	DialObserver func(seconds float64)
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -159,7 +163,7 @@ func (m *Manager) GetContext(ctx context.Context, url string, props driver.Prope
 	}
 	m.misses.Add(1)
 	if ctx.Done() == nil {
-		conn, err := m.drivers.Connect(url, props)
+		conn, err := m.connect(url, props)
 		if err != nil {
 			return nil, fmt.Errorf("pool: %w", err)
 		}
@@ -172,7 +176,7 @@ func (m *Manager) GetContext(ctx context.Context, url string, props driver.Prope
 	}
 	ch := make(chan result, 1)
 	go func() {
-		conn, err := m.drivers.Connect(url, props)
+		conn, err := m.connect(url, props)
 		ch <- result{conn, err}
 	}()
 	select {
@@ -191,6 +195,17 @@ func (m *Manager) GetContext(ctx context.Context, url string, props driver.Prope
 		}()
 		return nil, ctx.Err()
 	}
+}
+
+// connect opens a new connection through the DriverManager, reporting its
+// dial latency to the observer when one is configured.
+func (m *Manager) connect(url string, props driver.Properties) (driver.Conn, error) {
+	start := m.opts.Clock()
+	conn, err := m.drivers.Connect(url, props)
+	if m.opts.DialObserver != nil {
+		m.opts.DialObserver(m.opts.Clock().Sub(start).Seconds())
+	}
+	return conn, err
 }
 
 // ping validates an idle connection before reuse. A driver's Ping carries no

@@ -96,24 +96,45 @@ func (c *Cache) Get(source, sql string) (*resultset.ResultSet, time.Time, bool) 
 		c.misses.Add(1)
 		return nil, time.Time{}, false
 	}
-	c.mu.Unlock()
 	if !ok {
+		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, time.Time{}, false
 	}
+	// Read and clone the entry under the lock: a concurrent Put may
+	// replace it and a concurrent Clear drops the map it lives in.
+	rs, at := e.rs.Clone(), e.cachedAt
+	c.mu.Unlock()
 	c.hits.Add(1)
-	return e.rs.Clone(), e.cachedAt, true
+	return rs, at, true
 }
 
-// Put stores a result.
+// Put stores a result. Overwriting an existing key never evicts (the map
+// does not grow); at capacity, expired entries are purged before a fresh
+// oldest entry is considered for eviction.
 func (c *Cache) Put(source, sql string, rs *resultset.ResultSet) {
 	now := c.opts.Clock()
+	k := cacheKey(source, sql)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.entries) >= c.opts.MaxEntries {
-		c.evictOldestLocked()
+	if _, exists := c.entries[k]; !exists && len(c.entries) >= c.opts.MaxEntries {
+		c.purgeExpiredLocked(now)
+		if len(c.entries) >= c.opts.MaxEntries {
+			c.evictOldestLocked()
+		}
 	}
-	c.entries[cacheKey(source, sql)] = &cached{source: source, sql: sql, rs: rs.Clone(), cachedAt: now}
+	c.entries[k] = &cached{source: source, sql: sql, rs: rs.Clone(), cachedAt: now}
+}
+
+// purgeExpiredLocked drops every entry past its TTL, so dead entries never
+// force a fresh one out at capacity.
+func (c *Cache) purgeExpiredLocked(now time.Time) {
+	for k, e := range c.entries {
+		if now.Sub(e.cachedAt) > c.opts.TTL {
+			delete(c.entries, k)
+			c.stale.Add(1)
+		}
+	}
 }
 
 func (c *Cache) evictOldestLocked() {

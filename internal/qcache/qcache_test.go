@@ -168,3 +168,124 @@ func TestDefaultsAndTTLAccessor(t *testing.T) {
 		t.Errorf("default TTL = %v", c.TTL())
 	}
 }
+
+// Expiry-vs-capacity eviction table: expired entries must be purged before
+// any fresh entry is forced out, and overwriting an existing key must never
+// evict (the map does not grow).
+func TestPutPurgesExpiredBeforeEvicting(t *testing.T) {
+	tests := []struct {
+		name      string
+		expired   int // entries aged past TTL before the cache fills
+		fresh     int // entries still within TTL
+		max       int
+		wantGone  []string // keys expected missing after one more Put
+		wantAlive []string // keys expected still fresh
+	}{
+		{name: "expired garbage purged, fresh survive", expired: 2, fresh: 1, max: 3,
+			wantGone: []string{"exp0", "exp1"}, wantAlive: []string{"fresh0"}},
+		{name: "all expired", expired: 3, fresh: 0, max: 3,
+			wantGone: []string{"exp0", "exp1", "exp2"}},
+		{name: "no expired falls back to oldest eviction", expired: 0, fresh: 3, max: 3,
+			wantGone: []string{"fresh0"}, wantAlive: []string{"fresh1", "fresh2"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c, now := newCache(10*time.Second, tc.max)
+			for i := 0; i < tc.expired; i++ {
+				c.Put(fmt.Sprintf("exp%d", i), sql, sampleRS(t, "h"))
+			}
+			*now = now.Add(11 * time.Second) // age the first batch past TTL
+			for i := 0; i < tc.fresh; i++ {
+				c.Put(fmt.Sprintf("fresh%d", i), sql, sampleRS(t, "h"))
+				*now = now.Add(time.Millisecond) // distinct ages for oldest-eviction
+			}
+			c.Put("newcomer", sql, sampleRS(t, "h"))
+			if _, _, ok := c.Get("newcomer", sql); !ok {
+				t.Error("newcomer not cached")
+			}
+			for _, k := range tc.wantGone {
+				if _, _, ok := c.Get(k, sql); ok {
+					t.Errorf("%s still cached, want gone", k)
+				}
+			}
+			for _, k := range tc.wantAlive {
+				if _, _, ok := c.Get(k, sql); !ok {
+					t.Errorf("%s evicted, want alive", k)
+				}
+			}
+			if c.Len() > tc.max {
+				t.Errorf("len = %d > max %d", c.Len(), tc.max)
+			}
+		})
+	}
+}
+
+func TestPutOverwriteDoesNotEvict(t *testing.T) {
+	c, _ := newCache(10*time.Second, 2)
+	c.Put("a", sql, sampleRS(t, "h"))
+	c.Put("b", sql, sampleRS(t, "h"))
+	// At capacity: overwriting "a" must not evict anything.
+	c.Put("a", sql, sampleRS(t, "h2"))
+	if _, _, ok := c.Get("a", sql); !ok {
+		t.Error("overwritten key missing")
+	}
+	if _, _, ok := c.Get("b", sql); !ok {
+		t.Error("sibling evicted by an overwrite")
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Errorf("evictions = %d, want 0", ev)
+	}
+}
+
+// TestConcurrentGetPutClear exercises the Get/Put/Clear interleavings under
+// -race: the entry read and clone must happen under the lock.
+func TestConcurrentGetPutClear(t *testing.T) {
+	c := New(Options{TTL: time.Second, MaxEntries: 8})
+	rs := sampleRS(t, "h")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			c.Put(src, sql, rs)
+			if i%100 == 0 {
+				c.Clear()
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if got, _, ok := c.Get(src, sql); ok && got.Len() != 1 {
+			t.Fatalf("torn read: %d rows", got.Len())
+		}
+	}
+	<-done
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(Options{TTL: time.Hour})
+	meta, _ := resultset.NewMetadata([]resultset.Column{{Name: "HostName", Kind: glue.String}})
+	rs, _ := resultset.NewBuilder(meta).Append("h").Build()
+	c.Put(src, sql, rs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Get(src, sql); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkPutAtCapacity measures Put when the cache is full of expired
+// garbage — the case the expiry purge exists for.
+func BenchmarkPutAtCapacity(b *testing.B) {
+	now := time.Unix(0, 0)
+	c := New(Options{TTL: time.Second, MaxEntries: 256, Clock: func() time.Time { return now }})
+	meta, _ := resultset.NewMetadata([]resultset.Column{{Name: "HostName", Kind: glue.String}})
+	rs, _ := resultset.NewBuilder(meta).Append("h").Build()
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("src%d", i), sql, rs)
+	}
+	now = now.Add(2 * time.Second)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(fmt.Sprintf("live%d", i%512), sql, rs)
+	}
+}

@@ -56,6 +56,12 @@ type Options struct {
 	// Breaker configures the per-source circuit breaker (zero value = core
 	// defaults; Threshold < 0 disables).
 	Breaker core.BreakerOptions
+	// MaxConcurrentHarvests bounds concurrent driver harvests in the
+	// gateway built by NewGateway (0 = unbounded).
+	MaxConcurrentHarvests int
+	// DisableCoalescing turns off single-flight harvest coalescing (for
+	// ablations and benchmarks).
+	DisableCoalescing bool
 }
 
 func (o *Options) fill() {
@@ -352,11 +358,13 @@ func RegisterDrivers(gw *core.Gateway) error {
 // driver registered and every agent of the manifest added as a source.
 func NewGateway(m Manifest, opts Options, dynamic bool) (*core.Gateway, error) {
 	gw := core.New(core.Config{
-		Name:           m.Site,
-		HarvestTimeout: opts.HarvestTimeout,
-		QueryTimeout:   opts.QueryTimeout,
-		Retry:          opts.Retry,
-		Breaker:        opts.Breaker,
+		Name:                  m.Site,
+		HarvestTimeout:        opts.HarvestTimeout,
+		QueryTimeout:          opts.QueryTimeout,
+		Retry:                 opts.Retry,
+		Breaker:               opts.Breaker,
+		MaxConcurrentHarvests: opts.MaxConcurrentHarvests,
+		DisableCoalescing:     opts.DisableCoalescing,
 	})
 	if err := RegisterDrivers(gw); err != nil {
 		gw.Close()

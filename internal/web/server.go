@@ -12,6 +12,7 @@ import (
 	"gridrm/internal/core"
 	"gridrm/internal/driver"
 	"gridrm/internal/event"
+	"gridrm/internal/metrics"
 	"gridrm/internal/qcache"
 	"gridrm/internal/schema"
 	"gridrm/internal/security"
@@ -88,6 +89,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/watches", s.handleWatches)
 	s.mux.HandleFunc("/status", s.handleStatus)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/sites", s.handleSites)
 	if s.dir != nil {
 		s.mux.Handle("/gma/", s.dir)
@@ -383,6 +385,9 @@ type StatusReport struct {
 	Events  event.Stats    `json:"events"`
 	Coarse  security.Stats `json:"coarse"`
 	Fine    security.Stats `json:"fine"`
+	// Stages summarises the per-stage query latency histogram (count and
+	// total seconds per stage); the full distribution is on GET /metrics.
+	Stages []metrics.HistogramSnapshot `json:"stages,omitempty"`
 }
 
 type poolStatsJSON struct {
@@ -407,7 +412,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Events: s.gw.Events().Stats(),
 		Coarse: s.gw.CoarsePolicy().Stats(),
 		Fine:   s.gw.FinePolicy().Stats(),
+		Stages: s.gw.QueryStageLatencies(),
 	})
+}
+
+// handleMetrics serves the gateway's metrics registry in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.gw.Metrics().WritePrometheus(w)
 }
 
 func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
