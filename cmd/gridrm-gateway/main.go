@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"gridrm/internal/core"
+	"gridrm/internal/drivers/faultdrv"
 	"gridrm/internal/glue"
 	"gridrm/internal/gma"
 	"gridrm/internal/sitekit"
@@ -44,6 +46,13 @@ func main() {
 		dirTimeout     = flag.Duration("directory-timeout", 0, "GMA directory HTTP timeout (0 = default)")
 		maxHarvests    = flag.Int("max-concurrent-harvests", 0, "bound on concurrent driver harvests (0 = unbounded)")
 		noCoalesce     = flag.Bool("no-coalesce", false, "disable single-flight harvest coalescing")
+		staleGrace     = flag.Duration("stale-grace", 0, "how long expired cache entries remain servable as degraded results (0 = default 2m, negative = off)")
+		probeInterval  = flag.Duration("probe-interval", 15*time.Second, "background source health probe period (0 = off)")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight queries on SIGTERM")
+
+		faultErrEvery   = flag.Int("fault-error-every", 0, "chaos: fail every nth driver query (0 = off)")
+		faultPanicEvery = flag.Int("fault-panic-every", 0, "chaos: panic on every nth driver query (0 = off)")
+		faultLatency    = flag.Duration("fault-latency", 0, "chaos: added per-query driver latency")
 	)
 	flag.Parse()
 
@@ -62,6 +71,16 @@ func main() {
 		m.Site = *name
 	}
 
+	var faults *faultdrv.Faults
+	if *faultErrEvery > 0 || *faultPanicEvery > 0 || *faultLatency > 0 {
+		faults = faultdrv.NewFaults()
+		faults.SetErrorEvery(*faultErrEvery)
+		faults.SetPanicEveryQuery(*faultPanicEvery)
+		faults.SetQueryLatency(*faultLatency)
+		log.Printf("chaos: fault injection armed (error-every=%d panic-every=%d latency=%s)",
+			*faultErrEvery, *faultPanicEvery, *faultLatency)
+	}
+
 	gw, err := sitekit.NewGateway(m, sitekit.Options{
 		Name:                  m.Site,
 		HarvestTimeout:        *harvestTimeout,
@@ -70,6 +89,9 @@ func main() {
 		Breaker:               core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
 		MaxConcurrentHarvests: *maxHarvests,
 		DisableCoalescing:     *noCoalesce,
+		StaleGrace:            *staleGrace,
+		ProbeInterval:         *probeInterval,
+		Faults:                faults,
 	}, *dynamic)
 	if err != nil {
 		log.Fatalf("gridrm-gateway: %v", err)
@@ -92,11 +114,12 @@ func main() {
 	case *directory != "":
 		dir = &gma.DirectoryClient{BaseURL: *directory, Timeout: *dirTimeout}
 	}
+	var reg *gma.Registrar
 	if dir != nil {
 		router := gma.NewContextRouter(dir, web.RemoteQueryContext, m.Site)
 		gw.SetGlobalRouter(router)
 		server.SetSiteLister(router.Sites)
-		reg := gma.NewRegistrar(dir, gma.ProducerInfo{
+		reg = gma.NewRegistrar(dir, gma.ProducerInfo{
 			Site: m.Site, Endpoint: endpoint, Groups: glue.GroupNames(),
 		}, *refresh)
 		if err := reg.Start(); err != nil {
@@ -117,6 +140,21 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down")
-	_ = httpServer.Close()
+
+	// Ordered graceful shutdown: deregister from the GMA directory first so
+	// peers stop routing here, then let the HTTP server finish in-flight
+	// requests, then drain the gateway itself (prober, queries, events,
+	// pool) — all bounded by the drain timeout.
+	log.Printf("shutting down: draining for up to %s", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if reg != nil {
+		reg.Stop()
+	}
+	if err := httpServer.Shutdown(ctx); err != nil {
+		log.Printf("gridrm-gateway: http shutdown: %v", err)
+	}
+	if err := gw.Shutdown(ctx); err != nil {
+		log.Printf("gridrm-gateway: gateway shutdown: %v", err)
+	}
 }

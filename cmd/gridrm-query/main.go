@@ -82,6 +82,18 @@ func main() {
 			st.Gateway.Routed, st.Gateway.Denied)
 		fmt.Printf("  resilience: timeouts=%d retries=%d breaker-opens=%d breaker-skipped=%d\n",
 			st.Gateway.Timeouts, st.Gateway.Retries, st.Gateway.BreakerOpens, st.Gateway.BreakerSkipped)
+		fmt.Printf("  degradation: stale-serves=%d history-fallbacks=%d driver-panics=%d\n",
+			st.Gateway.StaleServes, st.Gateway.HistoryFallbacks, st.Gateway.DriverPanics)
+		fmt.Printf("  probes: attempted=%d failed=%d skipped=%d transitions=%d\n",
+			st.Probes.Probes, st.Probes.Failures, st.Probes.Skipped, st.Probes.Transitions)
+		for _, h := range st.Health {
+			note := ""
+			if h.LastError != "" {
+				note = " last-error=" + h.LastError
+			}
+			fmt.Printf("  health %-48s %-9s failures=%-3d probed=%s%s\n",
+				h.URL, h.State, h.ConsecutiveFailures, h.LastProbe.Format(time.RFC3339), note)
+		}
 		fmt.Printf("  pool: hits=%d misses=%d opens=%d idle=%d\n",
 			st.Pool.Hits, st.Pool.Misses, st.Pool.Opens, st.Pool.Idle)
 		fmt.Printf("  driver manager: scans=%d probes=%d cache-hits=%d failovers=%d\n",
@@ -158,6 +170,10 @@ func printResponse(resp *core.Response) {
 		}
 		if s.Err != "" {
 			note = "ERROR: " + s.Err
+		}
+		if s.Degraded != "" {
+			note = fmt.Sprintf("DEGRADED(%s age=%s): %s",
+				s.Degraded, s.Age.Round(time.Millisecond), s.Err)
 		}
 		fmt.Printf("## %-48s driver=%-16s rows=%-4d %s\n", s.Source, s.Driver, s.Rows, note)
 	}

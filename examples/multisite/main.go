@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -73,12 +74,17 @@ func deploySite(name string, hosts int, seed int64, dir gma.DirectoryService,
 	return d, nil
 }
 
+// close tears the site down in dependency order: deregister from the GMA
+// directory so peers stop routing here, drain the HTTP listener, then shut
+// the gateway down (finishing in-flight queries) before stopping the agents.
 func (d *deployment) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
 	if d.reg != nil {
 		d.reg.Stop()
 	}
-	_ = d.server.Close()
-	d.gw.Close()
+	_ = d.server.Shutdown(ctx)
+	_ = d.gw.Shutdown(ctx)
 	d.site.Close()
 }
 

@@ -13,6 +13,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,6 +22,7 @@ import (
 
 	"gridrm/internal/driver"
 	"gridrm/internal/event"
+	"gridrm/internal/health"
 	"gridrm/internal/history"
 	"gridrm/internal/metrics"
 	"gridrm/internal/pool"
@@ -69,6 +71,16 @@ type Config struct {
 	// every cache-missing query dials the driver itself. For benchmarks
 	// and ablations; coalescing is on by default.
 	DisableCoalescing bool
+	// StaleGrace is how long past its TTL an expired query-cache entry
+	// remains servable as a degraded result when a harvest fails, times
+	// out or is breaker-skipped (default 2m; negative disables the
+	// stale-cache degradation tier). It also sets Cache.StaleGrace unless
+	// that is set explicitly.
+	StaleGrace time.Duration
+	// Probe configures the background source health prober. With
+	// Probe.Interval zero (the default) no background loop runs — tests
+	// and operators can still sweep via Prober().ProbeAll.
+	Probe health.Options
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -103,7 +115,11 @@ func (o RetryOptions) fill() RetryOptions {
 const (
 	defaultHarvestTimeout = 10 * time.Second
 	defaultQueryTimeout   = 30 * time.Second
+	defaultStaleGrace     = 2 * time.Minute
 )
+
+// ErrGatewayClosed is returned for queries issued after Shutdown or Close.
+var ErrGatewayClosed = errors.New("core: gateway is shut down")
 
 // SourceConfig registers one data source with the gateway.
 type SourceConfig struct {
@@ -134,6 +150,13 @@ type SourceInfo struct {
 	// Breaker is the source's circuit-breaker state: "closed", "open" or
 	// "half-open" (populated on read for the management view).
 	Breaker string
+	// Health is the prober's classification ("healthy", "degraded",
+	// "down"), empty until the source has been probed.
+	Health string
+	// LastProbe is when the health prober last actually probed the source.
+	LastProbe time.Time
+	// ProbeFailures counts consecutive probe failures.
+	ProbeFailures int
 }
 
 // DriverInfo describes a registered driver for the management view.
@@ -173,6 +196,15 @@ type Stats struct {
 	BreakerSkipped int64
 	// BreakerOpens counts closed-to-open breaker transitions.
 	BreakerOpens int64
+	// StaleServes counts degraded results served from an
+	// expired-but-within-grace query-cache entry.
+	StaleServes int64
+	// HistoryFallbacks counts degraded results served from the latest
+	// historical-store sample.
+	HistoryFallbacks int64
+	// DriverPanics counts driver panics contained at a call boundary and
+	// converted into errors.
+	DriverPanics int64
 }
 
 // GlobalRouter forwards queries for remote sites; internal/gma provides the
@@ -220,6 +252,7 @@ type Gateway struct {
 
 	registry  *metrics.Registry
 	stageHist *metrics.HistogramVec
+	prober    *health.Prober
 
 	mu       sync.RWMutex
 	sources  map[string]*SourceInfo
@@ -227,6 +260,7 @@ type Gateway struct {
 	watches  map[string][]metricWatch
 	router   GlobalRouter
 	closed   bool
+	inflight sync.WaitGroup // queries in flight; Add only under mu while !closed
 
 	queries, queryErrors, harvests     atomic.Int64
 	harvestErrors, cacheServed, routed atomic.Int64
@@ -234,6 +268,8 @@ type Gateway struct {
 	timeouts, retries                  atomic.Int64
 	breakerSkipped, breakerOpens       atomic.Int64
 	coalesced, inflightHarvests        atomic.Int64
+	staleServes, historyFallbacks      atomic.Int64
+	driverPanics                       atomic.Int64
 }
 
 // New creates a Gateway.
@@ -264,6 +300,18 @@ func New(cfg Config) *Gateway {
 	}
 	if cfg.QueryTimeout == 0 {
 		cfg.QueryTimeout = defaultQueryTimeout
+	}
+	if cfg.StaleGrace == 0 {
+		cfg.StaleGrace = defaultStaleGrace
+	}
+	if cfg.StaleGrace < 0 {
+		cfg.StaleGrace = 0
+	}
+	if cfg.Cache.StaleGrace == 0 {
+		cfg.Cache.StaleGrace = cfg.StaleGrace
+	}
+	if cfg.Probe.Clock == nil {
+		cfg.Probe.Clock = cfg.Clock
 	}
 	reg := metrics.NewRegistry()
 	if cfg.Pool.DialObserver == nil {
@@ -297,7 +345,9 @@ func New(cfg Config) *Gateway {
 	if cfg.MaxConcurrentHarvests > 0 {
 		g.harvestSem = make(chan struct{}, cfg.MaxConcurrentHarvests)
 	}
+	g.prober = health.New(g, cfg.Probe, g.onHealthTransition)
 	g.registerMetrics()
+	g.prober.Start()
 	return g
 }
 
@@ -330,6 +380,16 @@ func (g *Gateway) registerMetrics() {
 	r.CounterFunc("gridrm_retries_total", "Harvest retry attempts performed.", g.retries.Load)
 	r.CounterFunc("gridrm_breaker_opens_total", "Closed-to-open circuit breaker transitions.", g.breakerOpens.Load)
 	r.CounterFunc("gridrm_breaker_skipped_total", "Harvests skipped because a breaker was open.", g.breakerSkipped.Load)
+	r.CounterFunc("gridrm_stale_serves_total", "Degraded results served from an expired-within-grace cache entry.", g.staleServes.Load)
+	r.CounterFunc("gridrm_history_fallbacks_total", "Degraded results served from the latest historical sample.", g.historyFallbacks.Load)
+	r.CounterFunc("gridrm_degraded_serves_total", "Degraded results served (stale cache + history fallback).",
+		func() int64 { return g.staleServes.Load() + g.historyFallbacks.Load() })
+	r.CounterFunc("gridrm_driver_panics_total", "Driver panics contained at a call boundary.", g.driverPanics.Load)
+	r.CounterFunc("gridrm_probes_total", "Health probes attempted.", func() int64 { return g.prober.Stats().Probes })
+	r.CounterFunc("gridrm_probe_failures_total", "Health probes that failed.", func() int64 { return g.prober.Stats().Failures })
+	r.GaugeFunc("gridrm_sources_healthy", "Sources the prober currently classifies healthy.", g.healthGauge(health.StateHealthy))
+	r.GaugeFunc("gridrm_sources_degraded", "Sources the prober currently classifies degraded.", g.healthGauge(health.StateDegraded))
+	r.GaugeFunc("gridrm_sources_down", "Sources the prober currently classifies down.", g.healthGauge(health.StateDown))
 	r.GaugeFunc("gridrm_inflight_harvests", "Driver harvests currently executing.",
 		func() float64 { return float64(g.inflightHarvests.Load()) })
 	r.CounterFunc("gridrm_qcache_hits_total", "Query cache hits.", func() int64 { return g.cache.Stats().Hits })
@@ -388,18 +448,80 @@ func (g *Gateway) releaseHarvestSlot() {
 // Name returns the gateway's site name.
 func (g *Gateway) Name() string { return g.name }
 
-// Close shuts the gateway down: pooled connections are closed and the Event
-// Manager drained.
-func (g *Gateway) Close() {
+// healthGauge returns a metric reader counting sources in one probed state.
+func (g *Gateway) healthGauge(s health.State) func() float64 {
+	return func() float64 {
+		n := 0
+		for _, h := range g.prober.Snapshot() {
+			if h.State == s {
+				n++
+			}
+		}
+		return float64(n)
+	}
+}
+
+// beginQuery admits a query into the in-flight set, refusing once the
+// gateway is shut down. The WaitGroup Add happens under the same lock that
+// Shutdown uses to set closed, so Add never races Shutdown's Wait.
+func (g *Gateway) beginQuery() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.closed {
+		return ErrGatewayClosed
+	}
+	g.inflight.Add(1)
+	return nil
+}
+
+func (g *Gateway) endQuery() { g.inflight.Done() }
+
+// Shutdown stops the gateway in order: the health prober first, then new
+// queries are refused and in-flight ones drained until ctx expires, then
+// the Event Manager is flushed and the connection pool closed. It returns
+// ctx.Err() when the drain was abandoned at the deadline — events and pool
+// are still closed in that case. Safe to call more than once.
+func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		return
+		return nil
 	}
 	g.closed = true
 	g.mu.Unlock()
-	g.pool.CloseAll()
+
+	g.prober.Stop()
+
+	drained := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	g.events.Publish(event.Event{
+		Source:   "gateway:" + g.name,
+		Name:     "gateway-shutdown",
+		Severity: event.SeverityStatus,
+		Time:     g.clock(),
+	})
 	g.events.Close()
+	g.pool.CloseAll()
+	return err
+}
+
+// Close shuts the gateway down immediately: pooled connections are closed
+// and the Event Manager drained, without waiting for in-flight queries. Use
+// Shutdown for a graceful drain.
+func (g *Gateway) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = g.Shutdown(ctx)
 }
 
 // RegisterDriver installs a data-source driver and its GLUE schema mapping.
@@ -511,6 +633,11 @@ func (g *Gateway) Sources() []SourceInfo {
 		if br := g.breakers[url]; br != nil {
 			info.Breaker = string(br.state(now))
 		}
+		if h, probed := g.prober.Health(url); probed {
+			info.Health = string(h.State)
+			info.LastProbe = h.LastProbe
+			info.ProbeFailures = h.ConsecutiveFailures
+		}
 		out = append(out, info)
 	}
 	g.mu.RUnlock()
@@ -531,6 +658,11 @@ func (g *Gateway) Source(url string) (SourceInfo, bool) {
 	if br := g.breakers[url]; br != nil {
 		info.Breaker = string(br.state(now))
 	}
+	if h, probed := g.prober.Health(url); probed {
+		info.Health = string(h.State)
+		info.LastProbe = h.LastProbe
+		info.ProbeFailures = h.ConsecutiveFailures
+	}
 	return info, true
 }
 
@@ -547,6 +679,78 @@ func (g *Gateway) SetGlobalRouter(r GlobalRouter) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.router = r
+}
+
+// Prober returns the gateway's source health prober.
+func (g *Gateway) Prober() *health.Prober { return g.prober }
+
+// ProbeTargets implements health.Pinger: every registered source URL.
+func (g *Gateway) ProbeTargets() []string {
+	g.mu.RLock()
+	urls := make([]string, 0, len(g.sources))
+	for url := range g.sources {
+		urls = append(urls, url)
+	}
+	g.mu.RUnlock()
+	sort.Strings(urls)
+	return urls
+}
+
+// ProbeSource implements health.Pinger: a cheap liveness check of one
+// source via a pooled connection (idle connections are validated with Ping;
+// a fresh connect proves liveness by itself). A probe respects the circuit
+// breaker — when the breaker is open mid-cooldown it reports
+// health.ErrSkipped rather than hammering a known-bad source (and rather
+// than noting a failure, which would extend the cooldown forever). Once the
+// cooldown elapses the probe claims the half-open slot itself, so breakers
+// recover proactively instead of waiting for user traffic.
+func (g *Gateway) ProbeSource(ctx context.Context, url string) error {
+	g.mu.RLock()
+	src, ok := g.sources[url]
+	var props driver.Properties
+	if ok {
+		props = src.Props
+	}
+	g.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("core: source %s not registered", url)
+	}
+	if br := g.breaker(url); br != nil && !br.allow(g.clock()) {
+		return health.ErrSkipped
+	}
+	conn, err := g.pool.GetContext(ctx, url, props)
+	if err != nil {
+		g.noteFailure(url, err, g.clock())
+		return err
+	}
+	driverName := conn.Driver()
+	conn.Release()
+	g.noteSuccess(url, driverName, g.clock())
+	return nil
+}
+
+// onHealthTransition publishes a source's probed state change: an Alert
+// when it degrades or goes down, a Status event when it recovers.
+func (g *Gateway) onHealthTransition(h health.SourceHealth, from health.State) {
+	sev := event.SeverityAlert
+	if h.State == health.StateHealthy {
+		sev = event.SeverityStatus
+	}
+	prev := string(from)
+	if prev == "" {
+		prev = "unknown"
+	}
+	detail := fmt.Sprintf("source health %s -> %s", prev, h.State)
+	if h.LastError != "" {
+		detail += ": " + h.LastError
+	}
+	g.events.Publish(event.Event{
+		Source:   h.URL,
+		Name:     "source-health",
+		Severity: sev,
+		Time:     h.LastProbe,
+		Detail:   detail,
+	})
 }
 
 // Events returns the gateway's Event Manager.
@@ -588,6 +792,10 @@ func (g *Gateway) Stats() Stats {
 		Retries:        g.retries.Load(),
 		BreakerSkipped: g.breakerSkipped.Load(),
 		BreakerOpens:   g.breakerOpens.Load(),
+
+		StaleServes:      g.staleServes.Load(),
+		HistoryFallbacks: g.historyFallbacks.Load(),
+		DriverPanics:     g.driverPanics.Load(),
 	}
 }
 
@@ -613,6 +821,19 @@ func (g *Gateway) noteFailure(url string, err error, at time.Time) {
 		s.LastErrorAt = at
 	}
 	g.mu.Unlock()
+	var pe *driver.PanicError
+	if errors.As(err, &pe) {
+		// A contained driver panic: count it and alert with the captured
+		// stack, then let it feed the breaker like any other failure.
+		g.driverPanics.Add(1)
+		g.events.Publish(event.Event{
+			Source:   url,
+			Name:     "driver-panic",
+			Severity: event.SeverityAlert,
+			Time:     at,
+			Detail:   fmt.Sprintf("%v\n%s", pe.Value, pe.Stack),
+		})
+	}
 	g.events.Publish(event.Event{
 		Source:   url,
 		Name:     "poll-failed",

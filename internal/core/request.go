@@ -86,8 +86,15 @@ type SourceStatus struct {
 	HarvestedAt time.Time
 	// Rows is how many rows the source contributed before filtering.
 	Rows int
-	// Err is the failure, if the source could not be queried.
+	// Err is the failure, if the source could not be queried. A degraded
+	// result keeps the underlying failure here alongside its rows.
 	Err string
+	// Degraded marks rows served from a degradation tier after the live
+	// path failed: DegradedStaleCache or DegradedHistory. Empty for
+	// normal (fresh or fresh-cached) results.
+	Degraded string
+	// Age is how old the rows were when served, for degraded results.
+	Age time.Duration
 }
 
 // Straggler and breaker markers used in SourceStatus.Err.
@@ -96,6 +103,15 @@ const (
 	ErrTimedOut = "timed out"
 	// ErrCircuitOpen marks a harvest skipped by an open circuit breaker.
 	ErrCircuitOpen = "circuit open"
+)
+
+// Degradation tiers reported in SourceStatus.Degraded.
+const (
+	// DegradedStaleCache marks rows from an expired-but-within-grace
+	// query-cache entry.
+	DegradedStaleCache = "stale-cache"
+	// DegradedHistory marks rows from the latest historical-store sample.
+	DegradedHistory = "history"
 )
 
 // Response is the consolidated result of a query.
@@ -151,6 +167,11 @@ func (g *Gateway) Query(req Request) (*Response, error) {
 // sources that answered in time, with the stragglers marked ErrTimedOut in
 // their SourceStatus.
 func (g *Gateway) QueryContext(ctx context.Context, req Request) (*Response, error) {
+	if err := g.beginQuery(); err != nil {
+		g.queryErrors.Add(1)
+		return nil, err
+	}
+	defer g.endQuery()
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline && g.queryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, g.queryTimeout)
@@ -424,7 +445,7 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 	if br := g.breaker(url); br != nil && !br.allow(g.clock()) {
 		g.breakerSkipped.Add(1)
 		status.Err = ErrCircuitOpen
-		return status, nil
+		return status, g.degradedResult(req.Mode, url, hsql, group, &status)
 	}
 
 	res, shared := g.sharedHarvest(ctx, url, group, hsql)
@@ -437,12 +458,47 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 		} else {
 			status.Err = res.err.Error()
 		}
-		return status, nil
+		return status, g.degradedResult(req.Mode, url, hsql, group, &status)
 	}
 	status.Driver = res.driverName
 	status.HarvestedAt = res.at
 	status.Rows = res.rs.Len()
 	return status, res.rs
+}
+
+// degradedResult is the tail of the degradation ladder (fresh cache →
+// coalesced/fresh harvest → stale cache → history → unavailable): after a
+// harvest failed, timed out or was breaker-skipped, it tries an
+// expired-but-within-grace query-cache entry, then the latest
+// historical-store sample. Only cached-mode queries degrade — an explicit
+// real-time poll promised fresh rows and must fail honestly, and
+// historical queries never reach here. status keeps the underlying failure
+// in Err while Degraded and Age annotate where the rows came from and how
+// old they are. Returns nil when every tier is dry ("unavailable").
+func (g *Gateway) degradedResult(mode Mode, url, hsql string, group *glue.Group, status *SourceStatus) *resultset.ResultSet {
+	if mode != ModeCached {
+		return nil
+	}
+	fill := func(tier string, at time.Time, rows int) {
+		status.Degraded = tier
+		status.HarvestedAt = at
+		status.Age = g.clock().Sub(at)
+		status.Rows = rows
+		if info, ok := g.Source(url); ok && status.Driver == "" {
+			status.Driver = info.LastDriver
+		}
+	}
+	if rs, at, ok := g.cache.GetStale(url, hsql); ok {
+		g.staleServes.Add(1)
+		fill(DegradedStaleCache, at, rs.Len())
+		return rs
+	}
+	if rs, at, ok := g.history.Latest(url, group.Name); ok {
+		g.historyFallbacks.Add(1)
+		fill(DegradedHistory, at, rs.Len())
+		return rs
+	}
+	return nil
 }
 
 // sharedHarvest obtains one source's full-group rows by harvest. Unless
@@ -546,13 +602,13 @@ func (g *Gateway) harvest(ctx context.Context, url, hsql string) (*resultset.Res
 		return nil, "", err
 	}
 	driverName := conn.Driver()
-	stmt, err := conn.CreateStatement()
+	stmt, err := driver.SafeCreateStatement(conn)
 	if err != nil {
 		conn.Discard()
 		return nil, driverName, err
 	}
 	rs, err := driver.QueryContext(ctx, stmt, hsql)
-	_ = stmt.Close()
+	_ = driver.SafeClose(stmt)
 	if err != nil {
 		conn.Discard()
 		return nil, driverName, err

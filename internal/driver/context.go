@@ -26,12 +26,17 @@ type StmtContext interface {
 // goroutine runs until the driver call returns — callers must treat the
 // connection as tainted (Discard, never Release) after a timeout, since the
 // driver may still be using it.
+//
+// Both paths run the driver call behind recover(): a panicking driver
+// yields a *PanicError instead of killing the process. The recovery for
+// the legacy path happens inside the shim goroutine itself, where the
+// gateway's own defers cannot reach.
 func QueryContext(ctx context.Context, stmt Stmt, sql string) (*resultset.ResultSet, error) {
 	if sc, ok := stmt.(StmtContext); ok {
-		return sc.ExecuteQueryContext(ctx, sql)
+		return safeExecuteContext(ctx, sc, sql)
 	}
 	if ctx.Done() == nil {
-		return stmt.ExecuteQuery(sql)
+		return safeExecute(stmt, sql)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -42,7 +47,7 @@ func QueryContext(ctx context.Context, stmt Stmt, sql string) (*resultset.Result
 	}
 	ch := make(chan result, 1)
 	go func() {
-		rs, err := stmt.ExecuteQuery(sql)
+		rs, err := safeExecute(stmt, sql)
 		ch <- result{rs, err}
 	}()
 	select {

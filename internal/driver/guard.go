@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"gridrm/internal/resultset"
+)
+
+// PanicError reports a driver call that panicked. The paper's stubbed-JDBC
+// idiom already makes a *partial* driver behave like a full driver that
+// failed; PanicError extends the same promise to a *buggy* driver: the
+// panic is converted at the call boundary into an ordinary error that feeds
+// the retry/breaker/degradation pipeline instead of killing the gateway.
+type PanicError struct {
+	// Op names the driver call that panicked ("connect", "query", ...).
+	Op string
+	// Value is the value the driver panicked with.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("driver: panic in %s: %v", e.Op, e.Value)
+}
+
+// guard runs fn and converts a panic into a *PanicError.
+func guard(op string, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: op, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// SafeConnect calls d.Connect with panic containment.
+func SafeConnect(d Driver, url string, props Properties) (conn Conn, err error) {
+	if perr := guard("connect", func() { conn, err = d.Connect(url, props) }); perr != nil {
+		return nil, perr
+	}
+	return conn, err
+}
+
+// SafeAccepts calls d.AcceptsURL with panic containment; a panicking driver
+// simply does not accept the URL.
+func SafeAccepts(d Driver, url string) (ok bool) {
+	_ = guard("accepts-url", func() { ok = d.AcceptsURL(url) })
+	return ok
+}
+
+// SafePing calls c.Ping with panic containment.
+func SafePing(c Conn) error {
+	var err error
+	if perr := guard("ping", func() { err = c.Ping() }); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// SafeClose calls Close with panic containment. It accepts anything with a
+// Close method so both connections and statements can be guarded.
+func SafeClose(c interface{ Close() error }) error {
+	var err error
+	if perr := guard("close", func() { err = c.Close() }); perr != nil {
+		return perr
+	}
+	return err
+}
+
+// SafeCreateStatement calls c.CreateStatement with panic containment.
+func SafeCreateStatement(c Conn) (stmt Stmt, err error) {
+	if perr := guard("create-statement", func() { stmt, err = c.CreateStatement() }); perr != nil {
+		return nil, perr
+	}
+	return stmt, err
+}
+
+// safeExecuteContext runs the context-aware query path behind recover().
+func safeExecuteContext(ctx context.Context, sc StmtContext, sql string) (rs *resultset.ResultSet, err error) {
+	if perr := guard("query", func() { rs, err = sc.ExecuteQueryContext(ctx, sql) }); perr != nil {
+		return nil, perr
+	}
+	return rs, err
+}
+
+// safeExecute runs the legacy blocking query path behind recover(). It is
+// called both directly and from inside the goroutine shim — the shim MUST
+// recover inside its own goroutine, since a panic there would otherwise
+// escape every gateway-side defer and crash the process.
+func safeExecute(stmt Stmt, sql string) (rs *resultset.ResultSet, err error) {
+	if perr := guard("query", func() { rs, err = stmt.ExecuteQuery(sql) }); perr != nil {
+		return nil, perr
+	}
+	return rs, err
+}

@@ -1,0 +1,168 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrm/internal/resultset"
+)
+
+// panicDriver panics at whichever boundary the test arms.
+type panicDriver struct {
+	inConnect bool
+	inAccepts bool
+	inQuery   bool
+	inPing    bool
+	inClose   bool
+	ctxAware  bool
+}
+
+func (d *panicDriver) Name() string { return "panicdrv" }
+
+func (d *panicDriver) AcceptsURL(url string) bool {
+	if d.inAccepts {
+		panic("accepts exploded")
+	}
+	return true
+}
+
+func (d *panicDriver) Connect(url string, props Properties) (Conn, error) {
+	if d.inConnect {
+		panic("connect exploded")
+	}
+	return &panicConn{d: d, url: url}, nil
+}
+
+type panicConn struct {
+	UnimplementedConn
+	d   *panicDriver
+	url string
+}
+
+func (c *panicConn) URL() string    { return c.url }
+func (c *panicConn) Driver() string { return "panicdrv" }
+func (c *panicConn) Ping() error {
+	if c.d.inPing {
+		panic("ping exploded")
+	}
+	return nil
+}
+func (c *panicConn) Close() error {
+	if c.d.inClose {
+		panic("close exploded")
+	}
+	return nil
+}
+func (c *panicConn) CreateStatement() (Stmt, error) {
+	if c.d.ctxAware {
+		return &panicCtxStmt{panicStmt{d: c.d}}, nil
+	}
+	return &panicStmt{d: c.d}, nil
+}
+
+type panicStmt struct {
+	UnimplementedStmt
+	d *panicDriver
+}
+
+func (s *panicStmt) ExecuteQuery(sql string) (*resultset.ResultSet, error) {
+	if s.d.inQuery {
+		panic("query exploded")
+	}
+	return nil, errors.New("no data")
+}
+
+type panicCtxStmt struct{ panicStmt }
+
+func (s *panicCtxStmt) ExecuteQueryContext(ctx context.Context, sql string) (*resultset.ResultSet, error) {
+	return s.ExecuteQuery(sql)
+}
+
+func wantPanicError(t *testing.T, err error, op, payload string) {
+	t.Helper()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Op != op {
+		t.Errorf("Op = %q, want %q", pe.Op, op)
+	}
+	if got := pe.Value.(string); got != payload {
+		t.Errorf("Value = %q, want %q", got, payload)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), payload) {
+		t.Errorf("Error() = %q, missing payload", pe.Error())
+	}
+}
+
+func TestSafeConnectContainsPanic(t *testing.T) {
+	d := &panicDriver{inConnect: true}
+	conn, err := SafeConnect(d, "gridrm:x://h:1", nil)
+	if conn != nil {
+		t.Error("panicking connect returned a conn")
+	}
+	wantPanicError(t, err, "connect", "connect exploded")
+}
+
+func TestSafeAcceptsContainsPanic(t *testing.T) {
+	d := &panicDriver{inAccepts: true}
+	if SafeAccepts(d, "gridrm:x://h:1") {
+		t.Error("panicking AcceptsURL claimed the URL")
+	}
+}
+
+func TestSafePingAndCloseContainPanics(t *testing.T) {
+	d := &panicDriver{inPing: true, inClose: true}
+	conn, err := SafeConnect(d, "gridrm:x://h:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPanicError(t, SafePing(conn), "ping", "ping exploded")
+	wantPanicError(t, SafeClose(conn), "close", "close exploded")
+}
+
+func TestQueryContextContainsPanicBothPaths(t *testing.T) {
+	for _, ctxAware := range []bool{true, false} {
+		name := "legacy shim"
+		if ctxAware {
+			name = "context-aware"
+		}
+		t.Run(name, func(t *testing.T) {
+			d := &panicDriver{inQuery: true, ctxAware: ctxAware}
+			conn, err := SafeConnect(d, "gridrm:x://h:1", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmt, err := SafeCreateStatement(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The legacy path only spawns the shim goroutine under a
+			// deadline; give it one so the panic fires inside the shim.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			rs, err := QueryContext(ctx, stmt, "SELECT * FROM Processor")
+			if rs != nil {
+				t.Error("panicking query returned rows")
+			}
+			wantPanicError(t, err, "query", "query exploded")
+		})
+	}
+}
+
+func TestQueryContextNoDeadlineContainsPanic(t *testing.T) {
+	d := &panicDriver{inQuery: true}
+	conn, _ := SafeConnect(d, "gridrm:x://h:1", nil)
+	stmt, _ := SafeCreateStatement(conn)
+	rs, err := QueryContext(context.Background(), stmt, "SELECT * FROM Processor")
+	if rs != nil {
+		t.Error("panicking query returned rows")
+	}
+	wantPanicError(t, err, "query", "query exploded")
+}

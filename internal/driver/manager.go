@@ -307,7 +307,7 @@ func (m *Manager) LocateDriver(url string) (Driver, error) {
 	m.stats.scans.Add(1)
 	for _, d := range drivers {
 		m.stats.scanProbes.Add(1)
-		if d.AcceptsURL(url) {
+		if SafeAccepts(d, url) {
 			return d, nil
 		}
 	}
@@ -324,7 +324,7 @@ func (m *Manager) dynamicConnect(url string, props Properties, retries int, prev
 	// can connect to the data source is used (Table 2).
 	for _, d := range drivers {
 		m.stats.scanProbes.Add(1)
-		if !d.AcceptsURL(url) {
+		if !SafeAccepts(d, url) {
 			continue
 		}
 		conn, err := m.tryConnect(d, url, props, retries)
@@ -346,7 +346,7 @@ func (m *Manager) tryConnect(d Driver, url string, props Properties, retries int
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
 		var conn Conn
-		conn, err = d.Connect(url, props)
+		conn, err = SafeConnect(d, url, props)
 		if err == nil {
 			m.stats.connects.Add(1)
 			return conn, nil

@@ -26,9 +26,13 @@ type Faults struct {
 	connectLatency atomic.Int64 // nanoseconds
 	queryLatency   atomic.Int64 // nanoseconds
 	errEvery       atomic.Int64 // every Nth query fails; 0 = never
+	panicEveryQ    atomic.Int64 // every Nth query panics; 0 = never
+	panicEveryC    atomic.Int64 // every Nth connect panics; 0 = never
 	hangConnect    atomic.Bool
 	hangQuery      atomic.Bool
 	ctxAware       atomic.Bool
+
+	panicsThrown atomic.Int64
 
 	queryCount   atomic.Int64
 	connectCount atomic.Int64
@@ -55,6 +59,19 @@ func (f *Faults) SetQueryLatency(d time.Duration) { f.queryLatency.Store(int64(d
 
 // SetErrorEvery makes every nth query fail (n <= 0 disables).
 func (f *Faults) SetErrorEvery(n int) { f.errEvery.Store(int64(n)) }
+
+// SetPanicEveryQuery makes every nth query panic (n <= 0 disables; n == 1
+// panics on every query). The deterministic every-Nth scheme is the
+// testable analogue of probabilistic panic injection: it exercises the
+// gateway's recover() boundaries on both the context-aware path and the
+// legacy goroutine shim.
+func (f *Faults) SetPanicEveryQuery(n int) { f.panicEveryQ.Store(int64(n)) }
+
+// SetPanicEveryConnect makes every nth connect panic (n <= 0 disables).
+func (f *Faults) SetPanicEveryConnect(n int) { f.panicEveryC.Store(int64(n)) }
+
+// PanicsThrown returns how many injected panics the wrapper has raised.
+func (f *Faults) PanicsThrown() int64 { return f.panicsThrown.Load() }
 
 // SetHangConnect makes subsequent connects hang until Release (or, when
 // context-aware, the caller's context expires — but driver.Driver.Connect
@@ -160,12 +177,16 @@ func (d *Driver) AcceptsURL(url string) bool { return d.inner.AcceptsURL(url) }
 // Connect implements driver.Driver: injected connect faults first, then the
 // wrapped driver's Connect.
 func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, error) {
-	d.faults.connectCount.Add(1)
+	n := d.faults.connectCount.Add(1)
 	if d.faults.hangConnect.Load() {
 		_ = d.faults.hang(nil)
 	}
 	if err := d.faults.sleep(nil, time.Duration(d.faults.connectLatency.Load())); err != nil {
 		return nil, err
+	}
+	if every := d.faults.panicEveryC.Load(); every > 0 && n%every == 0 {
+		d.faults.panicsThrown.Add(1)
+		panic(fmt.Sprintf("%s: injected panic (connect %d)", d.name, n))
 	}
 	inner, err := d.inner.Connect(url, props)
 	if err != nil {
@@ -222,6 +243,10 @@ func (s *stmt) execute(ctx context.Context, sql string) (*resultset.ResultSet, e
 	}
 	if err := f.sleep(ctx, time.Duration(f.queryLatency.Load())); err != nil {
 		return nil, err
+	}
+	if every := f.panicEveryQ.Load(); every > 0 && n%every == 0 {
+		f.panicsThrown.Add(1)
+		panic(fmt.Sprintf("%s: injected panic (query %d)", s.c.d.name, n))
 	}
 	if every := f.errEvery.Load(); every > 0 && n%every == 0 {
 		return nil, fmt.Errorf("%s: injected fault (query %d)", s.c.d.name, n)

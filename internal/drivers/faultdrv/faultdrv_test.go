@@ -15,8 +15,8 @@ import (
 // in front of.
 type stubDriver struct{}
 
-func (d *stubDriver) Name() string                { return "stub" }
-func (d *stubDriver) AcceptsURL(url string) bool  { return true }
+func (d *stubDriver) Name() string               { return "stub" }
+func (d *stubDriver) AcceptsURL(url string) bool { return true }
 func (d *stubDriver) Connect(url string, props driver.Properties) (driver.Conn, error) {
 	return &stubConn{url: url}, nil
 }
@@ -26,9 +26,9 @@ type stubConn struct {
 	url string
 }
 
-func (c *stubConn) URL() string    { return c.url }
-func (c *stubConn) Driver() string { return "stub" }
-func (c *stubConn) Ping() error    { return nil }
+func (c *stubConn) URL() string                           { return c.url }
+func (c *stubConn) Driver() string                        { return "stub" }
+func (c *stubConn) Ping() error                           { return nil }
 func (c *stubConn) CreateStatement() (driver.Stmt, error) { return &stubStmt{}, nil }
 
 type stubStmt struct {

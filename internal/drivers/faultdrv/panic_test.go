@@ -1,0 +1,70 @@
+package faultdrv
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic raised")
+		}
+		if msg, _ := r.(string); !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestPanicEveryQuery(t *testing.T) {
+	_, f, stmt := wrap(t)
+	f.SetPanicEveryQuery(2) // queries 2, 4, ... panic
+
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+		t.Fatalf("query 1: %v", err)
+	}
+	mustPanic(t, "injected panic (query 2)", func() {
+		_, _ = stmt.ExecuteQuery("SELECT * FROM Processor")
+	})
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+		t.Fatalf("query 3: %v", err)
+	}
+	if n := f.PanicsThrown(); n != 1 {
+		t.Errorf("PanicsThrown = %d, want 1", n)
+	}
+
+	f.SetPanicEveryQuery(0)
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+		t.Errorf("disarmed wrapper still faulty: %v", err)
+	}
+}
+
+func TestPanicEveryConnect(t *testing.T) {
+	f := NewFaults()
+	d := New("fault-stub", &stubDriver{}, f)
+	f.SetPanicEveryConnect(2)
+
+	if _, err := d.Connect("gridrm:stub://h:1", nil); err != nil {
+		t.Fatalf("connect 1: %v", err)
+	}
+	mustPanic(t, "injected panic (connect 2)", func() {
+		_, _ = d.Connect("gridrm:stub://h:1", nil)
+	})
+	if n := f.PanicsThrown(); n != 1 {
+		t.Errorf("PanicsThrown = %d, want 1", n)
+	}
+}
+
+func TestPanicBeatsInjectedError(t *testing.T) {
+	// When both knobs target the same query, the panic wins — the point of
+	// the panic knob is to exercise recover() boundaries, not error paths.
+	_, f, stmt := wrap(t)
+	f.SetPanicEveryQuery(1)
+	f.SetErrorEvery(1)
+	mustPanic(t, "injected panic (query 1)", func() {
+		_, _ = stmt.ExecuteQuery("SELECT * FROM Processor")
+	})
+}

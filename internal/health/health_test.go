@@ -1,0 +1,198 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePinger scripts per-URL probe outcomes.
+type fakePinger struct {
+	mu      sync.Mutex
+	targets []string
+	errs    map[string]error
+	calls   map[string]int
+}
+
+func newFakePinger(targets ...string) *fakePinger {
+	return &fakePinger{
+		targets: targets,
+		errs:    make(map[string]error),
+		calls:   make(map[string]int),
+	}
+}
+
+func (f *fakePinger) set(url string, err error) {
+	f.mu.Lock()
+	f.errs[url] = err
+	f.mu.Unlock()
+}
+
+func (f *fakePinger) ProbeTargets() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.targets...)
+}
+
+func (f *fakePinger) ProbeSource(ctx context.Context, url string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[url]++
+	return f.errs[url]
+}
+
+type transition struct {
+	url  string
+	from State
+	to   State
+}
+
+func TestProbeAllTracksStates(t *testing.T) {
+	now := time.Unix(50000, 0)
+	pinger := newFakePinger("src-a", "src-b")
+	var seen []transition
+	p := New(pinger, Options{DownAfter: 3, Clock: func() time.Time { return now }},
+		func(h SourceHealth, from State) {
+			seen = append(seen, transition{h.URL, from, h.State})
+		})
+
+	pinger.set("src-b", errors.New("agent gone"))
+	p.ProbeAll(context.Background())
+
+	if h, _ := p.Health("src-a"); h.State != StateHealthy {
+		t.Errorf("src-a state = %q", h.State)
+	}
+	h, ok := p.Health("src-b")
+	if !ok || h.State != StateDegraded || h.ConsecutiveFailures != 1 {
+		t.Fatalf("src-b health = %+v", h)
+	}
+	if h.LastError != "agent gone" {
+		t.Errorf("LastError = %q", h.LastError)
+	}
+
+	// Two more failures cross DownAfter.
+	p.ProbeAll(context.Background())
+	p.ProbeAll(context.Background())
+	if h, _ := p.Health("src-b"); h.State != StateDown || h.ConsecutiveFailures != 3 {
+		t.Fatalf("src-b after 3 failures = %+v", h)
+	}
+
+	// Recovery resets everything in one sweep.
+	pinger.set("src-b", nil)
+	p.ProbeAll(context.Background())
+	if h, _ := p.Health("src-b"); h.State != StateHealthy || h.ConsecutiveFailures != 0 || h.LastError != "" {
+		t.Fatalf("src-b after recovery = %+v", h)
+	}
+
+	want := []transition{
+		{"src-a", "", StateHealthy},
+		{"src-b", "", StateDegraded},
+		{"src-b", StateDegraded, StateDown},
+		{"src-b", StateDown, StateHealthy},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %+v, want %+v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("transition[%d] = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+	st := p.Stats()
+	if st.Probes != 8 || st.Failures != 3 || st.Transitions != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSkippedProbesCarryNoInformation(t *testing.T) {
+	pinger := newFakePinger("src-a")
+	p := New(pinger, Options{}, nil)
+
+	pinger.set("src-a", errors.New("boom"))
+	p.ProbeAll(context.Background())
+	before, _ := p.Health("src-a")
+
+	// A wrapped ErrSkipped must neither advance failure counts nor touch
+	// state — an open breaker's cooldown shouldn't read as a new failure.
+	pinger.set("src-a", fmt.Errorf("breaker open: %w", ErrSkipped))
+	p.ProbeAll(context.Background())
+	after, _ := p.Health("src-a")
+	if after != before {
+		t.Errorf("skipped probe changed state: %+v -> %+v", before, after)
+	}
+	st := p.Stats()
+	if st.Skipped != 1 || st.Probes != 1 || st.Failures != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRemovedTargetsAreForgotten(t *testing.T) {
+	pinger := newFakePinger("src-a", "src-b")
+	p := New(pinger, Options{}, nil)
+	p.ProbeAll(context.Background())
+	if got := len(p.Snapshot()); got != 2 {
+		t.Fatalf("snapshot size = %d", got)
+	}
+
+	pinger.mu.Lock()
+	pinger.targets = []string{"src-a"}
+	pinger.mu.Unlock()
+	p.ProbeAll(context.Background())
+	snap := p.Snapshot()
+	if len(snap) != 1 || snap[0].URL != "src-a" {
+		t.Errorf("snapshot after removal = %+v", snap)
+	}
+}
+
+func TestSnapshotSortedByURL(t *testing.T) {
+	pinger := newFakePinger("zeta", "alpha", "mid")
+	p := New(pinger, Options{}, nil)
+	p.ProbeAll(context.Background())
+	snap := p.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].URL > snap[i].URL {
+			t.Fatalf("snapshot not sorted: %+v", snap)
+		}
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	pinger := newFakePinger("src-a")
+	p := New(pinger, Options{Interval: time.Millisecond}, nil)
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		pinger.mu.Lock()
+		n := pinger.calls["src-a"]
+		pinger.mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never probed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+
+	pinger.mu.Lock()
+	n := pinger.calls["src-a"]
+	pinger.mu.Unlock()
+	time.Sleep(10 * time.Millisecond)
+	pinger.mu.Lock()
+	after := pinger.calls["src-a"]
+	pinger.mu.Unlock()
+	if after != n {
+		t.Errorf("probes continued after Stop (%d -> %d)", n, after)
+	}
+}
+
+func TestStartIsNoOpWithoutInterval(t *testing.T) {
+	p := New(newFakePinger("src-a"), Options{}, nil)
+	p.Start() // must not launch a loop
+	p.Stop()  // and Stop must not block on one
+}

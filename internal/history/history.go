@@ -172,6 +172,46 @@ func (s *Store) Query(group, source string, since, until time.Time) (*resultset.
 	return b.Build()
 }
 
+// Latest returns the most recent recorded sample for (source, group) as a
+// ResultSet in the group's canonical shape (no provenance columns), plus its
+// sample time. Samples older than MaxAge are not served. It backs the
+// history tier of the gateway's degradation ladder: when a harvest fails
+// and no cache entry survives, the last known-good rows are better than
+// nothing.
+func (s *Store) Latest(source, group string) (*resultset.ResultSet, time.Time, bool) {
+	g, ok := glue.Lookup(group)
+	if !ok {
+		return nil, time.Time{}, false
+	}
+	s.mu.RLock()
+	samples := s.data[storeKey(source, g.Name)]
+	var last sample
+	if n := len(samples); n > 0 {
+		last = samples[n-1]
+	}
+	s.mu.RUnlock()
+	if last.at.IsZero() {
+		return nil, time.Time{}, false
+	}
+	if s.opts.Clock().Sub(last.at) > s.opts.MaxAge {
+		return nil, time.Time{}, false
+	}
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	b := resultset.NewBuilder(meta)
+	for _, row := range last.rows {
+		// Copy each row: the builder must not alias stored history.
+		b.Append(append([]any(nil), row...)...)
+	}
+	rs, err := b.Build()
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	return rs, last.at, true
+}
+
 // Metadata returns the result shape historical queries produce for a group.
 func (s *Store) Metadata(g *glue.Group) (*resultset.Metadata, error) {
 	base, err := resultset.MetadataForGroup(g, nil)

@@ -1,0 +1,65 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"gridrm/internal/glue"
+)
+
+func TestLatestReturnsNewestSample(t *testing.T) {
+	s, now := newStore(Options{})
+	t0 := *now
+	if err := s.Record(srcA, glue.GroupMemory, memRS(t, "old", 256), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(srcA, glue.GroupMemory, memRS(t, "new", 1024), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, at, ok := s.Latest(srcA, glue.GroupMemory)
+	if !ok {
+		t.Fatal("no latest sample")
+	}
+	if !at.Equal(t0.Add(time.Minute)) {
+		t.Errorf("sampled at %v, want %v", at, t0.Add(time.Minute))
+	}
+	rs.Next()
+	if h, _ := rs.GetString("HostName"); h != "new" {
+		t.Errorf("host = %q, want the newest sample", h)
+	}
+}
+
+func TestLatestRejectsExpiredSamples(t *testing.T) {
+	s, now := newStore(Options{MaxAge: time.Minute})
+	if err := s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1024), *now); err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(2 * time.Minute)
+	if _, _, ok := s.Latest(srcA, glue.GroupMemory); ok {
+		t.Error("Latest served a sample older than MaxAge")
+	}
+}
+
+func TestLatestMissesUnknownKeys(t *testing.T) {
+	s, _ := newStore(Options{})
+	if _, _, ok := s.Latest(srcA, glue.GroupMemory); ok {
+		t.Error("hit on an empty store")
+	}
+	if _, _, ok := s.Latest(srcA, "NoSuchGroup"); ok {
+		t.Error("hit on an unknown group")
+	}
+}
+
+func TestLatestCopiesRows(t *testing.T) {
+	s, now := newStore(Options{})
+	if err := s.Record(srcA, glue.GroupMemory, memRS(t, "a", 1024), *now); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := s.Latest(srcA, glue.GroupMemory)
+	a.Next()
+	b, _, _ := s.Latest(srcA, glue.GroupMemory)
+	if !b.Next() {
+		t.Fatal("second Latest exhausted by the first cursor")
+	}
+}

@@ -1,0 +1,218 @@
+package integration_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/drivers/faultdrv"
+	"gridrm/internal/event"
+	"gridrm/internal/glue"
+	"gridrm/internal/gma"
+	"gridrm/internal/security"
+	"gridrm/internal/sitekit"
+	"gridrm/internal/web"
+)
+
+// TestChaosGatewaySurvivesCombinedFaults is the graceful-degradation
+// acceptance scenario end to end: a federated two-site deployment where every
+// driver at one site is wrapped in fault injection — panics, errors and
+// latency at once — while concurrent clients keep querying. The gateway must
+// never crash, must keep answering with degraded rows, and the health prober
+// must bring the tripped breakers back once the faults clear.
+func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
+	admin := security.Principal{Name: "admin", Roles: []string{"operator"}}
+	faults := faultdrv.NewFaults()
+
+	siteA, err := sitekit.Start(sitekit.Options{Name: "chaosA", Hosts: 2, Seed: 111})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(siteA.Close)
+	gwA, err := sitekit.NewGateway(siteA.Manifest(), siteA.Opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gwA.Close)
+
+	siteB, err := sitekit.Start(sitekit.Options{Name: "chaosB", Hosts: 2, Seed: 222})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(siteB.Close)
+	optsB := siteB.Opts
+	optsB.Faults = faults
+	optsB.StaleGrace = 10 * time.Minute
+	optsB.HarvestTimeout = 2 * time.Second
+	optsB.Breaker = core.BreakerOptions{Threshold: 2, Cooldown: 150 * time.Millisecond}
+	gwB, err := sitekit.NewGateway(siteB.Manifest(), optsB, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gwB.Close)
+
+	// Federate the two gateways over real HTTP through a GMA directory.
+	dir := gma.NewDirectory(time.Minute, nil)
+	srvA := httptest.NewServer(web.NewServer(gwA, nil, dir.Handler()))
+	defer srvA.Close()
+	srvB := httptest.NewServer(web.NewServer(gwB, nil, nil))
+	defer srvB.Close()
+	regB := gma.NewRegistrar(dir, gma.ProducerInfo{Site: "chaosB", Endpoint: srvB.URL,
+		Groups: glue.GroupNames()}, time.Minute)
+	if err := regB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer regB.Stop()
+	gwA.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, "chaosA"))
+	client := &web.Client{BaseURL: srvA.URL, Principal: admin}
+
+	req := core.Request{Principal: admin, SQL: "SELECT * FROM Processor", Mode: core.ModeCached}
+
+	// Phase 1 — clean pass primes site B's cache and history.
+	resp, err := gwB.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRows := resp.ResultSet.Len()
+	if cleanRows == 0 {
+		t.Fatalf("clean pass returned no rows: %+v", resp.Sources)
+	}
+
+	// Phase 2 — chaos: every driver call panics, erring and slow at once,
+	// and the cache is emptied so every query must walk the degradation
+	// ladder. Concurrent clients hammer the gateway while it burns.
+	faults.SetPanicEveryQuery(1)
+	faults.SetErrorEvery(2)
+	faults.SetQueryLatency(2 * time.Millisecond)
+	gwB.Cache().Clear()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := gwB.Query(req); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("query escalated during chaos: %v", err)
+	}
+
+	// Degraded rows were served from history (the cache was cleared), each
+	// annotated with its tier and the underlying failure.
+	resp, err = gwB.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultSet.Len() == 0 {
+		t.Errorf("no degraded rows during chaos: %+v", resp.Sources)
+	}
+	var degraded int
+	for _, s := range resp.Sources {
+		if s.Degraded != "" {
+			degraded++
+			if s.Err == "" {
+				t.Errorf("degraded source %s hides its failure", s.Source)
+			}
+			if s.Age <= 0 {
+				t.Errorf("degraded source %s has no age", s.Source)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Errorf("no source reported degraded: %+v", resp.Sources)
+	}
+	st := gwB.Stats()
+	if st.DriverPanics == 0 {
+		t.Error("no driver panic was recorded")
+	}
+	if st.StaleServes+st.HistoryFallbacks == 0 {
+		t.Error("no degraded serve was counted")
+	}
+
+	// The panic surfaced as an Alert event with a stack.
+	gwB.Events().Drain()
+	evs := gwB.Events().History(event.Filter{Name: "driver-panic"}, time.Time{})
+	if len(evs) == 0 {
+		t.Fatal("no driver-panic event published")
+	}
+	if evs[0].Severity != event.SeverityAlert || !strings.Contains(evs[0].Detail, "goroutine") {
+		t.Errorf("driver-panic event %+v", evs[0])
+	}
+
+	// A federated client keeps getting answers through the burning site.
+	remote, err := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+		Site: "chaosB", Mode: core.ModeCached})
+	if err != nil {
+		t.Fatalf("federated query failed during chaos: %v", err)
+	}
+	if remote.Site != "chaosB" || remote.ResultSet.Len() == 0 {
+		t.Errorf("federated degraded answer: site=%q rows=%d", remote.Site, remote.ResultSet.Len())
+	}
+
+	// Phase 3 — the faults clear; the prober (not client traffic) walks the
+	// open breakers through half-open back to closed.
+	faults.SetPanicEveryQuery(0)
+	faults.SetErrorEvery(0)
+	faults.SetQueryLatency(0)
+
+	prober := gwB.Prober()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		prober.ProbeAll(context.Background())
+		open := 0
+		for _, info := range gwB.Sources() {
+			if info.Breaker != "closed" {
+				open++
+			}
+		}
+		if open == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breakers never recovered: %+v", gwB.Sources())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, h := range prober.Snapshot() {
+		if h.State != "healthy" {
+			t.Errorf("source %s still %s after recovery", h.URL, h.State)
+		}
+	}
+
+	// Fresh real-time rows flow again.
+	resp, err = gwB.Query(core.Request{Principal: admin,
+		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ResultSet.Len() != cleanRows {
+		t.Errorf("post-recovery rows = %d, want %d: %+v",
+			resp.ResultSet.Len(), cleanRows, resp.Sources)
+	}
+	for _, s := range resp.Sources {
+		if s.Err != "" || s.Degraded != "" {
+			t.Errorf("post-recovery status %+v", s)
+		}
+	}
+
+	// Phase 4 — ordered shutdown: drains cleanly, then refuses new work.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gwB.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := gwB.Query(req); !errors.Is(err, core.ErrGatewayClosed) {
+		t.Errorf("post-shutdown query err = %v, want ErrGatewayClosed", err)
+	}
+}

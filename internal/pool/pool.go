@@ -126,7 +126,7 @@ func (c *Conn) Discard() {
 		return
 	}
 	c.mgr.closes.Add(1)
-	_ = c.Conn.Close()
+	_ = driver.SafeClose(c.Conn)
 }
 
 // Get returns a connection to the data source, reusing a pooled instance
@@ -216,11 +216,11 @@ func (m *Manager) ping(ctx context.Context, k string, conn driver.Conn) error {
 	discard := func(err error) error {
 		m.pingFailures.Add(1)
 		m.closes.Add(1)
-		_ = conn.Close()
+		_ = driver.SafeClose(conn)
 		return err
 	}
 	if ctx.Done() == nil {
-		if err := conn.Ping(); err != nil {
+		if err := driver.SafePing(conn); err != nil {
 			return discard(err)
 		}
 		return nil
@@ -230,7 +230,7 @@ func (m *Manager) ping(ctx context.Context, k string, conn driver.Conn) error {
 		return err
 	}
 	ch := make(chan error, 1)
-	go func() { ch <- conn.Ping() }()
+	go func() { ch <- driver.SafePing(conn) }()
 	select {
 	case err := <-ch:
 		if err != nil {
@@ -264,7 +264,7 @@ func (m *Manager) takeIdle(k string) (driver.Conn, bool) {
 func (m *Manager) put(k string, conn driver.Conn) {
 	if m.opts.Disabled {
 		m.closes.Add(1)
-		_ = conn.Close()
+		_ = driver.SafeClose(conn)
 		return
 	}
 	m.mu.Lock()
@@ -273,7 +273,7 @@ func (m *Manager) put(k string, conn driver.Conn) {
 		m.mu.Unlock()
 		m.evictions.Add(1)
 		m.closes.Add(1)
-		_ = conn.Close()
+		_ = driver.SafeClose(conn)
 		return
 	}
 	m.idle[k] = append(conns, idleConn{conn: conn, retired: m.opts.Clock()})
@@ -305,7 +305,7 @@ func (m *Manager) Reap() int {
 	for _, c := range victims {
 		m.evictions.Add(1)
 		m.closes.Add(1)
-		_ = c.Close()
+		_ = driver.SafeClose(c)
 	}
 	return len(victims)
 }
@@ -319,7 +319,7 @@ func (m *Manager) CloseAll() {
 	for _, conns := range all {
 		for _, ic := range conns {
 			m.closes.Add(1)
-			_ = ic.conn.Close()
+			_ = driver.SafeClose(ic.conn)
 		}
 	}
 }

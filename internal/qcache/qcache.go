@@ -24,6 +24,11 @@ type Options struct {
 	// MaxEntries bounds the cache; zero means 4096. Oldest entries are
 	// evicted first.
 	MaxEntries int
+	// StaleGrace keeps entries past their TTL for this additional window
+	// instead of purging them, so the gateway can serve stale-but-recent
+	// data when a source fails (GetStale). Zero disables the grace window
+	// and preserves the strict purge-at-TTL behaviour.
+	StaleGrace time.Duration
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -34,6 +39,9 @@ type Stats struct {
 	Misses    int64
 	Stale     int64
 	Evictions int64
+	// GraceHits counts GetStale calls satisfied by an entry (fresh or
+	// expired-within-grace).
+	GraceHits int64
 }
 
 // Entry describes one cached result for the tree view.
@@ -57,7 +65,7 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cached
 
-	hits, misses, stale, evictions atomic.Int64
+	hits, misses, stale, evictions, graceHits atomic.Int64
 }
 
 type cached struct {
@@ -71,6 +79,9 @@ type cached struct {
 func New(opts Options) *Cache {
 	if opts.TTL <= 0 {
 		opts.TTL = 2 * time.Second
+	}
+	if opts.StaleGrace < 0 {
+		opts.StaleGrace = 0
 	}
 	if opts.MaxEntries <= 0 {
 		opts.MaxEntries = 4096
@@ -90,7 +101,11 @@ func (c *Cache) Get(source, sql string) (*resultset.ResultSet, time.Time, bool) 
 	c.mu.Lock()
 	e, ok := c.entries[cacheKey(source, sql)]
 	if ok && now.Sub(e.cachedAt) > c.opts.TTL {
-		delete(c.entries, cacheKey(source, sql))
+		// Expired: a miss for freshness purposes, but the entry is kept
+		// for GetStale until it ages past TTL+StaleGrace.
+		if now.Sub(e.cachedAt) > c.opts.TTL+c.opts.StaleGrace {
+			delete(c.entries, cacheKey(source, sql))
+		}
 		c.mu.Unlock()
 		c.stale.Add(1)
 		c.misses.Add(1)
@@ -126,11 +141,31 @@ func (c *Cache) Put(source, sql string, rs *resultset.ResultSet) {
 	c.entries[k] = &cached{source: source, sql: sql, rs: rs.Clone(), cachedAt: now}
 }
 
-// purgeExpiredLocked drops every entry past its TTL, so dead entries never
-// force a fresh one out at capacity.
+// GetStale returns a cached result regardless of TTL expiry, provided the
+// entry is still within the TTL+StaleGrace retention horizon. It backs the
+// gateway's serve-stale-on-failure degradation tier and never competes with
+// Get for the hit/miss counters.
+func (c *Cache) GetStale(source, sql string) (*resultset.ResultSet, time.Time, bool) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	e, ok := c.entries[cacheKey(source, sql)]
+	if !ok || now.Sub(e.cachedAt) > c.opts.TTL+c.opts.StaleGrace {
+		c.mu.Unlock()
+		return nil, time.Time{}, false
+	}
+	rs, at := e.rs.Clone(), e.cachedAt
+	c.mu.Unlock()
+	c.graceHits.Add(1)
+	return rs, at, true
+}
+
+// purgeExpiredLocked drops every entry past its retention horizon
+// (TTL+StaleGrace), so dead entries never force a fresh one out at
+// capacity. With no grace window this is the strict purge-at-TTL of the
+// paper's recent-status cache.
 func (c *Cache) purgeExpiredLocked(now time.Time) {
 	for k, e := range c.entries {
-		if now.Sub(e.cachedAt) > c.opts.TTL {
+		if now.Sub(e.cachedAt) > c.opts.TTL+c.opts.StaleGrace {
 			delete(c.entries, k)
 			c.stale.Add(1)
 		}
@@ -214,8 +249,12 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Stale:     c.stale.Load(),
 		Evictions: c.evictions.Load(),
+		GraceHits: c.graceHits.Load(),
 	}
 }
 
 // TTL returns the configured freshness window.
 func (c *Cache) TTL() time.Duration { return c.opts.TTL }
+
+// StaleGrace returns the configured serve-stale grace window.
+func (c *Cache) StaleGrace() time.Duration { return c.opts.StaleGrace }

@@ -20,6 +20,7 @@ import (
 	"gridrm/internal/agents/snmp"
 	"gridrm/internal/core"
 	"gridrm/internal/driver"
+	"gridrm/internal/drivers/faultdrv"
 	"gridrm/internal/drivers/gangliadrv"
 	"gridrm/internal/drivers/gatewaydrv"
 	"gridrm/internal/drivers/histdrv"
@@ -27,6 +28,7 @@ import (
 	"gridrm/internal/drivers/nwsdrv"
 	"gridrm/internal/drivers/scmsdrv"
 	"gridrm/internal/drivers/snmpdrv"
+	"gridrm/internal/health"
 )
 
 // Options configures a simulated site.
@@ -62,6 +64,18 @@ type Options struct {
 	// DisableCoalescing turns off single-flight harvest coalescing (for
 	// ablations and benchmarks).
 	DisableCoalescing bool
+	// StaleGrace is how long past its TTL an expired cache entry remains
+	// servable as a degraded result (0 = core default, negative = off).
+	StaleGrace time.Duration
+	// ProbeInterval enables the background source health prober at this
+	// period (0 = no background probing).
+	ProbeInterval time.Duration
+	// Faults, when set, wraps every bundled driver in a faultdrv
+	// fault-injection layer sharing this knob set — the substrate for
+	// chaos testing and the gateway's -fault-* CLI flags. Drivers keep
+	// their own registration names, so schemas and static preferences
+	// are unaffected.
+	Faults *faultdrv.Faults
 }
 
 func (o *Options) fill() {
@@ -329,20 +343,33 @@ func portPart(addr string) int {
 // RegisterDrivers installs the full bundled driver set (the paper's initial
 // set of §3.2.3 plus the historical-store driver) into a gateway.
 func RegisterDrivers(gw *core.Gateway) error {
+	return registerDrivers(gw, nil)
+}
+
+// registerDrivers installs the bundled drivers, each wrapped in a
+// fault-injection layer (under its own name, so schemas still match) when
+// faults is non-nil.
+func registerDrivers(gw *core.Gateway, faults *faultdrv.Faults) error {
 	sm := gw.SchemaManager()
-	if err := gw.RegisterDriver(snmpdrv.New(sm), snmpdrv.Schema()); err != nil {
+	wrap := func(d driver.Driver) driver.Driver {
+		if faults == nil {
+			return d
+		}
+		return faultdrv.New(d.Name(), d, faults)
+	}
+	if err := gw.RegisterDriver(wrap(snmpdrv.New(sm)), snmpdrv.Schema()); err != nil {
 		return err
 	}
-	if err := gw.RegisterDriver(gangliadrv.New(sm), gangliadrv.Schema()); err != nil {
+	if err := gw.RegisterDriver(wrap(gangliadrv.New(sm)), gangliadrv.Schema()); err != nil {
 		return err
 	}
-	if err := gw.RegisterDriver(nwsdrv.New(sm), nwsdrv.Schema()); err != nil {
+	if err := gw.RegisterDriver(wrap(nwsdrv.New(sm)), nwsdrv.Schema()); err != nil {
 		return err
 	}
-	if err := gw.RegisterDriver(netloggerdrv.New(sm), netloggerdrv.Schema()); err != nil {
+	if err := gw.RegisterDriver(wrap(netloggerdrv.New(sm)), netloggerdrv.Schema()); err != nil {
 		return err
 	}
-	if err := gw.RegisterDriver(scmsdrv.New(sm), scmsdrv.Schema()); err != nil {
+	if err := gw.RegisterDriver(wrap(scmsdrv.New(sm)), scmsdrv.Schema()); err != nil {
 		return err
 	}
 	if err := gw.RegisterDriver(histdrv.New(gw.HistoryStore()), histdrv.Schema()); err != nil {
@@ -365,8 +392,10 @@ func NewGateway(m Manifest, opts Options, dynamic bool) (*core.Gateway, error) {
 		Breaker:               opts.Breaker,
 		MaxConcurrentHarvests: opts.MaxConcurrentHarvests,
 		DisableCoalescing:     opts.DisableCoalescing,
+		StaleGrace:            opts.StaleGrace,
+		Probe:                 health.Options{Interval: opts.ProbeInterval},
 	})
-	if err := RegisterDrivers(gw); err != nil {
+	if err := registerDrivers(gw, opts.Faults); err != nil {
 		gw.Close()
 		return nil, err
 	}

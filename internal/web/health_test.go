@@ -1,0 +1,31 @@
+package web
+
+import (
+	"context"
+	"testing"
+)
+
+func TestStatusCarriesSourceHealth(t *testing.T) {
+	f := newFixture(t, nil)
+	f.gw.Prober().ProbeAll(context.Background())
+
+	st, err := f.client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Health) != 1 {
+		t.Fatalf("health entries = %+v, want 1", st.Health)
+	}
+	h := st.Health[0]
+	if h.URL != f.url || h.State != "healthy" {
+		t.Errorf("health = %+v", h)
+	}
+	if st.Probes.Probes != 1 || st.Probes.Failures != 0 {
+		t.Errorf("probe stats = %+v", st.Probes)
+	}
+
+	// The degradation counters ride along even when zero.
+	if st.Gateway.StaleServes != 0 || st.Gateway.DriverPanics != 0 {
+		t.Errorf("unexpected degradation counters: %+v", st.Gateway)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"gridrm/internal/core"
 	"gridrm/internal/driver"
 	"gridrm/internal/event"
+	"gridrm/internal/health"
 	"gridrm/internal/metrics"
 	"gridrm/internal/qcache"
 	"gridrm/internal/schema"
@@ -388,6 +389,11 @@ type StatusReport struct {
 	// Stages summarises the per-stage query latency histogram (count and
 	// total seconds per stage); the full distribution is on GET /metrics.
 	Stages []metrics.HistogramSnapshot `json:"stages,omitempty"`
+	// Health is the prober's per-source state (empty until sources have
+	// been probed).
+	Health []health.SourceHealth `json:"health,omitempty"`
+	// Probes summarises prober activity.
+	Probes health.Stats `json:"probes"`
 }
 
 type poolStatsJSON struct {
@@ -413,6 +419,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Coarse: s.gw.CoarsePolicy().Stats(),
 		Fine:   s.gw.FinePolicy().Stats(),
 		Stages: s.gw.QueryStageLatencies(),
+		Health: s.gw.Prober().Snapshot(),
+		Probes: s.gw.Prober().Stats(),
 	})
 }
 
