@@ -6,36 +6,55 @@
 //	gridrm-gateway -manifest /tmp/siteA.json -listen 127.0.0.1:8080 \
 //	    -host-directory
 //	gridrm-gateway -manifest /tmp/siteB.json -listen 127.0.0.1:8081 \
-//	    -directory http://127.0.0.1:8080
+//	    -directory http://127.0.0.1:8080 -directory http://127.0.0.1:8090
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"gridrm/internal/core"
 	"gridrm/internal/drivers/faultdrv"
+	"gridrm/internal/event"
 	"gridrm/internal/glue"
 	"gridrm/internal/gma"
 	"gridrm/internal/sitekit"
 	"gridrm/internal/web"
 )
 
+// multiFlag collects a repeatable string flag (-directory may be given once
+// per replica).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty value")
+	}
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
+	var directories multiFlag
+	flag.Var(&directories, "directory",
+		"GMA directory base URL to register with (repeat for replicas)")
 	var (
-		name      = flag.String("name", "", "gateway site name (default: manifest's site)")
-		listen    = flag.String("listen", "127.0.0.1:8080", "servlet listen address")
-		manifest  = flag.String("manifest", "", "agent manifest file from gridrm-agents")
-		dynamic   = flag.Bool("dynamic", false, "omit driver preferences; locate drivers dynamically")
-		directory = flag.String("directory", "", "GMA directory base URL to register with")
-		hostDir   = flag.Bool("host-directory", false, "also host the GMA directory at /gma/")
-		refresh   = flag.Duration("refresh", 30*time.Second, "GMA registration refresh interval")
+		name     = flag.String("name", "", "gateway site name (default: manifest's site)")
+		listen   = flag.String("listen", "127.0.0.1:8080", "servlet listen address")
+		manifest = flag.String("manifest", "", "agent manifest file from gridrm-agents")
+		dynamic  = flag.Bool("dynamic", false, "omit driver preferences; locate drivers dynamically")
+		hostDir  = flag.Bool("host-directory", false, "also host the GMA directory at /gma/")
+		refresh  = flag.Duration("refresh", 30*time.Second, "GMA registration refresh interval")
 
 		harvestTimeout = flag.Duration("harvest-timeout", 0, "per-source harvest timeout (0 = default, negative = off)")
 		queryTimeout   = flag.Duration("query-timeout", 0, "whole-request deadline when the caller sets none (0 = default, negative = off)")
@@ -49,6 +68,12 @@ func main() {
 		staleGrace     = flag.Duration("stale-grace", 0, "how long expired cache entries remain servable as degraded results (0 = default 2m, negative = off)")
 		probeInterval  = flag.Duration("probe-interval", 15*time.Second, "background source health probe period (0 = off)")
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight queries on SIGTERM")
+
+		lookupTTL     = flag.Duration("lookup-ttl", 15*time.Second, "how long directory lookups are cached by the router (negative = off)")
+		remoteRetries = flag.Int("remote-retries", 1, "additional attempts for a failed remote-gateway query")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "hedge a straggling remote query after this long (0 = off)")
+		maxInFlight   = flag.Int("max-inflight", 0, "max concurrent /query+/poll requests before shedding with 429 (0 = unbounded)")
+		maxQueue      = flag.Int("max-queue", 0, "requests allowed to wait for an admission slot beyond -max-inflight")
 
 		faultErrEvery   = flag.Int("fault-error-every", 0, "chaos: fail every nth driver query (0 = off)")
 		faultPanicEvery = flag.Int("fault-panic-every", 0, "chaos: panic on every nth driver query (0 = off)")
@@ -105,23 +130,71 @@ func main() {
 		dirHandler = localDir.Handler()
 	}
 	server := web.NewServer(gw, nil, dirHandler)
+	server.SetAdmissionLimits(*maxInFlight, *maxQueue)
 
 	endpoint := "http://" + *listen
-	var dir gma.DirectoryService
-	switch {
-	case localDir != nil:
-		dir = localDir
-	case *directory != "":
-		dir = &gma.DirectoryClient{BaseURL: *directory, Timeout: *dirTimeout}
+
+	// Assemble the directory: the locally hosted one plus every -directory
+	// replica, federated behind a MultiDirectory when there is more than one
+	// so registration fans out and lookups fail over.
+	var replicas []gma.DirectoryService
+	if localDir != nil {
+		replicas = append(replicas, localDir)
 	}
+	for _, base := range directories {
+		replicas = append(replicas, &gma.DirectoryClient{BaseURL: base, Timeout: *dirTimeout})
+	}
+	var dir gma.DirectoryService
+	switch len(replicas) {
+	case 0:
+	case 1:
+		dir = replicas[0]
+	default:
+		dir = gma.NewMultiDirectory(replicas...)
+	}
+
 	var reg *gma.Registrar
 	if dir != nil {
-		router := gma.NewContextRouter(dir, web.RemoteQueryContext, m.Site)
+		router := gma.NewResilientRouter(dir, web.RemoteQueryContext, m.Site, gma.Config{
+			LookupTTL:     *lookupTTL,
+			RetryAttempts: *remoteRetries,
+			HedgeAfter:    *hedgeAfter,
+		})
+		router.RegisterMetrics(gw.Metrics())
 		gw.SetGlobalRouter(router)
 		server.SetSiteLister(router.Sites)
 		reg = gma.NewRegistrar(dir, gma.ProducerInfo{
 			Site: m.Site, Endpoint: endpoint, Groups: glue.GroupNames(),
 		}, *refresh)
+		// Directory reachability surfaces on the event bus (an Alert when
+		// registration starts failing, a Status on recovery) and as a gauge.
+		reg.SetStateListener(func(reachable bool, err error) {
+			if reachable {
+				gw.Events().Publish(event.Event{
+					Source: "gma", Name: "directory-reachable",
+					Severity: event.SeverityStatus, Time: time.Now(),
+					Detail: "directory registration succeeded",
+				})
+				log.Printf("gma: directory reachable, producer registered")
+				return
+			}
+			gw.Events().Publish(event.Event{
+				Source: "gma", Name: "directory-unreachable",
+				Severity: event.SeverityAlert, Time: time.Now(),
+				Detail: err.Error(),
+			})
+			log.Printf("gma: directory unreachable, retrying in background: %v", err)
+		})
+		gw.Metrics().GaugeFunc("gridrm_directory_reachable",
+			"1 when the last directory registration succeeded.",
+			func() float64 {
+				if reg.Registered() {
+					return 1
+				}
+				return 0
+			})
+		// Start fails only on invalid configuration; a directory outage is
+		// retried in the background so the gateway still serves local queries.
 		if err := reg.Start(); err != nil {
 			log.Fatalf("gridrm-gateway: GMA registration: %v", err)
 		}

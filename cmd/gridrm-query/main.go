@@ -60,7 +60,7 @@ func main() {
 
 	switch {
 	case *tree:
-		nodes, err := client.Tree()
+		nodes, err := client.TreeContext(ctx)
 		fail(err)
 		for _, n := range nodes {
 			health := "ok"
@@ -73,7 +73,7 @@ func main() {
 			}
 		}
 	case *status:
-		st, err := client.Status()
+		st, err := client.StatusContext(ctx)
 		fail(err)
 		fmt.Printf("site %s\n", st.Site)
 		fmt.Printf("  queries=%d errors=%d harvests=%d harvest-errors=%d cache-served=%d coalesced=%d routed=%d denied=%d\n",
@@ -100,6 +100,11 @@ func main() {
 			st.Drivers.Scans, st.Drivers.ScanProbes, st.Drivers.CacheHits, st.Drivers.Failovers)
 		fmt.Printf("  events: published=%d delivered=%d alerts=%d\n",
 			st.Events.Published, st.Events.Delivered, st.Events.Alerts)
+		if st.Admission != nil {
+			fmt.Printf("  admission: max-inflight=%d max-queue=%d inflight=%d queued=%d admitted=%d shed=%d\n",
+				st.Admission.MaxInFlight, st.Admission.MaxQueue, st.Admission.InFlight,
+				st.Admission.Queued, st.Admission.Admitted, st.Admission.Shed)
+		}
 		for _, stage := range st.Stages {
 			avg := time.Duration(0)
 			if stage.Count > 0 {
@@ -108,20 +113,20 @@ func main() {
 			fmt.Printf("  stage %-12s count=%-8d avg=%s\n", stage.Label, stage.Count, avg.Round(time.Microsecond))
 		}
 	case *events:
-		evs, err := client.Events(event.Filter{}, time.Time{})
+		evs, err := client.EventsContext(ctx, event.Filter{}, time.Time{})
 		fail(err)
 		for _, ev := range evs {
 			fmt.Printf("%s  %-8s %-24s host=%-16s value=%.2f  %s\n",
 				ev.Time.Format(time.RFC3339), ev.Severity, ev.Name, ev.Host, ev.Value, ev.Detail)
 		}
 	case *listSrc:
-		srcs, err := client.Sources()
+		srcs, err := client.SourcesContext(ctx)
 		fail(err)
 		for _, s := range srcs {
 			fmt.Printf("%-48s driver=%-16s breaker=%-9s %s\n", s.URL, s.LastDriver, s.Breaker, s.Description)
 		}
 	case *listDrv:
-		drvs, err := client.Drivers()
+		drvs, err := client.DriversContext(ctx)
 		fail(err)
 		for _, d := range drvs {
 			state := "available"
@@ -131,7 +136,7 @@ func main() {
 			fmt.Printf("%-18s %-10s v%-8s groups=%s\n", d.Name, state, d.Version, strings.Join(d.Groups, ","))
 		}
 	case *sites:
-		ss, err := client.Sites()
+		ss, err := client.SitesContext(ctx)
 		fail(err)
 		for _, s := range ss {
 			fmt.Println(s)
@@ -140,7 +145,7 @@ func main() {
 		if *group == "" {
 			log.Fatal("gridrm-query: -poll requires -group")
 		}
-		resp, err := client.Poll(*poll, *group)
+		resp, err := client.PollContext(ctx, *poll, *group)
 		fail(err)
 		printResponse(resp)
 	case *sql != "":

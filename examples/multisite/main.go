@@ -61,7 +61,13 @@ func deploySite(name string, hosts int, seed int64, dir gma.DirectoryService,
 	}
 	go func() { _ = d.server.Serve(ln) }()
 
-	router := gma.NewRouter(dir, web.RemoteQuery, name)
+	// The resilient router caches lookups (stale-served during a directory
+	// outage), breaks per remote endpoint, and hedges stragglers.
+	router := gma.NewResilientRouter(dir, web.RemoteQueryContext, name, gma.Config{
+		RetryAttempts: 1,
+		HedgeAfter:    500 * time.Millisecond,
+	})
+	router.RegisterMetrics(gw.Metrics())
 	gw.SetGlobalRouter(router)
 	srv.SetSiteLister(router.Sites)
 	d.reg = gma.NewRegistrar(dir, gma.ProducerInfo{

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"sync"
-	"time"
+	cb "gridrm/internal/breaker"
 )
 
 // BreakerOptions configures the per-source circuit breaker that sits in
@@ -10,113 +9,12 @@ import (
 // "open": harvests are skipped cheaply (status "circuit open") for Cooldown,
 // after which a single half-open probe is allowed through; a successful
 // probe closes the breaker, a failed one re-opens it for another Cooldown.
-type BreakerOptions struct {
-	// Threshold is how many consecutive harvest failures open the breaker
-	// (default 5; negative disables the breaker entirely).
-	Threshold int
-	// Cooldown is how long an open breaker rejects harvests before
-	// allowing a half-open probe (default 30s).
-	Cooldown time.Duration
-}
+//
+// The implementation lives in internal/breaker, shared with the gma
+// Router's per-remote-endpoint breakers.
+type BreakerOptions = cb.Options
 
-func (o BreakerOptions) fill() BreakerOptions {
-	if o.Threshold == 0 {
-		o.Threshold = 5
-	}
-	if o.Cooldown <= 0 {
-		o.Cooldown = 30 * time.Second
-	}
-	return o
-}
+// breaker is the shared circuit breaker specialised here to one source.
+type breaker = cb.Breaker
 
-// breakerState is the management-view name for a breaker's current state.
-type breakerState string
-
-const (
-	breakerClosed   breakerState = "closed"
-	breakerOpen     breakerState = "open"
-	breakerHalfOpen breakerState = "half-open"
-)
-
-// breaker is one source's circuit-breaker state. The zero value (with
-// opts filled) is a closed breaker.
-type breaker struct {
-	opts BreakerOptions
-
-	mu          sync.Mutex
-	consecutive int
-	openUntil   time.Time
-	probing     bool
-}
-
-func newBreaker(opts BreakerOptions) *breaker { return &breaker{opts: opts.fill()} }
-
-// disabled reports whether the breaker is configured off.
-func (b *breaker) disabled() bool { return b.opts.Threshold < 0 }
-
-// allow reports whether a harvest may proceed now. In the half-open state
-// exactly one caller wins the probe slot until onSuccess/onFailure resolves
-// it; concurrent callers are rejected as if the breaker were still open.
-func (b *breaker) allow(now time.Time) bool {
-	if b.disabled() {
-		return true
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.consecutive < b.opts.Threshold {
-		return true
-	}
-	if now.Before(b.openUntil) || b.probing {
-		return false
-	}
-	b.probing = true
-	return true
-}
-
-// onSuccess records a successful harvest: the breaker closes.
-func (b *breaker) onSuccess() {
-	if b.disabled() {
-		return
-	}
-	b.mu.Lock()
-	b.consecutive = 0
-	b.probing = false
-	b.mu.Unlock()
-}
-
-// onFailure records a failed harvest and reports whether this failure
-// transitioned the breaker from closed to open.
-func (b *breaker) onFailure(now time.Time) (opened bool) {
-	if b.disabled() {
-		return false
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	wasProbe := b.probing
-	b.probing = false
-	b.consecutive++
-	if b.consecutive < b.opts.Threshold {
-		return false
-	}
-	b.openUntil = now.Add(b.opts.Cooldown)
-	// Only the closed→open edge counts as an "open"; a failed half-open
-	// probe re-arms the cooldown without recounting.
-	return !wasProbe && b.consecutive == b.opts.Threshold
-}
-
-// state reports the breaker's state for the management view.
-func (b *breaker) state(now time.Time) breakerState {
-	if b.disabled() {
-		return breakerClosed
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch {
-	case b.consecutive < b.opts.Threshold:
-		return breakerClosed
-	case b.probing || !now.Before(b.openUntil):
-		return breakerHalfOpen
-	default:
-		return breakerOpen
-	}
-}
+func newBreaker(opts BreakerOptions) *breaker { return cb.New(opts) }

@@ -335,7 +335,7 @@ func New(cfg Config) *Gateway {
 		harvestTimeout: cfg.HarvestTimeout,
 		queryTimeout:   cfg.QueryTimeout,
 		retry:          cfg.Retry.fill(),
-		breakerOpts:    cfg.Breaker.fill(),
+		breakerOpts:    cfg.Breaker.Fill(),
 		coalesce:       !cfg.DisableCoalescing,
 		flights:        newFlightGroup(),
 		registry:       reg,
@@ -631,7 +631,7 @@ func (g *Gateway) Sources() []SourceInfo {
 	for url, s := range g.sources {
 		info := *s
 		if br := g.breakers[url]; br != nil {
-			info.Breaker = string(br.state(now))
+			info.Breaker = string(br.State(now))
 		}
 		if h, probed := g.prober.Health(url); probed {
 			info.Health = string(h.State)
@@ -656,7 +656,7 @@ func (g *Gateway) Source(url string) (SourceInfo, bool) {
 	}
 	info := *s
 	if br := g.breakers[url]; br != nil {
-		info.Breaker = string(br.state(now))
+		info.Breaker = string(br.State(now))
 	}
 	if h, probed := g.prober.Health(url); probed {
 		info.Health = string(h.State)
@@ -715,7 +715,7 @@ func (g *Gateway) ProbeSource(ctx context.Context, url string) error {
 	if !ok {
 		return fmt.Errorf("core: source %s not registered", url)
 	}
-	if br := g.breaker(url); br != nil && !br.allow(g.clock()) {
+	if br := g.breaker(url); br != nil && !br.Allow(g.clock()) {
 		return health.ErrSkipped
 	}
 	conn, err := g.pool.GetContext(ctx, url, props)
@@ -809,7 +809,7 @@ func (g *Gateway) noteSuccess(url, driverName string, at time.Time) {
 	}
 	g.mu.Unlock()
 	if br != nil {
-		br.onSuccess()
+		br.OnSuccess()
 	}
 }
 
@@ -841,7 +841,7 @@ func (g *Gateway) noteFailure(url string, err error, at time.Time) {
 		Time:     at,
 		Detail:   err.Error(),
 	})
-	if br != nil && br.onFailure(at) {
+	if br != nil && br.OnFailure(at) {
 		g.breakerOpens.Add(1)
 		g.events.Publish(event.Event{
 			Source:   url,

@@ -442,7 +442,7 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 		}
 	}
 
-	if br := g.breaker(url); br != nil && !br.allow(g.clock()) {
+	if br := g.breaker(url); br != nil && !br.Allow(g.clock()) {
 		g.breakerSkipped.Add(1)
 		status.Err = ErrCircuitOpen
 		return status, g.degradedResult(req.Mode, url, hsql, group, &status)

@@ -17,11 +17,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
-
-	"gridrm/internal/core"
 )
 
 // ProducerInfo is one gateway's registration record.
@@ -278,9 +277,21 @@ func (c *DirectoryClient) RegisterContext(ctx context.Context, p ProducerInfo) e
 	return nil
 }
 
+// maxDirectoryBody bounds how much of a directory response the client will
+// read before JSON decoding — a misbehaving (or impersonated) directory
+// cannot make a gateway buffer an unbounded body.
+const maxDirectoryBody = 1 << 20
+
 // Deregister implements DirectoryService.
 func (c *DirectoryClient) Deregister(site string) error {
-	resp, err := c.roundTrip(context.Background(), http.MethodDelete, "/gma/register?site="+site, nil)
+	return c.DeregisterContext(context.Background(), site)
+}
+
+// DeregisterContext is Deregister bounded by ctx. The site name is
+// query-escaped: sites with spaces or '&' deregister their own key, not a
+// truncated one.
+func (c *DirectoryClient) DeregisterContext(ctx context.Context, site string) error {
+	resp, err := c.roundTrip(ctx, http.MethodDelete, "/gma/register?site="+url.QueryEscape(site), nil)
 	if err != nil {
 		return err
 	}
@@ -299,7 +310,7 @@ func (c *DirectoryClient) Lookup(site string) (ProducerInfo, bool, error) {
 // LookupContext implements ContextDirectory: the lookup request is
 // cancelled when ctx expires.
 func (c *DirectoryClient) LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error) {
-	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/lookup?site="+site, nil)
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/lookup?site="+url.QueryEscape(site), nil)
 	if err != nil {
 		return ProducerInfo{}, false, err
 	}
@@ -311,7 +322,7 @@ func (c *DirectoryClient) LookupContext(ctx context.Context, site string) (Produ
 		return ProducerInfo{}, false, fmt.Errorf("gma: lookup failed: %s", resp.Status)
 	}
 	var p ProducerInfo
-	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxDirectoryBody)).Decode(&p); err != nil {
 		return ProducerInfo{}, false, err
 	}
 	return p, true, nil
@@ -319,7 +330,12 @@ func (c *DirectoryClient) LookupContext(ctx context.Context, site string) (Produ
 
 // Sites implements DirectoryService.
 func (c *DirectoryClient) Sites() ([]string, error) {
-	resp, err := c.roundTrip(context.Background(), http.MethodGet, "/gma/sites", nil)
+	return c.SitesContext(context.Background())
+}
+
+// SitesContext is Sites bounded by ctx.
+func (c *DirectoryClient) SitesContext(ctx context.Context) ([]string, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/sites", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -328,165 +344,26 @@ func (c *DirectoryClient) Sites() ([]string, error) {
 		return nil, fmt.Errorf("gma: sites failed: %s", resp.Status)
 	}
 	var out []string
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxDirectoryBody)).Decode(&out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Registrar keeps one gateway's producer record fresh in a directory.
-type Registrar struct {
-	dir      DirectoryService
-	info     ProducerInfo
-	interval time.Duration
-	stop     chan struct{}
-	done     chan struct{}
-	mu       sync.Mutex
-	started  bool
-}
-
-// NewRegistrar creates a registrar that re-registers info every interval.
-func NewRegistrar(dir DirectoryService, info ProducerInfo, interval time.Duration) *Registrar {
-	if interval <= 0 {
-		interval = 30 * time.Second
-	}
-	return &Registrar{dir: dir, info: info, interval: interval,
-		stop: make(chan struct{}), done: make(chan struct{})}
-}
-
-// Start registers immediately and then keeps the record fresh until Stop.
-func (r *Registrar) Start() error {
-	if err := r.dir.Register(r.info); err != nil {
-		return err
-	}
-	r.mu.Lock()
-	if r.started {
-		r.mu.Unlock()
-		return nil
-	}
-	r.started = true
-	r.mu.Unlock()
-	go func() {
-		defer close(r.done)
-		t := time.NewTicker(r.interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-t.C:
-				_ = r.dir.Register(r.info)
-			case <-r.stop:
-				return
-			}
-		}
-	}()
-	return nil
-}
-
-// Stop halts refreshing and deregisters the producer.
-func (r *Registrar) Stop() {
-	r.mu.Lock()
-	started := r.started
-	r.started = false
-	r.mu.Unlock()
-	if !started {
-		return
-	}
-	close(r.stop)
-	<-r.done
-	_ = r.dir.Deregister(r.info.Site)
-}
-
-// Exec forwards a query to a remote gateway endpoint; internal/web's
-// RemoteQuery is the HTTP implementation.
-type Exec func(endpoint string, req core.Request) (*core.Response, error)
-
-// ExecContext forwards a query to a remote gateway endpoint, bounded by ctx;
-// internal/web's RemoteQueryContext is the HTTP implementation.
-type ExecContext func(ctx context.Context, endpoint string, req core.Request) (*core.Response, error)
-
 // ContextDirectory is implemented by directories whose lookups can be
-// cancelled; DirectoryClient implements it.
+// cancelled; DirectoryClient and MultiDirectory implement it.
 type ContextDirectory interface {
 	LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error)
 }
 
-// Router routes remote-site queries via the GMA directory; it implements
-// core.GlobalRouter and core.ContextRouter.
-type Router struct {
-	dir     DirectoryService
-	exec    Exec
-	execCtx ExecContext
-	// local is the local site name, excluded from Sites().
-	local string
+// ContextDeregisterer is implemented by directories whose deregistrations
+// can be bounded by a context; the Registrar uses it so shutdown-time
+// deregistration cannot hang the gateway.
+type ContextDeregisterer interface {
+	DeregisterContext(ctx context.Context, site string) error
 }
 
-// NewRouter creates a Router for the gateway named local.
-func NewRouter(dir DirectoryService, exec Exec, local string) *Router {
-	return &Router{dir: dir, exec: exec, local: local}
-}
-
-// NewContextRouter creates a Router whose remote queries honour contexts
-// end-to-end: the directory lookup (when dir implements ContextDirectory)
-// and the forwarded query are both cancelled at the caller's deadline.
-func NewContextRouter(dir DirectoryService, exec ExecContext, local string) *Router {
-	return &Router{dir: dir, execCtx: exec, local: local}
-}
-
-// RemoteQuery implements core.GlobalRouter.
-func (r *Router) RemoteQuery(site string, req core.Request) (*core.Response, error) {
-	return r.RemoteQueryContext(context.Background(), site, req)
-}
-
-// RemoteQueryContext implements core.ContextRouter. With a Router built by
-// NewRouter the directory lookup and forwarded query run context-free (the
-// underlying Exec cannot be cancelled); NewContextRouter threads ctx through
-// both legs.
-func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.Request) (*core.Response, error) {
-	var (
-		p   ProducerInfo
-		ok  bool
-		err error
-	)
-	if cd, isCtx := r.dir.(ContextDirectory); isCtx {
-		p, ok, err = cd.LookupContext(ctx, site)
-	} else {
-		p, ok, err = r.dir.Lookup(site)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("gma: directory lookup for %q: %w", site, err)
-	}
-	if !ok {
-		return nil, fmt.Errorf("gma: no producer registered for site %q", site)
-	}
-	var resp *core.Response
-	if r.execCtx != nil {
-		resp, err = r.execCtx(ctx, p.Endpoint, req)
-	} else {
-		resp, err = r.exec(p.Endpoint, req)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("gma: remote query to %s (%s): %w", site, p.Endpoint, err)
-	}
-	return resp, nil
-}
-
-// Sites implements core.GlobalRouter.
-func (r *Router) Sites() []string {
-	sites, err := r.dir.Sites()
-	if err != nil {
-		return nil
-	}
-	out := sites[:0]
-	for _, s := range sites {
-		if s != r.local {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-var _ core.GlobalRouter = (*Router)(nil)
-var _ core.ContextRouter = (*Router)(nil)
 var _ DirectoryService = (*Directory)(nil)
 var _ DirectoryService = (*DirectoryClient)(nil)
 var _ ContextDirectory = (*DirectoryClient)(nil)
+var _ ContextDeregisterer = (*DirectoryClient)(nil)

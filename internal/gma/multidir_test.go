@@ -1,0 +1,188 @@
+package gma
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// flakyDir wraps an in-process Directory with a switchable failure mode, so
+// tests can simulate a replica outage.
+type flakyDir struct {
+	*Directory
+	mu   sync.Mutex
+	down bool
+}
+
+func newFlakyDir() *flakyDir { return &flakyDir{Directory: NewDirectory(0, nil)} }
+
+func (f *flakyDir) setDown(down bool) {
+	f.mu.Lock()
+	f.down = down
+	f.mu.Unlock()
+}
+
+func (f *flakyDir) err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return fmt.Errorf("replica down")
+	}
+	return nil
+}
+
+func (f *flakyDir) Register(p ProducerInfo) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	return f.Directory.Register(p)
+}
+
+func (f *flakyDir) Deregister(site string) error {
+	if err := f.err(); err != nil {
+		return err
+	}
+	return f.Directory.Deregister(site)
+}
+
+func (f *flakyDir) Lookup(site string) (ProducerInfo, bool, error) {
+	if err := f.err(); err != nil {
+		return ProducerInfo{}, false, err
+	}
+	return f.Directory.Lookup(site)
+}
+
+func (f *flakyDir) Sites() ([]string, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	return f.Directory.Sites()
+}
+
+func TestMultiDirectoryRegisterFansOut(t *testing.T) {
+	d1, d2 := newFlakyDir(), newFlakyDir()
+	md := NewMultiDirectory(d1, d2)
+	if err := md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []*flakyDir{d1, d2} {
+		if _, ok, _ := d.Directory.Lookup("A"); !ok {
+			t.Errorf("replica %d missing the registration", i)
+		}
+	}
+}
+
+func TestMultiDirectoryRegisterPartialOutage(t *testing.T) {
+	d1, d2 := newFlakyDir(), newFlakyDir()
+	d1.setDown(true)
+	md := NewMultiDirectory(d1, d2)
+	if err := md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+		t.Fatalf("register with one live replica: %v", err)
+	}
+	d2.setDown(true)
+	err := md.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	if err == nil || !strings.Contains(err.Error(), "every replica") {
+		t.Errorf("register with all replicas down = %v", err)
+	}
+}
+
+func TestMultiDirectoryLookupFailsOver(t *testing.T) {
+	d1, d2 := newFlakyDir(), newFlakyDir()
+	md := NewMultiDirectory(d1, d2)
+	if err := md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+		t.Fatal(err)
+	}
+	d1.setDown(true)
+	p, ok, err := md.Lookup("A")
+	if err != nil || !ok || p.Endpoint != "http://a" {
+		t.Fatalf("failover lookup = %+v, %v, %v", p, ok, err)
+	}
+	// A replica that answers "not found" does not end the search: drop the
+	// record from d2 only, revive d1, and the search must continue to d1.
+	d1.setDown(false)
+	_ = d2.Directory.Deregister("A")
+	if _, ok, err := md.Lookup("A"); err != nil || !ok {
+		t.Errorf("lookup past a not-found replica = %v, %v", ok, err)
+	}
+	d1.setDown(true)
+	d2.setDown(true)
+	if _, _, err := md.Lookup("A"); err == nil {
+		t.Error("lookup with all replicas down succeeded")
+	}
+}
+
+func TestMultiDirectoryHealthRanking(t *testing.T) {
+	d1, d2 := newFlakyDir(), newFlakyDir()
+	md := NewMultiDirectory(d1, d2)
+	_ = md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	d1.setDown(true)
+	// First lookup hits d1 (fails, failover to d2); after that d2 ranks
+	// first and d1 is no longer consulted, so its failure count stays put.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := md.Lookup("A"); err != nil || !ok {
+			t.Fatalf("lookup %d: %v, %v", i, ok, err)
+		}
+	}
+	hs := md.ReplicaHealth()
+	if len(hs) != 2 {
+		t.Fatalf("health entries = %d", len(hs))
+	}
+	if hs[0].Healthy || hs[0].ConsecutiveFailures != 1 || hs[0].LastError == "" {
+		t.Errorf("failing replica health = %+v", hs[0])
+	}
+	if !hs[1].Healthy || hs[1].LastOK.IsZero() {
+		t.Errorf("healthy replica health = %+v", hs[1])
+	}
+	// The healthy replica is now ranked first.
+	if ranked := md.ranked(); ranked[0].name != "replica-1" {
+		t.Errorf("ranked first = %s, want replica-1", ranked[0].name)
+	}
+	// Recovery resets the failure count.
+	d1.setDown(false)
+	_, _, _ = md.Lookup("A")
+	// d2 is tried first now; make it fail once so d1 gets exercised too.
+	d2.setDown(true)
+	_, _, _ = md.Lookup("A")
+	if hs := md.ReplicaHealth(); !hs[0].Healthy {
+		t.Errorf("recovered replica still unhealthy: %+v", hs[0])
+	}
+}
+
+func TestMultiDirectorySitesFailsOver(t *testing.T) {
+	d1, d2 := newFlakyDir(), newFlakyDir()
+	md := NewMultiDirectory(d1, d2)
+	_ = md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	d1.setDown(true)
+	sites, err := md.Sites()
+	if err != nil || len(sites) != 1 || sites[0] != "A" {
+		t.Errorf("failover Sites = %v, %v", sites, err)
+	}
+	d2.setDown(true)
+	if _, err := md.Sites(); err == nil {
+		t.Error("Sites with all replicas down succeeded")
+	}
+}
+
+func TestMultiDirectoryDeregisterFansOut(t *testing.T) {
+	d1, d2 := newFlakyDir(), newFlakyDir()
+	md := NewMultiDirectory(d1, d2)
+	_ = md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	if err := md.Deregister("A"); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []*flakyDir{d1, d2} {
+		if _, ok, _ := d.Directory.Lookup("A"); ok {
+			t.Errorf("replica %d still holds the record", i)
+		}
+	}
+}
+
+func TestMultiDirectoryNeedsReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty MultiDirectory did not panic")
+		}
+	}()
+	NewMultiDirectory()
+}

@@ -1,0 +1,193 @@
+package gma
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// deregisterTimeout bounds the best-effort deregistration performed by
+// Registrar.Stop, so shutdown cannot hang on an unreachable directory.
+const deregisterTimeout = 3 * time.Second
+
+// RegistrarStats counts a Registrar's directory traffic.
+type RegistrarStats struct {
+	// Registrations counts successful Register calls.
+	Registrations int64
+	// Failures counts Register calls that failed.
+	Failures int64
+}
+
+// Registrar keeps one gateway's producer record fresh in a directory.
+//
+// Start never fails for a transient directory outage: the initial
+// registration is attempted synchronously, and on failure the background
+// loop keeps retrying with jittered exponential backoff until the directory
+// answers — a gateway boots and serves local queries even when its
+// directory is down. Re-registration failures flip the registrar into the
+// unreachable state (observable via Registered and the state listener);
+// the next success flips it back. Stop→Start restart is supported.
+type Registrar struct {
+	dir      DirectoryService
+	info     ProducerInfo
+	interval time.Duration
+	onState  func(reachable bool, err error)
+
+	mu      sync.Mutex
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	// notifyMu serialises state-listener callbacks and guards the edge
+	// detection, so flips are reported exactly once and in order.
+	notifyMu      sync.Mutex
+	reported      bool
+	reportedOK    bool
+	registered    atomic.Bool
+	registrations atomic.Int64
+	failures      atomic.Int64
+}
+
+// NewRegistrar creates a registrar that re-registers info every interval.
+func NewRegistrar(dir DirectoryService, info ProducerInfo, interval time.Duration) *Registrar {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	return &Registrar{dir: dir, info: info, interval: interval}
+}
+
+// SetStateListener installs a callback invoked whenever directory
+// reachability flips (and once with the initial outcome): reachable=false
+// with the failing error when registration starts failing, reachable=true
+// when it recovers. Callbacks are serialised; they must not call back into
+// the Registrar. Call before Start.
+func (r *Registrar) SetStateListener(fn func(reachable bool, err error)) {
+	r.onState = fn
+}
+
+// Registered reports whether the producer record is currently registered
+// (the last Register call succeeded). Backs the directory-reachable gauge.
+func (r *Registrar) Registered() bool { return r.registered.Load() }
+
+// Stats returns the registrar's counters.
+func (r *Registrar) Stats() RegistrarStats {
+	return RegistrarStats{
+		Registrations: r.registrations.Load(),
+		Failures:      r.failures.Load(),
+	}
+}
+
+// register performs one Register call and reports reachability flips (and
+// the very first outcome) to the state listener.
+func (r *Registrar) register() error {
+	err := r.dir.Register(r.info)
+	ok := err == nil
+	if ok {
+		r.registrations.Add(1)
+	} else {
+		r.failures.Add(1)
+	}
+	r.registered.Store(ok)
+	r.notifyMu.Lock()
+	flip := !r.reported || r.reportedOK != ok
+	r.reported, r.reportedOK = true, ok
+	if flip && r.onState != nil {
+		// Called under notifyMu so flips arrive in order; listeners must
+		// not call back into the Registrar.
+		r.onState(ok, err)
+	}
+	r.notifyMu.Unlock()
+	return err
+}
+
+// backoff returns the jittered exponential retry delay for one failed
+// attempt: base doubling per attempt, capped at the refresh interval, with
+// ±50% jitter so a directory restart is not met by a thundering herd.
+func (r *Registrar) backoff(attempt int) time.Duration {
+	base := r.interval / 8
+	if base < 10*time.Millisecond {
+		base = 10 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > r.interval || d <= 0 {
+		d = r.interval
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Start begins keeping the record fresh until Stop. It returns an error
+// only for invalid configuration (missing site or endpoint) — a directory
+// that is down does not fail Start; registration is retried in the
+// background with jittered exponential backoff until it lands.
+func (r *Registrar) Start() error {
+	if r.info.Site == "" || r.info.Endpoint == "" {
+		return fmt.Errorf("gma: producer needs site and endpoint")
+	}
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return nil
+	}
+	r.started = true
+	// Fresh channels per Start: a restarted registrar must not observe the
+	// previous run's closed stop channel.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.stop, r.done = stop, done
+	r.mu.Unlock()
+
+	// First attempt runs synchronously so a healthy directory sees the
+	// record the moment Start returns; a failure only schedules retries.
+	initialErr := r.register()
+
+	go func() {
+		defer close(done)
+		retrying := initialErr != nil
+		attempt := 0
+		for {
+			var wait time.Duration
+			if retrying {
+				wait = r.backoff(attempt)
+				attempt++
+			} else {
+				wait = r.interval
+				attempt = 0
+			}
+			select {
+			case <-time.After(wait):
+			case <-stop:
+				return
+			}
+			retrying = r.register() != nil
+		}
+	}()
+	return nil
+}
+
+// Stop halts refreshing and deregisters the producer, best-effort and
+// bounded: an unreachable directory cannot hang shutdown. The registrar can
+// be started again afterwards.
+func (r *Registrar) Stop() {
+	r.mu.Lock()
+	started := r.started
+	r.started = false
+	stop, done := r.stop, r.done
+	r.mu.Unlock()
+	if !started {
+		return
+	}
+	close(stop)
+	<-done
+	r.registered.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), deregisterTimeout)
+	defer cancel()
+	if cd, ok := r.dir.(ContextDeregisterer); ok {
+		_ = cd.DeregisterContext(ctx, r.info.Site)
+	} else {
+		_ = r.dir.Deregister(r.info.Site)
+	}
+}

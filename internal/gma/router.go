@@ -1,0 +1,449 @@
+package gma
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/breaker"
+	"gridrm/internal/core"
+	"gridrm/internal/metrics"
+)
+
+// Exec forwards a query to a remote gateway endpoint; internal/web's
+// RemoteQuery is the HTTP implementation.
+type Exec func(endpoint string, req core.Request) (*core.Response, error)
+
+// ExecContext forwards a query to a remote gateway endpoint, bounded by ctx;
+// internal/web's RemoteQueryContext is the HTTP implementation.
+type ExecContext func(ctx context.Context, endpoint string, req core.Request) (*core.Response, error)
+
+// Config configures the Router's resilience features. The zero value (used
+// by NewRouter and NewContextRouter) keeps the seed behaviour: no lookup
+// cache, no per-endpoint breaker, no retries, no hedging.
+type Config struct {
+	// LookupTTL is how long a directory lookup (and the remote-sites list)
+	// is served from the router's cache without consulting the directory.
+	// Expired entries are still kept and served stale when every directory
+	// replica is unreachable — the Global-layer analogue of the local
+	// stale-cache degradation tier (0 disables caching entirely).
+	LookupTTL time.Duration
+	// Breaker configures the per-remote-endpoint circuit breaker
+	// (Threshold 0 = breaker defaults; negative disables).
+	Breaker breaker.Options
+	// RetryAttempts is how many additional attempts a failed remote query
+	// gets, with exponential backoff, while the caller's ctx allows.
+	RetryAttempts int
+	// RetryBackoff is the wait before the first retry, doubled per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// HedgeAfter launches a second identical remote query when the first
+	// has not answered after this long; the first response wins and the
+	// loser is cancelled (0 disables hedging). Requires an ExecContext.
+	HedgeAfter time.Duration
+	// Clock is injectable for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+// Stats counts Router activity.
+type Stats struct {
+	// RemoteQueries counts remote queries attempted (before retries).
+	RemoteQueries int64
+	// RemoteFailures counts remote queries that failed after all retries.
+	RemoteFailures int64
+	// RemoteRetries counts retry attempts performed.
+	RemoteRetries int64
+	// RemoteBreakerOpens counts closed-to-open transitions of per-endpoint
+	// breakers.
+	RemoteBreakerOpens int64
+	// RemoteBreakerSkipped counts remote queries rejected cheaply because
+	// the endpoint's breaker was open.
+	RemoteBreakerSkipped int64
+	// Hedges counts hedge requests launched for straggling remote queries.
+	Hedges int64
+	// HedgeWins counts hedge requests that answered before the original.
+	HedgeWins int64
+	// LookupCacheHits counts directory lookups served fresh from the cache.
+	LookupCacheHits int64
+	// StaleLookups counts lookups (and site lists) served from an expired
+	// cache entry because the directory was unreachable.
+	StaleLookups int64
+}
+
+// cachedLookup is one site's cached producer record.
+type cachedLookup struct {
+	p  ProducerInfo
+	at time.Time
+}
+
+// Router routes remote-site queries via the GMA directory; it implements
+// core.GlobalRouter and core.ContextRouter. Built with NewResilientRouter
+// it adds a TTL'd lookup cache with stale-on-error semantics, a circuit
+// breaker per remote endpoint, retries with backoff, and optional hedging
+// of straggling remote queries.
+type Router struct {
+	dir     DirectoryService
+	exec    Exec
+	execCtx ExecContext
+	// local is the local site name, excluded from Sites().
+	local string
+	cfg   Config
+	clock func() time.Time
+
+	mu       sync.Mutex
+	lookups  map[string]cachedLookup // by site
+	sites    []string                // last known remote-sites list
+	sitesAt  time.Time
+	breakers map[string]*breaker.Breaker // by endpoint
+
+	remoteQueries, remoteFailures, remoteRetries atomic.Int64
+	breakerOpens, breakerSkipped                 atomic.Int64
+	hedges, hedgeWins                            atomic.Int64
+	lookupHits, staleLookups                     atomic.Int64
+}
+
+// NewRouter creates a plain Router for the gateway named local; remote
+// queries run context-free and without resilience features.
+func NewRouter(dir DirectoryService, exec Exec, local string) *Router {
+	return newRouter(dir, exec, nil, local, Config{})
+}
+
+// NewContextRouter creates a Router whose remote queries honour contexts
+// end-to-end: the directory lookup (when dir implements ContextDirectory)
+// and the forwarded query are both cancelled at the caller's deadline.
+func NewContextRouter(dir DirectoryService, exec ExecContext, local string) *Router {
+	return newRouter(dir, nil, exec, local, Config{})
+}
+
+// NewResilientRouter creates a context-threading Router with the federation
+// resilience layer enabled: cfg.LookupTTL defaults to 15s, cfg.Breaker to
+// the shared breaker defaults (5 failures / 30s cooldown).
+func NewResilientRouter(dir DirectoryService, exec ExecContext, local string, cfg Config) *Router {
+	if cfg.LookupTTL == 0 {
+		cfg.LookupTTL = 15 * time.Second
+	}
+	if cfg.LookupTTL < 0 {
+		cfg.LookupTTL = 0
+	}
+	cfg.Breaker = cfg.Breaker.Fill()
+	if cfg.RetryAttempts < 0 {
+		cfg.RetryAttempts = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	return newRouter(dir, nil, exec, local, cfg)
+}
+
+func newRouter(dir DirectoryService, exec Exec, execCtx ExecContext, local string, cfg Config) *Router {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Router{
+		dir: dir, exec: exec, execCtx: execCtx, local: local, cfg: cfg, clock: clock,
+		lookups:  make(map[string]cachedLookup),
+		breakers: make(map[string]*breaker.Breaker),
+	}
+}
+
+// Stats returns the router's counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		RemoteQueries:        r.remoteQueries.Load(),
+		RemoteFailures:       r.remoteFailures.Load(),
+		RemoteRetries:        r.remoteRetries.Load(),
+		RemoteBreakerOpens:   r.breakerOpens.Load(),
+		RemoteBreakerSkipped: r.breakerSkipped.Load(),
+		Hedges:               r.hedges.Load(),
+		HedgeWins:            r.hedgeWins.Load(),
+		LookupCacheHits:      r.lookupHits.Load(),
+		StaleLookups:         r.staleLookups.Load(),
+	}
+}
+
+// RegisterMetrics exports the router's counters — and, when the directory
+// is a MultiDirectory, replica health gauges — into a metrics registry
+// (typically the gateway's, so they appear on GET /metrics).
+func (r *Router) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("gridrm_remote_queries_total", "Remote gateway queries attempted.", r.remoteQueries.Load)
+	reg.CounterFunc("gridrm_remote_failures_total", "Remote gateway queries that failed after retries.", r.remoteFailures.Load)
+	reg.CounterFunc("gridrm_remote_retries_total", "Remote query retry attempts performed.", r.remoteRetries.Load)
+	reg.CounterFunc("gridrm_remote_breaker_opens_total", "Per-endpoint breaker closed-to-open transitions.", r.breakerOpens.Load)
+	reg.CounterFunc("gridrm_remote_breaker_skipped_total", "Remote queries rejected because the endpoint breaker was open.", r.breakerSkipped.Load)
+	reg.CounterFunc("gridrm_remote_hedges_total", "Hedge requests launched for straggling remote queries.", r.hedges.Load)
+	reg.CounterFunc("gridrm_remote_hedge_wins_total", "Hedge requests that answered before the original.", r.hedgeWins.Load)
+	reg.CounterFunc("gridrm_lookup_cache_hits_total", "Directory lookups served fresh from the router cache.", r.lookupHits.Load)
+	reg.CounterFunc("gridrm_stale_lookups_total", "Lookups served from an expired cache entry during a directory outage.", r.staleLookups.Load)
+	if md, ok := r.dir.(*MultiDirectory); ok {
+		reg.GaugeFunc("gridrm_directory_replicas_healthy", "Directory replicas whose last operation succeeded.",
+			func() float64 {
+				n := 0
+				for _, h := range md.ReplicaHealth() {
+					if h.Healthy {
+						n++
+					}
+				}
+				return float64(n)
+			})
+		reg.GaugeFunc("gridrm_directory_replicas", "Directory replicas configured.",
+			func() float64 { return float64(len(md.ReplicaHealth())) })
+	}
+}
+
+// endpointBreaker returns the breaker guarding one remote endpoint,
+// creating it on first use (nil when breakers are not configured).
+func (r *Router) endpointBreaker(endpoint string) *breaker.Breaker {
+	if r.cfg.Breaker.Threshold == 0 { // zero Config: breakers off
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	br, ok := r.breakers[endpoint]
+	if !ok {
+		br = breaker.New(r.cfg.Breaker)
+		r.breakers[endpoint] = br
+	}
+	return br
+}
+
+// EndpointBreakerState reports one endpoint's breaker state ("closed" when
+// breakers are not configured), for tests and the management view.
+func (r *Router) EndpointBreakerState(endpoint string) string {
+	br := r.endpointBreaker(endpoint)
+	if br == nil {
+		return string(breaker.Closed)
+	}
+	return string(br.State(r.clock()))
+}
+
+// lookup resolves a site to its producer record: fresh cache entry first,
+// then the directory, falling back to a stale cache entry when every
+// directory replica is unreachable.
+func (r *Router) lookup(ctx context.Context, site string) (ProducerInfo, error) {
+	now := r.clock()
+	caching := r.cfg.LookupTTL > 0
+	if caching {
+		r.mu.Lock()
+		c, ok := r.lookups[site]
+		r.mu.Unlock()
+		if ok && now.Sub(c.at) <= r.cfg.LookupTTL {
+			r.lookupHits.Add(1)
+			return c.p, nil
+		}
+	}
+	var (
+		p   ProducerInfo
+		ok  bool
+		err error
+	)
+	if cd, isCtx := r.dir.(ContextDirectory); isCtx {
+		p, ok, err = cd.LookupContext(ctx, site)
+	} else {
+		p, ok, err = r.dir.Lookup(site)
+	}
+	if err != nil {
+		if caching {
+			// Stale-on-error: a warm entry outlives a full directory
+			// outage, like the local layer's stale-cache degradation tier.
+			r.mu.Lock()
+			c, cached := r.lookups[site]
+			r.mu.Unlock()
+			if cached {
+				r.staleLookups.Add(1)
+				return c.p, nil
+			}
+		}
+		return ProducerInfo{}, fmt.Errorf("gma: directory lookup for %q: %w", site, err)
+	}
+	if !ok {
+		// Authoritative not-found: drop any stale record so a deregistered
+		// site stops being routable at the next TTL boundary.
+		if caching {
+			r.mu.Lock()
+			delete(r.lookups, site)
+			r.mu.Unlock()
+		}
+		return ProducerInfo{}, fmt.Errorf("gma: no producer registered for site %q", site)
+	}
+	if caching {
+		r.mu.Lock()
+		r.lookups[site] = cachedLookup{p: p, at: now}
+		r.mu.Unlock()
+	}
+	return p, nil
+}
+
+// RemoteQuery implements core.GlobalRouter.
+func (r *Router) RemoteQuery(site string, req core.Request) (*core.Response, error) {
+	return r.RemoteQueryContext(context.Background(), site, req)
+}
+
+// RemoteQueryContext implements core.ContextRouter: directory lookup (with
+// cache), per-endpoint breaker admission, the remote call with optional
+// hedging, and retries with backoff — all bounded by ctx.
+func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.Request) (*core.Response, error) {
+	p, err := r.lookup(ctx, site)
+	if err != nil {
+		return nil, err
+	}
+	r.remoteQueries.Add(1)
+
+	br := r.endpointBreaker(p.Endpoint)
+	backoff := r.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if br != nil && !br.Allow(r.clock()) {
+			r.breakerSkipped.Add(1)
+			if lastErr != nil {
+				// The breaker opened mid-retry: surface the real failure.
+				break
+			}
+			r.remoteFailures.Add(1)
+			return nil, fmt.Errorf("gma: circuit open for site %q (%s)", site, p.Endpoint)
+		}
+		resp, err := r.execHedged(ctx, p.Endpoint, req)
+		if err == nil {
+			if br != nil {
+				br.OnSuccess()
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if br != nil && br.OnFailure(r.clock()) {
+			r.breakerOpens.Add(1)
+		}
+		if attempt >= r.cfg.RetryAttempts || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			lastErr = ctx.Err()
+		case <-time.After(backoff):
+			r.remoteRetries.Add(1)
+			backoff *= 2
+			continue
+		}
+		break
+	}
+	r.remoteFailures.Add(1)
+	return nil, fmt.Errorf("gma: remote query to %s (%s): %w", site, p.Endpoint, lastErr)
+}
+
+// execute performs one remote call, preferring the context-threading exec.
+func (r *Router) execute(ctx context.Context, endpoint string, req core.Request) (*core.Response, error) {
+	if r.execCtx != nil {
+		return r.execCtx(ctx, endpoint, req)
+	}
+	return r.exec(endpoint, req)
+}
+
+// execHedged performs one remote call; when HedgeAfter is configured and
+// the call has not answered in time, a second identical call is launched
+// and the first response wins — the Dean/Barroso hedged-request pattern for
+// tail tolerance. The loser is cancelled through the shared context.
+func (r *Router) execHedged(ctx context.Context, endpoint string, req core.Request) (*core.Response, error) {
+	if r.cfg.HedgeAfter <= 0 || r.execCtx == nil {
+		return r.execute(ctx, endpoint, req)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp   *core.Response
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedged bool) {
+		go func() {
+			resp, err := r.execCtx(hctx, endpoint, req)
+			ch <- result{resp: resp, err: err, hedged: hedged}
+		}()
+	}
+	launch(false)
+	outstanding := 1
+	hedgeLaunched := false
+	timer := time.NewTimer(r.cfg.HedgeAfter)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeLaunched {
+				hedgeLaunched = true
+				r.hedges.Add(1)
+				launch(true)
+				outstanding++
+			}
+		case res := <-ch:
+			if res.err == nil {
+				if res.hedged {
+					r.hedgeWins.Add(1)
+				}
+				return res.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				// Nothing left in flight; if the hedge never launched it
+				// never will (we return before the timer matters).
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Sites implements core.GlobalRouter. With caching enabled, the remote
+// sites list is cached for LookupTTL and served stale when the directory
+// is unreachable, so all-sites fan-out keeps working through an outage.
+func (r *Router) Sites() []string {
+	now := r.clock()
+	caching := r.cfg.LookupTTL > 0
+	if caching {
+		r.mu.Lock()
+		sites, at := r.sites, r.sitesAt
+		r.mu.Unlock()
+		if sites != nil && now.Sub(at) <= r.cfg.LookupTTL {
+			return r.filterLocal(sites)
+		}
+	}
+	sites, err := r.dir.Sites()
+	if err != nil {
+		if caching {
+			r.mu.Lock()
+			sites := r.sites
+			r.mu.Unlock()
+			if sites != nil {
+				r.staleLookups.Add(1)
+				return r.filterLocal(sites)
+			}
+		}
+		return nil
+	}
+	if caching {
+		r.mu.Lock()
+		r.sites = append([]string(nil), sites...)
+		r.sitesAt = now
+		r.mu.Unlock()
+	}
+	return r.filterLocal(sites)
+}
+
+func (r *Router) filterLocal(sites []string) []string {
+	out := make([]string, 0, len(sites))
+	for _, s := range sites {
+		if s != r.local {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+var _ core.GlobalRouter = (*Router)(nil)
+var _ core.ContextRouter = (*Router)(nil)

@@ -1,0 +1,290 @@
+package gma
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridrm/internal/breaker"
+	"gridrm/internal/core"
+)
+
+// countingDir wraps a flakyDir and counts Lookup traffic, so tests can
+// assert the router's cache actually absorbed directory load.
+type countingDir struct {
+	*flakyDir
+	lookups atomic.Int64
+	sites   atomic.Int64
+}
+
+func newCountingDir() *countingDir { return &countingDir{flakyDir: newFlakyDir()} }
+
+func (c *countingDir) Lookup(site string) (ProducerInfo, bool, error) {
+	c.lookups.Add(1)
+	return c.flakyDir.Lookup(site)
+}
+
+func (c *countingDir) Sites() ([]string, error) {
+	c.sites.Add(1)
+	return c.flakyDir.Sites()
+}
+
+func okExec(endpoint string, req core.Request) (*core.Response, error) {
+	return &core.Response{Site: req.Site}, nil
+}
+
+func TestRouterLookupCache(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	now := time.Unix(1000, 0)
+	r := NewResilientRouter(dir, func(_ context.Context, e string, q core.Request) (*core.Response, error) {
+		return okExec(e, q)
+	}, "A", Config{LookupTTL: 10 * time.Second, Clock: func() time.Time { return now }})
+
+	for i := 0; i < 3; i++ {
+		if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dir.lookups.Load(); n != 1 {
+		t.Errorf("directory lookups = %d, want 1 (cache must absorb repeats)", n)
+	}
+	if hits := r.Stats().LookupCacheHits; hits != 2 {
+		t.Errorf("LookupCacheHits = %d, want 2", hits)
+	}
+	// Past the TTL the directory is consulted again.
+	now = now.Add(11 * time.Second)
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := dir.lookups.Load(); n != 2 {
+		t.Errorf("directory lookups after TTL = %d, want 2", n)
+	}
+}
+
+func TestRouterStaleLookupSurvivesDirectoryOutage(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	_ = dir.Directory.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	now := time.Unix(1000, 0)
+	r := NewResilientRouter(dir, func(_ context.Context, e string, q core.Request) (*core.Response, error) {
+		return okExec(e, q)
+	}, "A", Config{LookupTTL: 10 * time.Second, Clock: func() time.Time { return now }})
+
+	// Warm the lookup and sites caches.
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if sites := r.Sites(); len(sites) != 1 || sites[0] != "B" {
+		t.Fatalf("warm Sites = %v", sites)
+	}
+
+	// Full outage after the TTL: stale entries keep the Global layer alive.
+	dir.setDown(true)
+	now = now.Add(time.Minute)
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatalf("query during directory outage: %v", err)
+	}
+	if sites := r.Sites(); len(sites) != 1 || sites[0] != "B" {
+		t.Errorf("stale Sites = %v", sites)
+	}
+	if st := r.Stats(); st.StaleLookups != 2 {
+		t.Errorf("StaleLookups = %d, want 2 (lookup + sites)", st.StaleLookups)
+	}
+	// A site never seen before still fails — there is nothing to serve.
+	if _, err := r.RemoteQuery("C", core.Request{Site: "C"}); err == nil {
+		t.Error("cold lookup succeeded during outage")
+	}
+}
+
+func TestRouterAuthoritativeNotFoundDropsCache(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	now := time.Unix(1000, 0)
+	r := NewResilientRouter(dir, func(_ context.Context, e string, q core.Request) (*core.Response, error) {
+		return okExec(e, q)
+	}, "A", Config{LookupTTL: 10 * time.Second, Clock: func() time.Time { return now }})
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	// The site deregisters; a healthy directory's not-found is authoritative
+	// and must evict the cached record, not serve it stale.
+	_ = dir.Directory.Deregister("B")
+	now = now.Add(time.Minute)
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err == nil {
+		t.Fatal("deregistered site still routed")
+	}
+	// Even during a later outage the dropped entry stays gone.
+	dir.setDown(true)
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err == nil {
+		t.Error("evicted entry served stale")
+	}
+}
+
+func TestRouterEndpointBreaker(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	_ = dir.Directory.Register(ProducerInfo{Site: "C", Endpoint: "http://c"})
+	now := time.Unix(1000, 0)
+	var calls atomic.Int64
+	r := NewResilientRouter(dir, func(_ context.Context, e string, q core.Request) (*core.Response, error) {
+		calls.Add(1)
+		if e == "http://b" {
+			return nil, fmt.Errorf("connection refused")
+		}
+		return okExec(e, q)
+	}, "A", Config{
+		LookupTTL: time.Minute,
+		Breaker:   breaker.Options{Threshold: 2, Cooldown: 30 * time.Second},
+		Clock:     func() time.Time { return now },
+	})
+
+	for i := 0; i < 2; i++ {
+		if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err == nil {
+			t.Fatal("query to dead endpoint succeeded")
+		}
+	}
+	st := r.Stats()
+	if st.RemoteBreakerOpens != 1 {
+		t.Errorf("RemoteBreakerOpens = %d, want 1", st.RemoteBreakerOpens)
+	}
+	if got := r.EndpointBreakerState("http://b"); got != "open" {
+		t.Errorf("breaker state = %q, want open", got)
+	}
+
+	// Open breaker: the next query fast-fails without touching the endpoint.
+	before := calls.Load()
+	_, err := r.RemoteQuery("B", core.Request{Site: "B"})
+	if err == nil || !strings.Contains(err.Error(), "circuit open") {
+		t.Errorf("open-breaker error = %v", err)
+	}
+	if calls.Load() != before {
+		t.Error("open breaker still called the endpoint")
+	}
+	if st := r.Stats(); st.RemoteBreakerSkipped != 1 {
+		t.Errorf("RemoteBreakerSkipped = %d, want 1", st.RemoteBreakerSkipped)
+	}
+
+	// Breakers are per endpoint: site C is unaffected.
+	if _, err := r.RemoteQuery("C", core.Request{Site: "C"}); err != nil {
+		t.Errorf("healthy endpoint tripped by its neighbour: %v", err)
+	}
+
+	// After the cooldown a half-open probe goes through and closes it.
+	now = now.Add(31 * time.Second)
+	if got := r.EndpointBreakerState("http://b"); got != "half-open" {
+		t.Errorf("post-cooldown state = %q, want half-open", got)
+	}
+}
+
+func TestRouterRetries(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	var calls atomic.Int64
+	r := NewResilientRouter(dir, func(_ context.Context, e string, q core.Request) (*core.Response, error) {
+		if calls.Add(1) == 1 {
+			return nil, fmt.Errorf("transient")
+		}
+		return okExec(e, q)
+	}, "A", Config{RetryAttempts: 2, RetryBackoff: time.Millisecond})
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatalf("retry did not rescue the query: %v", err)
+	}
+	st := r.Stats()
+	if st.RemoteRetries != 1 || st.RemoteFailures != 0 {
+		t.Errorf("stats = %+v, want 1 retry and 0 failures", st)
+	}
+}
+
+func TestRouterRetriesHonourContext(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	r := NewResilientRouter(dir, func(context.Context, string, core.Request) (*core.Response, error) {
+		return nil, fmt.Errorf("always failing")
+	}, "A", Config{RetryAttempts: 50, RetryBackoff: 50 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := r.RemoteQueryContext(ctx, "B", core.Request{Site: "B"}); err == nil {
+		t.Fatal("doomed query succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retries outlived the context: %s", elapsed)
+	}
+	if r.Stats().RemoteRetries >= 50 {
+		t.Error("all retries ran despite the deadline")
+	}
+}
+
+func TestRouterHedging(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	var calls atomic.Int64
+	exec := func(ctx context.Context, e string, q core.Request) (*core.Response, error) {
+		if calls.Add(1) == 1 {
+			// The original call straggles until cancelled.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return okExec(e, q)
+			}
+		}
+		return okExec(e, q)
+	}
+	r := NewResilientRouter(dir, exec, "A", Config{HedgeAfter: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatalf("hedged query failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("hedge did not rescue the straggler: %s", elapsed)
+	}
+	st := r.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Errorf("Hedges = %d HedgeWins = %d, want 1/1", st.Hedges, st.HedgeWins)
+	}
+}
+
+func TestRouterHedgeLoses(t *testing.T) {
+	// A hedge that fires after the original already answered is still
+	// counted, but the original's response wins and HedgeWins stays 0.
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	var calls atomic.Int64
+	exec := func(ctx context.Context, e string, q core.Request) (*core.Response, error) {
+		if calls.Add(1) > 1 {
+			// The hedge (if launched) never answers first.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		return okExec(e, q)
+	}
+	r := NewResilientRouter(dir, exec, "A", Config{HedgeAfter: 5 * time.Millisecond})
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 0 {
+		t.Errorf("Hedges = %d HedgeWins = %d, want 1/0", st.Hedges, st.HedgeWins)
+	}
+}
+
+func TestRouterHedgeBothFail(t *testing.T) {
+	dir := newCountingDir()
+	_ = dir.Directory.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	r := NewResilientRouter(dir, func(context.Context, string, core.Request) (*core.Response, error) {
+		return nil, fmt.Errorf("refused")
+	}, "A", Config{HedgeAfter: time.Nanosecond})
+	if _, err := r.RemoteQuery("B", core.Request{Site: "B"}); err == nil ||
+		!strings.Contains(err.Error(), "refused") {
+		t.Errorf("double-failure error = %v", err)
+	}
+}

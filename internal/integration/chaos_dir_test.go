@@ -1,0 +1,271 @@
+package integration_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gridrm/internal/breaker"
+	"gridrm/internal/core"
+	"gridrm/internal/event"
+	"gridrm/internal/glue"
+	"gridrm/internal/gma"
+	"gridrm/internal/security"
+	"gridrm/internal/sitekit"
+	"gridrm/internal/web"
+)
+
+// dirServer is a GMA directory replica on a stable address that can be
+// killed and restarted on the same port, simulating a replica crash.
+type dirServer struct {
+	t    *testing.T
+	addr string
+	dir  *gma.Directory
+	srv  *http.Server
+}
+
+func startDirServer(t *testing.T, addr string) *dirServer {
+	t.Helper()
+	d := &dirServer{t: t, dir: gma.NewDirectory(time.Minute, nil)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.addr = ln.Addr().String()
+	d.serve(ln)
+	return d
+}
+
+func (d *dirServer) serve(ln net.Listener) {
+	d.srv = &http.Server{Handler: d.dir.Handler()}
+	go func() { _ = d.srv.Serve(ln) }()
+}
+
+func (d *dirServer) kill() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = d.srv.Shutdown(ctx)
+}
+
+func (d *dirServer) restart() {
+	// The freed port can take a moment to become bindable again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", d.addr)
+		if err == nil {
+			d.serve(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			d.t.Fatalf("could not rebind %s: %v", d.addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (d *dirServer) url() string { return "http://" + d.addr }
+
+// siteBErr extracts site dirB's leg from an all-sites response: "" when the
+// leg answered cleanly, the error string when it failed, and a synthetic
+// error when the leg is missing entirely.
+func siteBErr(resp *core.Response) string {
+	found := false
+	for _, s := range resp.Sources {
+		if s.Source == "site:dirB" && s.Err != "" {
+			return s.Err
+		}
+		if len(s.Source) >= len("site:dirB") && s.Source[:len("site:dirB")] == "site:dirB" {
+			found = true
+		}
+	}
+	if !found {
+		return "leg missing from response"
+	}
+	return ""
+}
+
+// TestChaosDirectoryOutage is the federation-resilience acceptance scenario:
+// with ALL directory replicas down, a federated all-sites query keeps
+// answering from the router's lookup cache; a killed remote gateway trips
+// its per-endpoint breaker so fan-outs fast-fail instead of burning the
+// deadline; and when a replica returns, the resilient registrar — which
+// never failed Start — re-registers automatically.
+func TestChaosDirectoryOutage(t *testing.T) {
+	admin := security.Principal{Name: "admin", Roles: []string{"operator"}}
+
+	// Two directory replicas behind a MultiDirectory.
+	rep1 := startDirServer(t, "127.0.0.1:0")
+	rep2 := startDirServer(t, "127.0.0.1:0")
+	t.Cleanup(rep1.kill)
+	t.Cleanup(rep2.kill)
+	newMultiDir := func() *gma.MultiDirectory {
+		return gma.NewMultiDirectory(
+			&gma.DirectoryClient{BaseURL: rep1.url(), Timeout: time.Second},
+			&gma.DirectoryClient{BaseURL: rep2.url(), Timeout: time.Second},
+		)
+	}
+
+	// Two sites; site A hosts the resilient router under test.
+	siteA, err := sitekit.Start(sitekit.Options{Name: "dirA", Hosts: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(siteA.Close)
+	gwA, err := sitekit.NewGateway(siteA.Manifest(), siteA.Opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gwA.Close)
+
+	siteB, err := sitekit.Start(sitekit.Options{Name: "dirB", Hosts: 1, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(siteB.Close)
+	gwB, err := sitekit.NewGateway(siteB.Manifest(), siteB.Opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gwB.Close)
+
+	srvA := httptest.NewServer(web.NewServer(gwA, nil, nil))
+	defer srvA.Close()
+	srvB := httptest.NewServer(web.NewServer(gwB, nil, nil))
+	defer srvB.Close()
+
+	dirA := newMultiDir()
+	router := gma.NewResilientRouter(dirA, web.RemoteQueryContext, "dirA", gma.Config{
+		LookupTTL: 50 * time.Millisecond,
+		Breaker:   breaker.Options{Threshold: 2, Cooldown: 30 * time.Second},
+	})
+	gwA.SetGlobalRouter(router)
+
+	regA := gma.NewRegistrar(dirA, gma.ProducerInfo{Site: "dirA", Endpoint: srvA.URL,
+		Groups: glue.GroupNames()}, 100*time.Millisecond)
+	var unreachableAlerts int
+	regA.SetStateListener(func(reachable bool, err error) {
+		if !reachable {
+			unreachableAlerts++
+			gwA.Events().Publish(event.Event{Source: "gma", Name: "directory-unreachable",
+				Severity: event.SeverityAlert, Time: time.Now(), Detail: err.Error()})
+		}
+	})
+	if err := regA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer regA.Stop()
+	regB := gma.NewRegistrar(newMultiDir(), gma.ProducerInfo{Site: "dirB", Endpoint: srvB.URL,
+		Groups: glue.GroupNames()}, 100*time.Millisecond)
+	if err := regB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer regB.Stop()
+
+	// Phase 1 — warm: a federated all-sites query reaches both sites and
+	// primes the router's lookup + sites caches.
+	allSites := core.Request{Principal: admin, SQL: "SELECT * FROM Processor",
+		Site: "*", Mode: core.ModeCached}
+	resp, err := gwA.Query(allSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := siteBErr(resp); err != "" {
+		t.Fatalf("warm all-sites: site dirB failed: %s", err)
+	}
+
+	// Phase 2 — total directory outage: kill BOTH replicas. Past the lookup
+	// TTL every directory read fails, yet the all-sites query keeps answering
+	// from stale cache entries.
+	rep1.kill()
+	rep2.kill()
+	time.Sleep(100 * time.Millisecond) // let the 50ms TTL lapse
+	resp, err = gwA.Query(allSites)
+	if err != nil {
+		t.Fatalf("all-sites query during directory outage: %v", err)
+	}
+	if err := siteBErr(resp); err != "" {
+		t.Fatalf("all-sites during outage: site dirB failed: %s", err)
+	}
+	if st := router.Stats(); st.StaleLookups == 0 {
+		t.Errorf("no stale lookups counted during outage: %+v", st)
+	}
+
+	// The registrar flips to unreachable (Alert on the event bus) but the
+	// gateway keeps serving; Start never failed.
+	deadline := time.Now().Add(5 * time.Second)
+	for regA.Registered() {
+		if time.Now().After(deadline) {
+			t.Fatal("registrar never noticed the outage")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	gwA.Events().Drain()
+	if evs := gwA.Events().History(event.Filter{Name: "directory-unreachable"}, time.Time{}); len(evs) == 0 {
+		t.Error("no directory-unreachable alert published")
+	}
+
+	// Phase 3 — kill the remote gateway too: repeated failures trip the
+	// per-endpoint breaker, and further fan-outs fast-fail on that site
+	// instead of consuming the whole deadline.
+	srvB.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := router.RemoteQueryContext(context.Background(), "dirB",
+			core.Request{Principal: admin, SQL: "SELECT * FROM Processor", Site: "dirB"}); err == nil {
+			t.Fatal("query to killed gateway succeeded")
+		}
+	}
+	if got := router.EndpointBreakerState(srvB.URL); got != "open" {
+		t.Fatalf("breaker state after kill = %q, want open", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	start := time.Now()
+	resp, err = gwA.QueryContext(ctx, allSites)
+	elapsed := time.Since(start)
+	cancel()
+	if err != nil {
+		t.Fatalf("all-sites with open breaker: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("open breaker did not fast-fail: all-sites took %s", elapsed)
+	}
+	if err := siteBErr(resp); err == "" {
+		t.Errorf("dead site not reported: %+v", resp.Sources)
+	}
+	if st := router.Stats(); st.RemoteBreakerSkipped == 0 {
+		t.Errorf("breaker never skipped: %+v", st)
+	}
+
+	// Phase 4 — one replica returns: the registrar's background retry
+	// re-registers without intervention.
+	rep1.restart()
+	deadline = time.Now().Add(10 * time.Second)
+	for !regA.Registered() {
+		if time.Now().After(deadline) {
+			t.Fatal("registrar never recovered after replica restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok, err := rep1.dir.Lookup("dirA"); err != nil || !ok {
+		t.Errorf("restarted replica lookup = %v, %v", ok, err)
+	}
+
+	// Phase 5 — registrar restart cycle under load (the old closed-channel
+	// bug made the second Start a no-op loop).
+	regA.Stop()
+	if err := regA.Start(); err != nil {
+		t.Fatalf("registrar restart: %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for !regA.Registered() {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted registrar never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if unreachableAlerts == 0 {
+		t.Error("state listener never reported the outage")
+	}
+}

@@ -33,10 +33,6 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 10 * time.Second}
 }
 
-func (c *Client) do(method, path string, body any, out any) error {
-	return c.doContext(context.Background(), method, path, body, out)
-}
-
 func (c *Client) doContext(ctx context.Context, method, path string, body any, out any) error {
 	var rdr io.Reader
 	if body != nil {
@@ -96,8 +92,13 @@ func (c *Client) QueryContext(ctx context.Context, req core.Request) (*core.Resp
 
 // Poll forces a real-time refresh of one source/group (Fig 9's poll icon).
 func (c *Client) Poll(sourceURL, group string) (*core.Response, error) {
+	return c.PollContext(context.Background(), sourceURL, group)
+}
+
+// PollContext is Poll bounded by ctx.
+func (c *Client) PollContext(ctx context.Context, sourceURL, group string) (*core.Response, error) {
 	var wr WireResponse
-	if err := c.do(http.MethodPost, "/poll", pollRequest{URL: sourceURL, Group: group}, &wr); err != nil {
+	if err := c.doContext(ctx, http.MethodPost, "/poll", pollRequest{URL: sourceURL, Group: group}, &wr); err != nil {
 		return nil, err
 	}
 	return DecodeResponse(wr)
@@ -105,53 +106,98 @@ func (c *Client) Poll(sourceURL, group string) (*core.Response, error) {
 
 // Sources lists the gateway's registered data sources.
 func (c *Client) Sources() ([]core.SourceInfo, error) {
+	return c.SourcesContext(context.Background())
+}
+
+// SourcesContext is Sources bounded by ctx.
+func (c *Client) SourcesContext(ctx context.Context) ([]core.SourceInfo, error) {
 	var out []core.SourceInfo
-	err := c.do(http.MethodGet, "/sources", nil, &out)
+	err := c.doContext(ctx, http.MethodGet, "/sources", nil, &out)
 	return out, err
 }
 
 // AddSource registers a data source (Fig 9's add icon).
 func (c *Client) AddSource(cfg core.SourceConfig) error {
-	return c.do(http.MethodPost, "/sources", cfg, nil)
+	return c.AddSourceContext(context.Background(), cfg)
+}
+
+// AddSourceContext is AddSource bounded by ctx.
+func (c *Client) AddSourceContext(ctx context.Context, cfg core.SourceConfig) error {
+	return c.doContext(ctx, http.MethodPost, "/sources", cfg, nil)
 }
 
 // RemoveSource unregisters a data source.
 func (c *Client) RemoveSource(sourceURL string) error {
-	return c.do(http.MethodDelete, "/sources?url="+url.QueryEscape(sourceURL), nil, nil)
+	return c.RemoveSourceContext(context.Background(), sourceURL)
+}
+
+// RemoveSourceContext is RemoveSource bounded by ctx.
+func (c *Client) RemoveSourceContext(ctx context.Context, sourceURL string) error {
+	return c.doContext(ctx, http.MethodDelete, "/sources?url="+url.QueryEscape(sourceURL), nil, nil)
 }
 
 // Drivers lists active and activatable drivers (Fig 8's panel).
 func (c *Client) Drivers() ([]DriverListing, error) {
+	return c.DriversContext(context.Background())
+}
+
+// DriversContext is Drivers bounded by ctx.
+func (c *Client) DriversContext(ctx context.Context) ([]DriverListing, error) {
 	var out []DriverListing
-	err := c.do(http.MethodGet, "/drivers", nil, &out)
+	err := c.doContext(ctx, http.MethodGet, "/drivers", nil, &out)
 	return out, err
 }
 
 // ActivateDriver registers a repository driver at runtime.
 func (c *Client) ActivateDriver(name string) error {
-	return c.do(http.MethodPost, "/drivers", driverActivation{Name: name}, nil)
+	return c.ActivateDriverContext(context.Background(), name)
+}
+
+// ActivateDriverContext is ActivateDriver bounded by ctx.
+func (c *Client) ActivateDriverContext(ctx context.Context, name string) error {
+	return c.doContext(ctx, http.MethodPost, "/drivers", driverActivation{Name: name}, nil)
 }
 
 // DeactivateDriver removes a driver at runtime.
 func (c *Client) DeactivateDriver(name string) error {
-	return c.do(http.MethodDelete, "/drivers?name="+url.QueryEscape(name), nil, nil)
+	return c.DeactivateDriverContext(context.Background(), name)
+}
+
+// DeactivateDriverContext is DeactivateDriver bounded by ctx.
+func (c *Client) DeactivateDriverContext(ctx context.Context, name string) error {
+	return c.doContext(ctx, http.MethodDelete, "/drivers?name="+url.QueryEscape(name), nil, nil)
 }
 
 // SetPreferences installs a prioritised driver list for a source.
 func (c *Client) SetPreferences(sourceURL string, drivers []string) error {
-	return c.do(http.MethodPost, "/drivers/preferences",
+	return c.SetPreferencesContext(context.Background(), sourceURL, drivers)
+}
+
+// SetPreferencesContext is SetPreferences bounded by ctx.
+func (c *Client) SetPreferencesContext(ctx context.Context, sourceURL string, drivers []string) error {
+	return c.doContext(ctx, http.MethodPost, "/drivers/preferences",
 		preferenceUpdate{URL: sourceURL, Drivers: drivers}, nil)
 }
 
 // Tree fetches the cached tree view (Fig 9).
 func (c *Client) Tree() ([]TreeNode, error) {
+	return c.TreeContext(context.Background())
+}
+
+// TreeContext is Tree bounded by ctx.
+func (c *Client) TreeContext(ctx context.Context) ([]TreeNode, error) {
 	var out []TreeNode
-	err := c.do(http.MethodGet, "/tree", nil, &out)
+	err := c.doContext(ctx, http.MethodGet, "/tree", nil, &out)
 	return out, err
 }
 
 // Events fetches event history matching the filter at or after since.
 func (c *Client) Events(filter event.Filter, since time.Time) ([]event.Event, error) {
+	return c.EventsContext(context.Background(), filter, since)
+}
+
+// EventsContext is Events bounded by ctx.
+func (c *Client) EventsContext(ctx context.Context, filter event.Filter, since time.Time) ([]event.Event, error) {
 	q := url.Values{}
 	if filter.Source != "" {
 		q.Set("source", filter.Source)
@@ -173,27 +219,42 @@ func (c *Client) Events(filter event.Filter, since time.Time) ([]event.Event, er
 		path += "?" + enc
 	}
 	var out []event.Event
-	err := c.do(http.MethodGet, path, nil, &out)
+	err := c.doContext(ctx, http.MethodGet, path, nil, &out)
 	return out, err
 }
 
 // WatchMetric asks the gateway to publish group.field as events on every
 // harvest.
 func (c *Client) WatchMetric(group, field string) error {
-	return c.do(http.MethodPost, "/watches", watchRequest{Group: group, Field: field}, nil)
+	return c.WatchMetricContext(context.Background(), group, field)
+}
+
+// WatchMetricContext is WatchMetric bounded by ctx.
+func (c *Client) WatchMetricContext(ctx context.Context, group, field string) error {
+	return c.doContext(ctx, http.MethodPost, "/watches", watchRequest{Group: group, Field: field}, nil)
 }
 
 // WatchedMetrics lists active metric watches.
 func (c *Client) WatchedMetrics() ([]string, error) {
+	return c.WatchedMetricsContext(context.Background())
+}
+
+// WatchedMetricsContext is WatchedMetrics bounded by ctx.
+func (c *Client) WatchedMetricsContext(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.do(http.MethodGet, "/watches", nil, &out)
+	err := c.doContext(ctx, http.MethodGet, "/watches", nil, &out)
 	return out, err
 }
 
 // Status fetches the gateway's counters.
 func (c *Client) Status() (*StatusReport, error) {
+	return c.StatusContext(context.Background())
+}
+
+// StatusContext is Status bounded by ctx.
+func (c *Client) StatusContext(ctx context.Context) (*StatusReport, error) {
 	var out StatusReport
-	if err := c.do(http.MethodGet, "/status", nil, &out); err != nil {
+	if err := c.doContext(ctx, http.MethodGet, "/status", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -201,8 +262,13 @@ func (c *Client) Status() (*StatusReport, error) {
 
 // Sites lists the sites reachable from this gateway (itself first).
 func (c *Client) Sites() ([]string, error) {
+	return c.SitesContext(context.Background())
+}
+
+// SitesContext is Sites bounded by ctx.
+func (c *Client) SitesContext(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.do(http.MethodGet, "/sites", nil, &out)
+	err := c.doContext(ctx, http.MethodGet, "/sites", nil, &out)
 	return out, err
 }
 

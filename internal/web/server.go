@@ -34,6 +34,9 @@ type Server struct {
 	// sites optionally lists remote sites for /sites (wired to the
 	// gateway's GlobalRouter by the deployment).
 	sites func() []string
+	// admit is the optional load-shedding gate in front of /query and
+	// /poll (see SetAdmissionLimits).
+	admit *admission
 	mux   *http.ServeMux
 }
 
@@ -112,6 +115,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var wr WireRequest
 	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -145,6 +153,11 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	release, ok := s.admitRequest(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var pr pollRequest
 	if err := json.NewDecoder(r.Body).Decode(&pr); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -394,6 +407,8 @@ type StatusReport struct {
 	Health []health.SourceHealth `json:"health,omitempty"`
 	// Probes summarises prober activity.
 	Probes health.Stats `json:"probes"`
+	// Admission reports the load-shedding gate, when one is installed.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 type poolStatsJSON struct {
@@ -407,6 +422,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ps := s.gw.Pool().Stats()
+	var adm *AdmissionStats
+	if s.admit != nil {
+		st := s.admit.stats()
+		adm = &st
+	}
 	writeJSON(w, StatusReport{
 		Site:    s.gw.Name(),
 		Gateway: s.gw.Stats(),
@@ -414,13 +434,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Pool: poolStatsJSON{Hits: ps.Hits, Misses: ps.Misses, Opens: ps.Opens,
 			Closes: ps.Closes, PingFailures: ps.PingFailures, Evictions: ps.Evictions,
 			Idle: s.gw.Pool().IdleCount()},
-		Cache:  s.gw.Cache().Stats(),
-		Events: s.gw.Events().Stats(),
-		Coarse: s.gw.CoarsePolicy().Stats(),
-		Fine:   s.gw.FinePolicy().Stats(),
-		Stages: s.gw.QueryStageLatencies(),
-		Health: s.gw.Prober().Snapshot(),
-		Probes: s.gw.Prober().Stats(),
+		Cache:     s.gw.Cache().Stats(),
+		Events:    s.gw.Events().Stats(),
+		Coarse:    s.gw.CoarsePolicy().Stats(),
+		Fine:      s.gw.FinePolicy().Stats(),
+		Stages:    s.gw.QueryStageLatencies(),
+		Health:    s.gw.Prober().Snapshot(),
+		Probes:    s.gw.Prober().Stats(),
+		Admission: adm,
 	})
 }
 
