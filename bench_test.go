@@ -6,6 +6,7 @@
 package gridrm_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"gridrm/internal/security"
 	"gridrm/internal/sitekit"
 	"gridrm/internal/sqlparse"
+	"gridrm/internal/trace"
 	"gridrm/internal/web"
 )
 
@@ -303,7 +305,7 @@ func BenchmarkE7GlobalLayer(b *testing.B) {
 
 	b.Run("local-http", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+			if _, err := client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor",
 				Mode: core.ModeRealTime}); err != nil {
 				b.Fatal(err)
 			}
@@ -311,7 +313,7 @@ func BenchmarkE7GlobalLayer(b *testing.B) {
 	})
 	b.Run("remote-1hop", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+			if _, err := client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor",
 				Site: "siteB", Mode: core.ModeRealTime}); err != nil {
 				b.Fatal(err)
 			}
@@ -464,5 +466,45 @@ func BenchmarkQueryCache(b *testing.B) {
 		if _, _, ok := c.Get("gridrm:mem://a:1", "SELECT * FROM Processor"); !ok {
 			b.Fatal("miss")
 		}
+	}
+}
+
+// BenchmarkQueryTracing measures the overhead of full-sampling distributed
+// tracing on the in-process query path: "untraced" disables sampling,
+// "traced" records every query. The acceptance bar for the tracing layer
+// is ≤5% p50 regression at full sampling.
+func BenchmarkQueryTracing(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		sample float64
+	}{
+		{"untraced", -1}, // negative = sampling off
+		{"traced", 1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			gw := core.New(core.Config{Name: "bench",
+				Trace: trace.Options{Sample: bc.sample}})
+			b.Cleanup(gw.Close)
+			backend := memdrv.NewBackend([]string{"h1", "h2", "h3", "h4"})
+			d := memdrv.New("jdbc-mem", "mem", backend)
+			if err := gw.RegisterDriver(d, d.Schema()); err != nil {
+				b.Fatal(err)
+			}
+			if err := gw.AddSource(core.SourceConfig{URL: "gridrm:mem://bench:1"}); err != nil {
+				b.Fatal(err)
+			}
+			req := core.QueryOptions{Principal: benchPrincipal,
+				SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}
+			ctx := context.Background()
+			if _, err := gw.QueryContext(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gw.QueryContext(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"gridrm/internal/glue"
 	"gridrm/internal/gma"
 	"gridrm/internal/sitekit"
+	"gridrm/internal/trace"
 	"gridrm/internal/web"
 )
 
@@ -78,6 +79,10 @@ func main() {
 		faultErrEvery   = flag.Int("fault-error-every", 0, "chaos: fail every nth driver query (0 = off)")
 		faultPanicEvery = flag.Int("fault-panic-every", 0, "chaos: panic on every nth driver query (0 = off)")
 		faultLatency    = flag.Duration("fault-latency", 0, "chaos: added per-query driver latency")
+
+		traceSample  = flag.Float64("trace-sample", 0, "fraction of queries to trace, 0-1 (0 = default 1.0, negative = off)")
+		slowlogThold = flag.Duration("slowlog-threshold", 0, "queries slower than this enter the slow-query log (0 = default 500ms, negative = off)")
+		pprofEnable  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -117,6 +122,10 @@ func main() {
 		StaleGrace:            *staleGrace,
 		ProbeInterval:         *probeInterval,
 		Faults:                faults,
+		Trace: trace.Options{
+			Sample:        *traceSample,
+			SlowThreshold: *slowlogThold,
+		},
 	}, *dynamic)
 	if err != nil {
 		log.Fatalf("gridrm-gateway: %v", err)
@@ -131,6 +140,10 @@ func main() {
 	}
 	server := web.NewServer(gw, nil, dirHandler)
 	server.SetAdmissionLimits(*maxInFlight, *maxQueue)
+	if *pprofEnable {
+		server.EnablePprof()
+		log.Printf("pprof: profiling endpoints mounted at /debug/pprof/")
+	}
 
 	endpoint := "http://" + *listen
 

@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"gridrm/internal/core"
 	"gridrm/internal/event"
 	"gridrm/internal/security"
+	"gridrm/internal/trace"
 	"gridrm/internal/web"
 )
 
@@ -42,6 +44,9 @@ func main() {
 		poll    = flag.String("poll", "", "source URL to poll in real time (requires -group)")
 		group   = flag.String("group", "", "GLUE group for -poll")
 		timeout = flag.Duration("timeout", 0, "overall query deadline (0 = gateway default)")
+		doTrace = flag.Bool("trace", false, "force-trace the query and print its span tree")
+		traceID = flag.String("trace-id", "", "fetch and print a stored trace by ID")
+		listTrc = flag.Bool("traces", false, "list recent traces stored on the gateway")
 	)
 	flag.Parse()
 
@@ -59,8 +64,20 @@ func main() {
 	client := &web.Client{BaseURL: *gateway, Principal: principal}
 
 	switch {
+	case *traceID != "":
+		td, err := client.Trace(ctx, *traceID)
+		fail(err)
+		printTrace(td)
+	case *listTrc:
+		sums, err := client.Traces(ctx)
+		fail(err)
+		for _, s := range sums {
+			fmt.Printf("%s  %-8s site=%-10s spans=%-3d %s  %s\n",
+				s.TraceID, s.Duration.Round(time.Microsecond), s.Site, s.Spans,
+				s.Start.Format(time.RFC3339), s.SQL)
+		}
 	case *tree:
-		nodes, err := client.TreeContext(ctx)
+		nodes, err := client.Tree(ctx)
 		fail(err)
 		for _, n := range nodes {
 			health := "ok"
@@ -73,7 +90,7 @@ func main() {
 			}
 		}
 	case *status:
-		st, err := client.StatusContext(ctx)
+		st, err := client.Status(ctx)
 		fail(err)
 		fmt.Printf("site %s\n", st.Site)
 		fmt.Printf("  queries=%d errors=%d harvests=%d harvest-errors=%d cache-served=%d coalesced=%d routed=%d denied=%d\n",
@@ -112,21 +129,35 @@ func main() {
 			}
 			fmt.Printf("  stage %-12s count=%-8d avg=%s\n", stage.Label, stage.Count, avg.Round(time.Microsecond))
 		}
+		fmt.Printf("  traces: started=%d stored=%d evicted=%d slow-queries=%d dropped-spans=%d\n",
+			st.Traces.Started, st.Traces.Stored, st.Traces.Evicted,
+			st.Traces.SlowQueries, st.Traces.DroppedSpans)
+		for _, sq := range st.Slow {
+			note := ""
+			if sq.Err != "" {
+				note = "  ERROR: " + sq.Err
+			}
+			if sq.TraceID != "" {
+				note += "  trace=" + sq.TraceID
+			}
+			fmt.Printf("  slow %s %-10s %-9s %s%s\n", sq.Time.Format(time.RFC3339),
+				sq.Site, sq.Elapsed.Round(time.Microsecond), sq.SQL, note)
+		}
 	case *events:
-		evs, err := client.EventsContext(ctx, event.Filter{}, time.Time{})
+		evs, err := client.Events(ctx, event.Filter{}, time.Time{})
 		fail(err)
 		for _, ev := range evs {
 			fmt.Printf("%s  %-8s %-24s host=%-16s value=%.2f  %s\n",
 				ev.Time.Format(time.RFC3339), ev.Severity, ev.Name, ev.Host, ev.Value, ev.Detail)
 		}
 	case *listSrc:
-		srcs, err := client.SourcesContext(ctx)
+		srcs, err := client.Sources(ctx)
 		fail(err)
 		for _, s := range srcs {
 			fmt.Printf("%-48s driver=%-16s breaker=%-9s %s\n", s.URL, s.LastDriver, s.Breaker, s.Description)
 		}
 	case *listDrv:
-		drvs, err := client.DriversContext(ctx)
+		drvs, err := client.Drivers(ctx)
 		fail(err)
 		for _, d := range drvs {
 			state := "available"
@@ -136,7 +167,7 @@ func main() {
 			fmt.Printf("%-18s %-10s v%-8s groups=%s\n", d.Name, state, d.Version, strings.Join(d.Groups, ","))
 		}
 	case *sites:
-		ss, err := client.SitesContext(ctx)
+		ss, err := client.Sites(ctx)
 		fail(err)
 		for _, s := range ss {
 			fmt.Println(s)
@@ -145,19 +176,31 @@ func main() {
 		if *group == "" {
 			log.Fatal("gridrm-query: -poll requires -group")
 		}
-		resp, err := client.PollContext(ctx, *poll, *group)
+		resp, err := client.Poll(ctx, *poll, *group)
 		fail(err)
 		printResponse(resp)
 	case *sql != "":
 		m, err := web.ParseMode(*mode)
 		fail(err)
-		req := core.Request{SQL: *sql, Site: *site, Mode: m}
+		req := core.QueryOptions{SQL: *sql, Site: *site, Mode: m}
 		if *sources != "" {
 			req.Sources = strings.Split(*sources, ",")
 		}
-		resp, err := client.QueryContext(ctx, req)
+		if *doTrace {
+			req.Trace = trace.DecideOn
+		}
+		resp, err := client.Query(ctx, req)
 		fail(err)
 		printResponse(resp)
+		if *doTrace {
+			if resp.TraceID == "" {
+				fmt.Println("-- no trace recorded (gateway sampling off?)")
+				return
+			}
+			td, err := client.Trace(ctx, resp.TraceID)
+			fail(err)
+			printTrace(td)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -181,6 +224,48 @@ func printResponse(resp *core.Response) {
 				s.Degraded, s.Age.Round(time.Millisecond), s.Err)
 		}
 		fmt.Printf("## %-48s driver=%-16s rows=%-4d %s\n", s.Source, s.Driver, s.Rows, note)
+	}
+}
+
+// printTrace renders the span tree with one indented line per span, e.g.
+//
+//	-- trace 9f2c... (11 spans)
+//	query 14.2ms site=siteA sql="SELECT ..."
+//	  parse 12µs
+//	  fanout 13.9ms sites=2
+//	    site 13.8ms site=siteB
+//	      remote-query 13.7ms endpoint=http://...
+//	        query 9.1ms site=siteB [remote]
+func printTrace(td *trace.TraceData) {
+	fmt.Printf("-- trace %s (%d spans)\n", td.TraceID, td.Spans)
+	var walk func(n *trace.Node, depth int)
+	walk = func(n *trace.Node, depth int) {
+		line := strings.Repeat("  ", depth) + n.Name + " " +
+			n.Duration.Round(time.Microsecond).String()
+		if n.Site != "" {
+			line += " site=" + n.Site
+		}
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf(" %s=%q", k, n.Attrs[k])
+		}
+		if n.Err != "" {
+			line += " ERROR=" + fmt.Sprintf("%q", n.Err)
+		}
+		if n.Remote {
+			line += " [remote]"
+		}
+		fmt.Println(line)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, root := range td.Roots {
+		walk(root, 0)
 	}
 }
 

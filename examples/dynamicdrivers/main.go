@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -62,9 +63,10 @@ func main() {
 		BaseURL:   "http://" + ln.Addr().String(),
 		Principal: security.Principal{Name: "operator", Roles: []string{"operator"}},
 	}
+	ctx := context.Background()
 
 	show := func(header string) {
-		drvs, err := client.Drivers()
+		drvs, err := client.Drivers(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,7 +83,7 @@ func main() {
 
 	// 1. Activate drivers at runtime — no gateway restart.
 	for _, name := range []string{"jdbc-snmp", "jdbc-scms"} {
-		if err := client.ActivateDriver(name); err != nil {
+		if err := client.ActivateDriver(ctx, name); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -94,7 +96,7 @@ func main() {
 	snmpBare := "gridrm://" + m.SNMP[0]
 	scmsBare := "gridrm://" + m.SCMS
 	for _, url := range []string{snmpBare, scmsBare} {
-		if err := client.AddSource(core.SourceConfig{
+		if err := client.AddSource(ctx, core.SourceConfig{
 			URL:   url,
 			Props: driver.Properties{"timeout": "400ms"},
 		}); err != nil {
@@ -102,7 +104,7 @@ func main() {
 		}
 	}
 
-	resp, err := client.Query(core.Request{
+	resp, err := client.Query(ctx, core.QueryOptions{
 		SQL:  "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName",
 		Mode: core.ModeRealTime,
 	})
@@ -115,22 +117,22 @@ func main() {
 	}
 
 	// 3. The selection is cached; look at the status counters.
-	st, err := client.Status()
+	st, err := client.Status(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndriver manager after dynamic binding: scans=%d probes=%d cache-hits=%d\n",
 		st.Drivers.Scans, st.Drivers.ScanProbes, st.Drivers.CacheHits)
-	if _, err := client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+	if _, err := client.Query(ctx, core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
 		log.Fatal(err)
 	}
-	st2, _ := client.Status()
+	st2, _ := client.Status(ctx)
 	fmt.Printf("after a repeat query (cache hits do not rescan): scans=%d probes=%d cache-hits=%d\n",
 		st2.Drivers.Scans, st2.Drivers.ScanProbes, st2.Drivers.CacheHits)
 
 	// 4. Prioritised preferences (Fig 8): pin the SCMS agent to its
 	//    driver explicitly.
-	if err := client.SetPreferences(scmsBare, []string{"jdbc-scms"}); err != nil {
+	if err := client.SetPreferences(ctx, scmsBare, []string{"jdbc-scms"}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\npinned %s to [jdbc-scms]\n", scmsBare)
@@ -138,10 +140,10 @@ func main() {
 	// 5. Kill the SNMP agent's host: the next poll fails, the tree view
 	//    shows the failure icon state (Fig 9).
 	_ = site.Sim.SetHostDown(site.Sim.HostNames()[0], true)
-	if _, err := client.Poll(snmpBare, "Processor"); err != nil {
+	if _, err := client.Poll(ctx, snmpBare, "Processor"); err != nil {
 		fmt.Printf("\nexplicit poll of dead agent failed as expected\n")
 	} else {
-		resp, _ := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+		resp, _ := client.Query(ctx, core.QueryOptions{SQL: "SELECT * FROM Processor",
 			Sources: []string{snmpBare}, Mode: core.ModeRealTime})
 		for _, s := range resp.Sources {
 			if s.Err != "" {
@@ -149,7 +151,7 @@ func main() {
 			}
 		}
 	}
-	tree, err := client.Tree()
+	tree, err := client.Tree(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -165,10 +167,10 @@ func main() {
 
 	// 6. Deactivate a driver at runtime; its source becomes unservable,
 	//    the other keeps working.
-	if err := client.DeactivateDriver("jdbc-snmp"); err != nil {
+	if err := client.DeactivateDriver(ctx, "jdbc-snmp"); err != nil {
 		log.Fatal(err)
 	}
-	resp, err = client.Query(core.Request{SQL: "SELECT HostName FROM Processor",
+	resp, err = client.Query(ctx, core.QueryOptions{SQL: "SELECT HostName FROM Processor",
 		Mode: core.ModeRealTime})
 	if err != nil {
 		log.Fatal(err)

@@ -124,14 +124,15 @@ func main() {
 		BaseURL:   siteA.endpoint,
 		Principal: security.Principal{Name: "multisite-demo", Roles: []string{"operator"}},
 	}
-	sites, err := client.Sites()
+	ctx := context.Background()
+	sites, err := client.Sites(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsites reachable from %s: %v\n", siteA.endpoint, sites)
 
 	for _, target := range sites {
-		resp, err := client.Query(core.Request{
+		resp, err := client.Query(ctx, core.QueryOptions{
 			SQL:  "SELECT HostName, LoadLast1Min FROM Processor ORDER BY LoadLast1Min DESC LIMIT 3",
 			Site: target,
 			Mode: core.ModeRealTime,
@@ -147,7 +148,7 @@ func main() {
 	// virtual organisation: free memory per site.
 	fmt.Println()
 	for _, target := range sites {
-		resp, err := client.Query(core.Request{
+		resp, err := client.Query(ctx, core.QueryOptions{
 			SQL:  "SELECT HostName, RAMAvailable FROM Memory ORDER BY RAMAvailable DESC LIMIT 1",
 			Site: target,
 		})
@@ -163,7 +164,7 @@ func main() {
 	// One SQL statement over the whole virtual organisation: Site "*"
 	// fans out to every federated gateway and consolidates the answers,
 	// so ORDER BY/LIMIT are global.
-	resp, err := client.Query(core.Request{
+	resp, err := client.Query(ctx, core.QueryOptions{
 		SQL:  "SELECT HostName, LoadLast1Min FROM Processor ORDER BY LoadLast1Min DESC LIMIT 5",
 		Site: core.AllSites,
 		Mode: core.ModeRealTime,

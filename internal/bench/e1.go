@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -58,7 +59,7 @@ func runE1(w io.Writer, quick bool) error {
 	for _, tgt := range targets {
 		query := func(mode core.Mode) func() error {
 			return func() error {
-				_, err := gw.Query(core.Request{
+				_, err := gw.QueryContext(context.Background(), core.QueryOptions{
 					Principal: benchPrincipal,
 					SQL:       "SELECT * FROM Processor",
 					Sources:   []string{tgt.url},
@@ -85,7 +86,7 @@ func runE1(w io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		resp, err := gw.Query(core.Request{Principal: benchPrincipal,
+		resp, err := gw.QueryContext(context.Background(), core.QueryOptions{Principal: benchPrincipal,
 			SQL: "SELECT * FROM Processor", Sources: []string{tgt.url}})
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -77,7 +78,7 @@ func runE10(w io.Writer, quick bool) error {
 	}
 
 	fetchRow := func(url string) (map[string]any, error) {
-		resp, err := gw.Query(core.Request{
+		resp, err := gw.QueryContext(context.Background(), core.QueryOptions{
 			Principal: benchPrincipal,
 			SQL:       "SELECT * FROM Processor WHERE HostName = '" + host + "'",
 			Sources:   []string{url},

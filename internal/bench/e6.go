@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -60,7 +61,7 @@ func runE6(w io.Writer, quick bool) error {
 			go func() {
 				defer wg.Done()
 				for q := 0; q < queriesPerClient; q++ {
-					_, err := gw.Query(core.Request{
+					_, err := gw.QueryContext(context.Background(), core.QueryOptions{
 						Principal: benchPrincipal,
 						SQL:       "SELECT * FROM Processor WHERE LoadLast1Min >= 0",
 						Mode:      mode,

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -46,7 +47,7 @@ func buildFederation(n int) (*gma.Directory, []*fedSite, error) {
 		if err := dir.Register(gma.ProducerInfo{Site: name, Endpoint: srv.URL}); err != nil {
 			return nil, nil, err
 		}
-		gw.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, name))
+		gw.SetGlobalRouter(gma.NewContextRouter(dir, web.RemoteQueryContext, name))
 		sites = append(sites, &fedSite{gw: gw, srv: srv})
 	}
 	return dir, sites, nil
@@ -79,7 +80,7 @@ func runE7(w io.Writer, quick bool) error {
 		remoteSite := fmt.Sprintf("site%02d", n-1)
 
 		local, err := timeIt(iters, func() error {
-			_, err := client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime})
+			_, err := client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime})
 			return err
 		})
 		if err != nil {
@@ -87,7 +88,7 @@ func runE7(w io.Writer, quick bool) error {
 			return err
 		}
 		remote, err := timeIt(iters, func() error {
-			_, err := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+			_, err := client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor",
 				Site: remoteSite, Mode: core.ModeRealTime})
 			return err
 		})
@@ -98,7 +99,7 @@ func runE7(w io.Writer, quick bool) error {
 		// One SQL statement over the whole VO: the fan-out runs in
 		// parallel, so cost should track the slowest site, not the sum.
 		voWide, err := timeIt(iters, func() error {
-			resp, err := entry.gw.Query(core.Request{
+			resp, err := entry.gw.QueryContext(context.Background(), core.QueryOptions{
 				Principal: benchPrincipal,
 				SQL:       "SELECT * FROM Processor",
 				Site:      core.AllSites,

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"gridrm/internal/resultset"
 	"gridrm/internal/security"
 	"gridrm/internal/sqlparse"
+	"gridrm/internal/trace"
 )
 
 // queryAllSites executes one SQL statement across the whole virtual
@@ -18,7 +20,7 @@ import (
 // is bounded by ctx: a site that has not answered when the deadline passes
 // is reported as timed out and the consolidated rows of the sites that did
 // answer are returned.
-func (g *Gateway) queryAllSites(ctx context.Context, req Request, start time.Time) (*Response, error) {
+func (g *Gateway) queryAllSites(ctx context.Context, req QueryOptions, start time.Time) (*Response, error) {
 	if g.coarse.Check(req.Principal, security.OpGlobalQuery) != security.Allow {
 		g.denied.Add(1)
 		return nil, &PermissionError{Principal: req.Principal.Name, What: "global query"}
@@ -54,12 +56,18 @@ func (g *Gateway) queryAllSites(ctx context.Context, req Request, start time.Tim
 	// Buffered so site legs finishing after the deadline park their result
 	// in the channel instead of blocking or racing the collection below.
 	fanoutStart := g.clock()
+	fctx, fsp := trace.StartSpan(ctx, "fanout")
+	fsp.SetAttr("sites", strconv.Itoa(len(sites)))
 	ch := make(chan siteResult, len(sites))
 	for i, site := range sites {
 		go func(i int, site string) {
+			lctx, lsp := trace.StartSpan(fctx, "site")
+			lsp.SetAttr("site", site)
 			r := subReq
 			r.Site = site
-			resp, err := g.QueryContext(ctx, r)
+			resp, err := g.QueryContext(markSubQuery(lctx), r)
+			lsp.SetError(err)
+			lsp.End()
 			ch <- siteResult{i: i, site: site, resp: resp, err: err}
 		}(i, site)
 	}
@@ -83,6 +91,7 @@ collect:
 			break collect
 		}
 	}
+	fsp.End()
 	g.observeStage(StageFanout, fanoutStart)
 
 	var merged *resultset.ResultSet

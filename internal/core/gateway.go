@@ -29,6 +29,7 @@ import (
 	"gridrm/internal/qcache"
 	"gridrm/internal/schema"
 	"gridrm/internal/security"
+	"gridrm/internal/trace"
 )
 
 // Config configures a Gateway.
@@ -81,6 +82,10 @@ type Config struct {
 	// Probe.Interval zero (the default) no background loop runs — tests
 	// and operators can still sweep via Prober().ProbeAll.
 	Probe health.Options
+	// Trace configures the distributed tracer and slow-query log (trace
+	// store capacity, sample rate, slow threshold). Trace.Clock defaults
+	// to the gateway clock.
+	Trace trace.Options
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -212,7 +217,7 @@ type Stats struct {
 type GlobalRouter interface {
 	// RemoteQuery executes req at the gateway owning site and returns
 	// its response.
-	RemoteQuery(site string, req Request) (*Response, error)
+	RemoteQuery(site string, req QueryOptions) (*Response, error)
 	// Sites lists the remote sites the router can reach.
 	Sites() []string
 }
@@ -224,7 +229,7 @@ type GlobalRouter interface {
 type ContextRouter interface {
 	// RemoteQueryContext behaves like GlobalRouter.RemoteQuery bounded by
 	// ctx.
-	RemoteQueryContext(ctx context.Context, site string, req Request) (*Response, error)
+	RemoteQueryContext(ctx context.Context, site string, req QueryOptions) (*Response, error)
 }
 
 // Gateway is a GridRM gateway's local layer.
@@ -253,6 +258,7 @@ type Gateway struct {
 	registry  *metrics.Registry
 	stageHist *metrics.HistogramVec
 	prober    *health.Prober
+	tracer    *trace.Tracer
 
 	mu       sync.RWMutex
 	sources  map[string]*SourceInfo
@@ -313,6 +319,9 @@ func New(cfg Config) *Gateway {
 	if cfg.Probe.Clock == nil {
 		cfg.Probe.Clock = cfg.Clock
 	}
+	if cfg.Trace.Clock == nil {
+		cfg.Trace.Clock = cfg.Clock
+	}
 	reg := metrics.NewRegistry()
 	if cfg.Pool.DialObserver == nil {
 		dialHist := reg.Histogram("gridrm_pool_dial_seconds",
@@ -338,6 +347,7 @@ func New(cfg Config) *Gateway {
 		breakerOpts:    cfg.Breaker.Fill(),
 		coalesce:       !cfg.DisableCoalescing,
 		flights:        newFlightGroup(),
+		tracer:         trace.New(cfg.Trace),
 		registry:       reg,
 		sources:        make(map[string]*SourceInfo),
 		breakers:       make(map[string]*breaker),
@@ -408,10 +418,19 @@ func (g *Gateway) registerMetrics() {
 	r.CounterFunc("gridrm_events_published_total", "Events accepted by the Event Manager.", func() int64 { return g.events.Stats().Published })
 	r.CounterFunc("gridrm_events_dispatched_total", "Events fully processed by the dispatcher.", func() int64 { return g.events.Stats().Dispatched })
 	r.CounterFunc("gridrm_event_alerts_total", "Threshold alerts synthesised.", func() int64 { return g.events.Stats().Alerts })
+	r.CounterFunc("gridrm_traces_started_total", "Sampled query traces begun.", func() int64 { return g.tracer.Stats().Started })
+	r.CounterFunc("gridrm_traces_stored_total", "Query traces published to the trace store.", func() int64 { return g.tracer.Stats().Stored })
+	r.CounterFunc("gridrm_traces_evicted_total", "Query traces evicted from the trace store.", func() int64 { return g.tracer.Stats().Evicted })
+	r.CounterFunc("gridrm_slow_queries_total", "Queries recorded in the slow-query log.", func() int64 { return g.tracer.Stats().SlowQueries })
+	r.CounterFunc("gridrm_trace_spans_dropped_total", "Spans discarded by the per-trace cap.", func() int64 { return g.tracer.Stats().DroppedSpans })
 }
 
 // Metrics returns the gateway's metrics registry (served by GET /metrics).
 func (g *Gateway) Metrics() *metrics.Registry { return g.registry }
+
+// Tracer returns the gateway's distributed tracer and slow-query log
+// (served by GET /traces and the /status slow section).
+func (g *Gateway) Tracer() *trace.Tracer { return g.tracer }
 
 // QueryStageLatencies summarises the per-stage query latency histogram for
 // status reports.

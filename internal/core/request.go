@@ -12,6 +12,7 @@ import (
 	"gridrm/internal/resultset"
 	"gridrm/internal/security"
 	"gridrm/internal/sqlparse"
+	"gridrm/internal/trace"
 )
 
 // Mode selects how a query is satisfied.
@@ -43,10 +44,12 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
-// Request is a client query as received by the Abstract Client Interface
-// Layer: the network addresses of the data sources plus the SQL to execute
-// (paper §3.2.2).
-type Request struct {
+// QueryOptions is a client query as received by the Abstract Client
+// Interface Layer — the network addresses of the data sources plus the SQL
+// to execute (paper §3.2.2) — and the per-request execution knobs. It is
+// the one entry point Gateway.QueryContext consumes; every other query
+// helper (Query, Poll, the wire codecs) builds one of these.
+type QueryOptions struct {
 	// Principal identifies the client for the security layers.
 	Principal security.Principal
 	// SQL is the query, e.g. "SELECT * FROM Processor WHERE
@@ -66,7 +69,20 @@ type Request struct {
 	Mode Mode
 	// Since/Until bound historical queries (zero = unbounded).
 	Since, Until time.Time
+	// Timeout bounds this request, overriding the gateway's default
+	// QueryTimeout (zero keeps the default behaviour; the caller's context
+	// deadline still applies either way).
+	Timeout time.Duration
+	// Trace selects this query's tracing: DecideSample (the default)
+	// follows the gateway's sample rate, DecideOn forces a trace,
+	// DecideOff suppresses one.
+	Trace trace.Decision
 }
+
+// Request is the old name of QueryOptions.
+//
+// Deprecated: use QueryOptions.
+type Request = QueryOptions
 
 // SourceStatus reports the per-source outcome of a query.
 //
@@ -129,6 +145,14 @@ type Response struct {
 	Sources []SourceStatus
 	// Elapsed is the gateway-side processing time.
 	Elapsed time.Duration
+	// TraceID identifies the query's trace when it was sampled; fetch the
+	// span tree from the tracer (or GET /traces/<id>).
+	TraceID string
+	// Trace carries the finished spans this gateway recorded when it
+	// served a propagated remote trace, so the calling gateway can stitch
+	// them under its own span tree. Empty for locally rooted queries —
+	// those are read from the trace store instead.
+	Trace []trace.SpanData
 }
 
 // AllSites is the Request.Site wildcard for virtual-organisation-wide
@@ -154,40 +178,113 @@ func (e *PermissionError) Error() string {
 // entry and one history record per source.
 func harvestSQL(group string) string { return "SELECT * FROM " + group }
 
-// Query executes a request: the RequestManager path of Fig 3. SQL comes in,
-// a consolidated ResultSet comes out. The request runs under the gateway's
-// default QueryTimeout; use QueryContext to supply a caller deadline.
-func (g *Gateway) Query(req Request) (*Response, error) {
-	return g.QueryContext(context.Background(), req)
+// Query executes a request under the gateway's default QueryTimeout.
+//
+// Deprecated: use QueryContext.
+func (g *Gateway) Query(opts QueryOptions) (*Response, error) {
+	return g.QueryContext(context.Background(), opts)
 }
 
-// QueryContext executes a request bounded by ctx. When ctx carries no
-// deadline and the gateway's QueryTimeout is enabled, that timeout is
-// applied. On expiry, live queries return partial results: rows from the
-// sources that answered in time, with the stragglers marked ErrTimedOut in
-// their SourceStatus.
-func (g *Gateway) QueryContext(ctx context.Context, req Request) (*Response, error) {
+// QueryContext executes a query — the RequestManager path of Fig 3: SQL
+// comes in, a consolidated ResultSet comes out. The request is bounded by
+// ctx; when opts.Timeout is set it is applied on top, and when neither
+// carries a deadline the gateway's QueryTimeout (if enabled) is. On expiry,
+// live queries return partial results: rows from the sources that answered
+// in time, with the stragglers marked ErrTimedOut in their SourceStatus.
+//
+// When the query is sampled for tracing (opts.Trace, the gateway's sample
+// rate, or a propagated remote trace context), the whole pipeline — parse,
+// cache lookup, harvest, pool checkout, driver execute, consolidation,
+// remote fan-out — is recorded as a span tree and the Response carries its
+// TraceID. Queries slower than the tracer's threshold additionally land in
+// the slow-query log, sampled or not.
+func (g *Gateway) QueryContext(ctx context.Context, opts QueryOptions) (*Response, error) {
 	if err := g.beginQuery(); err != nil {
 		g.queryErrors.Add(1)
 		return nil, err
 	}
 	defer g.endQuery()
-	if _, hasDeadline := ctx.Deadline(); !hasDeadline && g.queryTimeout > 0 {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	} else if _, hasDeadline := ctx.Deadline(); !hasDeadline && g.queryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, g.queryTimeout)
 		defer cancel()
 	}
+	ctx, span := g.startQuerySpan(ctx, opts)
 	start := g.clock()
-	resp, err := g.query(ctx, req, start)
+	resp, err := g.query(ctx, opts, start)
+	elapsed := g.clock().Sub(start)
+	span.SetError(err)
+	span.End()
+	if !isSubQuery(ctx) {
+		slow := trace.SlowQuery{
+			Time:    start,
+			Site:    g.name,
+			SQL:     opts.SQL,
+			Mode:    opts.Mode.String(),
+			Elapsed: elapsed,
+			TraceID: span.TraceID(),
+		}
+		if err != nil {
+			slow.Err = err.Error()
+		}
+		g.tracer.ObserveQuery(slow)
+	}
 	if err != nil {
 		g.queryErrors.Add(1)
 		return nil, err
 	}
-	resp.Elapsed = g.clock().Sub(start)
+	resp.Elapsed = elapsed
+	if span.IsRoot() {
+		resp.TraceID = span.TraceID()
+		if span.ParentID() != "" {
+			// This gateway served a leg of a remote gateway's trace: ship
+			// the finished spans back so the caller can stitch them under
+			// its own tree.
+			resp.Trace = span.Collected()
+		}
+	}
 	return resp, nil
 }
 
-func (g *Gateway) query(ctx context.Context, req Request, start time.Time) (*Response, error) {
+// startQuerySpan begins this query's span: a child "query" span when the
+// context already carries one (the local leg of an all-sites fan-out), the
+// trace root otherwise — continuing a propagated remote trace when the
+// context carries one.
+func (g *Gateway) startQuerySpan(ctx context.Context, opts QueryOptions) (context.Context, *trace.Span) {
+	var span *trace.Span
+	if trace.SpanFromContext(ctx) != nil {
+		ctx, span = trace.StartSpan(ctx, "query")
+	} else {
+		ctx, span = g.tracer.StartTrace(ctx, "query", g.name, opts.Trace)
+	}
+	if span != nil {
+		span.SetAttr("sql", opts.SQL)
+		span.SetAttr("mode", opts.Mode.String())
+		if opts.Site != "" {
+			span.SetAttr("target", opts.Site)
+		}
+	}
+	return ctx, span
+}
+
+// subQueryKey marks the contexts of an all-sites fan-out's local legs, so
+// only the consolidated parent query lands in the slow-query log.
+type subQueryKey struct{}
+
+func markSubQuery(ctx context.Context) context.Context {
+	return context.WithValue(ctx, subQueryKey{}, true)
+}
+
+func isSubQuery(ctx context.Context) bool {
+	marked, _ := ctx.Value(subQueryKey{}).(bool)
+	return marked
+}
+
+func (g *Gateway) query(ctx context.Context, req QueryOptions, start time.Time) (*Response, error) {
 	g.queries.Add(1)
 
 	if req.Site == AllSites {
@@ -223,7 +320,10 @@ func (g *Gateway) query(ctx context.Context, req Request, start time.Time) (*Res
 	}
 
 	parseStart := g.clock()
+	_, psp := trace.StartSpan(ctx, "parse")
 	q, err := sqlparse.Parse(req.SQL)
+	psp.SetError(err)
+	psp.End()
 	g.observeStage(StageParse, parseStart)
 	if err != nil {
 		return nil, err
@@ -234,12 +334,12 @@ func (g *Gateway) query(ctx context.Context, req Request, start time.Time) (*Res
 	}
 
 	if req.Mode == ModeHistorical {
-		return g.queryHistorical(req, q, group)
+		return g.queryHistorical(ctx, req, q, group)
 	}
 	return g.queryLive(ctx, req, q, group)
 }
 
-func (g *Gateway) queryHistorical(req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
+func (g *Gateway) queryHistorical(ctx context.Context, req QueryOptions, q *sqlparse.Query, group *glue.Group) (*Response, error) {
 	source := ""
 	if len(req.Sources) == 1 {
 		source = req.Sources[0]
@@ -252,7 +352,10 @@ func (g *Gateway) queryHistorical(req Request, q *sqlparse.Query, group *glue.Gr
 			return nil, &PermissionError{Principal: req.Principal.Name, What: "history of " + source}
 		}
 	}
+	_, hsp := trace.StartSpan(ctx, "history-query")
 	rs, err := g.history.Query(group.Name, source, req.Since, req.Until)
+	hsp.SetError(err)
+	hsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +366,7 @@ func (g *Gateway) queryHistorical(req Request, q *sqlparse.Query, group *glue.Gr
 	return &Response{Site: g.name, SQL: q.String(), Mode: req.Mode, ResultSet: out}, nil
 }
 
-func (g *Gateway) queryLive(ctx context.Context, req Request, q *sqlparse.Query, group *glue.Group) (*Response, error) {
+func (g *Gateway) queryLive(ctx context.Context, req QueryOptions, q *sqlparse.Query, group *glue.Group) (*Response, error) {
 	targets, err := g.targetSources(req, group)
 	if err != nil {
 		return nil, err
@@ -311,8 +414,11 @@ collect:
 	}
 
 	consolidateStart := g.clock()
+	_, csp := trace.StartSpan(ctx, "consolidate")
 	meta, err := resultset.MetadataForGroup(group, nil)
 	if err != nil {
+		csp.SetError(err)
+		csp.End()
 		return nil, err
 	}
 	merged := resultset.New(meta)
@@ -327,6 +433,8 @@ collect:
 		}
 	}
 	out, err := sqlparse.ApplyToResultSet(q, merged)
+	csp.SetError(err)
+	csp.End()
 	g.observeStage(StageConsolidate, consolidateStart)
 	if err != nil {
 		return nil, err
@@ -341,7 +449,7 @@ collect:
 }
 
 // targetSources resolves which registered sources a query should touch.
-func (g *Gateway) targetSources(req Request, group *glue.Group) ([]string, error) {
+func (g *Gateway) targetSources(req QueryOptions, group *glue.Group) ([]string, error) {
 	if len(req.Sources) > 0 {
 		g.mu.RLock()
 		defer g.mu.RUnlock()
@@ -409,8 +517,24 @@ func (g *Gateway) supportsGroup(url, group string) bool {
 // querySource obtains one source's full-group rows, from cache or by
 // harvest, honouring the FGSL, the circuit breaker and the per-source
 // harvest timeout.
-func (g *Gateway) querySource(ctx context.Context, req Request, url string, group *glue.Group) (SourceStatus, *resultset.ResultSet) {
+func (g *Gateway) querySource(ctx context.Context, req QueryOptions, url string, group *glue.Group) (SourceStatus, *resultset.ResultSet) {
 	status := SourceStatus{Source: url}
+	ctx, ssp := trace.StartSpan(ctx, "source")
+	if ssp != nil {
+		ssp.SetAttr("url", url)
+		defer func() {
+			if status.Err != "" {
+				ssp.SetError(errors.New(status.Err))
+			}
+			if status.Cached {
+				ssp.SetAttr("cached", "true")
+			}
+			if status.Degraded != "" {
+				ssp.SetAttr("degraded", status.Degraded)
+			}
+			ssp.End()
+		}()
+	}
 	switch g.fine.Check(req.Principal, url, group.Name) {
 	case security.Allow:
 	case security.Defer:
@@ -428,7 +552,12 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 	hsql := harvestSQL(group.Name)
 	if req.Mode == ModeCached {
 		lookupStart := g.clock()
+		_, lsp := trace.StartSpan(ctx, "cache-lookup")
 		rs, at, ok := g.cache.Get(url, hsql)
+		if ok {
+			lsp.SetAttr("hit", "true")
+		}
+		lsp.End()
 		g.observeStage(StageCache, lookupStart)
 		if ok {
 			g.cacheServed.Add(1)
@@ -448,10 +577,14 @@ func (g *Gateway) querySource(ctx context.Context, req Request, url string, grou
 		return status, g.degradedResult(req.Mode, url, hsql, group, &status)
 	}
 
-	res, shared := g.sharedHarvest(ctx, url, group, hsql)
+	hctx, hsp := trace.StartSpan(ctx, "harvest")
+	res, shared := g.sharedHarvest(hctx, url, group, hsql)
 	if shared {
 		g.coalesced.Add(1)
+		hsp.SetAttr("coalesced", "true")
 	}
+	hsp.SetError(res.err)
+	hsp.End()
 	if res.err != nil {
 		if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 			status.Err = ErrTimedOut
@@ -602,13 +735,19 @@ func (g *Gateway) harvest(ctx context.Context, url, hsql string) (*resultset.Res
 		return nil, "", err
 	}
 	driverName := conn.Driver()
+	_, dsp := trace.StartSpan(ctx, "driver-execute")
+	dsp.SetAttr("driver", driverName)
 	stmt, err := driver.SafeCreateStatement(conn)
 	if err != nil {
+		dsp.SetError(err)
+		dsp.End()
 		conn.Discard()
 		return nil, driverName, err
 	}
 	rs, err := driver.QueryContext(ctx, stmt, hsql)
 	_ = driver.SafeClose(stmt)
+	dsp.SetError(err)
+	dsp.End()
 	if err != nil {
 		conn.Discard()
 		return nil, driverName, err
@@ -618,15 +757,18 @@ func (g *Gateway) harvest(ctx context.Context, url, hsql string) (*resultset.Res
 	return rs, driverName, nil
 }
 
-// Poll forces a real-time refresh of one source for one GLUE group and
-// returns its rows — the explicit poll behind Fig 9's refresh icon.
+// Poll forces a real-time refresh of one source for one GLUE group.
+//
+// Deprecated: use PollContext.
 func (g *Gateway) Poll(principal security.Principal, url, group string) (*Response, error) {
 	return g.PollContext(context.Background(), principal, url, group)
 }
 
-// PollContext is Poll bounded by ctx.
+// PollContext forces a real-time refresh of one source for one GLUE group
+// and returns its rows — the explicit poll behind Fig 9's refresh icon. It
+// is a shim over QueryContext.
 func (g *Gateway) PollContext(ctx context.Context, principal security.Principal, url, group string) (*Response, error) {
-	return g.QueryContext(ctx, Request{
+	return g.QueryContext(ctx, QueryOptions{
 		Principal: principal,
 		SQL:       harvestSQL(group),
 		Sources:   []string{url},

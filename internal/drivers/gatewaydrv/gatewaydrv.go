@@ -85,7 +85,7 @@ func (d *Driver) Connect(url string, props driver.Properties) (driver.Conn, erro
 		Principal:  principal,
 		HTTPClient: &http.Client{Timeout: timeout},
 	}
-	status, err := client.Status()
+	status, err := client.Status(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("gatewaydrv: %s does not answer as a GridRM gateway: %w", url, err)
 	}
@@ -116,7 +116,7 @@ func (c *Conn) Ping() error {
 	if c.closed {
 		return driver.ErrClosed
 	}
-	_, err := c.client.Status()
+	_, err := c.client.Status(context.Background())
 	return err
 }
 
@@ -168,7 +168,7 @@ func (s *Stmt) ExecuteQueryContext(ctx context.Context, sql string) (*resultset.
 	if _, ok := glue.Lookup(q.Table); !ok {
 		return nil, fmt.Errorf("gatewaydrv: unknown group %q", q.Table)
 	}
-	resp, err := s.conn.client.QueryContext(ctx, core.Request{SQL: sql, Mode: core.ModeCached})
+	resp, err := s.conn.client.Query(ctx, core.QueryOptions{SQL: sql, Mode: core.ModeCached})
 	if err != nil {
 		return nil, fmt.Errorf("gatewaydrv: child %s: %w", s.conn.childSite, err)
 	}

@@ -10,15 +10,16 @@ import (
 	"gridrm/internal/breaker"
 	"gridrm/internal/core"
 	"gridrm/internal/metrics"
+	"gridrm/internal/trace"
 )
 
 // Exec forwards a query to a remote gateway endpoint; internal/web's
 // RemoteQuery is the HTTP implementation.
-type Exec func(endpoint string, req core.Request) (*core.Response, error)
+type Exec func(endpoint string, req core.QueryOptions) (*core.Response, error)
 
 // ExecContext forwards a query to a remote gateway endpoint, bounded by ctx;
 // internal/web's RemoteQueryContext is the HTTP implementation.
-type ExecContext func(ctx context.Context, endpoint string, req core.Request) (*core.Response, error)
+type ExecContext func(ctx context.Context, endpoint string, req core.QueryOptions) (*core.Response, error)
 
 // Config configures the Router's resilience features. The zero value (used
 // by NewRouter and NewContextRouter) keeps the seed behaviour: no lookup
@@ -277,18 +278,28 @@ func (r *Router) lookup(ctx context.Context, site string) (ProducerInfo, error) 
 }
 
 // RemoteQuery implements core.GlobalRouter.
-func (r *Router) RemoteQuery(site string, req core.Request) (*core.Response, error) {
+func (r *Router) RemoteQuery(site string, req core.QueryOptions) (*core.Response, error) {
 	return r.RemoteQueryContext(context.Background(), site, req)
 }
 
 // RemoteQueryContext implements core.ContextRouter: directory lookup (with
 // cache), per-endpoint breaker admission, the remote call with optional
-// hedging, and retries with backoff — all bounded by ctx.
-func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.Request) (*core.Response, error) {
+// hedging, and retries with backoff — all bounded by ctx. When the request
+// is being traced the hop is recorded as a "remote-query" span; the HTTP
+// exec propagates the trace context to the remote gateway and stitches its
+// returned spans into the local trace.
+func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.QueryOptions) (*core.Response, error) {
+	ctx, sp := trace.StartSpan(ctx, "remote-query")
+	if sp != nil {
+		sp.SetAttr("site", site)
+		defer sp.End()
+	}
 	p, err := r.lookup(ctx, site)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
+	sp.SetAttr("endpoint", p.Endpoint)
 	r.remoteQueries.Add(1)
 
 	br := r.endpointBreaker(p.Endpoint)
@@ -302,7 +313,9 @@ func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.R
 				break
 			}
 			r.remoteFailures.Add(1)
-			return nil, fmt.Errorf("gma: circuit open for site %q (%s)", site, p.Endpoint)
+			err := fmt.Errorf("gma: circuit open for site %q (%s)", site, p.Endpoint)
+			sp.SetError(err)
+			return nil, err
 		}
 		resp, err := r.execHedged(ctx, p.Endpoint, req)
 		if err == nil {
@@ -329,11 +342,13 @@ func (r *Router) RemoteQueryContext(ctx context.Context, site string, req core.R
 		break
 	}
 	r.remoteFailures.Add(1)
-	return nil, fmt.Errorf("gma: remote query to %s (%s): %w", site, p.Endpoint, lastErr)
+	err = fmt.Errorf("gma: remote query to %s (%s): %w", site, p.Endpoint, lastErr)
+	sp.SetError(err)
+	return nil, err
 }
 
 // execute performs one remote call, preferring the context-threading exec.
-func (r *Router) execute(ctx context.Context, endpoint string, req core.Request) (*core.Response, error) {
+func (r *Router) execute(ctx context.Context, endpoint string, req core.QueryOptions) (*core.Response, error) {
 	if r.execCtx != nil {
 		return r.execCtx(ctx, endpoint, req)
 	}
@@ -344,7 +359,7 @@ func (r *Router) execute(ctx context.Context, endpoint string, req core.Request)
 // the call has not answered in time, a second identical call is launched
 // and the first response wins — the Dean/Barroso hedged-request pattern for
 // tail tolerance. The loser is cancelled through the shared context.
-func (r *Router) execHedged(ctx context.Context, endpoint string, req core.Request) (*core.Response, error) {
+func (r *Router) execHedged(ctx context.Context, endpoint string, req core.QueryOptions) (*core.Response, error) {
 	if r.cfg.HedgeAfter <= 0 || r.execCtx == nil {
 		return r.execute(ctx, endpoint, req)
 	}

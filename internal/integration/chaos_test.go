@@ -151,7 +151,7 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 	}
 
 	// A federated client keeps getting answers through the burning site.
-	remote, err := client.Query(core.Request{SQL: "SELECT * FROM Processor",
+	remote, err := client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor",
 		Site: "chaosB", Mode: core.ModeCached})
 	if err != nil {
 		t.Fatalf("federated query failed during chaos: %v", err)

@@ -7,6 +7,7 @@
 package integration_test
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -396,7 +397,7 @@ func TestFullFederationOverHTTP(t *testing.T) {
 	siteA.gw.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, "siteA"))
 
 	client := &web.Client{BaseURL: srvA.URL, Principal: siteA.admin}
-	resp, err := client.Query(core.Request{
+	resp, err := client.Query(context.Background(), core.QueryOptions{
 		SQL:  "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName",
 		Site: "siteB",
 		Mode: core.ModeRealTime,
@@ -421,7 +422,7 @@ func TestFullFederationOverHTTP(t *testing.T) {
 
 	// VO-wide query: one SQL statement consolidated across both sites,
 	// with the ordering applied globally.
-	resp, err = client.Query(core.Request{
+	resp, err = client.Query(context.Background(), core.QueryOptions{
 		SQL:  "SELECT HostName, LoadLast1Min FROM Processor WHERE LoadLast1Min IS NOT NULL ORDER BY HostName",
 		Site: core.AllSites,
 		Mode: core.ModeRealTime,

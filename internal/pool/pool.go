@@ -14,12 +14,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gridrm/internal/driver"
+	"gridrm/internal/trace"
 )
 
 // Options configures a Manager.
@@ -139,8 +141,23 @@ func (m *Manager) Get(url string, props driver.Properties) (*Conn, error) {
 // is being opened, the call returns ctx.Err() immediately. The in-flight
 // connect keeps running in the background; when it eventually succeeds, the
 // connection is adopted into the idle pool (not leaked), ready for the next
-// caller.
+// caller. When the request is being traced, the checkout is recorded as a
+// "pool-checkout" span noting whether an idle connection was reused.
 func (m *Manager) GetContext(ctx context.Context, url string, props driver.Properties) (*Conn, error) {
+	_, sp := trace.StartSpan(ctx, "pool-checkout")
+	if sp != nil {
+		sp.SetAttr("url", url)
+	}
+	conn, reused, err := m.getContext(ctx, url, props)
+	if sp != nil {
+		sp.SetAttr("reused", strconv.FormatBool(reused))
+		sp.SetError(err)
+		sp.End()
+	}
+	return conn, err
+}
+
+func (m *Manager) getContext(ctx context.Context, url string, props driver.Properties) (*Conn, bool, error) {
 	k := key(url, props)
 	if !m.opts.Disabled {
 		for {
@@ -150,25 +167,25 @@ func (m *Manager) GetContext(ctx context.Context, url string, props driver.Prope
 			}
 			if err := m.ping(ctx, k, conn); err != nil {
 				if ctx.Err() != nil {
-					return nil, ctx.Err()
+					return nil, false, ctx.Err()
 				}
 				continue
 			}
 			m.hits.Add(1)
-			return &Conn{Conn: conn, mgr: m, key: k}, nil
+			return &Conn{Conn: conn, mgr: m, key: k}, true, nil
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	m.misses.Add(1)
 	if ctx.Done() == nil {
 		conn, err := m.connect(url, props)
 		if err != nil {
-			return nil, fmt.Errorf("pool: %w", err)
+			return nil, false, fmt.Errorf("pool: %w", err)
 		}
 		m.opens.Add(1)
-		return &Conn{Conn: conn, mgr: m, key: k}, nil
+		return &Conn{Conn: conn, mgr: m, key: k}, false, nil
 	}
 	type result struct {
 		conn driver.Conn
@@ -182,10 +199,10 @@ func (m *Manager) GetContext(ctx context.Context, url string, props driver.Prope
 	select {
 	case r := <-ch:
 		if r.err != nil {
-			return nil, fmt.Errorf("pool: %w", r.err)
+			return nil, false, fmt.Errorf("pool: %w", r.err)
 		}
 		m.opens.Add(1)
-		return &Conn{Conn: r.conn, mgr: m, key: k}, nil
+		return &Conn{Conn: r.conn, mgr: m, key: k}, false, nil
 	case <-ctx.Done():
 		go func() {
 			if r := <-ch; r.err == nil {
@@ -193,7 +210,7 @@ func (m *Manager) GetContext(ctx context.Context, url string, props driver.Prope
 				m.put(k, r.conn)
 			}
 		}()
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"gridrm/internal/drivers/scmsdrv"
 	"gridrm/internal/drivers/snmpdrv"
 	"gridrm/internal/health"
+	"gridrm/internal/trace"
 )
 
 // Options configures a simulated site.
@@ -76,6 +77,28 @@ type Options struct {
 	// their own registration names, so schemas and static preferences
 	// are unaffected.
 	Faults *faultdrv.Faults
+	// Trace configures the gateway's query tracer (sampling rate, trace
+	// store capacity, slow-query threshold). The zero value keeps the
+	// core defaults.
+	Trace trace.Options
+}
+
+// CoreConfig maps the gateway-relevant options onto a core.Config for the
+// given site name. NewGateway and the cmd binaries use this so every knob
+// flows through one translation instead of ad-hoc field copying.
+func (o Options) CoreConfig(name string) core.Config {
+	return core.Config{
+		Name:                  name,
+		HarvestTimeout:        o.HarvestTimeout,
+		QueryTimeout:          o.QueryTimeout,
+		Retry:                 o.Retry,
+		Breaker:               o.Breaker,
+		MaxConcurrentHarvests: o.MaxConcurrentHarvests,
+		DisableCoalescing:     o.DisableCoalescing,
+		StaleGrace:            o.StaleGrace,
+		Probe:                 health.Options{Interval: o.ProbeInterval},
+		Trace:                 o.Trace,
+	}
 }
 
 func (o *Options) fill() {
@@ -384,17 +407,7 @@ func registerDrivers(gw *core.Gateway, faults *faultdrv.Faults) error {
 // NewGateway creates a gateway named after the site with every bundled
 // driver registered and every agent of the manifest added as a source.
 func NewGateway(m Manifest, opts Options, dynamic bool) (*core.Gateway, error) {
-	gw := core.New(core.Config{
-		Name:                  m.Site,
-		HarvestTimeout:        opts.HarvestTimeout,
-		QueryTimeout:          opts.QueryTimeout,
-		Retry:                 opts.Retry,
-		Breaker:               opts.Breaker,
-		MaxConcurrentHarvests: opts.MaxConcurrentHarvests,
-		DisableCoalescing:     opts.DisableCoalescing,
-		StaleGrace:            opts.StaleGrace,
-		Probe:                 health.Options{Interval: opts.ProbeInterval},
-	})
+	gw := core.New(opts.CoreConfig(m.Site))
 	if err := registerDrivers(gw, opts.Faults); err != nil {
 		gw.Close()
 		return nil, err

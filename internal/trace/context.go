@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+type spanKey struct{}
+type remoteKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil when the request is not
+// being traced. The nil span is safe to use.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan begins a child of the active span, inheriting its trace and
+// site. When the request is untraced it returns (ctx, nil) and costs only
+// the context lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{rec: parent.rec, data: SpanData{
+		TraceID: parent.data.TraceID,
+		SpanID:  parent.rec.nextSpanID(),
+		Parent:  parent.data.SpanID,
+		Name:    name,
+		Site:    parent.data.Site,
+		Start:   parent.rec.tracer.clock(),
+	}}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// AttachRemote stitches spans recorded by a remote gateway into the active
+// trace, marking them Remote. No-op when the request is untraced.
+func AttachRemote(ctx context.Context, spans []SpanData) {
+	sp := SpanFromContext(ctx)
+	if sp == nil || len(spans) == 0 {
+		return
+	}
+	sp.rec.attachRemote(spans)
+}
+
+// Carrier is the trace context that crosses a gateway-to-gateway hop.
+type Carrier struct {
+	// TraceID is the originating trace.
+	TraceID string
+	// Parent is the calling gateway's span the remote work nests under.
+	Parent string
+	// Sampled tells the remote gateway whether to record spans.
+	Sampled bool
+}
+
+// Header renders the carrier as the X-GridRM-Trace header value.
+func (c Carrier) Header() string {
+	s := "0"
+	if c.Sampled {
+		s = "1"
+	}
+	return c.TraceID + "-" + c.Parent + "-" + s
+}
+
+// ParseCarrier parses an X-GridRM-Trace header value. ok is false for an
+// empty or malformed value.
+func ParseCarrier(h string) (c Carrier, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return Carrier{}, false
+	}
+	sampled, err := strconv.ParseBool(parts[2])
+	if err != nil {
+		return Carrier{}, false
+	}
+	return Carrier{TraceID: parts[0], Parent: parts[1], Sampled: sampled}, true
+}
+
+// CarrierFromContext builds the outbound carrier for the active span; ok is
+// false when the request is untraced (send no header).
+func CarrierFromContext(ctx context.Context) (Carrier, bool) {
+	sp := SpanFromContext(ctx)
+	if sp == nil {
+		return Carrier{}, false
+	}
+	return Carrier{TraceID: sp.data.TraceID, Parent: sp.data.SpanID, Sampled: true}, true
+}
+
+// ContextWithRemote marks ctx as serving an inbound remote request carrying
+// c; the gateway's next StartTrace continues that trace instead of starting
+// its own.
+func ContextWithRemote(ctx context.Context, c Carrier) context.Context {
+	return context.WithValue(ctx, remoteKey{}, c)
+}
+
+func remoteFromContext(ctx context.Context) (Carrier, bool) {
+	c, ok := ctx.Value(remoteKey{}).(Carrier)
+	return c, ok
+}

@@ -1,0 +1,583 @@
+// Package trace is a stdlib-only distributed-tracing layer for the GridRM
+// gateway: spans with trace/parent identity, a bounded in-memory store of
+// finished traces, and a ring-buffer slow-query log. The query path threads
+// a span through context.Context (internal/core, internal/pool,
+// internal/gma all add children), and trace context propagates across
+// gateway-to-gateway hops in the X-GridRM-Trace header so a federated
+// all-sites query yields one stitched span tree: remote gateways record
+// their own spans and return them on the wire, and the parent gateway
+// attaches them to its trace before publishing.
+//
+// The whole API is nil-tolerant: an unsampled query carries a nil *Span and
+// every span operation on it is a no-op, so the untraced hot path costs a
+// context lookup and a nil check per stage.
+package trace
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderName is the HTTP header that propagates trace context between
+// gateways: "<traceID>-<parentSpanID>-<sampled>".
+const HeaderName = "X-GridRM-Trace"
+
+const (
+	defaultCapacity      = 256
+	defaultMaxSpans      = 512
+	defaultSlowLog       = 128
+	defaultSlowThreshold = 500 * time.Millisecond
+)
+
+// Options configures a Tracer. Zero values take the defaults noted;
+// negative values disable where noted.
+type Options struct {
+	// Capacity is how many finished traces the in-memory store retains;
+	// the oldest trace is evicted first (default 256).
+	Capacity int
+	// MaxSpans caps the spans recorded per trace; spans beyond the cap are
+	// counted in Stats.DroppedSpans (default 512).
+	MaxSpans int
+	// SlowLog is the slow-query ring buffer size (default 128).
+	SlowLog int
+	// SlowThreshold is the elapsed time at or above which a finished query
+	// is recorded in the slow-query log (default 500ms; negative disables
+	// the log).
+	SlowThreshold time.Duration
+	// Sample is the fraction of root queries traced, 0..1 (default 1.0;
+	// negative disables tracing). Queries carrying a propagated remote
+	// trace context follow the parent gateway's decision instead, and
+	// callers can force tracing per query with DecideOn.
+	Sample float64
+	// Clock is injectable for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+// Decision selects how one query's sampling is decided.
+type Decision int
+
+const (
+	// DecideSample (the default) applies the tracer's Sample rate.
+	DecideSample Decision = iota
+	// DecideOn forces the query to be traced.
+	DecideOn
+	// DecideOff disables tracing for the query.
+	DecideOff
+)
+
+// SpanData is a finished span: the stored and wire form.
+type SpanData struct {
+	// TraceID identifies the whole request tree.
+	TraceID string `json:"traceId"`
+	// SpanID identifies this span.
+	SpanID string `json:"spanId"`
+	// Parent is the parent span's ID ("" for a locally rooted trace).
+	Parent string `json:"parent,omitempty"`
+	// Name is the operation, e.g. "query", "harvest", "pool-checkout".
+	Name string `json:"name"`
+	// Site is the gateway that recorded the span.
+	Site string `json:"site,omitempty"`
+	// Remote marks a span stitched in from a remote gateway's response.
+	Remote bool `json:"remote,omitempty"`
+	// Start is when the operation began.
+	Start time.Time `json:"start"`
+	// Duration is how long it took.
+	Duration time.Duration `json:"durationNs"`
+	// Attrs carries string key/value annotations (sql, url, driver ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Err is the operation's failure, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Span is a live span being recorded. A nil *Span is valid: every method
+// no-ops, which is how unsampled requests skip all bookkeeping.
+type Span struct {
+	rec *recorder
+
+	mu    sync.Mutex
+	ended bool
+	data  SpanData
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if s.data.Attrs == nil {
+			s.data.Attrs = make(map[string]string, 2)
+		}
+		s.data.Attrs[key] = value
+	}
+	s.mu.Unlock()
+}
+
+// SetError records err on the span (no-op for nil err).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.data.Err = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// TraceID returns the span's trace ID ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's ID ("" for a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
+// ParentID returns the parent span's ID. A root span with a non-empty
+// parent is continuing a trace propagated from a remote gateway.
+func (s *Span) ParentID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.Parent
+}
+
+// IsRoot reports whether this span is its trace's local root.
+func (s *Span) IsRoot() bool {
+	return s != nil && s.rec.root == s
+}
+
+// End finishes the span and hands it to the trace's recorder; ending the
+// root span publishes the collected trace to the tracer's store. End is
+// idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.Duration = s.rec.tracer.clock().Sub(s.data.Start)
+	// The Attrs map moves into the recorded SpanData without copying:
+	// SetAttr mutates only while !ended, so it is frozen from here on.
+	d := s.data
+	s.mu.Unlock()
+	s.rec.add(d)
+	if s.rec.root == s {
+		s.rec.publish()
+	}
+}
+
+// Collected snapshots every span recorded in this span's trace so far,
+// including spans stitched in from remote gateways. Call it on the root
+// after End to ship the trace on the wire.
+func (s *Span) Collected() []SpanData {
+	if s == nil {
+		return nil
+	}
+	return s.rec.snapshot()
+}
+
+// recorder accumulates the finished spans of one trace.
+type recorder struct {
+	tracer  *Tracer
+	traceID string
+	root    *Span
+	// prefix + seq generate span IDs: one crypto/rand draw per serving
+	// leg instead of one per span, with the counter providing in-trace
+	// uniqueness. "." keeps IDs clear of the carrier's "-" separator.
+	prefix string
+	seq    atomic.Uint64
+
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+func (r *recorder) nextSpanID() string {
+	return r.prefix + "." + strconv.FormatUint(r.seq.Add(1), 10)
+}
+
+func (r *recorder) add(d SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.tracer.opts.MaxSpans {
+		r.tracer.droppedSpans.Add(1)
+		return
+	}
+	r.spans = append(r.spans, d)
+}
+
+func (r *recorder) attachRemote(spans []SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range spans {
+		if len(r.spans) >= r.tracer.opts.MaxSpans {
+			r.tracer.droppedSpans.Add(1)
+			return
+		}
+		d.Remote = true
+		r.spans = append(r.spans, d)
+	}
+}
+
+func (r *recorder) snapshot() []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanData(nil), r.spans...)
+}
+
+func (r *recorder) publish() {
+	r.tracer.store(r.traceID, r.snapshot())
+}
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	// Time is when the query started.
+	Time time.Time `json:"time"`
+	// Site is the gateway that served it.
+	Site string `json:"site,omitempty"`
+	// SQL is the query text.
+	SQL string `json:"sql"`
+	// Mode is the execution mode.
+	Mode string `json:"mode,omitempty"`
+	// Elapsed is the gateway-side processing time.
+	Elapsed time.Duration `json:"elapsedNs"`
+	// TraceID links to the stored trace when the query was sampled.
+	TraceID string `json:"traceId,omitempty"`
+	// Err is the query's failure, if it failed outright.
+	Err string `json:"err,omitempty"`
+}
+
+// Stats counts tracer activity.
+type Stats struct {
+	// Started counts sampled root spans begun.
+	Started int64
+	// Stored counts traces published to the store.
+	Stored int64
+	// Evicted counts traces evicted by the store's capacity.
+	Evicted int64
+	// SlowQueries counts queries recorded in the slow-query log.
+	SlowQueries int64
+	// DroppedSpans counts spans discarded by the per-trace cap.
+	DroppedSpans int64
+}
+
+// Tracer owns the sampling decision, the bounded trace store and the
+// slow-query log. A nil *Tracer is valid and never samples.
+type Tracer struct {
+	opts  Options
+	clock func() time.Time
+
+	seq atomic.Uint64
+
+	mu     sync.Mutex
+	traces map[string][]SpanData
+	order  []string // trace IDs, oldest first
+
+	slowMu   sync.Mutex
+	slow     []SlowQuery
+	slowNext int
+
+	started, stored, evicted atomic.Int64
+	slowCount, droppedSpans  atomic.Int64
+}
+
+// New creates a Tracer.
+func New(o Options) *Tracer {
+	if o.Capacity <= 0 {
+		o.Capacity = defaultCapacity
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = defaultMaxSpans
+	}
+	if o.SlowLog <= 0 {
+		o.SlowLog = defaultSlowLog
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = defaultSlowThreshold
+	}
+	if o.Sample == 0 {
+		o.Sample = 1
+	}
+	if o.Sample < 0 {
+		o.Sample = 0
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return &Tracer{opts: o, clock: o.Clock, traces: make(map[string][]SpanData)}
+}
+
+// StartTrace begins the root span of one query. An inbound remote trace
+// context (ContextWithRemote) takes precedence: the new root continues the
+// remote trace ID under the remote parent span, sampled per the parent
+// gateway's decision. Otherwise d and the tracer's Sample rate decide. The
+// returned span is nil — and every operation on it a no-op — when the query
+// is not sampled.
+func (t *Tracer) StartTrace(ctx context.Context, name, site string, d Decision) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	car, remote := remoteFromContext(ctx)
+	var sampled bool
+	switch {
+	case remote:
+		sampled = car.Sampled
+	case d == DecideOn:
+		sampled = true
+	case d == DecideOff:
+		sampled = false
+	default:
+		sampled = t.shouldSample()
+	}
+	if !sampled {
+		return ctx, nil
+	}
+	t.started.Add(1)
+	traceID, parent := car.TraceID, car.Parent
+	if !remote {
+		traceID = newID(16)
+	}
+	rec := &recorder{tracer: t, traceID: traceID, prefix: newID(4),
+		spans: make([]SpanData, 0, 16)}
+	sp := &Span{rec: rec, data: SpanData{
+		TraceID: traceID,
+		SpanID:  rec.nextSpanID(),
+		Parent:  parent,
+		Name:    name,
+		Site:    site,
+		Start:   t.clock(),
+	}}
+	rec.root = sp
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// shouldSample decides deterministically (a multiplicative hash over a
+// sequence counter) so tests are reproducible and no lock is taken.
+func (t *Tracer) shouldSample() bool {
+	r := t.opts.Sample
+	if r <= 0 {
+		return false
+	}
+	if r >= 1 {
+		return true
+	}
+	h := (t.seq.Add(1) * 2654435761) & 0xffffffff
+	return float64(h) < r*float64(uint64(1)<<32)
+}
+
+// store files one trace's spans, evicting the oldest stored traces beyond
+// capacity. Publishing the same trace ID again (several serving legs of one
+// parent trace on the same gateway) merges instead of displacing.
+func (t *Tracer) store(id string, spans []SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.traces[id]; ok {
+		t.traces[id] = append(t.traces[id], spans...)
+		return
+	}
+	for len(t.order) >= t.opts.Capacity {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+		t.evicted.Add(1)
+	}
+	t.traces[id] = spans
+	t.order = append(t.order, id)
+	t.stored.Add(1)
+}
+
+// Node is one span with its children, for the /traces/<id> JSON tree.
+type Node struct {
+	SpanData
+	Children []*Node `json:"children,omitempty"`
+}
+
+// TraceData is one stored trace rendered as a span tree.
+type TraceData struct {
+	TraceID string  `json:"traceId"`
+	Spans   int     `json:"spans"`
+	Roots   []*Node `json:"roots"`
+}
+
+// Trace returns one stored trace as a span tree.
+func (t *Tracer) Trace(id string) (*TraceData, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	spans, ok := t.traces[id]
+	if ok {
+		spans = append([]SpanData(nil), spans...)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return &TraceData{TraceID: id, Spans: len(spans), Roots: BuildTree(spans)}, true
+}
+
+// BuildTree links spans into parent/child trees ordered by start time.
+// Spans whose parent is absent — the local root, or a remote fragment whose
+// parent span lives on another gateway — become roots.
+func BuildTree(spans []SpanData) []*Node {
+	nodes := make(map[string]*Node, len(spans))
+	ordered := make([]*Node, 0, len(spans))
+	for i := range spans {
+		n := &Node{SpanData: spans[i]}
+		if _, dup := nodes[n.SpanID]; !dup {
+			nodes[n.SpanID] = n
+		}
+		ordered = append(ordered, n)
+	}
+	var roots []*Node
+	for _, n := range ordered {
+		if p, ok := nodes[n.Parent]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range ordered {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*Node) {
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].Start.Before(ns[j].Start) })
+}
+
+// Summary is one stored trace's listing row (GET /traces).
+type Summary struct {
+	TraceID  string        `json:"traceId"`
+	Name     string        `json:"name"`
+	Site     string        `json:"site,omitempty"`
+	SQL      string        `json:"sql,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	Spans    int           `json:"spans"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Traces lists stored traces, newest first.
+func (t *Tracer) Traces() []Summary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Summary, 0, len(t.order))
+	for i := len(t.order) - 1; i >= 0; i-- {
+		id := t.order[i]
+		spans := t.traces[id]
+		s := Summary{TraceID: id, Spans: len(spans)}
+		ids := make(map[string]bool, len(spans))
+		for _, sd := range spans {
+			ids[sd.SpanID] = true
+		}
+		for _, sd := range spans {
+			if !sd.Remote && (sd.Parent == "" || !ids[sd.Parent]) {
+				s.Name, s.Site, s.Start = sd.Name, sd.Site, sd.Start
+				s.Duration, s.Err = sd.Duration, sd.Err
+				s.SQL = sd.Attrs["sql"]
+				break
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ObserveQuery records q in the slow-query log when its Elapsed is at or
+// above SlowThreshold. Unsampled queries are observed too (with an empty
+// TraceID), so the log catches slowness the sampler missed.
+func (t *Tracer) ObserveQuery(q SlowQuery) {
+	if t == nil || t.opts.SlowThreshold <= 0 || q.Elapsed < t.opts.SlowThreshold {
+		return
+	}
+	t.slowCount.Add(1)
+	t.slowMu.Lock()
+	if len(t.slow) < t.opts.SlowLog {
+		t.slow = append(t.slow, q)
+	} else {
+		t.slow[t.slowNext] = q
+		t.slowNext = (t.slowNext + 1) % t.opts.SlowLog
+	}
+	t.slowMu.Unlock()
+}
+
+// SlowQueries returns the slow-query log, newest first.
+func (t *Tracer) SlowQueries() []SlowQuery {
+	if t == nil {
+		return nil
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	n := len(t.slow)
+	out := make([]SlowQuery, 0, n)
+	start := 0
+	if n == t.opts.SlowLog {
+		start = t.slowNext
+	}
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, t.slow[(start+i)%n])
+	}
+	return out
+}
+
+// SlowThreshold returns the effective slow-query threshold (0 = disabled).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil || t.opts.SlowThreshold < 0 {
+		return 0
+	}
+	return t.opts.SlowThreshold
+}
+
+// Stats returns tracer counters.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{
+		Started:      t.started.Load(),
+		Stored:       t.stored.Load(),
+		Evicted:      t.evicted.Load(),
+		SlowQueries:  t.slowCount.Load(),
+		DroppedSpans: t.droppedSpans.Load(),
+	}
+}
+
+var idFallback atomic.Uint64
+
+// newID returns n random bytes hex-encoded; if crypto/rand fails (it cannot
+// on supported platforms) a process-unique counter keeps IDs distinct.
+func newID(n int) string {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil {
+		binary.BigEndian.PutUint64(b[n-8:], idFallback.Add(1))
+	}
+	return hex.EncodeToString(b)
+}

@@ -131,7 +131,7 @@ func TestServerShedsWith429(t *testing.T) {
 		t.Fatal("priming acquire shed")
 	}
 
-	_, err := f.client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeCached})
+	_, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeCached})
 	if err == nil || !strings.Contains(err.Error(), "429") {
 		t.Fatalf("saturated query error = %v, want 429", err)
 	}
@@ -149,11 +149,11 @@ func TestServerShedsWith429(t *testing.T) {
 	}
 
 	// Poll is gated too.
-	if _, err := f.client.Poll(f.url, "Processor"); err == nil || !strings.Contains(err.Error(), "429") {
+	if _, err := f.client.Poll(context.Background(), f.url, "Processor"); err == nil || !strings.Contains(err.Error(), "429") {
 		t.Errorf("saturated poll error = %v, want 429", err)
 	}
 
-	st, err := f.client.Status()
+	st, err := f.client.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestServerShedsWith429(t *testing.T) {
 	// Release the slot: queries flow again; management endpoints were never
 	// gated at all.
 	release()
-	if _, err := f.client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeCached}); err != nil {
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeCached}); err != nil {
 		t.Errorf("query after release: %v", err)
 	}
 }

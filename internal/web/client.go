@@ -14,9 +14,14 @@ import (
 	"gridrm/internal/core"
 	"gridrm/internal/event"
 	"gridrm/internal/security"
+	"gridrm/internal/trace"
 )
 
-// Client is a GridRM client of a gateway's servlet interface.
+// Client is a GridRM client of a gateway's servlet interface. Every method
+// is context-first: the HTTP request is cancelled when ctx expires, and a
+// trace context carried by ctx is propagated to the gateway in the
+// X-GridRM-Trace header (with the gateway's spans stitched back into the
+// local trace on Query).
 type Client struct {
 	// BaseURL is the gateway base, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -58,6 +63,9 @@ func (c *Client) doContext(ctx context.Context, method, path string, body any, o
 	if c.Principal.Site != "" {
 		req.Header.Set(HeaderSite, c.Principal.Site)
 	}
+	if car, ok := trace.CarrierFromContext(ctx); ok {
+		req.Header.Set(trace.HeaderName, car.Header())
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("web: %w", err)
@@ -75,28 +83,23 @@ func (c *Client) doContext(ctx context.Context, method, path string, body any, o
 	return nil
 }
 
-// Query executes a SQL query at the gateway.
-func (c *Client) Query(req core.Request) (*core.Response, error) {
-	return c.QueryContext(context.Background(), req)
-}
-
-// QueryContext executes a SQL query at the gateway, cancelling the HTTP
-// request when ctx expires.
-func (c *Client) QueryContext(ctx context.Context, req core.Request) (*core.Response, error) {
+// Query executes a SQL query at the gateway. When ctx carries a trace, the
+// spans the gateway recorded for this query are stitched into it.
+func (c *Client) Query(ctx context.Context, req core.QueryOptions) (*core.Response, error) {
 	var wr WireResponse
 	if err := c.doContext(ctx, http.MethodPost, "/query", FromCoreRequest(req), &wr); err != nil {
 		return nil, err
 	}
-	return DecodeResponse(wr)
+	resp, err := DecodeResponse(wr)
+	if err != nil {
+		return nil, err
+	}
+	trace.AttachRemote(ctx, resp.Trace)
+	return resp, nil
 }
 
 // Poll forces a real-time refresh of one source/group (Fig 9's poll icon).
-func (c *Client) Poll(sourceURL, group string) (*core.Response, error) {
-	return c.PollContext(context.Background(), sourceURL, group)
-}
-
-// PollContext is Poll bounded by ctx.
-func (c *Client) PollContext(ctx context.Context, sourceURL, group string) (*core.Response, error) {
+func (c *Client) Poll(ctx context.Context, sourceURL, group string) (*core.Response, error) {
 	var wr WireResponse
 	if err := c.doContext(ctx, http.MethodPost, "/poll", pollRequest{URL: sourceURL, Group: group}, &wr); err != nil {
 		return nil, err
@@ -105,99 +108,54 @@ func (c *Client) PollContext(ctx context.Context, sourceURL, group string) (*cor
 }
 
 // Sources lists the gateway's registered data sources.
-func (c *Client) Sources() ([]core.SourceInfo, error) {
-	return c.SourcesContext(context.Background())
-}
-
-// SourcesContext is Sources bounded by ctx.
-func (c *Client) SourcesContext(ctx context.Context) ([]core.SourceInfo, error) {
+func (c *Client) Sources(ctx context.Context) ([]core.SourceInfo, error) {
 	var out []core.SourceInfo
 	err := c.doContext(ctx, http.MethodGet, "/sources", nil, &out)
 	return out, err
 }
 
 // AddSource registers a data source (Fig 9's add icon).
-func (c *Client) AddSource(cfg core.SourceConfig) error {
-	return c.AddSourceContext(context.Background(), cfg)
-}
-
-// AddSourceContext is AddSource bounded by ctx.
-func (c *Client) AddSourceContext(ctx context.Context, cfg core.SourceConfig) error {
+func (c *Client) AddSource(ctx context.Context, cfg core.SourceConfig) error {
 	return c.doContext(ctx, http.MethodPost, "/sources", cfg, nil)
 }
 
 // RemoveSource unregisters a data source.
-func (c *Client) RemoveSource(sourceURL string) error {
-	return c.RemoveSourceContext(context.Background(), sourceURL)
-}
-
-// RemoveSourceContext is RemoveSource bounded by ctx.
-func (c *Client) RemoveSourceContext(ctx context.Context, sourceURL string) error {
+func (c *Client) RemoveSource(ctx context.Context, sourceURL string) error {
 	return c.doContext(ctx, http.MethodDelete, "/sources?url="+url.QueryEscape(sourceURL), nil, nil)
 }
 
 // Drivers lists active and activatable drivers (Fig 8's panel).
-func (c *Client) Drivers() ([]DriverListing, error) {
-	return c.DriversContext(context.Background())
-}
-
-// DriversContext is Drivers bounded by ctx.
-func (c *Client) DriversContext(ctx context.Context) ([]DriverListing, error) {
+func (c *Client) Drivers(ctx context.Context) ([]DriverListing, error) {
 	var out []DriverListing
 	err := c.doContext(ctx, http.MethodGet, "/drivers", nil, &out)
 	return out, err
 }
 
 // ActivateDriver registers a repository driver at runtime.
-func (c *Client) ActivateDriver(name string) error {
-	return c.ActivateDriverContext(context.Background(), name)
-}
-
-// ActivateDriverContext is ActivateDriver bounded by ctx.
-func (c *Client) ActivateDriverContext(ctx context.Context, name string) error {
+func (c *Client) ActivateDriver(ctx context.Context, name string) error {
 	return c.doContext(ctx, http.MethodPost, "/drivers", driverActivation{Name: name}, nil)
 }
 
 // DeactivateDriver removes a driver at runtime.
-func (c *Client) DeactivateDriver(name string) error {
-	return c.DeactivateDriverContext(context.Background(), name)
-}
-
-// DeactivateDriverContext is DeactivateDriver bounded by ctx.
-func (c *Client) DeactivateDriverContext(ctx context.Context, name string) error {
+func (c *Client) DeactivateDriver(ctx context.Context, name string) error {
 	return c.doContext(ctx, http.MethodDelete, "/drivers?name="+url.QueryEscape(name), nil, nil)
 }
 
 // SetPreferences installs a prioritised driver list for a source.
-func (c *Client) SetPreferences(sourceURL string, drivers []string) error {
-	return c.SetPreferencesContext(context.Background(), sourceURL, drivers)
-}
-
-// SetPreferencesContext is SetPreferences bounded by ctx.
-func (c *Client) SetPreferencesContext(ctx context.Context, sourceURL string, drivers []string) error {
+func (c *Client) SetPreferences(ctx context.Context, sourceURL string, drivers []string) error {
 	return c.doContext(ctx, http.MethodPost, "/drivers/preferences",
 		preferenceUpdate{URL: sourceURL, Drivers: drivers}, nil)
 }
 
 // Tree fetches the cached tree view (Fig 9).
-func (c *Client) Tree() ([]TreeNode, error) {
-	return c.TreeContext(context.Background())
-}
-
-// TreeContext is Tree bounded by ctx.
-func (c *Client) TreeContext(ctx context.Context) ([]TreeNode, error) {
+func (c *Client) Tree(ctx context.Context) ([]TreeNode, error) {
 	var out []TreeNode
 	err := c.doContext(ctx, http.MethodGet, "/tree", nil, &out)
 	return out, err
 }
 
 // Events fetches event history matching the filter at or after since.
-func (c *Client) Events(filter event.Filter, since time.Time) ([]event.Event, error) {
-	return c.EventsContext(context.Background(), filter, since)
-}
-
-// EventsContext is Events bounded by ctx.
-func (c *Client) EventsContext(ctx context.Context, filter event.Filter, since time.Time) ([]event.Event, error) {
+func (c *Client) Events(ctx context.Context, filter event.Filter, since time.Time) ([]event.Event, error) {
 	q := url.Values{}
 	if filter.Source != "" {
 		q.Set("source", filter.Source)
@@ -225,34 +183,19 @@ func (c *Client) EventsContext(ctx context.Context, filter event.Filter, since t
 
 // WatchMetric asks the gateway to publish group.field as events on every
 // harvest.
-func (c *Client) WatchMetric(group, field string) error {
-	return c.WatchMetricContext(context.Background(), group, field)
-}
-
-// WatchMetricContext is WatchMetric bounded by ctx.
-func (c *Client) WatchMetricContext(ctx context.Context, group, field string) error {
+func (c *Client) WatchMetric(ctx context.Context, group, field string) error {
 	return c.doContext(ctx, http.MethodPost, "/watches", watchRequest{Group: group, Field: field}, nil)
 }
 
 // WatchedMetrics lists active metric watches.
-func (c *Client) WatchedMetrics() ([]string, error) {
-	return c.WatchedMetricsContext(context.Background())
-}
-
-// WatchedMetricsContext is WatchedMetrics bounded by ctx.
-func (c *Client) WatchedMetricsContext(ctx context.Context) ([]string, error) {
+func (c *Client) WatchedMetrics(ctx context.Context) ([]string, error) {
 	var out []string
 	err := c.doContext(ctx, http.MethodGet, "/watches", nil, &out)
 	return out, err
 }
 
 // Status fetches the gateway's counters.
-func (c *Client) Status() (*StatusReport, error) {
-	return c.StatusContext(context.Background())
-}
-
-// StatusContext is Status bounded by ctx.
-func (c *Client) StatusContext(ctx context.Context) (*StatusReport, error) {
+func (c *Client) Status(ctx context.Context) (*StatusReport, error) {
 	var out StatusReport
 	if err := c.doContext(ctx, http.MethodGet, "/status", nil, &out); err != nil {
 		return nil, err
@@ -261,27 +204,148 @@ func (c *Client) StatusContext(ctx context.Context) (*StatusReport, error) {
 }
 
 // Sites lists the sites reachable from this gateway (itself first).
-func (c *Client) Sites() ([]string, error) {
-	return c.SitesContext(context.Background())
-}
-
-// SitesContext is Sites bounded by ctx.
-func (c *Client) SitesContext(ctx context.Context) ([]string, error) {
+func (c *Client) Sites(ctx context.Context) ([]string, error) {
 	var out []string
 	err := c.doContext(ctx, http.MethodGet, "/sites", nil, &out)
 	return out, err
 }
 
+// Traces lists the gateway's stored query traces, newest first.
+func (c *Client) Traces(ctx context.Context) ([]trace.Summary, error) {
+	var out []trace.Summary
+	err := c.doContext(ctx, http.MethodGet, "/traces", nil, &out)
+	return out, err
+}
+
+// Trace fetches one stored query trace as a span tree.
+func (c *Client) Trace(ctx context.Context, id string) (*trace.TraceData, error) {
+	var out trace.TraceData
+	if err := c.doContext(ctx, http.MethodGet, "/traces/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryContext is the old name of Query.
+//
+// Deprecated: use Query.
+func (c *Client) QueryContext(ctx context.Context, req core.QueryOptions) (*core.Response, error) {
+	return c.Query(ctx, req)
+}
+
+// PollContext is the old name of Poll.
+//
+// Deprecated: use Poll.
+func (c *Client) PollContext(ctx context.Context, sourceURL, group string) (*core.Response, error) {
+	return c.Poll(ctx, sourceURL, group)
+}
+
+// SourcesContext is the old name of Sources.
+//
+// Deprecated: use Sources.
+func (c *Client) SourcesContext(ctx context.Context) ([]core.SourceInfo, error) {
+	return c.Sources(ctx)
+}
+
+// AddSourceContext is the old name of AddSource.
+//
+// Deprecated: use AddSource.
+func (c *Client) AddSourceContext(ctx context.Context, cfg core.SourceConfig) error {
+	return c.AddSource(ctx, cfg)
+}
+
+// RemoveSourceContext is the old name of RemoveSource.
+//
+// Deprecated: use RemoveSource.
+func (c *Client) RemoveSourceContext(ctx context.Context, sourceURL string) error {
+	return c.RemoveSource(ctx, sourceURL)
+}
+
+// DriversContext is the old name of Drivers.
+//
+// Deprecated: use Drivers.
+func (c *Client) DriversContext(ctx context.Context) ([]DriverListing, error) {
+	return c.Drivers(ctx)
+}
+
+// ActivateDriverContext is the old name of ActivateDriver.
+//
+// Deprecated: use ActivateDriver.
+func (c *Client) ActivateDriverContext(ctx context.Context, name string) error {
+	return c.ActivateDriver(ctx, name)
+}
+
+// DeactivateDriverContext is the old name of DeactivateDriver.
+//
+// Deprecated: use DeactivateDriver.
+func (c *Client) DeactivateDriverContext(ctx context.Context, name string) error {
+	return c.DeactivateDriver(ctx, name)
+}
+
+// SetPreferencesContext is the old name of SetPreferences.
+//
+// Deprecated: use SetPreferences.
+func (c *Client) SetPreferencesContext(ctx context.Context, sourceURL string, drivers []string) error {
+	return c.SetPreferences(ctx, sourceURL, drivers)
+}
+
+// TreeContext is the old name of Tree.
+//
+// Deprecated: use Tree.
+func (c *Client) TreeContext(ctx context.Context) ([]TreeNode, error) {
+	return c.Tree(ctx)
+}
+
+// EventsContext is the old name of Events.
+//
+// Deprecated: use Events.
+func (c *Client) EventsContext(ctx context.Context, filter event.Filter, since time.Time) ([]event.Event, error) {
+	return c.Events(ctx, filter, since)
+}
+
+// WatchMetricContext is the old name of WatchMetric.
+//
+// Deprecated: use WatchMetric.
+func (c *Client) WatchMetricContext(ctx context.Context, group, field string) error {
+	return c.WatchMetric(ctx, group, field)
+}
+
+// WatchedMetricsContext is the old name of WatchedMetrics.
+//
+// Deprecated: use WatchedMetrics.
+func (c *Client) WatchedMetricsContext(ctx context.Context) ([]string, error) {
+	return c.WatchedMetrics(ctx)
+}
+
+// StatusContext is the old name of Status.
+//
+// Deprecated: use Status.
+func (c *Client) StatusContext(ctx context.Context) (*StatusReport, error) {
+	return c.Status(ctx)
+}
+
+// SitesContext is the old name of Sites.
+//
+// Deprecated: use Sites.
+func (c *Client) SitesContext(ctx context.Context) ([]string, error) {
+	return c.Sites(ctx)
+}
+
 // RemoteQuery executes a core request against a remote gateway endpoint,
 // forwarding the principal; it satisfies gma.Exec for the Global layer.
-func RemoteQuery(endpoint string, req core.Request) (*core.Response, error) {
+//
+// Deprecated: use RemoteQueryContext, which threads the caller's context
+// (and trace) through the hop.
+func RemoteQuery(endpoint string, req core.QueryOptions) (*core.Response, error) {
 	return RemoteQueryContext(context.Background(), endpoint, req)
 }
 
-// RemoteQueryContext is RemoteQuery bounded by ctx; it satisfies
+// RemoteQueryContext executes a core request against a remote gateway
+// endpoint, bounded by ctx and forwarding the principal; it satisfies
 // gma.ExecContext so all-sites fan-outs can abandon a hung site at the
-// deadline.
-func RemoteQueryContext(ctx context.Context, endpoint string, req core.Request) (*core.Response, error) {
+// deadline. A trace carried by ctx crosses the hop in the X-GridRM-Trace
+// header and the remote gateway's spans are stitched back into it.
+func RemoteQueryContext(ctx context.Context, endpoint string, req core.QueryOptions) (*core.Response, error) {
 	c := &Client{BaseURL: endpoint, Principal: req.Principal}
-	return c.QueryContext(ctx, req)
+	return c.Query(ctx, req)
 }

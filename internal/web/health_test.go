@@ -9,7 +9,7 @@ func TestStatusCarriesSourceHealth(t *testing.T) {
 	f := newFixture(t, nil)
 	f.gw.Prober().ProbeAll(context.Background())
 
-	st, err := f.client.Status()
+	st, err := f.client.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package web
 
 import (
 	"bufio"
+	"context"
 	"io"
 	"net/http"
 	"regexp"
@@ -18,7 +19,7 @@ var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-
 func TestMetricsEndpoint(t *testing.T) {
 	f := newFixture(t, nil)
 	// Drive some traffic so the stage histograms have samples.
-	if _, err := f.client.Query(core.Request{
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
 		SQL: "SELECT HostName FROM Processor", Mode: core.ModeRealTime,
 	}); err != nil {
 		t.Fatal(err)
@@ -92,12 +93,12 @@ func TestMetricsRejectsNonGET(t *testing.T) {
 
 func TestStatusIncludesStages(t *testing.T) {
 	f := newFixture(t, nil)
-	if _, err := f.client.Query(core.Request{
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
 		SQL: "SELECT HostName FROM Processor", Mode: core.ModeRealTime,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := f.client.Status()
+	st, err := f.client.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

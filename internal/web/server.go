@@ -1,10 +1,12 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"gridrm/internal/qcache"
 	"gridrm/internal/schema"
 	"gridrm/internal/security"
+	"gridrm/internal/trace"
 )
 
 // DriverFactory constructs a driver and its GLUE schema; the server's
@@ -95,9 +98,33 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/sites", s.handleSites)
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/traces/", s.handleTrace)
 	if s.dir != nil {
 		s.mux.Handle("/gma/", s.dir)
 	}
+}
+
+// EnablePprof mounts net/http/pprof's handlers at /debug/pprof/ on the
+// servlet mux. Off by default; gated behind the gateway's -pprof flag
+// because profiles expose internals and profiling costs CPU.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// traceContext extracts a propagated trace carrier from the request's
+// X-GridRM-Trace header into the context, so the gateway continues the
+// calling gateway's trace instead of starting its own.
+func traceContext(r *http.Request) context.Context {
+	ctx := r.Context()
+	if car, ok := trace.ParseCarrier(r.Header.Get(trace.HeaderName)); ok {
+		ctx = trace.ContextWithRemote(ctx, car)
+	}
+	return ctx
 }
 
 func httpError(w http.ResponseWriter, err error) {
@@ -133,8 +160,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req.Principal = principalFrom(r)
 	// The client's connection context bounds the query: a caller that
 	// gives up (or a parent gateway whose deadline expires) cancels the
-	// fan-out here too.
-	resp, err := s.gw.QueryContext(r.Context(), req)
+	// fan-out here too. A propagated trace context continues here.
+	resp, err := s.gw.QueryContext(traceContext(r), req)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -163,7 +190,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp, err := s.gw.PollContext(r.Context(), principalFrom(r), pr.URL, pr.Group)
+	resp, err := s.gw.PollContext(traceContext(r), principalFrom(r), pr.URL, pr.Group)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -409,6 +436,11 @@ type StatusReport struct {
 	Probes health.Stats `json:"probes"`
 	// Admission reports the load-shedding gate, when one is installed.
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Traces summarises tracer activity (traces stored, slow queries,
+	// dropped spans).
+	Traces trace.Stats `json:"traces"`
+	// Slow is the slow-query log, newest first.
+	Slow []trace.SlowQuery `json:"slow,omitempty"`
 }
 
 type poolStatsJSON struct {
@@ -442,7 +474,37 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Health:    s.gw.Prober().Snapshot(),
 		Probes:    s.gw.Prober().Stats(),
 		Admission: adm,
+		Traces:    s.gw.Tracer().Stats(),
+		Slow:      s.gw.Tracer().SlowQueries(),
 	})
+}
+
+// handleTraces serves GET /traces: stored trace summaries, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	out := s.gw.Tracer().Traces()
+	if out == nil {
+		out = []trace.Summary{}
+	}
+	writeJSON(w, out)
+}
+
+// handleTrace serves GET /traces/<id>: one stored trace as a span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/traces/")
+	td, ok := s.gw.Tracer().Trace(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("trace %q not found", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, td)
 }
 
 // handleMetrics serves the gateway's metrics registry in the Prometheus

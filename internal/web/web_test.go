@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -124,7 +125,7 @@ func TestParseMode(t *testing.T) {
 
 func TestQueryOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
-	resp, err := f.client.Query(core.Request{
+	resp, err := f.client.Query(context.Background(), core.QueryOptions{
 		SQL:  "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName",
 		Mode: core.ModeRealTime,
 	})
@@ -145,7 +146,7 @@ func TestQueryOverHTTP(t *testing.T) {
 		t.Errorf("sources %+v", resp.Sources)
 	}
 	// Bad SQL → 400 with message.
-	if _, err := f.client.Query(core.Request{SQL: "junk"}); err == nil {
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "junk"}); err == nil {
 		t.Error("bad SQL accepted over HTTP")
 	}
 }
@@ -155,7 +156,7 @@ func TestQueryForbiddenOverHTTP(t *testing.T) {
 	coarse.Add(security.CoarseRule{Principal: "admin", Decision: security.Allow})
 	f := newFixture(t, coarse)
 	evil := &Client{BaseURL: f.srv.URL, Principal: security.Principal{Name: "mallory"}}
-	_, err := evil.Query(core.Request{SQL: "SELECT * FROM Processor"})
+	_, err := evil.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor"})
 	if err == nil || !strings.Contains(err.Error(), "403") {
 		t.Errorf("expected 403, got %v", err)
 	}
@@ -163,7 +164,7 @@ func TestQueryForbiddenOverHTTP(t *testing.T) {
 
 func TestPollOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
-	resp, err := f.client.Poll(f.url, glue.GroupMemory)
+	resp, err := f.client.Poll(context.Background(), f.url, glue.GroupMemory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,31 +178,31 @@ func TestPollOverHTTP(t *testing.T) {
 
 func TestSourceManagementOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
-	srcs, err := f.client.Sources()
+	srcs, err := f.client.Sources(context.Background())
 	if err != nil || len(srcs) != 1 {
 		t.Fatalf("sources %v, %v", srcs, err)
 	}
-	if err := f.client.AddSource(core.SourceConfig{URL: "gridrm:mem://b:1"}); err != nil {
+	if err := f.client.AddSource(context.Background(), core.SourceConfig{URL: "gridrm:mem://b:1"}); err != nil {
 		t.Fatal(err)
 	}
-	srcs, _ = f.client.Sources()
+	srcs, _ = f.client.Sources(context.Background())
 	if len(srcs) != 2 {
 		t.Errorf("sources after add = %d", len(srcs))
 	}
-	if err := f.client.RemoveSource("gridrm:mem://b:1"); err != nil {
+	if err := f.client.RemoveSource(context.Background(), "gridrm:mem://b:1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.client.RemoveSource("gridrm:mem://b:1"); err == nil {
+	if err := f.client.RemoveSource(context.Background(), "gridrm:mem://b:1"); err == nil {
 		t.Error("double remove accepted")
 	}
-	if err := f.client.AddSource(core.SourceConfig{URL: "junk"}); err == nil {
+	if err := f.client.AddSource(context.Background(), core.SourceConfig{URL: "junk"}); err == nil {
 		t.Error("bad URL accepted")
 	}
 }
 
 func TestDriverManagementOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
-	list, err := f.client.Drivers()
+	list, err := f.client.Drivers(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,34 +217,34 @@ func TestDriverManagementOverHTTP(t *testing.T) {
 		t.Errorf("active driver %+v", list[1])
 	}
 	// Runtime activation from the repository (Fig 8).
-	if err := f.client.ActivateDriver("jdbc-extra"); err != nil {
+	if err := f.client.ActivateDriver(context.Background(), "jdbc-extra"); err != nil {
 		t.Fatal(err)
 	}
-	list, _ = f.client.Drivers()
+	list, _ = f.client.Drivers(context.Background())
 	if !list[0].Active {
 		t.Error("activated driver not active")
 	}
-	if err := f.client.ActivateDriver("jdbc-extra"); err == nil {
+	if err := f.client.ActivateDriver(context.Background(), "jdbc-extra"); err == nil {
 		t.Error("double activation accepted")
 	}
-	if err := f.client.ActivateDriver("ghost"); err == nil {
+	if err := f.client.ActivateDriver(context.Background(), "ghost"); err == nil {
 		t.Error("unknown driver activated")
 	}
 	// Preferences.
-	if err := f.client.SetPreferences(f.url, []string{"jdbc-extra", "jdbc-mem"}); err != nil {
+	if err := f.client.SetPreferences(context.Background(), f.url, []string{"jdbc-extra", "jdbc-mem"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.gw.DriverManager().Preferences(f.url); len(got) != 2 || got[0] != "jdbc-extra" {
 		t.Errorf("prefs = %v", got)
 	}
-	if err := f.client.SetPreferences(f.url, []string{"ghost"}); err == nil {
+	if err := f.client.SetPreferences(context.Background(), f.url, []string{"ghost"}); err == nil {
 		t.Error("unknown preference accepted")
 	}
 	// Deactivation.
-	if err := f.client.DeactivateDriver("jdbc-extra"); err != nil {
+	if err := f.client.DeactivateDriver(context.Background(), "jdbc-extra"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.client.DeactivateDriver("jdbc-extra"); err == nil {
+	if err := f.client.DeactivateDriver(context.Background(), "jdbc-extra"); err == nil {
 		t.Error("double deactivation accepted")
 	}
 }
@@ -254,16 +255,16 @@ func TestManagementRequiresPermission(t *testing.T) {
 	coarse.Add(security.CoarseRule{Op: security.OpQueryRealTime, Decision: security.Allow})
 	f := newFixture(t, coarse)
 	guest := &Client{BaseURL: f.srv.URL, Principal: security.Principal{Name: "guest"}}
-	if err := guest.AddSource(core.SourceConfig{URL: "gridrm:mem://c:1"}); err == nil {
+	if err := guest.AddSource(context.Background(), core.SourceConfig{URL: "gridrm:mem://c:1"}); err == nil {
 		t.Error("guest added source")
 	}
-	if err := guest.ActivateDriver("jdbc-extra"); err == nil {
+	if err := guest.ActivateDriver(context.Background(), "jdbc-extra"); err == nil {
 		t.Error("guest activated driver")
 	}
-	if err := guest.SetPreferences(f.url, nil); err == nil {
+	if err := guest.SetPreferences(context.Background(), f.url, nil); err == nil {
 		t.Error("guest set preferences")
 	}
-	if _, err := guest.Events(event.Filter{}, time.Time{}); err == nil {
+	if _, err := guest.Events(context.Background(), event.Filter{}, time.Time{}); err == nil {
 		t.Error("guest read events")
 	}
 }
@@ -271,10 +272,10 @@ func TestManagementRequiresPermission(t *testing.T) {
 func TestTreeOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
 	// Populate the cache with a query.
-	if _, err := f.client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeCached}); err != nil {
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeCached}); err != nil {
 		t.Fatal(err)
 	}
-	tree, err := f.client.Tree()
+	tree, err := f.client.Tree(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestEventsOverHTTP(t *testing.T) {
 	f.gw.Events().Publish(event.Event{Name: "cpu.util", Host: "a1",
 		Severity: event.SeverityUsage, Value: 50, Time: time.Now()})
 	f.gw.Events().Drain()
-	evs, err := f.client.Events(event.Filter{Severity: event.SeverityAlert}, time.Time{})
+	evs, err := f.client.Events(context.Background(), event.Filter{Severity: event.SeverityAlert}, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,10 +308,10 @@ func TestEventsOverHTTP(t *testing.T) {
 
 func TestStatusOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
-	if _, err := f.client.Query(core.Request{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := f.client.Status()
+	st, err := f.client.Status(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,23 +325,23 @@ func TestStatusOverHTTP(t *testing.T) {
 
 func TestWatchesOverHTTP(t *testing.T) {
 	f := newFixture(t, nil)
-	if err := f.client.WatchMetric(glue.GroupProcessor, "LoadLast1Min"); err != nil {
+	if err := f.client.WatchMetric(context.Background(), glue.GroupProcessor, "LoadLast1Min"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.client.WatchMetric(glue.GroupProcessor, "HostName"); err == nil {
+	if err := f.client.WatchMetric(context.Background(), glue.GroupProcessor, "HostName"); err == nil {
 		t.Error("non-numeric watch accepted")
 	}
-	got, err := f.client.WatchedMetrics()
+	got, err := f.client.WatchedMetrics(context.Background())
 	if err != nil || len(got) != 1 || got[0] != "Processor.LoadLast1Min" {
 		t.Errorf("watches %v, %v", got, err)
 	}
 	// Harvest → events over HTTP.
-	if _, err := f.client.Query(core.Request{SQL: "SELECT * FROM Processor",
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor",
 		Mode: core.ModeRealTime}); err != nil {
 		t.Fatal(err)
 	}
 	f.gw.Events().Drain()
-	evs, err := f.client.Events(event.Filter{Name: "Processor.LoadLast1Min"}, time.Time{})
+	evs, err := f.client.Events(context.Background(), event.Filter{Name: "Processor.LoadLast1Min"}, time.Time{})
 	if err != nil || len(evs) != 2 {
 		t.Errorf("harvest events = %d, %v", len(evs), err)
 	}
@@ -348,7 +349,7 @@ func TestWatchesOverHTTP(t *testing.T) {
 
 func TestSitesAndGMAMounted(t *testing.T) {
 	f := newFixture(t, nil)
-	sites, err := f.client.Sites()
+	sites, err := f.client.Sites(context.Background())
 	if err != nil || len(sites) != 1 || sites[0] != "siteA" {
 		t.Errorf("sites %v, %v", sites, err)
 	}
@@ -386,7 +387,7 @@ func TestTwoGatewayFederation(t *testing.T) {
 	router := gma.NewRouter(dir, RemoteQuery, "siteA")
 	f.gw.SetGlobalRouter(router)
 
-	resp, err := f.client.Query(core.Request{
+	resp, err := f.client.Query(context.Background(), core.QueryOptions{
 		SQL:  "SELECT * FROM Processor",
 		Site: "siteB",
 		Mode: core.ModeRealTime,
@@ -401,7 +402,7 @@ func TestTwoGatewayFederation(t *testing.T) {
 		t.Errorf("remote backend queries = %d", backendB.Queries())
 	}
 	// Unknown remote site errors cleanly.
-	if _, err := f.client.Query(core.Request{SQL: "SELECT * FROM Processor", Site: "siteC"}); err == nil {
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor", Site: "siteC"}); err == nil {
 		t.Error("unknown site accepted")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"gridrm/internal/core"
 	"gridrm/internal/glue"
 	"gridrm/internal/resultset"
+	"gridrm/internal/trace"
 )
 
 // WireColumn describes one result column on the wire.
@@ -48,6 +49,12 @@ type WireRequest struct {
 	Mode    string   `json:"mode,omitempty"`
 	Since   string   `json:"since,omitempty"`
 	Until   string   `json:"until,omitempty"`
+	// TimeoutNs bounds the request on the gateway side, overriding its
+	// default query timeout (0 keeps the default).
+	TimeoutNs int64 `json:"timeoutNs,omitempty"`
+	// Trace selects tracing for this query: "on" forces a trace, "off"
+	// suppresses one, empty follows the gateway's sample rate.
+	Trace string `json:"trace,omitempty"`
 }
 
 // WireResponse is a query response on the wire.
@@ -58,6 +65,11 @@ type WireResponse struct {
 	ElapsedNs int64               `json:"elapsedNs"`
 	Sources   []core.SourceStatus `json:"sources,omitempty"`
 	Result    WireResult          `json:"result"`
+	// TraceID identifies the query's trace when it was sampled.
+	TraceID string `json:"traceId,omitempty"`
+	// Trace carries the serving gateway's finished spans when it served a
+	// leg of a propagated remote trace, for stitching by the caller.
+	Trace []trace.SpanData `json:"trace,omitempty"`
 }
 
 func kindName(k glue.Kind) string { return k.String() }
@@ -213,6 +225,8 @@ func EncodeResponse(resp *core.Response) WireResponse {
 		ElapsedNs: int64(resp.Elapsed),
 		Sources:   resp.Sources,
 		Result:    EncodeResultSet(resp.ResultSet),
+		TraceID:   resp.TraceID,
+		Trace:     resp.Trace,
 	}
 }
 
@@ -233,41 +247,64 @@ func DecodeResponse(wr WireResponse) (*core.Response, error) {
 		Elapsed:   time.Duration(wr.ElapsedNs),
 		Sources:   wr.Sources,
 		ResultSet: rs,
+		TraceID:   wr.TraceID,
+		Trace:     wr.Trace,
 	}, nil
 }
 
 // ToCoreRequest converts a wire request (mode/window strings parsed).
-func (wr WireRequest) ToCoreRequest() (core.Request, error) {
+func (wr WireRequest) ToCoreRequest() (core.QueryOptions, error) {
 	mode, err := ParseMode(wr.Mode)
 	if err != nil {
-		return core.Request{}, err
+		return core.QueryOptions{}, err
 	}
-	req := core.Request{SQL: wr.SQL, Site: wr.Site, Sources: wr.Sources, Mode: mode}
+	req := core.QueryOptions{SQL: wr.SQL, Site: wr.Site, Sources: wr.Sources, Mode: mode}
 	if wr.Since != "" {
 		t, err := time.Parse(time.RFC3339Nano, wr.Since)
 		if err != nil {
-			return core.Request{}, fmt.Errorf("web: bad since: %w", err)
+			return core.QueryOptions{}, fmt.Errorf("web: bad since: %w", err)
 		}
 		req.Since = t
 	}
 	if wr.Until != "" {
 		t, err := time.Parse(time.RFC3339Nano, wr.Until)
 		if err != nil {
-			return core.Request{}, fmt.Errorf("web: bad until: %w", err)
+			return core.QueryOptions{}, fmt.Errorf("web: bad until: %w", err)
 		}
 		req.Until = t
+	}
+	if wr.TimeoutNs > 0 {
+		req.Timeout = time.Duration(wr.TimeoutNs)
+	}
+	switch wr.Trace {
+	case "":
+	case "on":
+		req.Trace = trace.DecideOn
+	case "off":
+		req.Trace = trace.DecideOff
+	default:
+		return core.QueryOptions{}, fmt.Errorf("web: bad trace %q (want on, off or empty)", wr.Trace)
 	}
 	return req, nil
 }
 
 // FromCoreRequest converts a core request to wire form.
-func FromCoreRequest(req core.Request) WireRequest {
+func FromCoreRequest(req core.QueryOptions) WireRequest {
 	wr := WireRequest{SQL: req.SQL, Site: req.Site, Sources: req.Sources, Mode: req.Mode.String()}
 	if !req.Since.IsZero() {
 		wr.Since = req.Since.Format(time.RFC3339Nano)
 	}
 	if !req.Until.IsZero() {
 		wr.Until = req.Until.Format(time.RFC3339Nano)
+	}
+	if req.Timeout > 0 {
+		wr.TimeoutNs = int64(req.Timeout)
+	}
+	switch req.Trace {
+	case trace.DecideOn:
+		wr.Trace = "on"
+	case trace.DecideOff:
+		wr.Trace = "off"
 	}
 	return wr
 }
