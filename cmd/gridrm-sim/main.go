@@ -1,0 +1,133 @@
+// Command gridrm-sim runs scenario-driven fleet simulations against the
+// real gateway/federation stack and emits a JSON performance report.
+//
+//	gridrm-sim run scenarios/baseline.yaml [-seed N] [-duration D] [-o out.json] [-v]
+//	gridrm-sim validate scenarios/*.yaml
+//
+// run executes one scenario: the fleet comes up in-process, the client load
+// and fault events play out, and the report JSON goes to stdout (or -o).
+// The human summary goes to stderr. Exit status: 0 on pass, 1 when an
+// assertion fails, 2 on usage or execution errors.
+//
+// validate parses and schema-checks scenarios without running them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gridrm/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		os.Exit(runCmd(os.Args[2:]))
+	case "validate":
+		os.Exit(validateCmd(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gridrm-sim: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  gridrm-sim run <scenario.yaml> [-seed N] [-duration D] [-o report.json] [-v]
+  gridrm-sim validate <scenario.yaml>...
+
+run executes the scenario and writes the JSON report to stdout (or -o).
+Exit status: 0 pass, 1 assertion failure, 2 error.
+`)
+}
+
+func runCmd(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Int64("seed", 0, "override the scenario's seed")
+	duration := fs.Duration("duration", 0, "override the load duration (event times scale)")
+	out := fs.String("o", "", "write the JSON report here instead of stdout")
+	verbose := fs.Bool("v", false, "log fleet and event progress to stderr")
+	// Accept the scenario path before or after the flags.
+	var file string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		file, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if file == "" {
+		file = fs.Arg(0)
+	}
+	if file == "" || fs.NArg() > 1 {
+		usage()
+		return 2
+	}
+	sc, err := sim.LoadScenario(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridrm-sim: %v\n", err)
+		return 2
+	}
+	opts := sim.RunOptions{Seed: *seed, Duration: *duration}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05.000"),
+				fmt.Sprintf(format, args...))
+		}
+	}
+	report, err := sim.Run(sc, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridrm-sim: %v\n", err)
+		return 2
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridrm-sim: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := report.WriteJSON(dst); err != nil {
+		fmt.Fprintf(os.Stderr, "gridrm-sim: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(os.Stderr, report.Summary())
+	if !report.Passed {
+		return 1
+	}
+	return 0
+}
+
+func validateCmd(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	bad := 0
+	for _, file := range args {
+		sc, err := sim.LoadScenario(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "INVALID %s: %v\n", file, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "ok %s: %d sites, %d clients, %d events, %d assertions\n",
+			file, len(sc.SiteNames()), sc.Load.Clients, len(sc.Events), len(sc.Assertions))
+	}
+	if bad > 0 {
+		return 2
+	}
+	return 0
+}

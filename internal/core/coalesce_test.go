@@ -154,10 +154,13 @@ func TestCoalescedHarvestSingleFlight(t *testing.T) {
 			})
 		}(i)
 	}
-	// Let the leader enter the driver and the followers join the flight,
-	// then open the gate.
+	// Let the leader enter the driver and every follower join the flight,
+	// then open the gate. Joining is observed through the flight group's
+	// waiter count, so no scheduling assumptions are needed.
 	waitFor(t, "leader harvest", func() bool { return d.calls.Load() == 1 })
-	time.Sleep(100 * time.Millisecond)
+	waitFor(t, "followers joined flight", func() bool {
+		return g.flights.totalWaiters() == clients-1
+	})
 	close(d.gate)
 	wg.Wait()
 

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"gridrm/internal/glue"
+)
+
+// normalizeResponse zeroes the fields two calls legitimately disagree on —
+// processing time and trace identity — leaving everything a caller acts on:
+// rows, per-source outcomes, site, mode, canonical SQL.
+func normalizeResponse(r *Response) *Response {
+	c := *r
+	c.Elapsed = 0
+	c.TraceID = ""
+	c.Trace = nil
+	return &c
+}
+
+// TestQueryShimMatchesQueryContext proves the deprecated context-free Query
+// shim is behaviourally identical to QueryContext: same rows, same source
+// statuses, same errors, in every mode. The fixture clock is frozen so even
+// harvest timestamps must agree.
+func TestQueryShimMatchesQueryContext(t *testing.T) {
+	f := newFixture(t)
+	// Prime cache and history so cached/historical modes have data and both
+	// calls of a pair observe identical gateway state.
+	f.query(t, "SELECT * FROM Processor", ModeRealTime)
+
+	for _, tc := range []struct {
+		name string
+		mode Mode
+	}{
+		{"cached", ModeCached},
+		{"real-time", ModeRealTime},
+		{"historical", ModeHistorical},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req := Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: tc.mode}
+			a, errA := f.g.Query(req)
+			b, errB := f.g.QueryContext(context.Background(), req)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("error mismatch: shim %v, context %v", errA, errB)
+			}
+			if errA != nil && errA.Error() != errB.Error() {
+				t.Fatalf("error text mismatch: %q vs %q", errA, errB)
+			}
+			if errA != nil {
+				return
+			}
+			if !reflect.DeepEqual(normalizeResponse(a), normalizeResponse(b)) {
+				t.Errorf("responses differ\n shim: %+v\n ctx:  %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestQueryShimMatchesQueryContextOnErrors checks the shims also agree when
+// the query is rejected — a denied principal and a malformed table.
+func TestQueryShimMatchesQueryContextOnErrors(t *testing.T) {
+	f := newFixture(t)
+	for _, req := range []Request{
+		{Principal: f.admin, SQL: "SELECT * FROM NoSuchTable", Mode: ModeCached},
+		{SQL: "SELECT * FROM Processor", Mode: ModeCached}, // anonymous principal
+	} {
+		a, errA := f.g.Query(req)
+		b, errB := f.g.QueryContext(context.Background(), req)
+		if (errA == nil) != (errB == nil) || (a == nil) != (b == nil) {
+			t.Fatalf("divergence for %+v: shim (%v, %v), context (%v, %v)", req, a, errA, b, errB)
+		}
+		if errA != nil && errA.Error() != errB.Error() {
+			t.Errorf("error text mismatch for %+v: %q vs %q", req, errA, errB)
+		}
+	}
+}
+
+// TestPollShimMatchesPollContext proves the deprecated Poll shim matches
+// PollContext for both a served group and a rejected one.
+func TestPollShimMatchesPollContext(t *testing.T) {
+	f := newFixture(t)
+	a, errA := f.g.Poll(f.admin, f.urlA, glue.GroupProcessor)
+	b, errB := f.g.PollContext(context.Background(), f.admin, f.urlA, glue.GroupProcessor)
+	if errA != nil || errB != nil {
+		t.Fatalf("poll errs: shim %v, context %v", errA, errB)
+	}
+	if !reflect.DeepEqual(normalizeResponse(a), normalizeResponse(b)) {
+		t.Errorf("poll responses differ\n shim: %+v\n ctx:  %+v", a, b)
+	}
+
+	_, errA = f.g.Poll(f.admin, f.urlA, "NoSuchGroup")
+	_, errB = f.g.PollContext(context.Background(), f.admin, f.urlA, "NoSuchGroup")
+	if errA == nil || errB == nil || errA.Error() != errB.Error() {
+		t.Errorf("poll error mismatch: %v vs %v", errA, errB)
+	}
+}
+
+// TestRequestAliasIsQueryOptions pins the compatibility contract: Request is
+// a true type alias, so values flow between old and new signatures with no
+// conversion and reflect to the same type.
+func TestRequestAliasIsQueryOptions(t *testing.T) {
+	r := Request{SQL: "SELECT * FROM Processor"}
+	var q QueryOptions = r
+	if reflect.TypeOf(r) != reflect.TypeOf(q) {
+		t.Fatalf("Request and QueryOptions are distinct types: %v vs %v",
+			reflect.TypeOf(r), reflect.TypeOf(q))
+	}
+	if q.SQL != r.SQL {
+		t.Error("alias value did not carry through")
+	}
+}

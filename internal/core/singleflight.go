@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridrm/internal/resultset"
@@ -20,8 +21,9 @@ type flightResult struct {
 
 // flight is one in-progress harvest; done is closed once res is final.
 type flight struct {
-	done chan struct{}
-	res  flightResult
+	done    chan struct{}
+	res     flightResult
+	waiters atomic.Int64
 }
 
 // flightGroup coalesces concurrent harvests of the same key — (source URL,
@@ -48,6 +50,7 @@ func (fg *flightGroup) do(ctx context.Context, key string, fn func() flightResul
 	for {
 		fg.mu.Lock()
 		if f, ok := fg.inflight[key]; ok {
+			f.waiters.Add(1)
 			fg.mu.Unlock()
 			select {
 			case <-f.done:
@@ -75,4 +78,18 @@ func (fg *flightGroup) do(ctx context.Context, key string, fn func() flightResul
 		close(f.done)
 		return f.res, false
 	}
+}
+
+// totalWaiters reports how many followers are currently blocked on
+// in-flight harvests, across all keys. It exists so coalescing tests can
+// synchronise on "the followers have joined the flight" instead of
+// sleeping and hoping the scheduler ran them.
+func (fg *flightGroup) totalWaiters() int64 {
+	fg.mu.Lock()
+	defer fg.mu.Unlock()
+	var n int64
+	for _, f := range fg.inflight {
+		n += f.waiters.Load()
+	}
+	return n
 }

@@ -179,15 +179,17 @@ func TestStartStopLifecycle(t *testing.T) {
 	p.Stop()
 	p.Stop() // idempotent
 
+	// Stop joins the background loop, so by the time it returns no further
+	// probe can ever run: the count is final the moment Stop comes back.
 	pinger.mu.Lock()
 	n := pinger.calls["src-a"]
 	pinger.mu.Unlock()
-	time.Sleep(10 * time.Millisecond)
+	p.ProbeAll(context.Background()) // manual sweeps still work after Stop
 	pinger.mu.Lock()
 	after := pinger.calls["src-a"]
 	pinger.mu.Unlock()
-	if after != n {
-		t.Errorf("probes continued after Stop (%d -> %d)", n, after)
+	if after != n+1 {
+		t.Errorf("manual probe after Stop: calls %d -> %d, want exactly one more", n, after)
 	}
 }
 

@@ -2,71 +2,38 @@ package integration_test
 
 import (
 	"context"
-	"net"
-	"net/http"
-	"net/http/httptest"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
-	"gridrm/internal/breaker"
 	"gridrm/internal/core"
 	"gridrm/internal/event"
-	"gridrm/internal/glue"
-	"gridrm/internal/gma"
-	"gridrm/internal/security"
-	"gridrm/internal/sitekit"
-	"gridrm/internal/web"
+	"gridrm/internal/sim"
 )
 
-// dirServer is a GMA directory replica on a stable address that can be
-// killed and restarted on the same port, simulating a replica crash.
-type dirServer struct {
-	t    *testing.T
-	addr string
-	dir  *gma.Directory
-	srv  *http.Server
-}
-
-func startDirServer(t *testing.T, addr string) *dirServer {
-	t.Helper()
-	d := &dirServer{t: t, dir: gma.NewDirectory(time.Minute, nil)}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	d.addr = ln.Addr().String()
-	d.serve(ln)
-	return d
-}
-
-func (d *dirServer) serve(ln net.Listener) {
-	d.srv = &http.Server{Handler: d.dir.Handler()}
-	go func() { _ = d.srv.Serve(ln) }()
-}
-
-func (d *dirServer) kill() {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_ = d.srv.Shutdown(ctx)
-}
-
-func (d *dirServer) restart() {
-	// The freed port can take a moment to become bindable again.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		ln, err := net.Listen("tcp", d.addr)
-		if err == nil {
-			d.serve(ln)
-			return
-		}
-		if time.Now().After(deadline) {
-			d.t.Fatalf("could not rebind %s: %v", d.addr, err)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
-
-func (d *dirServer) url() string { return "http://" + d.addr }
+// chaosDirScenario declares the federation-resilience fleet: two sites
+// behind two directory replicas, a short router lookup TTL so the outage
+// phase exercises stale-on-error, and dirA as the routing entry site.
+const chaosDirScenario = `
+name: chaos-directory-outage
+description: total directory outage plus a dead remote gateway
+seed: 1
+duration: 2s
+fleet:
+  sites:
+    - name: dirA
+      sources: 1
+      hosts: 1
+    - name: dirB
+      sources: 1
+      hosts: 1
+federation:
+  enabled: true
+  directories: 2
+  lookup_ttl: 50ms
+  entry_site: dirA
+`
 
 // siteBErr extracts site dirB's leg from an all-sites response: "" when the
 // leg answered cleanly, the error string when it failed, and a synthetic
@@ -92,83 +59,44 @@ func siteBErr(resp *core.Response) string {
 // answering from the router's lookup cache; a killed remote gateway trips
 // its per-endpoint breaker so fan-outs fast-fail instead of burning the
 // deadline; and when a replica returns, the resilient registrar — which
-// never failed Start — re-registers automatically.
+// never failed Start — re-registers automatically. The fleet comes from the
+// sim harness; the lookup TTL lapses on the harness clock, not wall sleeps.
 func TestChaosDirectoryOutage(t *testing.T) {
-	admin := security.Principal{Name: "admin", Roles: []string{"operator"}}
-
-	// Two directory replicas behind a MultiDirectory.
-	rep1 := startDirServer(t, "127.0.0.1:0")
-	rep2 := startDirServer(t, "127.0.0.1:0")
-	t.Cleanup(rep1.kill)
-	t.Cleanup(rep2.kill)
-	newMultiDir := func() *gma.MultiDirectory {
-		return gma.NewMultiDirectory(
-			&gma.DirectoryClient{BaseURL: rep1.url(), Timeout: time.Second},
-			&gma.DirectoryClient{BaseURL: rep2.url(), Timeout: time.Second},
-		)
-	}
-
-	// Two sites; site A hosts the resilient router under test.
-	siteA, err := sitekit.Start(sitekit.Options{Name: "dirA", Hosts: 1, Seed: 11})
+	sc, err := sim.ParseScenario([]byte(chaosDirScenario))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(siteA.Close)
-	gwA, err := sitekit.NewGateway(siteA.Manifest(), siteA.Opts, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(gwA.Close)
-
-	siteB, err := sitekit.Start(sitekit.Options{Name: "dirB", Hosts: 1, Seed: 22})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(siteB.Close)
-	gwB, err := sitekit.NewGateway(siteB.Manifest(), siteB.Opts, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(gwB.Close)
-
-	srvA := httptest.NewServer(web.NewServer(gwA, nil, nil))
-	defer srvA.Close()
-	srvB := httptest.NewServer(web.NewServer(gwB, nil, nil))
-	defer srvB.Close()
-
-	dirA := newMultiDir()
-	router := gma.NewResilientRouter(dirA, web.RemoteQueryContext, "dirA", gma.Config{
-		LookupTTL: 50 * time.Millisecond,
-		Breaker:   breaker.Options{Threshold: 2, Cooldown: 30 * time.Second},
+	clk := sim.NewClock()
+	var unreachableAlerts atomic.Int64
+	unreachable := make(chan error, 16)
+	h, err := sim.NewHarnessOpts(sc, rand.New(rand.NewSource(sc.Seed)), sim.HarnessOptions{
+		Clock: clk.Now,
+		RegistrarListener: func(site string, reachable bool, err error) {
+			if site != "dirA" || reachable {
+				return
+			}
+			unreachableAlerts.Add(1)
+			select {
+			case unreachable <- err:
+			default:
+			}
+		},
 	})
-	gwA.SetGlobalRouter(router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
 
-	regA := gma.NewRegistrar(dirA, gma.ProducerInfo{Site: "dirA", Endpoint: srvA.URL,
-		Groups: glue.GroupNames()}, 100*time.Millisecond)
-	var unreachableAlerts int
-	regA.SetStateListener(func(reachable bool, err error) {
-		if !reachable {
-			unreachableAlerts++
-			gwA.Events().Publish(event.Event{Source: "gma", Name: "directory-unreachable",
-				Severity: event.SeverityAlert, Time: time.Now(), Detail: err.Error()})
-		}
-	})
-	if err := regA.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer regA.Stop()
-	regB := gma.NewRegistrar(newMultiDir(), gma.ProducerInfo{Site: "dirB", Endpoint: srvB.URL,
-		Groups: glue.GroupNames()}, 100*time.Millisecond)
-	if err := regB.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer regB.Stop()
+	gwA := h.Sites["dirA"].Gateway
+	regA := h.Sites["dirA"].Registrar
+	router := h.Router
+	ctx := context.Background()
 
 	// Phase 1 — warm: a federated all-sites query reaches both sites and
 	// primes the router's lookup + sites caches.
-	allSites := core.Request{Principal: admin, SQL: "SELECT * FROM Processor",
-		Site: "*", Mode: core.ModeCached}
-	resp, err := gwA.Query(allSites)
+	allSites := core.QueryOptions{Principal: sim.SimPrincipal,
+		SQL: "SELECT * FROM Processor", Site: core.AllSites, Mode: core.ModeCached}
+	resp, err := gwA.QueryContext(ctx, allSites)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,13 +104,14 @@ func TestChaosDirectoryOutage(t *testing.T) {
 		t.Fatalf("warm all-sites: site dirB failed: %s", err)
 	}
 
-	// Phase 2 — total directory outage: kill BOTH replicas. Past the lookup
+	// Phase 2 — total directory outage: drop BOTH replicas. Past the lookup
 	// TTL every directory read fails, yet the all-sites query keeps answering
-	// from stale cache entries.
-	rep1.kill()
-	rep2.kill()
-	time.Sleep(100 * time.Millisecond) // let the 50ms TTL lapse
-	resp, err = gwA.Query(allSites)
+	// from stale cache entries. The TTL lapses by advancing the harness
+	// clock; no wall-clock sleep is involved.
+	h.SetDirectoryDown(0, true)
+	h.SetDirectoryDown(1, true)
+	clk.Advance(100 * time.Millisecond)
+	resp, err = gwA.QueryContext(ctx, allSites)
 	if err != nil {
 		t.Fatalf("all-sites query during directory outage: %v", err)
 	}
@@ -193,36 +122,45 @@ func TestChaosDirectoryOutage(t *testing.T) {
 		t.Errorf("no stale lookups counted during outage: %+v", st)
 	}
 
-	// The registrar flips to unreachable (Alert on the event bus) but the
-	// gateway keeps serving; Start never failed.
-	deadline := time.Now().Add(5 * time.Second)
+	// The registrar flips to unreachable but the gateway keeps serving;
+	// Start never failed. The flip is turned into an Alert on the event bus.
+	deadline := time.Now().Add(10 * time.Second)
 	for regA.Registered() {
 		if time.Now().After(deadline) {
 			t.Fatal("registrar never noticed the outage")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	select {
+	case ferr := <-unreachable:
+		gwA.Events().Publish(event.Event{Source: "gma", Name: "directory-unreachable",
+			Severity: event.SeverityAlert, Time: time.Now(), Detail: ferr.Error()})
+	case <-time.After(5 * time.Second):
+		t.Fatal("state listener never reported the outage")
+	}
 	gwA.Events().Drain()
 	if evs := gwA.Events().History(event.Filter{Name: "directory-unreachable"}, time.Time{}); len(evs) == 0 {
 		t.Error("no directory-unreachable alert published")
 	}
 
-	// Phase 3 — kill the remote gateway too: repeated failures trip the
+	// Phase 3 — partition the remote gateway too: repeated failures trip the
 	// per-endpoint breaker, and further fan-outs fast-fail on that site
 	// instead of consuming the whole deadline.
-	srvB.Close()
-	for i := 0; i < 2; i++ {
-		if _, err := router.RemoteQueryContext(context.Background(), "dirB",
-			core.Request{Principal: admin, SQL: "SELECT * FROM Processor", Site: "dirB"}); err == nil {
-			t.Fatal("query to killed gateway succeeded")
+	h.PartitionSite("dirB", true)
+	endpointB := h.Sites["dirB"].Server.URL()
+	for i := 0; i < 5; i++ { // router breaker default threshold
+		if _, err := router.RemoteQueryContext(ctx, "dirB",
+			core.QueryOptions{Principal: sim.SimPrincipal,
+				SQL: "SELECT * FROM Processor", Site: "dirB"}); err == nil {
+			t.Fatal("query to partitioned gateway succeeded")
 		}
 	}
-	if got := router.EndpointBreakerState(srvB.URL); got != "open" {
+	if got := router.EndpointBreakerState(endpointB); got != "open" {
 		t.Fatalf("breaker state after kill = %q, want open", got)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	start := time.Now()
-	resp, err = gwA.QueryContext(ctx, allSites)
+	resp, err = gwA.QueryContext(qctx, allSites)
 	elapsed := time.Since(start)
 	cancel()
 	if err != nil {
@@ -240,7 +178,7 @@ func TestChaosDirectoryOutage(t *testing.T) {
 
 	// Phase 4 — one replica returns: the registrar's background retry
 	// re-registers without intervention.
-	rep1.restart()
+	h.SetDirectoryDown(0, false)
 	deadline = time.Now().Add(10 * time.Second)
 	for !regA.Registered() {
 		if time.Now().After(deadline) {
@@ -248,7 +186,7 @@ func TestChaosDirectoryOutage(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if _, ok, err := rep1.dir.Lookup("dirA"); err != nil || !ok {
+	if _, ok, err := h.Replicas[0].Dir.Lookup("dirA"); err != nil || !ok {
 		t.Errorf("restarted replica lookup = %v, %v", ok, err)
 	}
 
@@ -265,7 +203,7 @@ func TestChaosDirectoryOutage(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if unreachableAlerts == 0 {
+	if unreachableAlerts.Load() == 0 {
 		t.Error("state listener never reported the outage")
 	}
 }

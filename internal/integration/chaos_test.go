@@ -3,21 +3,44 @@ package integration_test
 import (
 	"context"
 	"errors"
-	"net/http/httptest"
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"gridrm/internal/core"
-	"gridrm/internal/drivers/faultdrv"
 	"gridrm/internal/event"
-	"gridrm/internal/glue"
-	"gridrm/internal/gma"
-	"gridrm/internal/security"
-	"gridrm/internal/sitekit"
+	"gridrm/internal/sim"
 	"gridrm/internal/web"
 )
+
+// chaosCombinedScenario declares the combined-faults fleet: two federated
+// sites, with site B tuned the way the graceful-degradation acceptance
+// test needs (long stale grace so history rows stay servable, a twitchy
+// breaker so chaos trips it fast). The test drives the phases itself; the
+// scenario only replaces the hand-rolled sitekit/httptest fleet setup.
+const chaosCombinedScenario = `
+name: chaos-combined
+description: combined panic+error+latency faults at one federated site
+seed: 1
+duration: 2s
+fleet:
+  sites:
+    - name: chaosA
+      sources: 1
+      hosts: 2
+    - name: chaosB
+      sources: 1
+      hosts: 2
+      stale_grace: 10m
+      harvest_timeout: 2s
+      breaker_threshold: 2
+      breaker_cooldown: 150ms
+federation:
+  enabled: true
+  entry_site: chaosA
+`
 
 // TestChaosGatewaySurvivesCombinedFaults is the graceful-degradation
 // acceptance scenario end to end: a federated two-site deployment where every
@@ -26,55 +49,25 @@ import (
 // never crash, must keep answering with degraded rows, and the health prober
 // must bring the tripped breakers back once the faults clear.
 func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
-	admin := security.Principal{Name: "admin", Roles: []string{"operator"}}
-	faults := faultdrv.NewFaults()
-
-	siteA, err := sitekit.Start(sitekit.Options{Name: "chaosA", Hosts: 2, Seed: 111})
+	sc, err := sim.ParseScenario([]byte(chaosCombinedScenario))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(siteA.Close)
-	gwA, err := sitekit.NewGateway(siteA.Manifest(), siteA.Opts, false)
+	h, err := sim.NewHarness(sc, rand.New(rand.NewSource(sc.Seed)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(gwA.Close)
+	t.Cleanup(h.Close)
 
-	siteB, err := sitekit.Start(sitekit.Options{Name: "chaosB", Hosts: 2, Seed: 222})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(siteB.Close)
-	optsB := siteB.Opts
-	optsB.Faults = faults
-	optsB.StaleGrace = 10 * time.Minute
-	optsB.HarvestTimeout = 2 * time.Second
-	optsB.Breaker = core.BreakerOptions{Threshold: 2, Cooldown: 150 * time.Millisecond}
-	gwB, err := sitekit.NewGateway(siteB.Manifest(), optsB, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(gwB.Close)
-
-	// Federate the two gateways over real HTTP through a GMA directory.
-	dir := gma.NewDirectory(time.Minute, nil)
-	srvA := httptest.NewServer(web.NewServer(gwA, nil, dir.Handler()))
-	defer srvA.Close()
-	srvB := httptest.NewServer(web.NewServer(gwB, nil, nil))
-	defer srvB.Close()
-	regB := gma.NewRegistrar(dir, gma.ProducerInfo{Site: "chaosB", Endpoint: srvB.URL,
-		Groups: glue.GroupNames()}, time.Minute)
-	if err := regB.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer regB.Stop()
-	gwA.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, "chaosA"))
-	client := &web.Client{BaseURL: srvA.URL, Principal: admin}
-
-	req := core.Request{Principal: admin, SQL: "SELECT * FROM Processor", Mode: core.ModeCached}
+	gwB := h.Sites["chaosB"].Gateway
+	faults := h.Sites["chaosB"].Faults
+	client := &web.Client{BaseURL: h.Entry.Server.URL(), Principal: sim.SimPrincipal}
+	req := core.QueryOptions{Principal: sim.SimPrincipal,
+		SQL: "SELECT * FROM Processor", Mode: core.ModeCached}
+	ctx := context.Background()
 
 	// Phase 1 — clean pass primes site B's cache and history.
-	resp, err := gwB.Query(req)
+	resp, err := gwB.QueryContext(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +90,7 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := gwB.Query(req); err != nil {
+			if _, err := gwB.QueryContext(ctx, req); err != nil {
 				errs <- err
 			}
 		}()
@@ -110,7 +103,7 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 
 	// Degraded rows were served from history (the cache was cleared), each
 	// annotated with its tier and the underlying failure.
-	resp, err = gwB.Query(req)
+	resp, err = gwB.QueryContext(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +144,7 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 	}
 
 	// A federated client keeps getting answers through the burning site.
-	remote, err := client.Query(context.Background(), core.QueryOptions{SQL: "SELECT * FROM Processor",
+	remote, err := client.Query(ctx, core.QueryOptions{SQL: "SELECT * FROM Processor",
 		Site: "chaosB", Mode: core.ModeCached})
 	if err != nil {
 		t.Fatalf("federated query failed during chaos: %v", err)
@@ -169,7 +162,7 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 	prober := gwB.Prober()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		prober.ProbeAll(context.Background())
+		prober.ProbeAll(ctx)
 		open := 0
 		for _, info := range gwB.Sources() {
 			if info.Breaker != "closed" {
@@ -182,16 +175,16 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("breakers never recovered: %+v", gwB.Sources())
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
 	}
-	for _, h := range prober.Snapshot() {
-		if h.State != "healthy" {
-			t.Errorf("source %s still %s after recovery", h.URL, h.State)
+	for _, hs := range prober.Snapshot() {
+		if hs.State != "healthy" {
+			t.Errorf("source %s still %s after recovery", hs.URL, hs.State)
 		}
 	}
 
 	// Fresh real-time rows flow again.
-	resp, err = gwB.Query(core.Request{Principal: admin,
+	resp, err = gwB.QueryContext(ctx, core.QueryOptions{Principal: sim.SimPrincipal,
 		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
@@ -207,12 +200,12 @@ func TestChaosGatewaySurvivesCombinedFaults(t *testing.T) {
 	}
 
 	// Phase 4 — ordered shutdown: drains cleanly, then refuses new work.
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	if err := gwB.Shutdown(ctx); err != nil {
+	if err := gwB.Shutdown(sctx); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
-	if _, err := gwB.Query(req); !errors.Is(err, core.ErrGatewayClosed) {
+	if _, err := gwB.QueryContext(ctx, req); !errors.Is(err, core.ErrGatewayClosed) {
 		t.Errorf("post-shutdown query err = %v, want ErrGatewayClosed", err)
 	}
 }

@@ -1,0 +1,70 @@
+package sim
+
+import "sort"
+
+// evalAssertions checks the scenario's assertions against the finished
+// report, in stable (sorted-name) order. Semantics per key:
+//
+//	max_error_rate        client errors / requests              <= limit
+//	max_p99_ms            "all" label p99 latency (ms)          <= limit
+//	max_p95_ms            "all" label p95 latency (ms)          <= limit
+//	max_shed_rate         shed / requests                       <= limit
+//	min_throughput_rps    requests / wall-clock seconds         >= limit
+//	min_requests          total client requests                 >= limit
+//	min_degraded_share    (stale_serves+history_fallbacks)/requests >= limit
+//	min_stale_serves      stale_serves counter                  >= limit
+//	min_history_fallbacks history_fallbacks counter             >= limit
+//	min_coalesced         coalesced counter                     >= limit
+//	min_breaker_opens     breaker_opens counter (local layer)   >= limit
+//	min_hedges            hedges counter (federation layer)     >= limit
+func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
+	requests := float64(r.Load.Requests)
+	if requests == 0 {
+		requests = 1 // rates over an empty run compare against 0/1
+	}
+	actual := func(name string) float64 {
+		switch name {
+		case "max_error_rate":
+			return r.Load.ErrorRate
+		case "max_p99_ms":
+			return r.Latency["all"].P99Ms
+		case "max_p95_ms":
+			return r.Latency["all"].P95Ms
+		case "max_shed_rate":
+			return float64(r.Counters["shed"]) / requests
+		case "min_throughput_rps":
+			return r.Load.ThroughputRPS
+		case "min_requests":
+			return float64(r.Load.Requests)
+		case "min_degraded_share":
+			return float64(r.Counters["stale_serves"]+r.Counters["history_fallbacks"]) / requests
+		case "min_stale_serves":
+			return float64(r.Counters["stale_serves"])
+		case "min_history_fallbacks":
+			return float64(r.Counters["history_fallbacks"])
+		case "min_coalesced":
+			return float64(r.Counters["coalesced"])
+		case "min_breaker_opens":
+			return float64(r.Counters["breaker_opens"])
+		case "min_hedges":
+			return float64(r.Counters["hedges"])
+		}
+		return 0
+	}
+	names := make([]string, 0, len(sc.Assertions))
+	for name := range sc.Assertions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []AssertionResult
+	for _, name := range names {
+		limit := sc.Assertions[name]
+		got := actual(name)
+		ok := got >= limit
+		if len(name) >= 4 && name[:4] == "max_" {
+			ok = got <= limit
+		}
+		out = append(out, AssertionResult{Name: name, Limit: limit, Actual: got, OK: ok})
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"gridrm/internal/driver"
+)
+
+// FleetSource is one simulated data source: a named agent serving Processor
+// and Memory rows for a few hosts. Sources can be killed and revived at
+// runtime (the kill_source / revive_source scenario actions).
+type FleetSource struct {
+	Site     string
+	Name     string   // URL host, unique fleet-wide (e.g. "edge-1-src003")
+	URL      string   // gridrm:fleet://<Name>
+	Hosts    []string // host names this source reports on
+	BaseLoad float64  // deterministic per-source 1-minute load baseline
+	RAMMB    int64    // deterministic per-source RAM size
+
+	down    atomic.Bool
+	queries atomic.Int64
+}
+
+// Down reports whether the source is currently killed.
+func (s *FleetSource) Down() bool { return s.down.Load() }
+
+// Queries returns how many queries the source has served.
+func (s *FleetSource) Queries() int64 { return s.queries.Load() }
+
+// Fleet is the generated set of simulated sources, indexed by URL and
+// grouped by site. Generation order — template order, instance order,
+// source index — is the identity event targets resolve against, so a fleet
+// is fully determined by (FleetSpec, rng state).
+type Fleet struct {
+	sources map[string]*FleetSource // by URL
+	bySite  map[string][]*FleetSource
+	sites   []string // creation order
+}
+
+// GenerateFleet expands the templates into concrete sources, drawing every
+// per-source attribute from rng in a fixed order.
+func GenerateFleet(spec FleetSpec, rng *rand.Rand) *Fleet {
+	f := &Fleet{
+		sources: make(map[string]*FleetSource),
+		bySite:  make(map[string][]*FleetSource),
+	}
+	for _, tpl := range spec.Sites {
+		for _, site := range tpl.Instances() {
+			f.sites = append(f.sites, site)
+			for i := 1; i <= tpl.Sources; i++ {
+				name := fmt.Sprintf("%s-src%03d", site, i)
+				src := &FleetSource{
+					Site:     site,
+					Name:     name,
+					URL:      driver.FormatURL(FleetProtocol, name, 0, ""),
+					BaseLoad: math.Round((0.5+3.5*rng.Float64())*100) / 100,
+					RAMMB:    1024 << uint(rng.Intn(3)),
+				}
+				for h := 1; h <= tpl.Hosts; h++ {
+					src.Hosts = append(src.Hosts, fmt.Sprintf("%s-h%d", name, h))
+				}
+				f.sources[src.URL] = src
+				f.bySite[site] = append(f.bySite[site], src)
+			}
+		}
+	}
+	return f
+}
+
+// Source looks a source up by URL.
+func (f *Fleet) Source(url string) (*FleetSource, bool) {
+	s, ok := f.sources[url]
+	return s, ok
+}
+
+// Sites returns the site names in creation order.
+func (f *Fleet) Sites() []string { return f.sites }
+
+// SiteSources returns a site's sources in creation order.
+func (f *Fleet) SiteSources(site string) []*FleetSource { return f.bySite[site] }
+
+// TotalSources counts sources fleet-wide.
+func (f *Fleet) TotalSources() int { return len(f.sources) }
+
+// TotalHosts counts hosts fleet-wide.
+func (f *Fleet) TotalHosts() int {
+	n := 0
+	for _, s := range f.sources {
+		n += len(s.Hosts)
+	}
+	return n
+}
+
+// SetDown kills or revives a source by URL.
+func (f *Fleet) SetDown(url string, down bool) bool {
+	s, ok := f.sources[url]
+	if !ok {
+		return false
+	}
+	s.down.Store(down)
+	return true
+}
+
+// DownCount counts currently-killed sources.
+func (f *Fleet) DownCount() int {
+	n := 0
+	for _, s := range f.sources {
+		if s.Down() {
+			n++
+		}
+	}
+	return n
+}

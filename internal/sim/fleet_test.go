@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"gridrm/internal/driver"
+)
+
+func testFleetSpec() FleetSpec {
+	return FleetSpec{Sites: []SiteTemplate{
+		{Name: "edge", Count: 2, Sources: 3, Hosts: 2, Weight: 1},
+		{Name: "core", Count: 1, Sources: 5, Hosts: 1, Weight: 1},
+	}}
+}
+
+func TestGenerateFleetDeterministic(t *testing.T) {
+	a := GenerateFleet(testFleetSpec(), rand.New(rand.NewSource(42)))
+	b := GenerateFleet(testFleetSpec(), rand.New(rand.NewSource(42)))
+	if !reflect.DeepEqual(a.Sites(), b.Sites()) {
+		t.Fatalf("site order differs: %v vs %v", a.Sites(), b.Sites())
+	}
+	if a.TotalSources() != 11 || a.TotalHosts() != 17 {
+		t.Errorf("sizes = %d sources %d hosts", a.TotalSources(), a.TotalHosts())
+	}
+	for _, site := range a.Sites() {
+		sa, sb := a.SiteSources(site), b.SiteSources(site)
+		for i := range sa {
+			if sa[i].URL != sb[i].URL || sa[i].BaseLoad != sb[i].BaseLoad || sa[i].RAMMB != sb[i].RAMMB {
+				t.Errorf("source %d of %s differs: %+v vs %+v", i, site, sa[i], sb[i])
+			}
+		}
+	}
+	c := GenerateFleet(testFleetSpec(), rand.New(rand.NewSource(43)))
+	same := true
+	for _, site := range a.Sites() {
+		for i, src := range a.SiteSources(site) {
+			if src.BaseLoad != c.SiteSources(site)[i].BaseLoad {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical source attributes")
+	}
+}
+
+func TestFleetKillRevive(t *testing.T) {
+	f := GenerateFleet(testFleetSpec(), rand.New(rand.NewSource(1)))
+	url := f.SiteSources("edge-1")[0].URL
+	if !f.SetDown(url, true) {
+		t.Fatal("SetDown failed for known source")
+	}
+	if f.DownCount() != 1 {
+		t.Errorf("DownCount = %d", f.DownCount())
+	}
+	src, _ := f.Source(url)
+	if !src.Down() {
+		t.Error("source not down")
+	}
+	f.SetDown(url, false)
+	if f.DownCount() != 0 || src.Down() {
+		t.Error("revive did not take")
+	}
+	if f.SetDown("gridrm:fleet://nope", true) {
+		t.Error("SetDown accepted unknown source")
+	}
+}
+
+func TestFleetDriverServesAndFails(t *testing.T) {
+	f := GenerateFleet(testFleetSpec(), rand.New(rand.NewSource(1)))
+	src := f.SiteSources("core")[0]
+	d := NewFleetDriver(f)
+	if !d.AcceptsURL(src.URL) {
+		t.Fatal("driver rejects its own URL")
+	}
+	conn, err := d.Connect(src.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := conn.CreateStatement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := stmt.ExecuteQuery("SELECT * FROM Processor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != len(src.Hosts) {
+		t.Errorf("rows = %d, want %d", rs.Len(), len(src.Hosts))
+	}
+	rs, err = stmt.ExecuteQuery("SELECT * FROM Memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != len(src.Hosts) {
+		t.Errorf("memory rows = %d, want %d", rs.Len(), len(src.Hosts))
+	}
+
+	// Killed: ping and query fail, new connects are refused.
+	f.SetDown(src.URL, true)
+	if err := conn.Ping(); err == nil {
+		t.Error("ping succeeded on killed source")
+	}
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err == nil {
+		t.Error("query succeeded on killed source")
+	}
+	if _, err := d.Connect(src.URL, nil); err == nil {
+		t.Error("connect succeeded on killed source")
+	}
+	f.SetDown(src.URL, false)
+	if _, err := stmt.ExecuteQuery("SELECT * FROM Processor"); err != nil {
+		t.Errorf("query after revive: %v", err)
+	}
+
+	// A cancelled context is honoured before any work happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := stmt.(driver.StmtContext).ExecuteQueryContext(ctx, "SELECT * FROM Processor"); err == nil {
+		t.Error("query ignored cancelled context")
+	}
+	if _, err := d.Connect("gridrm:fleet://unknown-src", nil); err == nil {
+		t.Error("connect succeeded for unknown source")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	t0 := c.Now()
+	if !t0.Equal(Epoch) {
+		t.Errorf("start = %v, want %v", t0, Epoch)
+	}
+	if got := c.Advance(time.Second); !got.Equal(t0.Add(time.Second)) {
+		t.Errorf("Advance = %v", got)
+	}
+	if got := c.Advance(-time.Hour); !got.Equal(t0.Add(time.Second)) {
+		t.Errorf("negative Advance moved time: %v", got)
+	}
+	if !c.Now().Equal(t0.Add(time.Second)) {
+		t.Errorf("Now = %v", c.Now())
+	}
+}

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/drivers/faultdrv"
+	"gridrm/internal/gma"
+	"gridrm/internal/health"
+	"gridrm/internal/qcache"
+	"gridrm/internal/security"
+	"gridrm/internal/web"
+)
+
+// SimPrincipal is the principal every simulated client queries as.
+var SimPrincipal = security.Principal{Name: "sim", Roles: []string{"operator"}}
+
+// registrarInterval is how often sites refresh their directory records.
+const registrarInterval = 250 * time.Millisecond
+
+// SiteRuntime is one running site: a real gateway over the shared fleet,
+// its fault-injection knobs, and (under federation) its web server and
+// directory registrar.
+type SiteRuntime struct {
+	Name     string
+	Template SiteTemplate
+	Gateway  *core.Gateway
+	// Faults is the site's fault-injection layer; latency_spike and
+	// driver_errors events turn these knobs.
+	Faults *faultdrv.Faults
+	// Server is the site's HTTP face (always present on the entry site,
+	// on every site under federation). partition_site drops its traffic.
+	Server *ChaosServer
+	// Registrar keeps the site's producer record fresh (federation only).
+	Registrar *gma.Registrar
+}
+
+// DirectoryReplica is one GMA directory replica behind a droppable server.
+type DirectoryReplica struct {
+	Dir    *gma.Directory
+	Server *ChaosServer
+}
+
+// Harness is a running fleet: every site's gateway wired over one shared
+// Fleet, optionally federated through droppable directory replicas and a
+// resilient router on the entry site. Chaos tests drive it directly; the
+// Runner drives it from a scenario.
+type Harness struct {
+	Scenario  *Scenario
+	Fleet     *Fleet
+	Sites     map[string]*SiteRuntime
+	SiteOrder []string
+	Entry     *SiteRuntime
+	Replicas  []*DirectoryReplica
+	MultiDir  *gma.MultiDirectory
+	Router    *gma.Router
+	opts      HarnessOptions
+}
+
+// HarnessOptions are test-facing knobs beyond what scenarios declare.
+type HarnessOptions struct {
+	// Clock, when non-nil, drives the federation router's lookup-TTL clock;
+	// chaos tests pass a (*Clock).Now so TTLs lapse by Advance, not sleep.
+	Clock func() time.Time
+	// RegistrarListener, when non-nil, is installed on every site's
+	// registrar before Start so directory-reachability flips are observable
+	// from the first registration on.
+	RegistrarListener func(site string, reachable bool, err error)
+}
+
+// NewHarness builds and starts the scenario's fleet. Fleet generation
+// consumes rng; everything else is deterministic wiring. Callers own the
+// harness and must Close it.
+func NewHarness(sc *Scenario, rng *rand.Rand) (*Harness, error) {
+	return NewHarnessOpts(sc, rng, HarnessOptions{})
+}
+
+// NewHarnessOpts is NewHarness with test-facing options.
+func NewHarnessOpts(sc *Scenario, rng *rand.Rand, opts HarnessOptions) (*Harness, error) {
+	h := &Harness{
+		Scenario: sc,
+		Fleet:    GenerateFleet(sc.Fleet, rng),
+		Sites:    make(map[string]*SiteRuntime),
+		opts:     opts,
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			h.Close()
+		}
+	}()
+	for _, tpl := range sc.Fleet.Sites {
+		for _, site := range tpl.Instances() {
+			rt, err := h.startSite(site, tpl)
+			if err != nil {
+				return nil, err
+			}
+			h.Sites[site] = rt
+			h.SiteOrder = append(h.SiteOrder, site)
+		}
+	}
+	h.Entry = h.Sites[sc.EntrySite()]
+	if sc.Federation.Enabled {
+		if err := h.federate(); err != nil {
+			return nil, err
+		}
+	}
+	if h.Entry.Server == nil {
+		srv, err := h.startWebServer(h.Entry, nil)
+		if err != nil {
+			return nil, err
+		}
+		h.Entry.Server = srv
+	}
+	ok = true
+	return h, nil
+}
+
+// startSite builds one site's gateway over the shared fleet, the fleet
+// driver wrapped in the site's own fault-injection layer.
+func (h *Harness) startSite(site string, tpl SiteTemplate) (*SiteRuntime, error) {
+	faults := faultdrv.NewFaults()
+	gw := core.New(core.Config{
+		Name:                  site,
+		Cache:                 qcache.Options{TTL: tpl.CacheTTL},
+		HarvestTimeout:        tpl.HarvestTimeout,
+		QueryTimeout:          tpl.QueryTimeout,
+		Breaker:               core.BreakerOptions{Threshold: tpl.BreakerThreshold, Cooldown: tpl.BreakerCooldown},
+		MaxConcurrentHarvests: tpl.MaxConcurrentHarvests,
+		DisableCoalescing:     tpl.DisableCoalescing,
+		DisableHistory:        tpl.DisableHistory,
+		StaleGrace:            tpl.StaleGrace,
+		Probe:                 health.Options{Interval: tpl.ProbeInterval},
+	})
+	fd := NewFleetDriver(h.Fleet)
+	if err := gw.RegisterDriver(faultdrv.New(FleetDriverName, fd, faults), fd.Schema()); err != nil {
+		gw.Close()
+		return nil, fmt.Errorf("sim: %s: %w", site, err)
+	}
+	for _, src := range h.Fleet.SiteSources(site) {
+		err := gw.AddSource(core.SourceConfig{
+			URL:         src.URL,
+			Drivers:     []string{FleetDriverName},
+			Description: "simulated fleet source",
+		})
+		if err != nil {
+			gw.Close()
+			return nil, fmt.Errorf("sim: %s: %w", site, err)
+		}
+	}
+	return &SiteRuntime{Name: site, Template: tpl, Gateway: gw, Faults: faults}, nil
+}
+
+// startWebServer puts a site's gateway behind a droppable HTTP server.
+func (h *Harness) startWebServer(rt *SiteRuntime, dir http.Handler) (*ChaosServer, error) {
+	ws := web.NewServer(rt.Gateway, nil, dir)
+	if rt == h.Entry && h.Scenario.Load.MaxInFlight > 0 {
+		ws.SetAdmissionLimits(h.Scenario.Load.MaxInFlight, h.Scenario.Load.MaxQueue)
+	}
+	return NewChaosServer(ws)
+}
+
+// federate stands up the directory replicas, registers every site and
+// installs the resilient router on the entry gateway.
+func (h *Harness) federate() error {
+	fed := h.Scenario.Federation
+	var services []gma.DirectoryService
+	for i := 0; i < fed.Directories; i++ {
+		dir := gma.NewDirectory(0, nil) // records never expire; outages are dropped traffic
+		srv, err := NewChaosServer(dir.Handler())
+		if err != nil {
+			return err
+		}
+		h.Replicas = append(h.Replicas, &DirectoryReplica{Dir: dir, Server: srv})
+		services = append(services, &gma.DirectoryClient{BaseURL: srv.URL(), Timeout: 2 * time.Second})
+	}
+	h.MultiDir = gma.NewMultiDirectory(services...)
+	for _, site := range h.SiteOrder {
+		rt := h.Sites[site]
+		srv, err := h.startWebServer(rt, nil)
+		if err != nil {
+			return err
+		}
+		rt.Server = srv
+		rt.Registrar = gma.NewRegistrar(h.MultiDir, gma.ProducerInfo{
+			Site: site, Endpoint: srv.URL(), Groups: fleetGroups(),
+		}, registrarInterval)
+		if h.opts.RegistrarListener != nil {
+			site := site
+			rt.Registrar.SetStateListener(func(reachable bool, err error) {
+				h.opts.RegistrarListener(site, reachable, err)
+			})
+		}
+		if err := rt.Registrar.Start(); err != nil {
+			return fmt.Errorf("sim: register %s: %w", site, err)
+		}
+	}
+	h.Router = gma.NewResilientRouter(h.MultiDir, web.RemoteQueryContext, h.Entry.Name, gma.Config{
+		LookupTTL:     fed.LookupTTL,
+		RetryAttempts: fed.RetryAttempts,
+		HedgeAfter:    fed.HedgeAfter,
+		Clock:         h.opts.Clock,
+	})
+	h.Entry.Gateway.SetGlobalRouter(h.Router)
+	h.Router.RegisterMetrics(h.Entry.Gateway.Metrics())
+	return nil
+}
+
+func fleetGroups() []string {
+	var groups []string
+	for g := range NewFleetDriver(nil).Schema().Groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	return groups
+}
+
+// MetricsURL is the entry site's Prometheus-style metrics endpoint.
+func (h *Harness) MetricsURL() string { return h.Entry.Server.URL() + "/metrics" }
+
+// KillSource marks a source dead; its connects, pings and queries fail
+// until ReviveSource.
+func (h *Harness) KillSource(url string) bool { return h.Fleet.SetDown(url, true) }
+
+// ReviveSource brings a killed source back.
+func (h *Harness) ReviveSource(url string) bool { return h.Fleet.SetDown(url, false) }
+
+// PartitionSite drops (or heals) a site's HTTP traffic.
+func (h *Harness) PartitionSite(site string, partitioned bool) bool {
+	rt, ok := h.Sites[site]
+	if !ok || rt.Server == nil {
+		return false
+	}
+	rt.Server.SetDropped(partitioned)
+	return true
+}
+
+// SetDirectoryDown drops (or heals) one directory replica's traffic.
+func (h *Harness) SetDirectoryDown(i int, down bool) bool {
+	if i < 0 || i >= len(h.Replicas) {
+		return false
+	}
+	h.Replicas[i].Server.SetDropped(down)
+	return true
+}
+
+// Close tears the harness down: registrars, site servers, gateways, then
+// directory replicas. Safe on a partially-built harness.
+func (h *Harness) Close() {
+	for _, site := range h.SiteOrder {
+		rt := h.Sites[site]
+		if rt.Registrar != nil {
+			rt.Registrar.Stop()
+		}
+	}
+	for _, site := range h.SiteOrder {
+		rt := h.Sites[site]
+		if rt.Server != nil {
+			rt.Server.Close()
+		}
+		rt.Gateway.Close()
+	}
+	for _, rep := range h.Replicas {
+		rep.Server.Close()
+	}
+}
+
+// ChaosServer is an HTTP server whose traffic can be dropped at runtime:
+// while dropped, every connection is severed without a response, which is
+// what a network partition or a dead process looks like to clients —
+// unlike httptest.Server, it can come back on the same address.
+type ChaosServer struct {
+	inner   http.Handler
+	ln      net.Listener
+	srv     *http.Server
+	dropped atomic.Bool
+}
+
+// NewChaosServer starts a droppable server for the handler on an ephemeral
+// localhost port.
+func NewChaosServer(inner http.Handler) (*ChaosServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := &ChaosServer{inner: inner, ln: ln}
+	c.srv = &http.Server{Handler: c}
+	go func() { _ = c.srv.Serve(ln) }()
+	return c, nil
+}
+
+// URL returns the server's base URL.
+func (c *ChaosServer) URL() string { return "http://" + c.ln.Addr().String() }
+
+// SetDropped severs (or restores) the server's traffic.
+func (c *ChaosServer) SetDropped(dropped bool) { c.dropped.Store(dropped) }
+
+// Dropped reports whether traffic is currently severed.
+func (c *ChaosServer) Dropped() bool { return c.dropped.Load() }
+
+// ServeHTTP implements http.Handler.
+func (c *ChaosServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.dropped.Load() {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+// Close stops the server; in-flight connections are severed.
+func (c *ChaosServer) Close() { _ = c.srv.Close() }

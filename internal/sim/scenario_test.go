@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleScenario = `
+name: sample
+description: two templates, federation, events
+seed: 7
+duration: 10s
+fleet:
+  sites:
+    - name: edge
+      count: 3
+      sources: 5
+      hosts: 2
+      weight: 2
+      cache_ttl: 250ms
+    - name: core
+      count: 1
+      sources: 20
+      breaker_threshold: 4
+federation:
+  enabled: true
+  directories: 2
+  lookup_ttl: 100ms
+  entry_site: core
+load:
+  clients: 6
+  transport: http
+  think_time: 2ms
+  sources_per_query: 3
+  mix:
+    - mode: cached
+      weight: 70
+    - mode: real-time
+      scope: fanout
+      weight: 30
+events:
+  - at: 2s
+    action: kill_source
+    site: edge
+    count: 2
+  - at: 5s
+    action: directory_down
+    directory: 1
+  - at: 6s
+    action: latency_spike
+    site: core
+    latency: 40ms
+assertions:
+  max_error_rate: 0.05
+  min_requests: 100
+`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario([]byte(sampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "sample" || sc.Seed != 7 || sc.Duration != 10*time.Second {
+		t.Errorf("header = %q/%d/%s", sc.Name, sc.Seed, sc.Duration)
+	}
+	if got := sc.SiteNames(); len(got) != 4 || got[0] != "edge-1" || got[3] != "core" {
+		t.Errorf("SiteNames = %v", got)
+	}
+	if sc.EntrySite() != "core" {
+		t.Errorf("EntrySite = %q", sc.EntrySite())
+	}
+	if sc.Fleet.Sites[0].CacheTTL != 250*time.Millisecond || sc.Fleet.Sites[0].Weight != 2 {
+		t.Errorf("template 0 = %+v", sc.Fleet.Sites[0])
+	}
+	if sc.Fleet.Sites[1].BreakerThreshold != 4 || sc.Fleet.Sites[1].Hosts != 2 {
+		t.Errorf("template 1 defaults = %+v", sc.Fleet.Sites[1])
+	}
+	if !sc.Federation.Enabled || sc.Federation.Directories != 2 || sc.Federation.LookupTTL != 100*time.Millisecond {
+		t.Errorf("federation = %+v", sc.Federation)
+	}
+	if sc.Load.Transport != "http" || sc.Load.SourcesPerQuery != 3 || len(sc.Load.Mix) != 2 {
+		t.Errorf("load = %+v", sc.Load)
+	}
+	if sc.Load.Mix[1].Scope != ScopeFanout || sc.Load.Mix[1].Label() != "fanout-real-time" {
+		t.Errorf("mix[1] = %+v", sc.Load.Mix[1])
+	}
+	if len(sc.Events) != 3 || sc.Events[2].Latency != 40*time.Millisecond {
+		t.Errorf("events = %+v", sc.Events)
+	}
+	if sc.Assertions["max_error_rate"] != 0.05 {
+		t.Errorf("assertions = %v", sc.Assertions)
+	}
+}
+
+func TestParseScenarioDefaultsMix(t *testing.T) {
+	sc, err := ParseScenario([]byte("name: d\nfleet:\n  sites:\n    - name: a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Load.Mix) != 1 || sc.Load.Mix[0].Mode != "cached" {
+		t.Errorf("default mix = %+v", sc.Load.Mix)
+	}
+	if sc.Load.Clients != 4 || sc.Duration != 2*time.Second {
+		t.Errorf("defaults = clients %d duration %s", sc.Load.Clients, sc.Duration)
+	}
+}
+
+func TestScenarioValidationErrors(t *testing.T) {
+	base := "name: v\nfleet:\n  sites:\n    - name: a\n"
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"missing name", "duration: 1s\nfleet:\n  sites:\n    - name: a\n", "name is required"},
+		{"no sites", "name: x\n", "at least one template"},
+		{"unknown top key", base + "bogus: 1\n", "unknown key bogus"},
+		{"unknown site key", "name: x\nfleet:\n  sites:\n    - name: a\n      wat: 2\n", "unknown key fleet.sites.wat"},
+		{"bad mode", base + "load:\n  mix:\n    - mode: psychic\n", "unknown mode"},
+		{"remote without federation", base + "load:\n  mix:\n    - mode: cached\n      scope: remote\n", "needs federation.enabled"},
+		{"bad action", base + "events:\n  - at: 1s\n    action: explode\n", "unknown action"},
+		{"event past end", base + "events:\n  - at: 1h\n    action: kill_source\n", "outside the run duration"},
+		{"event bad site", base + "events:\n  - at: 1s\n    action: kill_source\n    site: nope\n", "matches no template"},
+		{"spike needs latency", base + "events:\n  - at: 1s\n    action: latency_spike\n", "needs latency"},
+		{"dir index range", "name: x\nfleet:\n  sites:\n    - name: a\nfederation:\n  directories: 1\nevents:\n  - at: 1s\n    action: directory_down\n    directory: 3\n", "out of range"},
+		{"unknown assertion", base + "assertions:\n  min_magic: 1\n", "unknown assertion"},
+		{"duplicate template", "name: x\nfleet:\n  sites:\n    - name: a\n    - name: a\n", "duplicate site template"},
+		{"bad entry site", "name: x\nfleet:\n  sites:\n    - name: a\nfederation:\n  entry_site: b\n", "not a site instance"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestShippedScenariosValidate keeps every scenario in scenarios/ loadable —
+// the same check `gridrm-sim validate` performs, run as part of the suite.
+func TestShippedScenariosValidate(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected at least 4 shipped scenarios, found %d", len(files))
+	}
+	for _, f := range files {
+		if _, err := LoadScenario(f); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLNested(t *testing.T) {
+	doc := `
+# scenario header
+name: baseline
+fleet:
+  sites:
+    - name: edge      # inline comment
+      count: 3
+      sources: 10
+    - name: core
+      count: 1
+      sources: '25'
+load:
+  clients: 8
+  mix:
+    - mode: cached
+      weight: 80
+    - mode: real-time
+      weight: 20
+events:
+  - at: 5s
+    action: kill_source
+assertions:
+  max_error_rate: 0.01
+notes: "a: quoted # value"
+empty:
+tags:
+  - one
+  - two
+`
+	got, err := parseYAML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name": "baseline",
+		"fleet": map[string]any{
+			"sites": []any{
+				map[string]any{"name": "edge", "count": "3", "sources": "10"},
+				map[string]any{"name": "core", "count": "1", "sources": "25"},
+			},
+		},
+		"load": map[string]any{
+			"clients": "8",
+			"mix": []any{
+				map[string]any{"mode": "cached", "weight": "80"},
+				map[string]any{"mode": "real-time", "weight": "20"},
+			},
+		},
+		"events": []any{
+			map[string]any{"at": "5s", "action": "kill_source"},
+		},
+		"assertions": map[string]any{"max_error_rate": "0.01"},
+		"notes":      "a: quoted # value",
+		"empty":      "",
+		"tags":       []any{"one", "two"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseYAML mismatch\n got: %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tabs"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"bare scalar", "a: 1\njust a scalar line", "key: value"},
+		{"stray indent", "a: 1\n    b: 2", "unexpected indentation"},
+		{"empty list item", "xs:\n  -\nb: 1", "empty list item"},
+		{"list under key line", "a: 1\n- b", "list item where a key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseYAMLEmpty(t *testing.T) {
+	got, err := parseYAML([]byte("\n# only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got.(map[string]any)
+	if !ok || len(m) != 0 {
+		t.Errorf("empty doc = %#v, want empty map", got)
+	}
+}

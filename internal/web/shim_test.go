@@ -1,0 +1,241 @@
+package web
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/event"
+	"gridrm/internal/glue"
+)
+
+// normalizeWireResponse zeroes the fields two sequential HTTP round-trips
+// legitimately disagree on: server-side timing, trace identity and (for
+// fresh harvests on the real clock) harvest timestamps and ages.
+func normalizeWireResponse(r *core.Response) *core.Response {
+	c := *r
+	c.Elapsed = 0
+	c.TraceID = ""
+	c.Trace = nil
+	c.Sources = append([]core.SourceStatus(nil), r.Sources...)
+	for i := range c.Sources {
+		c.Sources[i].HarvestedAt = time.Time{}
+		c.Sources[i].Age = 0
+	}
+	return &c
+}
+
+// TestClientContextShimsMatch drives every deprecated *Context read shim and
+// its context-first replacement against the same live server and requires
+// identical answers — the wire path, encoding and semantics must not fork.
+func TestClientContextShimsMatch(t *testing.T) {
+	f := newFixture(t, nil)
+	c := f.client
+	ctx := context.Background()
+
+	// Prime the cache so the query pair observes identical gateway state.
+	if _, err := c.Query(ctx, core.QueryOptions{SQL: "SELECT * FROM Processor"}); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("Query", func(t *testing.T) {
+		req := core.QueryOptions{SQL: "SELECT * FROM Processor", Mode: core.ModeCached}
+		a, errA := c.Query(ctx, req)
+		b, errB := c.QueryContext(ctx, req)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if !reflect.DeepEqual(normalizeWireResponse(a), normalizeWireResponse(b)) {
+			t.Errorf("responses differ\n new: %+v\n shim: %+v", a, b)
+		}
+	})
+
+	t.Run("Poll", func(t *testing.T) {
+		a, errA := c.Poll(ctx, f.url, glue.GroupProcessor)
+		b, errB := c.PollContext(ctx, f.url, glue.GroupProcessor)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if a.ResultSet.Len() != b.ResultSet.Len() || a.Site != b.Site {
+			t.Errorf("poll differs: %d/%q vs %d/%q",
+				a.ResultSet.Len(), a.Site, b.ResultSet.Len(), b.Site)
+		}
+	})
+
+	t.Run("Sources", func(t *testing.T) {
+		a, errA := c.Sources(ctx)
+		b, errB := c.SourcesContext(ctx)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("sources differ: %+v vs %+v", a, b)
+		}
+	})
+
+	t.Run("Drivers", func(t *testing.T) {
+		a, errA := c.Drivers(ctx)
+		b, errB := c.DriversContext(ctx)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("drivers differ: %+v vs %+v", a, b)
+		}
+	})
+
+	t.Run("Tree", func(t *testing.T) {
+		a, errA := c.Tree(ctx)
+		b, errB := c.TreeContext(ctx)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		// Cache-entry ages are measured at call time; zero them out.
+		for _, nodes := range [][]TreeNode{a, b} {
+			for i := range nodes {
+				for j := range nodes[i].Cached {
+					nodes[i].Cached[j].Age = 0
+				}
+			}
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("trees differ: %+v vs %+v", a, b)
+		}
+	})
+
+	t.Run("Events", func(t *testing.T) {
+		f.gw.Events().Drain()
+		a, errA := c.Events(ctx, event.Filter{}, time.Time{})
+		b, errB := c.EventsContext(ctx, event.Filter{}, time.Time{})
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("events differ: %d vs %d entries", len(a), len(b))
+		}
+	})
+
+	t.Run("WatchedMetrics", func(t *testing.T) {
+		if err := c.WatchMetricContext(ctx, glue.GroupProcessor, "LoadLast1Min"); err != nil {
+			t.Fatal(err)
+		}
+		a, errA := c.WatchedMetrics(ctx)
+		b, errB := c.WatchedMetricsContext(ctx)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) || len(a) == 0 {
+			t.Errorf("watched metrics differ: %v vs %v", a, b)
+		}
+	})
+
+	t.Run("Status", func(t *testing.T) {
+		a, errA := c.Status(ctx)
+		b, errB := c.StatusContext(ctx)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		// Counters move between calls; the identity fields must agree.
+		if a.Site != b.Site || len(a.Health) != len(b.Health) {
+			t.Errorf("status differs: %q/%d vs %q/%d",
+				a.Site, len(a.Health), b.Site, len(b.Health))
+		}
+	})
+
+	t.Run("Sites", func(t *testing.T) {
+		a, errA := c.Sites(ctx)
+		b, errB := c.SitesContext(ctx)
+		if errA != nil || errB != nil {
+			t.Fatalf("errs: %v / %v", errA, errB)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("sites differ: %v vs %v", a, b)
+		}
+	})
+}
+
+// TestClientMutatingShimsMatch checks the deprecated mutating *Context shims
+// perform the same state transitions as their replacements: each pair runs
+// the same add/remove or activate/deactivate cycle and must leave identical
+// observable state behind.
+func TestClientMutatingShimsMatch(t *testing.T) {
+	f := newFixture(t, nil)
+	c := f.client
+	ctx := context.Background()
+	extra := core.SourceConfig{URL: "gridrm:mem://extra:1", Description: "shim test"}
+
+	sourceCount := func() int {
+		srcs, err := c.Sources(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(srcs)
+	}
+	base := sourceCount()
+
+	// Add/remove through the deprecated shims...
+	if err := c.AddSourceContext(ctx, extra); err != nil {
+		t.Fatal(err)
+	}
+	if got := sourceCount(); got != base+1 {
+		t.Fatalf("after AddSourceContext: %d sources, want %d", got, base+1)
+	}
+	if err := c.RemoveSourceContext(ctx, extra.URL); err != nil {
+		t.Fatal(err)
+	}
+	// ...and through the context-first methods; the end states must match.
+	if err := c.AddSource(ctx, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveSource(ctx, extra.URL); err != nil {
+		t.Fatal(err)
+	}
+	if got := sourceCount(); got != base {
+		t.Fatalf("cycle left %d sources, want %d", got, base)
+	}
+
+	// Driver activation cycle through both paths.
+	if err := c.ActivateDriverContext(ctx, "jdbc-extra"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeactivateDriverContext(ctx, "jdbc-extra"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ActivateDriver(ctx, "jdbc-extra"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeactivateDriver(ctx, "jdbc-extra"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Preference updates through both paths.
+	if err := c.SetPreferencesContext(ctx, f.url, []string{"jdbc-mem"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPreferences(ctx, f.url, []string{"jdbc-mem"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteQueryShimMatchesContext checks the package-level federation hop:
+// the deprecated context-free RemoteQuery must produce the same answer as
+// RemoteQueryContext.
+func TestRemoteQueryShimMatchesContext(t *testing.T) {
+	f := newFixture(t, nil)
+	req := core.QueryOptions{Principal: f.client.Principal,
+		SQL: "SELECT * FROM Processor", Mode: core.ModeCached}
+	// Prime so both observe a warm cache.
+	if _, err := RemoteQueryContext(context.Background(), f.srv.URL, req); err != nil {
+		t.Fatal(err)
+	}
+	a, errA := RemoteQuery(f.srv.URL, req)
+	b, errB := RemoteQueryContext(context.Background(), f.srv.URL, req)
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v / %v", errA, errB)
+	}
+	if !reflect.DeepEqual(normalizeWireResponse(a), normalizeWireResponse(b)) {
+		t.Errorf("remote responses differ\n shim: %+v\n ctx:  %+v", a, b)
+	}
+}
