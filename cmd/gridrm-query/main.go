@@ -101,6 +101,8 @@ func main() {
 			st.Gateway.Timeouts, st.Gateway.Retries, st.Gateway.BreakerOpens, st.Gateway.BreakerSkipped)
 		fmt.Printf("  degradation: stale-serves=%d history-fallbacks=%d driver-panics=%d\n",
 			st.Gateway.StaleServes, st.Gateway.HistoryFallbacks, st.Gateway.DriverPanics)
+		fmt.Printf("  plan cache: hits=%d misses=%d\n",
+			st.Gateway.PlanCacheHits, st.Gateway.PlanCacheMisses)
 		fmt.Printf("  probes: attempted=%d failed=%d skipped=%d transitions=%d\n",
 			st.Probes.Probes, st.Probes.Failures, st.Probes.Skipped, st.Probes.Transitions)
 		for _, h := range st.Health {

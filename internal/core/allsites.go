@@ -16,28 +16,37 @@ import (
 // organisation: locally, plus at every remote site the Global layer can
 // reach, consolidating the answers into one ResultSet. ORDER BY and LIMIT
 // are stripped from the fan-out sub-queries and re-applied over the merged
-// rows, so "the 3 busiest hosts anywhere" means exactly that. The fan-out
-// is bounded by ctx: a site that has not answered when the deadline passes
-// is reported as timed out and the consolidated rows of the sites that did
-// answer are returned.
+// rows, so "the 3 busiest hosts anywhere" means exactly that. Aggregate
+// queries are pushed down: each site answers the partial-aggregate rewrite
+// (sum+count for avg, and so on) and only those partial rows cross the
+// wire; the entry gateway merges them (sum of sums, min of mins) and
+// finalizes the answer. The fan-out is bounded by ctx: a site that has not
+// answered when the deadline passes is reported as timed out and the
+// consolidated rows of the sites that did answer are returned.
 func (g *Gateway) queryAllSites(ctx context.Context, req QueryOptions, start time.Time) (*Response, error) {
 	if g.coarse.Check(req.Principal, security.OpGlobalQuery) != security.Allow {
 		g.denied.Add(1)
 		return nil, &PermissionError{Principal: req.Principal.Name, What: "global query"}
 	}
-	q, err := sqlparse.Parse(req.SQL)
+	q, err := g.plans.Parse(req.SQL)
 	if err != nil {
 		return nil, err
 	}
-	// Per-site sub-query: same projection and WHERE, no ORDER/LIMIT —
-	// those only make sense over the consolidated rows.
-	sub := *q
-	sub.OrderBy = ""
-	sub.Desc = false
-	sub.Limit = -1
 	subReq := req
-	subReq.SQL = sub.String()
 	subReq.Sources = nil // source URLs are site-local knowledge
+	if q.Aggregate() {
+		// Per-site sub-query: the partial-aggregate rewrite, still plain
+		// SQL in the same grammar.
+		subReq.SQL = q.PartialQuery().String()
+	} else {
+		// Per-site sub-query: same projection and WHERE, no ORDER/LIMIT —
+		// those only make sense over the consolidated rows.
+		sub := *q
+		sub.OrderBy = ""
+		sub.Desc = false
+		sub.Limit = -1
+		subReq.SQL = sub.String()
+	}
 
 	g.mu.RLock()
 	router := g.router
@@ -124,6 +133,15 @@ collect:
 	}
 	if answered == 0 {
 		return nil, fmt.Errorf("core: no site answered the all-sites query")
+	}
+	if q.Aggregate() {
+		// merged holds the concatenated per-site partial rows; combine
+		// them into the final aggregate before ordering and limiting.
+		final, err := sqlparse.FinalizeAggregate(q, merged)
+		if err != nil {
+			return nil, err
+		}
+		merged = final
 	}
 	if q.OrderBy != "" && merged.Metadata().ColumnIndex(q.OrderBy) >= 0 {
 		if err := merged.SortBy(q.OrderBy, q.Desc); err != nil {

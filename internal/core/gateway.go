@@ -29,6 +29,7 @@ import (
 	"gridrm/internal/qcache"
 	"gridrm/internal/schema"
 	"gridrm/internal/security"
+	"gridrm/internal/sqlparse"
 	"gridrm/internal/trace"
 )
 
@@ -86,6 +87,9 @@ type Config struct {
 	// store capacity, sample rate, slow threshold). Trace.Clock defaults
 	// to the gateway clock.
 	Trace trace.Options
+	// PlanCacheSize bounds the LRU cache of parsed query plans (default
+	// 512 entries; negative disables the cache).
+	PlanCacheSize int
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -121,6 +125,7 @@ const (
 	defaultHarvestTimeout = 10 * time.Second
 	defaultQueryTimeout   = 30 * time.Second
 	defaultStaleGrace     = 2 * time.Minute
+	defaultPlanCacheSize  = 512
 )
 
 // ErrGatewayClosed is returned for queries issued after Shutdown or Close.
@@ -210,6 +215,10 @@ type Stats struct {
 	// DriverPanics counts driver panics contained at a call boundary and
 	// converted into errors.
 	DriverPanics int64
+	// PlanCacheHits counts query parses served from the plan cache.
+	PlanCacheHits int64
+	// PlanCacheMisses counts query parses that had to run the parser.
+	PlanCacheMisses int64
 }
 
 // GlobalRouter forwards queries for remote sites; internal/gma provides the
@@ -259,6 +268,7 @@ type Gateway struct {
 	stageHist *metrics.HistogramVec
 	prober    *health.Prober
 	tracer    *trace.Tracer
+	plans     *sqlparse.PlanCache
 
 	mu       sync.RWMutex
 	sources  map[string]*SourceInfo
@@ -322,6 +332,9 @@ func New(cfg Config) *Gateway {
 	if cfg.Trace.Clock == nil {
 		cfg.Trace.Clock = cfg.Clock
 	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = defaultPlanCacheSize
+	}
 	reg := metrics.NewRegistry()
 	if cfg.Pool.DialObserver == nil {
 		dialHist := reg.Histogram("gridrm_pool_dial_seconds",
@@ -348,6 +361,7 @@ func New(cfg Config) *Gateway {
 		coalesce:       !cfg.DisableCoalescing,
 		flights:        newFlightGroup(),
 		tracer:         trace.New(cfg.Trace),
+		plans:          sqlparse.NewPlanCache(cfg.PlanCacheSize),
 		registry:       reg,
 		sources:        make(map[string]*SourceInfo),
 		breakers:       make(map[string]*breaker),
@@ -423,6 +437,14 @@ func (g *Gateway) registerMetrics() {
 	r.CounterFunc("gridrm_traces_evicted_total", "Query traces evicted from the trace store.", func() int64 { return g.tracer.Stats().Evicted })
 	r.CounterFunc("gridrm_slow_queries_total", "Queries recorded in the slow-query log.", func() int64 { return g.tracer.Stats().SlowQueries })
 	r.CounterFunc("gridrm_trace_spans_dropped_total", "Spans discarded by the per-trace cap.", func() int64 { return g.tracer.Stats().DroppedSpans })
+	r.CounterFunc("gridrm_plan_cache_hits_total", "Query parses served from the plan cache.",
+		func() int64 { return int64(g.plans.Stats().Hits) })
+	r.CounterFunc("gridrm_plan_cache_misses_total", "Query parses that ran the parser.",
+		func() int64 { return int64(g.plans.Stats().Misses) })
+	r.CounterFunc("gridrm_plan_cache_evictions_total", "Parsed plans evicted by the LRU cap.",
+		func() int64 { return int64(g.plans.Stats().Evictions) })
+	r.GaugeFunc("gridrm_plan_cache_entries", "Parsed plans currently cached.",
+		func() float64 { return float64(g.plans.Stats().Entries) })
 }
 
 // Metrics returns the gateway's metrics registry (served by GET /metrics).
@@ -815,6 +837,9 @@ func (g *Gateway) Stats() Stats {
 		StaleServes:      g.staleServes.Load(),
 		HistoryFallbacks: g.historyFallbacks.Load(),
 		DriverPanics:     g.driverPanics.Load(),
+
+		PlanCacheHits:   int64(g.plans.Stats().Hits),
+		PlanCacheMisses: int64(g.plans.Stats().Misses),
 	}
 }
 

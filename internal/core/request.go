@@ -321,7 +321,7 @@ func (g *Gateway) query(ctx context.Context, req QueryOptions, start time.Time) 
 
 	parseStart := g.clock()
 	_, psp := trace.StartSpan(ctx, "parse")
-	q, err := sqlparse.Parse(req.SQL)
+	q, err := g.plans.Parse(req.SQL)
 	psp.SetError(err)
 	psp.End()
 	g.observeStage(StageParse, parseStart)

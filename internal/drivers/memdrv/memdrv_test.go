@@ -114,3 +114,35 @@ func TestAcceptsURLAndUnsupported(t *testing.T) {
 	}
 	var _ driver.Driver = d
 }
+
+// TestAggregateAtDriverBoundary: coarse-snapshot drivers finish query
+// processing with sqlparse.ApplyToResultSet, so they answer aggregate SQL
+// directly — no gateway involvement needed.
+func TestAggregateAtDriverBoundary(t *testing.T) {
+	b := NewBackend([]string{"h1", "h2", "h3"})
+	b.SetLoad(2.5)
+	d := New("jdbc-mem", "mem", b)
+	conn, err := d.Connect("gridrm:mem://x:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stmt, _ := conn.CreateStatement()
+	rs, err := stmt.ExecuteQuery("SELECT count(*), avg(LoadLast1Min), sum(LoadLast1Min) FROM Processor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("rows = %d", rs.Len())
+	}
+	rs.Next()
+	if n, _ := rs.GetInt("count(*)"); n != 3 {
+		t.Errorf("count = %d", n)
+	}
+	if v, _ := rs.GetFloat("avg(LoadLast1Min)"); v != 2.5 {
+		t.Errorf("avg = %v", v)
+	}
+	if v, _ := rs.GetFloat("sum(LoadLast1Min)"); v != 7.5 {
+		t.Errorf("sum = %v", v)
+	}
+}

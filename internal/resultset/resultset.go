@@ -403,7 +403,9 @@ func (rs *ResultSet) Limit(n int) *ResultSet {
 	out := New(rs.meta)
 	out.Source = rs.Source
 	out.Fetched = rs.Fetched
-	out.rows = rs.rows[:n]
+	// Full slice expression: the limited set must not share spare capacity
+	// with the parent, or a later Merge into it would clobber parent rows.
+	out.rows = rs.rows[:n:n]
 	return out
 }
 
@@ -425,8 +427,23 @@ func (rs *ResultSet) SortBy(col string, desc bool) error {
 	return nil
 }
 
-// Merge appends the rows of other, which must have the same column names in
-// the same order, into rs.
+// SortedBy returns a new ResultSet with the rows sorted by the named
+// column, leaving rs untouched. Only the outer row slice is copied; the
+// rows themselves are shared, so this is the copy-on-write companion to
+// SortBy for result sets whose rows other readers may still hold.
+func (rs *ResultSet) SortedBy(col string, desc bool) (*ResultSet, error) {
+	out := New(rs.meta)
+	out.Source = rs.Source
+	out.Fetched = rs.Fetched
+	out.rows = append(make([][]any, 0, len(rs.rows)), rs.rows...)
+	if err := out.SortBy(col, desc); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Merge appends the rows of other, which must have the same column names
+// and kinds in the same order, into rs.
 func (rs *ResultSet) Merge(other *ResultSet) error {
 	if other.meta.ColumnCount() != rs.meta.ColumnCount() {
 		return fmt.Errorf("resultset: merge column count mismatch: %d vs %d",
@@ -437,9 +454,54 @@ func (rs *ResultSet) Merge(other *ResultSet) error {
 			return fmt.Errorf("resultset: merge column %d mismatch: %q vs %q",
 				i, rs.meta.Column(i).Name, other.meta.Column(i).Name)
 		}
+		if rs.meta.Column(i).Kind != other.meta.Column(i).Kind {
+			return fmt.Errorf("resultset: merge column %q kind mismatch: %s vs %s",
+				rs.meta.Column(i).Name, rs.meta.Column(i).Kind, other.meta.Column(i).Kind)
+		}
 	}
 	rs.rows = append(rs.rows, other.rows...)
 	return nil
+}
+
+// GroupKey encodes the values of row at the given column indexes into a
+// string usable as a grouping map key. Values are tagged by type so that,
+// say, int64(1) and "1" produce distinct keys, and joined with a separator
+// that cannot occur inside the encoded forms.
+func GroupKey(row []any, cols []int) string {
+	var b strings.Builder
+	for _, i := range cols {
+		switch v := row[i].(type) {
+		case nil:
+			b.WriteString("n\x00")
+		case string:
+			b.WriteString("s")
+			b.WriteString(strconv.Itoa(len(v)))
+			b.WriteString(":")
+			b.WriteString(v)
+			b.WriteString("\x00")
+		case int64:
+			b.WriteString("i")
+			b.WriteString(strconv.FormatInt(v, 10))
+			b.WriteString("\x00")
+		case float64:
+			b.WriteString("f")
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			b.WriteString("\x00")
+		case bool:
+			b.WriteString("b")
+			b.WriteString(strconv.FormatBool(v))
+			b.WriteString("\x00")
+		case time.Time:
+			b.WriteString("t")
+			b.WriteString(strconv.FormatInt(v.UnixNano(), 10))
+			b.WriteString("\x00")
+		default:
+			b.WriteString("?")
+			fmt.Fprintf(&b, "%v", v)
+			b.WriteString("\x00")
+		}
+	}
+	return b.String()
 }
 
 // CompareValues orders two raw values. NULL (nil) sorts before everything;

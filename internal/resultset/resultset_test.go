@@ -365,3 +365,88 @@ func TestStringRendering(t *testing.T) {
 		t.Errorf("String() has %d lines, want 4", lines)
 	}
 }
+
+// TestLimitDoesNotAliasParent is the backing-array regression: a Merge into
+// a limited set used to clobber the parent's next row because the limited
+// slice shared the parent's spare capacity.
+func TestLimitDoesNotAliasParent(t *testing.T) {
+	parent := sampleRS(t)
+	limited := parent.Limit(1)
+
+	extra, err := NewBuilder(parent.Metadata()).Append("delta", 9.0, int64(1)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := limited.Merge(extra); err != nil {
+		t.Fatal(err)
+	}
+	// Parent row 1 must still be beta, not delta.
+	if got := parent.RowAt(1)[0]; got != "beta" {
+		t.Fatalf("parent row 1 clobbered by Merge into limited child: %v", got)
+	}
+	if limited.Len() != 2 {
+		t.Errorf("limited set has %d rows, want 2", limited.Len())
+	}
+}
+
+// TestMergeRejectsKindMismatch: same column names with different kinds must
+// not silently merge into a mixed-kind column.
+func TestMergeRejectsKindMismatch(t *testing.T) {
+	a, err := NewBuilder(mustMeta(t, []Column{{Name: "Load", Kind: glue.Float}})).
+		Append(0.5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder(mustMeta(t, []Column{{Name: "Load", Kind: glue.Int}})).
+		Append(int64(2)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("kind-mismatched merge accepted")
+	} else if !strings.Contains(err.Error(), "kind") {
+		t.Errorf("error %q does not mention the kind mismatch", err)
+	}
+	if a.Len() != 1 {
+		t.Errorf("failed merge still appended rows: %d", a.Len())
+	}
+}
+
+func TestSortedByLeavesInputAlone(t *testing.T) {
+	rs := sampleRS(t)
+	sorted, err := rs.SortedBy("Load", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.RowAt(0)[0]; got != "alpha" {
+		t.Fatalf("SortedBy reordered its receiver: row 0 = %v", got)
+	}
+	if got := sorted.RowAt(0)[0]; got != "beta" {
+		t.Errorf("sorted row 0 = %v, want beta (desc: NULL last)", got)
+	}
+	if _, err := rs.SortedBy("Bogus", false); err == nil {
+		t.Error("SortedBy accepted an unknown column")
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	rows := [][]any{
+		{int64(1), "a"},
+		{float64(1), "a"}, // same numeric value, different type
+		{nil, "a"},
+		{int64(1), "ab"},
+		{"1", "a"},
+		{int64(1), "a"}, // duplicate of the first
+	}
+	keys := make(map[string]int)
+	for i, row := range rows {
+		keys[GroupKey(row, []int{0, 1})] = i
+	}
+	if len(keys) != 5 {
+		t.Errorf("got %d distinct keys, want 5: %v", len(keys), keys)
+	}
+	// Boundary confusion: ("ab","c") must differ from ("a","bc").
+	if GroupKey([]any{"ab", "c"}, []int{0, 1}) == GroupKey([]any{"a", "bc"}, []int{0, 1}) {
+		t.Error("string boundaries not preserved in group keys")
+	}
+}

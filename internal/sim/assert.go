@@ -17,6 +17,7 @@ import "sort"
 //	min_coalesced         coalesced counter                     >= limit
 //	min_breaker_opens     breaker_opens counter (local layer)   >= limit
 //	min_hedges            hedges counter (federation layer)     >= limit
+//	min_plan_cache_hits   plan_cache_hits counter (all sites)   >= limit
 func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 	requests := float64(r.Load.Requests)
 	if requests == 0 {
@@ -48,6 +49,8 @@ func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 			return float64(r.Counters["breaker_opens"])
 		case "min_hedges":
 			return float64(r.Counters["hedges"])
+		case "min_plan_cache_hits":
+			return float64(r.Counters["plan_cache_hits"])
 		}
 		return 0
 	}

@@ -178,6 +178,8 @@ func (h *Harness) scrapeCounters() (map[string]int64, map[string]float64) {
 		counters["stale_serves"] += st.StaleServes
 		counters["history_fallbacks"] += st.HistoryFallbacks
 		counters["driver_panics"] += st.DriverPanics
+		counters["plan_cache_hits"] += st.PlanCacheHits
+		counters["plan_cache_misses"] += st.PlanCacheMisses
 	}
 	if h.Router != nil {
 		rs := h.Router.Stats()

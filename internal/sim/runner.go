@@ -292,9 +292,13 @@ func (w *clientWorker) run(ctx context.Context, deadline time.Time) {
 }
 
 func (w *clientWorker) buildRequest(mix MixEntry) core.QueryOptions {
+	sql := "SELECT * FROM " + mix.Table
+	if mix.SQL != "" {
+		sql = mix.SQL
+	}
 	req := core.QueryOptions{
 		Principal: SimPrincipal,
-		SQL:       "SELECT * FROM " + mix.Table,
+		SQL:       sql,
 		Mode:      queryMode(mix.Mode),
 	}
 	switch mix.Scope {

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"gridrm/internal/sqlparse"
 )
 
 // Scenario is a parsed simulation scenario: a fleet to build, a client load
@@ -80,15 +82,27 @@ type MixEntry struct {
 	Mode   string // cached | real-time | historical
 	Scope  string // local | remote | fanout (default local)
 	Table  string // GLUE table (default Processor)
+	SQL    string // full query text overriding "SELECT * FROM <table>"
 	Weight int    // relative frequency (default 1)
 }
 
+// labelPlans caches parsed mix SQL so Label stays cheap on the hot path.
+var labelPlans = sqlparse.NewPlanCache(64)
+
 // Label names the latency bucket this mix entry's samples land in.
+// Aggregate SQL gets its own "-agg" bucket so pushdown latencies are
+// reported separately from raw-row scans.
 func (m MixEntry) Label() string {
-	if m.Scope == ScopeLocal {
-		return m.Mode
+	label := m.Mode
+	if m.Scope != ScopeLocal {
+		label = m.Scope + "-" + m.Mode
 	}
-	return m.Scope + "-" + m.Mode
+	if m.SQL != "" {
+		if q, err := labelPlans.Parse(m.SQL); err == nil && q.Aggregate() {
+			label += "-agg"
+		}
+	}
+	return label
 }
 
 // EventSpec is one timed fault (or heal) event.
@@ -148,6 +162,7 @@ var assertionKeys = map[string]bool{
 	"min_coalesced":         true,
 	"min_breaker_opens":     true,
 	"min_hedges":            true,
+	"min_plan_cache_hits":   true,
 	"max_shed_rate":         true,
 }
 
@@ -231,6 +246,7 @@ func ParseScenario(data []byte) (*Scenario, error) {
 				Mode:   d.str(im, "mode", "cached"),
 				Scope:  d.str(im, "scope", ScopeLocal),
 				Table:  d.str(im, "table", "Processor"),
+				SQL:    d.str(im, "sql", ""),
 				Weight: d.intVal(im, "weight", 1),
 			}
 			d.noExtra(im, "load.mix")
@@ -355,6 +371,15 @@ func (s *Scenario) Validate() error {
 		}
 		if mix.Weight < 1 {
 			return fmt.Errorf("scenario: %s: weight must be >= 1", at)
+		}
+		if mix.SQL != "" {
+			q, err := sqlparse.Parse(mix.SQL)
+			if err != nil {
+				return fmt.Errorf("scenario: %s: sql: %v", at, err)
+			}
+			// Keep Table coherent with the query so priming and event
+			// targeting see the table the clients will actually hit.
+			s.Load.Mix[i].Table = q.Table
 		}
 	}
 	if s.Federation.Enabled {

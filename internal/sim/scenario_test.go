@@ -107,6 +107,28 @@ func TestParseScenarioDefaultsMix(t *testing.T) {
 	}
 }
 
+func TestParseScenarioMixSQL(t *testing.T) {
+	doc := "name: s\nfleet:\n  sites:\n    - name: a\n" +
+		"load:\n  mix:\n" +
+		"    - mode: cached\n      sql: \"SELECT HostName, avg(LoadLast1Min) FROM Memory GROUP BY HostName\"\n" +
+		"    - mode: cached\n      sql: \"SELECT HostName FROM Processor LIMIT 5\"\n"
+	sc, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table is rewritten from the parsed SQL; aggregate SQL gets its own
+	// latency bucket, plain SQL keeps the mode bucket.
+	if sc.Load.Mix[0].Table != "Memory" {
+		t.Errorf("mix[0].Table = %q, want Memory", sc.Load.Mix[0].Table)
+	}
+	if got := sc.Load.Mix[0].Label(); got != "cached-agg" {
+		t.Errorf("aggregate mix label = %q, want cached-agg", got)
+	}
+	if got := sc.Load.Mix[1].Label(); got != "cached" {
+		t.Errorf("plain sql mix label = %q, want cached", got)
+	}
+}
+
 func TestScenarioValidationErrors(t *testing.T) {
 	base := "name: v\nfleet:\n  sites:\n    - name: a\n"
 	cases := []struct {
@@ -125,6 +147,7 @@ func TestScenarioValidationErrors(t *testing.T) {
 		{"dir index range", "name: x\nfleet:\n  sites:\n    - name: a\nfederation:\n  directories: 1\nevents:\n  - at: 1s\n    action: directory_down\n    directory: 3\n", "out of range"},
 		{"unknown assertion", base + "assertions:\n  min_magic: 1\n", "unknown assertion"},
 		{"duplicate template", "name: x\nfleet:\n  sites:\n    - name: a\n    - name: a\n", "duplicate site template"},
+		{"bad mix sql", base + "load:\n  mix:\n    - mode: cached\n      sql: \"SELECT * FROM\"\n", "sql:"},
 		{"bad entry site", "name: x\nfleet:\n  sites:\n    - name: a\nfederation:\n  entry_site: b\n", "not a site instance"},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,399 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+// This file implements the aggregation evaluator behind ApplyToResultSet
+// and the partial-aggregate merge used by federated (all-sites) queries.
+// Aggregates follow SQL NULL semantics: NULL inputs are skipped, count(*)
+// counts every row, count(col) counts non-NULL values, and sum/min/max/avg
+// of zero non-NULL inputs yield NULL. A global aggregate (no GROUP BY)
+// over zero rows still produces one row (count = 0, the rest NULL).
+
+// aggItemPlan binds one select-list item to the input result set.
+type aggItemPlan struct {
+	item SelectItem
+	in   int       // input column index; -1 for count(*)
+	kind glue.Kind // input column kind; glue.Int for count(*)
+}
+
+// aggPlan is a compiled aggregate select list over a concrete input shape.
+type aggPlan struct {
+	items    []aggItemPlan
+	groupIdx []int // input column indexes of the GROUP BY columns
+	meta     *resultset.Metadata
+}
+
+func numericKind(k glue.Kind) bool { return k == glue.Int || k == glue.Float }
+
+// buildAggPlan resolves q's items against the input metadata and derives
+// the output metadata.
+func buildAggPlan(q *Query, in *resultset.Metadata) (*aggPlan, error) {
+	plan := &aggPlan{}
+	for _, g := range q.GroupBy {
+		i := in.ColumnIndex(g)
+		if i < 0 {
+			return nil, fmt.Errorf("sqlparse: unknown column %q in table %s", g, q.Table)
+		}
+		plan.groupIdx = append(plan.groupIdx, i)
+	}
+	cols := make([]resultset.Column, 0, len(q.Items))
+	for _, it := range q.Items {
+		ip := aggItemPlan{item: it, in: -1, kind: glue.Int}
+		var inCol resultset.Column
+		if !it.Star {
+			i := in.ColumnIndex(it.Column)
+			if i < 0 {
+				return nil, fmt.Errorf("sqlparse: unknown column %q in table %s", it.Column, q.Table)
+			}
+			ip.in = i
+			inCol = in.Column(i)
+			ip.kind = inCol.Kind
+		}
+		var out resultset.Column
+		switch it.Agg {
+		case AggNone:
+			out = inCol
+		case AggCount:
+			out = resultset.Column{Name: it.Name(), Kind: glue.Int, Group: inCol.Group}
+		case AggSum:
+			if !numericKind(ip.kind) {
+				return nil, fmt.Errorf("sqlparse: sum(%s) requires a numeric column, %s is %s",
+					it.Column, it.Column, ip.kind)
+			}
+			out = resultset.Column{Name: it.Name(), Kind: ip.kind, Unit: inCol.Unit, Group: inCol.Group}
+		case AggAvg:
+			if !numericKind(ip.kind) {
+				return nil, fmt.Errorf("sqlparse: avg(%s) requires a numeric column, %s is %s",
+					it.Column, it.Column, ip.kind)
+			}
+			out = resultset.Column{Name: it.Name(), Kind: glue.Float, Unit: inCol.Unit, Group: inCol.Group}
+		case AggMin, AggMax:
+			out = resultset.Column{Name: it.Name(), Kind: ip.kind, Unit: inCol.Unit, Group: inCol.Group}
+		}
+		cols = append(cols, out)
+		plan.items = append(plan.items, ip)
+	}
+	meta, err := resultset.NewMetadata(cols)
+	if err != nil {
+		return nil, err
+	}
+	plan.meta = meta
+	return plan, nil
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	n    int64 // rows observed (non-NULL for everything but count(*))
+	sumI int64
+	sumF float64
+	cmp  any // current min/max
+}
+
+func (s *aggState) observe(ip aggItemPlan, v any) {
+	switch ip.item.Agg {
+	case AggCount:
+		if ip.item.Star || v != nil {
+			s.n++
+		}
+	case AggSum:
+		if v == nil {
+			return
+		}
+		if ip.kind == glue.Int {
+			s.sumI += v.(int64)
+		} else {
+			s.sumF += asFloat(v)
+		}
+		s.n++
+	case AggAvg:
+		if v == nil {
+			return
+		}
+		s.sumF += asFloat(v)
+		s.n++
+	case AggMin:
+		if v == nil {
+			return
+		}
+		if s.n == 0 || resultset.CompareValues(v, s.cmp) < 0 {
+			s.cmp = v
+		}
+		s.n++
+	case AggMax:
+		if v == nil {
+			return
+		}
+		if s.n == 0 || resultset.CompareValues(v, s.cmp) > 0 {
+			s.cmp = v
+		}
+		s.n++
+	}
+}
+
+func (s *aggState) value(ip aggItemPlan) any {
+	switch ip.item.Agg {
+	case AggCount:
+		return s.n
+	case AggSum:
+		if s.n == 0 {
+			return nil
+		}
+		if ip.kind == glue.Int {
+			return s.sumI
+		}
+		return s.sumF
+	case AggAvg:
+		if s.n == 0 {
+			return nil
+		}
+		return s.sumF / float64(s.n)
+	default: // min/max
+		if s.n == 0 {
+			return nil
+		}
+		return s.cmp
+	}
+}
+
+// normName canonicalizes an output column label for case-insensitive
+// lookup, matching resultset's case-insensitive column index.
+func normName(name string) string { return strings.ToLower(name) }
+
+func asFloat(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
+}
+
+// aggGroup is the accumulator row for one grouping key.
+type aggGroup struct {
+	rep    []any // first row seen — source of the group-by column values
+	states []aggState
+}
+
+// aggregateResultSet evaluates q's aggregate select list over the (already
+// WHERE-filtered) rows of rs, grouping by q.GroupBy. Groups are emitted in
+// first-seen row order.
+func aggregateResultSet(q *Query, rs *resultset.ResultSet) (*resultset.ResultSet, error) {
+	plan, err := buildAggPlan(q, rs.Metadata())
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string]*aggGroup)
+	var order []string
+	for i := 0; i < rs.Len(); i++ {
+		row := rs.RowAt(i)
+		key := resultset.GroupKey(row, plan.groupIdx)
+		g := groups[key]
+		if g == nil {
+			g = &aggGroup{rep: row, states: make([]aggState, len(plan.items))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for j, ip := range plan.items {
+			var v any
+			if ip.in >= 0 {
+				v = row[ip.in]
+			}
+			g.states[j].observe(ip, v)
+		}
+	}
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		// Global aggregate over zero rows: one row of empty accumulators.
+		groups[""] = &aggGroup{states: make([]aggState, len(plan.items))}
+		order = append(order, "")
+	}
+	b := resultset.NewBuilder(plan.meta)
+	for _, key := range order {
+		g := groups[key]
+		row := make([]any, len(plan.items))
+		for j, ip := range plan.items {
+			if ip.item.Agg == AggNone {
+				row[j] = g.rep[ip.in]
+			} else {
+				row[j] = g.states[j].value(ip)
+			}
+		}
+		b.Append(row...)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	out.Source = rs.Source
+	out.Fetched = rs.Fetched
+	return out, nil
+}
+
+// FinalizeAggregate combines partial aggregate rows — the concatenated
+// per-site results of q.PartialQuery() — into q's final answer: counts and
+// sums add up, min-of-mins, max-of-maxes, and avg is finalized as
+// sum/count. ORDER BY and LIMIT are left to the caller. The shape of
+// partial must match q.PartialQuery()'s select list (one column per
+// partial item, canonical names).
+func FinalizeAggregate(q *Query, partial *resultset.ResultSet) (*resultset.ResultSet, error) {
+	if !q.Aggregate() {
+		return nil, fmt.Errorf("sqlparse: FinalizeAggregate on non-aggregate query")
+	}
+	pq := q.PartialQuery()
+	pmeta := partial.Metadata()
+	// Resolve every partial item and GROUP BY column in the partial shape.
+	pIdx := make([]int, len(pq.Items))
+	for i, it := range pq.Items {
+		j := pmeta.ColumnIndex(it.Name())
+		if j < 0 {
+			return nil, fmt.Errorf("sqlparse: partial result missing column %q", it.Name())
+		}
+		pIdx[i] = j
+	}
+	var groupIdx []int
+	for _, g := range q.GroupBy {
+		j := pmeta.ColumnIndex(g)
+		if j < 0 {
+			return nil, fmt.Errorf("sqlparse: partial result missing group column %q", g)
+		}
+		groupIdx = append(groupIdx, j)
+	}
+
+	// Merge partial rows group by group. The merge semantics per partial
+	// aggregate: count → sum of counts, sum → sum of sums, min → min of
+	// mins, max → max of maxes; NULL partials (a site with no matching
+	// non-NULL values) are skipped.
+	groups := make(map[string]*aggGroup)
+	var order []string
+	for i := 0; i < partial.Len(); i++ {
+		row := partial.RowAt(i)
+		key := resultset.GroupKey(row, groupIdx)
+		g := groups[key]
+		if g == nil {
+			g = &aggGroup{rep: row, states: make([]aggState, len(pq.Items))}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for j, it := range pq.Items {
+			v := row[pIdx[j]]
+			st := &g.states[j]
+			switch it.Agg {
+			case AggCount:
+				if v != nil {
+					st.n += v.(int64)
+				}
+			case AggSum:
+				if v == nil {
+					continue
+				}
+				if pmeta.Column(pIdx[j]).Kind == glue.Int {
+					st.sumI += v.(int64)
+				} else {
+					st.sumF += asFloat(v)
+				}
+				st.n++
+			case AggMin:
+				if v == nil {
+					continue
+				}
+				if st.n == 0 || resultset.CompareValues(v, st.cmp) < 0 {
+					st.cmp = v
+				}
+				st.n++
+			case AggMax:
+				if v == nil {
+					continue
+				}
+				if st.n == 0 || resultset.CompareValues(v, st.cmp) > 0 {
+					st.cmp = v
+				}
+				st.n++
+			}
+		}
+	}
+	if len(q.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &aggGroup{states: make([]aggState, len(pq.Items))}
+		order = append(order, "")
+	}
+
+	// Partial item lookup by canonical name, for finalizing avg and for
+	// mapping q.Items back onto merged states.
+	stateOf := make(map[string]int, len(pq.Items))
+	for i, it := range pq.Items {
+		stateOf[normName(it.Name())] = i
+	}
+
+	// Final output metadata mirrors the single-site aggregate shape.
+	cols := make([]resultset.Column, 0, len(q.Items))
+	for _, it := range q.Items {
+		switch it.Agg {
+		case AggAvg:
+			sumCol := pmeta.Column(pIdx[stateOf[normName(SelectItem{Column: it.Column, Agg: AggSum}.Name())]])
+			cols = append(cols, resultset.Column{Name: it.Name(), Kind: glue.Float, Unit: sumCol.Unit, Group: sumCol.Group})
+		default:
+			src := pmeta.Column(pIdx[stateOf[normName(it.Name())]])
+			cols = append(cols, resultset.Column{Name: it.Name(), Kind: src.Kind, Unit: src.Unit, Group: src.Group})
+		}
+	}
+	meta, err := resultset.NewMetadata(cols)
+	if err != nil {
+		return nil, err
+	}
+	b := resultset.NewBuilder(meta)
+	for _, key := range order {
+		g := groups[key]
+		row := make([]any, len(q.Items))
+		for i, it := range q.Items {
+			switch it.Agg {
+			case AggNone:
+				row[i] = g.rep[pIdx[stateOf[normName(it.Name())]]]
+			case AggCount:
+				row[i] = g.states[stateOf[normName(it.Name())]].n
+			case AggAvg:
+				sumSt := g.states[stateOf[normName(SelectItem{Column: it.Column, Agg: AggSum}.Name())]]
+				cntSt := g.states[stateOf[normName(SelectItem{Column: it.Column, Agg: AggCount}.Name())]]
+				if cntSt.n == 0 {
+					row[i] = nil
+					continue
+				}
+				si := stateOf[normName(SelectItem{Column: it.Column, Agg: AggSum}.Name())]
+				if pmeta.Column(pIdx[si]).Kind == glue.Int {
+					row[i] = float64(sumSt.sumI) / float64(cntSt.n)
+				} else {
+					row[i] = sumSt.sumF / float64(cntSt.n)
+				}
+			case AggSum:
+				si := stateOf[normName(it.Name())]
+				st := g.states[si]
+				if st.n == 0 {
+					row[i] = nil
+				} else if pmeta.Column(pIdx[si]).Kind == glue.Int {
+					row[i] = st.sumI
+				} else {
+					row[i] = st.sumF
+				}
+			case AggMin, AggMax:
+				st := g.states[stateOf[normName(it.Name())]]
+				if st.n == 0 {
+					row[i] = nil
+				} else {
+					row[i] = st.cmp
+				}
+			}
+		}
+		b.Append(row...)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	out.Source = partial.Source
+	out.Fetched = partial.Fetched
+	return out, nil
+}

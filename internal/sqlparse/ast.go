@@ -5,15 +5,78 @@ import (
 	"strings"
 )
 
+// AggFunc enumerates the aggregate functions the grammar supports.
+type AggFunc int
+
+// Aggregate functions. AggNone marks a bare (grouping) column in an
+// aggregate select list.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+	AggSum
+)
+
+// String returns the SQL spelling of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	}
+	return ""
+}
+
+// SelectItem is one entry of an aggregate select list: either a bare
+// grouping column (Agg == AggNone) or an aggregate over a column. Star is
+// set only for count(*).
+type SelectItem struct {
+	// Column is the input column name; empty for count(*).
+	Column string
+	// Agg is the aggregate applied, or AggNone for a grouping column.
+	Agg AggFunc
+	// Star marks count(*).
+	Star bool
+}
+
+// Name returns the canonical output column label for the item, e.g.
+// "HostName", "avg(LoadLast1Min)" or "count(*)".
+func (it SelectItem) Name() string {
+	if it.Agg == AggNone {
+		return it.Column
+	}
+	if it.Star {
+		return it.Agg.String() + "(*)"
+	}
+	return it.Agg.String() + "(" + it.Column + ")"
+}
+
 // Query is the parsed form of a GridRM SELECT statement.
 type Query struct {
 	// Columns lists the selected column names; empty means SELECT *.
+	// Unused (nil) when the query aggregates — see Items.
 	Columns []string
+	// Items is the select list of an aggregate query (any aggregate
+	// function or GROUP BY present); empty for plain queries.
+	Items []SelectItem
+	// GroupBy lists the grouping columns; empty for a global aggregate
+	// or a plain query.
+	GroupBy []string
 	// Table is the FROM target — a GLUE group name.
 	Table string
 	// Where is the optional predicate; nil when absent.
 	Where Expr
-	// OrderBy is the optional ordering column; empty when absent.
+	// OrderBy is the optional ordering column; empty when absent. In an
+	// aggregate query it names an output column, e.g. "avg(Load)".
 	OrderBy string
 	// Desc reverses the ordering when OrderBy is set.
 	Desc bool
@@ -22,15 +85,27 @@ type Query struct {
 }
 
 // Star reports whether the query selects all columns.
-func (q *Query) Star() bool { return len(q.Columns) == 0 }
+func (q *Query) Star() bool { return len(q.Columns) == 0 && len(q.Items) == 0 }
+
+// Aggregate reports whether the query computes aggregates (has aggregate
+// functions and/or GROUP BY).
+func (q *Query) Aggregate() bool { return len(q.Items) > 0 }
 
 // String renders the query back to SQL text (canonical form).
 func (q *Query) String() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
-	if q.Star() {
+	switch {
+	case q.Aggregate():
+		for i, it := range q.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(it.Name())
+		}
+	case q.Star():
 		sb.WriteByte('*')
-	} else {
+	default:
 		sb.WriteString(strings.Join(q.Columns, ", "))
 	}
 	sb.WriteString(" FROM ")
@@ -38,6 +113,10 @@ func (q *Query) String() string {
 	if q.Where != nil {
 		sb.WriteString(" WHERE ")
 		sb.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(q.GroupBy, ", "))
 	}
 	if q.OrderBy != "" {
 		sb.WriteString(" ORDER BY ")
@@ -53,9 +132,12 @@ func (q *Query) String() string {
 	return sb.String()
 }
 
-// ColumnsReferenced returns every column name mentioned anywhere in the
-// query (select list, WHERE, ORDER BY), deduplicated, preserving first-seen
-// order. Drivers use this to fetch only the native values a query needs.
+// ColumnsReferenced returns every input column name the query needs
+// (select list, aggregate arguments, WHERE, GROUP BY, ORDER BY),
+// deduplicated, preserving first-seen order. Drivers use this to fetch
+// only the native values a query needs. For aggregate queries ORDER BY is
+// excluded: there it names an output column such as "avg(Load)", not an
+// input.
 func (q *Query) ColumnsReferenced() []string {
 	seen := make(map[string]bool)
 	var out []string
@@ -69,13 +151,64 @@ func (q *Query) ColumnsReferenced() []string {
 	for _, c := range q.Columns {
 		add(c)
 	}
+	for _, it := range q.Items {
+		if it.Column != "" {
+			add(it.Column)
+		}
+	}
 	if q.Where != nil {
 		walkColumns(q.Where, add)
 	}
-	if q.OrderBy != "" {
+	for _, c := range q.GroupBy {
+		add(c)
+	}
+	if q.OrderBy != "" && !q.Aggregate() {
 		add(q.OrderBy)
 	}
 	return out
+}
+
+// PartialQuery rewrites an aggregate query into the per-site sub-query of
+// a federated execution: grouping columns plus the partial aggregates
+// needed to reconstruct the final answer (avg becomes sum + count; count,
+// sum, min and max are already mergeable). ORDER BY and LIMIT are dropped
+// — they only make sense over the combined result. The rewrite is plain
+// SQL in the same grammar, so any driver or remote gateway that can answer
+// an aggregate query can answer the partial form. Panics if q is not an
+// aggregate query.
+func (q *Query) PartialQuery() *Query {
+	if !q.Aggregate() {
+		panic("sqlparse: PartialQuery on non-aggregate query")
+	}
+	pq := &Query{
+		Table:   q.Table,
+		Where:   q.Where,
+		GroupBy: append([]string(nil), q.GroupBy...),
+		Limit:   -1,
+	}
+	seen := make(map[string]bool)
+	addItem := func(it SelectItem) {
+		key := strings.ToLower(it.Name())
+		if !seen[key] {
+			seen[key] = true
+			pq.Items = append(pq.Items, it)
+		}
+	}
+	for _, g := range q.GroupBy {
+		addItem(SelectItem{Column: g})
+	}
+	for _, it := range q.Items {
+		switch it.Agg {
+		case AggNone:
+			addItem(it)
+		case AggAvg:
+			addItem(SelectItem{Column: it.Column, Agg: AggSum})
+			addItem(SelectItem{Column: it.Column, Agg: AggCount})
+		default:
+			addItem(it)
+		}
+	}
+	return pq
 }
 
 func walkColumns(e Expr, add func(string)) {

@@ -122,11 +122,15 @@ func likeMatch(p, s string) bool {
 	return pi == len(p)
 }
 
-// ApplyToResultSet applies the query's WHERE, ORDER BY, LIMIT and column
-// projection to a full-table ResultSet (one whose columns cover everything
-// the query references). Drivers that fetch coarse-grained native snapshots
-// use this to finish query processing; it is part of the driver development
-// API the paper describes in §3.2.1.
+// ApplyToResultSet applies the query's WHERE, GROUP BY/aggregates, ORDER
+// BY, LIMIT and column projection to a full-table ResultSet (one whose
+// columns cover everything the query references). Drivers that fetch
+// coarse-grained native snapshots use this to finish query processing; it
+// is part of the driver development API the paper describes in §3.2.1.
+//
+// The input rs is never mutated: stages that reorder rows work on a copy
+// of the row slice, so drivers and caches may keep serving rs to
+// concurrent queries.
 func ApplyToResultSet(q *Query, rs *resultset.ResultSet) (*resultset.ResultSet, error) {
 	meta := rs.Metadata()
 	// Validate referenced columns up front for a clear error.
@@ -155,15 +159,30 @@ func ApplyToResultSet(q *Query, rs *resultset.ResultSet) (*resultset.ResultSet, 
 			return nil, evalErr
 		}
 	}
+	if q.Aggregate() {
+		agg, err := aggregateResultSet(q, out)
+		if err != nil {
+			return nil, err
+		}
+		out = agg // freshly built: safe to sort in place below
+	}
 	if q.OrderBy != "" {
-		if err := out.SortBy(q.OrderBy, q.Desc); err != nil {
+		if out == rs {
+			// Copy-on-write: sorting the caller's set in place would
+			// reorder rows shared with other readers.
+			sorted, err := out.SortedBy(q.OrderBy, q.Desc)
+			if err != nil {
+				return nil, err
+			}
+			out = sorted
+		} else if err := out.SortBy(q.OrderBy, q.Desc); err != nil {
 			return nil, err
 		}
 	}
 	if q.Limit >= 0 {
 		out = out.Limit(q.Limit)
 	}
-	if !q.Star() {
+	if !q.Star() && !q.Aggregate() {
 		projected, err := out.Project(q.Columns)
 		if err != nil {
 			return nil, err

@@ -26,6 +26,17 @@ func FuzzParse(f *testing.F) {
 		"   ",
 		"SELECT * FROM T WHERE A IN ('x', 'y')",
 		"SELECT * FROM T WHERE NOT (A = 1)",
+		"SELECT count(*) FROM Processor",
+		"SELECT HostName, avg(LoadLast1Min) FROM Processor GROUP BY HostName",
+		"SELECT min(RAMSize), max(RAMSize), sum(RAMSize) FROM Memory WHERE HostName LIKE 'n%'",
+		"SELECT Model, count(HostName) FROM Processor GROUP BY Model ORDER BY count(HostName) DESC LIMIT 3",
+		"SELECT count FROM t",
+		"SELECT avg(*) FROM Processor",
+		"SELECT HostName FROM Processor GROUP BY Model",
+		"SELECT * FROM Processor GROUP BY HostName",
+		"SELECT sum(Load FROM t",
+		"SELECT a, b, avg(c) FROM t GROUP BY a, b ORDER BY avg(c)",
+		"SELECT * FROM T WHERE A = 99999999999999999999999",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 )
@@ -67,27 +68,89 @@ func (p *parser) expectIdent() (string, error) {
 
 var reserved = map[string]bool{
 	"select": true, "from": true, "where": true, "order": true, "by": true,
-	"limit": true, "and": true, "or": true, "not": true, "like": true,
-	"is": true, "null": true, "asc": true, "desc": true, "true": true,
-	"false": true,
+	"group": true, "limit": true, "and": true, "or": true, "not": true,
+	"like": true, "is": true, "null": true, "asc": true, "desc": true,
+	"true": true, "false": true,
 }
 
 func isReserved(word string) bool { return reserved[strings.ToLower(word)] }
+
+// aggFuncs maps aggregate function names (lowercase) to their AggFunc.
+// The names are contextual, not reserved: `SELECT count FROM t` still
+// selects a column called count — only `count(` is a function call.
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "min": AggMin, "max": AggMax,
+	"avg": AggAvg, "sum": AggSum,
+}
+
+// peekAggFunc reports the aggregate function at the cursor, if the cursor
+// is on a function-call head (`name` immediately followed by `(`).
+func (p *parser) peekAggFunc() (AggFunc, bool) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return AggNone, false
+	}
+	fn, ok := aggFuncs[strings.ToLower(t.text)]
+	if !ok || p.toks[p.i+1].kind != tokLParen {
+		return AggNone, false
+	}
+	return fn, true
+}
+
+// parseAggItem parses one `fn ( column | * )` call. The cursor must be on
+// a function-call head (see peekAggFunc).
+func (p *parser) parseAggItem() (SelectItem, error) {
+	fn, _ := p.peekAggFunc()
+	fnTok := p.advance() // function name
+	p.advance()          // '('
+	it := SelectItem{Agg: fn}
+	if p.cur().kind == tokStar {
+		if fn != AggCount {
+			return it, errAt(p.cur().pos, "%s(*) is not valid; only count(*) may use *", fn)
+		}
+		it.Star = true
+		p.advance()
+	} else {
+		col, err := p.expectIdent()
+		if err != nil {
+			return it, err
+		}
+		it.Column = col
+	}
+	if p.cur().kind != tokRParen {
+		return it, errAt(p.cur().pos, "expected ')' to close %s(, got %q", fnTok.text, p.cur().text)
+	}
+	p.advance()
+	return it, nil
+}
 
 func (p *parser) parseQuery() (*Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
 	q := &Query{Limit: -1}
+	star := false
+	var items []SelectItem
+	hasAgg := false
 	if p.cur().kind == tokStar {
+		star = true
 		p.advance()
 	} else {
 		for {
-			col, err := p.expectIdent()
-			if err != nil {
-				return nil, err
+			if _, ok := p.peekAggFunc(); ok {
+				it, err := p.parseAggItem()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, it)
+				hasAgg = true
+			} else {
+				col, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, SelectItem{Column: col})
 			}
-			q.Columns = append(q.Columns, col)
 			if p.cur().kind != tokComma {
 				break
 			}
@@ -110,15 +173,74 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.Where = expr
 	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		groupPos := p.cur().pos
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		if star {
+			return nil, errAt(groupPos, "SELECT * cannot be combined with GROUP BY")
+		}
+	}
+	// A query aggregates when the select list has aggregate calls or a
+	// GROUP BY clause is present; otherwise the items are plain columns.
+	if hasAgg || len(q.GroupBy) > 0 {
+		q.Items = items
+		if err := validateAggregateQuery(q); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, it := range items {
+			q.Columns = append(q.Columns, it.Column)
+		}
+	}
 	if p.keyword("ORDER") {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		col, err := p.expectIdent()
-		if err != nil {
-			return nil, err
+		orderPos := p.cur().pos
+		var orderBy string
+		if _, ok := p.peekAggFunc(); ok {
+			it, err := p.parseAggItem()
+			if err != nil {
+				return nil, err
+			}
+			orderBy = it.Name()
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			orderBy = col
 		}
-		q.OrderBy = col
+		if q.Aggregate() {
+			// ORDER BY addresses the aggregate output, so it must name
+			// one of the produced columns.
+			found := false
+			for _, it := range q.Items {
+				if strings.EqualFold(it.Name(), orderBy) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, errAt(orderPos, "ORDER BY %s does not match any select list entry", orderBy)
+			}
+		} else if strings.ContainsRune(orderBy, '(') {
+			return nil, errAt(orderPos, "ORDER BY aggregate requires an aggregate query")
+		}
+		q.OrderBy = orderBy
 		if p.keyword("DESC") {
 			q.Desc = true
 		} else {
@@ -138,6 +260,28 @@ func (p *parser) parseQuery() (*Query, error) {
 		q.Limit = n
 	}
 	return q, nil
+}
+
+// validateAggregateQuery enforces the GROUP BY contract: every bare select
+// item must be a grouping column, and duplicate output names are rejected
+// (they would collide in the result metadata).
+func validateAggregateQuery(q *Query) error {
+	grouped := make(map[string]bool, len(q.GroupBy))
+	for _, g := range q.GroupBy {
+		grouped[strings.ToLower(g)] = true
+	}
+	names := make(map[string]bool, len(q.Items))
+	for _, it := range q.Items {
+		if it.Agg == AggNone && !grouped[strings.ToLower(it.Column)] {
+			return &SyntaxError{Msg: "column " + it.Column + " must appear in GROUP BY or inside an aggregate"}
+		}
+		key := strings.ToLower(it.Name())
+		if names[key] {
+			return &SyntaxError{Msg: "duplicate select list entry " + it.Name()}
+		}
+		names[key] = true
+	}
+	return nil
 }
 
 func (p *parser) parseOr() (Expr, error) {
@@ -254,6 +398,11 @@ func (p *parser) parseLiteral() (any, error) {
 			n, err := strconv.ParseInt(t.text, 10, 64)
 			if err == nil {
 				return n, nil
+			}
+			if errors.Is(err, strconv.ErrRange) {
+				// Silently demoting to float64 would lose precision and
+				// make large-ID equality comparisons lie; refuse instead.
+				return nil, errAt(t.pos, "integer literal %q overflows int64", t.text)
 			}
 		}
 		f, err := strconv.ParseFloat(t.text, 64)

@@ -1,0 +1,98 @@
+package sqlparse
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is a bounded LRU cache of parsed queries keyed by query text.
+// Gateways parse every request on the hot path; real workloads repeat a
+// small set of query strings (harvest SQL is always the canonical
+// `SELECT * FROM <group>`), so caching the parse pays for itself quickly.
+//
+// Cached *Query values are shared between callers and MUST be treated as
+// immutable — copy the struct (`sub := *q`) before modifying, as the
+// federated sub-query rewrite does.
+//
+// A nil or zero-capacity PlanCache is valid and degrades to plain Parse.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+type planEntry struct {
+	sql string
+	q   *Query
+}
+
+// NewPlanCache creates a PlanCache holding at most capacity plans.
+// capacity <= 0 yields a disabled cache (still safe to use).
+func NewPlanCache(capacity int) *PlanCache {
+	c := &PlanCache{capacity: capacity}
+	if capacity > 0 {
+		c.entries = make(map[string]*list.Element, capacity)
+		c.order = list.New()
+	}
+	return c
+}
+
+// Parse returns the parsed form of sql, consulting the cache first. Only
+// successful parses are cached; errors are recomputed each time (they are
+// not hot-path material).
+func (c *PlanCache) Parse(sql string) (*Query, error) {
+	if c == nil || c.capacity <= 0 {
+		return Parse(sql)
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[sql]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		q := el.Value.(*planEntry).q
+		c.mu.Unlock()
+		return q, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[sql]; !ok {
+		c.entries[sql] = c.order.PushFront(&planEntry{sql: sql, q: q})
+		if c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*planEntry).sql)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return q, nil
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// Stats returns current counters. Safe on a nil cache.
+func (c *PlanCache) Stats() PlanCacheStats {
+	if c == nil || c.capacity <= 0 {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.order.Len(),
+	}
+}
