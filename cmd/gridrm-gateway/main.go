@@ -28,6 +28,7 @@ import (
 	"gridrm/internal/gma"
 	"gridrm/internal/sitekit"
 	"gridrm/internal/trace"
+	"gridrm/internal/tsdb"
 	"gridrm/internal/web"
 )
 
@@ -80,6 +81,11 @@ func main() {
 		faultPanicEvery = flag.Int("fault-panic-every", 0, "chaos: panic on every nth driver query (0 = off)")
 		faultLatency    = flag.Duration("fault-latency", 0, "chaos: added per-query driver latency")
 
+		historyDir      = flag.String("history-dir", "", "directory for crash-safe history persistence (WAL + checkpoints; empty = in-memory only)")
+		historyFsync    = flag.String("history-fsync", "interval", "history WAL fsync policy: always, interval or off")
+		historyCkptIntv = flag.Duration("history-checkpoint-interval", 0, "history checkpoint period (0 = default 1m, negative = only at shutdown)")
+		historyMaxDisk  = flag.Int64("history-max-disk-bytes", 0, "history disk budget in bytes; oldest WAL segments dropped first (0 = unlimited)")
+
 		traceSample  = flag.Float64("trace-sample", 0, "fraction of queries to trace, 0-1 (0 = default 1.0, negative = off)")
 		slowlogThold = flag.Duration("slowlog-threshold", 0, "queries slower than this enter the slow-query log (0 = default 500ms, negative = off)")
 		pprofEnable  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
@@ -88,6 +94,10 @@ func main() {
 
 	if *manifest == "" {
 		log.Fatal("gridrm-gateway: -manifest is required")
+	}
+	if !tsdb.ValidFsync(*historyFsync) {
+		log.Fatalf("gridrm-gateway: -history-fsync must be %q, %q or %q (got %q)",
+			tsdb.FsyncAlways, tsdb.FsyncInterval, tsdb.FsyncOff, *historyFsync)
 	}
 	data, err := os.ReadFile(*manifest)
 	if err != nil {
@@ -112,16 +122,20 @@ func main() {
 	}
 
 	gw, err := sitekit.NewGateway(m, sitekit.Options{
-		Name:                  m.Site,
-		HarvestTimeout:        *harvestTimeout,
-		QueryTimeout:          *queryTimeout,
-		Retry:                 core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
-		Breaker:               core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
-		MaxConcurrentHarvests: *maxHarvests,
-		DisableCoalescing:     *noCoalesce,
-		StaleGrace:            *staleGrace,
-		ProbeInterval:         *probeInterval,
-		Faults:                faults,
+		Name:                      m.Site,
+		HarvestTimeout:            *harvestTimeout,
+		QueryTimeout:              *queryTimeout,
+		Retry:                     core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
+		Breaker:                   core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
+		MaxConcurrentHarvests:     *maxHarvests,
+		DisableCoalescing:         *noCoalesce,
+		StaleGrace:                *staleGrace,
+		ProbeInterval:             *probeInterval,
+		Faults:                    faults,
+		HistoryDir:                *historyDir,
+		HistoryFsync:              *historyFsync,
+		HistoryCheckpointInterval: *historyCkptIntv,
+		HistoryMaxDiskBytes:       *historyMaxDisk,
 		Trace: trace.Options{
 			Sample:        *traceSample,
 			SlowThreshold: *slowlogThold,

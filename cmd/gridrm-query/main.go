@@ -103,6 +103,15 @@ func main() {
 			st.Gateway.StaleServes, st.Gateway.HistoryFallbacks, st.Gateway.DriverPanics)
 		fmt.Printf("  plan cache: hits=%d misses=%d\n",
 			st.Gateway.PlanCacheHits, st.Gateway.PlanCacheMisses)
+		fmt.Printf("  history: keys=%d samples=%d pruned=%d\n",
+			st.History.Keys, st.History.Samples, st.History.Pruned)
+		if d := st.History.Durability; d != nil {
+			fmt.Printf("  durability: state=%s dir=%s wal-appends=%d fsyncs=%d replayed=%d corrupt=%d\n",
+				d.State, d.Dir, d.WALAppends, d.Fsyncs, d.ReplayedRecords, d.CorruptRecords)
+			fmt.Printf("  durability: checkpoints=%d checkpoint-errors=%d wal-errors=%d reattaches=%d segments=%d dropped=%d disk-bytes=%d\n",
+				d.Checkpoints, d.CheckpointErrors, d.WALErrors, d.Reattaches,
+				d.WALSegments, d.SegmentsDropped, d.DiskBytes)
+		}
 		fmt.Printf("  probes: attempted=%d failed=%d skipped=%d transitions=%d\n",
 			st.Probes.Probes, st.Probes.Failures, st.Probes.Skipped, st.Probes.Transitions)
 		for _, h := range st.Health {

@@ -31,6 +31,7 @@ import (
 	"gridrm/internal/security"
 	"gridrm/internal/sqlparse"
 	"gridrm/internal/trace"
+	"gridrm/internal/tsdb"
 )
 
 // Config configures a Gateway.
@@ -43,6 +44,17 @@ type Config struct {
 	Cache qcache.Options
 	// History configures the historical store.
 	History history.Options
+	// Durable configures crash-safe persistence for the historical store.
+	// With Durable.Dir empty (the default) history stays purely in-memory,
+	// byte-identical to the pre-durability behaviour. With a directory set,
+	// every recorded harvest is journaled to a WAL, checkpointed
+	// periodically, and restored on the next start — so the degradation
+	// ladder's history tier survives gateway restarts.
+	Durable tsdb.Options
+	// HistoryPruneInterval is the period of the background history
+	// retention sweep (default 1m; negative disables the loop, retention
+	// then only runs on the write path).
+	HistoryPruneInterval time.Duration
 	// Events configures the Event Manager.
 	Events event.Options
 	// RecordHistory stores every real-time harvest in the historical
@@ -122,10 +134,11 @@ func (o RetryOptions) fill() RetryOptions {
 }
 
 const (
-	defaultHarvestTimeout = 10 * time.Second
-	defaultQueryTimeout   = 30 * time.Second
-	defaultStaleGrace     = 2 * time.Minute
-	defaultPlanCacheSize  = 512
+	defaultHarvestTimeout       = 10 * time.Second
+	defaultQueryTimeout         = 30 * time.Second
+	defaultStaleGrace           = 2 * time.Minute
+	defaultPlanCacheSize        = 512
+	defaultHistoryPruneInterval = time.Minute
 )
 
 // ErrGatewayClosed is returned for queries issued after Shutdown or Close.
@@ -250,6 +263,7 @@ type Gateway struct {
 	pool    *pool.Manager
 	cache   *qcache.Cache
 	history *history.Store
+	durable *tsdb.Store // nil when Durable.Dir is unset
 	events  *event.Manager
 	coarse  *security.CoarsePolicy
 	fine    *security.FinePolicy
@@ -270,6 +284,9 @@ type Gateway struct {
 	tracer    *trace.Tracer
 	plans     *sqlparse.PlanCache
 
+	pruneStop chan struct{} // nil when the prune loop is disabled
+	pruneDone chan struct{}
+
 	mu       sync.RWMutex
 	sources  map[string]*SourceInfo
 	breakers map[string]*breaker
@@ -285,7 +302,7 @@ type Gateway struct {
 	breakerSkipped, breakerOpens       atomic.Int64
 	coalesced, inflightHarvests        atomic.Int64
 	staleServes, historyFallbacks      atomic.Int64
-	driverPanics                       atomic.Int64
+	driverPanics, historyPrunes        atomic.Int64
 }
 
 // New creates a Gateway.
@@ -369,10 +386,64 @@ func New(cfg Config) *Gateway {
 	if cfg.MaxConcurrentHarvests > 0 {
 		g.harvestSem = make(chan struct{}, cfg.MaxConcurrentHarvests)
 	}
+	if cfg.Durable.Dir != "" {
+		if cfg.Durable.Clock == nil {
+			cfg.Durable.Clock = cfg.Clock
+		}
+		if cfg.Durable.Alert == nil {
+			cfg.Durable.Alert = g.durabilityEvent(event.SeverityAlert)
+		}
+		if cfg.Durable.Status == nil {
+			cfg.Durable.Status = g.durabilityEvent(event.SeverityStatus)
+		}
+		// Open restores checkpoint + WAL tail into g.history before New
+		// returns, so the first degraded query already has pre-restart
+		// samples to fall back on.
+		g.durable = tsdb.Open(cfg.Durable, g.history)
+	}
 	g.prober = health.New(g, cfg.Probe, g.onHealthTransition)
 	g.registerMetrics()
 	g.prober.Start()
+	if cfg.HistoryPruneInterval == 0 {
+		cfg.HistoryPruneInterval = defaultHistoryPruneInterval
+	}
+	if cfg.HistoryPruneInterval > 0 {
+		g.pruneStop = make(chan struct{})
+		g.pruneDone = make(chan struct{})
+		go g.pruneLoop(cfg.HistoryPruneInterval)
+	}
 	return g
+}
+
+// durabilityEvent adapts the tsdb alert/status callbacks to the Event
+// Manager.
+func (g *Gateway) durabilityEvent(severity string) func(kind, detail string) {
+	return func(kind, detail string) {
+		g.events.Publish(event.Event{
+			Source:   "gateway:" + g.name,
+			Name:     kind,
+			Severity: severity,
+			Time:     g.clock(),
+			Detail:   detail,
+		})
+	}
+}
+
+// pruneLoop sweeps history retention so idle keys are released even when no
+// writes arrive (satellite of the durable-history work: Prune used to run
+// only on demand).
+func (g *Gateway) pruneLoop(interval time.Duration) {
+	defer close(g.pruneDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.pruneStop:
+			return
+		case <-ticker.C:
+			g.historyPrunes.Add(int64(g.history.Prune()))
+		}
+	}
 }
 
 // Query-stage labels of the gridrm_query_stage_seconds histogram.
@@ -445,6 +516,32 @@ func (g *Gateway) registerMetrics() {
 		func() int64 { return int64(g.plans.Stats().Evictions) })
 	r.GaugeFunc("gridrm_plan_cache_entries", "Parsed plans currently cached.",
 		func() float64 { return float64(g.plans.Stats().Entries) })
+	r.GaugeFunc("gridrm_history_keys", "Distinct (source, group) keys holding history samples.",
+		func() float64 { return float64(g.history.Keys()) })
+	r.GaugeFunc("gridrm_history_samples", "History samples retained across all keys.",
+		func() float64 { return float64(g.history.TotalSamples()) })
+	r.CounterFunc("gridrm_history_pruned_total", "History samples dropped by the retention sweep.", g.historyPrunes.Load)
+	if g.durable != nil {
+		r.CounterFunc("gridrm_history_wal_appends_total", "History records journaled to the WAL.",
+			func() int64 { return g.durable.Stats().WALAppends })
+		r.CounterFunc("gridrm_history_fsyncs_total", "WAL fsync calls performed.",
+			func() int64 { return g.durable.Stats().Fsyncs })
+		r.CounterFunc("gridrm_history_replayed_records_total", "History records restored from checkpoint + WAL at startup.",
+			func() int64 { return g.durable.Stats().ReplayedRecords })
+		r.CounterFunc("gridrm_history_corrupt_records_total", "Corrupt WAL tails and checkpoints detected and recovered.",
+			func() int64 { return g.durable.Stats().CorruptRecords })
+		r.CounterFunc("gridrm_history_checkpoints_total", "History checkpoints written.",
+			func() int64 { return g.durable.Stats().Checkpoints })
+		r.GaugeFunc("gridrm_history_disk_bytes", "Bytes the history WAL and checkpoints occupy on disk.",
+			func() float64 { return float64(g.durable.Stats().DiskBytes) })
+		r.GaugeFunc("gridrm_history_durable", "1 while history persistence is attached, 0 in memory-only degradation.",
+			func() float64 {
+				if g.durable.Stats().State == "durable" {
+					return 1
+				}
+				return 0
+			})
+	}
 }
 
 // Metrics returns the gateway's metrics registry (served by GET /metrics).
@@ -532,6 +629,10 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.mu.Unlock()
 
 	g.prober.Stop()
+	if g.pruneStop != nil {
+		close(g.pruneStop)
+		<-g.pruneDone
+	}
 
 	drained := make(chan struct{})
 	go func() {
@@ -543,6 +644,12 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	case <-drained:
 	case <-ctx.Done():
 		err = ctx.Err()
+	}
+
+	// After the drain no more Records arrive; a final checkpoint makes the
+	// full retained state durable before the process goes away.
+	if g.durable != nil {
+		_ = g.durable.Close()
 	}
 
 	g.events.Publish(event.Event{
@@ -799,6 +906,33 @@ func (g *Gateway) Events() *event.Manager { return g.events }
 
 // HistoryStore returns the gateway's historical store.
 func (g *Gateway) HistoryStore() *history.Store { return g.history }
+
+// DurableHistory returns the history persistence layer, or nil when the
+// gateway runs memory-only (Durable.Dir unset).
+func (g *Gateway) DurableHistory() *tsdb.Store { return g.durable }
+
+// HistoryStatus summarises the historical store for status reports.
+type HistoryStatus struct {
+	Keys    int   `json:"keys"`
+	Samples int   `json:"samples"`
+	Pruned  int64 `json:"pruned_total"`
+	// Durability is nil when the gateway runs without a history dir.
+	Durability *tsdb.Stats `json:"durability,omitempty"`
+}
+
+// HistoryStatus reports history retention and durability state.
+func (g *Gateway) HistoryStatus() HistoryStatus {
+	st := HistoryStatus{
+		Keys:    g.history.Keys(),
+		Samples: g.history.TotalSamples(),
+		Pruned:  g.historyPrunes.Load(),
+	}
+	if g.durable != nil {
+		ds := g.durable.Stats()
+		st.Durability = &ds
+	}
+	return st
+}
 
 // Cache returns the gateway's query cache.
 func (g *Gateway) Cache() *qcache.Cache { return g.cache }

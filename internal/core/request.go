@@ -678,7 +678,14 @@ func (g *Gateway) harvestLeader(ctx context.Context, url string, group *glue.Gro
 	g.noteSuccess(url, driverName, now)
 	g.cache.Put(url, hsql, rs)
 	if g.recordHistory {
-		_ = g.history.Record(url, group.Name, rs, now)
+		if g.durable != nil {
+			// Journal-through: the sample lands in memory and the WAL
+			// before the harvest returns; a WAL fault degrades the store
+			// to memory-only without failing the harvest.
+			_ = g.durable.Record(url, group.Name, rs, now)
+		} else {
+			_ = g.history.Record(url, group.Name, rs, now)
+		}
 	}
 	g.publishHarvestMetrics(url, group, rs)
 	return flightResult{rs: rs, driverName: driverName, at: now}

@@ -107,11 +107,20 @@ func (s *Store) retainLocked(samples []sample) []sample {
 	for start < len(samples) && samples[start].at.Before(cutoff) {
 		start++
 	}
-	samples = samples[start:]
-	if len(samples) > s.opts.MaxSamplesPerKey {
-		samples = samples[len(samples)-s.opts.MaxSamplesPerKey:]
+	if len(samples)-start > s.opts.MaxSamplesPerKey {
+		start = len(samples) - s.opts.MaxSamplesPerKey
 	}
-	return samples
+	if start == 0 {
+		return samples
+	}
+	// Copy the retained window instead of re-slicing: samples[start:] keeps
+	// the dropped prefix (and all its row data) reachable through the shared
+	// backing array for as long as the key lives, which under source churn
+	// is a leak — a key that stops receiving records would pin its pruned
+	// samples forever.
+	kept := make([]sample, len(samples)-start)
+	copy(kept, samples[start:])
+	return kept
 }
 
 // Query reads back history for a GLUE group across sources. Empty source
@@ -246,6 +255,98 @@ func (s *Store) SampleCount(source, group string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.data[storeKey(source, group)])
+}
+
+// SampleRecord is one recorded sample in flat form — the exchange shape
+// between the store and a durability layer (internal/tsdb) that journals
+// records and snapshots retained state.
+type SampleRecord struct {
+	Source string
+	Group  string
+	At     time.Time
+	Rows   [][]any
+}
+
+// Snapshot returns every retained sample in stable (key, time) order. Row
+// slices are shared with the store — stored rows are immutable once recorded
+// (Record deep-copies in, readers copy out) — so callers may read but must
+// not mutate them.
+func (s *Store) Snapshot() []SampleRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []SampleRecord
+	for _, k := range keys {
+		src, grp, ok := strings.Cut(k, "\x00")
+		if !ok {
+			continue
+		}
+		for _, sm := range s.data[k] {
+			out = append(out, SampleRecord{Source: src, Group: grp, At: sm.at, Rows: sm.rows})
+		}
+	}
+	return out
+}
+
+// Load inserts a restored sample without Record's shape validation (the
+// durability layer only journals records that already passed it). Samples
+// are inserted in time order; a sample whose time exactly matches an
+// existing one for the key is dropped, so replaying a WAL that overlaps a
+// checkpoint is idempotent. Retention applies as usual. The store takes
+// ownership of rec.Rows. It reports whether the sample was kept.
+func (s *Store) Load(rec SampleRecord) bool {
+	g, ok := glue.Lookup(rec.Group)
+	if !ok {
+		return false
+	}
+	k := storeKey(rec.Source, g.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	samples := s.data[k]
+	sm := sample{at: rec.At, rows: rec.Rows}
+	n := len(samples)
+	if n == 0 || rec.At.After(samples[n-1].at) {
+		samples = append(samples, sm)
+	} else {
+		i := sort.Search(n, func(i int) bool { return !samples[i].at.Before(rec.At) })
+		if i < n && samples[i].at.Equal(rec.At) {
+			return false // checkpoint/WAL overlap: already restored
+		}
+		samples = append(samples, sample{})
+		copy(samples[i+1:], samples[i:])
+		samples[i] = sm
+	}
+	kept := s.retainLocked(samples)
+	if len(kept) == 0 {
+		delete(s.data, k)
+		return false
+	}
+	s.data[k] = kept
+	// The loaded sample survived retention iff it is newer than the
+	// retained window's start.
+	return !sm.at.Before(kept[0].at)
+}
+
+// Keys returns how many (source, group) keys currently hold samples.
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// TotalSamples returns the total retained sample count across all keys.
+func (s *Store) TotalSamples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, samples := range s.data {
+		n += len(samples)
+	}
+	return n
 }
 
 // Prune applies retention to every key immediately and reports how many

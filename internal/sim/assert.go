@@ -18,6 +18,8 @@ import "sort"
 //	min_breaker_opens     breaker_opens counter (local layer)   >= limit
 //	min_hedges            hedges counter (federation layer)     >= limit
 //	min_plan_cache_hits   plan_cache_hits counter (all sites)   >= limit
+//	min_replayed_records  records restored from checkpoint+WAL  >= limit
+//	min_wal_appends       records journaled to the WAL          >= limit
 func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 	requests := float64(r.Load.Requests)
 	if requests == 0 {
@@ -51,6 +53,10 @@ func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 			return float64(r.Counters["hedges"])
 		case "min_plan_cache_hits":
 			return float64(r.Counters["plan_cache_hits"])
+		case "min_replayed_records":
+			return float64(r.Counters["replayed_records"])
+		case "min_wal_appends":
+			return float64(r.Counters["wal_appends"])
 		}
 		return 0
 	}

@@ -57,7 +57,8 @@ func PlanEvents(sc *Scenario, fleet *Fleet, rng *rand.Rand) ([]PlannedEvent, err
 				plannedDown[url] = !wantDown
 			}
 		case ActionPartitionSite, ActionHealSite, ActionLatencySpike,
-			ActionLatencyClear, ActionDriverErrors, ActionDriverErrorsClear:
+			ActionLatencyClear, ActionDriverErrors, ActionDriverErrorsClear,
+			ActionRestartGateway:
 			site, err := resolveSite(sc, ev.Site, rng)
 			if err != nil {
 				return nil, err
@@ -151,6 +152,10 @@ func (pe PlannedEvent) Fire(h *Harness) error {
 		h.Sites[pe.Targets[0]].Faults.SetErrorEvery(pe.spec.ErrorEvery)
 	case ActionDriverErrorsClear:
 		h.Sites[pe.Targets[0]].Faults.SetErrorEvery(0)
+	case ActionRestartGateway:
+		if err := h.RestartSite(pe.Targets[0]); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("sim: unknown action %q", pe.Action)
 	}

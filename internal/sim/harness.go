@@ -5,7 +5,10 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +18,7 @@ import (
 	"gridrm/internal/health"
 	"gridrm/internal/qcache"
 	"gridrm/internal/security"
+	"gridrm/internal/tsdb"
 	"gridrm/internal/web"
 )
 
@@ -31,6 +35,10 @@ type SiteRuntime struct {
 	Name     string
 	Template SiteTemplate
 	Gateway  *core.Gateway
+	// HistoryDir is the site's crash-safe history directory ("" unless the
+	// template sets durable_history). restart_gateway reuses it so the
+	// replacement gateway restores the pre-crash samples.
+	HistoryDir string
 	// Faults is the site's fault-injection layer; latency_spike and
 	// driver_errors events turn these knobs.
 	Faults *faultdrv.Faults
@@ -61,6 +69,12 @@ type Harness struct {
 	MultiDir  *gma.MultiDirectory
 	Router    *gma.Router
 	opts      HarnessOptions
+
+	// gwMu guards SiteRuntime.Gateway swaps by RestartSite against the
+	// client workers reading the entry gateway; use SiteGateway /
+	// EntryGateway instead of touching the field during a run.
+	gwMu    sync.RWMutex
+	tmpRoot string // temp root for durable-history site dirs
 }
 
 // HarnessOptions are test-facing knobs beyond what scenarios declare.
@@ -125,8 +139,28 @@ func NewHarnessOpts(sc *Scenario, rng *rand.Rand, opts HarnessOptions) (*Harness
 // startSite builds one site's gateway over the shared fleet, the fleet
 // driver wrapped in the site's own fault-injection layer.
 func (h *Harness) startSite(site string, tpl SiteTemplate) (*SiteRuntime, error) {
+	historyDir := ""
+	if tpl.DurableHistory {
+		root, err := h.historyRoot()
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", site, err)
+		}
+		historyDir = filepath.Join(root, site)
+	}
 	faults := faultdrv.NewFaults()
-	gw := core.New(core.Config{
+	gw, err := h.buildGateway(site, tpl, historyDir, faults)
+	if err != nil {
+		return nil, err
+	}
+	return &SiteRuntime{Name: site, Template: tpl, Gateway: gw,
+		HistoryDir: historyDir, Faults: faults}, nil
+}
+
+// buildGateway constructs a site gateway over the shared fleet — both the
+// initial build and the replacement instance a restart_gateway event brings
+// up on the same history dir.
+func (h *Harness) buildGateway(site string, tpl SiteTemplate, historyDir string, faults *faultdrv.Faults) (*core.Gateway, error) {
+	cfg := core.Config{
 		Name:                  site,
 		Cache:                 qcache.Options{TTL: tpl.CacheTTL},
 		HarvestTimeout:        tpl.HarvestTimeout,
@@ -137,7 +171,11 @@ func (h *Harness) startSite(site string, tpl SiteTemplate) (*SiteRuntime, error)
 		DisableHistory:        tpl.DisableHistory,
 		StaleGrace:            tpl.StaleGrace,
 		Probe:                 health.Options{Interval: tpl.ProbeInterval},
-	})
+	}
+	if historyDir != "" {
+		cfg.Durable = tsdb.Options{Dir: historyDir, Fsync: tpl.HistoryFsync}
+	}
+	gw := core.New(cfg)
 	fd := NewFleetDriver(h.Fleet)
 	if err := gw.RegisterDriver(faultdrv.New(FleetDriverName, fd, faults), fd.Schema()); err != nil {
 		gw.Close()
@@ -154,7 +192,76 @@ func (h *Harness) startSite(site string, tpl SiteTemplate) (*SiteRuntime, error)
 			return nil, fmt.Errorf("sim: %s: %w", site, err)
 		}
 	}
-	return &SiteRuntime{Name: site, Template: tpl, Gateway: gw, Faults: faults}, nil
+	return gw, nil
+}
+
+// historyRoot lazily creates the temp root durable-history sites live under;
+// Close removes it.
+func (h *Harness) historyRoot() (string, error) {
+	if h.tmpRoot == "" {
+		dir, err := os.MkdirTemp("", "gridrm-sim-")
+		if err != nil {
+			return "", err
+		}
+		h.tmpRoot = dir
+	}
+	return h.tmpRoot, nil
+}
+
+// SiteGateway returns a site's current gateway — the replacement instance
+// after a restart_gateway event. Nil for unknown sites.
+func (h *Harness) SiteGateway(site string) *core.Gateway {
+	h.gwMu.RLock()
+	defer h.gwMu.RUnlock()
+	rt, ok := h.Sites[site]
+	if !ok {
+		return nil
+	}
+	return rt.Gateway
+}
+
+// EntryGateway returns the entry site's current gateway.
+func (h *Harness) EntryGateway() *core.Gateway {
+	h.gwMu.RLock()
+	defer h.gwMu.RUnlock()
+	return h.Entry.Gateway
+}
+
+// RestartSite crash-stops a site's gateway (no final sync, no final
+// checkpoint — a kill, not a drain) and brings up a replacement on the same
+// history directory, behind the same HTTP address. With durable history the
+// new instance restores the newest checkpoint plus the WAL tail; without it
+// the restart wipes all state, which is exactly the volatility this layer
+// exists to remove.
+func (h *Harness) RestartSite(site string) error {
+	rt, ok := h.Sites[site]
+	if !ok {
+		return fmt.Errorf("sim: restart_gateway: unknown site %q", site)
+	}
+	old := rt.Gateway
+	if d := old.DurableHistory(); d != nil {
+		d.CrashClose()
+	}
+	old.Close()
+	gw, err := h.buildGateway(site, rt.Template, rt.HistoryDir, rt.Faults)
+	if err != nil {
+		return err
+	}
+	if h.Router != nil && rt == h.Entry {
+		gw.SetGlobalRouter(h.Router)
+		h.Router.RegisterMetrics(gw.Metrics())
+	}
+	h.gwMu.Lock()
+	rt.Gateway = gw
+	h.gwMu.Unlock()
+	if rt.Server != nil {
+		ws := web.NewServer(gw, nil, nil)
+		if rt == h.Entry && h.Scenario.Load.MaxInFlight > 0 {
+			ws.SetAdmissionLimits(h.Scenario.Load.MaxInFlight, h.Scenario.Load.MaxQueue)
+		}
+		rt.Server.SetHandler(ws)
+	}
+	return nil
 }
 
 // startWebServer puts a site's gateway behind a droppable HTTP server.
@@ -269,6 +376,9 @@ func (h *Harness) Close() {
 	for _, rep := range h.Replicas {
 		rep.Server.Close()
 	}
+	if h.tmpRoot != "" {
+		_ = os.RemoveAll(h.tmpRoot)
+	}
 }
 
 // ChaosServer is an HTTP server whose traffic can be dropped at runtime:
@@ -276,6 +386,7 @@ func (h *Harness) Close() {
 // what a network partition or a dead process looks like to clients —
 // unlike httptest.Server, it can come back on the same address.
 type ChaosServer struct {
+	mu      sync.RWMutex // guards inner (swapped by SetHandler on restart)
 	inner   http.Handler
 	ln      net.Listener
 	srv     *http.Server
@@ -301,6 +412,14 @@ func (c *ChaosServer) URL() string { return "http://" + c.ln.Addr().String() }
 // SetDropped severs (or restores) the server's traffic.
 func (c *ChaosServer) SetDropped(dropped bool) { c.dropped.Store(dropped) }
 
+// SetHandler swaps the inner handler — the address survives a gateway
+// restart, just like a process coming back on its configured port.
+func (c *ChaosServer) SetHandler(inner http.Handler) {
+	c.mu.Lock()
+	c.inner = inner
+	c.mu.Unlock()
+}
+
 // Dropped reports whether traffic is currently severed.
 func (c *ChaosServer) Dropped() bool { return c.dropped.Load() }
 
@@ -315,7 +434,10 @@ func (c *ChaosServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		panic(http.ErrAbortHandler)
 	}
-	c.inner.ServeHTTP(w, r)
+	c.mu.RLock()
+	inner := c.inner
+	c.mu.RUnlock()
+	inner.ServeHTTP(w, r)
 }
 
 // Close stops the server; in-flight connections are severed.

@@ -163,7 +163,8 @@ func percentile(xs []float64, q float64) float64 {
 func (h *Harness) scrapeCounters() (map[string]int64, map[string]float64) {
 	counters := map[string]int64{}
 	for _, site := range h.SiteOrder {
-		st := h.Sites[site].Gateway.Stats()
+		gw := h.SiteGateway(site)
+		st := gw.Stats()
 		counters["queries"] += st.Queries
 		counters["query_errors"] += st.QueryErrors
 		counters["harvests"] += st.Harvests
@@ -180,6 +181,18 @@ func (h *Harness) scrapeCounters() (map[string]int64, map[string]float64) {
 		counters["driver_panics"] += st.DriverPanics
 		counters["plan_cache_hits"] += st.PlanCacheHits
 		counters["plan_cache_misses"] += st.PlanCacheMisses
+		if d := gw.DurableHistory(); d != nil {
+			// Counters of the current instance only: a restart_gateway
+			// event discards the pre-crash instance's totals, so
+			// replayed_records reflects what the replacement restored.
+			ds := d.Stats()
+			counters["wal_appends"] += ds.WALAppends
+			counters["wal_fsyncs"] += ds.Fsyncs
+			counters["replayed_records"] += ds.ReplayedRecords
+			counters["corrupt_records"] += ds.CorruptRecords
+			counters["checkpoints"] += ds.Checkpoints
+			counters["history_disk_bytes"] += ds.DiskBytes
+		}
 	}
 	if h.Router != nil {
 		rs := h.Router.Stats()

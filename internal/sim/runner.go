@@ -171,7 +171,7 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 // gateway would.
 func prime(h *Harness) error {
 	for _, site := range h.SiteOrder {
-		gw := h.Sites[site].Gateway
+		gw := h.SiteGateway(site)
 		for _, table := range []string{"Processor", "Memory"} {
 			_, err := gw.QueryContext(context.Background(), core.QueryOptions{
 				Principal: SimPrincipal,
@@ -339,7 +339,7 @@ func (w *clientWorker) execute(req core.QueryOptions) error {
 		_, err := w.httpClient.Query(ctx, req)
 		return err
 	}
-	_, err := w.h.Entry.Gateway.QueryContext(ctx, req)
+	_, err := w.h.EntryGateway().QueryContext(ctx, req)
 	return err
 }
 

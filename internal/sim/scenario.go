@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gridrm/internal/sqlparse"
+	"gridrm/internal/tsdb"
 )
 
 // Scenario is a parsed simulation scenario: a fleet to build, a client load
@@ -52,6 +53,13 @@ type SiteTemplate struct {
 	ProbeInterval         time.Duration
 	DisableHistory        bool
 	DisableCoalescing     bool
+	// DurableHistory gives every instance of this template a crash-safe
+	// history dir (WAL + checkpoints) under the harness's temp root, so
+	// restart_gateway events restore pre-crash history.
+	DurableHistory bool
+	// HistoryFsync is the WAL fsync policy for DurableHistory sites
+	// ("always", "interval" or "off"; empty = tsdb default).
+	HistoryFsync string
 }
 
 // FederationSpec wires the fleet into a GMA federation: directory replicas,
@@ -135,6 +143,7 @@ const (
 	ActionLatencyClear      = "latency_clear"
 	ActionDriverErrors      = "driver_errors"
 	ActionDriverErrorsClear = "driver_errors_clear"
+	ActionRestartGateway    = "restart_gateway"
 )
 
 var validActions = map[string]bool{
@@ -143,6 +152,7 @@ var validActions = map[string]bool{
 	ActionDirectoryDown: true, ActionDirectoryUp: true,
 	ActionLatencySpike: true, ActionLatencyClear: true,
 	ActionDriverErrors: true, ActionDriverErrorsClear: true,
+	ActionRestartGateway: true,
 }
 
 var validModes = map[string]bool{"cached": true, "real-time": true, "historical": true}
@@ -164,6 +174,8 @@ var assertionKeys = map[string]bool{
 	"min_hedges":            true,
 	"min_plan_cache_hits":   true,
 	"max_shed_rate":         true,
+	"min_replayed_records":  true,
+	"min_wal_appends":       true,
 }
 
 // LoadScenario reads, parses and validates a scenario file.
@@ -213,6 +225,8 @@ func ParseScenario(data []byte) (*Scenario, error) {
 				ProbeInterval:         d.dur(im, "probe_interval", 0),
 				DisableHistory:        d.boolVal(im, "disable_history", false),
 				DisableCoalescing:     d.boolVal(im, "disable_coalescing", false),
+				DurableHistory:        d.boolVal(im, "durable_history", false),
+				HistoryFsync:          d.str(im, "history_fsync", ""),
 			}
 			d.noExtra(im, "fleet.sites")
 			sc.Fleet.Sites = append(sc.Fleet.Sites, tpl)
@@ -332,6 +346,9 @@ func (s *Scenario) Validate() error {
 		}
 		if seen[tpl.Name] {
 			return fmt.Errorf("scenario: duplicate site template %q", tpl.Name)
+		}
+		if tpl.HistoryFsync != "" && !tsdb.ValidFsync(tpl.HistoryFsync) {
+			return fmt.Errorf("scenario: %s: history_fsync must be always, interval or off, got %q", at, tpl.HistoryFsync)
 		}
 		seen[tpl.Name] = true
 		totalWeight += tpl.Weight * tpl.Count

@@ -30,6 +30,7 @@ import (
 	"gridrm/internal/drivers/snmpdrv"
 	"gridrm/internal/health"
 	"gridrm/internal/trace"
+	"gridrm/internal/tsdb"
 )
 
 // Options configures a simulated site.
@@ -81,6 +82,18 @@ type Options struct {
 	// store capacity, slow-query threshold). The zero value keeps the
 	// core defaults.
 	Trace trace.Options
+	// HistoryDir enables crash-safe history persistence (WAL + checkpoints)
+	// in this directory; empty keeps history purely in-memory.
+	HistoryDir string
+	// HistoryFsync is the WAL fsync policy: "always", "interval" (default)
+	// or "off". Only meaningful with HistoryDir set.
+	HistoryFsync string
+	// HistoryCheckpointInterval is the period of background history
+	// checkpoints (0 = tsdb default, negative = only at shutdown).
+	HistoryCheckpointInterval time.Duration
+	// HistoryMaxDiskBytes budgets the history directory's size; oldest WAL
+	// segments are dropped first when it is exceeded (0 = unlimited).
+	HistoryMaxDiskBytes int64
 }
 
 // CoreConfig maps the gateway-relevant options onto a core.Config for the
@@ -98,6 +111,12 @@ func (o Options) CoreConfig(name string) core.Config {
 		StaleGrace:            o.StaleGrace,
 		Probe:                 health.Options{Interval: o.ProbeInterval},
 		Trace:                 o.Trace,
+		Durable: tsdb.Options{
+			Dir:                o.HistoryDir,
+			Fsync:              o.HistoryFsync,
+			CheckpointInterval: o.HistoryCheckpointInterval,
+			MaxDiskBytes:       o.HistoryMaxDiskBytes,
+		},
 	}
 }
 

@@ -1,0 +1,69 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/history"
+)
+
+// BenchmarkWALAppend measures the full Record path — in-memory store plus
+// encode plus framed WAL write — under each fsync policy.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []string{FsyncOff, FsyncInterval, FsyncAlways} {
+		b.Run(policy, func(b *testing.B) {
+			opts := testOpts(b.TempDir(), nil)
+			opts.Fsync = policy
+			mem := history.New(history.Options{})
+			s := Open(opts, mem)
+			defer s.Close()
+			rs := memRS(b, "bench-host", 4096)
+			t0 := time.Unix(90000, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Record(testSrc, glue.GroupMemory, rs, t0.Add(time.Duration(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestore measures startup recovery: open a directory holding a
+// checkpoint plus a WAL tail and replay it into a fresh in-memory store.
+func BenchmarkRestore(b *testing.B) {
+	const records = 1000
+	dir := b.TempDir()
+	opts := testOpts(dir, nil)
+	opts.Fsync = FsyncOff
+	seedMem := newMem()
+	seed := Open(opts, seedMem)
+	t0 := time.Unix(90000, 0)
+	for i := 0; i < records/2; i++ {
+		record(b, seed, fmt.Sprintf("h%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	if err := seed.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	for i := records / 2; i < records; i++ {
+		record(b, seed, fmt.Sprintf("h%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	seed.CrashClose()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem := newMem()
+		ro := testOpts(dir, nil)
+		s := Open(ro, mem)
+		if n := mem.SampleCount(testSrc, glue.GroupMemory); n != records {
+			b.Fatalf("restored %d, want %d", n, records)
+		}
+		b.StopTimer()
+		s.CrashClose() // leave the directory untouched for the next iteration
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,106 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gridrm/internal/history"
+)
+
+// fuzzSeedPayload is a realistic encoded sample to mutate from.
+func fuzzSeedPayload() []byte {
+	return encodeSample(nil, history.SampleRecord{
+		Source: "gridrm:snmp://node:1",
+		Group:  "Memory",
+		At:     time.Unix(90000, 123),
+		Rows: [][]any{
+			{"host-a", int64(1024), 3.14, true, nil, time.Unix(90000, 0)},
+			{"host-b", int64(2048), 2.71, false, nil, time.Unix(90001, 0)},
+		},
+	})
+}
+
+// fuzzSeedSegment is a well-formed two-frame WAL segment image.
+func fuzzSeedSegment() []byte {
+	var seg []byte
+	seg = append(seg, segMagic...)
+	seg = binary.LittleEndian.AppendUint32(seg, segVersion)
+	for _, p := range [][]byte{fuzzSeedPayload(), []byte("short")} {
+		seg = binary.LittleEndian.AppendUint32(seg, uint32(len(p)))
+		seg = binary.LittleEndian.AppendUint32(seg, crc32.Checksum(p, crcTable))
+		seg = append(seg, p...)
+	}
+	return seg
+}
+
+// FuzzWALDecode throws arbitrary bytes at both decode layers: the sample
+// codec directly, and a whole segment image through replay. The properties:
+// neither ever panics, replay truncation converges in one pass, and a frame
+// whose CRC validates decodes to a record that re-encodes byte-identically.
+func FuzzWALDecode(f *testing.F) {
+	payload := fuzzSeedPayload()
+	segment := fuzzSeedSegment()
+
+	f.Add(payload)
+	f.Add(segment)
+	f.Add([]byte{})
+	f.Add([]byte{recordVersion})
+	f.Add(make([]byte, 64)) // zero-filled
+	f.Add(payload[:len(payload)/2])
+	f.Add(segment[:len(segment)-3]) // torn tail
+	flipped := append([]byte(nil), payload...)
+	flipped[len(flipped)/3] ^= 0x80
+	f.Add(flipped)
+	segFlipped := append([]byte(nil), segment...)
+	segFlipped[segHeaderSize+frameHeaderSize+5] ^= 0x01
+	f.Add(segFlipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Layer 1: the sample codec must fail softly on any input.
+		if rec, err := decodeSample(data); err == nil {
+			round := encodeSample(nil, rec)
+			if again, err2 := decodeSample(round); err2 != nil {
+				t.Fatalf("re-encode of accepted payload rejected: %v", err2)
+			} else if again.Source != rec.Source || again.Group != rec.Group ||
+				!again.At.Equal(rec.At) || len(again.Rows) != len(rec.Rows) {
+				t.Fatalf("decode/encode/decode drifted: %+v vs %+v", rec, again)
+			}
+		}
+
+		// Layer 2: the same bytes as a segment file must replay without
+		// panicking, and replay's truncation must converge immediately.
+		path := filepath.Join(t.TempDir(), "wal-0000000000000001.seg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var payloads [][]byte
+		frames, _, err := replaySegment(path, func(p []byte) error {
+			payloads = append(payloads, append([]byte(nil), p...))
+			_, derr := decodeSample(p)
+			return derr
+		})
+		if err != nil {
+			t.Fatalf("replay returned an error for in-memory corruption: %v", err)
+		}
+		// Every delivered frame was framed in the original bytes — replay
+		// must never hand out bytes that were not written.
+		for _, p := range payloads {
+			if len(p) > 0 && !bytes.Contains(data, p) {
+				t.Fatalf("replay produced bytes not present in input: %q", p)
+			}
+		}
+		again, truncated, err := replaySegment(path, func(p []byte) error {
+			_, derr := decodeSample(p)
+			return derr
+		})
+		if err != nil || truncated || again != frames {
+			t.Fatalf("replay did not converge: frames %d→%d truncated=%v err=%v",
+				frames, again, truncated, err)
+		}
+	})
+}

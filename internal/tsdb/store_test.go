@@ -1,0 +1,432 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/history"
+	"gridrm/internal/resultset"
+)
+
+const testSrc = "gridrm:snmp://node:1"
+
+func memRS(t testing.TB, host string, ram int64) *resultset.ResultSet {
+	t.Helper()
+	g := glue.MustLookup(glue.GroupMemory)
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := resultset.NewBuilder(meta).
+		Append(host, ram, ram/2, ram*2, ram, 0.0, 0.0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// alertSink collects alerts and status lines for assertions.
+type alertSink struct {
+	mu     sync.Mutex
+	alerts []string
+	status []string
+}
+
+func (a *alertSink) alert(_, detail string) {
+	a.mu.Lock()
+	a.alerts = append(a.alerts, detail)
+	a.mu.Unlock()
+}
+
+func (a *alertSink) state(_, detail string) {
+	a.mu.Lock()
+	a.status = append(a.status, detail)
+	a.mu.Unlock()
+}
+
+func (a *alertSink) alertContaining(sub string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range a.alerts {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// newMem builds an in-memory store whose retention clock is pinned near the
+// test sample times — the default time.Now clock would age them out at once.
+func newMem() *history.Store {
+	return history.New(history.Options{
+		MaxSamplesPerKey: 4096,
+		Clock:            func() time.Time { return time.Unix(90000, 0) },
+	})
+}
+
+func testOpts(dir string, sink *alertSink) Options {
+	now := time.Unix(90000, 0)
+	o := Options{
+		Dir:                dir,
+		Fsync:              FsyncAlways,
+		CheckpointInterval: -1, // no background loop: tests drive Checkpoint
+		Clock:              func() time.Time { return now },
+	}
+	if sink != nil {
+		o.Alert = sink.alert
+		o.Status = sink.state
+	}
+	return o
+}
+
+func record(t testing.TB, s *Store, host string, at time.Time) {
+	t.Helper()
+	if err := s.Record(testSrc, glue.GroupMemory, memRS(t, host, 1024), at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	t0 := time.Unix(90000, 0)
+	for i := 0; i < 10; i++ {
+		record(t, s, fmt.Sprintf("host%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	if st := s.Stats(); st.WALAppends != 10 || st.State != "durable" {
+		t.Fatalf("before crash: %+v", st)
+	}
+	s.CrashClose() // no final sync, no checkpoint
+
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, nil), mem2)
+	defer s2.Close()
+	if st := s2.Stats(); st.ReplayedRecords != 10 || st.CorruptRecords != 0 {
+		t.Fatalf("after restart: %+v", st)
+	}
+	if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 10 {
+		t.Fatalf("restored samples = %d, want 10", n)
+	}
+	rs, at, ok := mem2.Latest(testSrc, glue.GroupMemory)
+	if !ok || !at.Equal(t0.Add(9*time.Second)) {
+		t.Fatalf("Latest ok=%v at=%v", ok, at)
+	}
+	rs.Next()
+	if h, _ := rs.GetString("HostName"); h != "host9" {
+		t.Errorf("latest host = %q", h)
+	}
+}
+
+func TestCheckpointCoversWALAndGCs(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	t0 := time.Unix(90000, 0)
+	for i := 0; i < 5; i++ {
+		record(t, s, fmt.Sprintf("h%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d", st.Checkpoints)
+	}
+	// Everything the checkpoint covers is gone; only the live segment stays.
+	if st.WALSegments != 1 {
+		t.Fatalf("segments after checkpoint = %d, want 1 (live)", st.WALSegments)
+	}
+	s.CrashClose()
+
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, nil), mem2)
+	defer s2.Close()
+	if st := s2.Stats(); st.ReplayedRecords != 5 || st.CorruptRecords != 0 {
+		t.Fatalf("restore from checkpoint: %+v", st)
+	}
+	if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 5 {
+		t.Fatalf("restored samples = %d", n)
+	}
+}
+
+func TestCheckpointPlusWALTailRestoresBoth(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	t0 := time.Unix(90000, 0)
+	record(t, s, "pre", t0)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	record(t, s, "post", t0.Add(time.Second)) // only in the WAL tail
+	s.CrashClose()
+
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, nil), mem2)
+	defer s2.Close()
+	if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 2 {
+		t.Fatalf("restored samples = %d, want 2 (checkpoint + tail)", n)
+	}
+}
+
+func TestCorruptCheckpointFallsBackToPrevious(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	t0 := time.Unix(90000, 0)
+	record(t, s, "first", t0)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	record(t, s, "second", t0.Add(time.Second))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashClose()
+
+	// Flip a byte in the middle of the newest checkpoint.
+	newest := filepath.Join(dir, checkpointName(2))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &alertSink{}
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, sink), mem2)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.CorruptRecords == 0 {
+		t.Fatalf("corrupt checkpoint not counted: %+v", st)
+	}
+	if !sink.alertContaining("corrupt checkpoint") {
+		t.Errorf("no corruption alert: %v", sink.alerts)
+	}
+	// Fallback restores the older checkpoint; "second" was journaled after
+	// checkpoint 1, so the WAL tail still has it.
+	if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 2 {
+		t.Fatalf("restored samples = %d, want 2", n)
+	}
+	if _, err := os.Stat(newest); !os.IsNotExist(err) {
+		t.Errorf("corrupt checkpoint not removed: %v", err)
+	}
+}
+
+func TestTornWALTailTruncatedAndAlerted(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	t0 := time.Unix(90000, 0)
+	record(t, s, "good1", t0)
+	record(t, s, "good2", t0.Add(time.Second))
+	s.CrashClose()
+
+	// A torn write: half a frame of garbage at the live segment's tail.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	live := segs[len(segs)-1].path
+	f, err := os.OpenFile(live, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x42, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sink := &alertSink{}
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, sink), mem2)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.ReplayedRecords != 2 {
+		t.Fatalf("replayed = %d, want 2", st.ReplayedRecords)
+	}
+	if st.CorruptRecords != 1 {
+		t.Fatalf("corrupt = %d, want 1", st.CorruptRecords)
+	}
+	if !sink.alertContaining("torn or corrupt WAL tail") {
+		t.Errorf("no torn-tail alert: %v", sink.alerts)
+	}
+}
+
+func TestDiskFaultDegradesThenReattaches(t *testing.T) {
+	dir := t.TempDir()
+	sink := &alertSink{}
+	opts := testOpts(dir, sink)
+	opts.ReattachBackoff = 5 * time.Millisecond
+	mem := newMem()
+	s := Open(opts, mem)
+	defer s.Close()
+	t0 := time.Unix(90000, 0)
+	record(t, s, "ok", t0)
+
+	s.setFailWrites(fmt.Errorf("EIO: device error"))
+	record(t, s, "lost", t0.Add(time.Second)) // in memory, detaches the WAL
+	if st := s.Stats(); st.State != "memory-only" || st.WALErrors != 1 {
+		t.Fatalf("after fault: %+v", st)
+	}
+	if !sink.alertContaining("degraded to memory-only") {
+		t.Errorf("no degradation alert: %v", sink.alerts)
+	}
+	// The harvest path never saw the fault.
+	if n := mem.SampleCount(testSrc, glue.GroupMemory); n != 2 {
+		t.Fatalf("memory samples = %d", n)
+	}
+
+	s.setFailWrites(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.State == "durable" && st.Reattaches == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never re-attached: %+v", s.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The re-attach checkpoint captured the memory-only window.
+	if st := s.Stats(); st.Checkpoints == 0 {
+		t.Fatalf("no checkpoint after re-attach: %+v", st)
+	}
+}
+
+func TestDiskBudgetDropsOldestSegments(t *testing.T) {
+	dir := t.TempDir()
+	sink := &alertSink{}
+	opts := testOpts(dir, sink)
+	opts.SegmentMaxBytes = 256 // rotate every few records
+	opts.MaxDiskBytes = 1024
+	mem := newMem()
+	s := Open(opts, mem)
+	defer s.Close()
+	t0 := time.Unix(90000, 0)
+	for i := 0; i < 200; i++ {
+		record(t, s, fmt.Sprintf("host%03d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	st := s.Stats()
+	if st.SegmentsDropped == 0 {
+		t.Fatalf("budget never dropped a segment: %+v", st)
+	}
+	if st.DiskBytes > 2*opts.MaxDiskBytes {
+		t.Errorf("disk bytes %d way over budget %d", st.DiskBytes, opts.MaxDiskBytes)
+	}
+	if !sink.alertContaining("disk budget dropped un-checkpointed WAL segment") {
+		t.Errorf("no budget alert: %v", sink.alerts)
+	}
+}
+
+func TestOpenOnUnusableDirIsMemoryOnly(t *testing.T) {
+	// A regular file where the directory should be: MkdirAll fails.
+	base := t.TempDir()
+	blocked := filepath.Join(base, "blocked")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sink := &alertSink{}
+	opts := testOpts(filepath.Join(blocked, "history"), sink)
+	opts.ReattachBackoff = time.Hour // keep the retry loop quiet
+	mem := newMem()
+	s := Open(opts, mem)
+	defer s.Close()
+	if st := s.Stats(); st.State != "memory-only" {
+		t.Fatalf("state = %q", st.State)
+	}
+	if !sink.alertContaining("history dir unusable") {
+		t.Errorf("no open alert: %v", sink.alerts)
+	}
+	// Records still land in memory — durability failure is never fatal.
+	record(t, s, "h", time.Unix(90000, 0))
+	if n := mem.SampleCount(testSrc, glue.GroupMemory); n != 1 {
+		t.Fatalf("memory samples = %d", n)
+	}
+}
+
+func TestCloseIsIdempotentAndFinalCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	record(t, s, "h", time.Unix(90000, 0))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // second close is a no-op
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.State != "closed" || st.Checkpoints != 1 {
+		t.Fatalf("after close: %+v", st)
+	}
+	// Record after close: memory still works, WAL untouched.
+	record(t, s, "late", time.Unix(90001, 0))
+	if st := s.Stats(); st.WALAppends != 1 {
+		t.Fatalf("append after close: %+v", st)
+	}
+
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, nil), mem2)
+	defer s2.Close()
+	if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 1 {
+		t.Fatalf("restored = %d", n)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts(dir, nil)
+	opts.SegmentMaxBytes = 200
+	mem := newMem()
+	s := Open(opts, mem)
+	t0 := time.Unix(90000, 0)
+	for i := 0; i < 20; i++ {
+		record(t, s, fmt.Sprintf("host%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	if st := s.Stats(); st.WALSegments < 2 {
+		t.Fatalf("no rotation: %+v", st)
+	}
+	s.CrashClose()
+
+	mem2 := newMem()
+	s2 := Open(testOpts(dir, nil), mem2)
+	defer s2.Close()
+	if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 20 {
+		t.Fatalf("restored across segments = %d, want 20", n)
+	}
+}
+
+func TestRepeatedRestartsAreIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	mem := newMem()
+	s := Open(testOpts(dir, nil), mem)
+	t0 := time.Unix(90000, 0)
+	for i := 0; i < 4; i++ {
+		record(t, s, fmt.Sprintf("h%d", i), t0.Add(time.Duration(i)*time.Second))
+	}
+	s.CrashClose()
+	// Crash-restart repeatedly without writing: the sample count must not
+	// grow (checkpoint + WAL overlap dedupes on exact sample time).
+	for i := 0; i < 3; i++ {
+		mem2 := newMem()
+		s2 := Open(testOpts(dir, nil), mem2)
+		if n := mem2.SampleCount(testSrc, glue.GroupMemory); n != 4 {
+			t.Fatalf("restart %d: samples = %d, want 4", i, n)
+		}
+		if i == 1 {
+			_ = s2.Checkpoint() // interleave a checkpoint; still no growth
+		}
+		s2.CrashClose()
+	}
+}

@@ -441,6 +441,9 @@ type StatusReport struct {
 	Traces trace.Stats `json:"traces"`
 	// Slow is the slow-query log, newest first.
 	Slow []trace.SlowQuery `json:"slow,omitempty"`
+	// History reports history retention and, when a history dir is
+	// configured, WAL/checkpoint durability state.
+	History core.HistoryStatus `json:"history"`
 }
 
 type poolStatsJSON struct {
@@ -476,6 +479,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Admission: adm,
 		Traces:    s.gw.Tracer().Stats(),
 		Slow:      s.gw.Tracer().SlowQueries(),
+		History:   s.gw.HistoryStatus(),
 	})
 }
 
