@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"gridrm/internal/pool"
 	"gridrm/internal/qcache"
 	"gridrm/internal/resultset"
+	"gridrm/internal/router"
 	"gridrm/internal/security"
 	"gridrm/internal/sitekit"
 	"gridrm/internal/sqlparse"
@@ -466,6 +468,51 @@ func BenchmarkQueryCache(b *testing.B) {
 		if _, _, ok := c.Get("gridrm:mem://a:1", "SELECT * FROM Processor"); !ok {
 			b.Fatal("miss")
 		}
+	}
+}
+
+// BenchmarkSubscriberFanout measures the push router's Publish cost as one
+// harvest's rows fan out to 1, 64, and 1024 live subscribers — the
+// continuous-query hot path. Publish must never block, so the interesting
+// number is how its per-row cost grows with the subscriber count while every
+// consumer is actively draining.
+func BenchmarkSubscriberFanout(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("subs-%d", n), func(b *testing.B) {
+			r := router.New(router.Options{QueueSize: 256, ReplaySize: -1, Stall: -1})
+			var drained atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				sub, err := r.Subscribe(router.SubscribeOptions{Name: fmt.Sprintf("s%d", i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-sub.Done():
+							return
+						case <-sub.C():
+							drained.Add(1)
+						}
+					}
+				}()
+			}
+			cols := []string{"HostName", "LoadLast1Min"}
+			rows := [][]any{{"h1", 0.5}, {"h2", 0.7}, {"h3", 0.9}, {"h4", 1.1}}
+			at := time.Unix(1054468800, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Publish("gridrm:mem://bench:1", "Processor", cols, rows, at)
+			}
+			b.StopTimer()
+			if err := r.Close(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			wg.Wait()
+		})
 	}
 }
 

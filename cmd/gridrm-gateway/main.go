@@ -26,6 +26,7 @@ import (
 	"gridrm/internal/event"
 	"gridrm/internal/glue"
 	"gridrm/internal/gma"
+	"gridrm/internal/router"
 	"gridrm/internal/sitekit"
 	"gridrm/internal/trace"
 	"gridrm/internal/tsdb"
@@ -50,6 +51,9 @@ func main() {
 	var directories multiFlag
 	flag.Var(&directories, "directory",
 		"GMA directory base URL to register with (repeat for replicas)")
+	var sinkHTTP multiFlag
+	flag.Var(&sinkHTTP, "sink-http",
+		"URL to POST pushed metric batches to (repeatable; each gets its own queue and breaker)")
 	var (
 		name     = flag.String("name", "", "gateway site name (default: manifest's site)")
 		listen   = flag.String("listen", "127.0.0.1:8080", "servlet listen address")
@@ -85,6 +89,10 @@ func main() {
 		historyFsync    = flag.String("history-fsync", "interval", "history WAL fsync policy: always, interval or off")
 		historyCkptIntv = flag.Duration("history-checkpoint-interval", 0, "history checkpoint period (0 = default 1m, negative = only at shutdown)")
 		historyMaxDisk  = flag.Int64("history-max-disk-bytes", 0, "history disk budget in bytes; oldest WAL segments dropped first (0 = unlimited)")
+
+		subQueue = flag.Int("subscribe-queue", 0, "per-subscriber continuous-query buffer (0 = default 256)")
+		subStall = flag.Duration("subscribe-stall", 0, "evict a subscriber whose queue stays full this long (0 = default 10s, negative = never)")
+		sinkFile = flag.String("sink-file", "", "append every pushed metric as a JSON line to this file")
 
 		traceSample  = flag.Float64("trace-sample", 0, "fraction of queries to trace, 0-1 (0 = default 1.0, negative = off)")
 		slowlogThold = flag.Duration("slowlog-threshold", 0, "queries slower than this enter the slow-query log (0 = default 500ms, negative = off)")
@@ -136,6 +144,8 @@ func main() {
 		HistoryFsync:              *historyFsync,
 		HistoryCheckpointInterval: *historyCkptIntv,
 		HistoryMaxDiskBytes:       *historyMaxDisk,
+		SubscribeQueue:            *subQueue,
+		SubscribeStall:            *subStall,
 		Trace: trace.Options{
 			Sample:        *traceSample,
 			SlowThreshold: *slowlogThold,
@@ -145,6 +155,23 @@ func main() {
 		log.Fatalf("gridrm-gateway: %v", err)
 	}
 	defer gw.Close()
+
+	for _, url := range sinkHTTP {
+		if err := gw.PushRouter().AddSink(&router.HTTPSink{URL: url}, router.SinkOptions{}); err != nil {
+			log.Fatalf("gridrm-gateway: sink %s: %v", url, err)
+		}
+		log.Printf("push: HTTP sink registered for %s", url)
+	}
+	if *sinkFile != "" {
+		fs, err := router.NewFileSink(*sinkFile)
+		if err != nil {
+			log.Fatalf("gridrm-gateway: %v", err)
+		}
+		if err := gw.PushRouter().AddSink(fs, router.SinkOptions{}); err != nil {
+			log.Fatalf("gridrm-gateway: sink %s: %v", *sinkFile, err)
+		}
+		log.Printf("push: file sink appending to %s", *sinkFile)
+	}
 
 	var dirHandler http.Handler
 	var localDir *gma.Directory
@@ -182,14 +209,14 @@ func main() {
 
 	var reg *gma.Registrar
 	if dir != nil {
-		router := gma.NewResilientRouter(dir, web.RemoteQueryContext, m.Site, gma.Config{
+		fedRouter := gma.NewResilientRouter(dir, web.RemoteQueryContext, m.Site, gma.Config{
 			LookupTTL:     *lookupTTL,
 			RetryAttempts: *remoteRetries,
 			HedgeAfter:    *hedgeAfter,
 		})
-		router.RegisterMetrics(gw.Metrics())
-		gw.SetGlobalRouter(router)
-		server.SetSiteLister(router.Sites)
+		fedRouter.RegisterMetrics(gw.Metrics())
+		gw.SetGlobalRouter(fedRouter)
+		server.SetSiteLister(fedRouter.Sites)
 		reg = gma.NewRegistrar(dir, gma.ProducerInfo{
 			Site: m.Site, Endpoint: endpoint, Groups: glue.GroupNames(),
 		}, *refresh)

@@ -41,6 +41,8 @@ func main() {
 		listSrc = flag.Bool("list-sources", false, "list registered data sources")
 		listDrv = flag.Bool("list-drivers", false, "list drivers")
 		sites   = flag.Bool("sites", false, "list reachable sites")
+		follow  = flag.Bool("follow", false, "continuous query: stream rows matching -sql as they are harvested")
+		fromSeq = flag.Uint64("from", 0, "with -follow, resume after this sequence number")
 		poll    = flag.String("poll", "", "source URL to poll in real time (requires -group)")
 		group   = flag.String("group", "", "GLUE group for -poll")
 		timeout = flag.Duration("timeout", 0, "overall query deadline (0 = gateway default)")
@@ -103,6 +105,13 @@ func main() {
 			st.Gateway.StaleServes, st.Gateway.HistoryFallbacks, st.Gateway.DriverPanics)
 		fmt.Printf("  plan cache: hits=%d misses=%d\n",
 			st.Gateway.PlanCacheHits, st.Gateway.PlanCacheMisses)
+		fmt.Printf("  push: published=%d dropped=%d evictions=%d subscribers=%d sinks=%d\n",
+			st.Push.Published, st.Push.Dropped, st.Push.Evicted,
+			st.Push.Subscribers, st.Push.Sinks)
+		for _, sk := range st.Sinks {
+			fmt.Printf("  sink %-32s delivered=%-6d dropped=%-4d retries=%-4d breaker=%s\n",
+				sk.Name, sk.Delivered, sk.Dropped, sk.Retries, sk.BreakerState)
+		}
 		fmt.Printf("  history: keys=%d samples=%d pruned=%d\n",
 			st.History.Keys, st.History.Samples, st.History.Pruned)
 		if d := st.History.Durability; d != nil {
@@ -190,6 +199,11 @@ func main() {
 		resp, err := client.Poll(ctx, *poll, *group)
 		fail(err)
 		printResponse(resp)
+	case *follow:
+		if *sql == "" {
+			log.Fatal("gridrm-query: -follow requires -sql")
+		}
+		followQuery(ctx, client, *sql, *sources, *fromSeq)
 	case *sql != "":
 		m, err := web.ParseMode(*mode)
 		fail(err)
@@ -215,6 +229,56 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// followQuery streams a continuous query to stdout, reconnecting with
+// sequence-number resume when the stream drops. It returns when ctx ends
+// (deadline or interrupt) or the subscription is rejected outright.
+func followQuery(ctx context.Context, client *web.Client, sql, sources string, from uint64) {
+	req := core.QueryOptions{SQL: sql, FromSeq: from}
+	if sources != "" {
+		req.Sources = strings.Split(sources, ",")
+	}
+	for {
+		sub, err := client.SubscribeContext(ctx, web.SubscribeConfig{Query: req})
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Fatalf("gridrm-query: %v", err)
+		}
+	stream:
+		for {
+			select {
+			case m := <-sub.C():
+				cells := make([]string, len(m.Columns))
+				for i, col := range m.Columns {
+					cells[i] = fmt.Sprintf("%s=%v", col, m.Row[i])
+				}
+				fmt.Printf("%s  seq=%-8d %s %s  %s\n",
+					m.Time.Format(time.RFC3339), m.Seq, m.Source, m.Group,
+					strings.Join(cells, " "))
+			case <-sub.Done():
+				break stream
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if err := sub.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "gridrm-query: stream ended: %v (resuming from seq %d)\n",
+				err, sub.LastSeq())
+		}
+		if d := sub.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "gridrm-query: %d rows lost to backpressure\n", d)
+		}
+		req.FromSeq = sub.LastSeq()
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"gridrm/internal/metrics"
 	"gridrm/internal/pool"
 	"gridrm/internal/qcache"
+	"gridrm/internal/router"
 	"gridrm/internal/schema"
 	"gridrm/internal/security"
 	"gridrm/internal/sqlparse"
@@ -102,6 +103,10 @@ type Config struct {
 	// PlanCacheSize bounds the LRU cache of parsed query plans (default
 	// 512 entries; negative disables the cache).
 	PlanCacheSize int
+	// Push configures the metric router behind continuous queries
+	// (Subscribe): per-subscriber queue bound, replay ring size for
+	// Last-Event-ID resume, and the slow-consumer eviction stall.
+	Push router.Options
 	// Clock is injectable for tests; defaults to time.Now.
 	Clock func() time.Time
 }
@@ -232,6 +237,25 @@ type Stats struct {
 	PlanCacheHits int64
 	// PlanCacheMisses counts query parses that had to run the parser.
 	PlanCacheMisses int64
+	// RowsPublished counts harvested rows fanned into the push router.
+	RowsPublished int64
+	// RowsDropped counts rows dropped from subscriber queues (bounded-
+	// queue overflow or eviction) — the push pipeline's accounted loss.
+	RowsDropped int64
+	// SubscriberEvictions counts subscribers evicted for stalling past
+	// the router's stall threshold.
+	SubscriberEvictions int64
+	// SinkDelivered counts rows delivered to registered sinks.
+	SinkDelivered int64
+	// SinkDropped counts rows dropped at sink queues, open breakers, or
+	// exhausted retries.
+	SinkDropped int64
+	// SinkBreakerOpens counts per-sink breaker closed-to-open
+	// transitions.
+	SinkBreakerOpens int64
+	// EventsDropped counts Event Manager drops (bounded fast buffer plus
+	// per-listener queue overflow).
+	EventsDropped int64
 }
 
 // GlobalRouter forwards queries for remote sites; internal/gma provides the
@@ -283,6 +307,7 @@ type Gateway struct {
 	prober    *health.Prober
 	tracer    *trace.Tracer
 	plans     *sqlparse.PlanCache
+	push      *router.Router // continuous-query fan-out (distinct from the federation router)
 
 	pruneStop chan struct{} // nil when the prune loop is disabled
 	pruneDone chan struct{}
@@ -352,6 +377,9 @@ func New(cfg Config) *Gateway {
 	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = defaultPlanCacheSize
 	}
+	if cfg.Push.Clock == nil {
+		cfg.Push.Clock = cfg.Clock
+	}
 	reg := metrics.NewRegistry()
 	if cfg.Pool.DialObserver == nil {
 		dialHist := reg.Histogram("gridrm_pool_dial_seconds",
@@ -379,6 +407,7 @@ func New(cfg Config) *Gateway {
 		flights:        newFlightGroup(),
 		tracer:         trace.New(cfg.Trace),
 		plans:          sqlparse.NewPlanCache(cfg.PlanCacheSize),
+		push:           router.New(cfg.Push),
 		registry:       reg,
 		sources:        make(map[string]*SourceInfo),
 		breakers:       make(map[string]*breaker),
@@ -453,6 +482,7 @@ const (
 	StageHarvest     = "harvest"
 	StageConsolidate = "consolidate"
 	StageFanout      = "fanout"
+	StageDispatch    = "dispatch"
 )
 
 // registerMetrics wires the gateway's counters, the pool, the cache, the
@@ -461,7 +491,7 @@ const (
 func (g *Gateway) registerMetrics() {
 	r := g.registry
 	g.stageHist = r.HistogramVec("gridrm_query_stage_seconds",
-		"Latency of query pipeline stages (parse, cache, harvest, consolidate, fanout).",
+		"Latency of query pipeline stages (parse, cache, harvest, consolidate, fanout, dispatch).",
 		"stage", nil)
 	r.CounterFunc("gridrm_queries_total", "Query calls accepted.", g.queries.Load)
 	r.CounterFunc("gridrm_query_errors_total", "Query calls that failed outright.", g.queryErrors.Load)
@@ -503,6 +533,30 @@ func (g *Gateway) registerMetrics() {
 	r.CounterFunc("gridrm_events_published_total", "Events accepted by the Event Manager.", func() int64 { return g.events.Stats().Published })
 	r.CounterFunc("gridrm_events_dispatched_total", "Events fully processed by the dispatcher.", func() int64 { return g.events.Stats().Dispatched })
 	r.CounterFunc("gridrm_event_alerts_total", "Threshold alerts synthesised.", func() int64 { return g.events.Stats().Alerts })
+	r.CounterFunc("gridrm_events_dropped_total", "Events discarded by the Event Manager (bounded fast buffer + listener queues).",
+		func() int64 { ev := g.events.Stats(); return ev.Dropped + ev.ListenerDropped })
+	r.CounterFunc("gridrm_event_listener_dropped_total", "Deliveries discarded at full per-listener queues.",
+		func() int64 { return g.events.Stats().ListenerDropped })
+	r.CounterFunc("gridrm_rows_published_total", "Harvested rows fanned into the push router.",
+		func() int64 { return g.push.Stats().Published })
+	r.CounterFunc("gridrm_rows_enqueued_total", "Per-subscriber row enqueues by the push router.",
+		func() int64 { return g.push.Stats().Enqueued })
+	r.CounterFunc("gridrm_rows_dropped_total", "Rows dropped from subscriber queues (overflow or eviction).",
+		func() int64 { return g.push.Stats().Dropped })
+	r.CounterFunc("gridrm_subscriber_evictions_total", "Subscribers evicted for stalling.",
+		func() int64 { return g.push.Stats().Evicted })
+	r.GaugeFunc("gridrm_subscribers", "Continuous-query subscribers currently registered.",
+		func() float64 { return float64(g.push.Stats().Subscribers) })
+	r.CounterFunc("gridrm_sink_delivered_total", "Rows delivered to registered sinks.",
+		func() int64 { return g.push.Stats().SinkDelivered })
+	r.CounterFunc("gridrm_sink_dropped_total", "Rows dropped at sink queues, open breakers or exhausted retries.",
+		func() int64 { return g.push.Stats().SinkDropped })
+	r.CounterFunc("gridrm_sink_retries_total", "Sink delivery retries performed.",
+		func() int64 { return g.push.Stats().SinkRetries })
+	r.CounterFunc("gridrm_sink_errors_total", "Sink batches that exhausted their retries.",
+		func() int64 { return g.push.Stats().SinkErrors })
+	r.CounterFunc("gridrm_sink_breaker_opens_total", "Per-sink breaker closed-to-open transitions.",
+		func() int64 { return g.push.Stats().SinkBreakerOpens })
 	r.CounterFunc("gridrm_traces_started_total", "Sampled query traces begun.", func() int64 { return g.tracer.Stats().Started })
 	r.CounterFunc("gridrm_traces_stored_total", "Query traces published to the trace store.", func() int64 { return g.tracer.Stats().Stored })
 	r.CounterFunc("gridrm_traces_evicted_total", "Query traces evicted from the trace store.", func() int64 { return g.tracer.Stats().Evicted })
@@ -644,6 +698,14 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	case <-drained:
 	case <-ctx.Done():
 		err = ctx.Err()
+	}
+
+	// Drain the push router after the query drain (so final harvests still
+	// reach subscribers) and before durable close: intake stops, queued
+	// rows flush to sinks until ctx's deadline, then sinks close. A dead
+	// sink cannot extend the shutdown past ctx.
+	if perr := g.push.Close(ctx); err == nil {
+		err = perr
 	}
 
 	// After the drain no more Records arrive; a final checkpoint makes the
@@ -974,6 +1036,14 @@ func (g *Gateway) Stats() Stats {
 
 		PlanCacheHits:   int64(g.plans.Stats().Hits),
 		PlanCacheMisses: int64(g.plans.Stats().Misses),
+
+		RowsPublished:       g.push.Stats().Published,
+		RowsDropped:         g.push.Stats().Dropped,
+		SubscriberEvictions: g.push.Stats().Evicted,
+		SinkDelivered:       g.push.Stats().SinkDelivered,
+		SinkDropped:         g.push.Stats().SinkDropped,
+		SinkBreakerOpens:    g.push.Stats().SinkBreakerOpens,
+		EventsDropped:       g.events.Stats().Dropped + g.events.Stats().ListenerDropped,
 	}
 }
 

@@ -77,6 +77,11 @@ type QueryOptions struct {
 	// follows the gateway's sample rate, DecideOn forces a trace,
 	// DecideOff suppresses one.
 	Trace trace.Decision
+	// FromSeq resumes a continuous query (Subscribe) after a reconnect:
+	// rows still held in the push router's replay ring with sequence
+	// numbers above FromSeq are replayed before live delivery begins.
+	// Ignored by QueryContext.
+	FromSeq uint64
 }
 
 // Request is the old name of QueryOptions.
@@ -688,6 +693,7 @@ func (g *Gateway) harvestLeader(ctx context.Context, url string, group *glue.Gro
 		}
 	}
 	g.publishHarvestMetrics(url, group, rs)
+	g.publishRows(ctx, url, group, rs)
 	return flightResult{rs: rs, driverName: driverName, at: now}
 }
 

@@ -149,6 +149,13 @@ type Stats struct {
 	Dispatched int64
 	// Delivered counts listener invocations.
 	Delivered int64
+	// Dropped counts events discarded from a full fast buffer
+	// (Options.MaxQueue overflow). Zero in the default unbounded mode.
+	Dropped int64
+	// ListenerDropped counts deliveries discarded at full listener queues
+	// (Options.ListenerQueue overflow). Zero in the default synchronous
+	// mode.
+	ListenerDropped int64
 	// Transmitted counts successful outbound transmissions.
 	Transmitted int64
 	// TransmitErrors counts failed outbound transmissions.
@@ -159,10 +166,30 @@ type Stats struct {
 	HighWater int64
 }
 
+// ListenerStat is one listener's management view.
+type ListenerStat struct {
+	ID      int64  `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Dropped int64  `json:"dropped"`
+	Pending int    `json:"pending"`
+}
+
 // Options configures a Manager.
 type Options struct {
 	// HistorySize bounds the recorded event ring (default 4096).
 	HistorySize int
+	// MaxQueue bounds the fast buffer. The default 0 keeps the paper's
+	// unbounded "events are not lost" mode — but an unbounded buffer
+	// behind a wedged listener grows without bound, so busy gateways set
+	// a cap. When full, Publish drops the *oldest* queued event and
+	// counts it in Stats.Dropped; Publish itself never blocks either way.
+	MaxQueue int
+	// ListenerQueue gives each listener its own bounded queue drained by
+	// its own goroutine, so one slow listener cannot stall the dispatcher
+	// (or, transitively, every other listener). The default 0 keeps
+	// synchronous delivery on the dispatcher goroutine. Overflow drops
+	// oldest with per-listener accounting (ListenerStats).
+	ListenerQueue int
 }
 
 // Manager is the Event Manager.
@@ -173,7 +200,8 @@ type Manager struct {
 	queue     []Event // fast buffer
 	cond      *sync.Cond
 	closed    bool
-	listeners map[int64]subscription
+	listeners map[int64]*subscription
+	retired   []*subscription // async listeners awaiting channel close
 	nextID    int64
 	outbound  []outboundEntry
 	rules     []*ruleState
@@ -183,15 +211,22 @@ type Manager struct {
 	inbound   []InboundDriver
 
 	published, dispatched, delivered       atomic.Int64
+	dropped, listenerDropped               atomic.Int64
 	transmitted, transmitErrors, alertsCnt atomic.Int64
 	highWater                              atomic.Int64
+	pending                                atomic.Int64 // enqueued on listener queues, not yet delivered
 
-	wg sync.WaitGroup
+	wg  sync.WaitGroup // dispatcher
+	lwg sync.WaitGroup // listener workers
 }
 
 type subscription struct {
-	filter Filter
-	fn     Listener
+	id      int64
+	name    string
+	filter  Filter
+	fn      Listener
+	ch      chan Event // nil = synchronous delivery on the dispatcher
+	dropped atomic.Int64
 }
 
 type outboundEntry struct {
@@ -211,7 +246,7 @@ func NewManager(opts Options) *Manager {
 	}
 	m := &Manager{
 		opts:      opts,
-		listeners: make(map[int64]subscription),
+		listeners: make(map[int64]*subscription),
 		history:   make([]Event, opts.HistorySize),
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -221,13 +256,19 @@ func NewManager(opts Options) *Manager {
 }
 
 // Publish places an event on the fast buffer. It never blocks on slow
-// consumers and never drops events; Close discards events published after
-// shutdown.
+// consumers; with the default unbounded buffer it never drops either,
+// while a configured MaxQueue drops the oldest queued event (counted in
+// Stats.Dropped) instead of growing without bound. Close discards events
+// published after shutdown.
 func (m *Manager) Publish(ev Event) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return
+	}
+	if m.opts.MaxQueue > 0 && len(m.queue) >= m.opts.MaxQueue {
+		m.queue = m.queue[1:]
+		m.dropped.Add(1)
 	}
 	m.queue = append(m.queue, ev)
 	depth := int64(len(m.queue))
@@ -245,18 +286,98 @@ func (m *Manager) Publish(ev Event) {
 // Subscribe registers a listener for events matching filter, returning an
 // id for Unsubscribe.
 func (m *Manager) Subscribe(filter Filter, fn Listener) int64 {
+	return m.SubscribeNamed("", filter, fn)
+}
+
+// SubscribeNamed registers a listener with a label for ListenerStats.
+// With Options.ListenerQueue > 0 the listener gets its own bounded queue
+// and goroutine; events are delivered in order per listener, overflow
+// drops oldest.
+func (m *Manager) SubscribeNamed(name string, filter Filter, fn Listener) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextID++
-	m.listeners[m.nextID] = subscription{filter: filter, fn: fn}
+	s := &subscription{id: m.nextID, name: name, filter: filter, fn: fn}
+	if m.opts.ListenerQueue > 0 {
+		s.ch = make(chan Event, m.opts.ListenerQueue)
+		m.lwg.Add(1)
+		go m.listenerWorker(s)
+	}
+	m.listeners[m.nextID] = s
 	return m.nextID
 }
 
-// Unsubscribe removes a listener.
+// Unsubscribe removes a listener. An async listener's queue is still
+// drained before its goroutine exits.
 func (m *Manager) Unsubscribe(id int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	s, ok := m.listeners[id]
+	if !ok {
+		return
+	}
 	delete(m.listeners, id)
+	if s.ch != nil {
+		// Only the dispatcher sends on s.ch, so the close must happen
+		// there too — queue it and wake the dispatcher.
+		m.retired = append(m.retired, s)
+		m.cond.Signal()
+	}
+}
+
+// listenerWorker drains one async listener's queue; it exits when the
+// channel is closed (by the dispatcher on Unsubscribe, or Close).
+func (m *Manager) listenerWorker(s *subscription) {
+	defer m.lwg.Done()
+	for ev := range s.ch {
+		s.fn(ev)
+		m.delivered.Add(1)
+		m.pending.Add(-1)
+	}
+}
+
+// offerListener enqueues ev on an async listener's queue, dropping the
+// oldest entry (with accounting) when full. Called only from the
+// dispatcher goroutine.
+func (m *Manager) offerListener(s *subscription, ev Event) {
+	select {
+	case s.ch <- ev:
+		m.pending.Add(1)
+		return
+	default:
+	}
+	select {
+	case <-s.ch:
+		m.pending.Add(-1)
+		s.dropped.Add(1)
+		m.listenerDropped.Add(1)
+	default:
+	}
+	select {
+	case s.ch <- ev:
+		m.pending.Add(1)
+	default:
+		s.dropped.Add(1)
+		m.listenerDropped.Add(1)
+	}
+}
+
+// ListenerStats lists per-listener delivery state for the management
+// view, sorted by id.
+func (m *Manager) ListenerStats() []ListenerStat {
+	m.mu.Lock()
+	out := make([]ListenerStat, 0, len(m.listeners))
+	for _, s := range m.listeners {
+		out = append(out, ListenerStat{
+			ID:      s.id,
+			Name:    s.name,
+			Dropped: s.dropped.Load(),
+			Pending: len(s.ch),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // ListenerCount returns the number of registered listeners.
@@ -325,13 +446,15 @@ func (m *Manager) History(filter Filter, since time.Time) []Event {
 // Stats returns a snapshot of counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Published:      m.published.Load(),
-		Dispatched:     m.dispatched.Load(),
-		Delivered:      m.delivered.Load(),
-		Transmitted:    m.transmitted.Load(),
-		TransmitErrors: m.transmitErrors.Load(),
-		Alerts:         m.alertsCnt.Load(),
-		HighWater:      m.highWater.Load(),
+		Published:       m.published.Load(),
+		Dispatched:      m.dispatched.Load(),
+		Delivered:       m.delivered.Load(),
+		Dropped:         m.dropped.Load(),
+		ListenerDropped: m.listenerDropped.Load(),
+		Transmitted:     m.transmitted.Load(),
+		TransmitErrors:  m.transmitErrors.Load(),
+		Alerts:          m.alertsCnt.Load(),
+		HighWater:       m.highWater.Load(),
 	}
 }
 
@@ -343,13 +466,17 @@ func (m *Manager) QueueDepth() int {
 	return len(m.queue)
 }
 
-// Drain blocks until every event published so far has been dispatched.
+// Drain blocks until every event published so far has been dispatched and
+// every enqueued listener delivery has completed. Events dropped from a
+// bounded fast buffer count as handled — they will never dispatch.
 func (m *Manager) Drain() {
 	for {
 		m.mu.Lock()
 		empty := len(m.queue) == 0
 		m.mu.Unlock()
-		if empty && m.dispatched.Load() >= m.published.Load() {
+		if empty &&
+			m.dispatched.Load()+m.dropped.Load() >= m.published.Load() &&
+			m.pending.Load() == 0 {
 			return
 		}
 		time.Sleep(time.Millisecond)
@@ -373,22 +500,46 @@ func (m *Manager) Close() {
 		_ = d.Close()
 	}
 	m.wg.Wait()
+	// The dispatcher is gone: closing listener channels is now safe (only
+	// the dispatcher ever sends on them). Workers drain their queues and
+	// exit.
+	m.mu.Lock()
+	subs := make([]*subscription, 0, len(m.listeners)+len(m.retired))
+	for _, s := range m.listeners {
+		subs = append(subs, s)
+	}
+	subs = append(subs, m.retired...)
+	m.retired = nil
+	m.mu.Unlock()
+	for _, s := range subs {
+		if s.ch != nil {
+			close(s.ch)
+		}
+	}
+	m.lwg.Wait()
 }
 
 func (m *Manager) dispatch() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.queue) == 0 && !m.closed {
+		for len(m.queue) == 0 && len(m.retired) == 0 && !m.closed {
 			m.cond.Wait()
 		}
-		if len(m.queue) == 0 && m.closed {
-			m.mu.Unlock()
-			return
-		}
+		retired := m.retired
+		m.retired = nil
+		done := len(m.queue) == 0 && m.closed
 		batch := m.queue
 		m.queue = nil
 		m.mu.Unlock()
+		// Close unsubscribed async listeners here, between batches, where
+		// no send on their channel can be in flight.
+		for _, s := range retired {
+			close(s.ch)
+		}
+		if done {
+			return
+		}
 		for _, ev := range batch {
 			m.process(ev)
 			m.dispatched.Add(1)
@@ -429,7 +580,7 @@ func (m *Manager) process(ev Event) {
 			rs.fired[key] = false
 		}
 	}
-	subs := make([]subscription, 0, len(m.listeners))
+	subs := make([]*subscription, 0, len(m.listeners))
 	for _, s := range m.listeners {
 		if s.filter.Matches(ev) {
 			subs = append(subs, s)
@@ -444,6 +595,10 @@ func (m *Manager) process(ev Event) {
 	m.mu.Unlock()
 
 	for _, s := range subs {
+		if s.ch != nil {
+			m.offerListener(s, ev)
+			continue
+		}
 		s.fn(ev)
 		m.delivered.Add(1)
 	}

@@ -1,0 +1,351 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridrm/internal/breaker"
+)
+
+// memSink is a controllable in-test sink.
+type memSink struct {
+	name string
+	mu   sync.Mutex
+	got  []Metric
+	fail atomic.Bool
+	errs atomic.Int64
+	wake chan struct{} // signalled on every Deliver
+}
+
+func newMemSink(name string) *memSink {
+	return &memSink{name: name, wake: make(chan struct{}, 64)}
+}
+
+func (m *memSink) Name() string { return m.name }
+
+func (m *memSink) Deliver(_ context.Context, batch []Metric) error {
+	defer func() {
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+	}()
+	if m.fail.Load() {
+		m.errs.Add(1)
+		return errors.New("sink down")
+	}
+	m.mu.Lock()
+	m.got = append(m.got, batch...)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *memSink) Close() error { return nil }
+
+func (m *memSink) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.got)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSinkDelivery(t *testing.T) {
+	r := New(Options{})
+	sink := newMemSink("mem")
+	if err := r.AddSink(sink, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(r, 50, "cpu")
+	waitFor(t, "sink delivery", func() bool { return sink.count() == 50 })
+	st := r.Stats()
+	if st.SinkDelivered != 50 || st.Sinks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Subscribers != 0 {
+		t.Fatalf("sink leaked into subscriber count: %+v", st)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkRetryThenSuccess(t *testing.T) {
+	r := New(Options{})
+	calls := atomic.Int64{}
+	sink := newMemSink("flaky")
+	flaky := &funcSink{name: "flaky", fn: func(ctx context.Context, batch []Metric) error {
+		if calls.Add(1) == 1 {
+			return errors.New("transient")
+		}
+		return sink.Deliver(ctx, batch)
+	}}
+	if err := r.AddSink(flaky, SinkOptions{Backoff: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(r, 1, "cpu")
+	waitFor(t, "retried delivery", func() bool { return sink.count() == 1 })
+	st := r.Stats()
+	if st.SinkRetries < 1 {
+		t.Fatalf("retries = %d, want >= 1", st.SinkRetries)
+	}
+	if st.SinkDropped != 0 {
+		t.Fatalf("dropped = %d, want 0", st.SinkDropped)
+	}
+	_ = r.Close(context.Background())
+}
+
+type funcSink struct {
+	name string
+	fn   func(context.Context, []Metric) error
+}
+
+func (f *funcSink) Name() string                                      { return f.name }
+func (f *funcSink) Deliver(ctx context.Context, batch []Metric) error { return f.fn(ctx, batch) }
+func (f *funcSink) Close() error                                      { return nil }
+
+// TestSinkBreakerRecovery proves the full breaker cycle: repeated failures
+// open the breaker (batches drop instead of hammering the sink), the
+// cooldown elapses, a half-open probe succeeds, and delivery resumes.
+func TestSinkBreakerRecovery(t *testing.T) {
+	clock := struct {
+		mu sync.Mutex
+		t  time.Time
+	}{t: time.Unix(1000, 0)}
+	now := func() time.Time { clock.mu.Lock(); defer clock.mu.Unlock(); return clock.t }
+	advance := func(d time.Duration) { clock.mu.Lock(); clock.t = clock.t.Add(d); clock.mu.Unlock() }
+
+	r := New(Options{Clock: now})
+	sink := newMemSink("recovering")
+	sink.fail.Store(true)
+	err := r.AddSink(sink, SinkOptions{
+		Retries: 1,
+		Backoff: time.Millisecond,
+		Breaker: breaker.Options{Threshold: 2, Cooldown: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failed batches (each retried once) open the breaker.
+	publishN(r, 1, "cpu")
+	waitFor(t, "first failure", func() bool { return r.Stats().SinkErrors >= 1 })
+	publishN(r, 1, "cpu")
+	waitFor(t, "breaker open", func() bool { return r.Stats().SinkBreakerOpens == 1 })
+
+	// While open, batches are dropped without touching the sink.
+	errsBefore := sink.errs.Load()
+	publishN(r, 3, "cpu")
+	waitFor(t, "open-state drops", func() bool { return r.Stats().SinkDropped >= 5 })
+	if sink.errs.Load() != errsBefore {
+		t.Fatal("open breaker still called the sink")
+	}
+
+	// Cooldown elapses, sink heals: half-open probe succeeds, flow resumes.
+	sink.fail.Store(false)
+	advance(2 * time.Minute)
+	publishN(r, 2, "cpu")
+	waitFor(t, "recovery", func() bool { return sink.count() == 2 })
+	if st := r.Stats(); st.SinkDelivered != 2 {
+		t.Fatalf("delivered = %d, want 2", st.SinkDelivered)
+	}
+	_ = r.Close(context.Background())
+}
+
+// TestDeadSinkNeverBlocksPublish: a sink that always fails (down
+// collector) must not slow the publish path or grow memory without bound.
+func TestDeadSinkNeverBlocksPublish(t *testing.T) {
+	r := New(Options{QueueSize: 8})
+	sink := newMemSink("dead")
+	sink.fail.Store(true)
+	if err := r.AddSink(sink, SinkOptions{Retries: 1, Backoff: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		publishN(r, 500, "cpu")
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked behind a dead sink")
+	}
+	// Shutdown with a deadline completes even though the sink is down.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_ = r.Close(ctx)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v with a dead sink", elapsed)
+	}
+	st := r.Stats()
+	if st.SinkDropped == 0 {
+		t.Fatal("dead-sink drops were not accounted")
+	}
+}
+
+// TestCloseFlushesSinks: rows published before Close are delivered before
+// the sink closes when the sink is healthy.
+func TestCloseFlushesSinks(t *testing.T) {
+	r := New(Options{})
+	sink := newMemSink("flush")
+	if err := r.AddSink(sink, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(r, 100, "cpu")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count(); got != 100 {
+		t.Fatalf("flushed %d rows, want 100", got)
+	}
+}
+
+// TestCloseWithPreCancelledContext mirrors Gateway.Close(): the drain
+// deadline is already gone, so Close must return promptly anyway.
+func TestCloseWithPreCancelledContext(t *testing.T) {
+	r := New(Options{})
+	block := make(chan struct{})
+	var once sync.Once
+	slow := &funcSink{name: "wedged", fn: func(ctx context.Context, _ []Metric) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return ctx.Err()
+	}}
+	defer once.Do(func() { close(block) })
+	if err := r.AddSink(slow, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(r, 10, "cpu")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() { _ = r.Close(ctx); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung under a pre-cancelled context")
+	}
+}
+
+func TestDuplicateSinkRejected(t *testing.T) {
+	r := New(Options{})
+	if err := r.AddSink(newMemSink("a"), SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSink(newMemSink("a"), SinkOptions{}); err == nil {
+		t.Fatal("duplicate sink name accepted")
+	}
+	_ = r.Close(context.Background())
+}
+
+func TestHTTPSink(t *testing.T) {
+	var mu sync.Mutex
+	var received []Metric
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var batch []Metric
+		if err := json.NewDecoder(req.Body).Decode(&batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		received = append(received, batch...)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	r := New(Options{})
+	if err := r.AddSink(&HTTPSink{URL: srv.URL}, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(r, 5, "cpu")
+	waitFor(t, "http sink", func() bool { mu.Lock(); defer mu.Unlock(); return len(received) == 5 })
+	mu.Lock()
+	if received[0].Seq != 1 || received[0].Group != "cpu" {
+		t.Fatalf("bad first metric: %+v", received[0])
+	}
+	mu.Unlock()
+	_ = r.Close(context.Background())
+}
+
+func TestHTTPSinkErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	s := &HTTPSink{URL: srv.URL}
+	if err := s.Deliver(context.Background(), []Metric{{Seq: 1}}); err == nil {
+		t.Fatal("5xx response should be an error")
+	}
+}
+
+func TestFileSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	fs, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{})
+	if err := r.AddSink(fs, SinkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(r, 3, "cpu")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("file sink wrote %d lines, want 3", lines)
+	}
+	var m Metric
+	if err := json.Unmarshal(data[:bytesIndex(data, '\n')], &m); err != nil {
+		t.Fatalf("first line is not valid JSON: %v", err)
+	}
+	if m.Seq != 1 {
+		t.Fatalf("first line seq = %d", m.Seq)
+	}
+}
+
+func bytesIndex(b []byte, c byte) int {
+	for i, x := range b {
+		if x == c {
+			return i
+		}
+	}
+	return len(b)
+}

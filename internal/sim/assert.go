@@ -20,6 +20,11 @@ import "sort"
 //	min_plan_cache_hits   plan_cache_hits counter (all sites)   >= limit
 //	min_replayed_records  records restored from checkpoint+WAL  >= limit
 //	min_wal_appends       records journaled to the WAL          >= limit
+//	min_rows_published    rows pushed to continuous queries     >= limit
+//	min_rows_dropped      rows dropped on stuck subscribers     >= limit
+//	max_row_drop_rate     rows_dropped / rows_published         <= limit
+//	min_sub_evictions     stalled subscribers evicted           >= limit
+//	min_sink_breaker_opens push-sink breaker opens              >= limit
 func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 	requests := float64(r.Load.Requests)
 	if requests == 0 {
@@ -57,6 +62,20 @@ func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 			return float64(r.Counters["replayed_records"])
 		case "min_wal_appends":
 			return float64(r.Counters["wal_appends"])
+		case "min_rows_published":
+			return float64(r.Counters["rows_published"])
+		case "min_rows_dropped":
+			return float64(r.Counters["rows_dropped"])
+		case "max_row_drop_rate":
+			published := float64(r.Counters["rows_published"])
+			if published == 0 {
+				published = 1
+			}
+			return float64(r.Counters["rows_dropped"]) / published
+		case "min_sub_evictions":
+			return float64(r.Counters["subscriber_evictions"])
+		case "min_sink_breaker_opens":
+			return float64(r.Counters["sink_breaker_opens"])
 		}
 		return 0
 	}

@@ -72,6 +72,10 @@ func PlanEvents(sc *Scenario, fleet *Fleet, rng *rand.Rand) ([]PlannedEvent, err
 			}
 		case ActionDirectoryDown, ActionDirectoryUp:
 			pe.Targets = []string{fmt.Sprintf("directory-%d", ev.Directory)}
+		case ActionStallSubscriber, ActionKillSubscriber:
+			// Concrete subscribers are picked at fire time (the harness owns
+			// their registry); the plan just records the blast radius.
+			pe.Targets = []string{fmt.Sprintf("subscribers x%d", ev.Count)}
 		}
 		plan = append(plan, pe)
 	}
@@ -155,6 +159,14 @@ func (pe PlannedEvent) Fire(h *Harness) error {
 	case ActionRestartGateway:
 		if err := h.RestartSite(pe.Targets[0]); err != nil {
 			return err
+		}
+	case ActionStallSubscriber:
+		if n := h.StallSubscribers(pe.spec.Count); n == 0 {
+			return fmt.Errorf("sim: stall_subscriber: no live subscribers")
+		}
+	case ActionKillSubscriber:
+		if n := h.KillSubscribers(pe.spec.Count); n == 0 {
+			return fmt.Errorf("sim: kill_subscriber: no live subscribers")
 		}
 	default:
 		return fmt.Errorf("sim: unknown action %q", pe.Action)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -12,11 +13,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridrm/internal/breaker"
 	"gridrm/internal/core"
 	"gridrm/internal/drivers/faultdrv"
 	"gridrm/internal/gma"
 	"gridrm/internal/health"
 	"gridrm/internal/qcache"
+	"gridrm/internal/router"
 	"gridrm/internal/security"
 	"gridrm/internal/tsdb"
 	"gridrm/internal/web"
@@ -75,6 +78,137 @@ type Harness struct {
 	// EntryGateway instead of touching the field during a run.
 	gwMu    sync.RWMutex
 	tmpRoot string // temp root for durable-history site dirs
+
+	// subMu guards the continuous-query subscriber registry that
+	// stall_subscriber / kill_subscriber events act on.
+	subMu       sync.Mutex
+	subscribers []*simSubscriber
+	// deadSink is the black-holed endpoint behind the load.dead_sink HTTP
+	// push sink (nil unless the scenario asks for one).
+	deadSink *ChaosServer
+}
+
+// simSubscriber is one continuous-query consumer: a drain goroutine that
+// counts rows until a stall event wedges it or a kill event closes it.
+type simSubscriber struct {
+	sub       *router.Subscription
+	stall     chan struct{}
+	stallOnce sync.Once
+	stalled   bool // under Harness.subMu
+	killed    bool // under Harness.subMu
+	rows      atomic.Int64
+}
+
+// StartSubscribers opens n continuous queries on the entry gateway, each
+// drained by its own goroutine until stalled, killed, evicted, or gateway
+// shutdown. Call after priming so the first harvests have someone to feed.
+func (h *Harness) StartSubscribers(n int, sql string) error {
+	gw := h.EntryGateway()
+	for i := 0; i < n; i++ {
+		sub, err := gw.Subscribe(context.Background(), core.QueryOptions{
+			Principal: SimPrincipal,
+			SQL:       sql,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: subscriber %d: %w", i, err)
+		}
+		ss := &simSubscriber{sub: sub, stall: make(chan struct{})}
+		h.subMu.Lock()
+		h.subscribers = append(h.subscribers, ss)
+		h.subMu.Unlock()
+		go ss.drain()
+	}
+	return nil
+}
+
+// drain consumes rows until the subscription ends. A stall abandons the
+// channel without closing the subscription — exactly a wedged consumer:
+// its bounded queue fills, overflow drops oldest, and the router's stall
+// clock eventually evicts it.
+func (ss *simSubscriber) drain() {
+	for {
+		select {
+		case <-ss.stall:
+			<-ss.sub.Done()
+			return
+		case <-ss.sub.Done():
+			return
+		case <-ss.sub.C():
+			ss.rows.Add(1)
+		}
+	}
+}
+
+// StallSubscribers wedges up to count live subscribers (stops their drain
+// loops, keeps their subscriptions registered) and reports how many.
+func (h *Harness) StallSubscribers(count int) int {
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	n := 0
+	for _, ss := range h.subscribers {
+		if n == count {
+			break
+		}
+		if ss.stalled || ss.killed {
+			continue
+		}
+		ss.stalled = true
+		ss.stallOnce.Do(func() { close(ss.stall) })
+		n++
+	}
+	return n
+}
+
+// KillSubscribers closes up to count live subscribers mid-run and reports
+// how many; their drain goroutines exit via Done.
+func (h *Harness) KillSubscribers(count int) int {
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	n := 0
+	for _, ss := range h.subscribers {
+		if n == count {
+			break
+		}
+		if ss.stalled || ss.killed {
+			continue
+		}
+		ss.killed = true
+		ss.sub.Close()
+		n++
+	}
+	return n
+}
+
+// SubscriberRows totals the rows all subscribers actually consumed.
+func (h *Harness) SubscriberRows() int64 {
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	var total int64
+	for _, ss := range h.subscribers {
+		total += ss.rows.Load()
+	}
+	return total
+}
+
+// startDeadSink registers an HTTP push sink on the entry gateway whose
+// endpoint severs every connection. Small retry budget and a fast breaker
+// keep the failure loop tight enough that breaker opens show up within a
+// short CI run.
+func (h *Harness) startDeadSink() error {
+	srv, err := NewChaosServer(http.NotFoundHandler())
+	if err != nil {
+		return err
+	}
+	srv.SetDropped(true)
+	h.deadSink = srv
+	return h.EntryGateway().PushRouter().AddSink(
+		&router.HTTPSink{URL: srv.URL(), Client: &http.Client{Timeout: 500 * time.Millisecond}},
+		router.SinkOptions{
+			Queue:   64,
+			Retries: 1,
+			Backoff: 5 * time.Millisecond,
+			Breaker: breaker.Options{Threshold: 3, Cooldown: 200 * time.Millisecond},
+		})
 }
 
 // HarnessOptions are test-facing knobs beyond what scenarios declare.
@@ -132,6 +266,11 @@ func NewHarnessOpts(sc *Scenario, rng *rand.Rand, opts HarnessOptions) (*Harness
 		}
 		h.Entry.Server = srv
 	}
+	if sc.Load.DeadSink {
+		if err := h.startDeadSink(); err != nil {
+			return nil, fmt.Errorf("sim: dead sink: %w", err)
+		}
+	}
 	ok = true
 	return h, nil
 }
@@ -171,6 +310,7 @@ func (h *Harness) buildGateway(site string, tpl SiteTemplate, historyDir string,
 		DisableHistory:        tpl.DisableHistory,
 		StaleGrace:            tpl.StaleGrace,
 		Probe:                 health.Options{Interval: tpl.ProbeInterval},
+		Push:                  router.Options{QueueSize: tpl.SubscribeQueue, Stall: tpl.SubscribeStall},
 	}
 	if historyDir != "" {
 		cfg.Durable = tsdb.Options{Dir: historyDir, Fsync: tpl.HistoryFsync}
@@ -375,6 +515,9 @@ func (h *Harness) Close() {
 	}
 	for _, rep := range h.Replicas {
 		rep.Server.Close()
+	}
+	if h.deadSink != nil {
+		h.deadSink.Close()
 	}
 	if h.tmpRoot != "" {
 		_ = os.RemoveAll(h.tmpRoot)

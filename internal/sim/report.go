@@ -181,6 +181,13 @@ func (h *Harness) scrapeCounters() (map[string]int64, map[string]float64) {
 		counters["driver_panics"] += st.DriverPanics
 		counters["plan_cache_hits"] += st.PlanCacheHits
 		counters["plan_cache_misses"] += st.PlanCacheMisses
+		counters["rows_published"] += st.RowsPublished
+		counters["rows_dropped"] += st.RowsDropped
+		counters["subscriber_evictions"] += st.SubscriberEvictions
+		counters["sink_delivered"] += st.SinkDelivered
+		counters["sink_dropped"] += st.SinkDropped
+		counters["sink_breaker_opens"] += st.SinkBreakerOpens
+		counters["events_dropped"] += st.EventsDropped
 		if d := gw.DurableHistory(); d != nil {
 			// Counters of the current instance only: a restart_gateway
 			// event discards the pre-crash instance's totals, so

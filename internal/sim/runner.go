@@ -70,6 +70,12 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 	if err := prime(h); err != nil {
 		return nil, fmt.Errorf("sim: priming pass: %w", err)
 	}
+	if sc.Load.Subscribers > 0 {
+		if err := h.StartSubscribers(sc.Load.Subscribers, sc.Load.SubscriberSQL); err != nil {
+			return nil, fmt.Errorf("sim: subscribers: %w", err)
+		}
+		logf("continuous queries: %d subscribers on %q", sc.Load.Subscribers, sc.Load.SubscriberSQL)
+	}
 	logf("fleet primed; running %d clients for %s (%d events planned)",
 		sc.Load.Clients, duration, len(plan))
 

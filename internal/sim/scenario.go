@@ -60,6 +60,13 @@ type SiteTemplate struct {
 	// HistoryFsync is the WAL fsync policy for DurableHistory sites
 	// ("always", "interval" or "off"; empty = tsdb default).
 	HistoryFsync string
+	// SubscribeQueue sizes each continuous-query subscriber's bounded
+	// queue (0 = router default 256).
+	SubscribeQueue int
+	// SubscribeStall is how long a subscriber's queue must stay
+	// continuously full before the router evicts it (0 = router default
+	// 10s; the churn scenarios shrink it so eviction fires within a run).
+	SubscribeStall time.Duration
 }
 
 // FederationSpec wires the fleet into a GMA federation: directory replicas,
@@ -83,6 +90,19 @@ type LoadSpec struct {
 	MaxInFlight     int           // entry-server admission gate (0 = no gate)
 	MaxQueue        int           // admission queue behind the gate
 	Mix             []MixEntry
+
+	// Subscribers opens this many continuous-query subscriptions on the
+	// entry gateway before the load starts; each drains its rows until a
+	// stall_subscriber or kill_subscriber event hits it.
+	Subscribers int
+	// SubscriberSQL is the continuous query the subscribers register
+	// (default "SELECT * FROM Processor"; aggregates are rejected).
+	SubscriberSQL string
+	// DeadSink registers an HTTP push sink on the entry gateway whose
+	// endpoint drops every connection — the down-sink half of the
+	// backpressure chaos proof. Its breaker must open; the harvest path
+	// must not notice.
+	DeadSink bool
 }
 
 // MixEntry is one weighted query shape in the load mix.
@@ -144,6 +164,8 @@ const (
 	ActionDriverErrors      = "driver_errors"
 	ActionDriverErrorsClear = "driver_errors_clear"
 	ActionRestartGateway    = "restart_gateway"
+	ActionStallSubscriber   = "stall_subscriber"
+	ActionKillSubscriber    = "kill_subscriber"
 )
 
 var validActions = map[string]bool{
@@ -152,7 +174,8 @@ var validActions = map[string]bool{
 	ActionDirectoryDown: true, ActionDirectoryUp: true,
 	ActionLatencySpike: true, ActionLatencyClear: true,
 	ActionDriverErrors: true, ActionDriverErrorsClear: true,
-	ActionRestartGateway: true,
+	ActionRestartGateway:  true,
+	ActionStallSubscriber: true, ActionKillSubscriber: true,
 }
 
 var validModes = map[string]bool{"cached": true, "real-time": true, "historical": true}
@@ -161,21 +184,26 @@ var validModes = map[string]bool{"cached": true, "real-time": true, "historical"
 // semantics. Rates are fractions in [0,1], *_ms are milliseconds, min_*
 // counters compare against scraped gateway totals.
 var assertionKeys = map[string]bool{
-	"max_error_rate":        true,
-	"max_p99_ms":            true,
-	"max_p95_ms":            true,
-	"min_throughput_rps":    true,
-	"min_requests":          true,
-	"min_degraded_share":    true,
-	"min_stale_serves":      true,
-	"min_history_fallbacks": true,
-	"min_coalesced":         true,
-	"min_breaker_opens":     true,
-	"min_hedges":            true,
-	"min_plan_cache_hits":   true,
-	"max_shed_rate":         true,
-	"min_replayed_records":  true,
-	"min_wal_appends":       true,
+	"max_error_rate":         true,
+	"max_p99_ms":             true,
+	"max_p95_ms":             true,
+	"min_throughput_rps":     true,
+	"min_requests":           true,
+	"min_degraded_share":     true,
+	"min_stale_serves":       true,
+	"min_history_fallbacks":  true,
+	"min_coalesced":          true,
+	"min_breaker_opens":      true,
+	"min_hedges":             true,
+	"min_plan_cache_hits":    true,
+	"max_shed_rate":          true,
+	"min_replayed_records":   true,
+	"min_wal_appends":        true,
+	"min_rows_published":     true,
+	"min_rows_dropped":       true,
+	"max_row_drop_rate":      true,
+	"min_sub_evictions":      true,
+	"min_sink_breaker_opens": true,
 }
 
 // LoadScenario reads, parses and validates a scenario file.
@@ -227,6 +255,8 @@ func ParseScenario(data []byte) (*Scenario, error) {
 				DisableCoalescing:     d.boolVal(im, "disable_coalescing", false),
 				DurableHistory:        d.boolVal(im, "durable_history", false),
 				HistoryFsync:          d.str(im, "history_fsync", ""),
+				SubscribeQueue:        d.intVal(im, "subscribe_queue", 0),
+				SubscribeStall:        d.dur(im, "subscribe_stall", 0),
 			}
 			d.noExtra(im, "fleet.sites")
 			sc.Fleet.Sites = append(sc.Fleet.Sites, tpl)
@@ -253,6 +283,9 @@ func ParseScenario(data []byte) (*Scenario, error) {
 			SourcesPerQuery: d.intVal(lm, "sources_per_query", 0),
 			MaxInFlight:     d.intVal(lm, "max_in_flight", 0),
 			MaxQueue:        d.intVal(lm, "max_queue", 0),
+			Subscribers:     d.intVal(lm, "subscribers", 0),
+			SubscriberSQL:   d.str(lm, "subscriber_sql", ""),
+			DeadSink:        d.boolVal(lm, "dead_sink", false),
 		}
 		for _, item := range d.childList(lm, "mix") {
 			im := d.itemMap(item, "load.mix")
@@ -366,6 +399,23 @@ func (s *Scenario) Validate() error {
 	if s.Load.MaxInFlight < 0 || s.Load.MaxQueue < 0 {
 		return fmt.Errorf("scenario: load.max_in_flight and load.max_queue must be >= 0")
 	}
+	if s.Load.Subscribers < 0 {
+		return fmt.Errorf("scenario: load.subscribers must be >= 0")
+	}
+	if s.Load.Subscribers > 0 {
+		if s.Load.SubscriberSQL == "" {
+			s.Load.SubscriberSQL = "SELECT * FROM Processor"
+		}
+		q, err := sqlparse.Parse(s.Load.SubscriberSQL)
+		if err != nil {
+			return fmt.Errorf("scenario: load.subscriber_sql: %v", err)
+		}
+		if q.Aggregate() || len(q.GroupBy) > 0 {
+			return fmt.Errorf("scenario: load.subscriber_sql: continuous queries cannot aggregate")
+		}
+	} else if s.Load.SubscriberSQL != "" {
+		return fmt.Errorf("scenario: load.subscriber_sql needs load.subscribers >= 1")
+	}
 	if len(s.Load.Mix) == 0 {
 		s.Load.Mix = []MixEntry{{Mode: "cached", Scope: ScopeLocal, Table: "Processor", Weight: 1}}
 	}
@@ -441,6 +491,16 @@ func (s *Scenario) Validate() error {
 		case ActionPartitionSite, ActionHealSite:
 			if !s.Federation.Enabled {
 				return fmt.Errorf("scenario: %s: %s needs federation.enabled (sites have no network edge without it)", at, ev.Action)
+			}
+		case ActionStallSubscriber, ActionKillSubscriber:
+			if s.Load.Subscribers < 1 {
+				return fmt.Errorf("scenario: %s: %s needs load.subscribers >= 1", at, ev.Action)
+			}
+			if ev.Count < 1 {
+				return fmt.Errorf("scenario: %s: count must be >= 1", at)
+			}
+			if ev.Site != "" {
+				return fmt.Errorf("scenario: %s: %s targets entry-gateway subscribers, not sites", at, ev.Action)
 			}
 		case ActionDirectoryDown, ActionDirectoryUp:
 			if !s.Federation.Enabled {

@@ -129,6 +129,27 @@ func TestParseScenarioMixSQL(t *testing.T) {
 	}
 }
 
+func TestParseScenarioSubscribers(t *testing.T) {
+	doc := "name: s\nfleet:\n  sites:\n    - name: a\n      subscribe_queue: 32\n      subscribe_stall: 150ms\n" +
+		"load:\n  subscribers: 4\n  dead_sink: true\n" +
+		"events:\n  - at: 1s\n    action: stall_subscriber\n    count: 2\n" +
+		"assertions:\n  min_rows_dropped: 1\n  max_row_drop_rate: 0.5\n"
+	sc, err := ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Fleet.Sites[0].SubscribeQueue != 32 || sc.Fleet.Sites[0].SubscribeStall != 150*time.Millisecond {
+		t.Errorf("subscribe knobs = %+v", sc.Fleet.Sites[0])
+	}
+	if sc.Load.Subscribers != 4 || !sc.Load.DeadSink {
+		t.Errorf("load = %+v", sc.Load)
+	}
+	// SubscriberSQL defaults when subscribers are requested.
+	if sc.Load.SubscriberSQL != "SELECT * FROM Processor" {
+		t.Errorf("SubscriberSQL = %q", sc.Load.SubscriberSQL)
+	}
+}
+
 func TestScenarioValidationErrors(t *testing.T) {
 	base := "name: v\nfleet:\n  sites:\n    - name: a\n"
 	cases := []struct {
@@ -149,6 +170,10 @@ func TestScenarioValidationErrors(t *testing.T) {
 		{"duplicate template", "name: x\nfleet:\n  sites:\n    - name: a\n    - name: a\n", "duplicate site template"},
 		{"bad mix sql", base + "load:\n  mix:\n    - mode: cached\n      sql: \"SELECT * FROM\"\n", "sql:"},
 		{"bad entry site", "name: x\nfleet:\n  sites:\n    - name: a\nfederation:\n  entry_site: b\n", "not a site instance"},
+		{"subscriber sql without subscribers", base + "load:\n  subscriber_sql: SELECT * FROM Processor\n", "needs load.subscribers"},
+		{"aggregate subscriber sql", base + "load:\n  subscribers: 2\n  subscriber_sql: SELECT count(*) FROM Processor\n", "cannot aggregate"},
+		{"stall without subscribers", base + "events:\n  - at: 1s\n    action: stall_subscriber\n    count: 1\n", "needs load.subscribers"},
+		{"stall with site", base + "load:\n  subscribers: 1\nevents:\n  - at: 1s\n    action: stall_subscriber\n    count: 1\n    site: a\n", "not sites"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

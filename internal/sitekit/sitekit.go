@@ -29,6 +29,7 @@ import (
 	"gridrm/internal/drivers/scmsdrv"
 	"gridrm/internal/drivers/snmpdrv"
 	"gridrm/internal/health"
+	"gridrm/internal/router"
 	"gridrm/internal/trace"
 	"gridrm/internal/tsdb"
 )
@@ -94,6 +95,13 @@ type Options struct {
 	// HistoryMaxDiskBytes budgets the history directory's size; oldest WAL
 	// segments are dropped first when it is exceeded (0 = unlimited).
 	HistoryMaxDiskBytes int64
+	// SubscribeQueue bounds each continuous-query subscriber's queue
+	// (0 = router default 256).
+	SubscribeQueue int
+	// SubscribeStall is how long a subscriber's queue may stay
+	// continuously full before the subscriber is evicted (0 = router
+	// default 10s, negative = never).
+	SubscribeStall time.Duration
 }
 
 // CoreConfig maps the gateway-relevant options onto a core.Config for the
@@ -111,6 +119,7 @@ func (o Options) CoreConfig(name string) core.Config {
 		StaleGrace:            o.StaleGrace,
 		Probe:                 health.Options{Interval: o.ProbeInterval},
 		Trace:                 o.Trace,
+		Push:                  router.Options{QueueSize: o.SubscribeQueue, Stall: o.SubscribeStall},
 		Durable: tsdb.Options{
 			Dir:                o.HistoryDir,
 			Fsync:              o.HistoryFsync,

@@ -17,6 +17,7 @@ import (
 	"gridrm/internal/health"
 	"gridrm/internal/metrics"
 	"gridrm/internal/qcache"
+	"gridrm/internal/router"
 	"gridrm/internal/schema"
 	"gridrm/internal/security"
 	"gridrm/internal/trace"
@@ -94,6 +95,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/drivers/preferences", s.handlePreferences)
 	s.mux.HandleFunc("/tree", s.handleTree)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("/watches", s.handleWatches)
 	s.mux.HandleFunc("/status", s.handleStatus)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -444,6 +446,17 @@ type StatusReport struct {
 	// History reports history retention and, when a history dir is
 	// configured, WAL/checkpoint durability state.
 	History core.HistoryStatus `json:"history"`
+	// Push reports the continuous-query router: rows published, enqueued,
+	// dropped, evictions, and sink delivery counters.
+	Push router.Stats `json:"push"`
+	// Subscribers lists live continuous-query subscribers with per-consumer
+	// drop accounting.
+	Subscribers []router.SubscriberStat `json:"subscribers,omitempty"`
+	// Sinks lists configured push sinks with delivery/retry/breaker state.
+	Sinks []router.SinkStat `json:"sinks,omitempty"`
+	// Listeners reports per-listener event delivery and drop counters (only
+	// populated when the event manager runs with async listener queues).
+	Listeners []event.ListenerStat `json:"event_listeners,omitempty"`
 }
 
 type poolStatsJSON struct {
@@ -469,17 +482,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Pool: poolStatsJSON{Hits: ps.Hits, Misses: ps.Misses, Opens: ps.Opens,
 			Closes: ps.Closes, PingFailures: ps.PingFailures, Evictions: ps.Evictions,
 			Idle: s.gw.Pool().IdleCount()},
-		Cache:     s.gw.Cache().Stats(),
-		Events:    s.gw.Events().Stats(),
-		Coarse:    s.gw.CoarsePolicy().Stats(),
-		Fine:      s.gw.FinePolicy().Stats(),
-		Stages:    s.gw.QueryStageLatencies(),
-		Health:    s.gw.Prober().Snapshot(),
-		Probes:    s.gw.Prober().Stats(),
-		Admission: adm,
-		Traces:    s.gw.Tracer().Stats(),
-		Slow:      s.gw.Tracer().SlowQueries(),
-		History:   s.gw.HistoryStatus(),
+		Cache:       s.gw.Cache().Stats(),
+		Events:      s.gw.Events().Stats(),
+		Coarse:      s.gw.CoarsePolicy().Stats(),
+		Fine:        s.gw.FinePolicy().Stats(),
+		Stages:      s.gw.QueryStageLatencies(),
+		Health:      s.gw.Prober().Snapshot(),
+		Probes:      s.gw.Prober().Stats(),
+		Admission:   adm,
+		Traces:      s.gw.Tracer().Stats(),
+		Slow:        s.gw.Tracer().SlowQueries(),
+		History:     s.gw.HistoryStatus(),
+		Push:        s.gw.PushRouter().Stats(),
+		Subscribers: s.gw.PushRouter().Subscribers(),
+		Sinks:       s.gw.PushRouter().SinkStats(),
+		Listeners:   s.gw.Events().ListenerStats(),
 	})
 }
 

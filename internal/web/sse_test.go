@@ -1,0 +1,315 @@
+package web
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/router"
+)
+
+// sseWait polls cond for up to 5s.
+func sseWait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// recvSSE drains n metrics from the client subscription.
+func recvSSE(t *testing.T, sub *ClientSubscription, n int) []router.Metric {
+	t.Helper()
+	out := make([]router.Metric, 0, n)
+	for len(out) < n {
+		select {
+		case m := <-sub.C():
+			out = append(out, m)
+		case <-sub.Done():
+			t.Fatalf("stream ended after %d/%d rows: %v", len(out), n, sub.Err())
+		case <-time.After(3 * time.Second):
+			t.Fatalf("received %d/%d rows before timeout", len(out), n)
+		}
+	}
+	return out
+}
+
+func TestSubscribeOverSSE(t *testing.T) {
+	f := newFixture(t, nil)
+	sub, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+		Query: core.QueryOptions{SQL: "SELECT HostName, LoadLast1Min FROM Processor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+		t.Fatal(err)
+	}
+	rows := recvSSE(t, sub, 2)
+	hosts := map[string]bool{}
+	for _, m := range rows {
+		if m.Seq == 0 {
+			t.Fatal("metric arrived without a sequence number")
+		}
+		if len(m.Columns) != 2 || m.Columns[0] != "HostName" {
+			t.Fatalf("projection lost on the wire: %v", m.Columns)
+		}
+		host, _ := m.Row[0].(string)
+		hosts[host] = true
+	}
+	if !hosts["a1"] || !hosts["a2"] {
+		t.Fatalf("hosts = %v, want a1 and a2", hosts)
+	}
+	if sub.LastSeq() == 0 {
+		t.Fatal("LastSeq not tracked from id: lines")
+	}
+}
+
+func TestSubscribeSSEResumeFromSeq(t *testing.T) {
+	f := newFixture(t, nil)
+	// Hold a server-side subscription open so the push router stays
+	// non-idle while the SSE client is disconnected (the harvest path
+	// skips publishing entirely when nobody subscribes).
+	keeper, err := f.gw.Subscribe(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Principal: f.client.Principal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Close()
+
+	sub, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+		Query: core.QueryOptions{SQL: "SELECT * FROM Processor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+		t.Fatal(err)
+	}
+	recvSSE(t, sub, 2)
+	last := sub.LastSeq()
+	sub.Close()
+
+	// Rows produced while disconnected land in the replay ring.
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+		Query: core.QueryOptions{SQL: "SELECT * FROM Processor", FromSeq: last},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	rows := recvSSE(t, resumed, 2)
+	for _, m := range rows {
+		if m.Seq <= last {
+			t.Fatalf("replayed seq %d not after resume point %d", m.Seq, last)
+		}
+	}
+	if resumed.Gaps() != 0 {
+		t.Fatalf("clean resume reported %d gaps", resumed.Gaps())
+	}
+}
+
+// TestSubscribeSSELastEventIDHeader exercises the standard EventSource
+// reconnect path: the resume point travels in the Last-Event-ID header
+// rather than ?from=.
+func TestSubscribeSSELastEventIDHeader(t *testing.T) {
+	f := newFixture(t, nil)
+	keeper, err := f.gw.Subscribe(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Principal: f.client.Principal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Close()
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.srv.URL+"/subscribe?sql="+strings.ReplaceAll("SELECT * FROM Processor", " ", "%20"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderUser, "admin")
+	// The harvest above produced seqs 1 and 2; a client that saw event 1
+	// reconnects with Last-Event-ID: 1 and must get 2 replayed without a
+	// fresh harvest.
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var ids, datas int
+	for datas < 1 && sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: 2") {
+			ids++
+		}
+		if strings.HasPrefix(line, "data:") {
+			datas++
+		}
+	}
+	if ids != 1 || datas != 1 {
+		t.Fatalf("replayed frames: ids=%d datas=%d, want 1 each", ids, datas)
+	}
+}
+
+func TestSubscribeSSERejectsBadQueries(t *testing.T) {
+	f := newFixture(t, nil)
+	for _, sql := range []string{"", "SELECT count(*) FROM Processor", "SELEKT"} {
+		if _, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+			Query: core.QueryOptions{SQL: sql},
+		}); err == nil {
+			t.Errorf("SQL %q accepted for subscription", sql)
+		}
+	}
+}
+
+// TestSSEHonorsClientDisconnect proves the server handler exits and
+// unregisters the subscription promptly once the client goes away.
+func TestSSEHonorsClientDisconnect(t *testing.T) {
+	f := newFixture(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	sub, err := f.client.SubscribeContext(ctx, SubscribeConfig{
+		Query: core.QueryOptions{SQL: "SELECT * FROM Processor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sseWait(t, "subscriber registration", func() bool {
+		return f.gw.PushRouter().Stats().Subscribers == 1
+	})
+	cancel()
+	<-sub.Done()
+	sseWait(t, "server-side unregistration after disconnect", func() bool {
+		return f.gw.PushRouter().Stats().Subscribers == 0
+	})
+}
+
+// TestSSEIdleTimeout: a stream with no rows and heartbeats slower than the
+// watchdog is torn down with a descriptive error.
+func TestSSEIdleTimeout(t *testing.T) {
+	f := newFixture(t, nil)
+	sub, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+		Query:       core.QueryOptions{SQL: "SELECT * FROM Processor"},
+		IdleTimeout: 200 * time.Millisecond,
+		Heartbeat:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Done():
+	case <-time.After(3 * time.Second):
+		t.Fatal("idle watchdog never fired")
+	}
+	if err := sub.Err(); err == nil || !strings.Contains(err.Error(), "idle") {
+		t.Fatalf("err = %v, want idle-timeout error", err)
+	}
+}
+
+// TestSSEHeartbeatKeepsStreamAlive: heartbeats faster than the watchdog
+// keep a rowless stream open.
+func TestSSEHeartbeatKeepsStreamAlive(t *testing.T) {
+	f := newFixture(t, nil)
+	sub, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+		Query:       core.QueryOptions{SQL: "SELECT * FROM Processor"},
+		IdleTimeout: 600 * time.Millisecond,
+		Heartbeat:   150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	select {
+	case <-sub.Done():
+		t.Fatalf("stream died despite heartbeats: %v", sub.Err())
+	case <-time.After(1500 * time.Millisecond):
+	}
+}
+
+// TestSSENoGoroutineLeak: repeated subscribe/stream/close cycles leave no
+// goroutines behind on either side (both ends run in this process).
+func TestSSENoGoroutineLeak(t *testing.T) {
+	f := newFixture(t, nil)
+	cycle := func() {
+		sub, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+			Query: core.QueryOptions{SQL: "SELECT * FROM Processor"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.client.Query(context.Background(), core.QueryOptions{
+			SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+			t.Fatal(err)
+		}
+		recvSSE(t, sub, 2)
+		sub.Close()
+	}
+	cycle() // warm up connection pools and lazy singletons
+	sseWait(t, "warm-up teardown", func() bool {
+		return f.gw.PushRouter().Stats().Subscribers == 0
+	})
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		cycle()
+	}
+	sseWait(t, "all subscriptions gone", func() bool {
+		return f.gw.PushRouter().Stats().Subscribers == 0
+	})
+	sseWait(t, "goroutine count back to baseline", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+3
+	})
+}
+
+func TestStatusReportsPushCounters(t *testing.T) {
+	f := newFixture(t, nil)
+	sub, err := f.client.SubscribeContext(context.Background(), SubscribeConfig{
+		Query: core.QueryOptions{SQL: "SELECT * FROM Processor"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := f.client.Query(context.Background(), core.QueryOptions{
+		SQL: "SELECT * FROM Processor", Mode: core.ModeRealTime}); err != nil {
+		t.Fatal(err)
+	}
+	recvSSE(t, sub, 2)
+	st, err := f.client.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Push.Published != 2 || st.Push.Subscribers != 1 {
+		t.Fatalf("push stats over HTTP: %+v", st.Push)
+	}
+	if len(st.Subscribers) != 1 || st.Subscribers[0].Enqueued != 2 {
+		t.Fatalf("subscriber stats over HTTP: %+v", st.Subscribers)
+	}
+}
