@@ -1,0 +1,109 @@
+// Hierarchical-federation benchmark: the all-sites fan-out over a flat
+// federation (one direct leg per site) versus the republisher tree (one
+// region leg per republisher, answered from merged views). At 64 leaf
+// sites the tree collapses 64 remote round trips into 4, which is the
+// latency gap this benchmark pins.
+package gridrm_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gridrm/internal/core"
+	fleetsim "gridrm/internal/sim"
+)
+
+// benchFederationHarness builds a 1-hub + leaves federation, optionally
+// sharded across republishers, and waits until the all-sites row count is
+// complete — for the tree, that means every leaf has been scraped into a
+// republisher view.
+func benchFederationHarness(b *testing.B, leaves, republishers int) *fleetsim.Harness {
+	b.Helper()
+	yaml := fmt.Sprintf(`
+name: bench-federated-tree
+duration: 5s
+seed: 1
+fleet:
+  sites:
+    - name: hub
+      count: 1
+      sources: 2
+      hosts: 1
+    - name: leaf
+      count: %d
+      sources: 1
+      hosts: 1
+federation:
+  enabled: true
+  directories: 1
+  lookup_ttl: 1s
+  entry_site: hub
+  republishers: %d
+  repub_refresh: 100ms
+  repub_scrape: 200ms
+load:
+  clients: 1
+  mix:
+    - mode: cached
+      scope: fanout
+`, leaves, republishers)
+	sc, err := fleetsim.ParseScenario([]byte(yaml))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := fleetsim.NewHarness(sc, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(h.Close)
+	want := int64(2 + leaves) // hub's 2 hosts + 1 per leaf
+	req := benchFanoutRequest()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := h.EntryGateway().QueryContext(context.Background(), req)
+		if err == nil && resp.ResultSet.Next() {
+			if n, _ := resp.ResultSet.GetInt("count(*)"); n == want {
+				return h
+			}
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("federation never converged to %d rows", want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func benchFanoutRequest() core.QueryOptions {
+	return core.QueryOptions{
+		Principal: fleetsim.SimPrincipal,
+		SQL:       "SELECT count(*) FROM Processor",
+		Site:      core.AllSites,
+	}
+}
+
+// BenchmarkFederatedTree compares the entry gateway's all-sites aggregate
+// on the same 64-leaf fleet, flat versus sharded across 4 republishers.
+func BenchmarkFederatedTree(b *testing.B) {
+	const leaves = 64
+	for _, cfg := range []struct {
+		name   string
+		repubs int
+	}{
+		{"flat", 0},
+		{"tree-4repub", 4},
+	} {
+		b.Run(fmt.Sprintf("%s/sites-%d", cfg.name, leaves+1), func(b *testing.B) {
+			h := benchFederationHarness(b, leaves, cfg.repubs)
+			req := benchFanoutRequest()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.EntryGateway().QueryContext(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -68,14 +68,14 @@ func BenchmarkE1QueryPath(b *testing.B) {
 		url := byDriver[drv]
 		for _, mode := range []core.Mode{core.ModeRealTime, core.ModeCached} {
 			b.Run(fmt.Sprintf("%s/%s", drv, mode), func(b *testing.B) {
-				req := core.Request{Principal: benchPrincipal,
+				req := core.QueryOptions{Principal: benchPrincipal,
 					SQL: "SELECT * FROM Processor", Sources: []string{url}, Mode: mode}
-				if _, err := gw.Query(req); err != nil {
+				if _, err := gw.QueryContext(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := gw.Query(req); err != nil {
+					if _, err := gw.QueryContext(context.Background(), req); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -169,14 +169,14 @@ func BenchmarkE4DriverGranularity(b *testing.B) {
 	site, gw := fullStack(b)
 	_ = site
 	run := func(b *testing.B, url, sql string, mode core.Mode) {
-		req := core.Request{Principal: benchPrincipal, SQL: sql,
+		req := core.QueryOptions{Principal: benchPrincipal, SQL: sql,
 			Sources: []string{url}, Mode: mode}
-		if _, err := gw.Query(req); err != nil {
+		if _, err := gw.QueryContext(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := gw.Query(req); err != nil {
+			if _, err := gw.QueryContext(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -265,15 +265,15 @@ func BenchmarkE6CacheScaling(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			gw, _ := build()
 			defer gw.Close()
-			req := core.Request{Principal: benchPrincipal,
+			req := core.QueryOptions{Principal: benchPrincipal,
 				SQL: "SELECT * FROM Processor", Mode: mode}
-			if _, err := gw.Query(req); err != nil {
+			if _, err := gw.QueryContext(context.Background(), req); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if _, err := gw.Query(req); err != nil {
+					if _, err := gw.QueryContext(context.Background(), req); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -293,8 +293,8 @@ func BenchmarkE7GlobalLayer(b *testing.B) {
 		_ = gw.RegisterDriver(d, d.Schema())
 		_ = gw.AddSource(core.SourceConfig{URL: "gridrm:mem://" + name + ":1"})
 		srv := httptest.NewServer(web.NewServer(gw, nil, nil))
-		_ = dir.Register(gma.ProducerInfo{Site: name, Endpoint: srv.URL})
-		gw.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, name))
+		_ = dir.Register(gma.Registration{Name: name, Endpoint: srv.URL})
+		gw.SetGlobalRouter(gma.NewContextRouter(dir, web.RemoteQueryContext, name))
 		return gw, srv
 	}
 	gwA, srvA := mk("siteA")

@@ -26,6 +26,7 @@ import (
 	"gridrm/internal/event"
 	"gridrm/internal/glue"
 	"gridrm/internal/gma"
+	"gridrm/internal/repub"
 	"gridrm/internal/router"
 	"gridrm/internal/sitekit"
 	"gridrm/internal/trace"
@@ -61,6 +62,11 @@ func main() {
 		dynamic  = flag.Bool("dynamic", false, "omit driver preferences; locate drivers dynamically")
 		hostDir  = flag.Bool("host-directory", false, "also host the GMA directory at /gma/")
 		refresh  = flag.Duration("refresh", 30*time.Second, "GMA registration refresh interval")
+
+		role         = flag.String("role", "site", "directory role: site (serve a manifest's agents) or republisher (mirror a shard of sites and answer region queries)")
+		repubRefresh = flag.Duration("repub-refresh", 2*time.Second, "republisher directory poll / rebalance cadence")
+		repubScrape  = flag.Duration("repub-scrape", 5*time.Second, "republisher re-scrape cadence for sites without a live subscription")
+		ringVNodes   = flag.Int("ring-vnodes", 0, "virtual nodes per republisher on the ownership ring (0 = default; all members must agree)")
 
 		harvestTimeout = flag.Duration("harvest-timeout", 0, "per-source harvest timeout (0 = default, negative = off)")
 		queryTimeout   = flag.Duration("query-timeout", 0, "whole-request deadline when the caller sets none (0 = default, negative = off)")
@@ -100,6 +106,19 @@ func main() {
 	)
 	flag.Parse()
 
+	fed := sitekit.FederationOptions{
+		Role:            *role,
+		RefreshInterval: *repubRefresh,
+		ScrapeInterval:  *repubScrape,
+		VNodes:          *ringVNodes,
+	}
+	if *role == "republisher" {
+		runRepublisher(*name, *listen, *hostDir, *refresh, *dirTimeout, directories, fed)
+		return
+	}
+	if *role != "site" {
+		log.Fatalf("gridrm-gateway: -role must be site or republisher (got %q)", *role)
+	}
 	if *manifest == "" {
 		log.Fatal("gridrm-gateway: -manifest is required")
 	}
@@ -130,22 +149,29 @@ func main() {
 	}
 
 	gw, err := sitekit.NewGateway(m, sitekit.Options{
-		Name:                      m.Site,
-		HarvestTimeout:            *harvestTimeout,
-		QueryTimeout:              *queryTimeout,
-		Retry:                     core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
-		Breaker:                   core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
-		MaxConcurrentHarvests:     *maxHarvests,
-		DisableCoalescing:         *noCoalesce,
-		StaleGrace:                *staleGrace,
-		ProbeInterval:             *probeInterval,
-		Faults:                    faults,
-		HistoryDir:                *historyDir,
-		HistoryFsync:              *historyFsync,
-		HistoryCheckpointInterval: *historyCkptIntv,
-		HistoryMaxDiskBytes:       *historyMaxDisk,
-		SubscribeQueue:            *subQueue,
-		SubscribeStall:            *subStall,
+		Name: m.Site,
+		Timeouts: sitekit.TimeoutOptions{
+			Harvest: *harvestTimeout,
+			Query:   *queryTimeout,
+		},
+		History: sitekit.HistoryOptions{
+			Dir:                *historyDir,
+			Fsync:              *historyFsync,
+			CheckpointInterval: *historyCkptIntv,
+			MaxDiskBytes:       *historyMaxDisk,
+		},
+		Push: sitekit.PushOptions{
+			Queue: *subQueue,
+			Stall: *subStall,
+		},
+		Federation:            fed,
+		Retry:                 core.RetryOptions{Attempts: *retries, Backoff: *retryBackoff},
+		Breaker:               core.BreakerOptions{Threshold: *breakerTrips, Cooldown: *breakerCool},
+		MaxConcurrentHarvests: *maxHarvests,
+		DisableCoalescing:     *noCoalesce,
+		StaleGrace:            *staleGrace,
+		ProbeInterval:         *probeInterval,
+		Faults:                faults,
 		Trace: trace.Options{
 			Sample:        *traceSample,
 			SlowThreshold: *slowlogThold,
@@ -213,12 +239,13 @@ func main() {
 			LookupTTL:     *lookupTTL,
 			RetryAttempts: *remoteRetries,
 			HedgeAfter:    *hedgeAfter,
+			RingVNodes:    *ringVNodes,
 		})
 		fedRouter.RegisterMetrics(gw.Metrics())
 		gw.SetGlobalRouter(fedRouter)
 		server.SetSiteLister(fedRouter.Sites)
-		reg = gma.NewRegistrar(dir, gma.ProducerInfo{
-			Site: m.Site, Endpoint: endpoint, Groups: glue.GroupNames(),
+		reg = gma.NewRegistrar(dir, gma.Registration{
+			Name: m.Site, Endpoint: endpoint, Groups: glue.GroupNames(),
 		}, *refresh)
 		// Directory reachability surfaces on the event bus (an Alert when
 		// registration starts failing, a Status on recovery) and as a gauge.
@@ -283,5 +310,79 @@ func main() {
 	}
 	if err := gw.Shutdown(ctx); err != nil {
 		log.Printf("gridrm-gateway: gateway shutdown: %v", err)
+	}
+}
+
+// runRepublisher runs the gateway in republisher mode: no local agents or
+// drivers — just the shard-maintenance loops over the directory and the
+// region-query servlet.
+//
+//	gridrm-gateway -role=republisher -name repub-a -listen 127.0.0.1:8090 \
+//	    -directory http://127.0.0.1:8080
+func runRepublisher(name, listen string, hostDir bool, refresh, dirTimeout time.Duration,
+	directories []string, fed sitekit.FederationOptions) {
+	if name == "" {
+		log.Fatal("gridrm-gateway: republisher mode requires -name")
+	}
+	var localDir *gma.Directory
+	var replicas []gma.DirectoryService
+	if hostDir {
+		localDir = gma.NewDirectory(3*refresh, nil)
+		replicas = append(replicas, localDir)
+	}
+	for _, base := range directories {
+		replicas = append(replicas, &gma.DirectoryClient{BaseURL: base, Timeout: dirTimeout})
+	}
+	var dir gma.DirectoryService
+	switch len(replicas) {
+	case 0:
+		log.Fatal("gridrm-gateway: republisher mode requires -directory (or -host-directory)")
+	case 1:
+		dir = replicas[0]
+	default:
+		dir = gma.NewMultiDirectory(replicas...)
+	}
+
+	endpoint := "http://" + listen
+	g, err := repub.New(repub.Options{
+		Name:            name,
+		Endpoint:        endpoint,
+		Directory:       dir,
+		RefreshInterval: fed.RefreshInterval,
+		ScrapeInterval:  fed.ScrapeInterval,
+		VNodes:          fed.VNodes,
+	})
+	if err != nil {
+		log.Fatalf("gridrm-gateway: %v", err)
+	}
+	if err := g.Start(context.Background()); err != nil {
+		log.Fatalf("gridrm-gateway: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", g.Handler())
+	if localDir != nil {
+		mux.Handle("/gma/", localDir.Handler())
+	}
+	httpServer := &http.Server{Addr: listen, Handler: mux}
+	go func() {
+		log.Printf("republisher %s serving on %s (owns %d sites)", name, endpoint, len(g.Owns()))
+		if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("gridrm-gateway: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	// Graceful drain: deregister first so entry gateways replan onto the
+	// surviving republishers, then close the servlet.
+	log.Printf("republisher %s shutting down", name)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	g.Stop(ctx)
+	if err := httpServer.Shutdown(ctx); err != nil {
+		log.Printf("gridrm-gateway: http shutdown: %v", err)
 	}
 }

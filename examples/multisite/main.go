@@ -70,8 +70,8 @@ func deploySite(name string, hosts int, seed int64, dir gma.DirectoryService,
 	router.RegisterMetrics(gw.Metrics())
 	gw.SetGlobalRouter(router)
 	srv.SetSiteLister(router.Sites)
-	d.reg = gma.NewRegistrar(dir, gma.ProducerInfo{
-		Site: name, Endpoint: d.endpoint, Groups: glue.GroupNames(),
+	d.reg = gma.NewRegistrar(dir, gma.Registration{
+		Name: name, Endpoint: d.endpoint, Groups: glue.GroupNames(),
 	}, 10*time.Second)
 	if err := d.reg.Start(); err != nil {
 		d.close()

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 
 	// 3. SQL in, consolidated GLUE ResultSet out (paper Fig 3): the same
 	//    query fans out to all drivers and the rows merge into one table.
-	resp, err := gw.Query(core.Request{
+	resp, err := gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: me,
 		SQL:       "SELECT HostName, LoadLast1Min, Utilization FROM Processor ORDER BY HostName",
 		Mode:      core.ModeRealTime,
@@ -51,7 +52,7 @@ func main() {
 
 	// 4. WHERE/ORDER/LIMIT work across the merged view; unmapped fields
 	//    come back NULL per the GLUE translation rule.
-	resp, err = gw.Query(core.Request{
+	resp, err = gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: me,
 		SQL: "SELECT HostName, Model, ClockSpeed FROM Processor " +
 			"WHERE Model IS NOT NULL ORDER BY ClockSpeed DESC LIMIT 4",
@@ -65,7 +66,7 @@ func main() {
 	//    TTL never touch the agents (paper §4).
 	before := gw.Stats().Harvests
 	for i := 0; i < 5; i++ {
-		if _, err := gw.Query(core.Request{Principal: me,
+		if _, err := gw.QueryContext(context.Background(), core.QueryOptions{Principal: me,
 			SQL: "SELECT * FROM Memory", Mode: core.ModeCached}); err != nil {
 			log.Fatal(err)
 		}
@@ -76,11 +77,11 @@ func main() {
 	// 6. Time passes; historical queries read the gateway's internal store
 	//    with provenance columns.
 	site.Step(3)
-	if _, err := gw.Query(core.Request{Principal: me, SQL: "SELECT * FROM Memory",
+	if _, err := gw.QueryContext(context.Background(), core.QueryOptions{Principal: me, SQL: "SELECT * FROM Memory",
 		Mode: core.ModeRealTime}); err != nil {
 		log.Fatal(err)
 	}
-	resp, err = gw.Query(core.Request{
+	resp, err = gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: me,
 		SQL:       "SELECT HostName, RAMAvailable, SampledAt FROM Memory ORDER BY SampledAt LIMIT 6",
 		Mode:      core.ModeHistorical,

@@ -44,7 +44,7 @@ func buildFederation(n int) (*gma.Directory, []*fedSite, error) {
 			return nil, nil, err
 		}
 		srv := httptest.NewServer(web.NewServer(gw, nil, nil))
-		if err := dir.Register(gma.ProducerInfo{Site: name, Endpoint: srv.URL}); err != nil {
+		if err := dir.Register(gma.Registration{Name: name, Endpoint: srv.URL}); err != nil {
 			return nil, nil, err
 		}
 		gw.SetGlobalRouter(gma.NewContextRouter(dir, web.RemoteQueryContext, name))
@@ -135,7 +135,7 @@ func runE7(w io.Writer, quick bool) error {
 
 	// Registration/refresh behaviour.
 	dir := gma.NewDirectory(50*time.Millisecond, nil)
-	reg := gma.NewRegistrar(dir, gma.ProducerInfo{Site: "x", Endpoint: "http://x"}, 10*time.Millisecond)
+	reg := gma.NewRegistrar(dir, gma.Registration{Name: "x", Endpoint: "http://x"}, 10*time.Millisecond)
 	if err := reg.Start(); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -16,7 +17,7 @@ type captureRouter struct {
 	respRows []int
 }
 
-func (r *captureRouter) RemoteQuery(site string, req Request) (*Response, error) {
+func (r *captureRouter) RemoteQuery(site string, req QueryOptions) (*Response, error) {
 	resp, err := r.multiRouter.RemoteQuery(site, req)
 	r.mu.Lock()
 	r.sqls = append(r.sqls, req.SQL)
@@ -53,7 +54,7 @@ func TestAllSitesAggregatePushdown(t *testing.T) {
 	f, router := buildAggVO(t)
 
 	// Client-side reference: fetch every raw row and aggregate by hand.
-	raw, err := f.g.Query(Request{
+	raw, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT HostName, LoadLast1Min FROM Processor",
 		Site:      AllSites,
@@ -76,7 +77,7 @@ func TestAllSitesAggregatePushdown(t *testing.T) {
 		n++
 	}
 
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT count(*), avg(LoadLast1Min), min(LoadLast1Min), max(LoadLast1Min), sum(LoadLast1Min) FROM Processor",
 		Site:      AllSites,
@@ -143,7 +144,7 @@ func TestAllSitesAggregatePushdown(t *testing.T) {
 // sites, so per-group partials from different sites must merge.
 func TestAllSitesGroupByAcrossSites(t *testing.T) {
 	f, _ := buildAggVO(t)
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		// Every host reports Model NULL in the fixtures, so the whole VO
 		// collapses into one NULL group — proving partial groups from
@@ -172,7 +173,7 @@ func TestAllSitesGroupByAcrossSites(t *testing.T) {
 // apply at the entry gateway, after finalization.
 func TestAllSitesAggregateOrderLimit(t *testing.T) {
 	f, _ := buildAggVO(t)
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT HostName, max(LoadLast1Min) FROM Processor GROUP BY HostName ORDER BY max(LoadLast1Min) DESC LIMIT 2",
 		Site:      AllSites,
@@ -199,7 +200,7 @@ func TestAllSitesAggregateSurvivesSiteFailure(t *testing.T) {
 	for _, gw := range router.gateways {
 		gw.Close() // siteZ gone
 	}
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT count(*), sum(LoadLast1Min) FROM Processor",
 		Site:      AllSites,
@@ -221,7 +222,7 @@ func TestAllSitesAggregateSurvivesSiteFailure(t *testing.T) {
 // site's consolidate stage over the harvested snapshot.
 func TestSingleSiteAggregate(t *testing.T) {
 	f := newFixture(t)
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT HostName, avg(LoadLast1Min) FROM Processor GROUP BY HostName ORDER BY HostName",
 		Mode:      ModeRealTime,
@@ -243,7 +244,7 @@ func TestSingleSiteAggregate(t *testing.T) {
 func TestPlanCacheCounters(t *testing.T) {
 	f := newFixture(t)
 	for i := 0; i < 3; i++ {
-		if _, err := f.g.Query(Request{
+		if _, err := f.g.QueryContext(context.Background(), QueryOptions{
 			Principal: f.admin,
 			SQL:       "SELECT HostName FROM Processor",
 			Mode:      ModeRealTime,

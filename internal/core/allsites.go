@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"gridrm/internal/resultset"
@@ -11,6 +12,37 @@ import (
 	"gridrm/internal/sqlparse"
 	"gridrm/internal/trace"
 )
+
+// FanoutLeg is one branch of an all-sites fan-out plan. A direct leg
+// targets a site gateway; a republisher leg targets an intermediate
+// gateway that answers for every site in Covers from its merged region
+// view, collapsing N site round trips into one.
+type FanoutLeg struct {
+	// Target is the member to query (a site name, or a republisher name
+	// for republisher legs); it goes into the sub-request's Site field.
+	Target string
+	// Republisher marks a region leg.
+	Republisher bool
+	// Covers lists the sites a republisher leg answers for. When the leg
+	// fails, the fan-out degrades to direct legs for these sites.
+	Covers []string
+}
+
+// FanoutPlanner is implemented by routers that can turn the flat
+// all-sites fan-out into a tree (gma.Router with republishers
+// registered). queryAllSites consults it when present and falls back to
+// GlobalRouter.Sites otherwise.
+type FanoutPlanner interface {
+	FanoutPlan(ctx context.Context) ([]FanoutLeg, error)
+}
+
+// legLabel names a leg in source statuses and timeout diagnostics.
+func legLabel(leg FanoutLeg) string {
+	if leg.Republisher {
+		return "repub:" + leg.Target
+	}
+	return "site:" + leg.Target
+}
 
 // queryAllSites executes one SQL statement across the whole virtual
 // organisation: locally, plus at every remote site the Global layer can
@@ -20,9 +52,18 @@ import (
 // queries are pushed down: each site answers the partial-aggregate rewrite
 // (sum+count for avg, and so on) and only those partial rows cross the
 // wire; the entry gateway merges them (sum of sums, min of mins) and
-// finalizes the answer. The fan-out is bounded by ctx: a site that has not
-// answered when the deadline passes is reported as timed out and the
-// consolidated rows of the sites that did answer are returned.
+// finalizes the answer.
+//
+// When the router plans a hierarchical fan-out (FanoutPlanner), sites
+// owned by republishers are covered by one region leg each: the entry's
+// fan-out degree is the number of republishers, not the number of sites,
+// and the partial-aggregate sub-query is answered from the republisher's
+// merged view. A failed region leg degrades to direct legs for the sites
+// it covered, so a dead republisher costs latency, not answers.
+//
+// The fan-out is bounded by ctx: a leg that has not answered when the
+// deadline passes is reported as timed out and the consolidated rows of
+// the legs that did answer are returned.
 func (g *Gateway) queryAllSites(ctx context.Context, req QueryOptions, start time.Time) (*Response, error) {
 	if g.coarse.Check(req.Principal, security.OpGlobalQuery) != security.Allow {
 		g.denied.Add(1)
@@ -51,38 +92,142 @@ func (g *Gateway) queryAllSites(ctx context.Context, req QueryOptions, start tim
 	g.mu.RLock()
 	router := g.router
 	g.mu.RUnlock()
-	sites := []string{g.name}
+	legs := []FanoutLeg{{Target: g.name}}
+	siteCount := 1
 	if router != nil {
-		sites = append(sites, router.Sites()...)
+		var planned []FanoutLeg
+		if fp, ok := router.(FanoutPlanner); ok {
+			planned, err = fp.FanoutPlan(ctx)
+			if err != nil {
+				planned = nil
+			}
+		}
+		if planned == nil {
+			for _, site := range router.Sites() {
+				planned = append(planned, FanoutLeg{Target: site})
+			}
+		}
+		for _, leg := range planned {
+			if leg.Republisher {
+				siteCount += len(leg.Covers)
+			} else {
+				siteCount++
+			}
+		}
+		legs = append(legs, planned...)
 	}
 
-	type siteResult struct {
-		i    int
-		site string
-		resp *Response
-		err  error
+	// querySite runs one direct sub-query against a site (local or
+	// remote) under its own span.
+	querySite := func(ctx context.Context, site string) (*Response, error) {
+		lctx, lsp := trace.StartSpan(ctx, "site")
+		lsp.SetAttr("site", site)
+		r := subReq
+		r.Site = site
+		resp, err := g.QueryContext(markSubQuery(lctx), r)
+		lsp.SetError(err)
+		lsp.End()
+		return resp, err
 	}
-	// Buffered so site legs finishing after the deadline park their result
-	// in the channel instead of blocking or racing the collection below.
+
+	type legResult struct {
+		i        int
+		statuses []SourceStatus
+		results  []*resultset.ResultSet
+		answered int
+	}
+	// Buffered so legs finishing after the deadline park their result in
+	// the channel instead of blocking or racing the collection below.
 	fanoutStart := g.clock()
+	g.fanouts.Add(1)
+	g.fanoutLegs.Add(int64(len(legs) - 1)) // legs[0] is the local leg
 	fctx, fsp := trace.StartSpan(ctx, "fanout")
-	fsp.SetAttr("sites", strconv.Itoa(len(sites)))
-	ch := make(chan siteResult, len(sites))
-	for i, site := range sites {
-		go func(i int, site string) {
-			lctx, lsp := trace.StartSpan(fctx, "site")
-			lsp.SetAttr("site", site)
-			r := subReq
-			r.Site = site
-			resp, err := g.QueryContext(markSubQuery(lctx), r)
-			lsp.SetError(err)
-			lsp.End()
-			ch <- siteResult{i: i, site: site, resp: resp, err: err}
-		}(i, site)
+	fsp.SetAttr("sites", strconv.Itoa(siteCount))
+	fsp.SetAttr("legs", strconv.Itoa(len(legs)))
+	ch := make(chan legResult, len(legs))
+	for i, leg := range legs {
+		go func(i int, leg FanoutLeg) {
+			out := legResult{i: i}
+			if leg.Republisher {
+				lctx, lsp := trace.StartSpan(fctx, "region")
+				lsp.SetAttr("republisher", leg.Target)
+				lsp.SetAttr("covers", strconv.Itoa(len(leg.Covers)))
+				r := subReq
+				r.Site = leg.Target
+				// Pin the region answer to exactly the planned coverage: a
+				// republisher that also mirrors this entry's site must not
+				// re-count it, and one whose shard drifted must refuse so we
+				// degrade to direct legs below.
+				r.Region = leg.Covers
+				resp, err := g.QueryContext(markSubQuery(lctx), r)
+				lsp.SetError(err)
+				lsp.End()
+				if err == nil {
+					out.answered++
+					out.results = append(out.results, resp.ResultSet)
+					out.statuses = append(out.statuses, SourceStatus{
+						Source: legLabel(leg) + " sites:" + strconv.Itoa(len(leg.Covers)),
+					})
+					ch <- out
+					return
+				}
+				// Degrade: the republisher is down or no longer owns these
+				// sites — fan out directly to everything it covered.
+				out.statuses = append(out.statuses, SourceStatus{
+					Source: legLabel(leg),
+					Err:    err.Error(),
+				})
+				var mu sync.Mutex
+				var wg sync.WaitGroup
+				for _, site := range leg.Covers {
+					wg.Add(1)
+					go func(site string) {
+						defer wg.Done()
+						resp, err := querySite(fctx, site)
+						mu.Lock()
+						defer mu.Unlock()
+						if err != nil {
+							out.statuses = append(out.statuses, SourceStatus{
+								Source: "site:" + site,
+								Err:    err.Error(),
+							})
+							return
+						}
+						out.answered++
+						out.results = append(out.results, resp.ResultSet)
+						for _, st := range resp.Sources {
+							st.Source = "site:" + site + " " + st.Source
+							out.statuses = append(out.statuses, st)
+						}
+					}(site)
+				}
+				wg.Wait()
+				ch <- out
+				return
+			}
+			resp, err := querySite(fctx, leg.Target)
+			if err != nil {
+				// A failed site is a per-site diagnostic, not a query
+				// failure — consistent with per-source behaviour.
+				out.statuses = append(out.statuses, SourceStatus{
+					Source: legLabel(leg),
+					Err:    err.Error(),
+				})
+				ch <- out
+				return
+			}
+			out.answered++
+			out.results = append(out.results, resp.ResultSet)
+			for _, st := range resp.Sources {
+				st.Source = legLabel(leg) + " " + st.Source
+				out.statuses = append(out.statuses, st)
+			}
+			ch <- out
+		}(i, leg)
 	}
-	results := make([]siteResult, len(sites))
-	answeredLeg := make([]bool, len(sites))
-	remaining := len(sites)
+	results := make([]legResult, len(legs))
+	answeredLeg := make([]bool, len(legs))
+	remaining := len(legs)
 collect:
 	for remaining > 0 {
 		select {
@@ -91,10 +236,13 @@ collect:
 			answeredLeg[r.i] = true
 			remaining--
 		case <-ctx.Done():
-			for i, site := range sites {
+			for i, leg := range legs {
 				if !answeredLeg[i] {
 					g.timeouts.Add(1)
-					results[i] = siteResult{i: i, site: site, err: fmt.Errorf("%s: %w", ErrTimedOut, ctx.Err())}
+					results[i] = legResult{i: i, statuses: []SourceStatus{{
+						Source: legLabel(leg),
+						Err:    fmt.Errorf("%s: %w", ErrTimedOut, ctx.Err()).Error(),
+					}}}
 				}
 			}
 			break collect
@@ -106,29 +254,19 @@ collect:
 	var merged *resultset.ResultSet
 	var statuses []SourceStatus
 	answered := 0
-	for _, sr := range results {
-		if sr.err != nil {
-			// A failed site is a per-site diagnostic, not a query
-			// failure — consistent with per-source behaviour.
-			statuses = append(statuses, SourceStatus{
-				Source: "site:" + sr.site,
-				Err:    sr.err.Error(),
-			})
-			continue
-		}
-		answered++
-		for _, st := range sr.resp.Sources {
-			st.Source = "site:" + sr.site + " " + st.Source
-			statuses = append(statuses, st)
-		}
-		if merged == nil {
-			merged = resultset.New(sr.resp.ResultSet.Metadata())
-		}
-		if err := merged.Merge(sr.resp.ResultSet); err != nil {
-			statuses = append(statuses, SourceStatus{
-				Source: "site:" + sr.site,
-				Err:    err.Error(),
-			})
+	for _, lr := range results {
+		answered += lr.answered
+		statuses = append(statuses, lr.statuses...)
+		for _, rs := range lr.results {
+			if merged == nil {
+				merged = resultset.New(rs.Metadata())
+			}
+			if err := merged.Merge(rs); err != nil {
+				statuses = append(statuses, SourceStatus{
+					Source: "merge",
+					Err:    err.Error(),
+				})
+			}
 		}
 	}
 	if answered == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,12 +14,12 @@ type multiRouter struct {
 	gateways map[string]*Gateway
 }
 
-func (r *multiRouter) RemoteQuery(site string, req Request) (*Response, error) {
+func (r *multiRouter) RemoteQuery(site string, req QueryOptions) (*Response, error) {
 	gw, ok := r.gateways[site]
 	if !ok {
 		return nil, fmt.Errorf("no such site %q", site)
 	}
-	return gw.Query(req)
+	return gw.QueryContext(context.Background(), req)
 }
 
 func (r *multiRouter) Sites() []string {
@@ -52,7 +53,7 @@ func buildVO(t *testing.T) (*fixture, *memDriver) {
 
 func TestAllSitesConsolidation(t *testing.T) {
 	f, _ := buildVO(t)
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName",
 		Site:      AllSites,
@@ -91,7 +92,7 @@ func TestAllSitesConsolidation(t *testing.T) {
 
 func TestAllSitesLimitIsGlobal(t *testing.T) {
 	f, _ := buildVO(t)
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT HostName, LoadLast1Min FROM Processor ORDER BY LoadLast1Min DESC LIMIT 2",
 		Site:      AllSites,
@@ -115,7 +116,7 @@ func TestAllSitesLimitIsGlobal(t *testing.T) {
 func TestAllSitesSurvivesSiteFailure(t *testing.T) {
 	f, zdrv := buildVO(t)
 	zdrv.fail.Store(true) // siteZ's agent dies; the site still answers with a failed source
-	resp, err := f.g.Query(Request{
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{
 		Principal: f.admin,
 		SQL:       "SELECT HostName FROM Processor",
 		Site:      AllSites,
@@ -129,7 +130,7 @@ func TestAllSitesSurvivesSiteFailure(t *testing.T) {
 	}
 	// And if the whole router target vanishes, the site is reported.
 	f.g.SetGlobalRouter(&multiRouter{gateways: map[string]*Gateway{}})
-	resp, err = f.g.Query(Request{Principal: f.admin, SQL: "SELECT HostName FROM Processor",
+	resp, err = f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT HostName FROM Processor",
 		Site: AllSites, Mode: ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +142,7 @@ func TestAllSitesSurvivesSiteFailure(t *testing.T) {
 
 func TestAllSitesWithoutRouterIsLocal(t *testing.T) {
 	f := newFixture(t)
-	resp, err := f.g.Query(Request{Principal: f.admin,
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin,
 		SQL: "SELECT HostName FROM Processor", Site: AllSites, Mode: ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +158,7 @@ func TestAllSitesSecurity(t *testing.T) {
 	// No OpGlobalQuery grant: all-sites queries must be refused.
 	g := New(Config{Name: "locked", Coarse: coarse})
 	defer g.Close()
-	_, err := g.Query(Request{Principal: security.Principal{Name: "admin"},
+	_, err := g.QueryContext(context.Background(), QueryOptions{Principal: security.Principal{Name: "admin"},
 		SQL: "SELECT * FROM Processor", Site: AllSites})
 	if err == nil {
 		t.Error("all-sites query without global grant succeeded")
@@ -166,7 +167,7 @@ func TestAllSitesSecurity(t *testing.T) {
 
 func TestAllSitesBadSQL(t *testing.T) {
 	f, _ := buildVO(t)
-	if _, err := f.g.Query(Request{Principal: f.admin, SQL: "junk", Site: AllSites}); err == nil {
+	if _, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "junk", Site: AllSites}); err == nil {
 		t.Error("bad SQL accepted")
 	}
 }

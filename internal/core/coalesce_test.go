@@ -147,7 +147,7 @@ func TestCoalescedHarvestSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			responses[i], errs[i] = g.Query(Request{
+			responses[i], errs[i] = g.QueryContext(context.Background(), QueryOptions{
 				Principal: coalescePrincipal,
 				SQL:       "SELECT * FROM Processor",
 				Mode:      ModeCached,
@@ -202,7 +202,7 @@ func TestCoalescedWaiterHonoursOwnDeadline(t *testing.T) {
 
 	leaderDone := make(chan *Response, 1)
 	go func() {
-		resp, err := g.Query(Request{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeCached})
+		resp, err := g.QueryContext(context.Background(), QueryOptions{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeCached})
 		if err != nil {
 			t.Error(err)
 		}
@@ -213,7 +213,7 @@ func TestCoalescedWaiterHonoursOwnDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	resp, err := g.QueryContext(ctx, Request{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeCached})
+	resp, err := g.QueryContext(ctx, QueryOptions{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeCached})
 	if err != nil {
 		t.Fatalf("waiter: %v (want partial response)", err)
 	}
@@ -244,7 +244,7 @@ func TestDisableCoalescingHarvestsPerClient(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := g.Query(Request{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
+			if _, err := g.QueryContext(context.Background(), QueryOptions{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -264,7 +264,7 @@ func TestMaxConcurrentHarvests(t *testing.T) {
 	d := &gateDriver{name: "gate", proto: "gate", hosts: []string{"h"}, delay: 20 * time.Millisecond}
 	g := newGateFixture(t, d, Config{MaxConcurrentHarvests: 2}, 6)
 
-	resp, err := g.Query(Request{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
+	resp, err := g.QueryContext(context.Background(), QueryOptions{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func benchFanout(b *testing.B, disable bool) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := g.Query(Request{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeCached}); err != nil {
+			if _, err := g.QueryContext(context.Background(), QueryOptions{Principal: coalescePrincipal, SQL: "SELECT * FROM Processor", Mode: ModeCached}); err != nil {
 				b.Error(err)
 				return
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -163,7 +164,7 @@ func newFixture(t *testing.T) *fixture {
 
 func (f *fixture) query(t *testing.T, sql string, mode Mode) *Response {
 	t.Helper()
-	resp, err := f.g.Query(Request{Principal: f.admin, SQL: sql, Mode: mode})
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: sql, Mode: mode})
 	if err != nil {
 		t.Fatalf("Query(%q): %v", sql, err)
 	}
@@ -292,7 +293,7 @@ func TestSourceFailureIsPartial(t *testing.T) {
 
 func TestExplicitSourcesAndUnknownSource(t *testing.T) {
 	f := newFixture(t)
-	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor",
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{f.urlA}, Mode: ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
@@ -300,7 +301,7 @@ func TestExplicitSourcesAndUnknownSource(t *testing.T) {
 	if resp.ResultSet.Len() != 2 {
 		t.Errorf("restricted rows = %d", resp.ResultSet.Len())
 	}
-	_, err = f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor",
+	_, err = f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{"gridrm:mem://ghost:1"}})
 	if err == nil {
 		t.Error("unknown source accepted")
@@ -309,10 +310,10 @@ func TestExplicitSourcesAndUnknownSource(t *testing.T) {
 
 func TestUnknownGroupAndBadSQL(t *testing.T) {
 	f := newFixture(t)
-	if _, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Nope"}); err == nil {
+	if _, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Nope"}); err == nil {
 		t.Error("unknown group accepted")
 	}
-	if _, err := f.g.Query(Request{Principal: f.admin, SQL: "SELEC nonsense"}); err == nil {
+	if _, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELEC nonsense"}); err == nil {
 		t.Error("bad SQL accepted")
 	}
 	if f.g.Stats().QueryErrors != 2 {
@@ -322,7 +323,7 @@ func TestUnknownGroupAndBadSQL(t *testing.T) {
 
 func TestNoSourceSupportsGroup(t *testing.T) {
 	f := newFixture(t)
-	_, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM NetworkElement"})
+	_, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM NetworkElement"})
 	if err == nil {
 		t.Error("group with no sources accepted")
 	}
@@ -343,7 +344,7 @@ func TestHistoricalQuery(t *testing.T) {
 		t.Error("provenance columns missing")
 	}
 	// Window filtering via Since.
-	resp2, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor",
+	resp2, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor",
 		Mode: ModeHistorical, Since: f.now.Add(-5 * time.Second)})
 	if err != nil {
 		t.Fatal(err)
@@ -352,7 +353,7 @@ func TestHistoricalQuery(t *testing.T) {
 		t.Errorf("windowed rows = %d", resp2.ResultSet.Len())
 	}
 	// Source-filtered history.
-	resp3, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor",
+	resp3, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor",
 		Mode: ModeHistorical, Sources: []string{f.urlA}})
 	if err != nil {
 		t.Fatal(err)
@@ -369,10 +370,10 @@ func TestHistoryDisabled(t *testing.T) {
 	d := &memDriver{name: "jdbc-mem", proto: "mem", hosts: []string{"h"}}
 	_ = g.RegisterDriver(d, d.schema())
 	_ = g.AddSource(SourceConfig{URL: "gridrm:mem://a:1"})
-	if _, err := g.Query(Request{SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
+	if _, err := g.QueryContext(context.Background(), QueryOptions{SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := g.Query(Request{SQL: "SELECT * FROM Processor", Mode: ModeHistorical})
+	resp, err := g.QueryContext(context.Background(), QueryOptions{SQL: "SELECT * FROM Processor", Mode: ModeHistorical})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,12 +391,12 @@ func TestCoarseSecurity(t *testing.T) {
 	d := &memDriver{name: "jdbc-mem", proto: "mem", hosts: []string{"h"}}
 	_ = g.RegisterDriver(d, d.schema())
 	_ = g.AddSource(SourceConfig{URL: "gridrm:mem://a:1"})
-	_, err := g.Query(Request{Principal: security.Principal{Name: "mallory"}, SQL: "SELECT * FROM Processor"})
+	_, err := g.QueryContext(context.Background(), QueryOptions{Principal: security.Principal{Name: "mallory"}, SQL: "SELECT * FROM Processor"})
 	var pe *PermissionError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want PermissionError", err)
 	}
-	if _, err := g.Query(Request{Principal: security.Principal{Name: "admin"}, SQL: "SELECT * FROM Processor"}); err != nil {
+	if _, err := g.QueryContext(context.Background(), QueryOptions{Principal: security.Principal{Name: "admin"}, SQL: "SELECT * FROM Processor"}); err != nil {
 		t.Errorf("admin denied: %v", err)
 	}
 	if g.Stats().Denied != 1 {
@@ -418,7 +419,7 @@ func TestFineSecurityPerSource(t *testing.T) {
 	_ = f.g.AddSource(SourceConfig{URL: f.urlA})
 	_ = f.g.AddSource(SourceConfig{URL: f.urlB})
 
-	resp, err := f.g.Query(Request{Principal: security.Principal{Name: "guest"},
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: security.Principal{Name: "guest"},
 		SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
@@ -519,7 +520,7 @@ func TestStaticPreferenceUsed(t *testing.T) {
 	if err := f.g.AddSource(SourceConfig{URL: url, Drivers: []string{"jdbc-mem2"}}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor",
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{url}, Mode: ModeRealTime})
 	if err != nil {
 		t.Fatal(err)
@@ -531,7 +532,7 @@ func TestStaticPreferenceUsed(t *testing.T) {
 
 func TestPoll(t *testing.T) {
 	f := newFixture(t)
-	resp, err := f.g.Poll(f.admin, f.urlA, glue.GroupMemory)
+	resp, err := f.g.PollContext(context.Background(), f.admin, f.urlA, glue.GroupMemory)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -548,7 +549,7 @@ type fakeRouter struct {
 	resp     *Response
 }
 
-func (r *fakeRouter) RemoteQuery(site string, req Request) (*Response, error) {
+func (r *fakeRouter) RemoteQuery(site string, req QueryOptions) (*Response, error) {
 	r.lastSite = site
 	return r.resp, nil
 }
@@ -557,12 +558,12 @@ func (r *fakeRouter) Sites() []string { return []string{"siteB"} }
 
 func TestRemoteRouting(t *testing.T) {
 	f := newFixture(t)
-	if _, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Site: "siteB"}); err == nil {
+	if _, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor", Site: "siteB"}); err == nil {
 		t.Error("remote query without router succeeded")
 	}
 	router := &fakeRouter{resp: &Response{Site: "siteB"}}
 	f.g.SetGlobalRouter(router)
-	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Site: "siteB"})
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor", Site: "siteB"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,7 +571,7 @@ func TestRemoteRouting(t *testing.T) {
 		t.Errorf("routed to %q, resp site %q", router.lastSite, resp.Site)
 	}
 	// Local site name short-circuits routing.
-	resp, err = f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Site: "siteA"})
+	resp, err = f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor", Site: "siteA"})
 	if err != nil || resp.Site != "siteA" {
 		t.Errorf("local-site query: %v, %v", resp, err)
 	}

@@ -114,7 +114,7 @@ func TestHungSourceYieldsPartialResponse(t *testing.T) {
 				ctx = c
 			}
 			start := time.Now()
-			resp, err := fx.g.QueryContext(ctx, Request{Principal: fx.admin,
+			resp, err := fx.g.QueryContext(ctx, QueryOptions{Principal: fx.admin,
 				SQL: "SELECT HostName FROM Processor ORDER BY HostName", Mode: ModeRealTime})
 			elapsed := time.Since(start)
 			if err != nil {
@@ -161,7 +161,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	admin := security.Principal{Name: "admin", Roles: []string{"operator"}}
 	query := func() SourceStatus {
 		t.Helper()
-		resp, err := g.Query(Request{Principal: admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
+		resp, err := g.QueryContext(context.Background(), QueryOptions{Principal: admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,10 +249,10 @@ func TestCancellationReleasesResources(t *testing.T) {
 	// the post-release query would be skipped rather than served.
 	fx := newFaultFixture(t, Config{HarvestTimeout: 60 * time.Millisecond,
 		Breaker: BreakerOptions{Threshold: -1}})
-	req := Request{Principal: fx.admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime}
+	req := QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime}
 
 	// Warm the pool with one clean pass.
-	if resp, err := fx.g.Query(req); err != nil || resp.ResultSet.Len() != 3 {
+	if resp, err := fx.g.QueryContext(context.Background(), req); err != nil || resp.ResultSet.Len() != 3 {
 		t.Fatalf("warm-up: %v, %v", resp, err)
 	}
 	baseline := runtime.NumGoroutine()
@@ -261,7 +261,7 @@ func TestCancellationReleasesResources(t *testing.T) {
 	hung.ContextAware(false) // legacy path: each timeout parks a shim goroutine
 	hung.SetHangQuery(true)
 	for i := 0; i < 5; i++ {
-		resp, err := fx.g.Query(req)
+		resp, err := fx.g.QueryContext(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,7 +290,7 @@ func TestCancellationReleasesResources(t *testing.T) {
 
 	// The gateway is fully serviceable again.
 	hung.ContextAware(true)
-	resp, err := fx.g.Query(req)
+	resp, err := fx.g.QueryContext(context.Background(), req)
 	if err != nil || resp.ResultSet.Len() != 3 {
 		t.Fatalf("post-release query: %v, %v", resp, err)
 	}
@@ -308,10 +308,10 @@ func TestLateConnectionAdoptedByPool(t *testing.T) {
 	fx := newFaultFixture(t, Config{HarvestTimeout: 50 * time.Millisecond})
 	slow := fx.faults[0]
 	slow.SetConnectLatency(250 * time.Millisecond)
-	req := Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+	req := QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{fx.urls[0]}, Mode: ModeRealTime}
 
-	resp, err := fx.g.Query(req)
+	resp, err := fx.g.QueryContext(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestLateConnectionAdoptedByPool(t *testing.T) {
 
 	slow.SetConnectLatency(0)
 	hitsBefore := fx.g.Pool().Stats().Hits
-	resp, err = fx.g.Query(req)
+	resp, err = fx.g.QueryContext(context.Background(), req)
 	if err != nil || resp.ResultSet.Len() != 1 {
 		t.Fatalf("follow-up query: %v, %v", resp, err)
 	}
@@ -345,11 +345,11 @@ func TestLateConnectionAdoptedByPool(t *testing.T) {
 func TestRetryRecoversTransientFailure(t *testing.T) {
 	fx := newFaultFixture(t, Config{Retry: RetryOptions{Attempts: 1, Backoff: time.Millisecond}})
 	fx.faults[0].SetErrorEvery(2) // inner queries 2, 4, 6... fail
-	req := Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+	req := QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{fx.urls[0]}, Mode: ModeRealTime}
 
 	for round := 1; round <= 2; round++ {
-		resp, err := fx.g.Query(req)
+		resp, err := fx.g.QueryContext(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -373,7 +373,7 @@ type hangingRouter struct {
 	release chan struct{}
 }
 
-func (r *hangingRouter) RemoteQuery(site string, req Request) (*Response, error) {
+func (r *hangingRouter) RemoteQuery(site string, req QueryOptions) (*Response, error) {
 	<-r.release
 	return nil, errors.New("released late")
 }
@@ -391,7 +391,7 @@ func TestAllSitesStragglerTimesOut(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
-	resp, err := fx.g.QueryContext(ctx, Request{Principal: fx.admin,
+	resp, err := fx.g.QueryContext(ctx, QueryOptions{Principal: fx.admin,
 		SQL: "SELECT * FROM Processor", Site: AllSites, Mode: ModeRealTime})
 	if err != nil {
 		t.Fatalf("all-sites query failed outright: %v", err)

@@ -48,7 +48,7 @@ func newDegradeFixture(t *testing.T, cfg Config) *degradeFixture {
 
 func (fx *degradeFixture) query(t *testing.T, mode Mode) SourceStatus {
 	t.Helper()
-	resp, err := fx.g.Query(Request{Principal: fx.admin,
+	resp, err := fx.g.QueryContext(context.Background(), QueryOptions{Principal: fx.admin,
 		SQL: "SELECT * FROM Processor", Mode: mode})
 	if err != nil {
 		t.Fatal(err)
@@ -177,16 +177,16 @@ func TestPanicContainmentMidQuery(t *testing.T) {
 			})
 			faults := fx.faults[0]
 			faults.ContextAware(ctxAware)
-			req := Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+			req := QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 				Sources: []string{fx.urls[0]}, Mode: ModeCached}
 
-			if resp, err := fx.g.Query(req); err != nil || resp.ResultSet.Len() != 1 {
+			if resp, err := fx.g.QueryContext(context.Background(), req); err != nil || resp.ResultSet.Len() != 1 {
 				t.Fatalf("priming query: %v, %v", resp, err)
 			}
 			now = now.Add(30 * time.Second)
 			faults.SetPanicEveryQuery(1)
 
-			resp, err := fx.g.Query(req)
+			resp, err := fx.g.QueryContext(context.Background(), req)
 			if err != nil {
 				t.Fatalf("panicking driver escalated to a query error: %v", err)
 			}
@@ -220,7 +220,7 @@ func TestPanicContainmentMidQuery(t *testing.T) {
 			// The gateway survives and serves fresh rows once the fault clears.
 			faults.SetPanicEveryQuery(0)
 			now = now.Add(time.Minute)
-			resp, err = fx.g.Query(Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+			resp, err = fx.g.QueryContext(context.Background(), QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 				Sources: []string{fx.urls[0]}, Mode: ModeRealTime})
 			if err != nil {
 				t.Fatal(err)
@@ -238,7 +238,7 @@ func TestPanicOnConnectContained(t *testing.T) {
 	fx := newFaultFixture(t, Config{})
 	fx.faults[0].SetPanicEveryConnect(1)
 
-	resp, err := fx.g.Query(Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+	resp, err := fx.g.QueryContext(context.Background(), QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{fx.urls[0]}, Mode: ModeRealTime})
 	if err != nil {
 		t.Fatalf("connect panic escalated: %v", err)
@@ -256,7 +256,7 @@ func TestPanicOnConnectContained(t *testing.T) {
 func TestShutdownDrainsInflightQueries(t *testing.T) {
 	fx := newFaultFixture(t, Config{})
 	fx.faults[0].SetQueryLatency(150 * time.Millisecond)
-	req := Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+	req := QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{fx.urls[0]}, Mode: ModeRealTime}
 
 	type result struct {
@@ -265,7 +265,7 @@ func TestShutdownDrainsInflightQueries(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		resp, err := fx.g.Query(req)
+		resp, err := fx.g.QueryContext(context.Background(), req)
 		done <- result{resp, err}
 	}()
 	// Wait for the query to reach the driver before shutting down.
@@ -285,7 +285,7 @@ func TestShutdownDrainsInflightQueries(t *testing.T) {
 		t.Fatalf("in-flight query was not drained: %v, %v", r.resp, r.err)
 	}
 
-	if _, err := fx.g.Query(req); !errors.Is(err, ErrGatewayClosed) {
+	if _, err := fx.g.QueryContext(context.Background(), req); !errors.Is(err, ErrGatewayClosed) {
 		t.Errorf("post-shutdown query err = %v, want ErrGatewayClosed", err)
 	}
 }
@@ -297,13 +297,13 @@ func TestShutdownHonoursDeadline(t *testing.T) {
 	hung := fx.faults[0]
 	hung.SetHangQuery(true)
 	t.Cleanup(hung.Release)
-	req := Request{Principal: fx.admin, SQL: "SELECT * FROM Processor",
+	req := QueryOptions{Principal: fx.admin, SQL: "SELECT * FROM Processor",
 		Sources: []string{fx.urls[0]}, Mode: ModeRealTime}
 
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _ = fx.g.Query(req)
+		_, _ = fx.g.QueryContext(context.Background(), req)
 	}()
 	deadline := time.Now().Add(2 * time.Second)
 	for hung.HangsServed() == 0 {

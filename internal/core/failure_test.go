@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -18,7 +19,7 @@ func TestAllSourcesFailing(t *testing.T) {
 	f := newFixture(t)
 	f.drv.fail.Store(true)
 	f.drv2.fail.Store(true)
-	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: ModeRealTime})
 	if err != nil {
 		t.Fatalf("total failure escalated: %v", err)
 	}
@@ -56,7 +57,7 @@ func TestRecoveryAfterFailure(t *testing.T) {
 
 func mustQuery(t *testing.T, f *fixture, mode Mode) *Response {
 	t.Helper()
-	resp, err := f.g.Query(Request{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: mode})
+	resp, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin, SQL: "SELECT * FROM Processor", Mode: mode})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestConcurrentQueriesAndManagement(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 50; i++ {
-		if _, err := f.g.Query(Request{Principal: f.admin,
+		if _, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: f.admin,
 			SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
 			t.Errorf("query %d: %v", i, err)
 			break
@@ -163,7 +164,7 @@ func TestCloseIsIdempotentAndFinal(t *testing.T) {
 	d := &memDriver{name: "jdbc-mem", proto: "mem", hosts: []string{"h"}}
 	_ = g.RegisterDriver(d, d.schema())
 	_ = g.AddSource(SourceConfig{URL: "gridrm:mem://a:1"})
-	if _, err := g.Query(Request{Principal: security.Principal{Name: "x"},
+	if _, err := g.QueryContext(context.Background(), QueryOptions{Principal: security.Principal{Name: "x"},
 		SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
 		t.Fatal(err)
 	}

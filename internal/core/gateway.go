@@ -256,6 +256,13 @@ type Stats struct {
 	// EventsDropped counts Event Manager drops (bounded fast buffer plus
 	// per-listener queue overflow).
 	EventsDropped int64
+	// Fanouts counts all-sites fan-out queries executed.
+	Fanouts int64
+	// FanoutLegs counts the remote legs those fan-outs dispatched (region
+	// legs count once, however many sites they cover) — FanoutLegs/Fanouts
+	// is the entry gateway's fan-out degree, which republishers keep at
+	// the republisher count rather than the site count.
+	FanoutLegs int64
 }
 
 // GlobalRouter forwards queries for remote sites; internal/gma provides the
@@ -328,6 +335,7 @@ type Gateway struct {
 	coalesced, inflightHarvests        atomic.Int64
 	staleServes, historyFallbacks      atomic.Int64
 	driverPanics, historyPrunes        atomic.Int64
+	fanouts, fanoutLegs                atomic.Int64
 }
 
 // New creates a Gateway.
@@ -1044,6 +1052,8 @@ func (g *Gateway) Stats() Stats {
 		SinkDropped:         g.push.Stats().SinkDropped,
 		SinkBreakerOpens:    g.push.Stats().SinkBreakerOpens,
 		EventsDropped:       g.events.Stats().Dropped + g.events.Stats().ListenerDropped,
+		Fanouts:             g.fanouts.Load(),
+		FanoutLegs:          g.fanoutLegs.Load(),
 	}
 }
 

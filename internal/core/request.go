@@ -65,6 +65,13 @@ type QueryOptions struct {
 	// Sources restricts the query to these registered source URLs;
 	// empty means every registered source whose driver maps the group.
 	Sources []string
+	// Region restricts a republisher region query (Site = the republisher's
+	// name) to exactly these sites. The entry gateway pins each region leg
+	// of an all-sites fan-out to the sites the leg covers, so a republisher
+	// that also mirrors the entry's own site never double-counts it, and a
+	// republisher whose shard drifted from the plan refuses rather than
+	// answering with the wrong coverage. Site gateways ignore it.
+	Region []string
 	// Mode selects cached, real-time or historical execution.
 	Mode Mode
 	// Since/Until bound historical queries (zero = unbounded).
@@ -83,11 +90,6 @@ type QueryOptions struct {
 	// Ignored by QueryContext.
 	FromSeq uint64
 }
-
-// Request is the old name of QueryOptions.
-//
-// Deprecated: use QueryOptions.
-type Request = QueryOptions
 
 // SourceStatus reports the per-source outcome of a query.
 //
@@ -182,13 +184,6 @@ func (e *PermissionError) Error() string {
 // consolidated rows, so every client query on a group shares one cache
 // entry and one history record per source.
 func harvestSQL(group string) string { return "SELECT * FROM " + group }
-
-// Query executes a request under the gateway's default QueryTimeout.
-//
-// Deprecated: use QueryContext.
-func (g *Gateway) Query(opts QueryOptions) (*Response, error) {
-	return g.QueryContext(context.Background(), opts)
-}
 
 // QueryContext executes a query — the RequestManager path of Fig 3: SQL
 // comes in, a consolidated ResultSet comes out. The request is bounded by
@@ -768,13 +763,6 @@ func (g *Gateway) harvest(ctx context.Context, url, hsql string) (*resultset.Res
 	conn.Release()
 	rs.Source = url
 	return rs, driverName, nil
-}
-
-// Poll forces a real-time refresh of one source for one GLUE group.
-//
-// Deprecated: use PollContext.
-func (g *Gateway) Poll(principal security.Principal, url, group string) (*Response, error) {
-	return g.PollContext(context.Background(), principal, url, group)
 }
 
 // PollContext forces a real-time refresh of one source for one GLUE group

@@ -120,7 +120,7 @@ func TestSubscribeFineSecurityPerMetric(t *testing.T) {
 	// The query itself would also be filtered; use a different principal
 	// path: harvest with a principal allowed everywhere.
 	other := security.Principal{Name: "operator2", Roles: []string{"operator"}}
-	if _, err := f.g.Query(Request{Principal: other, SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
+	if _, err := f.g.QueryContext(context.Background(), QueryOptions{Principal: other, SQL: "SELECT * FROM Processor", Mode: ModeRealTime}); err != nil {
 		t.Fatal(err)
 	}
 	rows := recvRows(t, sub, 2)

@@ -1,6 +1,7 @@
 package gatewaydrv
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -88,7 +89,7 @@ func TestHierarchy(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	resp, err := parent.Query(core.Request{
+	resp, err := parent.QueryContext(context.Background(), core.QueryOptions{
 		Principal: security.Principal{Name: "top"},
 		SQL:       "SELECT HostName, LoadLast1Min FROM Processor ORDER BY HostName",
 		Mode:      core.ModeRealTime,

@@ -16,11 +16,11 @@ func TestDirectoryClientEscaping(t *testing.T) {
 	c := &DirectoryClient{BaseURL: srv.URL}
 
 	for _, site := range []string{"site A", "a&b=c", "x/y?z", "ü-site"} {
-		if err := c.Register(ProducerInfo{Site: site, Endpoint: "http://e"}); err != nil {
+		if err := c.Register(Registration{Name: site, Endpoint: "http://e"}); err != nil {
 			t.Fatalf("register %q: %v", site, err)
 		}
 		p, ok, err := c.Lookup(site)
-		if err != nil || !ok || p.Site != site {
+		if err != nil || !ok || p.Name != site {
 			t.Errorf("lookup %q = %+v, %v, %v", site, p, ok, err)
 		}
 		if err := c.Deregister(site); err != nil {
@@ -42,7 +42,7 @@ func TestDirectoryHTTPTTLExpiry(t *testing.T) {
 	defer srv.Close()
 	c := &DirectoryClient{BaseURL: srv.URL}
 
-	if err := c.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+	if err := c.Register(Registration{Name: "A", Endpoint: "http://a"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, err := c.Lookup("A"); err != nil || !ok {
@@ -57,7 +57,7 @@ func TestDirectoryHTTPTTLExpiry(t *testing.T) {
 		t.Errorf("expired Sites = %v, %v", sites, err)
 	}
 	// Refreshing the registration revives it over HTTP too.
-	if err := c.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+	if err := c.Register(Registration{Name: "A", Endpoint: "http://a"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, _ := c.Lookup("A"); !ok {
@@ -70,9 +70,9 @@ func TestDirectoryHTTPTTLExpiry(t *testing.T) {
 func TestDirectoryPrune(t *testing.T) {
 	now := time.Unix(1000, 0)
 	d := NewDirectory(10*time.Second, func() time.Time { return now })
-	_ = d.Register(ProducerInfo{Site: "old", Endpoint: "http://old"})
+	_ = d.Register(Registration{Name: "old", Endpoint: "http://old"})
 	now = now.Add(8 * time.Second)
-	_ = d.Register(ProducerInfo{Site: "new", Endpoint: "http://new"})
+	_ = d.Register(Registration{Name: "new", Endpoint: "http://new"})
 	now = now.Add(4 * time.Second) // "old" is 12s old, "new" 4s
 
 	if n := d.Prune(); n != 1 {
@@ -89,7 +89,7 @@ func TestDirectoryPrune(t *testing.T) {
 	}
 	// A TTL of zero means no expiry: nothing is ever pruned.
 	forever := NewDirectory(0, nil)
-	_ = forever.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = forever.Register(Registration{Name: "A", Endpoint: "http://a"})
 	if n := forever.Prune(); n != 0 {
 		t.Errorf("Prune with no TTL = %d, want 0", n)
 	}

@@ -5,9 +5,18 @@
 // resource data are routed through the Global layer to the gateway that
 // owns the data.
 //
+// The registration record is versioned (v1): every member of the
+// federation — site gateways, republisher gateways, and entry gateways —
+// registers a Registration carrying its Role and a monotonically
+// increasing Generation. v0 records (the flat site/endpoint shape) are
+// still accepted on the wire and map to Role "site"; v1 records marshal
+// with both the "name" and legacy "site" JSON keys so v0 readers keep
+// working. See DESIGN.md §7 for the compatibility rule.
+//
 // The package provides the directory (in-process and over HTTP), a
-// Registrar that keeps a gateway's producer record fresh, and the Router
-// that plugs into core.Gateway as its GlobalRouter.
+// Registrar that keeps a member's record fresh, the consistent-hash Ring
+// that shards site ownership across republishers, and the Router that
+// plugs into core.Gateway as its GlobalRouter.
 package gma
 
 import (
@@ -23,7 +32,111 @@ import (
 	"time"
 )
 
-// ProducerInfo is one gateway's registration record.
+// Role classifies a federation member in the directory.
+type Role string
+
+const (
+	// RoleSite is a leaf gateway producing one site's resource data.
+	RoleSite Role = "site"
+	// RoleRepublisher is an intermediate gateway re-serving merged views
+	// of the child sites it owns on the ring (R-GMA's republisher).
+	RoleRepublisher Role = "republisher"
+	// RoleEntry is a client-facing gateway that plans fan-outs; it
+	// registers so operators can see it, but is never a query target.
+	RoleEntry Role = "entry"
+)
+
+// valid reports whether the role is one the directory accepts.
+func (r Role) valid() bool {
+	switch r {
+	case RoleSite, RoleRepublisher, RoleEntry:
+		return true
+	}
+	return false
+}
+
+// Registration is one federation member's directory record (v1).
+type Registration struct {
+	// Name is the member's unique name: the site name for Role "site",
+	// the republisher name otherwise.
+	Name string
+	// Endpoint is the member's servlet base URL ("http://host:port").
+	Endpoint string
+	// Role classifies the member; empty normalises to RoleSite (the v0
+	// shim: old register calls carry no role).
+	Role Role
+	// Groups lists the GLUE groups the member can answer for.
+	Groups []string
+	// Owns is advisory: the sites a republisher currently owns on the
+	// ring. Routing recomputes ownership from the ring rather than trust
+	// this field; it exists for operators and tests.
+	Owns []string
+	// Generation increases whenever the member's identity-relevant fields
+	// (endpoint, role) change. The directory bumps it on change even when
+	// the caller leaves it zero; routers use it to invalidate cached
+	// lookups that predate a re-registration.
+	Generation uint64
+	// RegisteredAt is when the record was last refreshed.
+	RegisteredAt time.Time
+}
+
+// wireRegistration is the JSON shape of a Registration. It carries both
+// the v1 "name" key and the v0 "site" key: v1 writers populate both so v0
+// readers keep resolving endpoints, and the decoder prefers "name" but
+// falls back to "site" so v0 writers are still accepted.
+type wireRegistration struct {
+	Name         string    `json:"name,omitempty"`
+	Site         string    `json:"site,omitempty"`
+	Endpoint     string    `json:"endpoint"`
+	Role         string    `json:"role,omitempty"`
+	Groups       []string  `json:"groups,omitempty"`
+	Owns         []string  `json:"owns,omitempty"`
+	Generation   uint64    `json:"generation,omitempty"`
+	RegisteredAt time.Time `json:"registeredAt"`
+}
+
+// MarshalJSON writes the v1 wire form, duplicating Name into the legacy
+// "site" key for v0 readers.
+func (r Registration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireRegistration{
+		Name: r.Name, Site: r.Name, Endpoint: r.Endpoint, Role: string(r.Role),
+		Groups: r.Groups, Owns: r.Owns, Generation: r.Generation, RegisteredAt: r.RegisteredAt,
+	})
+}
+
+// UnmarshalJSON accepts both v1 records and v0 ProducerInfo records: the
+// name comes from "name" when present and "site" otherwise, and a missing
+// role normalises to RoleSite.
+func (r *Registration) UnmarshalJSON(b []byte) error {
+	var w wireRegistration
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	name := w.Name
+	if name == "" {
+		name = w.Site
+	}
+	*r = Registration{
+		Name: name, Endpoint: w.Endpoint, Role: Role(w.Role),
+		Groups: w.Groups, Owns: w.Owns, Generation: w.Generation, RegisteredAt: w.RegisteredAt,
+	}
+	r.normalize()
+	return nil
+}
+
+// normalize applies the v0 shim: an empty role is a site.
+func (r *Registration) normalize() {
+	if r.Role == "" {
+		r.Role = RoleSite
+	}
+}
+
+// ProducerInfo is the v0 registration record, kept one release as a
+// deprecated shim for callers that predate roles.
+//
+// Deprecated: use Registration. A ProducerInfo converts with
+// [ProducerInfo.Registration]; the directory wire format still accepts
+// the v0 JSON shape directly.
 type ProducerInfo struct {
 	// Site is the producer's site name (unique key).
 	Site string `json:"site"`
@@ -35,27 +148,36 @@ type ProducerInfo struct {
 	RegisteredAt time.Time `json:"registeredAt"`
 }
 
+// Registration converts the v0 record to its v1 form (Role "site").
+func (p ProducerInfo) Registration() Registration {
+	return Registration{Name: p.Site, Endpoint: p.Endpoint, Role: RoleSite,
+		Groups: p.Groups, RegisteredAt: p.RegisteredAt}
+}
+
 // DirectoryService is the GMA directory contract shared by the in-process
 // directory and the HTTP client.
 type DirectoryService interface {
-	// Register adds or refreshes a producer record.
-	Register(p ProducerInfo) error
-	// Deregister removes a producer.
-	Deregister(site string) error
-	// Lookup finds a producer by site name.
-	Lookup(site string) (ProducerInfo, bool, error)
-	// Sites lists registered sites, sorted.
+	// Register adds or refreshes a member record.
+	Register(r Registration) error
+	// Deregister removes a member by name.
+	Deregister(name string) error
+	// Lookup finds a member by name, whatever its role.
+	Lookup(name string) (Registration, bool, error)
+	// Sites lists registered members with Role "site", sorted — the
+	// fan-out universe. Republishers and entries never appear here.
 	Sites() ([]string, error)
+	// List returns every fresh record, sorted by name.
+	List() ([]Registration, error)
 }
 
-// Directory is the in-process GMA directory with TTL-based expiry of stale
-// producer records.
+// Directory is the in-process GMA directory with TTL-based expiry of
+// stale member records.
 type Directory struct {
 	ttl   time.Duration
 	clock func() time.Time
 
-	mu        sync.RWMutex
-	producers map[string]ProducerInfo
+	mu      sync.RWMutex
+	members map[string]Registration
 }
 
 // NewDirectory creates a directory; records older than ttl are treated as
@@ -65,72 +187,109 @@ func NewDirectory(ttl time.Duration, clock func() time.Time) *Directory {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Directory{ttl: ttl, clock: clock, producers: make(map[string]ProducerInfo)}
+	return &Directory{ttl: ttl, clock: clock, members: make(map[string]Registration)}
 }
 
-// Register implements DirectoryService.
-func (d *Directory) Register(p ProducerInfo) error {
-	if p.Site == "" || p.Endpoint == "" {
-		return fmt.Errorf("gma: producer needs site and endpoint")
+// Register implements DirectoryService. The stored Generation is
+// monotonic: a re-registration that changes the endpoint or role bumps it
+// even when the caller left Generation zero, and a caller-supplied larger
+// Generation always wins — so routers can detect a re-registered member
+// without comparing endpoints themselves.
+func (d *Directory) Register(r Registration) error {
+	r.normalize()
+	if r.Name == "" || r.Endpoint == "" {
+		return fmt.Errorf("gma: registration needs name and endpoint")
 	}
-	p.RegisteredAt = d.clock()
+	if !r.Role.valid() {
+		return fmt.Errorf("gma: unknown role %q", r.Role)
+	}
+	r.RegisteredAt = d.clock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.producers[p.Site] = p
+	if prev, ok := d.members[r.Name]; ok {
+		switch {
+		case r.Generation > prev.Generation:
+			// Caller-supplied bump wins.
+		case r.Endpoint != prev.Endpoint || r.Role != prev.Role:
+			r.Generation = prev.Generation + 1
+		default:
+			r.Generation = prev.Generation
+		}
+	} else if r.Generation == 0 {
+		r.Generation = 1
+	}
+	d.members[r.Name] = r
 	return nil
 }
 
 // Deregister implements DirectoryService.
-func (d *Directory) Deregister(site string) error {
+func (d *Directory) Deregister(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.producers[site]; !ok {
-		return fmt.Errorf("gma: site %q not registered", site)
+	if _, ok := d.members[name]; !ok {
+		return fmt.Errorf("gma: %q not registered", name)
 	}
-	delete(d.producers, site)
+	delete(d.members, name)
 	return nil
 }
 
-func (d *Directory) fresh(p ProducerInfo) bool {
-	return d.ttl <= 0 || d.clock().Sub(p.RegisteredAt) <= d.ttl
+func (d *Directory) fresh(r Registration) bool {
+	return d.ttl <= 0 || d.clock().Sub(r.RegisteredAt) <= d.ttl
 }
 
 // Lookup implements DirectoryService.
-func (d *Directory) Lookup(site string) (ProducerInfo, bool, error) {
+func (d *Directory) Lookup(name string) (Registration, bool, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	p, ok := d.producers[site]
-	if !ok || !d.fresh(p) {
-		return ProducerInfo{}, false, nil
+	r, ok := d.members[name]
+	if !ok || !d.fresh(r) {
+		return Registration{}, false, nil
 	}
-	return p, true, nil
+	return r, true, nil
 }
 
 // Sites implements DirectoryService.
 func (d *Directory) Sites() ([]string, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.producers))
-	for site, p := range d.producers {
-		if d.fresh(p) {
-			out = append(out, site)
+	out := make([]string, 0, len(d.members))
+	for name, r := range d.members {
+		if r.Role == RoleSite && d.fresh(r) {
+			out = append(out, name)
 		}
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// Producers returns all fresh records, sorted by site.
-func (d *Directory) Producers() []ProducerInfo {
+// List implements DirectoryService.
+func (d *Directory) List() ([]Registration, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]ProducerInfo, 0, len(d.producers))
-	for _, p := range d.producers {
-		if d.fresh(p) {
-			out = append(out, p)
+	out := make([]Registration, 0, len(d.members))
+	for _, r := range d.members {
+		if d.fresh(r) {
+			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Producers returns all fresh site records in v0 form, sorted by site.
+//
+// Deprecated: use List, which includes republishers and entries and
+// carries roles and generations.
+func (d *Directory) Producers() []ProducerInfo {
+	regs, _ := d.List()
+	out := make([]ProducerInfo, 0, len(regs))
+	for _, r := range regs {
+		if r.Role != RoleSite {
+			continue
+		}
+		out = append(out, ProducerInfo{Site: r.Name, Endpoint: r.Endpoint,
+			Groups: r.Groups, RegisteredAt: r.RegisteredAt})
+	}
 	return out
 }
 
@@ -139,9 +298,9 @@ func (d *Directory) Prune() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := 0
-	for site, p := range d.producers {
-		if !d.fresh(p) {
-			delete(d.producers, site)
+	for name, r := range d.members {
+		if !d.fresh(r) {
+			delete(d.members, name)
 			n++
 		}
 	}
@@ -150,21 +309,25 @@ func (d *Directory) Prune() int {
 
 // Handler returns the directory's HTTP interface:
 //
-//	POST   /gma/register    body: ProducerInfo
+//	POST   /gma/register       body: Registration (v0 ProducerInfo accepted)
 //	DELETE /gma/register?site=
 //	GET    /gma/lookup?site=
 //	GET    /gma/sites
+//	GET    /gma/registrations
+//
+// The ?site= parameter names the member (any role); the v0 parameter name
+// is kept for wire compatibility.
 func (d *Directory) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/gma/register", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
-			var p ProducerInfo
-			if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			var reg Registration
+			if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			if err := d.Register(p); err != nil {
+			if err := d.Register(reg); err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
@@ -180,16 +343,16 @@ func (d *Directory) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/gma/lookup", func(w http.ResponseWriter, r *http.Request) {
-		p, ok, err := d.Lookup(r.URL.Query().Get("site"))
+		reg, ok, err := d.Lookup(r.URL.Query().Get("site"))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		if !ok {
-			http.Error(w, "unknown site", http.StatusNotFound)
+			http.Error(w, "unknown member", http.StatusNotFound)
 			return
 		}
-		writeJSON(w, p)
+		writeJSON(w, reg)
 	})
 	mux.HandleFunc("/gma/sites", func(w http.ResponseWriter, r *http.Request) {
 		sites, err := d.Sites()
@@ -198,6 +361,14 @@ func (d *Directory) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, sites)
+	})
+	mux.HandleFunc("/gma/registrations", func(w http.ResponseWriter, r *http.Request) {
+		regs, err := d.List()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, regs)
 	})
 	return mux
 }
@@ -256,13 +427,13 @@ func (c *DirectoryClient) roundTrip(ctx context.Context, method, path string, bo
 }
 
 // Register implements DirectoryService.
-func (c *DirectoryClient) Register(p ProducerInfo) error {
-	return c.RegisterContext(context.Background(), p)
+func (c *DirectoryClient) Register(r Registration) error {
+	return c.RegisterContext(context.Background(), r)
 }
 
 // RegisterContext is Register bounded by ctx.
-func (c *DirectoryClient) RegisterContext(ctx context.Context, p ProducerInfo) error {
-	body, err := json.Marshal(p)
+func (c *DirectoryClient) RegisterContext(ctx context.Context, r Registration) error {
+	body, err := json.Marshal(r)
 	if err != nil {
 		return err
 	}
@@ -283,15 +454,15 @@ func (c *DirectoryClient) RegisterContext(ctx context.Context, p ProducerInfo) e
 const maxDirectoryBody = 1 << 20
 
 // Deregister implements DirectoryService.
-func (c *DirectoryClient) Deregister(site string) error {
-	return c.DeregisterContext(context.Background(), site)
+func (c *DirectoryClient) Deregister(name string) error {
+	return c.DeregisterContext(context.Background(), name)
 }
 
-// DeregisterContext is Deregister bounded by ctx. The site name is
-// query-escaped: sites with spaces or '&' deregister their own key, not a
+// DeregisterContext is Deregister bounded by ctx. The member name is
+// query-escaped: names with spaces or '&' deregister their own key, not a
 // truncated one.
-func (c *DirectoryClient) DeregisterContext(ctx context.Context, site string) error {
-	resp, err := c.roundTrip(ctx, http.MethodDelete, "/gma/register?site="+url.QueryEscape(site), nil)
+func (c *DirectoryClient) DeregisterContext(ctx context.Context, name string) error {
+	resp, err := c.roundTrip(ctx, http.MethodDelete, "/gma/register?site="+url.QueryEscape(name), nil)
 	if err != nil {
 		return err
 	}
@@ -303,29 +474,29 @@ func (c *DirectoryClient) DeregisterContext(ctx context.Context, site string) er
 }
 
 // Lookup implements DirectoryService.
-func (c *DirectoryClient) Lookup(site string) (ProducerInfo, bool, error) {
-	return c.LookupContext(context.Background(), site)
+func (c *DirectoryClient) Lookup(name string) (Registration, bool, error) {
+	return c.LookupContext(context.Background(), name)
 }
 
 // LookupContext implements ContextDirectory: the lookup request is
 // cancelled when ctx expires.
-func (c *DirectoryClient) LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error) {
-	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/lookup?site="+url.QueryEscape(site), nil)
+func (c *DirectoryClient) LookupContext(ctx context.Context, name string) (Registration, bool, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/lookup?site="+url.QueryEscape(name), nil)
 	if err != nil {
-		return ProducerInfo{}, false, err
+		return Registration{}, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
-		return ProducerInfo{}, false, nil
+		return Registration{}, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return ProducerInfo{}, false, fmt.Errorf("gma: lookup failed: %s", resp.Status)
+		return Registration{}, false, fmt.Errorf("gma: lookup failed: %s", resp.Status)
 	}
-	var p ProducerInfo
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxDirectoryBody)).Decode(&p); err != nil {
-		return ProducerInfo{}, false, err
+	var r Registration
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxDirectoryBody)).Decode(&r); err != nil {
+		return Registration{}, false, err
 	}
-	return p, true, nil
+	return r, true, nil
 }
 
 // Sites implements DirectoryService.
@@ -350,20 +521,81 @@ func (c *DirectoryClient) SitesContext(ctx context.Context) ([]string, error) {
 	return out, nil
 }
 
+// List implements DirectoryService.
+func (c *DirectoryClient) List() ([]Registration, error) {
+	return c.ListContext(context.Background())
+}
+
+// ListContext is List bounded by ctx. Against a v0 directory (no
+// /gma/registrations route) it degrades to Sites + Lookups so a v1 router
+// can still plan against an un-upgraded directory.
+func (c *DirectoryClient) ListContext(ctx context.Context) ([]Registration, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/gma/registrations", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return c.listViaLookups(ctx)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gma: registrations failed: %s", resp.Status)
+	}
+	var out []Registration
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxDirectoryBody)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// listViaLookups reconstructs the registration list from the v0 routes.
+func (c *DirectoryClient) listViaLookups(ctx context.Context) ([]Registration, error) {
+	sites, err := c.SitesContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Registration, 0, len(sites))
+	for _, s := range sites {
+		r, ok, err := c.LookupContext(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
 // ContextDirectory is implemented by directories whose lookups can be
 // cancelled; DirectoryClient and MultiDirectory implement it.
 type ContextDirectory interface {
-	LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error)
+	LookupContext(ctx context.Context, name string) (Registration, bool, error)
+}
+
+// ContextLister is implemented by directories whose registration listings
+// can be cancelled; the Router uses it when refreshing its fan-out plan.
+type ContextLister interface {
+	ListContext(ctx context.Context) ([]Registration, error)
+}
+
+// ContextRegistrar is implemented by directories whose registrations can
+// be bounded by a context; republishers use it so a refresh cycle cannot
+// hang on a slow directory.
+type ContextRegistrar interface {
+	RegisterContext(ctx context.Context, r Registration) error
 }
 
 // ContextDeregisterer is implemented by directories whose deregistrations
 // can be bounded by a context; the Registrar uses it so shutdown-time
 // deregistration cannot hang the gateway.
 type ContextDeregisterer interface {
-	DeregisterContext(ctx context.Context, site string) error
+	DeregisterContext(ctx context.Context, name string) error
 }
 
 var _ DirectoryService = (*Directory)(nil)
 var _ DirectoryService = (*DirectoryClient)(nil)
 var _ ContextDirectory = (*DirectoryClient)(nil)
+var _ ContextLister = (*DirectoryClient)(nil)
 var _ ContextDeregisterer = (*DirectoryClient)(nil)
+var _ ContextRegistrar = (*DirectoryClient)(nil)

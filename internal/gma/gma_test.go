@@ -11,10 +11,10 @@ import (
 
 func TestDirectoryRegisterLookup(t *testing.T) {
 	d := NewDirectory(0, nil)
-	if err := d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+	if err := d.Register(Registration{Name: "A", Endpoint: "http://a"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Register(ProducerInfo{}); err == nil {
+	if err := d.Register(Registration{}); err == nil {
 		t.Error("empty producer accepted")
 	}
 	p, ok, err := d.Lookup("A")
@@ -42,7 +42,7 @@ func TestDirectoryRegisterLookup(t *testing.T) {
 func TestDirectoryTTL(t *testing.T) {
 	now := time.Unix(1000, 0)
 	d := NewDirectory(10*time.Second, func() time.Time { return now })
-	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = d.Register(Registration{Name: "A", Endpoint: "http://a"})
 	now = now.Add(5 * time.Second)
 	if _, ok, _ := d.Lookup("A"); !ok {
 		t.Error("fresh record expired")
@@ -58,7 +58,7 @@ func TestDirectoryTTL(t *testing.T) {
 		t.Errorf("pruned %d", n)
 	}
 	// Re-registration refreshes.
-	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = d.Register(Registration{Name: "A", Endpoint: "http://a"})
 	if _, ok, _ := d.Lookup("A"); !ok {
 		t.Error("re-registered record missing")
 	}
@@ -66,8 +66,8 @@ func TestDirectoryTTL(t *testing.T) {
 
 func TestDirectoryProducersSorted(t *testing.T) {
 	d := NewDirectory(0, nil)
-	_ = d.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
-	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = d.Register(Registration{Name: "B", Endpoint: "http://b"})
+	_ = d.Register(Registration{Name: "A", Endpoint: "http://a"})
 	ps := d.Producers()
 	if len(ps) != 2 || ps[0].Site != "A" || ps[1].Site != "B" {
 		t.Errorf("producers = %v", ps)
@@ -79,7 +79,7 @@ func TestDirectoryHTTP(t *testing.T) {
 	srv := httptest.NewServer(d.Handler())
 	defer srv.Close()
 	c := &DirectoryClient{BaseURL: srv.URL}
-	if err := c.Register(ProducerInfo{Site: "A", Endpoint: "http://a", Groups: []string{"Processor"}}); err != nil {
+	if err := c.Register(Registration{Name: "A", Endpoint: "http://a", Groups: []string{"Processor"}}); err != nil {
 		t.Fatal(err)
 	}
 	p, ok, err := c.Lookup("A")
@@ -99,14 +99,14 @@ func TestDirectoryHTTP(t *testing.T) {
 	if err := c.Deregister("A"); err == nil {
 		t.Error("double deregister over HTTP accepted")
 	}
-	if err := c.Register(ProducerInfo{}); err == nil {
+	if err := c.Register(Registration{}); err == nil {
 		t.Error("bad register over HTTP accepted")
 	}
 }
 
 func TestDirectoryClientConnectionErrors(t *testing.T) {
 	c := &DirectoryClient{BaseURL: "http://127.0.0.1:1"}
-	if err := c.Register(ProducerInfo{Site: "A", Endpoint: "x"}); err == nil {
+	if err := c.Register(Registration{Name: "A", Endpoint: "x"}); err == nil {
 		t.Error("register to dead directory succeeded")
 	}
 	if _, _, err := c.Lookup("A"); err == nil {
@@ -119,7 +119,7 @@ func TestDirectoryClientConnectionErrors(t *testing.T) {
 
 func TestRegistrarLifecycle(t *testing.T) {
 	d := NewDirectory(0, nil)
-	r := NewRegistrar(d, ProducerInfo{Site: "A", Endpoint: "http://a"}, 10*time.Millisecond)
+	r := NewRegistrar(d, Registration{Name: "A", Endpoint: "http://a"}, 10*time.Millisecond)
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestRegistrarLifecycle(t *testing.T) {
 
 func TestRegistrarStartFailure(t *testing.T) {
 	d := NewDirectory(0, nil)
-	r := NewRegistrar(d, ProducerInfo{}, time.Second)
+	r := NewRegistrar(d, Registration{}, time.Second)
 	if err := r.Start(); err == nil {
 		t.Error("start with bad info succeeded")
 	}
@@ -157,23 +157,23 @@ func TestRegistrarStartFailure(t *testing.T) {
 
 func TestRouter(t *testing.T) {
 	d := NewDirectory(0, nil)
-	_ = d.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
-	_ = d.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	_ = d.Register(Registration{Name: "A", Endpoint: "http://a"})
+	_ = d.Register(Registration{Name: "B", Endpoint: "http://b"})
 
 	var gotEndpoint string
-	exec := func(endpoint string, req core.Request) (*core.Response, error) {
+	exec := func(endpoint string, req core.QueryOptions) (*core.Response, error) {
 		gotEndpoint = endpoint
 		return &core.Response{Site: req.Site}, nil
 	}
 	r := NewRouter(d, exec, "A")
-	resp, err := r.RemoteQuery("B", core.Request{Site: "B", SQL: "SELECT * FROM Processor"})
+	resp, err := r.RemoteQuery("B", core.QueryOptions{Site: "B", SQL: "SELECT * FROM Processor"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Site != "B" || gotEndpoint != "http://b" {
 		t.Errorf("routed to %q, resp %+v", gotEndpoint, resp)
 	}
-	if _, err := r.RemoteQuery("C", core.Request{}); err == nil {
+	if _, err := r.RemoteQuery("C", core.QueryOptions{}); err == nil {
 		t.Error("unknown site routed")
 	}
 	sites := r.Sites()
@@ -184,12 +184,12 @@ func TestRouter(t *testing.T) {
 
 func TestRouterExecError(t *testing.T) {
 	d := NewDirectory(0, nil)
-	_ = d.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
-	exec := func(string, core.Request) (*core.Response, error) {
+	_ = d.Register(Registration{Name: "B", Endpoint: "http://b"})
+	exec := func(string, core.QueryOptions) (*core.Response, error) {
 		return nil, fmt.Errorf("boom")
 	}
 	r := NewRouter(d, exec, "A")
-	if _, err := r.RemoteQuery("B", core.Request{}); err == nil {
+	if _, err := r.RemoteQuery("B", core.QueryOptions{}); err == nil {
 		t.Error("exec error swallowed")
 	}
 }

@@ -15,7 +15,7 @@ import (
 // where hedging pays (Dean/Barroso tail tolerance).
 func stragglerExec(fast, slow time.Duration, tailEvery int64) ExecContext {
 	var n atomic.Int64
-	return func(ctx context.Context, _ string, req core.Request) (*core.Response, error) {
+	return func(ctx context.Context, _ string, req core.QueryOptions) (*core.Response, error) {
 		d := fast
 		if n.Add(1)%tailEvery == 0 {
 			d = slow
@@ -31,13 +31,13 @@ func stragglerExec(fast, slow time.Duration, tailEvery int64) ExecContext {
 
 func benchRouterTail(b *testing.B, hedgeAfter time.Duration) {
 	dir := NewDirectory(0, nil)
-	_ = dir.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	_ = dir.Register(Registration{Name: "B", Endpoint: "http://b"})
 	exec := stragglerExec(time.Millisecond, 30*time.Millisecond, 10)
 	r := NewResilientRouter(dir, exec, "A", Config{
 		LookupTTL:  time.Hour,
 		HedgeAfter: hedgeAfter,
 	})
-	req := core.Request{Site: "B", SQL: "SELECT * FROM Processor"}
+	req := core.QueryOptions{Site: "B", SQL: "SELECT * FROM Processor"}
 
 	lat := make([]time.Duration, 0, b.N)
 	b.ResetTimer()

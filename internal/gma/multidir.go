@@ -112,14 +112,25 @@ func (m *MultiDirectory) ranked() []*replica {
 
 // Register implements DirectoryService: the record fans out to every
 // replica concurrently and succeeds if at least one replica accepted it.
-func (m *MultiDirectory) Register(p ProducerInfo) error {
+func (m *MultiDirectory) Register(p Registration) error {
+	return m.RegisterContext(context.Background(), p)
+}
+
+// RegisterContext implements ContextRegistrar: fan-out like Register,
+// bounded by ctx on replicas that support it.
+func (m *MultiDirectory) RegisterContext(ctx context.Context, p Registration) error {
 	errs := make([]error, len(m.replicas))
 	var wg sync.WaitGroup
 	for i, r := range m.replicas {
 		wg.Add(1)
 		go func(i int, r *replica) {
 			defer wg.Done()
-			err := r.svc.Register(p)
+			var err error
+			if cr, ok := r.svc.(ContextRegistrar); ok {
+				err = cr.RegisterContext(ctx, p)
+			} else {
+				err = r.svc.Register(p)
+			}
 			errs[i] = err
 			if err != nil {
 				r.noteErr(err, time.Now())
@@ -138,13 +149,13 @@ func (m *MultiDirectory) Register(p ProducerInfo) error {
 }
 
 // Deregister implements DirectoryService, fanning out like Register.
-func (m *MultiDirectory) Deregister(site string) error {
-	return m.DeregisterContext(context.Background(), site)
+func (m *MultiDirectory) Deregister(name string) error {
+	return m.DeregisterContext(context.Background(), name)
 }
 
 // DeregisterContext implements ContextDeregisterer: best-effort fan-out,
 // bounded by ctx on replicas that support it.
-func (m *MultiDirectory) DeregisterContext(ctx context.Context, site string) error {
+func (m *MultiDirectory) DeregisterContext(ctx context.Context, name string) error {
 	errs := make([]error, len(m.replicas))
 	var wg sync.WaitGroup
 	for i, r := range m.replicas {
@@ -152,9 +163,9 @@ func (m *MultiDirectory) DeregisterContext(ctx context.Context, site string) err
 		go func(i int, r *replica) {
 			defer wg.Done()
 			if cd, ok := r.svc.(ContextDeregisterer); ok {
-				errs[i] = cd.DeregisterContext(ctx, site)
+				errs[i] = cd.DeregisterContext(ctx, name)
 			} else {
-				errs[i] = r.svc.Deregister(site)
+				errs[i] = r.svc.Deregister(name)
 			}
 		}(i, r)
 	}
@@ -171,12 +182,12 @@ func (m *MultiDirectory) DeregisterContext(ctx context.Context, site string) err
 // order and the first positive answer wins. A replica that answers
 // "not found" does not end the search — during a partial outage another
 // replica may hold a registration this one missed.
-func (m *MultiDirectory) Lookup(site string) (ProducerInfo, bool, error) {
-	return m.LookupContext(context.Background(), site)
+func (m *MultiDirectory) Lookup(name string) (Registration, bool, error) {
+	return m.LookupContext(context.Background(), name)
 }
 
 // LookupContext implements ContextDirectory.
-func (m *MultiDirectory) LookupContext(ctx context.Context, site string) (ProducerInfo, bool, error) {
+func (m *MultiDirectory) LookupContext(ctx context.Context, name string) (Registration, bool, error) {
 	var errs []error
 	notFound := false
 	for _, r := range m.ranked() {
@@ -185,14 +196,14 @@ func (m *MultiDirectory) LookupContext(ctx context.Context, site string) (Produc
 			break
 		}
 		var (
-			p   ProducerInfo
+			p   Registration
 			ok  bool
 			err error
 		)
 		if cd, isCtx := r.svc.(ContextDirectory); isCtx {
-			p, ok, err = cd.LookupContext(ctx, site)
+			p, ok, err = cd.LookupContext(ctx, name)
 		} else {
-			p, ok, err = r.svc.Lookup(site)
+			p, ok, err = r.svc.Lookup(name)
 		}
 		if err != nil {
 			r.noteErr(err, time.Now())
@@ -206,9 +217,9 @@ func (m *MultiDirectory) LookupContext(ctx context.Context, site string) (Produc
 		notFound = true
 	}
 	if notFound {
-		return ProducerInfo{}, false, nil
+		return Registration{}, false, nil
 	}
-	return ProducerInfo{}, false, fmt.Errorf("gma: lookup failed on every replica: %w", errors.Join(errs...))
+	return Registration{}, false, fmt.Errorf("gma: lookup failed on every replica: %w", errors.Join(errs...))
 }
 
 // Sites implements DirectoryService: the first replica (health-ranked) that
@@ -228,6 +239,42 @@ func (m *MultiDirectory) Sites() ([]string, error) {
 	return nil, fmt.Errorf("gma: sites failed on every replica: %w", errors.Join(errs...))
 }
 
+// List implements DirectoryService: the first replica (health-ranked)
+// that answers wins.
+func (m *MultiDirectory) List() ([]Registration, error) {
+	return m.ListContext(context.Background())
+}
+
+// ListContext implements ContextLister.
+func (m *MultiDirectory) ListContext(ctx context.Context) ([]Registration, error) {
+	var errs []error
+	for _, r := range m.ranked() {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		var (
+			regs []Registration
+			err  error
+		)
+		if cl, isCtx := r.svc.(ContextLister); isCtx {
+			regs, err = cl.ListContext(ctx)
+		} else {
+			regs, err = r.svc.List()
+		}
+		if err != nil {
+			r.noteErr(err, time.Now())
+			errs = append(errs, err)
+			continue
+		}
+		r.noteOK(time.Now())
+		return regs, nil
+	}
+	return nil, fmt.Errorf("gma: registrations failed on every replica: %w", errors.Join(errs...))
+}
+
 var _ DirectoryService = (*MultiDirectory)(nil)
 var _ ContextDirectory = (*MultiDirectory)(nil)
+var _ ContextLister = (*MultiDirectory)(nil)
 var _ ContextDeregisterer = (*MultiDirectory)(nil)
+var _ ContextRegistrar = (*MultiDirectory)(nil)

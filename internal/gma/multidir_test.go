@@ -32,7 +32,7 @@ func (f *flakyDir) err() error {
 	return nil
 }
 
-func (f *flakyDir) Register(p ProducerInfo) error {
+func (f *flakyDir) Register(p Registration) error {
 	if err := f.err(); err != nil {
 		return err
 	}
@@ -46,9 +46,9 @@ func (f *flakyDir) Deregister(site string) error {
 	return f.Directory.Deregister(site)
 }
 
-func (f *flakyDir) Lookup(site string) (ProducerInfo, bool, error) {
+func (f *flakyDir) Lookup(site string) (Registration, bool, error) {
 	if err := f.err(); err != nil {
-		return ProducerInfo{}, false, err
+		return Registration{}, false, err
 	}
 	return f.Directory.Lookup(site)
 }
@@ -60,10 +60,17 @@ func (f *flakyDir) Sites() ([]string, error) {
 	return f.Directory.Sites()
 }
 
+func (f *flakyDir) List() ([]Registration, error) {
+	if err := f.err(); err != nil {
+		return nil, err
+	}
+	return f.Directory.List()
+}
+
 func TestMultiDirectoryRegisterFansOut(t *testing.T) {
 	d1, d2 := newFlakyDir(), newFlakyDir()
 	md := NewMultiDirectory(d1, d2)
-	if err := md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+	if err := md.Register(Registration{Name: "A", Endpoint: "http://a"}); err != nil {
 		t.Fatal(err)
 	}
 	for i, d := range []*flakyDir{d1, d2} {
@@ -77,11 +84,11 @@ func TestMultiDirectoryRegisterPartialOutage(t *testing.T) {
 	d1, d2 := newFlakyDir(), newFlakyDir()
 	d1.setDown(true)
 	md := NewMultiDirectory(d1, d2)
-	if err := md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+	if err := md.Register(Registration{Name: "A", Endpoint: "http://a"}); err != nil {
 		t.Fatalf("register with one live replica: %v", err)
 	}
 	d2.setDown(true)
-	err := md.Register(ProducerInfo{Site: "B", Endpoint: "http://b"})
+	err := md.Register(Registration{Name: "B", Endpoint: "http://b"})
 	if err == nil || !strings.Contains(err.Error(), "every replica") {
 		t.Errorf("register with all replicas down = %v", err)
 	}
@@ -90,7 +97,7 @@ func TestMultiDirectoryRegisterPartialOutage(t *testing.T) {
 func TestMultiDirectoryLookupFailsOver(t *testing.T) {
 	d1, d2 := newFlakyDir(), newFlakyDir()
 	md := NewMultiDirectory(d1, d2)
-	if err := md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"}); err != nil {
+	if err := md.Register(Registration{Name: "A", Endpoint: "http://a"}); err != nil {
 		t.Fatal(err)
 	}
 	d1.setDown(true)
@@ -115,7 +122,7 @@ func TestMultiDirectoryLookupFailsOver(t *testing.T) {
 func TestMultiDirectoryHealthRanking(t *testing.T) {
 	d1, d2 := newFlakyDir(), newFlakyDir()
 	md := NewMultiDirectory(d1, d2)
-	_ = md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = md.Register(Registration{Name: "A", Endpoint: "http://a"})
 	d1.setDown(true)
 	// First lookup hits d1 (fails, failover to d2); after that d2 ranks
 	// first and d1 is no longer consulted, so its failure count stays put.
@@ -152,7 +159,7 @@ func TestMultiDirectoryHealthRanking(t *testing.T) {
 func TestMultiDirectorySitesFailsOver(t *testing.T) {
 	d1, d2 := newFlakyDir(), newFlakyDir()
 	md := NewMultiDirectory(d1, d2)
-	_ = md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = md.Register(Registration{Name: "A", Endpoint: "http://a"})
 	d1.setDown(true)
 	sites, err := md.Sites()
 	if err != nil || len(sites) != 1 || sites[0] != "A" {
@@ -167,7 +174,7 @@ func TestMultiDirectorySitesFailsOver(t *testing.T) {
 func TestMultiDirectoryDeregisterFansOut(t *testing.T) {
 	d1, d2 := newFlakyDir(), newFlakyDir()
 	md := NewMultiDirectory(d1, d2)
-	_ = md.Register(ProducerInfo{Site: "A", Endpoint: "http://a"})
+	_ = md.Register(Registration{Name: "A", Endpoint: "http://a"})
 	if err := md.Deregister("A"); err != nil {
 		t.Fatal(err)
 	}

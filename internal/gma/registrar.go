@@ -21,7 +21,7 @@ type RegistrarStats struct {
 	Failures int64
 }
 
-// Registrar keeps one gateway's producer record fresh in a directory.
+// Registrar keeps one federation member's record fresh in a directory.
 //
 // Start never fails for a transient directory outage: the initial
 // registration is attempted synchronously, and on failure the background
@@ -32,7 +32,7 @@ type RegistrarStats struct {
 // the next success flips it back. Stop→Start restart is supported.
 type Registrar struct {
 	dir      DirectoryService
-	info     ProducerInfo
+	info     Registration
 	interval time.Duration
 	onState  func(reachable bool, err error)
 
@@ -52,10 +52,12 @@ type Registrar struct {
 }
 
 // NewRegistrar creates a registrar that re-registers info every interval.
-func NewRegistrar(dir DirectoryService, info ProducerInfo, interval time.Duration) *Registrar {
+// An empty Role normalises to RoleSite (the v0 shim).
+func NewRegistrar(dir DirectoryService, info Registration, interval time.Duration) *Registrar {
 	if interval <= 0 {
 		interval = 30 * time.Second
 	}
+	info.normalize()
 	return &Registrar{dir: dir, info: info, interval: interval}
 }
 
@@ -124,8 +126,8 @@ func (r *Registrar) backoff(attempt int) time.Duration {
 // that is down does not fail Start; registration is retried in the
 // background with jittered exponential backoff until it lands.
 func (r *Registrar) Start() error {
-	if r.info.Site == "" || r.info.Endpoint == "" {
-		return fmt.Errorf("gma: producer needs site and endpoint")
+	if r.info.Name == "" || r.info.Endpoint == "" {
+		return fmt.Errorf("gma: registration needs name and endpoint")
 	}
 	r.mu.Lock()
 	if r.started {
@@ -186,8 +188,8 @@ func (r *Registrar) Stop() {
 	ctx, cancel := context.WithTimeout(context.Background(), deregisterTimeout)
 	defer cancel()
 	if cd, ok := r.dir.(ContextDeregisterer); ok {
-		_ = cd.DeregisterContext(ctx, r.info.Site)
+		_ = cd.DeregisterContext(ctx, r.info.Name)
 	} else {
-		_ = r.dir.Deregister(r.info.Site)
+		_ = r.dir.Deregister(r.info.Name)
 	}
 }

@@ -13,7 +13,7 @@ import (
 // observes the previous run's closed stop channel.
 func TestRegistrarRestart(t *testing.T) {
 	d := NewDirectory(0, nil)
-	r := NewRegistrar(d, ProducerInfo{Site: "A", Endpoint: "http://a"}, 10*time.Millisecond)
+	r := NewRegistrar(d, Registration{Name: "A", Endpoint: "http://a"}, 10*time.Millisecond)
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestRegistrarRestart(t *testing.T) {
 func TestRegistrarSurvivesDirectoryOutage(t *testing.T) {
 	dir := newFlakyDir()
 	dir.setDown(true)
-	r := NewRegistrar(dir, ProducerInfo{Site: "A", Endpoint: "http://a"}, 40*time.Millisecond)
+	r := NewRegistrar(dir, Registration{Name: "A", Endpoint: "http://a"}, 40*time.Millisecond)
 
 	var mu sync.Mutex
 	var flips []bool
@@ -98,7 +98,7 @@ func TestRegistrarSurvivesDirectoryOutage(t *testing.T) {
 // healthy start flips the listener to unreachable, and back on recovery.
 func TestRegistrarReRegistrationFlips(t *testing.T) {
 	dir := newFlakyDir()
-	r := NewRegistrar(dir, ProducerInfo{Site: "A", Endpoint: "http://a"}, 20*time.Millisecond)
+	r := NewRegistrar(dir, Registration{Name: "A", Endpoint: "http://a"}, 20*time.Millisecond)
 	var mu sync.Mutex
 	var flips []bool
 	r.SetStateListener(func(reachable bool, _ error) {
@@ -145,7 +145,7 @@ func TestRegistrarStopBounded(t *testing.T) {
 	base := srv.URL
 	srv.Close() // nothing listens any more
 	c := &DirectoryClient{BaseURL: base, Timeout: 100 * time.Millisecond}
-	r := NewRegistrar(c, ProducerInfo{Site: "A", Endpoint: "http://a"}, time.Minute)
+	r := NewRegistrar(c, Registration{Name: "A", Endpoint: "http://a"}, time.Minute)
 	if err := r.Start(); err != nil {
 		t.Fatal(err)
 	}

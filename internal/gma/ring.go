@@ -1,0 +1,121 @@
+package gma
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per ring member. 64 points per
+// member keeps the ownership spread within a few percent of even for the
+// republisher counts this system targets (single digits to tens) while
+// keeping ring rebuilds cheap.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring assigning site names to republisher
+// names. Placement is a pure function of the member set: every node that
+// builds a ring from the same directory view computes the same ownership,
+// so the ring needs no coordination channel beyond the (replicated)
+// directory. When a member joins or leaves, only the sites whose
+// clockwise-nearest virtual node belonged to the change move — bounded
+// movement of about 1/N of the keys, proven by TestRingBoundedMovement.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the given members with vnodes virtual nodes
+// each (vnodes <= 0 uses DefaultVNodes). Member order does not matter;
+// duplicate members are collapsed.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hashes (vanishingly rare) tiebreak on name so the
+		// ring stays deterministic across nodes.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// ringHash is 64-bit FNV-1a passed through a splitmix64 finalizer. Raw
+// FNV-1a keeps short, similar keys ("site-0", "site-1", ...) clustered in
+// a narrow band of the 64-bit space, which collapses them onto one ring
+// arc; the mix step avalanches every input bit across the output so
+// placement is uniform regardless of key shape.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Empty reports whether the ring has no members.
+func (r *Ring) Empty() bool { return r == nil || len(r.points) == 0 }
+
+// Members returns the distinct member names, sorted.
+func (r *Ring) Members() []string {
+	if r.Empty() {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the member owning key: the member of the first virtual
+// node clockwise from the key's hash. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if r.Empty() {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Assign partitions keys by owner, preserving the input order of keys
+// within each owner's slice.
+func (r *Ring) Assign(keys []string) map[string][]string {
+	out := make(map[string][]string)
+	for _, k := range keys {
+		if owner := r.Owner(k); owner != "" {
+			out[owner] = append(out[owner], k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package gma
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("site-%d", i)
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("repub-%d", i)
+	}
+	return members
+}
+
+// Placement must be a pure function of the member set: every node that
+// sees the same directory view computes identical ownership, with no
+// coordination. Member order and duplicates must not matter.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := ringMembers(5)
+	keys := ringKeys(200)
+	base := NewRing(members, DefaultVNodes)
+	shuffled := append([]string(nil), members...)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		withDups := append(append([]string(nil), shuffled...), shuffled[0], "", shuffled[1])
+		r := NewRing(withDups, DefaultVNodes)
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("trial %d: Owner(%s) = %s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		r := NewRing(ringMembers(n), DefaultVNodes)
+		counts := map[string]int{}
+		for _, k := range ringKeys(1000) {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d members: only %d own keys: %v", n, len(counts), counts)
+		}
+		// Every member should hold a reasonable share; with 64 vnodes the
+		// spread stays well inside 3x of fair.
+		fair := 1000 / n
+		for m, c := range counts {
+			if c < fair/3 || c > fair*3 {
+				t.Errorf("%d members: %s owns %d keys, fair share %d", n, m, c, fair)
+			}
+		}
+	}
+}
+
+// When one member joins or leaves, only the keys whose nearest virtual
+// node changed may move: consistent hashing's bounded-movement property.
+// With a fair share of 1/N, anything under 2/N is the ring working.
+func TestRingBoundedMovement(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, n := range []int{3, 5, 8} {
+		before := NewRing(ringMembers(n), DefaultVNodes)
+		grown := NewRing(append(ringMembers(n), "joiner"), DefaultVNodes)
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != grown.Owner(k) {
+				// A key may only move TO the joiner, never between
+				// incumbents.
+				if grown.Owner(k) != "joiner" {
+					t.Fatalf("n=%d: %s moved between incumbents %s -> %s",
+						n, k, before.Owner(k), grown.Owner(k))
+				}
+				moved++
+			}
+		}
+		bound := 2 * len(keys) / (n + 1)
+		if moved == 0 || moved > bound {
+			t.Errorf("n=%d join: %d of %d keys moved, want (0, %d]", n, moved, len(keys), bound)
+		}
+		// Leave is the mirror image: keys move only FROM the departed.
+		shrunk := NewRing(ringMembers(n-1), DefaultVNodes)
+		departed := fmt.Sprintf("repub-%d", n-1)
+		moved = 0
+		for _, k := range keys {
+			if before.Owner(k) != shrunk.Owner(k) {
+				if before.Owner(k) != departed {
+					t.Fatalf("n=%d: %s moved between survivors %s -> %s",
+						n, k, before.Owner(k), shrunk.Owner(k))
+				}
+				moved++
+			}
+		}
+		if bound = 2 * len(keys) / n; moved == 0 || moved > bound {
+			t.Errorf("n=%d leave: %d of %d keys moved, want (0, %d]", n, moved, len(keys), bound)
+		}
+	}
+}
+
+func TestRingEmptyAndAssign(t *testing.T) {
+	var nilRing *Ring
+	if !nilRing.Empty() || nilRing.Owner("x") != "" || nilRing.Members() != nil {
+		t.Error("nil ring must be empty and own nothing")
+	}
+	if r := NewRing(nil, 0); !r.Empty() {
+		t.Error("memberless ring not empty")
+	}
+	r := NewRing([]string{"a", "b"}, 8)
+	got := r.Assign([]string{"k1", "k2", "k3", "k4"})
+	total := 0
+	for m, ks := range got {
+		if m != "a" && m != "b" {
+			t.Errorf("assigned to unknown member %q", m)
+		}
+		total += len(ks)
+	}
+	if total != 4 {
+		t.Errorf("assigned %d keys, want 4", total)
+	}
+}

@@ -134,7 +134,7 @@ func newSite(t *testing.T, name string, hosts int, seed int64) *site {
 
 func (s *site) query(t *testing.T, sql string, sources ...string) *core.Response {
 	t.Helper()
-	resp, err := s.gw.Query(core.Request{
+	resp, err := s.gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: s.admin,
 		SQL:       sql,
 		Sources:   sources,
@@ -306,7 +306,7 @@ func TestHostFailureFailover(t *testing.T) {
 	_ = s.sim.SetHostDown(host, true)
 	// The per-host SNMP agent stops answering; the query against that
 	// source fails, the others still answer.
-	resp, err := s.gw.Query(core.Request{
+	resp, err := s.gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: s.admin,
 		SQL:       "SELECT * FROM Processor",
 		Sources:   []string{s.snmpURLs[0], s.scms},
@@ -340,7 +340,7 @@ func TestHistoricalAcrossDrivers(t *testing.T) {
 	s.nwsAgent.Sample()
 	s.nlAgent.Sample()
 	s.query(t, "SELECT * FROM Memory")
-	resp, err := s.gw.Query(core.Request{
+	resp, err := s.gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: s.admin,
 		SQL:       "SELECT HostName, RAMAvailable, SourceURL FROM Memory",
 		Mode:      core.ModeHistorical,
@@ -387,14 +387,14 @@ func TestFullFederationOverHTTP(t *testing.T) {
 	srvB := httptest.NewServer(web.NewServer(siteB.gw, nil, nil))
 	defer srvB.Close()
 
-	regB := gma.NewRegistrar(dir, gma.ProducerInfo{Site: "siteB", Endpoint: srvB.URL,
+	regB := gma.NewRegistrar(dir, gma.Registration{Name: "siteB", Endpoint: srvB.URL,
 		Groups: glue.GroupNames()}, time.Minute)
 	if err := regB.Start(); err != nil {
 		t.Fatal(err)
 	}
 	defer regB.Stop()
 
-	siteA.gw.SetGlobalRouter(gma.NewRouter(dir, web.RemoteQuery, "siteA"))
+	siteA.gw.SetGlobalRouter(gma.NewContextRouter(dir, web.RemoteQueryContext, "siteA"))
 
 	client := &web.Client{BaseURL: srvA.URL, Principal: siteA.admin}
 	resp, err := client.Query(context.Background(), core.QueryOptions{

@@ -1,0 +1,347 @@
+package repub
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridrm/internal/core"
+	"gridrm/internal/glue"
+	"gridrm/internal/gma"
+	"gridrm/internal/resultset"
+	"gridrm/internal/router"
+	"gridrm/internal/web"
+)
+
+// procRows builds a Processor ResultSet with one row per (host, load).
+func procRows(t *testing.T, rows ...[2]any) *resultset.ResultSet {
+	t.Helper()
+	g, ok := glue.Lookup(glue.GroupProcessor)
+	if !ok {
+		t.Fatal("Processor group missing")
+	}
+	meta, err := resultset.MetadataForGroup(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := resultset.NewBuilder(meta)
+	for _, r := range rows {
+		row := make([]any, meta.ColumnCount())
+		row[meta.ColumnIndex("HostName")] = r[0]
+		row[meta.ColumnIndex("LoadLast1Min")] = r[1]
+		b.Append(row...)
+	}
+	rs, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestStoreSnapshotThenLiveTransition(t *testing.T) {
+	s := NewStore()
+	now := time.Now()
+	s.SetSnapshot("A", glue.GroupProcessor, procRows(t, [2]any{"h1", 1.0}, [2]any{"h2", 2.0}), now)
+	rs, fresh, ok := s.Merged(glue.GroupProcessor, []string{"A"})
+	if !ok || rs.Len() != 2 || fresh[0].Live {
+		t.Fatalf("snapshot view: ok=%v len=%d fresh=%+v", ok, rs.Len(), fresh)
+	}
+	// The first live row clears the snapshot: no double counting.
+	cols := []string{"HostName", "LoadLast1Min"}
+	s.Upsert("A", glue.GroupProcessor, "src1", cols, []any{"h1", 5.0}, now.Add(time.Second))
+	rs, fresh, ok = s.Merged(glue.GroupProcessor, []string{"A"})
+	if !ok || rs.Len() != 1 || !fresh[0].Live {
+		t.Fatalf("live view: ok=%v len=%d fresh=%+v", ok, rs.Len(), fresh)
+	}
+	load, err := rs.GetFloat("LoadLast1Min")
+	rs.Next()
+	if load, err = rs.GetFloat("LoadLast1Min"); err != nil || load != 5.0 {
+		t.Fatalf("live row load = %v, %v", load, err)
+	}
+	// Later rows upsert by source: same source replaces, new source adds.
+	s.Upsert("A", glue.GroupProcessor, "src1", cols, []any{"h1", 6.0}, now)
+	s.Upsert("A", glue.GroupProcessor, "src2", cols, []any{"h2", 7.0}, now)
+	rs, _, _ = s.Merged(glue.GroupProcessor, []string{"A"})
+	if rs.Len() != 2 {
+		t.Fatalf("after upserts len = %d, want 2", rs.Len())
+	}
+	s.RemoveSite("A")
+	if _, _, ok := s.Merged(glue.GroupProcessor, []string{"A"}); ok {
+		t.Fatal("removed site still answers")
+	}
+}
+
+// fakeSites registers n role-site records and returns a Query hook that
+// serves a distinct Processor row per site.
+func fakeSites(t *testing.T, dir *gma.Directory, n int) (sites []string, query QueryFunc, calls *atomic.Int64) {
+	t.Helper()
+	calls = &atomic.Int64{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("site-%d", i)
+		sites = append(sites, name)
+		if err := dir.Register(gma.Registration{Name: name, Endpoint: "http://" + name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query = func(ctx context.Context, site string, req core.QueryOptions) (*core.Response, error) {
+		calls.Add(1)
+		if !strings.Contains(req.SQL, glue.GroupProcessor) {
+			return &core.Response{ResultSet: procRows(t)}, nil
+		}
+		return &core.Response{ResultSet: procRows(t, [2]any{"host-" + site, float64(len(site))})}, nil
+	}
+	return sites, query, calls
+}
+
+func TestGatewayScrapesAndAnswersRegionQueries(t *testing.T) {
+	dir := gma.NewDirectory(0, nil)
+	sites, query, _ := fakeSites(t, dir, 3)
+	g, err := New(Options{
+		Name: "repub-0", Endpoint: "http://repub-0", Directory: dir,
+		Groups: []string{glue.GroupProcessor}, Query: query,
+		RefreshInterval: time.Hour, ScrapeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop(context.Background())
+	if owns := g.Owns(); len(owns) != len(sites) {
+		t.Fatalf("sole republisher owns %v, want all of %v", owns, sites)
+	}
+	// Self-registration carries the role and the shard.
+	reg, ok, _ := dir.Lookup("repub-0")
+	if !ok || reg.Role != gma.RoleRepublisher || len(reg.Owns) != 3 {
+		t.Fatalf("self-registration = %+v, %v", reg, ok)
+	}
+	waitFor(t, "scrapes", func() bool { return g.store.Rows() == 3 })
+
+	// Region query (Site == republisher name): merged rows of every site.
+	resp, err := g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "repub-0",
+	})
+	if err != nil || resp.ResultSet.Len() != 3 {
+		t.Fatalf("region query = %v, %v", resp, err)
+	}
+	if resp.Site != "repub-0" || len(resp.Sources) != 3 {
+		t.Fatalf("region response meta = %+v", resp)
+	}
+	// Aggregates work over the merged region view (the entry gateway
+	// sends the partial-aggregate rewrite through this same path).
+	resp, err = g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT count(*) FROM Processor",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.ResultSet.Next()
+	if n, err := resp.ResultSet.GetInt("count(*)"); err != nil || n != 3 {
+		t.Fatalf("region count = %d, %v", n, err)
+	}
+
+	// Owned-site query answers just that slice.
+	resp, err = g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "site-1",
+	})
+	if err != nil || resp.ResultSet.Len() != 1 {
+		t.Fatalf("site query = %v, %v", resp, err)
+	}
+	// Unowned site and historical mode are refused (entry falls through).
+	if _, err := g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "elsewhere",
+	}); err == nil {
+		t.Fatal("unowned site did not error")
+	}
+	if _, err := g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Mode: core.ModeHistorical,
+	}); err == nil {
+		t.Fatal("historical query did not error")
+	}
+	st := g.Stats()
+	if st.RegionQueries != 2 || st.SiteQueries != 1 || st.NotOwned != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGatewayRebalanceOnMembershipChange(t *testing.T) {
+	dir := gma.NewDirectory(0, nil)
+	sites, query, _ := fakeSites(t, dir, 8)
+	g, err := New(Options{
+		Name: "repub-0", Endpoint: "http://repub-0", Directory: dir,
+		Groups: []string{glue.GroupProcessor}, Query: query,
+		RefreshInterval: time.Hour, ScrapeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop(context.Background())
+	if len(g.Owns()) != 8 {
+		t.Fatalf("sole republisher owns %v", g.Owns())
+	}
+	// A second republisher joins: this one must shed the sites the ring
+	// now places elsewhere, and drop their views.
+	if err := dir.Register(gma.Registration{
+		Name: "repub-1", Endpoint: "http://repub-1", Role: gma.RoleRepublisher,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	owns := g.Owns()
+	if len(owns) == 0 || len(owns) == len(sites) {
+		t.Fatalf("after join owns %d of %d sites, want a strict subset", len(owns), len(sites))
+	}
+	if g.Stats().Rebalances == 0 {
+		t.Fatal("rebalance not counted")
+	}
+	ring := gma.NewRing([]string{"repub-0", "repub-1"}, gma.DefaultVNodes)
+	for _, s := range owns {
+		if ring.Owner(s) != "repub-0" {
+			t.Fatalf("owns %s which the ring places at %s", s, ring.Owner(s))
+		}
+	}
+	// Shed sites are refused and their rows are gone from the view.
+	var shed string
+	ownSet := map[string]bool{}
+	for _, s := range owns {
+		ownSet[s] = true
+	}
+	for _, s := range sites {
+		if !ownSet[s] {
+			shed = s
+			break
+		}
+	}
+	if _, err := g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: shed,
+	}); err == nil {
+		t.Fatalf("shed site %s still answered", shed)
+	}
+}
+
+func TestGatewaySubscriptionFeedsView(t *testing.T) {
+	dir := gma.NewDirectory(0, nil)
+	_, query, _ := fakeSites(t, dir, 1)
+	push := router.New(router.Options{})
+	subscribe := func(ctx context.Context, site, sql string) (*router.Subscription, error) {
+		return push.Subscribe(router.SubscribeOptions{Name: site + ": " + sql})
+	}
+	g, err := New(Options{
+		Name: "repub-0", Endpoint: "http://repub-0", Directory: dir,
+		Groups: []string{glue.GroupProcessor}, Query: query, Subscribe: subscribe,
+		RefreshInterval: time.Hour, ScrapeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop(context.Background())
+	waitFor(t, "subscription", func() bool { return g.Stats().Subscriptions == 1 })
+	rs := procRows(t, [2]any{"pushed-host", 9.0})
+	rows := make([][]any, rs.Len())
+	for i := range rows {
+		rows[i] = rs.RowAt(i)
+	}
+	waitFor(t, "live row", func() bool {
+		push.Publish("src1", glue.GroupProcessor, rs.Metadata().ColumnNames(), rows, time.Now())
+		return g.Stats().LiveRows > 0
+	})
+	waitFor(t, "live view", func() bool {
+		resp, err := g.QueryContext(context.Background(), core.QueryOptions{
+			SQL: "SELECT HostName FROM Processor WHERE HostName = 'pushed-host'",
+		})
+		return err == nil && resp.ResultSet.Len() == 1
+	})
+}
+
+func TestHandlerSpeaksServletWireProtocol(t *testing.T) {
+	dir := gma.NewDirectory(0, nil)
+	_, query, _ := fakeSites(t, dir, 2)
+	g, err := New(Options{
+		Name: "repub-0", Endpoint: "http://repub-0", Directory: dir,
+		Groups: []string{glue.GroupProcessor}, Query: query,
+		RefreshInterval: time.Hour, ScrapeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop(context.Background())
+	waitFor(t, "scrapes", func() bool { return g.store.Rows() == 2 })
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	// The same client call the resilient router makes against a site.
+	resp, err := web.RemoteQueryContext(context.Background(), srv.URL, core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "repub-0",
+	})
+	if err != nil || resp.ResultSet.Len() != 2 {
+		t.Fatalf("wire query = %v, %v", resp, err)
+	}
+	// Errors surface as HTTP errors the client maps to Go errors.
+	if _, err := web.RemoteQueryContext(context.Background(), srv.URL, core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "not-owned",
+	}); err == nil {
+		t.Fatal("unowned wire query did not error")
+	}
+}
+
+// A caller that pins the region (the entry gateway's fan-out legs) gets
+// exactly those sites — never the republisher's full shard, which may also
+// mirror the caller's own site — and a refusal when the shard drifted.
+func TestRegionPinnedToCallerCoverage(t *testing.T) {
+	dir := gma.NewDirectory(0, nil)
+	sites, query, _ := fakeSites(t, dir, 3)
+	g, err := New(Options{
+		Name: "repub-0", Endpoint: "http://repub-0", Directory: dir,
+		Groups: []string{glue.GroupProcessor}, Query: query,
+		RefreshInterval: time.Hour, ScrapeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop(context.Background())
+	waitFor(t, "scrapes", func() bool { return g.store.Rows() == len(sites) })
+
+	resp, err := g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "repub-0",
+		Region: sites[:2],
+	})
+	if err != nil || resp.ResultSet.Len() != 2 {
+		t.Fatalf("pinned region query = %v, %v (want 2 rows)", resp, err)
+	}
+	if _, err := g.QueryContext(context.Background(), core.QueryOptions{
+		SQL: "SELECT HostName FROM Processor", Site: "repub-0",
+		Region: []string{sites[0], "site-not-owned"},
+	}); err == nil {
+		t.Fatal("drifted region coverage did not refuse")
+	}
+}

@@ -1,0 +1,180 @@
+// Package repub implements GridRM's republisher gateway: an intermediate
+// node in the hierarchical federation that subscribes to a shard of child
+// sites (falling back to periodic scrapes), maintains a merged
+// near-real-time view of their rows, and answers region-level queries
+// locally. An all-sites query at the entry gateway then fans out to the
+// republishers — a tree of partial aggregates — instead of to every site,
+// which is R-GMA's republisher design applied to GridRM's servlet layer.
+package repub
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gridrm/internal/glue"
+	"gridrm/internal/resultset"
+)
+
+// Store holds a republisher's merged view: for every (site, group) it
+// keeps the latest row per source. Rows arrive two ways — whole-table
+// snapshots from a scrape, and single rows pushed by a subscription — and
+// the two never mix within a group: the first live row after a snapshot
+// clears the snapshot, because once the push feed is up every active
+// source republishes within one harvest period and the live set converges
+// to full coverage without the risk of double-counting stale snapshot rows
+// in aggregates.
+type Store struct {
+	mu    sync.RWMutex
+	sites map[string]map[string]*groupView // site → group → view
+}
+
+// groupView is one (site, group) slice of the merged view.
+type groupView struct {
+	meta *resultset.Metadata
+	live bool // rows come from the subscription, not a snapshot
+	rows map[string]storedRow
+	at   time.Time // newest update
+}
+
+type storedRow struct {
+	row []any
+	at  time.Time
+}
+
+// NewStore returns an empty view store.
+func NewStore() *Store {
+	return &Store{sites: make(map[string]map[string]*groupView)}
+}
+
+func (s *Store) view(site, group string) *groupView {
+	groups, ok := s.sites[site]
+	if !ok {
+		groups = make(map[string]*groupView)
+		s.sites[site] = groups
+	}
+	gv, ok := groups[group]
+	if !ok {
+		gv = &groupView{rows: make(map[string]storedRow)}
+		groups[group] = gv
+	}
+	return gv
+}
+
+// SetSnapshot replaces the (site, group) view with a scraped full-table
+// result. The view leaves live mode: the snapshot is now authoritative.
+func (s *Store) SetSnapshot(site, group string, rs *resultset.ResultSet, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gv := s.view(site, group)
+	gv.meta = rs.Metadata()
+	gv.live = false
+	gv.rows = make(map[string]storedRow, rs.Len())
+	for i := 0; i < rs.Len(); i++ {
+		gv.rows["#"+strconv.Itoa(i)] = storedRow{row: rs.RowAt(i), at: at}
+	}
+	gv.at = at
+}
+
+// Upsert stores one subscription-pushed row, keyed by its source, mapping
+// the pushed columns onto the group's full column set. The first live row
+// after a snapshot clears the snapshot (see Store). Rows for groups the
+// GLUE schema does not know are dropped.
+func (s *Store) Upsert(site, group, source string, cols []string, row []any, at time.Time) {
+	g, ok := glue.Lookup(group)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gv := s.view(site, group)
+	if gv.meta == nil || gv.meta.ColumnCount() != len(g.Fields) {
+		meta, err := resultset.MetadataForGroup(g, nil)
+		if err != nil {
+			return
+		}
+		gv.meta = meta
+	}
+	if !gv.live {
+		gv.live = true
+		gv.rows = make(map[string]storedRow, len(gv.rows))
+	}
+	full := make([]any, gv.meta.ColumnCount())
+	for i := 0; i < gv.meta.ColumnCount(); i++ {
+		name := gv.meta.Column(i).Name
+		for j, c := range cols {
+			if j < len(row) && strings.EqualFold(c, name) {
+				full[i] = row[j]
+				break
+			}
+		}
+	}
+	gv.rows[source] = storedRow{row: full, at: at}
+	if at.After(gv.at) {
+		gv.at = at
+	}
+}
+
+// RemoveSite drops every view for a site the republisher no longer owns,
+// so region answers stop including rows the new owner is now serving.
+func (s *Store) RemoveSite(site string) {
+	s.mu.Lock()
+	delete(s.sites, site)
+	s.mu.Unlock()
+}
+
+// SiteFreshness reports per-site row counts and newest update times for
+// the given group, for query source statuses and /status.
+type SiteFreshness struct {
+	Site string    `json:"site"`
+	Rows int       `json:"rows"`
+	Live bool      `json:"live"`
+	At   time.Time `json:"at"`
+}
+
+// Merged builds one ResultSet holding the latest rows of every listed site
+// for the group, plus per-site freshness. Sites with no view yet simply
+// contribute nothing (freshness reports zero rows). ok is false when no
+// site has metadata for the group — the caller falls back to the GLUE
+// schema for an empty answer.
+func (s *Store) Merged(group string, sites []string) (*resultset.ResultSet, []SiteFreshness, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out *resultset.ResultSet
+	fresh := make([]SiteFreshness, 0, len(sites))
+	for _, site := range sites {
+		sf := SiteFreshness{Site: site}
+		if gv, ok := s.sites[site][group]; ok && gv.meta != nil {
+			if out == nil {
+				out = resultset.New(gv.meta)
+			}
+			b := resultset.NewBuilder(gv.meta)
+			for _, sr := range gv.rows {
+				b.Append(sr.row...)
+			}
+			if rs, err := b.Build(); err == nil {
+				if err := out.Merge(rs); err == nil {
+					sf.Rows = rs.Len()
+				}
+			}
+			sf.Live = gv.live
+			sf.At = gv.at
+		}
+		fresh = append(fresh, sf)
+	}
+	return out, fresh, out != nil
+}
+
+// Rows counts the stored rows across every view, for /status.
+func (s *Store) Rows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, groups := range s.sites {
+		for _, gv := range groups {
+			n += len(gv.rows)
+		}
+	}
+	return n
+}

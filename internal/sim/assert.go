@@ -25,6 +25,12 @@ import "sort"
 //	max_row_drop_rate     rows_dropped / rows_published         <= limit
 //	min_sub_evictions     stalled subscribers evicted           >= limit
 //	min_sink_breaker_opens push-sink breaker opens              >= limit
+//	min_repub_region_queries region queries answered by republishers >= limit
+//	min_repub_routes      site queries routed republisher-first >= limit
+//	min_repub_fallthroughs repub-routed queries that fell through to the site >= limit
+//	min_repub_live_rows   rows fed to republisher views by subscription >= limit
+//	min_repub_rebalances  refresh cycles that changed a republisher's shard >= limit
+//	max_remote_per_fanout fanout_legs / fanouts (entry fan-out degree) <= limit
 func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 	requests := float64(r.Load.Requests)
 	if requests == 0 {
@@ -76,6 +82,22 @@ func evalAssertions(sc *Scenario, r *Report) []AssertionResult {
 			return float64(r.Counters["subscriber_evictions"])
 		case "min_sink_breaker_opens":
 			return float64(r.Counters["sink_breaker_opens"])
+		case "min_repub_region_queries":
+			return float64(r.Counters["repub_region_queries"])
+		case "min_repub_routes":
+			return float64(r.Counters["repub_routes"])
+		case "min_repub_fallthroughs":
+			return float64(r.Counters["repub_fallthroughs"])
+		case "min_repub_live_rows":
+			return float64(r.Counters["repub_live_rows"])
+		case "min_repub_rebalances":
+			return float64(r.Counters["repub_rebalances"])
+		case "max_remote_per_fanout":
+			fanouts := float64(r.Counters["fanouts"])
+			if fanouts == 0 {
+				fanouts = 1
+			}
+			return float64(r.Counters["fanout_legs"]) / fanouts
 		}
 		return 0
 	}

@@ -72,6 +72,8 @@ func PlanEvents(sc *Scenario, fleet *Fleet, rng *rand.Rand) ([]PlannedEvent, err
 			}
 		case ActionDirectoryDown, ActionDirectoryUp:
 			pe.Targets = []string{fmt.Sprintf("directory-%d", ev.Directory)}
+		case ActionKillRepublisher, ActionReviveRepublisher, ActionDrainRepublisher:
+			pe.Targets = []string{fmt.Sprintf("repub-%d", ev.Republisher)}
 		case ActionStallSubscriber, ActionKillSubscriber:
 			// Concrete subscribers are picked at fire time (the harness owns
 			// their registry); the plan just records the blast radius.
@@ -147,6 +149,18 @@ func (pe PlannedEvent) Fire(h *Harness) error {
 	case ActionDirectoryDown, ActionDirectoryUp:
 		if !h.SetDirectoryDown(pe.spec.Directory, pe.Action == ActionDirectoryDown) {
 			return fmt.Errorf("sim: %s: no replica %d", pe.Action, pe.spec.Directory)
+		}
+	case ActionKillRepublisher:
+		if !h.KillRepublisher(pe.spec.Republisher) {
+			return fmt.Errorf("sim: kill_republisher: no republisher %d", pe.spec.Republisher)
+		}
+	case ActionReviveRepublisher:
+		if !h.ReviveRepublisher(pe.spec.Republisher) {
+			return fmt.Errorf("sim: revive_republisher: no republisher %d", pe.spec.Republisher)
+		}
+	case ActionDrainRepublisher:
+		if !h.DrainRepublisher(pe.spec.Republisher) {
+			return fmt.Errorf("sim: drain_republisher: no republisher %d", pe.spec.Republisher)
 		}
 	case ActionLatencySpike:
 		h.Sites[pe.Targets[0]].Faults.SetQueryLatency(pe.spec.Latency)

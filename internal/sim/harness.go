@@ -19,6 +19,7 @@ import (
 	"gridrm/internal/gma"
 	"gridrm/internal/health"
 	"gridrm/internal/qcache"
+	"gridrm/internal/repub"
 	"gridrm/internal/router"
 	"gridrm/internal/security"
 	"gridrm/internal/tsdb"
@@ -58,6 +59,17 @@ type DirectoryReplica struct {
 	Server *ChaosServer
 }
 
+// RepubRuntime is one running republisher gateway (repub-1..repub-N)
+// behind a droppable server. kill_republisher severs the server and halts
+// the gateway without deregistering — a crash, whose stale registration
+// the entry router must fall through; drain_republisher stops it
+// gracefully so the survivors rebalance the ring.
+type RepubRuntime struct {
+	Name    string
+	Gateway *repub.Gateway
+	Server  *ChaosServer
+}
+
 // Harness is a running fleet: every site's gateway wired over one shared
 // Fleet, optionally federated through droppable directory replicas and a
 // resilient router on the entry site. Chaos tests drive it directly; the
@@ -69,6 +81,7 @@ type Harness struct {
 	SiteOrder []string
 	Entry     *SiteRuntime
 	Replicas  []*DirectoryReplica
+	Repubs    []*RepubRuntime
 	MultiDir  *gma.MultiDirectory
 	Router    *gma.Router
 	opts      HarnessOptions
@@ -435,8 +448,8 @@ func (h *Harness) federate() error {
 			return err
 		}
 		rt.Server = srv
-		rt.Registrar = gma.NewRegistrar(h.MultiDir, gma.ProducerInfo{
-			Site: site, Endpoint: srv.URL(), Groups: fleetGroups(),
+		rt.Registrar = gma.NewRegistrar(h.MultiDir, gma.Registration{
+			Name: site, Endpoint: srv.URL(), Groups: fleetGroups(),
 		}, registrarInterval)
 		if h.opts.RegistrarListener != nil {
 			site := site
@@ -448,6 +461,11 @@ func (h *Harness) federate() error {
 			return fmt.Errorf("sim: register %s: %w", site, err)
 		}
 	}
+	for i := 1; i <= fed.Republishers; i++ {
+		if err := h.startRepublisher(fmt.Sprintf("repub-%d", i), fed); err != nil {
+			return err
+		}
+	}
 	h.Router = gma.NewResilientRouter(h.MultiDir, web.RemoteQueryContext, h.Entry.Name, gma.Config{
 		LookupTTL:     fed.LookupTTL,
 		RetryAttempts: fed.RetryAttempts,
@@ -457,6 +475,111 @@ func (h *Harness) federate() error {
 	h.Entry.Gateway.SetGlobalRouter(h.Router)
 	h.Router.RegisterMetrics(h.Entry.Gateway.Metrics())
 	return nil
+}
+
+// startRepublisher brings up one republisher: scrapes go over HTTP through
+// the sites' droppable servers (so partitions bite), live feeds subscribe
+// straight into the child gateways in-process.
+func (h *Harness) startRepublisher(name string, fed FederationSpec) error {
+	srv, err := NewChaosServer(http.NotFoundHandler())
+	if err != nil {
+		return err
+	}
+	g, err := repub.New(repub.Options{
+		Name:            name,
+		Endpoint:        srv.URL(),
+		Directory:       h.MultiDir,
+		Groups:          fleetGroups(),
+		Subscribe:       h.repubSubscribe,
+		RefreshInterval: fed.RepubRefresh,
+		ScrapeInterval:  fed.RepubScrape,
+	})
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	srv.SetHandler(g.Handler())
+	if err := g.Start(context.Background()); err != nil {
+		srv.Close()
+		return err
+	}
+	h.Repubs = append(h.Repubs, &RepubRuntime{Name: name, Gateway: g, Server: srv})
+	return nil
+}
+
+// repubSubscribe is the republishers' live feed: a continuous query opened
+// directly on the child site's gateway.
+func (h *Harness) repubSubscribe(ctx context.Context, site, sql string) (*router.Subscription, error) {
+	gw := h.SiteGateway(site)
+	if gw == nil {
+		return nil, fmt.Errorf("sim: repub subscribe: unknown site %q", site)
+	}
+	return gw.Subscribe(ctx, core.QueryOptions{Principal: SimPrincipal, SQL: sql})
+}
+
+// Republisher returns republisher i (1-based), nil when out of range.
+func (h *Harness) Republisher(i int) *RepubRuntime {
+	if i < 1 || i > len(h.Repubs) {
+		return nil
+	}
+	return h.Repubs[i-1]
+}
+
+// KillRepublisher crashes republisher i: traffic severed, loops halted,
+// registration left stale in the directory.
+func (h *Harness) KillRepublisher(i int) bool {
+	rr := h.Republisher(i)
+	if rr == nil {
+		return false
+	}
+	rr.Server.SetDropped(true)
+	rr.Gateway.Halt()
+	return true
+}
+
+// ReviveRepublisher restores a killed republisher on its old address.
+func (h *Harness) ReviveRepublisher(i int) bool {
+	rr := h.Republisher(i)
+	if rr == nil {
+		return false
+	}
+	rr.Server.SetDropped(false)
+	return rr.Gateway.Start(context.Background()) == nil
+}
+
+// DrainRepublisher stops republisher i gracefully: workers wound down,
+// registration withdrawn, so the survivors rebalance and the entry router
+// replans without it.
+func (h *Harness) DrainRepublisher(i int) bool {
+	rr := h.Republisher(i)
+	if rr == nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rr.Gateway.Stop(ctx)
+	rr.Server.SetDropped(true)
+	return true
+}
+
+// RepubStats sums every republisher's counters.
+func (h *Harness) RepubStats() repub.Stats {
+	var total repub.Stats
+	for _, rr := range h.Repubs {
+		s := rr.Gateway.Stats()
+		total.RegionQueries += s.RegionQueries
+		total.SiteQueries += s.SiteQueries
+		total.NotOwned += s.NotOwned
+		total.Scrapes += s.Scrapes
+		total.ScrapeErrors += s.ScrapeErrors
+		total.LiveRows += s.LiveRows
+		total.Subscriptions += s.Subscriptions
+		total.SubscribeFallbacks += s.SubscribeFallbacks
+		total.Rebalances += s.Rebalances
+		total.RefreshErrors += s.RefreshErrors
+		total.StoredRows += s.StoredRows
+	}
+	return total
 }
 
 func fleetGroups() []string {
@@ -505,6 +628,10 @@ func (h *Harness) Close() {
 		if rt.Registrar != nil {
 			rt.Registrar.Stop()
 		}
+	}
+	for _, rr := range h.Repubs {
+		rr.Gateway.Halt()
+		rr.Server.Close()
 	}
 	for _, site := range h.SiteOrder {
 		rt := h.Sites[site]

@@ -188,6 +188,8 @@ func (h *Harness) scrapeCounters() (map[string]int64, map[string]float64) {
 		counters["sink_dropped"] += st.SinkDropped
 		counters["sink_breaker_opens"] += st.SinkBreakerOpens
 		counters["events_dropped"] += st.EventsDropped
+		counters["fanouts"] += st.Fanouts
+		counters["fanout_legs"] += st.FanoutLegs
 		if d := gw.DurableHistory(); d != nil {
 			// Counters of the current instance only: a restart_gateway
 			// event discards the pre-crash instance's totals, so
@@ -212,6 +214,20 @@ func (h *Harness) scrapeCounters() (map[string]int64, map[string]float64) {
 		counters["hedge_wins"] = rs.HedgeWins
 		counters["lookup_cache_hits"] = rs.LookupCacheHits
 		counters["stale_lookups"] = rs.StaleLookups
+		counters["repub_routes"] = rs.RepubRoutes
+		counters["repub_fallthroughs"] = rs.RepubFallthroughs
+		counters["generation_evictions"] = rs.GenerationEvictions
+	}
+	if len(h.Repubs) > 0 {
+		ps := h.RepubStats()
+		counters["repub_region_queries"] = ps.RegionQueries
+		counters["repub_site_queries"] = ps.SiteQueries
+		counters["repub_not_owned"] = ps.NotOwned
+		counters["repub_scrapes"] = ps.Scrapes
+		counters["repub_scrape_errors"] = ps.ScrapeErrors
+		counters["repub_live_rows"] = ps.LiveRows
+		counters["repub_subscriptions"] = ps.Subscriptions
+		counters["repub_rebalances"] = ps.Rebalances
 	}
 	metrics := scrapeMetrics(h.MetricsURL())
 	if shed, ok := metrics["gridrm_http_shed_total"]; ok {

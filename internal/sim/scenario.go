@@ -79,6 +79,17 @@ type FederationSpec struct {
 	HedgeAfter    time.Duration // hedged remote reads (0 = off)
 	RetryAttempts int           // remote retry attempts (0 = router default)
 	EntrySite     string        // site clients talk to (default: first instance)
+
+	// Republishers shards the sites across this many republisher gateways
+	// (repub-1..repub-N) on a consistent-hash ring; the entry router then
+	// answers fan-outs as a tree of region aggregates and routes cached
+	// site reads republisher-first. 0 keeps the flat federation.
+	Republishers int
+	// RepubRefresh is the republishers' directory poll / rebalance cadence
+	// (default 200ms — sim runs are seconds long).
+	RepubRefresh time.Duration
+	// RepubScrape is the republishers' re-scrape cadence (default 300ms).
+	RepubScrape time.Duration
 }
 
 // LoadSpec declares the client load.
@@ -135,13 +146,14 @@ func (m MixEntry) Label() string {
 
 // EventSpec is one timed fault (or heal) event.
 type EventSpec struct {
-	At         time.Duration
-	Action     string
-	Site       string        // target site template or instance ("" = seeded-random site)
-	Count      int           // targets for kill_source/revive_source (default 1)
-	Latency    time.Duration // for latency_spike
-	ErrorEvery int           // for driver_errors (default 1 = every call)
-	Directory  int           // replica index for directory_down/up (default 0)
+	At          time.Duration
+	Action      string
+	Site        string        // target site template or instance ("" = seeded-random site)
+	Count       int           // targets for kill_source/revive_source (default 1)
+	Latency     time.Duration // for latency_spike
+	ErrorEvery  int           // for driver_errors (default 1 = every call)
+	Directory   int           // replica index for directory_down/up (default 0)
+	Republisher int           // 1-based index for *_republisher actions (default 1)
 }
 
 // Load scopes.
@@ -166,6 +178,15 @@ const (
 	ActionRestartGateway    = "restart_gateway"
 	ActionStallSubscriber   = "stall_subscriber"
 	ActionKillSubscriber    = "kill_subscriber"
+	// ActionKillRepublisher crashes a republisher: its servlet drops
+	// connections and its loops halt, but its registration stays in the
+	// directory — the entry router must fall through to direct site
+	// queries. ActionReviveRepublisher undoes it.
+	// ActionDrainRepublisher is the graceful path: deregister first, then
+	// halt, so the surviving republishers rebalance the ring.
+	ActionKillRepublisher   = "kill_republisher"
+	ActionReviveRepublisher = "revive_republisher"
+	ActionDrainRepublisher  = "drain_republisher"
 )
 
 var validActions = map[string]bool{
@@ -176,6 +197,8 @@ var validActions = map[string]bool{
 	ActionDriverErrors: true, ActionDriverErrorsClear: true,
 	ActionRestartGateway:  true,
 	ActionStallSubscriber: true, ActionKillSubscriber: true,
+	ActionKillRepublisher: true, ActionReviveRepublisher: true,
+	ActionDrainRepublisher: true,
 }
 
 var validModes = map[string]bool{"cached": true, "real-time": true, "historical": true}
@@ -204,6 +227,16 @@ var assertionKeys = map[string]bool{
 	"max_row_drop_rate":      true,
 	"min_sub_evictions":      true,
 	"min_sink_breaker_opens": true,
+	// Hierarchical federation: republisher region answers, entry-router
+	// republisher routing, and the fan-out ceiling (a fan-out query may
+	// touch at most this many remote legs — with republishers that is the
+	// republisher count, not the site count).
+	"min_repub_region_queries": true,
+	"min_repub_routes":         true,
+	"min_repub_fallthroughs":   true,
+	"min_repub_live_rows":      true,
+	"min_repub_rebalances":     true,
+	"max_remote_per_fanout":    true,
 }
 
 // LoadScenario reads, parses and validates a scenario file.
@@ -271,6 +304,9 @@ func ParseScenario(data []byte) (*Scenario, error) {
 			HedgeAfter:    d.dur(fm, "hedge_after", 0),
 			RetryAttempts: d.intVal(fm, "retry_attempts", 0),
 			EntrySite:     d.str(fm, "entry_site", ""),
+			Republishers:  d.intVal(fm, "republishers", 0),
+			RepubRefresh:  d.dur(fm, "repub_refresh", 200*time.Millisecond),
+			RepubScrape:   d.dur(fm, "repub_scrape", 300*time.Millisecond),
 		}
 		d.noExtra(fm, "federation")
 	}
@@ -304,13 +340,14 @@ func ParseScenario(data []byte) (*Scenario, error) {
 	for _, item := range d.childList(m, "events") {
 		im := d.itemMap(item, "events")
 		ev := EventSpec{
-			At:         d.dur(im, "at", 0),
-			Action:     d.str(im, "action", ""),
-			Site:       d.str(im, "site", ""),
-			Count:      d.intVal(im, "count", 1),
-			Latency:    d.dur(im, "latency", 0),
-			ErrorEvery: d.intVal(im, "error_every", 1),
-			Directory:  d.intVal(im, "directory", 0),
+			At:          d.dur(im, "at", 0),
+			Action:      d.str(im, "action", ""),
+			Site:        d.str(im, "site", ""),
+			Count:       d.intVal(im, "count", 1),
+			Latency:     d.dur(im, "latency", 0),
+			ErrorEvery:  d.intVal(im, "error_every", 1),
+			Directory:   d.intVal(im, "directory", 0),
+			Republisher: d.intVal(im, "republisher", 1),
 		}
 		d.noExtra(im, "events")
 		sc.Events = append(sc.Events, ev)
@@ -459,6 +496,11 @@ func (s *Scenario) Validate() error {
 		if totalWeight == 0 {
 			return fmt.Errorf("scenario: all site weights are zero")
 		}
+		if s.Federation.Republishers < 0 {
+			return fmt.Errorf("scenario: federation.republishers must be >= 0")
+		}
+	} else if s.Federation.Republishers > 0 {
+		return fmt.Errorf("scenario: federation.republishers needs federation.enabled")
 	}
 	templates := map[string]bool{}
 	for _, tpl := range s.Fleet.Sites {
@@ -508,6 +550,13 @@ func (s *Scenario) Validate() error {
 			}
 			if ev.Directory < 0 || ev.Directory >= s.Federation.Directories {
 				return fmt.Errorf("scenario: %s: directory %d out of range [0,%d)", at, ev.Directory, s.Federation.Directories)
+			}
+		case ActionKillRepublisher, ActionReviveRepublisher, ActionDrainRepublisher:
+			if !s.Federation.Enabled || s.Federation.Republishers < 1 {
+				return fmt.Errorf("scenario: %s: %s needs federation.republishers >= 1", at, ev.Action)
+			}
+			if ev.Republisher < 1 || ev.Republisher > s.Federation.Republishers {
+				return fmt.Errorf("scenario: %s: republisher %d out of range [1,%d]", at, ev.Republisher, s.Federation.Republishers)
 			}
 		}
 	}

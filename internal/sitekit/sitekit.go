@@ -34,7 +34,68 @@ import (
 	"gridrm/internal/tsdb"
 )
 
-// Options configures a simulated site.
+// TimeoutOptions groups a site's time bounds.
+type TimeoutOptions struct {
+	// Agent is passed to sources as the driver "timeout" property
+	// (default 2s).
+	Agent time.Duration
+	// Harvest bounds each source harvest in the gateway built by
+	// NewGateway (0 = core default, negative = disabled).
+	Harvest time.Duration
+	// Query bounds whole requests when the caller supplies no deadline
+	// (0 = core default, negative = disabled).
+	Query time.Duration
+}
+
+// HistoryOptions groups the crash-safe durable-history knobs.
+type HistoryOptions struct {
+	// Dir enables WAL + checkpoint persistence in this directory; empty
+	// keeps history purely in-memory.
+	Dir string
+	// Fsync is the WAL fsync policy: "always", "interval" (default) or
+	// "off". Only meaningful with Dir set.
+	Fsync string
+	// CheckpointInterval is the period of background history checkpoints
+	// (0 = tsdb default, negative = only at shutdown).
+	CheckpointInterval time.Duration
+	// MaxDiskBytes budgets the history directory's size; oldest WAL
+	// segments are dropped first when it is exceeded (0 = unlimited).
+	MaxDiskBytes int64
+}
+
+// PushOptions groups the continuous-query (subscription) knobs.
+type PushOptions struct {
+	// Queue bounds each subscriber's queue (0 = router default 256).
+	Queue int
+	// Stall is how long a subscriber's queue may stay continuously full
+	// before the subscriber is evicted (0 = router default 10s,
+	// negative = never).
+	Stall time.Duration
+}
+
+// FederationOptions groups the Global-layer knobs: the gateway's
+// directory role and, for republishers, the cadences of the shard
+// maintenance loops. The cmd binaries map their -role/-refresh/-scrape
+// flags here.
+type FederationOptions struct {
+	// Role is the directory role to register under: "site" (default) or
+	// "republisher".
+	Role string
+	// RefreshInterval is a republisher's directory poll / rebalance
+	// cadence (0 = repub default).
+	RefreshInterval time.Duration
+	// ScrapeInterval is a republisher's re-scrape cadence for sites
+	// without a live subscription (0 = repub default).
+	ScrapeInterval time.Duration
+	// VNodes is the consistent-hash ring's virtual-node count per
+	// republisher (0 = ring default). Every member must agree on it.
+	VNodes int
+}
+
+// Options configures a simulated site. Knobs are grouped into the
+// Timeouts, History, Push and Federation sub-structs; the flat fields
+// below them are deprecated aliases kept for one release — when both are
+// set, the sub-struct wins.
 type Options struct {
 	// Name is the site name (default "site").
 	Name string
@@ -44,18 +105,17 @@ type Options struct {
 	Seed int64
 	// LoadAlarm is the sim's load-high threshold (default 4.0).
 	LoadAlarm float64
-	// AgentTimeout is passed to sources as the driver "timeout" property
-	// (default 2s).
-	AgentTimeout time.Duration
+	// Timeouts groups the agent/harvest/query time bounds.
+	Timeouts TimeoutOptions
+	// History groups the durable-history knobs.
+	History HistoryOptions
+	// Push groups the continuous-query knobs.
+	Push PushOptions
+	// Federation groups the directory-role and republisher knobs.
+	Federation FederationOptions
 	// CoarseCacheTTL is passed to the Ganglia and NWS sources as
 	// "cache_ttl" (default 1s); set negative for "0s" (off).
 	CoarseCacheTTL time.Duration
-	// HarvestTimeout bounds each source harvest in the gateway built by
-	// NewGateway (0 = core default, negative = disabled).
-	HarvestTimeout time.Duration
-	// QueryTimeout bounds whole requests when the caller supplies no
-	// deadline (0 = core default, negative = disabled).
-	QueryTimeout time.Duration
 	// Retry configures per-source harvest retries (zero value = no retries).
 	Retry core.RetryOptions
 	// Breaker configures the per-source circuit breaker (zero value = core
@@ -83,35 +143,97 @@ type Options struct {
 	// store capacity, slow-query threshold). The zero value keeps the
 	// core defaults.
 	Trace trace.Options
-	// HistoryDir enables crash-safe history persistence (WAL + checkpoints)
-	// in this directory; empty keeps history purely in-memory.
+
+	// AgentTimeout is a deprecated alias for Timeouts.Agent.
+	//
+	// Deprecated: set Timeouts.Agent.
+	AgentTimeout time.Duration
+	// HarvestTimeout is a deprecated alias for Timeouts.Harvest.
+	//
+	// Deprecated: set Timeouts.Harvest.
+	HarvestTimeout time.Duration
+	// QueryTimeout is a deprecated alias for Timeouts.Query.
+	//
+	// Deprecated: set Timeouts.Query.
+	QueryTimeout time.Duration
+	// HistoryDir is a deprecated alias for History.Dir.
+	//
+	// Deprecated: set History.Dir.
 	HistoryDir string
-	// HistoryFsync is the WAL fsync policy: "always", "interval" (default)
-	// or "off". Only meaningful with HistoryDir set.
+	// HistoryFsync is a deprecated alias for History.Fsync.
+	//
+	// Deprecated: set History.Fsync.
 	HistoryFsync string
-	// HistoryCheckpointInterval is the period of background history
-	// checkpoints (0 = tsdb default, negative = only at shutdown).
+	// HistoryCheckpointInterval is a deprecated alias for
+	// History.CheckpointInterval.
+	//
+	// Deprecated: set History.CheckpointInterval.
 	HistoryCheckpointInterval time.Duration
-	// HistoryMaxDiskBytes budgets the history directory's size; oldest WAL
-	// segments are dropped first when it is exceeded (0 = unlimited).
+	// HistoryMaxDiskBytes is a deprecated alias for History.MaxDiskBytes.
+	//
+	// Deprecated: set History.MaxDiskBytes.
 	HistoryMaxDiskBytes int64
-	// SubscribeQueue bounds each continuous-query subscriber's queue
-	// (0 = router default 256).
+	// SubscribeQueue is a deprecated alias for Push.Queue.
+	//
+	// Deprecated: set Push.Queue.
 	SubscribeQueue int
-	// SubscribeStall is how long a subscriber's queue may stay
-	// continuously full before the subscriber is evicted (0 = router
-	// default 10s, negative = never).
+	// SubscribeStall is a deprecated alias for Push.Stall.
+	//
+	// Deprecated: set Push.Stall.
 	SubscribeStall time.Duration
+}
+
+// reconcile merges the deprecated flat aliases into the sub-structs
+// (sub-struct wins when both are set) and mirrors the result back onto
+// the aliases so readers of either spelling agree.
+func (o *Options) reconcile() {
+	if o.Timeouts.Agent == 0 {
+		o.Timeouts.Agent = o.AgentTimeout
+	}
+	if o.Timeouts.Harvest == 0 {
+		o.Timeouts.Harvest = o.HarvestTimeout
+	}
+	if o.Timeouts.Query == 0 {
+		o.Timeouts.Query = o.QueryTimeout
+	}
+	if o.History.Dir == "" {
+		o.History.Dir = o.HistoryDir
+	}
+	if o.History.Fsync == "" {
+		o.History.Fsync = o.HistoryFsync
+	}
+	if o.History.CheckpointInterval == 0 {
+		o.History.CheckpointInterval = o.HistoryCheckpointInterval
+	}
+	if o.History.MaxDiskBytes == 0 {
+		o.History.MaxDiskBytes = o.HistoryMaxDiskBytes
+	}
+	if o.Push.Queue == 0 {
+		o.Push.Queue = o.SubscribeQueue
+	}
+	if o.Push.Stall == 0 {
+		o.Push.Stall = o.SubscribeStall
+	}
+	o.AgentTimeout = o.Timeouts.Agent
+	o.HarvestTimeout = o.Timeouts.Harvest
+	o.QueryTimeout = o.Timeouts.Query
+	o.HistoryDir = o.History.Dir
+	o.HistoryFsync = o.History.Fsync
+	o.HistoryCheckpointInterval = o.History.CheckpointInterval
+	o.HistoryMaxDiskBytes = o.History.MaxDiskBytes
+	o.SubscribeQueue = o.Push.Queue
+	o.SubscribeStall = o.Push.Stall
 }
 
 // CoreConfig maps the gateway-relevant options onto a core.Config for the
 // given site name. NewGateway and the cmd binaries use this so every knob
 // flows through one translation instead of ad-hoc field copying.
 func (o Options) CoreConfig(name string) core.Config {
+	o.reconcile()
 	return core.Config{
 		Name:                  name,
-		HarvestTimeout:        o.HarvestTimeout,
-		QueryTimeout:          o.QueryTimeout,
+		HarvestTimeout:        o.Timeouts.Harvest,
+		QueryTimeout:          o.Timeouts.Query,
 		Retry:                 o.Retry,
 		Breaker:               o.Breaker,
 		MaxConcurrentHarvests: o.MaxConcurrentHarvests,
@@ -119,17 +241,18 @@ func (o Options) CoreConfig(name string) core.Config {
 		StaleGrace:            o.StaleGrace,
 		Probe:                 health.Options{Interval: o.ProbeInterval},
 		Trace:                 o.Trace,
-		Push:                  router.Options{QueueSize: o.SubscribeQueue, Stall: o.SubscribeStall},
+		Push:                  router.Options{QueueSize: o.Push.Queue, Stall: o.Push.Stall},
 		Durable: tsdb.Options{
-			Dir:                o.HistoryDir,
-			Fsync:              o.HistoryFsync,
-			CheckpointInterval: o.HistoryCheckpointInterval,
-			MaxDiskBytes:       o.HistoryMaxDiskBytes,
+			Dir:                o.History.Dir,
+			Fsync:              o.History.Fsync,
+			CheckpointInterval: o.History.CheckpointInterval,
+			MaxDiskBytes:       o.History.MaxDiskBytes,
 		},
 	}
 }
 
 func (o *Options) fill() {
+	o.reconcile()
 	if o.Name == "" {
 		o.Name = "site"
 	}
@@ -139,11 +262,15 @@ func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.AgentTimeout <= 0 {
-		o.AgentTimeout = 2 * time.Second
+	if o.Timeouts.Agent <= 0 {
+		o.Timeouts.Agent = 2 * time.Second
 	}
+	o.AgentTimeout = o.Timeouts.Agent
 	if o.CoarseCacheTTL == 0 {
 		o.CoarseCacheTTL = time.Second
+	}
+	if o.Federation.Role == "" {
+		o.Federation.Role = "site"
 	}
 }
 

@@ -1,6 +1,7 @@
 package sitekit
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -74,7 +75,7 @@ func TestNewGatewayEndToEnd(t *testing.T) {
 	if got := len(gw.Drivers()); got != 7 {
 		t.Errorf("drivers = %d", got)
 	}
-	resp, err := gw.Query(core.Request{
+	resp, err := gw.QueryContext(context.Background(), core.QueryOptions{
 		Principal: security.Principal{Name: "kit-test"},
 		SQL:       "SELECT * FROM Processor",
 		Mode:      core.ModeRealTime,
@@ -118,5 +119,55 @@ func TestHostPortParts(t *testing.T) {
 	}
 	if portPart("h:bad") != 0 {
 		t.Error("bad port parsed")
+	}
+}
+
+func TestOptionsNestedAndFlatAliases(t *testing.T) {
+	// Flat (deprecated) spellings flow into the nested groups.
+	flat := Options{
+		AgentTimeout:              3 * time.Second,
+		HarvestTimeout:            4 * time.Second,
+		QueryTimeout:              5 * time.Second,
+		HistoryDir:                "/tmp/h",
+		HistoryFsync:              "always",
+		HistoryCheckpointInterval: time.Minute,
+		HistoryMaxDiskBytes:       1024,
+		SubscribeQueue:            7,
+		SubscribeStall:            8 * time.Second,
+	}
+	cfg := flat.CoreConfig("s")
+	if cfg.HarvestTimeout != 4*time.Second || cfg.QueryTimeout != 5*time.Second {
+		t.Errorf("flat timeouts not honoured: %+v", cfg)
+	}
+	if cfg.Durable.Dir != "/tmp/h" || cfg.Durable.Fsync != "always" ||
+		cfg.Durable.CheckpointInterval != time.Minute || cfg.Durable.MaxDiskBytes != 1024 {
+		t.Errorf("flat history not honoured: %+v", cfg.Durable)
+	}
+	if cfg.Push.QueueSize != 7 || cfg.Push.Stall != 8*time.Second {
+		t.Errorf("flat push not honoured: %+v", cfg.Push)
+	}
+	flat.fill()
+	if flat.Timeouts.Agent != 3*time.Second {
+		t.Errorf("AgentTimeout alias not merged: %+v", flat.Timeouts)
+	}
+
+	// When both spellings are set, the nested group wins, and fill()
+	// mirrors it back onto the alias so old readers agree.
+	both := Options{
+		Timeouts:       TimeoutOptions{Harvest: time.Second},
+		HarvestTimeout: 9 * time.Second,
+		History:        HistoryOptions{Dir: "/tmp/new"},
+		HistoryDir:     "/tmp/old",
+	}
+	cfg = both.CoreConfig("s")
+	if cfg.HarvestTimeout != time.Second || cfg.Durable.Dir != "/tmp/new" {
+		t.Errorf("nested fields must win: %+v, %+v", cfg.HarvestTimeout, cfg.Durable.Dir)
+	}
+	both.fill()
+	if both.HarvestTimeout != time.Second || both.HistoryDir != "/tmp/new" {
+		t.Errorf("aliases not mirrored back: %+v", both)
+	}
+	if both.Federation.Role != "site" {
+		t.Errorf("default federation role = %q, want site", both.Federation.Role)
 	}
 }

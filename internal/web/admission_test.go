@@ -187,17 +187,17 @@ func TestClientContextVariants(t *testing.T) {
 	f := newFixture(t, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := f.client.SourcesContext(ctx); err == nil {
-		t.Error("SourcesContext ignored a dead context")
+	if _, err := f.client.Sources(ctx); err == nil {
+		t.Error("Sources ignored a dead context")
 	}
-	if _, err := f.client.StatusContext(ctx); err == nil {
-		t.Error("StatusContext ignored a dead context")
+	if _, err := f.client.Status(ctx); err == nil {
+		t.Error("Status ignored a dead context")
 	}
-	if _, err := f.client.SitesContext(ctx); err == nil {
-		t.Error("SitesContext ignored a dead context")
+	if _, err := f.client.Sites(ctx); err == nil {
+		t.Error("Sites ignored a dead context")
 	}
 	// And the live path still works through the same code.
-	if _, err := f.client.SourcesContext(context.Background()); err != nil {
-		t.Errorf("live SourcesContext: %v", err)
+	if _, err := f.client.Sources(context.Background()); err != nil {
+		t.Errorf("live Sources: %v", err)
 	}
 }

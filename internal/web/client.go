@@ -226,120 +226,6 @@ func (c *Client) Trace(ctx context.Context, id string) (*trace.TraceData, error)
 	return &out, nil
 }
 
-// QueryContext is the old name of Query.
-//
-// Deprecated: use Query.
-func (c *Client) QueryContext(ctx context.Context, req core.QueryOptions) (*core.Response, error) {
-	return c.Query(ctx, req)
-}
-
-// PollContext is the old name of Poll.
-//
-// Deprecated: use Poll.
-func (c *Client) PollContext(ctx context.Context, sourceURL, group string) (*core.Response, error) {
-	return c.Poll(ctx, sourceURL, group)
-}
-
-// SourcesContext is the old name of Sources.
-//
-// Deprecated: use Sources.
-func (c *Client) SourcesContext(ctx context.Context) ([]core.SourceInfo, error) {
-	return c.Sources(ctx)
-}
-
-// AddSourceContext is the old name of AddSource.
-//
-// Deprecated: use AddSource.
-func (c *Client) AddSourceContext(ctx context.Context, cfg core.SourceConfig) error {
-	return c.AddSource(ctx, cfg)
-}
-
-// RemoveSourceContext is the old name of RemoveSource.
-//
-// Deprecated: use RemoveSource.
-func (c *Client) RemoveSourceContext(ctx context.Context, sourceURL string) error {
-	return c.RemoveSource(ctx, sourceURL)
-}
-
-// DriversContext is the old name of Drivers.
-//
-// Deprecated: use Drivers.
-func (c *Client) DriversContext(ctx context.Context) ([]DriverListing, error) {
-	return c.Drivers(ctx)
-}
-
-// ActivateDriverContext is the old name of ActivateDriver.
-//
-// Deprecated: use ActivateDriver.
-func (c *Client) ActivateDriverContext(ctx context.Context, name string) error {
-	return c.ActivateDriver(ctx, name)
-}
-
-// DeactivateDriverContext is the old name of DeactivateDriver.
-//
-// Deprecated: use DeactivateDriver.
-func (c *Client) DeactivateDriverContext(ctx context.Context, name string) error {
-	return c.DeactivateDriver(ctx, name)
-}
-
-// SetPreferencesContext is the old name of SetPreferences.
-//
-// Deprecated: use SetPreferences.
-func (c *Client) SetPreferencesContext(ctx context.Context, sourceURL string, drivers []string) error {
-	return c.SetPreferences(ctx, sourceURL, drivers)
-}
-
-// TreeContext is the old name of Tree.
-//
-// Deprecated: use Tree.
-func (c *Client) TreeContext(ctx context.Context) ([]TreeNode, error) {
-	return c.Tree(ctx)
-}
-
-// EventsContext is the old name of Events.
-//
-// Deprecated: use Events.
-func (c *Client) EventsContext(ctx context.Context, filter event.Filter, since time.Time) ([]event.Event, error) {
-	return c.Events(ctx, filter, since)
-}
-
-// WatchMetricContext is the old name of WatchMetric.
-//
-// Deprecated: use WatchMetric.
-func (c *Client) WatchMetricContext(ctx context.Context, group, field string) error {
-	return c.WatchMetric(ctx, group, field)
-}
-
-// WatchedMetricsContext is the old name of WatchedMetrics.
-//
-// Deprecated: use WatchedMetrics.
-func (c *Client) WatchedMetricsContext(ctx context.Context) ([]string, error) {
-	return c.WatchedMetrics(ctx)
-}
-
-// StatusContext is the old name of Status.
-//
-// Deprecated: use Status.
-func (c *Client) StatusContext(ctx context.Context) (*StatusReport, error) {
-	return c.Status(ctx)
-}
-
-// SitesContext is the old name of Sites.
-//
-// Deprecated: use Sites.
-func (c *Client) SitesContext(ctx context.Context) ([]string, error) {
-	return c.Sites(ctx)
-}
-
-// RemoteQuery executes a core request against a remote gateway endpoint,
-// forwarding the principal; it satisfies gma.Exec for the Global layer.
-//
-// Deprecated: use RemoteQueryContext, which threads the caller's context
-// (and trace) through the hop.
-func RemoteQuery(endpoint string, req core.QueryOptions) (*core.Response, error) {
-	return RemoteQueryContext(context.Background(), endpoint, req)
-}
-
 // RemoteQueryContext executes a core request against a remote gateway
 // endpoint, bounded by ctx and forwarding the principal; it satisfies
 // gma.ExecContext so all-sites fan-outs can abandon a hung site at the

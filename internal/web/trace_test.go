@@ -52,7 +52,7 @@ func TestCrossGatewayTracePropagation(t *testing.T) {
 	gwA, srvA := traceSite(t, "siteA", []string{"a1", "a2"}, core.Config{})
 	gwB, srvB := traceSite(t, "siteB", []string{"b1"}, core.Config{})
 	_ = gwB
-	if err := dir.Register(gma.ProducerInfo{Site: "siteB", Endpoint: srvB.URL}); err != nil {
+	if err := dir.Register(gma.Registration{Name: "siteB", Endpoint: srvB.URL}); err != nil {
 		t.Fatal(err)
 	}
 	gwA.SetGlobalRouter(gma.NewContextRouter(dir, RemoteQueryContext, "siteA"))

@@ -355,7 +355,7 @@ func TestSitesAndGMAMounted(t *testing.T) {
 	}
 	// The mounted directory answers under /gma/.
 	dc := &gma.DirectoryClient{BaseURL: f.srv.URL}
-	if err := dc.Register(gma.ProducerInfo{Site: "X", Endpoint: "http://x"}); err != nil {
+	if err := dc.Register(gma.Registration{Name: "X", Endpoint: "http://x"}); err != nil {
 		t.Fatal(err)
 	}
 	got, err := dc.Sites()
@@ -383,8 +383,8 @@ func TestTwoGatewayFederation(t *testing.T) {
 
 	// Gateway A routes via the directory.
 	f := newFixture(t, nil)
-	_ = dir.Register(gma.ProducerInfo{Site: "siteB", Endpoint: srvB.URL})
-	router := gma.NewRouter(dir, RemoteQuery, "siteA")
+	_ = dir.Register(gma.Registration{Name: "siteB", Endpoint: srvB.URL})
+	router := gma.NewContextRouter(dir, RemoteQueryContext, "siteA")
 	f.gw.SetGlobalRouter(router)
 
 	resp, err := f.client.Query(context.Background(), core.QueryOptions{

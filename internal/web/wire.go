@@ -46,6 +46,7 @@ type WireRequest struct {
 	SQL     string   `json:"sql"`
 	Site    string   `json:"site,omitempty"`
 	Sources []string `json:"sources,omitempty"`
+	Region  []string `json:"region,omitempty"`
 	Mode    string   `json:"mode,omitempty"`
 	Since   string   `json:"since,omitempty"`
 	Until   string   `json:"until,omitempty"`
@@ -258,7 +259,7 @@ func (wr WireRequest) ToCoreRequest() (core.QueryOptions, error) {
 	if err != nil {
 		return core.QueryOptions{}, err
 	}
-	req := core.QueryOptions{SQL: wr.SQL, Site: wr.Site, Sources: wr.Sources, Mode: mode}
+	req := core.QueryOptions{SQL: wr.SQL, Site: wr.Site, Sources: wr.Sources, Region: wr.Region, Mode: mode}
 	if wr.Since != "" {
 		t, err := time.Parse(time.RFC3339Nano, wr.Since)
 		if err != nil {
@@ -290,7 +291,7 @@ func (wr WireRequest) ToCoreRequest() (core.QueryOptions, error) {
 
 // FromCoreRequest converts a core request to wire form.
 func FromCoreRequest(req core.QueryOptions) WireRequest {
-	wr := WireRequest{SQL: req.SQL, Site: req.Site, Sources: req.Sources, Mode: req.Mode.String()}
+	wr := WireRequest{SQL: req.SQL, Site: req.Site, Sources: req.Sources, Region: req.Region, Mode: req.Mode.String()}
 	if !req.Since.IsZero() {
 		wr.Since = req.Since.Format(time.RFC3339Nano)
 	}
